@@ -1,0 +1,81 @@
+"""Ablation — per-analysis contribution to DCE.
+
+Quantifies what §4.4 argues qualitatively: DCE is an optimization
+*sink* whose effectiveness depends on the rest of the pipeline.  Each
+row disables one analysis from the gcclike -O2 configuration and
+counts how many extra dead markers survive."""
+
+from repro.compilers import CompilerSpec, compile_minic
+from repro.compilers.versions import config_at
+from repro.core.ground_truth import compute_ground_truth
+from repro.core.markers import instrument_program
+from repro.core.stats import format_table
+from repro.frontend.lower import lower_program
+from repro.frontend.typecheck import check_program
+from repro.generator import generate_program
+from repro.backend.asm import alive_markers, emit_module
+from repro.compilers.pipeline import run_pipeline
+
+from conftest import emit
+
+SEEDS = range(6)
+
+KNOBS = {
+    "full -O2": {},
+    "no VRP": {"vrp": False},
+    "no inlining": {"inline_budget": 0, "inline_single_call_bonus": 0},
+    "no memory constprop": {
+        "passes_filter": "memcp",
+    },
+    "no unrolling": {"unroll_max_trip": 0},
+    "no store forwarding": {"store_forwarding": False, "gvn_across_calls": False},
+    "weak alias analysis": {"alias_max_objects": 0},
+}
+
+
+def _missed_with(programs, knob_changes) -> int:
+    base = config_at("gcclike", "O2")
+    if "passes_filter" in knob_changes:
+        banned = knob_changes["passes_filter"]
+        config = base.with_(passes=tuple(p for p in base.passes if p != banned))
+    else:
+        config = base.with_(**knob_changes)
+    missed = 0
+    for inst, info, truth in programs:
+        module = lower_program(inst.program, info)
+        run_pipeline(module, config)
+        alive = alive_markers(emit_module(module), "DCEMarker")
+        missed += len(truth.dead & alive)
+    return missed
+
+
+def test_pass_contribution_to_dce(benchmark):
+    programs = []
+    for seed in SEEDS:
+        inst = instrument_program(generate_program(seed))
+        info = check_program(inst.program)
+        truth = compute_ground_truth(inst, info=info)
+        programs.append((inst, info, truth))
+
+    benchmark(lambda: _missed_with(programs[:1], {}))
+
+    baseline = _missed_with(programs, {})
+    rows = []
+    for label, changes in KNOBS.items():
+        missed = _missed_with(programs, changes)
+        delta = missed - baseline
+        rows.append([label, str(missed), f"+{delta}" if delta >= 0 else str(delta)])
+    table = format_table(
+        ["configuration", "missed dead markers", "vs full -O2"],
+        rows,
+        title="Ablation — what each analysis buys DCE (gcclike -O2, "
+              f"{len(programs)} files)",
+    )
+    emit("ablation_pass_contribution", table)
+
+    # DCE must depend on the pipeline: several ablations hurt.
+    hurts = sum(
+        1 for label, changes in KNOBS.items()
+        if label != "full -O2" and _missed_with(programs, changes) > baseline
+    )
+    assert hurts >= 3

@@ -1,0 +1,35 @@
+"""Ablation — how much triage noise the primary filter removes.
+
+Not a paper table, but the design choice §3.2 motivates: without the
+filter every secondary miss would be triaged; the bench quantifies the
+reduction factor on the corpus."""
+
+from repro.core.stats import format_table, pct
+
+from conftest import emit
+
+
+def test_primary_filter_reduction(campaign, benchmark):
+    benchmark(lambda: campaign.level_stats("gcclike", "O3"))
+
+    rows = []
+    for family in ("gcclike", "llvmlike"):
+        stats = campaign.level_stats(family, "O3")
+        if stats.missed:
+            kept = 100.0 * stats.primary_missed / stats.missed
+        else:
+            kept = 0.0
+        rows.append([
+            family, str(stats.missed), str(stats.primary_missed), pct(kept),
+        ])
+    table = format_table(
+        ["family", "missed @O3", "primary", "kept for triage"],
+        rows,
+        title="Ablation — primary filter (paper §3.2): secondary misses dropped",
+    )
+    emit("ablation_primary_filter", table)
+
+    for family in ("gcclike", "llvmlike"):
+        stats = campaign.level_stats(family, "O3")
+        # The filter must discard a majority of raw misses.
+        assert stats.primary_missed < 0.6 * max(stats.missed, 1)

@@ -1,0 +1,65 @@
+"""Compiler-substrate throughput (paper §4 'Experimental environment').
+
+The paper notes the whole 10k-file campaign (generation,
+instrumentation, execution, differential testing) took about an hour.
+These micro-benchmarks record our per-stage costs so campaign sizing
+stays predictable."""
+
+from repro.compilers import CompilerSpec, compile_minic
+from repro.core.ground_truth import compute_ground_truth
+from repro.core.markers import instrument_program
+from repro.frontend.lower import lower_program
+from repro.frontend.typecheck import check_program
+from repro.generator import generate_program
+from repro.lang import parse_program, print_program
+
+
+def test_bench_generation(benchmark):
+    benchmark(lambda: generate_program(99))
+
+
+def test_bench_parse_roundtrip(benchmark):
+    text = print_program(generate_program(99))
+    benchmark(lambda: parse_program(text))
+
+
+def test_bench_instrument_and_check(benchmark):
+    program = generate_program(99)
+
+    def kernel():
+        inst = instrument_program(program)
+        check_program(inst.program)
+        return inst
+
+    benchmark(kernel)
+
+
+def test_bench_ground_truth_execution(benchmark):
+    inst = instrument_program(generate_program(99))
+    info = check_program(inst.program)
+    benchmark(lambda: compute_ground_truth(inst, info=info))
+
+
+def test_bench_lowering(benchmark):
+    inst = instrument_program(generate_program(99))
+    info = check_program(inst.program)
+    benchmark(lambda: lower_program(inst.program, info))
+
+
+def test_bench_compile_o0(benchmark):
+    inst = instrument_program(generate_program(99))
+    info = check_program(inst.program)
+    spec = CompilerSpec("gcclike", "O0")
+    benchmark(lambda: compile_minic(inst.program, spec, info=info))
+
+
+def test_bench_compile_o3_both_families(benchmark):
+    inst = instrument_program(generate_program(99))
+    info = check_program(inst.program)
+    specs = [CompilerSpec("gcclike", "O3"), CompilerSpec("llvmlike", "O3")]
+
+    def kernel():
+        for spec in specs:
+            compile_minic(inst.program, spec, info=info)
+
+    benchmark(kernel)

@@ -1,0 +1,60 @@
+"""Figure 2 / Listing 5 — primary vs secondary dead-block
+classification on the nested-if CFG.
+
+The paper's worked example: B2 (outer dead if-body) is a primary
+missed block; B3 (inner, nested in B2) is secondary while B2 is
+missed, and becomes primary once B2 is detected."""
+
+from repro.core.case_studies import case_study
+from repro.core.ground_truth import compute_ground_truth
+from repro.core.markers import InstrumentedProgram, MarkerInfo
+from repro.core.primary import build_marker_graph, primary_missed_markers
+from repro.core.stats import format_table
+from repro.frontend.typecheck import check_program
+from repro.lang import parse_program
+
+from conftest import emit
+
+
+def _instrumented():
+    case = case_study("listing5-nested-dead")
+    program = parse_program(case.source)
+    markers = [
+        MarkerInfo(d.name, "case-study", "main")
+        for d in program.extern_decls()
+        if d.name.startswith("DCEMarker")
+    ]
+    return InstrumentedProgram(program, markers)
+
+
+def test_figure2_primary_classification(benchmark):
+    inst = _instrumented()
+    info = check_program(inst.program)
+    truth = compute_ground_truth(inst, info=info)
+    graph = build_marker_graph(inst, truth.executed_functions(), info)
+    benchmark(
+        lambda: primary_missed_markers(inst, truth, frozenset(), graph=graph)
+    )
+
+    outer, inner = "DCEMarker0", "DCEMarker1"
+    scenarios = []
+    # C(2)=missed, C(3)=missed -> only B2 primary.
+    p1 = primary_missed_markers(inst, truth, frozenset(), graph=graph)
+    scenarios.append(["both missed", str(outer in p1), str(inner in p1)])
+    # C(2)=detected, C(3)=missed -> B3 primary.
+    p2 = primary_missed_markers(inst, truth, frozenset({outer}), graph=graph)
+    scenarios.append(["outer detected", "-", str(inner in p2)])
+    # Everything detected -> nothing missed.
+    p3 = primary_missed_markers(inst, truth, truth.dead, graph=graph)
+    scenarios.append(["all detected", str(outer in p3), str(inner in p3)])
+
+    table = format_table(
+        ["scenario", "B2 (outer) primary", "B3 (inner) primary"],
+        scenarios,
+        title="Figure 2 — primary missed dead block classification",
+    )
+    emit("figure2_primary_classification", table)
+
+    assert outer in p1 and inner not in p1
+    assert inner in p2
+    assert not p3

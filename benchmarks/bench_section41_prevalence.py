@@ -1,0 +1,24 @@
+"""§4.1 'Dead block prevalence' — paper: 89.59% of 3,109,167
+instrumented blocks are dead, 10.41% alive."""
+
+from repro.core.ground_truth import compute_ground_truth
+from repro.core.markers import instrument_program
+from repro.generator import generate_program
+
+from conftest import PAPER, emit
+
+
+def test_dead_block_prevalence(campaign, benchmark):
+    inst = instrument_program(generate_program(0))
+    benchmark(lambda: compute_ground_truth(inst))
+
+    measured = campaign.dead_pct
+    lines = [
+        "Section 4.1 — dead block prevalence",
+        f"instrumented markers: {campaign.total_markers} "
+        f"(paper: 3,109,167 over 10,000 files)",
+        f"dead:  measured {measured:.2f}%   paper {PAPER['dead_pct']:.2f}%",
+        f"alive: measured {100 - measured:.2f}%   paper {100 - PAPER['dead_pct']:.2f}%",
+    ]
+    emit("section41_prevalence", "\n".join(lines))
+    assert 75.0 < measured < 99.5

@@ -1,0 +1,52 @@
+"""Table 1 — % of dead blocks missed per optimization level.
+
+Paper shape: -O0 misses the vast majority; -O1 and up eliminate >90%;
+each higher level eliminates at least as much, with only a sliver
+between -O2 and -O3; llvmlike (LLVM) edges out gcclike (GCC)."""
+
+from repro.compilers import CompilerSpec, compile_minic
+from repro.core.markers import instrument_program
+from repro.core.stats import format_table, pct
+from repro.frontend.typecheck import check_program
+from repro.generator import generate_program
+
+from conftest import PAPER, emit
+
+LEVELS = ("O0", "O1", "Os", "O2", "O3")
+
+
+def test_table1_missed_by_level(campaign, benchmark):
+    inst = instrument_program(generate_program(1))
+    info = check_program(inst.program)
+    benchmark(
+        lambda: compile_minic(inst.program, CompilerSpec("gcclike", "O2"), info=info)
+    )
+
+    rows = []
+    for level in LEVELS:
+        gcc = campaign.level_stats("gcclike", level)
+        llvm = campaign.level_stats("llvmlike", level)
+        paper_gcc, paper_llvm = PAPER["table1"][level]
+        rows.append([
+            level,
+            pct(gcc.missed_pct), f"({paper_gcc:.2f}%)",
+            pct(llvm.missed_pct), f"({paper_llvm:.2f}%)",
+        ])
+    table = format_table(
+        ["level", "gcclike", "paper GCC", "llvmlike", "paper LLVM"],
+        rows,
+        title="Table 1 — % dead blocks missed (measured vs paper)",
+    )
+    emit("table1_missed_by_level", table)
+
+    # Shape assertions: O0 enormous, O1+ small; O1 >= O2; llvm <= gcc at O2.
+    for family in ("gcclike", "llvmlike"):
+        o0 = campaign.level_stats(family, "O0").missed_pct
+        o1 = campaign.level_stats(family, "O1").missed_pct
+        o2 = campaign.level_stats(family, "O2").missed_pct
+        assert o0 > 3 * o1, family
+        assert o1 >= o2, family
+    assert (
+        campaign.level_stats("llvmlike", "O2").missed_pct
+        <= campaign.level_stats("gcclike", "O2").missed_pct + 0.5
+    )

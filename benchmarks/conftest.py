@@ -1,0 +1,80 @@
+"""Shared state for the benchmark harness.
+
+Each ``bench_*`` file regenerates one table or figure of the paper's
+evaluation (see DESIGN.md §4).  The expensive corpus campaign and the
+regression-watch runs are computed once per session and shared; every
+bench prints a paper-vs-measured table and also writes it under
+``benchmarks/output/`` so EXPERIMENTS.md can reference the artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.corpus import run_campaign
+from repro.core.regression_watch import watch
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: corpus scale for the benches — large enough for stable shapes,
+#: small enough to keep the harness in CI territory.
+CAMPAIGN_PROGRAMS = 24
+WATCH_PROGRAMS = 8
+
+#: the paper's reported numbers (for side-by-side printing)
+PAPER = {
+    "dead_pct": 89.59,
+    "table1": {  # % dead blocks missed
+        "O0": (85.21, 83.82),
+        "O1": (8.18, 5.20),
+        "Os": (5.94, 4.75),
+        "O2": (5.66, 4.35),
+        "O3": (5.60, 4.31),
+    },
+    "table2": {  # % dead blocks primary missed
+        "O0": (15.30, 4.75),
+        "O1": (1.76, 1.47),
+        "Os": (1.56, 1.43),
+        "O2": (1.53, 1.38),
+        "O3": (1.53, 1.37),
+    },
+    "cross_compiler": {
+        "gcc_misses": 39723, "gcc_primary": 4749,
+        "llvm_misses": 3781, "llvm_primary": 396,
+        "corpus_files": 10_000,
+    },
+    "cross_level": {"gcclike": (308, 24), "llvmlike": (456, 54)},
+    "table5": {
+        "gcclike": {"reported": 53, "confirmed": 43, "duplicate": 5, "fixed": 12},
+        "llvmlike": {"reported": 31, "confirmed": 19, "duplicate": 0, "fixed": 11},
+    },
+}
+
+
+def emit(name: str, text: str) -> None:
+    """Print a bench's table and persist it as an artifact."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def campaign():
+    return run_campaign(n_programs=CAMPAIGN_PROGRAMS, seed_base=0)
+
+
+@pytest.fixture(scope="session")
+def gcc_watch():
+    return watch("gcclike", old_version=0, n_programs=WATCH_PROGRAMS,
+                 seed_base=20_000, levels=("O3", "Os"), bisect=True,
+                 bisect_limit_per_program=2)
+
+
+@pytest.fixture(scope="session")
+def llvm_watch():
+    return watch("llvmlike", old_version=4, n_programs=WATCH_PROGRAMS,
+                 seed_base=30_000, levels=("O3", "Os"), bisect=True,
+                 bisect_limit_per_program=2)

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""A miniature bug-hunting campaign (paper §4.2).
+
+Generates random Csmith-like programs, instruments them with
+optimization markers, differentially compiles them with both compiler
+families at -O3, and reduces the first cross-compiler finding to a
+small reportable test case — the full workflow behind the paper's 84
+bug reports.
+
+Run:  python examples/hunt_missed_optimizations.py [n_programs]
+"""
+
+import sys
+
+from repro.compilers import CompilerSpec
+from repro.core.differential import analyze_markers
+from repro.core.ground_truth import compute_ground_truth
+from repro.core.markers import instrument_program
+from repro.core.reduction import missed_marker_predicate, reduce_program
+from repro.frontend.typecheck import check_program
+from repro.generator import generate_program
+from repro.interp import StepLimitExceeded
+from repro.lang import print_program
+
+GCC = CompilerSpec("gcclike", "O3")
+LLVM = CompilerSpec("llvmlike", "O3")
+
+
+def main() -> None:
+    n_programs = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    findings = []
+    for seed in range(n_programs):
+        inst = instrument_program(generate_program(seed))
+        info = check_program(inst.program)
+        try:
+            truth = compute_ground_truth(inst, info=info)
+        except StepLimitExceeded:
+            continue
+        analysis = analyze_markers(inst, [GCC, LLVM], info=info, ground_truth=truth)
+        for missing, witness in ((GCC, LLVM), (LLVM, GCC)):
+            for marker in sorted(analysis.missed_vs(missing, witness)):
+                findings.append((seed, marker, missing, witness, inst))
+        print(
+            f"seed {seed:3d}: {len(inst.markers):4d} markers, "
+            f"{len(truth.dead):4d} dead, "
+            f"gcc misses {len(analysis.missed_vs(GCC, LLVM))}, "
+            f"llvm misses {len(analysis.missed_vs(LLVM, GCC))}"
+        )
+
+    print(f"\n{len(findings)} cross-compiler missed opportunities found")
+    if not findings:
+        return
+
+    seed, marker, missing, witness, inst = findings[0]
+    print(f"\nReducing the first finding: seed {seed}, {marker} "
+          f"(kept by {missing}, eliminated by {witness}) ...")
+    predicate = missed_marker_predicate(marker, keeper=missing, witness=witness)
+    result = reduce_program(inst.program, predicate)
+    print(
+        f"reduced from {result.stmts_before} to {result.stmts_after} "
+        f"statements in {result.attempts} attempts\n"
+    )
+    print("=== Reduced reportable test case ===")
+    print(print_program(result.program))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Regression hunting and bisection (paper §4.2, Tables 3 & 4).
+
+Part 1 replays the paper's Listing 6a story: LLVM up to 3.7.1 could
+eliminate the dead block, 3.8 regressed — our llvmlike history carries
+the same regression (the GlobalOpt rewrite), and bisection pins it.
+
+Part 2 runs the continuous regression watch the paper recommends:
+fresh random programs, old release vs tip, every regression bisected
+to its offending commit and grouped by component.
+
+Run:  python examples/regression_bisection.py
+"""
+
+from repro.compilers import CompilerSpec, compile_minic
+from repro.compilers.versions import history, latest
+from repro.core.bisect import bisect_marker_regression
+from repro.core.regression_watch import watch
+from repro.lang import parse_program
+
+LISTING_6A = """
+void DCEMarker0(void);
+static int a = 0;
+
+int main() {
+  if (a) {
+    DCEMarker0();
+  }
+  a = 1;
+  return 0;
+}
+"""
+
+
+def main() -> None:
+    program = parse_program(LISTING_6A)
+
+    print("=== Part 1: bisecting the Listing 6a regression ===")
+    tip = latest("llvmlike")
+    for version in (0, tip):
+        spec = CompilerSpec("llvmlike", "O3", version)
+        alive = compile_minic(program, spec).alive_markers("DCEMarker")
+        verdict = "MISSED" if "DCEMarker0" in alive else "eliminated"
+        print(f"  llvmlike-O3 @ version {version:2d}: {verdict}")
+
+    result = bisect_marker_regression(program, "DCEMarker0", "llvmlike", "O3")
+    assert result is not None
+    print(f"\n  first bad version: {result.first_bad} ({result.steps} compiles)")
+    print(f"  offending commit : {result.commit.sha} {result.commit.subject}")
+    print(f"  component        : {result.commit.component}")
+    print(f"  files            : {', '.join(result.commit.files)}")
+
+    print("\n=== Part 2: continuous regression watch (old release vs tip) ===")
+    report = watch("llvmlike", old_version=4, n_programs=6, seed_base=777,
+                   levels=("O3",), bisect=True)
+    print(f"  programs tested : {report.programs}")
+    print(f"  regressions     : {len(report.regressions)}")
+    print(f"  improvements    : {report.improvements}")
+    for component, count in sorted(report.components().items()):
+        print(f"    {component}: {count}")
+    for regression in report.regressions[:5]:
+        commit = regression.bisection.commit if regression.bisection else None
+        print(
+            f"  seed {regression.seed} {regression.marker} at {regression.level}"
+            + (f" -> {commit.sha} ({commit.component})" if commit else "")
+        )
+
+    print(f"\nThe llvmlike history has {len(history('llvmlike'))} commits; "
+          "see repro/compilers/versions.py for the full changelog.")
+
+
+if __name__ == "__main__":
+    main()

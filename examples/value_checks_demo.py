@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Value-check instrumentation (paper §4.4, "Future directions").
+
+Instead of waiting for naturally-dead blocks, insert checks
+``if (g != C) DCEValueCheckN();`` where ``C`` is the value ``g``
+provably holds at that point (recorded from one execution).  Every
+check is dead by construction; a compiler that cannot eliminate one
+has failed to prove the value — a targeted probe of its value
+analyses.
+
+Run:  python examples/value_checks_demo.py
+"""
+
+from repro.compilers import CompilerSpec, compile_minic
+from repro.core.value_checks import instrument_value_checks
+from repro.frontend.typecheck import check_program
+from repro.lang import parse_program, print_program
+
+SOURCE = """
+static int counter = 0;
+static long acc = 1;
+
+int main() {
+  counter = 5;
+  acc = acc * 2;
+  for (int i = 0; i < 4; i++) {
+    acc = acc + counter;
+  }
+  counter = 0;
+  return (int)acc;
+}
+"""
+
+
+def main() -> None:
+    program = parse_program(SOURCE)
+    checked = instrument_value_checks(program)
+    print("=== Program with value checks inserted ===")
+    print(print_program(checked.program))
+    print(f"{len(checked.markers)} value checks inserted, all dead by construction\n")
+
+    info = check_program(checked.program)
+    print("=== Which compilers prove which values? ===")
+    for family in ("gcclike", "llvmlike"):
+        for level in ("O1", "O3"):
+            spec = CompilerSpec(family, level)
+            alive = compile_minic(checked.program, spec, info=info).alive_markers(
+                "DCEValueCheck"
+            )
+            proven = len(checked.markers) - len(alive)
+            print(
+                f"  {family}-{level}: proved {proven}/{len(checked.markers)} "
+                + (f"(missed: {', '.join(sorted(alive))})" if alive else "(all)")
+            )
+
+
+if __name__ == "__main__":
+    main()

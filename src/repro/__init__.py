@@ -1,0 +1,18 @@
+"""repro — reproduction of *Finding Missed Optimizations through the
+Lens of Dead Code Elimination* (Theodoridis, Rigger & Su, ASPLOS 2022).
+
+The package layers, bottom to top:
+
+* :mod:`repro.lang` — MiniC, a deterministic UB-free C subset.
+* :mod:`repro.generator` — Csmith-like random program generator.
+* :mod:`repro.interp` — reference interpreter (ground truth).
+* :mod:`repro.ir`, :mod:`repro.frontend`, :mod:`repro.passes`,
+  :mod:`repro.backend` — a complete SSA optimizing compiler.
+* :mod:`repro.compilers` — two compiler families (``gcclike``,
+  ``llvmlike``) with five optimization levels and commit histories.
+* :mod:`repro.core` — the paper's contribution: optimization markers,
+  differential testing, primary missed-marker analysis, reduction,
+  bisection, and the corpus campaign runner.
+"""
+
+__version__ = "1.0.0"

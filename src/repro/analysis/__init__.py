@@ -1,0 +1,15 @@
+"""Compiler analyses shared by the passes."""
+
+from .alias import AliasResult, MemorySSAish, Root, trace_root
+from .loops import Loop, find_loops, is_invariant, loop_preheader
+
+__all__ = [
+    "AliasResult",
+    "Loop",
+    "MemorySSAish",
+    "Root",
+    "find_loops",
+    "is_invariant",
+    "loop_preheader",
+    "trace_root",
+]

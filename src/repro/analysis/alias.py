@@ -1,0 +1,196 @@
+"""Alias analysis.
+
+A lightweight, conservative points-to analysis over the IR's simple
+memory model (named objects + constant-ish offsets).  Precise where it
+matters for the paper's case studies:
+
+* addresses rooted at distinct objects never alias;
+* same object + known indices resolve exactly (modulo object length,
+  MiniC's wrapping-access rule);
+* objects whose address never *escapes* (is never stored, passed to a
+  call, or returned) cannot be touched by opaque calls or unknown
+  pointers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..ir import instructions as ins
+from ..ir.function import IRFunction, Module
+from ..ir.values import GlobalRef, Value
+
+
+class AliasResult(Enum):
+    NO = "no"
+    MAY = "may"
+    MUST = "must"
+
+
+@dataclass(frozen=True)
+class Root:
+    """The object an address is rooted at.
+
+    ``offset`` is the accumulated constant element offset, or ``None``
+    when any gep on the path had a non-constant index.
+    """
+
+    kind: str  # 'global' | 'alloca' | 'unknown'
+    key: object  # global name, id(alloca), or None
+    length: int  # object length in cells (0 when unknown)
+    offset: int | None
+
+
+UNKNOWN_ROOT = Root("unknown", None, 0, None)
+
+
+def trace_root(value: Value) -> Root:
+    """Resolve a pointer value to its root object, if statically known."""
+    offset: int | None = 0
+    from ..ir.values import Constant
+
+    while True:
+        if isinstance(value, GlobalRef):
+            return Root("global", value.name, 0, offset)
+        if isinstance(value, ins.Alloca):
+            return Root("alloca", id(value), value.length, offset)
+        if isinstance(value, ins.Gep):
+            index = value.index
+            if offset is not None and isinstance(index, Constant):
+                offset += index.value
+            else:
+                offset = None
+            value = value.base
+            continue
+        return UNKNOWN_ROOT
+
+
+class MemorySSAish:
+    """Per-module escape and read/write summaries.
+
+    "Escaped" means the address may be held by code we cannot see:
+    it was stored to memory, passed to a call, returned, or (for
+    non-static globals) is externally visible.  Address *comparisons*
+    (pcmp) do not escape a pointer.
+    """
+
+    def __init__(self, module: Module, max_objects: int | None = None) -> None:
+        self.module = module
+        self._escaped_globals: set[str] = set()
+        self._escaped_allocas: set[int] = set()
+        self.imprecise = False
+        if max_objects is not None:
+            object_count = len(module.globals) + sum(
+                1
+                for f in module.functions.values()
+                for b in f.blocks
+                for i in b.instrs
+                if isinstance(i, ins.Alloca)
+            )
+            if object_count > max_objects:
+                # Precision budget exceeded: behave as if everything
+                # escaped (the compile-time fallback real analyses take).
+                self.imprecise = True
+        for name, info in module.globals.items():
+            if not info.static:
+                self._escaped_globals.add(name)
+            # A global pointing at another global publishes that address.
+            init = info.init
+            if isinstance(init, tuple) and init and init[0] == "addr":
+                target = module.globals.get(init[1])
+                if target is not None and not info.static:
+                    self._escaped_globals.add(init[1])
+        for func in module.functions.values():
+            self._scan_function(func)
+
+    def _scan_function(self, func: IRFunction) -> None:
+        for block in func.blocks:
+            for instr in block.instrs:
+                for op_index, op in enumerate(instr.operands()):
+                    self._scan_use(instr, op_index, op)
+
+    def _scan_use(self, instr: ins.Instr, op_index: int, op: Value) -> None:
+        root = trace_root(op)
+        if root.kind == "unknown":
+            return
+        benign = False
+        if isinstance(instr, (ins.Load, ins.LoadPtr)) and op is instr.address:
+            benign = True
+        elif isinstance(instr, ins.Store) and op_index == 0:
+            benign = True  # used *as* the address, not stored as a value
+        elif isinstance(instr, ins.Gep) and op is instr.base:
+            benign = True  # escape decided at the gep's own uses
+        elif isinstance(instr, ins.PCmp):
+            benign = True  # comparing an address doesn't publish it
+        if benign:
+            return
+        if root.kind == "global":
+            self._escaped_globals.add(root.key)  # type: ignore[arg-type]
+        else:
+            self._escaped_allocas.add(root.key)  # type: ignore[arg-type]
+
+    # -- queries --------------------------------------------------------
+
+    def escaped(self, root: Root) -> bool:
+        if self.imprecise:
+            return True
+        if root.kind == "global":
+            return root.key in self._escaped_globals
+        if root.kind == "alloca":
+            return root.key in self._escaped_allocas
+        return True
+
+    def global_escaped(self, name: str) -> bool:
+        return self.imprecise or name in self._escaped_globals
+
+    def object_length(self, root: Root) -> int:
+        if root.kind == "global":
+            return self.module.globals[root.key].length  # type: ignore[index]
+        if root.kind == "alloca":
+            return root.length
+        return 0
+
+    def alias(self, a: Value, b: Value) -> AliasResult:
+        """May the addresses ``a`` and ``b`` refer to the same cell?"""
+        ra, rb = trace_root(a), trace_root(b)
+        if ra.kind == "unknown" and rb.kind == "unknown":
+            return AliasResult.MAY
+        if ra.kind == "unknown" or rb.kind == "unknown":
+            known = rb if ra.kind == "unknown" else ra
+            # An unknown pointer cannot point at a non-escaped object.
+            return AliasResult.MAY if self.escaped(known) else AliasResult.NO
+        if (ra.kind, ra.key) != (rb.kind, rb.key):
+            return AliasResult.NO
+        length = self.object_length(ra)
+        if ra.offset is None or rb.offset is None:
+            return AliasResult.MAY if length != 1 else AliasResult.MUST
+        if length <= 0:
+            return AliasResult.MAY
+        if ra.offset % length == rb.offset % length:
+            return AliasResult.MUST
+        return AliasResult.NO
+
+    def call_may_access(self, call: ins.Call, addr: Value) -> bool:
+        """Could executing ``call`` read or write the cell at ``addr``?"""
+        root = trace_root(addr)
+        if root.kind == "unknown":
+            return True
+        if self.module.is_opaque(call.callee):
+            # Opaque callees see escaped objects plus any pointer args.
+            if self.escaped(root):
+                return True
+            return any(_points_into(arg, root) for arg in call.args)
+        # A defined callee may touch any global and anything escaped.
+        if root.kind == "global":
+            return True
+        return self.escaped(root) or any(_points_into(arg, root) for arg in call.args)
+
+
+def _points_into(arg: Value, root: Root) -> bool:
+    arg_root = trace_root(arg)
+    if arg_root.kind == "unknown":
+        from ..lang.types import PointerType
+
+        return isinstance(arg.ty, PointerType)
+    return (arg_root.kind, arg_root.key) == (root.kind, root.key)

@@ -1,0 +1,91 @@
+"""Natural-loop detection over the IR CFG."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir import instructions as ins
+from ..ir.dominators import DominatorTree
+from ..ir.function import Block, IRFunction
+
+
+@dataclass
+class Loop:
+    header: Block
+    latches: list[Block]
+    blocks: list[Block]  # includes the header; deterministic order
+
+    def block_ids(self) -> set[int]:
+        return {id(b) for b in self.blocks}
+
+    @property
+    def single_latch(self) -> Block | None:
+        return self.latches[0] if len(self.latches) == 1 else None
+
+    def exits(self) -> list[tuple[Block, Block]]:
+        """(inside block, outside successor) pairs."""
+        inside = self.block_ids()
+        out = []
+        for block in self.blocks:
+            for succ in block.successors():
+                if id(succ) not in inside:
+                    out.append((block, succ))
+        return out
+
+    def contains(self, block: Block) -> bool:
+        return id(block) in self.block_ids()
+
+    def size(self) -> int:
+        return sum(len(b.instrs) for b in self.blocks)
+
+
+def find_loops(func: IRFunction, dom: DominatorTree | None = None) -> list[Loop]:
+    """All natural loops, innermost-first (by block count ascending).
+
+    Back edges whose heads coincide are merged into one loop, as usual.
+    """
+    dom = dom or DominatorTree(func)
+    preds = func.predecessors()
+    reachable = {id(b) for b in func.reachable_blocks()}
+    back_edges: dict[int, tuple[Block, list[Block]]] = {}
+    for block in func.blocks:
+        if id(block) not in reachable:
+            continue
+        for succ in block.successors():
+            if id(succ) in reachable and dom.dominates(succ, block):
+                header, latches = back_edges.setdefault(id(succ), (succ, []))
+                latches.append(block)
+
+    loops = []
+    for header, latches in back_edges.values():
+        body_ids: set[int] = {id(header)}
+        order: list[Block] = [header]
+        work = list(latches)
+        while work:
+            block = work.pop()
+            if id(block) in body_ids:
+                continue
+            body_ids.add(id(block))
+            order.append(block)
+            work.extend(p for p in preds[block] if id(p) in reachable)
+        loops.append(Loop(header, latches, order))
+    loops.sort(key=lambda l: len(l.blocks))
+    return loops
+
+
+def loop_preheader(loop: Loop, func: IRFunction) -> Block | None:
+    """The unique out-of-loop predecessor of the header, if any."""
+    preds = func.predecessors()
+    inside = loop.block_ids()
+    outside = [p for p in preds[loop.header] if id(p) not in inside]
+    if len(outside) == 1:
+        return outside[0]
+    return None
+
+
+def is_invariant(value, loop: Loop) -> bool:
+    """True when ``value`` is defined outside the loop (or is a
+    constant/global/parameter)."""
+    if isinstance(value, ins.Instr):
+        return value.block is None or id(value.block) not in loop.block_ids()
+    return True

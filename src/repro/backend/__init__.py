@@ -1,0 +1,5 @@
+"""Assembly emission and artifact inspection."""
+
+from .asm import alive_markers, emit_function, emit_module
+
+__all__ = ["alive_markers", "emit_function", "emit_module"]

@@ -1,0 +1,160 @@
+"""Assembly backend.
+
+Emits a linear pseudo-assembly for the IR.  The format is intentionally
+close to AT&T-style listings: labels, ``mov``/ALU ops over virtual
+registers, ``cmp``+``jcc`` pairs for branches, and — crucially —
+``call <symbol>`` lines for calls.  The paper's technique inspects the
+*output artifact only*: a marker is alive iff a ``call`` to it appears
+in the emitted text (see :func:`alive_markers`).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..ir import instructions as ins
+from ..ir.function import Block, IRFunction, Module
+from ..ir.values import Constant, GlobalRef, NullPtr, Param, Value
+
+_CALL_RE = re.compile(r"^\s*call\s+(\w+)", re.MULTILINE)
+
+_JCC = {"==": "je", "!=": "jne", "<": "jl", "<=": "jle", ">": "jg", ">=": "jge"}
+_UJCC = {"==": "je", "!=": "jne", "<": "jb", "<=": "jbe", ">": "ja", ">=": "jae"}
+_ALU = {
+    "+": "add", "-": "sub", "*": "imul", "/": "idiv", "%": "irem",
+    "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "sar",
+}
+
+
+def emit_module(module: Module) -> str:
+    """Emit assembly text for the whole module."""
+    parts: list[str] = [f"\t.file\t\"{module.name}\"\n"]
+    for info in module.globals.values():
+        section = ".local" if info.static else ".globl"
+        parts.append(f"\t{section}\t{info.name}\n")
+        parts.append(f"{info.name}:\n")
+        for cell in info.initial_cells():
+            if isinstance(cell, tuple):
+                parts.append(f"\t.quad\t{cell[1]}+{cell[2]}\n")
+            elif cell is None:
+                parts.append("\t.quad\t0\n")
+            else:
+                parts.append(f"\t.long\t{int(cell)}\n")
+    for func in module.functions.values():
+        parts.append(emit_function(func))
+    return "".join(parts)
+
+
+def emit_function(func: IRFunction) -> str:
+    emitter = _Emitter(func)
+    return emitter.run()
+
+
+def alive_markers(asm: str, prefix: str = "") -> frozenset[str]:
+    """The set of symbols still called in the assembly.
+
+    With a ``prefix`` (e.g. ``"DCEMarker"``) only matching symbols are
+    returned; this is the paper's liveness oracle.
+    """
+    found = {m.group(1) for m in _CALL_RE.finditer(asm)}
+    if prefix:
+        found = {name for name in found if name.startswith(prefix)}
+    return frozenset(found)
+
+
+class _Emitter:
+    def __init__(self, func: IRFunction) -> None:
+        self.func = func
+        self.names: dict[int, str] = {}
+        self.lines: list[str] = []
+
+    def run(self) -> str:
+        func = self.func
+        self.lines = [f"\t.globl\t{func.name}\n", f"{func.name}:\n"]
+        for i, param in enumerate(func.params):
+            self.names[id(param)] = f"%arg{i}"
+        order = func.reverse_postorder()
+        order_ids = {id(b) for b in order}
+        # Emit unreachable-but-present blocks too (a compiler that
+        # failed to remove them leaves their code in the binary).
+        tail = [b for b in func.blocks if id(b) not in order_ids]
+        for block in order + tail:
+            self._block(block)
+        self.lines.append("\n")
+        return "".join(self.lines)
+
+    def _label(self, block: Block) -> str:
+        return f".L{self.func.name}_{block.label.replace('.', '_')}"
+
+    def _reg(self, value: Value) -> str:
+        if isinstance(value, Constant):
+            return f"${value.value}"
+        if isinstance(value, NullPtr):
+            return "$0"
+        if isinstance(value, GlobalRef):
+            return f"${value.name}"
+        key = id(value)
+        if key not in self.names:
+            self.names[key] = f"%v{len(self.names)}"
+        return self.names[key]
+
+    def _emit(self, text: str) -> None:
+        self.lines.append(f"\t{text}\n")
+
+    def _block(self, block: Block) -> None:
+        self.lines.append(f"{self._label(block)}:\n")
+        for instr in block.instrs:
+            self._instr(instr, block)
+
+    def _instr(self, instr: ins.Instr, block: Block) -> None:
+        e = self._emit
+        r = self._reg
+        if isinstance(instr, ins.Alloca):
+            e(f"lea\t{instr.var_name}(%rsp), {r(instr)}")
+        elif isinstance(instr, ins.Gep):
+            e(f"lea\t({r(instr.base)},{r(instr.index)},w), {r(instr)}")
+        elif isinstance(instr, (ins.Load, ins.LoadPtr)):
+            e(f"mov\t({r(instr.address)}), {r(instr)}")
+        elif isinstance(instr, ins.Store):
+            e(f"mov\t{r(instr.value)}, ({r(instr.address)})")
+        elif isinstance(instr, ins.BinOp):
+            op = _ALU.get(instr.op, instr.op)
+            if instr.op == ">>" and not instr.ty.signed:
+                op = "shr"
+            e(f"{op}\t{r(instr.lhs)}, {r(instr.rhs)}, {r(instr)}")
+        elif isinstance(instr, (ins.ICmp, ins.PCmp)):
+            e(f"cmp\t{r(instr.lhs)}, {r(instr.rhs)}")
+            table = _JCC
+            if isinstance(instr, ins.ICmp) and not instr.operand_ty.signed:
+                table = _UJCC
+            e(f"set{table[instr.op][1:]}\t{r(instr)}")
+        elif isinstance(instr, ins.Cast):
+            e(f"movx\t{r(instr.value)}, {r(instr)}")
+        elif isinstance(instr, ins.Select):
+            e(f"test\t{r(instr.cond)}, {r(instr.cond)}")
+            e(f"cmov\t{r(instr.if_true)}, {r(instr.if_false)}, {r(instr)}")
+        elif isinstance(instr, ins.Call):
+            for arg in instr.args:
+                e(f"push\t{r(arg)}")
+            e(f"call\t{instr.callee}")
+            if instr.produces_value():
+                e(f"mov\t%rax, {r(instr)}")
+        elif isinstance(instr, ins.Phi):
+            # Phis are resolved by the (virtual) register allocator; in
+            # the listing they appear as an annotated copy.
+            srcs = ", ".join(f"{b.label}:{self._reg(v)}" for b, v in instr.incomings)
+            e(f"phi\t[{srcs}] -> {r(instr)}")
+        elif isinstance(instr, ins.Br):
+            e(f"test\t{r(instr.cond)}, {r(instr.cond)}")
+            e(f"jne\t{self._label(instr.if_true)}")
+            e(f"jmp\t{self._label(instr.if_false)}")
+        elif isinstance(instr, ins.Jmp):
+            e(f"jmp\t{self._label(instr.target)}")
+        elif isinstance(instr, ins.Ret):
+            if instr.value is not None:
+                e(f"mov\t{r(instr.value)}, %rax")
+            e("ret")
+        elif isinstance(instr, ins.Unreachable):
+            e("ud2")
+        else:  # pragma: no cover - all instructions are handled
+            e(f"; unknown {type(instr).__name__}")

@@ -1,0 +1,148 @@
+"""``dce-hunt`` command-line interface.
+
+Subcommands mirror the paper's workflow:
+
+* ``analyze FILE``      — instrument + differential-test one program
+* ``generate --seed N`` — print a random program (optionally instrumented)
+* ``campaign``          — run a corpus campaign and print Table 1/2 shapes
+* ``asm FILE``          — show the generated assembly for one spec
+* ``bisect FILE``       — bisect a marker regression to a commit
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import api
+from .compilers import CompilerSpec
+from .core.bisect import bisect_marker_regression
+from .core.corpus import run_campaign
+from .core.markers import instrument_program
+from .core.stats import format_table, pct
+from .frontend.typecheck import check_program
+from .generator import generate_program
+from .lang import parse_program, print_program
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="dce-hunt", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_analyze = sub.add_parser("analyze", help="analyze one program")
+    p_analyze.add_argument("file")
+
+    p_gen = sub.add_parser("generate", help="generate a random program")
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--instrument", action="store_true")
+
+    p_campaign = sub.add_parser("campaign", help="run a corpus campaign")
+    p_campaign.add_argument("--programs", type=int, default=20)
+    p_campaign.add_argument("--seed-base", type=int, default=0)
+
+    p_asm = sub.add_parser("asm", help="compile one program to assembly")
+    p_asm.add_argument("file")
+    p_asm.add_argument("--family", default="gcclike")
+    p_asm.add_argument("--level", default="O2")
+
+    p_bisect = sub.add_parser("bisect", help="bisect a marker regression")
+    p_bisect.add_argument("file")
+    p_bisect.add_argument("marker")
+    p_bisect.add_argument("--family", default="llvmlike")
+    p_bisect.add_argument("--level", default="O3")
+
+    p_cbuild = sub.add_parser(
+        "corpus-build", help="generate and persist an artifact corpus"
+    )
+    p_cbuild.add_argument("directory")
+    p_cbuild.add_argument("--programs", type=int, default=10)
+    p_cbuild.add_argument("--seed-base", type=int, default=0)
+
+    p_cval = sub.add_parser(
+        "corpus-validate", help="re-run a persisted corpus and diff results"
+    )
+    p_cval.add_argument("directory")
+
+    args = parser.parse_args(argv)
+    if args.command == "analyze":
+        report = api.analyze_source(_read(args.file))
+        print(report.summary())
+    elif args.command == "generate":
+        program = generate_program(args.seed)
+        if args.instrument:
+            program = instrument_program(program).program
+            check_program(program)
+        print(print_program(program))
+    elif args.command == "campaign":
+        _campaign(args.programs, args.seed_base)
+    elif args.command == "asm":
+        print(api.compile_to_asm(_read(args.file), args.family, args.level))
+    elif args.command == "bisect":
+        program = parse_program(_read(args.file))
+        result = bisect_marker_regression(program, args.marker, args.family, args.level)
+        if result is None:
+            print("not a regression (missed at every version, or not missed at tip)")
+            return 1
+        print(f"first bad version: {result.first_bad}")
+        print(f"commit {result.commit.sha}: {result.commit.subject}")
+        print(f"component: {result.commit.component}")
+        print(f"files: {', '.join(result.commit.files)}")
+    elif args.command == "corpus-build":
+        from .core.artifact import build_corpus
+
+        records = build_corpus(
+            args.directory,
+            seeds=list(range(args.seed_base, args.seed_base + args.programs)),
+        )
+        print(f"wrote {len(records)} programs to {args.directory}")
+    elif args.command == "corpus-validate":
+        from .core.artifact import validate_corpus
+
+        report = validate_corpus(args.directory)
+        print(f"checked {report.checked} programs")
+        for mismatch in report.mismatches:
+            print(f"  MISMATCH: {mismatch}")
+        if not report.ok:
+            return 1
+        print("all recorded results reproduce")
+    return 0
+
+
+def _read(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def _campaign(n_programs: int, seed_base: int) -> None:
+    result = run_campaign(n_programs=n_programs, seed_base=seed_base)
+    print(
+        f"programs: {len(result.seeds)} (skipped {len(result.skipped)}), "
+        f"markers: {result.total_markers}, dead: {pct(result.dead_pct)}"
+    )
+    rows = []
+    for level in ("O0", "O1", "Os", "O2", "O3"):
+        g = result.level_stats("gcclike", level)
+        l = result.level_stats("llvmlike", level)
+        rows.append([level, pct(g.missed_pct), pct(l.missed_pct),
+                     pct(g.primary_missed_pct), pct(l.primary_missed_pct)])
+    print(format_table(
+        ["level", "gcc missed", "llvm missed", "gcc primary", "llvm primary"],
+        rows, title="\n% of dead markers missed (Tables 1 & 2 shape)",
+    ))
+    cc = result.cross_compiler
+    print(
+        f"\ncross-compiler @O3: gcclike misses {cc.gcc_misses_llvm_catches} "
+        f"that llvmlike catches (primary {cc.gcc_primary}); llvmlike misses "
+        f"{cc.llvm_misses_gcc_catches} (primary {cc.llvm_primary})"
+    )
+    for family, stats in result.cross_level.items():
+        print(
+            f"cross-level {family}: O3 misses {stats.missed_at_high} markers "
+            f"seized at O1/O2 (primary {stats.primary})"
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,79 @@
+"""One-call compiler driver.
+
+``compile_minic`` takes MiniC source (or a parsed program) and a
+(family, level, version) triple and produces assembly, mirroring
+``gcc -O2 file.c -S``.  Each compilation lowers the AST afresh, so a
+single parsed program can be compiled many times under different
+configurations (the differential-testing workhorse).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..backend.asm import alive_markers, emit_module
+from ..frontend.lower import lower_program
+from ..frontend.typecheck import SymbolInfo, check_program
+from ..ir.function import Module
+from ..lang import ast_nodes as ast
+from ..lang.parser import parse_program
+from .config import PipelineConfig
+from .pipeline import run_pipeline
+from .vendors import FAMILIES, LEVELS
+from .versions import config_at, latest
+
+
+@dataclass(frozen=True)
+class CompilerSpec:
+    """A concrete compiler under test: family + level + version."""
+
+    family: str
+    level: str
+    version: int | None = None  # None = tip of the history
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            raise ValueError(f"unknown family {self.family!r}")
+        if self.level not in LEVELS:
+            raise ValueError(f"unknown level {self.level!r}")
+
+    @property
+    def resolved_version(self) -> int:
+        return latest(self.family) if self.version is None else self.version
+
+    def config(self) -> PipelineConfig:
+        return config_at(self.family, self.level, self.version)
+
+    def __str__(self) -> str:
+        v = f"@{self.resolved_version}"
+        return f"{self.family}-{self.level}{v}"
+
+
+@dataclass
+class CompilationResult:
+    spec: CompilerSpec
+    module: Module
+    asm: str
+    changed_passes: list[str] = field(default_factory=list)
+
+    def alive_markers(self, prefix: str = "") -> frozenset[str]:
+        return alive_markers(self.asm, prefix)
+
+
+def compile_minic(
+    program: ast.Program | str,
+    spec: CompilerSpec,
+    info: SymbolInfo | None = None,
+    verify_each: bool = False,
+) -> CompilationResult:
+    """Compile ``program`` (source text or AST) under ``spec``."""
+    if isinstance(program, str):
+        program = parse_program(program)
+        info = None
+    if info is None:
+        info = check_program(program)
+    module = lower_program(program, info)
+    config = spec.config()
+    changed = run_pipeline(module, config, verify_each=verify_each)
+    asm = emit_module(module)
+    return CompilationResult(spec, module, asm, changed)

@@ -1,0 +1,39 @@
+"""Pipeline execution: run a configured pass sequence over a module."""
+
+from __future__ import annotations
+
+from ..ir.function import Module
+from ..ir.verify import verify_module
+from ..passes.registry import PASS_REGISTRY
+from .config import PipelineConfig
+
+
+class PassPipelineError(RuntimeError):
+    """A pass crashed or produced IR that fails verification."""
+
+    def __init__(self, pass_name: str, original: BaseException) -> None:
+        super().__init__(f"pass {pass_name!r} failed: {original}")
+        self.pass_name = pass_name
+        self.original = original
+
+
+def run_pipeline(
+    module: Module, config: PipelineConfig, verify_each: bool = False
+) -> list[str]:
+    """Run ``config.passes`` over ``module`` in order.
+
+    Returns the list of pass names that reported changes.  With
+    ``verify_each`` the IR verifier runs after every pass (slow; used
+    by the test suite to localize pass bugs).
+    """
+    changed_by: list[str] = []
+    for name in config.passes:
+        pass_fn = PASS_REGISTRY[name]
+        try:
+            if pass_fn(module, config):
+                changed_by.append(name)
+            if verify_each:
+                verify_module(module)
+        except Exception as err:  # pragma: no cover - surfaced to callers
+            raise PassPipelineError(name, err) from err
+    return changed_by

@@ -1,0 +1,204 @@
+"""The two compiler families.
+
+``gcclike`` and ``llvmlike`` share the pass implementations but differ
+in pipelines, budgets, and analysis precision — each difference mirrors
+one the paper documents (see ``repro.compilers.config`` and DESIGN.md
+§2).  A family plus an optimization level plus a version index fully
+determines a :class:`~repro.compilers.config.PipelineConfig`.
+"""
+
+from __future__ import annotations
+
+from .config import PipelineConfig
+
+GCCLIKE = "gcclike"
+LLVMLIKE = "llvmlike"
+FAMILIES = (GCCLIKE, LLVMLIKE)
+
+O0, O1, OS, O2, O3 = "O0", "O1", "Os", "O2", "O3"
+LEVELS = (O0, O1, OS, O2, O3)
+
+_PIPE_O0 = ("instcombine", "simplify-cfg")
+
+_PIPE_O1 = (
+    "simplify-cfg",
+    "mem2reg",
+    "sccp",
+    "instcombine",
+    "inline",
+    "mem2reg",
+    "globalopt",
+    "memcp",
+    "sccp",
+    "instcombine",
+    "licm",
+    "unroll",
+    "simplify-cfg",
+    "memcp",
+    "gvn",
+    "sccp",
+    "instcombine",
+    "memcp",
+    "vrp",
+    "cprop",
+    "sccp",
+    "dse",
+    "adce",
+    "simplify-cfg",
+)
+
+_PIPE_O2 = (
+    "simplify-cfg",
+    "mem2reg",
+    "sccp",
+    "instcombine",
+    "inline",
+    "mem2reg",
+    "globalopt",
+    "memcp",
+    "sccp",
+    "instcombine",
+    "licm",
+    "unswitch",
+    "vectorize",
+    "unroll",
+    "simplify-cfg",
+    "memcp",
+    "gvn",
+    "sccp",
+    "instcombine",
+    "memcp",
+    "sccp",
+    "globalopt",
+    "memcp",
+    "vrp",
+    "cprop",
+    "jump-threading",
+    "dse",
+    "sccp",
+    "gvn",
+    "instcombine",
+    "adce",
+    "simplify-cfg",
+)
+
+
+def _with_cleanup_rounds(passes: tuple[str, ...], rounds: int) -> tuple[str, ...]:
+    """Append (rounds - 1) extra late-cleanup sequences; the paper-style
+    'the new pass manager runs one cleanup round' regression toggles
+    this via ``sccp_iterations``."""
+    extra: tuple[str, ...] = ()
+    for _ in range(max(0, rounds - 1)):
+        extra += ("sccp", "instcombine", "adce", "simplify-cfg")
+    return passes + extra
+
+
+def base_config(family: str, level: str) -> PipelineConfig:
+    """The *oldest* (pre-history) configuration of ``family`` at
+    ``level``.  Commits from :mod:`repro.compilers.versions` evolve it
+    into the current one."""
+    if level == O0:
+        # Only the front end's trivial constant folding (paper: even
+        # -O0 eliminates ~15% of dead markers); no cleanup rounds and
+        # no family-specific analyses.
+        return PipelineConfig(
+            passes=_PIPE_O0,
+            sccp_iterations=1,
+            addr_cmp="off",
+            collapse_cast_chains=False,
+            fold_cmp_chains=False,
+            peephole_algebraic=False,
+        )
+    # Called-once static functions inline regardless of size from -O1
+    # up (GCC's -finline-functions-called-once); the budget below is
+    # for the general case.
+    called_once = 1_000_000
+    if level == O1:
+        cfg = PipelineConfig(
+            passes=_PIPE_O1,
+            inline_budget=40,
+            inline_single_call_bonus=called_once,
+            unroll_max_trip=8,
+            unroll_max_body=24,
+            vrp=True,  # "early VRP" runs from -O1 in both real compilers
+            jump_threading=False,
+            gvn_across_calls=False,
+            sccp_iterations=1,
+        )
+    elif level == OS:
+        cfg = PipelineConfig(
+            passes=_PIPE_O2,
+            inline_budget=30,
+            inline_single_call_bonus=called_once,
+            unroll_max_trip=4,
+            unroll_max_body=16,
+            vrp=True,
+            jump_threading=False,
+            sccp_iterations=1,
+        )
+    elif level == O2:
+        cfg = PipelineConfig(
+            passes=_PIPE_O2,
+            inline_budget=200,
+            inline_single_call_bonus=called_once,
+            unroll_max_trip=16,
+            unroll_max_body=40,
+            vrp=True,
+            jump_threading=False,
+            sccp_iterations=1,
+        )
+    else:  # O3
+        cfg = PipelineConfig(
+            passes=_PIPE_O2,
+            inline_budget=400,
+            inline_single_call_bonus=called_once,
+            unroll_max_trip=24,
+            unroll_max_body=64,
+            vrp=True,
+            jump_threading=False,
+            sccp_iterations=1,  # a second round arrives by commit
+        )
+
+    if family == GCCLIKE:
+        cfg = cfg.with_(
+            addr_cmp="all",
+            global_fold_mode="readonly",
+            fold_uniform_const_arrays=False,  # GCC bug #99419, never fixed here
+            collapse_cast_chains=False,  # enabled by commit 92acae04
+            vectorize=False,  # -O3 default arrives with commit 92acae07
+            alias_max_objects=48,  # raised by commit 92acae03
+            vrp_widen_after=2,  # ranger rewrite (92acae10) raises it
+            dse_dead_at_exit=False,  # GCC bug #99357: stays off
+            gvn_across_calls=False,  # enabled at O2+ by 92acae08
+            vrp_extended_ops=False,  # arrives with 92acae24 (Listing 9a)
+        )
+    elif family == LLVMLIKE:
+        cfg = cfg.with_(
+            addr_cmp="off",  # 'zero-index' arrives with 3cc38702
+            # old LLVM (≤3.7) had the stronger SSA-based analysis; the
+            # GlobalOpt rewrite (3cc38703) regresses it to 'stored-init'
+            # — the paper's Listing 6a regression.
+            global_fold_mode="flow",
+            fold_uniform_const_arrays=True,
+            gvn_across_calls=True,
+            collapse_cast_chains=False,  # arrives with 3cc38704
+            fold_cmp_chains=False,  # arrives with 3cc38710
+            unswitch=False,  # O3 aggressive unswitching: 3cc38711
+            alias_max_objects=48,  # raised by 3cc38708
+            vrp_widen_after=2,  # raised by 3cc38706
+            vrp_extended_ops=False,  # arrives with 3cc38722 (Listing 8b)
+            # LLVM's full unroller is markedly more aggressive than
+            # GCC's cunroll — a genuine source of its DCE advantage.
+            unroll_max_trip=cfg.unroll_max_trip * 2,
+            unroll_max_body=cfg.unroll_max_body * 2,
+        )
+        if level == O3:
+            cfg = cfg.with_(sccp_iterations=2)
+    else:
+        raise ValueError(f"unknown family {family!r}")
+    return cfg
+
+
+def finalize_config(cfg: PipelineConfig) -> PipelineConfig:
+    """Resolve derived pipeline structure after commits were applied."""
+    return cfg.with_(passes=_with_cleanup_rounds(cfg.passes, cfg.sccp_iterations))

@@ -1,0 +1,214 @@
+"""Compiler version histories.
+
+Each family carries an ordered list of :class:`Commit`\\ s, every one
+tagged with the component and source files it touches (the currency of
+the paper's Tables 3 & 4).  A *version* is an index into the history:
+version ``k`` means "base configuration plus the first ``k`` commits".
+``latest(family)`` is the tip.  Regressions are commits whose knob
+changes make some marker at some level stop being eliminated — the
+corpus campaign finds them and ``repro.core.bisect`` attributes them
+back to these commits, exactly like ``git bisect`` over a real
+compiler tree.
+
+The history deliberately mixes improvement commits, regression
+commits, behaviour-neutral refactors, and one fixed-then-restored
+sequence, mirroring the dynamics the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import PipelineConfig
+from .vendors import GCCLIKE, LEVELS, LLVMLIKE, O1, O2, O3, OS, base_config, finalize_config
+
+
+@dataclass(frozen=True)
+class Commit:
+    sha: str
+    subject: str
+    component: str
+    files: tuple[str, ...]
+    #: (levels or None for every level, config field, new value)
+    changes: tuple[tuple[tuple[str, ...] | None, str, object], ...] = ()
+
+    @property
+    def is_behavioural(self) -> bool:
+        return bool(self.changes)
+
+    def apply(self, configs: dict[str, PipelineConfig]) -> dict[str, PipelineConfig]:
+        out = dict(configs)
+        for levels, field, value in self.changes:
+            for level in levels or LEVELS:
+                if level == "O0":
+                    continue  # -O0 is frontend-only; middle-end commits don't reach it
+                out[level] = out[level].with_(**{field: value})
+        return out
+
+
+GCC_HISTORY: tuple[Commit, ...] = (
+    Commit("92acae01", "doc: refresh optimization option docs",
+           "C-family Frontend", ("gcc/doc/invoke.texi",)),
+    Commit("92acae02", "tree-ssa-ccp: schedule a second late CCP round at -O3",
+           "Constant Propagation", ("gcc/tree-ssa-ccp.c", "gcc/passes.def"),
+           ((("O3",), "sccp_iterations", 2),)),
+    Commit("92acae03", "tree-ssa-structalias: raise points-to scaling limit",
+           "Alias Analysis", ("gcc/tree-ssa-structalias.c",),
+           ((None, "alias_max_objects", 2048),)),
+    Commit("92acae04", "match.pd: sink conversions through arithmetic",
+           "Peephole Optimizations", ("gcc/match.pd",),
+           ((None, "collapse_cast_chains", True),)),
+    Commit("92acae05", "cfg: refactor dominance utilities",
+           "Control Flow Graph Analysis", ("gcc/dominance.c", "gcc/cfganal.c")),
+    Commit("92acae06", "ipa-inline: grow the -O2 inlining budget",
+           "Interprocedural Analyses", ("gcc/ipa-inline.c",),
+           ((("O2",), "inline_budget", 240),)),
+    Commit("92acae07", "tree-vect-loop: enable vectorization at -O3 by default",
+           "Loop Transformations", ("gcc/tree-vect-loop.c", "gcc/opts.c"),
+           ((("O3",), "vectorize", True),)),
+    Commit("92acae08", "value-numbering: forward loads across const calls",
+           "Value Numbering", ("gcc/tree-ssa-sccvn.c", "gcc/tree-ssa-pre.c"),
+           ((("O2", "O3"), "gvn_across_calls", True),)),
+    Commit("92acae09", "copy-prop: tidy worklist handling",
+           "Copy Propagation", ("gcc/tree-ssa-copy.c",)),
+    Commit("92acae10", "vrp: replace range widening heuristic (ranger)",
+           "Value Propagation", ("gcc/gimple-range.cc", "gcc/vr-values.c"),
+           ((None, "vrp_widen_after", 4),)),
+    Commit("92acae11", "backwards threader: thread across constant phi edges",
+           "Jump Threading", ("gcc/tree-ssa-threadbackward.c",
+                              "gcc/tree-ssa-threadupdate.c", "gcc/tree-ssa-threadedge.c"),
+           ((("O2", "O3"), "jump_threading", True),)),
+    Commit("92acae12", "inliner: temper -O3 code growth",
+           "Inlining", ("gcc/ipa-inline.c", "gcc/ipa-inline-analysis.c"),
+           ((("O3",), "inline_budget", 300),)),
+    Commit("92acae13", "i386: tune issue rates for znver3",
+           "Target Info", ("gcc/config/i386/x86-tune.def",)),
+    Commit("92acae14", "cunroll: raise full-unroll size limits",
+           "Loop Transformations", ("gcc/tree-ssa-loop-ivcanon.c",),
+           ((("O2",), "unroll_max_body", 48), (("O3",), "unroll_max_body", 72))),
+    Commit("92acae15", "passes: move late CCP out of the -O3-only group",
+           "Pass Management", ("gcc/passes.def", "gcc/passes.c"),
+           ((("O3",), "sccp_iterations", 1),)),
+    Commit("92acae16", "sched-rgn: disable speculative store forwarding at -Os",
+           "Common Subexpression Elimination", ("gcc/sched-rgn.c",),
+           ((("Os",), "store_forwarding", False),)),
+    Commit("92acae17", "c-family: diagnose shadowed file-scope statics",
+           "C-family Frontend", ("gcc/c-family/c-warn.c", "gcc/c/c-decl.c",
+                                 "gcc/c-family/c.opt", "gcc/c-family/c-opts.c")),
+    Commit("92acae18", "alias: model one-past-the-end addresses conservatively at -Os",
+           "Alias Analysis", ("gcc/tree-ssa-alias.c",),
+           ((("Os",), "addr_cmp", "zero-index"),)),
+    Commit("92acae19", "ipa-sra: split parameters more aggressively",
+           "Interprocedural SRoA", ("gcc/ipa-sra.c",)),
+    Commit("92acae20", "dse: track trivially dead frame stores",
+           "Dead Store Elimination", ("gcc/tree-ssa-dse.c",)),
+    Commit("92acae21", "ranger: cap cache growth at -O3",
+           "Value Propagation", ("gcc/gimple-range-cache.cc",),
+           ((("O3",), "vrp_widen_after", 3),)),
+    Commit("92acae22", "cse: canonicalize commutative operands earlier",
+           "Common Subexpression Elimination", ("gcc/cse.c",)),
+    Commit("92acae23", "opts: -Os now enables the jump threader",
+           "Jump Threading", ("gcc/opts.c",),
+           ((("Os",), "jump_threading", True),)),
+    Commit("92acae24", "range-op: fold shifts and remainders against range bounds",
+           "Value Propagation", ("gcc/range-op.cc",),
+           ((None, "vrp_extended_ops", True),)),
+)
+
+
+LLVM_HISTORY: tuple[Commit, ...] = (
+    Commit("3cc38701", "AMDGPU: update scheduling model comments",
+           "Target Info", ("llvm/lib/Target/AMDGPU/SISchedule.td",
+                           "llvm/lib/Target/AMDGPU/GCNSubtarget.h")),
+    Commit("3cc38702", "EarlyCSE: fold comparisons of distinct global addresses",
+           "Peephole Optimizations", ("llvm/lib/Transforms/Scalar/EarlyCSE.cpp",),
+           ((None, "addr_cmp", "zero-index"),)),
+    Commit("3cc38703", "GlobalOpt: replace SSA-based global value analysis",
+           "Value Propagation", ("llvm/lib/Transforms/IPO/GlobalOpt.cpp",),
+           ((None, "global_fold_mode", "stored-init"),)),
+    Commit("3cc38704", "InstCombine: collapse cast chains",
+           "Peephole Optimizations", ("llvm/lib/Transforms/InstCombine/InstCombineCasts.cpp",),
+           ((None, "collapse_cast_chains", True),)),
+    Commit("3cc38705", "ValueTracking: refactor known-bits queries",
+           "Value Tracking", ("llvm/lib/Analysis/ValueTracking.cpp",)),
+    Commit("3cc38706", "LVI: raise constraint widening budget",
+           "Value Constraint Analysis", ("llvm/lib/Analysis/LazyValueInfo.cpp",),
+           ((None, "vrp_widen_after", 4),)),
+    Commit("3cc38707", "JumpThreading: thread across constant phi edges",
+           "Jump Threading", ("llvm/lib/Transforms/Scalar/JumpThreading.cpp",),
+           ((("O2", "O3"), "jump_threading", True),)),
+    Commit("3cc38708", "BasicAA: raise object scan limit",
+           "Alias Analysis", ("llvm/lib/Analysis/BasicAliasAnalysis.cpp",),
+           ((None, "alias_max_objects", 2048),)),
+    Commit("3cc38709", "NewPM: fold the extra late simplification round",
+           "Pass Management", ("llvm/lib/Passes/PassBuilderPipelines.cpp",),
+           ((("O3",), "sccp_iterations", 1),)),
+    Commit("3cc38710", "InstCombine: canonicalize icmp-of-icmp against zero",
+           "Instruction Operand Folding", ("llvm/lib/Transforms/InstCombine/InstCombineCompares.cpp",),
+           ((None, "fold_cmp_chains", True),)),
+    Commit("3cc38711", "SimpleLoopUnswitch: enable nontrivial unswitching at -O3",
+           "Loop Transformations", ("llvm/lib/Transforms/Scalar/SimpleLoopUnswitch.cpp",),
+           ((("O3",), "unswitch", True),)),
+    Commit("3cc38712", "MemDep: cap dependency scans across call sites at -O3",
+           "SSA Memory Analysis", ("llvm/lib/Analysis/MemoryDependenceAnalysis.cpp",),
+           ((("O3",), "gvn_across_calls", False),)),
+    Commit("3cc38713", "PassBuilder: restore the late simplification round at -O3",
+           "Pass Management", ("llvm/lib/Passes/PassBuilderPipelines.cpp",),
+           ((("O3",), "sccp_iterations", 2),)),
+    Commit("3cc38714", "InstSimplify: tidy select folding",
+           "Instruction Operand Folding", ("llvm/lib/Analysis/InstructionSimplify.cpp",)),
+    Commit("3cc38715", "MemorySSA: rewrite def-use walker",
+           "SSA Memory Analysis", ("llvm/lib/Analysis/MemorySSA.cpp",)),
+    Commit("3cc38716", "LoopUnroll: raise full-unroll trip threshold at -O2",
+           "Loop Transformations", ("llvm/lib/Transforms/Scalar/LoopUnrollPass.cpp",),
+           ((("O2",), "unroll_max_trip", 40),)),
+    Commit("3cc38717", "Inliner: tighten size heuristics at -Os",
+           "Pass Management", ("llvm/lib/Analysis/InlineCost.cpp",),
+           ((("Os",), "inline_budget", 24),)),
+    Commit("3cc38718", "CVP: refactor block scanning",
+           "Value Propagation", ("llvm/lib/Transforms/Scalar/CorrelatedValuePropagation.cpp",)),
+    Commit("3cc38719", "BasicAA: model one-past-the-end conservatively at -Os",
+           "Alias Analysis", ("llvm/lib/Analysis/BasicAliasAnalysis.cpp",),
+           ((("Os",), "addr_cmp", "off"),)),
+    Commit("3cc38720", "AArch64: update cost tables",
+           "Target Info", ("llvm/lib/Target/AArch64/AArch64TargetTransformInfo.cpp",)),
+    Commit("3cc38721", "GVN: drop load forwarding across opaque calls at -Os",
+           "SSA Memory Analysis", ("llvm/lib/Transforms/Scalar/GVN.cpp",),
+           ((("Os",), "gvn_across_calls", False),)),
+    # The paper's Listing 8b fix: [X,X+1) % [Y,Y+1) simplification was
+    # an omission in ConstantRange, fixed with 611a02cce50.
+    Commit("3cc38722", "ConstantRange: implement urem/shl range edge cases",
+           "Value Constraint Analysis", ("llvm/lib/IR/ConstantRange.cpp",),
+           ((None, "vrp_extended_ops", True),)),
+)
+
+_HISTORIES = {GCCLIKE: GCC_HISTORY, LLVMLIKE: LLVM_HISTORY}
+
+
+def history(family: str) -> tuple[Commit, ...]:
+    return _HISTORIES[family]
+
+
+def latest(family: str) -> int:
+    """The tip version index (number of commits applied)."""
+    return len(_HISTORIES[family])
+
+
+def config_at(family: str, level: str, version: int | None = None) -> PipelineConfig:
+    """The finalized pipeline configuration of (family, level) at
+    ``version`` (defaults to the tip)."""
+    commits = _HISTORIES[family]
+    if version is None:
+        version = len(commits)
+    if not 0 <= version <= len(commits):
+        raise ValueError(f"version {version} out of range for {family}")
+    configs = {lvl: base_config(family, lvl) for lvl in LEVELS}
+    for commit in commits[:version]:
+        configs = commit.apply(configs)
+    return finalize_config(configs[level])
+
+
+def commit_at(family: str, version: int) -> Commit:
+    """The commit that produced ``version`` (1-based: version k is
+    commits[:k], so its newest commit is commits[k-1])."""
+    return _HISTORIES[family][version - 1]

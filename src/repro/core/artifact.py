@@ -1,0 +1,184 @@
+"""Artifact workflow (paper appendix A).
+
+The paper ships a corpus plus scripts to (1) generate programs, (2)
+instrument them, (3) compute ground truth and per-compiler eliminated
+sets, and (4) validate previously recorded results.  This module is
+that workflow: a corpus directory contains the instrumented programs
+as ``.c`` files plus a ``results.json`` with every recorded verdict,
+and ``validate_corpus`` re-runs the pipeline and diffs.
+
+Layout::
+
+    corpus/
+      manifest.json        # seeds, generator config, compiler specs
+      results.json         # per-program marker verdicts
+      programs/
+        seed_000017.c      # instrumented source (round-trips exactly)
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..compilers import CompilerSpec, compile_minic
+from ..core.ground_truth import compute_ground_truth
+from ..core.markers import InstrumentedProgram, MarkerInfo, instrument_program
+from ..frontend.typecheck import check_program
+from ..generator import GeneratorConfig, generate_program
+from ..interp import StepLimitExceeded
+from ..lang import parse_program, print_program
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class ProgramRecord:
+    seed: int
+    markers: list[str]
+    dead: list[str]
+    alive: list[str]
+    eliminated_by: dict[str, list[str]] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "seed": self.seed,
+            "markers": self.markers,
+            "dead": self.dead,
+            "alive": self.alive,
+            "eliminated_by": self.eliminated_by,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ProgramRecord":
+        return cls(
+            seed=data["seed"],
+            markers=list(data["markers"]),
+            dead=list(data["dead"]),
+            alive=list(data["alive"]),
+            eliminated_by={k: list(v) for k, v in data["eliminated_by"].items()},
+        )
+
+
+@dataclass
+class ValidationReport:
+    checked: int = 0
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def _spec_key(spec: CompilerSpec) -> str:
+    return str(spec)
+
+
+def _parse_spec(key: str) -> CompilerSpec:
+    name, _, version = key.partition("@")
+    family, _, level = name.partition("-")
+    return CompilerSpec(family, level, int(version) if version else None)
+
+
+def build_corpus(
+    directory: str | Path,
+    seeds: list[int],
+    specs: list[CompilerSpec] | None = None,
+    generator_config: GeneratorConfig | None = None,
+) -> list[ProgramRecord]:
+    """Generate, instrument, evaluate, and persist a corpus."""
+    directory = Path(directory)
+    programs_dir = directory / "programs"
+    programs_dir.mkdir(parents=True, exist_ok=True)
+    specs = specs or [
+        CompilerSpec(f, l) for f in ("gcclike", "llvmlike") for l in ("O1", "O3")
+    ]
+
+    records: list[ProgramRecord] = []
+    skipped: list[int] = []
+    for seed in seeds:
+        program = generate_program(seed, generator_config)
+        instrumented = instrument_program(program)
+        info = check_program(instrumented.program)
+        try:
+            truth = compute_ground_truth(instrumented, info=info)
+        except StepLimitExceeded:
+            skipped.append(seed)
+            continue
+        record = ProgramRecord(
+            seed=seed,
+            markers=sorted(instrumented.marker_names),
+            dead=sorted(truth.dead),
+            alive=sorted(truth.alive),
+        )
+        for spec in specs:
+            result = compile_minic(instrumented.program, spec, info=info)
+            eliminated = instrumented.marker_names - result.alive_markers("DCEMarker")
+            record.eliminated_by[_spec_key(spec)] = sorted(eliminated)
+        records.append(record)
+        path = programs_dir / f"seed_{seed:06d}.c"
+        path.write_text(print_program(instrumented.program))
+
+    manifest = {
+        "format": FORMAT_VERSION,
+        "seeds": [r.seed for r in records],
+        "skipped": skipped,
+        "specs": [_spec_key(s) for s in specs],
+    }
+    (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    (directory / "results.json").write_text(
+        json.dumps([r.to_json() for r in records], indent=2)
+    )
+    return records
+
+
+def load_corpus(directory: str | Path) -> tuple[dict, list[ProgramRecord]]:
+    directory = Path(directory)
+    manifest = json.loads((directory / "manifest.json").read_text())
+    if manifest.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported corpus format: {manifest.get('format')}")
+    records = [
+        ProgramRecord.from_json(item)
+        for item in json.loads((directory / "results.json").read_text())
+    ]
+    return manifest, records
+
+
+def load_program(directory: str | Path, seed: int) -> InstrumentedProgram:
+    """Re-load one instrumented program from its .c file."""
+    path = Path(directory) / "programs" / f"seed_{seed:06d}.c"
+    program = parse_program(path.read_text())
+    markers = [
+        MarkerInfo(d.name, "corpus", "")
+        for d in program.extern_decls()
+        if d.name.startswith("DCEMarker")
+    ]
+    return InstrumentedProgram(program, markers)
+
+
+def validate_corpus(directory: str | Path) -> ValidationReport:
+    """Re-run every recorded verdict and diff against results.json —
+    the artifact appendix's 'validate the existing results' step."""
+    manifest, records = load_corpus(directory)
+    report = ValidationReport()
+    for record in records:
+        instrumented = load_program(directory, record.seed)
+        info = check_program(instrumented.program)
+        truth = compute_ground_truth(instrumented, info=info)
+        report.checked += 1
+        if sorted(truth.dead) != record.dead:
+            report.mismatches.append(f"seed {record.seed}: ground truth drifted")
+            continue
+        for key, recorded in record.eliminated_by.items():
+            spec = _parse_spec(key)
+            result = compile_minic(instrumented.program, spec, info=info)
+            eliminated = sorted(
+                instrumented.marker_names - result.alive_markers("DCEMarker")
+            )
+            if eliminated != recorded:
+                report.mismatches.append(
+                    f"seed {record.seed} {key}: eliminated set drifted "
+                    f"({len(recorded)} recorded, {len(eliminated)} now)"
+                )
+    return report

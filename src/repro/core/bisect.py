@@ -1,0 +1,104 @@
+"""Regression bisection (paper §4.2, 'Missed optimization diversity').
+
+Binary search over a compiler family's commit history for the first
+version at which a marker stops being eliminated.  The offending
+commit's component/files tags feed Tables 3 and 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..compilers import CompilerSpec, compile_minic
+from ..compilers.versions import Commit, commit_at, history, latest
+from ..frontend.typecheck import SymbolInfo, check_program
+from ..lang import ast_nodes as ast
+
+
+@dataclass
+class BisectionResult:
+    family: str
+    first_bad: int
+    commit: Commit
+    steps: int
+
+    @property
+    def component(self) -> str:
+        return self.commit.component
+
+    @property
+    def files(self) -> tuple[str, ...]:
+        return self.commit.files
+
+
+def bisect_versions(
+    family: str,
+    is_bad: Callable[[int], bool],
+    good: int = 0,
+    bad: int | None = None,
+) -> BisectionResult:
+    """Find the first version ``v`` with ``is_bad(v)``.
+
+    Preconditions (checked): ``not is_bad(good)`` and ``is_bad(bad)``.
+    """
+    if bad is None:
+        bad = latest(family)
+    steps = 0
+    if is_bad(good):
+        raise ValueError(f"version {good} is already bad; nothing to bisect")
+    if not is_bad(bad):
+        raise ValueError(f"version {bad} is not bad; nothing to bisect")
+    steps += 2
+    lo, hi = good, bad  # invariant: lo good, hi bad
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        steps += 1
+        if is_bad(mid):
+            hi = mid
+        else:
+            lo = mid
+    return BisectionResult(family, hi, commit_at(family, hi), steps)
+
+
+def marker_regression_predicate(
+    program: ast.Program,
+    marker: str,
+    family: str,
+    level: str,
+    info: SymbolInfo | None = None,
+    marker_prefix: str = "DCEMarker",
+) -> Callable[[int], bool]:
+    """``is_bad(version)`` = the marker survives in the assembly at
+    that version (i.e. the optimization is missed)."""
+    if info is None:
+        info = check_program(program)
+
+    cache: dict[int, bool] = {}
+
+    def is_bad(version: int) -> bool:
+        if version not in cache:
+            spec = CompilerSpec(family, level, version)
+            alive = compile_minic(program, spec, info=info).alive_markers(marker_prefix)
+            cache[version] = marker in alive
+        return cache[version]
+
+    return is_bad
+
+
+def bisect_marker_regression(
+    program: ast.Program,
+    marker: str,
+    family: str,
+    level: str = "O3",
+    info: SymbolInfo | None = None,
+) -> BisectionResult | None:
+    """Bisect a marker that an old version of (family, level)
+    eliminated but the tip misses; None when it is not a regression
+    (the oldest version misses it too)."""
+    is_bad = marker_regression_predicate(program, marker, family, level, info)
+    if is_bad(0):
+        return None  # not a regression: it was always missed
+    if not is_bad(latest(family)):
+        return None  # not missed at the tip
+    return bisect_versions(family, is_bad)

@@ -1,0 +1,491 @@
+"""The paper's reduced test cases, as runnable MiniC case studies.
+
+Each case is a MiniC program with an explicit ``DCEMarker*`` call plus
+the expected verdict per compiler spec.  Where MiniC lacks a C feature
+the paper's listing uses (pointer arrays, ``printf``), or where our
+pipeline's pass ordering shifts the mechanism, the case is an adapted
+analogue — the ``adaptation`` field documents what changed and why the
+relevant behaviour is preserved (see DESIGN.md §2).
+
+The test suite re-verifies every expectation against the actual
+compilers; the Table 5 benchmark uses the ``report`` metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..compilers import CompilerSpec
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """After compiling with ``spec``, ``marker`` is alive/eliminated."""
+
+    spec: CompilerSpec
+    marker: str
+    alive: bool
+
+
+@dataclass(frozen=True)
+class CaseStudy:
+    case_id: str
+    paper_ref: str  # listing / bug-tracker reference in the paper
+    title: str
+    source: str
+    expectations: tuple[Expectation, ...]
+    dead_markers: tuple[str, ...]  # ground truth: these never execute
+    component: str = ""
+    adaptation: str = ""
+    report: dict = field(default_factory=dict)  # family/status for Table 5
+
+
+def _gcc(level: str, version: int | None = None) -> CompilerSpec:
+    return CompilerSpec("gcclike", level, version)
+
+
+def _llvm(level: str, version: int | None = None) -> CompilerSpec:
+    return CompilerSpec("llvmlike", level, version)
+
+
+CASE_STUDIES: tuple[CaseStudy, ...] = (
+    CaseStudy(
+        case_id="listing1-illustrative",
+        paper_ref="Listings 1/2 (illustrative example)",
+        title="Address comparison vs. static-global value: each compiler "
+              "misses what the other catches",
+        source="""
+void DCEMarker0(void);
+void DCEMarker1(void);
+void DCEMarker2(void);
+char a;
+char b[2];
+static int c = 0;
+
+int main() {
+  char *d = &a;
+  char *e = &b[1];
+  if (d == e) {
+    DCEMarker0();
+    int f = 0;
+    int g = 0;
+    for (; f < 10; f++) {
+      DCEMarker1();
+      g += f;
+    }
+  }
+  if (c) {
+    DCEMarker2();
+    b[0] = 1;
+    b[1] = 1;
+  }
+  c = 0;
+  return 0;
+}
+""",
+        dead_markers=("DCEMarker0", "DCEMarker1", "DCEMarker2"),
+        expectations=(
+            Expectation(_gcc("O3"), "DCEMarker0", alive=False),
+            Expectation(_gcc("O3"), "DCEMarker1", alive=False),
+            Expectation(_gcc("O3"), "DCEMarker2", alive=True),
+            Expectation(_llvm("O3"), "DCEMarker0", alive=True),
+            Expectation(_llvm("O3"), "DCEMarker1", alive=True),
+            Expectation(_llvm("O3"), "DCEMarker2", alive=False),
+        ),
+        component="Alias Analysis / Value Propagation",
+        adaptation="printf replaced by a pure accumulation (MiniC has no varargs).",
+    ),
+    CaseStudy(
+        case_id="listing3-earlycse-addr",
+        paper_ref="Listing 3 (LLVM bug 49434)",
+        title="EarlyCSE cannot fold &a == &b[1] (index != 0)",
+        source="""
+void DCEMarker0(void);
+char a;
+char b[2];
+
+int main() {
+  char *c = &a;
+  char *d = &b[1];
+  if (c == d) {
+    DCEMarker0();
+  }
+  return 0;
+}
+""",
+        dead_markers=("DCEMarker0",),
+        expectations=(
+            Expectation(_gcc("O3"), "DCEMarker0", alive=False),
+            Expectation(_llvm("O3"), "DCEMarker0", alive=True),
+        ),
+        component="Peephole Optimizations",
+        report={"family": "llvmlike", "status": "confirmed"},
+    ),
+    CaseStudy(
+        case_id="listing3b-zero-index",
+        paper_ref="Listing 3 discussion (b[0] variant folds)",
+        title="With index 0 the same comparison folds in both compilers",
+        source="""
+void DCEMarker0(void);
+char a;
+char b[2];
+
+int main() {
+  char *c = &a;
+  char *d = &b[0];
+  if (c == d) {
+    DCEMarker0();
+  }
+  return 0;
+}
+""",
+        dead_markers=("DCEMarker0",),
+        expectations=(
+            Expectation(_gcc("O3"), "DCEMarker0", alive=False),
+            Expectation(_llvm("O3"), "DCEMarker0", alive=False),
+        ),
+        component="Peephole Optimizations",
+    ),
+    CaseStudy(
+        case_id="listing4-global-store-init",
+        paper_ref="Listing 4 (GCC bug 99357)",
+        title="GCC's global value analysis is not flow-sensitive; the "
+              "store of the initial value back defeats it",
+        source="""
+void DCEMarker0(void);
+static int a = 0;
+
+int main() {
+  if (a) {
+    DCEMarker0();
+  }
+  a = 0;
+  return 0;
+}
+""",
+        dead_markers=("DCEMarker0",),
+        expectations=(
+            Expectation(_gcc("O3"), "DCEMarker0", alive=True),
+            Expectation(_llvm("O3"), "DCEMarker0", alive=False),
+        ),
+        component="Value Propagation",
+        report={"family": "gcclike", "status": "fixed"},
+    ),
+    CaseStudy(
+        case_id="listing6a-store-one",
+        paper_ref="Listing 6a (old LLVM regression, 3.7.1 -> 3.8)",
+        title="Storing a different constant defeats both compilers; "
+              "the old flow-sensitive LLVM analysis caught it",
+        source="""
+void DCEMarker0(void);
+static int a = 0;
+
+int main() {
+  if (a) {
+    DCEMarker0();
+  }
+  a = 1;
+  return 0;
+}
+""",
+        dead_markers=("DCEMarker0",),
+        expectations=(
+            Expectation(_gcc("O3"), "DCEMarker0", alive=True),
+            Expectation(_llvm("O3"), "DCEMarker0", alive=True),
+            # Version 2 of the llvmlike history predates the GlobalOpt
+            # rewrite (3cc38703): the old analysis still folds it.
+            Expectation(_llvm("O3", 2), "DCEMarker0", alive=False),
+        ),
+        component="Value Propagation",
+    ),
+    CaseStudy(
+        case_id="listing6b-dead-store-cycle",
+        paper_ref="Listing 6b (both compilers miss)",
+        title="A store on the dead path itself blocks the flow-insensitive "
+              "analyses of both compilers",
+        source="""
+void DCEMarker0(void);
+static int a = 5;
+
+int main() {
+  if (a != 5) {
+    DCEMarker0();
+    a = 6;
+  }
+  return 0;
+}
+""",
+        dead_markers=("DCEMarker0",),
+        expectations=(
+            Expectation(_gcc("O3"), "DCEMarker0", alive=True),
+            Expectation(_llvm("O3"), "DCEMarker0", alive=True),
+        ),
+        component="Value Propagation",
+        adaptation="Listing 6b's two-global chain is condensed into the "
+                   "minimal self-blocking store; the failure mechanism "
+                   "(flow-insensitive global analysis) is identical.",
+    ),
+    CaseStudy(
+        case_id="listing7-gvn-across-calls",
+        paper_ref="Listings 7/8a (LLVM -O3 regression; bug 49773)",
+        title="-O2 eliminates the dead call but -O3 no longer does, "
+              "after a compile-time-motivated MemDep change",
+        source="""
+void DCEMarker0(void);
+int opaque_source(void);
+void opaque_sink(void);
+
+int main() {
+  long t[2];
+  t[0] = opaque_source();
+  t[1] = 0;
+  long x = t[0];
+  opaque_sink();
+  if (t[0] != x) {
+    DCEMarker0();
+  }
+  return 0;
+}
+""",
+        dead_markers=("DCEMarker0",),
+        expectations=(
+            Expectation(_llvm("O2"), "DCEMarker0", alive=False),
+            Expectation(_llvm("O3"), "DCEMarker0", alive=True),
+            Expectation(_gcc("O3"), "DCEMarker0", alive=False),
+        ),
+        component="SSA Memory Analysis",
+        adaptation="The paper's loop-unswitching interaction is modelled "
+                   "by the equivalent O3-only precision loss in load "
+                   "forwarding across calls (commit 3cc38712); both are "
+                   "'a change meant to help compile time costs DCE at -O3'.",
+        report={"family": "llvmlike", "status": "confirmed"},
+    ),
+    CaseStudy(
+        case_id="listing9e-vectorizer",
+        paper_ref="Listing 9e (GCC bug 99776)",
+        title="-O1 folds the loop-initialized array; -O3's vectorizer "
+              "claims the loop first and blocks constant folding",
+        source="""
+void DCEMarker0(void);
+static int c[4];
+
+int main() {
+  for (int b = 0; b < 4; b++) {
+    c[b] = 7;
+  }
+  if (c[0] != 7) {
+    DCEMarker0();
+  }
+  return 0;
+}
+""",
+        dead_markers=("DCEMarker0",),
+        expectations=(
+            Expectation(_gcc("O1"), "DCEMarker0", alive=False),
+            Expectation(_gcc("O3"), "DCEMarker0", alive=True),
+            Expectation(_llvm("O3"), "DCEMarker0", alive=False),
+        ),
+        component="Loop Transformations",
+        adaptation="The paper's array of pointers becomes an int array "
+                   "(MiniC has no pointer arrays); the global loop "
+                   "counter becomes a local so the loop is in canonical "
+                   "counted form. The blocking mechanism (vectorized "
+                   "loops escape full unrolling) is the same.",
+        report={"family": "gcclike", "status": "fixed"},
+    ),
+    CaseStudy(
+        case_id="listing9a-shift-range",
+        paper_ref="Listing 9a (GCC bug 102546, fixed 5f9ccf17de7)",
+        title="Range reasoning through a shift: the bounded shifted "
+              "value can never exceed the threshold",
+        source="""
+void DCEMarker0(void);
+int opaque_source(void);
+
+int main() {
+  int x = opaque_source();
+  int d = (x & 3) << 2;
+  if (d > 100) {
+    DCEMarker0();
+  }
+  return 0;
+}
+""",
+        dead_markers=("DCEMarker0",),
+        expectations=(
+            Expectation(_gcc("O3"), "DCEMarker0", alive=False),
+            # Before the range-op commit (92acae24) GCC missed it.
+            Expectation(_gcc("O3", 23), "DCEMarker0", alive=True),
+            Expectation(_llvm("O3"), "DCEMarker0", alive=False),
+        ),
+        component="Value Propagation",
+        adaptation="The paper's relation is X << Y != 0 implies X != 0; "
+                   "MiniC's masked-shift semantics make the equivalent "
+                   "range fact 'a bounded value shifted by a constant "
+                   "stays bounded', proved by the same range-op "
+                   "machinery the fix touched.",
+        report={"family": "gcclike", "status": "fixed"},
+    ),
+    CaseStudy(
+        case_id="listing8b-modulo-range",
+        paper_ref="Listing 8b (LLVM bug 49731, fixed 611a02cce50)",
+        title="Modulo of a constant range could not be simplified "
+              "(an omission relative to other operations)",
+        source="""
+void DCEMarker0(void);
+int opaque_source(void);
+
+int main() {
+  int f = opaque_source();
+  int r = f % 5;
+  if (r == 9) {
+    DCEMarker0();
+  }
+  return 0;
+}
+""",
+        dead_markers=("DCEMarker0",),
+        expectations=(
+            Expectation(_llvm("O3"), "DCEMarker0", alive=False),
+            # Before the ConstantRange commit (3cc38722) LLVM missed it.
+            Expectation(_llvm("O3", 21), "DCEMarker0", alive=True),
+            Expectation(_gcc("O3"), "DCEMarker0", alive=False),
+        ),
+        component="Value Constraint Analysis",
+        adaptation="The paper's [X,X+1) % [Y,Y+1) constant-range case "
+                   "is expressed as the equivalent |f % 5| <= 4 range "
+                   "fact; the fixed capability (range transfer for "
+                   "remainders) is the same.",
+        report={"family": "llvmlike", "status": "fixed"},
+    ),
+    CaseStudy(
+        case_id="listing9f-uniform-array",
+        paper_ref="Listing 9f (GCC bug 99419, rediscovered)",
+        title="Every cell of the read-only array holds 0, but GCC "
+              "cannot fold the unknown-index load",
+        source="""
+void DCEMarker0(void);
+int a;
+static int b[2] = {0, 0};
+
+int main() {
+  if (b[a]) {
+    DCEMarker0();
+  }
+  return 0;
+}
+""",
+        dead_markers=("DCEMarker0",),
+        expectations=(
+            Expectation(_gcc("O3"), "DCEMarker0", alive=True),
+            Expectation(_llvm("O3"), "DCEMarker0", alive=False),
+        ),
+        component="Constant Propagation",
+        report={"family": "gcclike", "status": "duplicate"},
+    ),
+    CaseStudy(
+        case_id="listing9c-os-alias",
+        paper_ref="Listing 9c analogue (GCC bug 100051)",
+        title="A conservative one-past-the-end rule at -Os misses the "
+              "distinct-object address comparison -O1 folds",
+        source="""
+void DCEMarker0(void);
+static char x;
+static char y[2];
+
+int main() {
+  char *p = &x;
+  if (p == &y[1]) {
+    DCEMarker0();
+  }
+  return 0;
+}
+""",
+        dead_markers=("DCEMarker0",),
+        expectations=(
+            Expectation(_gcc("O1"), "DCEMarker0", alive=False),
+            Expectation(_gcc("Os"), "DCEMarker0", alive=True),
+            Expectation(_gcc("O2"), "DCEMarker0", alive=False),
+        ),
+        component="Alias Analysis",
+        adaptation="The paper's pointer-through-pointer aliasing needs "
+                   "pointer-to-pointer types; the same 'lower level "
+                   "folds, another level's conservative alias rule "
+                   "does not' behaviour is expressed via the -Os "
+                   "one-past-the-end rule (commit 92acae18).",
+        report={"family": "gcclike", "status": "fixed"},
+    ),
+    CaseStudy(
+        case_id="listing5-nested-dead",
+        paper_ref="Listing 5 / Figure 2 (primary vs secondary)",
+        title="Nested dead blocks: only the outer if is a primary miss",
+        source="""
+void DCEMarker0(void);
+void DCEMarker1(void);
+int opaque_source(void);
+static int flag = 9;
+
+int main() {
+  int v = opaque_source();
+  if (flag == 13) {
+    DCEMarker0();
+    if (v) {
+      DCEMarker1();
+      v = 0;
+    }
+  }
+  flag = 13;
+  return v;
+}
+""",
+        dead_markers=("DCEMarker0", "DCEMarker1"),
+        expectations=(
+            Expectation(_gcc("O3"), "DCEMarker0", alive=True),
+            Expectation(_gcc("O3"), "DCEMarker1", alive=True),
+        ),
+        component="Control Flow Graph Analysis",
+        adaptation="expr1/expr2 are concretized: flag==13 is false on "
+                   "entry but unprovable for a readonly-only global "
+                   "analysis once flag is written; v is opaque input.",
+    ),
+)
+
+
+def case_study(case_id: str) -> CaseStudy:
+    for case in CASE_STUDIES:
+        if case.case_id == case_id:
+            return case
+    raise KeyError(case_id)
+
+
+def verify_case_study(case: CaseStudy) -> list[str]:
+    """Check ground truth and every expectation; returns mismatches."""
+    from ..compilers import compile_minic
+    from ..frontend.typecheck import check_program
+    from ..lang.parser import parse_program
+    from .ground_truth import compute_ground_truth
+    from .markers import InstrumentedProgram, MarkerInfo
+
+    program = parse_program(case.source)
+    info = check_program(program)
+    markers = [
+        MarkerInfo(d.name, "case-study", "main")
+        for d in program.extern_decls()
+        if d.name.startswith("DCEMarker")
+    ]
+    instrumented = InstrumentedProgram(program, markers)
+    truth = compute_ground_truth(instrumented, info=info)
+    problems = []
+    for name in case.dead_markers:
+        if name not in truth.dead:
+            problems.append(f"{case.case_id}: {name} is not dead in ground truth")
+    for exp in case.expectations:
+        alive = compile_minic(program, exp.spec, info=info).alive_markers("DCEMarker")
+        actually_alive = exp.marker in alive
+        if actually_alive != exp.alive:
+            problems.append(
+                f"{case.case_id}: {exp.spec} x {exp.marker}: expected "
+                f"{'alive' if exp.alive else 'eliminated'}, got "
+                f"{'alive' if actually_alive else 'eliminated'}"
+            )
+    return problems

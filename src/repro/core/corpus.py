@@ -1,0 +1,224 @@
+"""Corpus campaign runner (paper §4).
+
+Generates a corpus of random programs, instruments them, computes
+ground truth, compiles each program under every compiler spec of
+interest, and accumulates the statistics behind the paper's Tables 1
+and 2 and the §4.1/§4.2 headline numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..compilers import FAMILIES, LEVELS, CompilerSpec
+from ..frontend.typecheck import check_program
+from ..generator import GeneratorConfig, generate_program
+from ..interp import StepLimitExceeded
+from .differential import ProgramAnalysis, analyze_markers, missed_between_levels
+from .ground_truth import compute_ground_truth
+from .markers import instrument_program
+from .primary import build_marker_graph, primary_missed_markers
+
+
+def default_specs(version: int | None = None) -> list[CompilerSpec]:
+    """Every family × level at one version (default: tip)."""
+    return [
+        CompilerSpec(family, level, version)
+        for family in FAMILIES
+        for level in LEVELS
+    ]
+
+
+@dataclass
+class LevelStats:
+    """Accumulated per (family, level)."""
+
+    dead_total: int = 0
+    missed: int = 0
+    primary_missed: int = 0
+
+    @property
+    def missed_pct(self) -> float:
+        return 100.0 * self.missed / self.dead_total if self.dead_total else 0.0
+
+    @property
+    def primary_missed_pct(self) -> float:
+        return 100.0 * self.primary_missed / self.dead_total if self.dead_total else 0.0
+
+
+@dataclass
+class CrossCompilerStats:
+    """§4.2 'Between GCC and LLVM' accumulators (at one level)."""
+
+    gcc_misses_llvm_catches: int = 0
+    llvm_misses_gcc_catches: int = 0
+    gcc_primary: int = 0
+    llvm_primary: int = 0
+
+
+@dataclass
+class CrossLevelStats:
+    """§4.2 'Between optimization levels' accumulators (per family)."""
+
+    missed_at_high: int = 0
+    primary: int = 0
+
+
+@dataclass
+class ProgramOutcome:
+    seed: int
+    marker_count: int
+    dead_count: int
+    analysis: ProgramAnalysis
+
+
+@dataclass
+class CampaignResult:
+    seeds: list[int] = field(default_factory=list)
+    skipped: list[int] = field(default_factory=list)
+    total_markers: int = 0
+    total_dead: int = 0
+    total_alive: int = 0
+    by_level: dict[tuple[str, str], LevelStats] = field(default_factory=dict)
+    cross_compiler: CrossCompilerStats = field(default_factory=CrossCompilerStats)
+    cross_level: dict[str, CrossLevelStats] = field(default_factory=dict)
+    #: per-seed interesting finds, for triage/reduction follow-ups
+    findings: list[dict] = field(default_factory=list)
+    soundness_violations: list[dict] = field(default_factory=list)
+
+    @property
+    def dead_pct(self) -> float:
+        total = self.total_markers
+        return 100.0 * self.total_dead / total if total else 0.0
+
+    def level_stats(self, family: str, level: str) -> LevelStats:
+        return self.by_level.setdefault((family, level), LevelStats())
+
+
+def run_campaign(
+    n_programs: int = 50,
+    seed_base: int = 0,
+    version: int | None = None,
+    generator_config: GeneratorConfig | None = None,
+    keep_analyses: bool = False,
+    compare_level: str = "O3",
+) -> CampaignResult:
+    """Run the full marker campaign over ``n_programs`` seeds."""
+    specs = default_specs(version)
+    result = CampaignResult()
+    result.cross_level = {family: CrossLevelStats() for family in FAMILIES}
+    analyses: list[ProgramOutcome] = []
+
+    for seed in range(seed_base, seed_base + n_programs):
+        outcome = analyze_one(seed, specs, version, generator_config)
+        if outcome is None:
+            result.skipped.append(seed)
+            continue
+        result.seeds.append(seed)
+        _accumulate(result, outcome, version, compare_level)
+        if keep_analyses:
+            analyses.append(outcome)
+    if keep_analyses:
+        result.findings.append({"analyses": analyses})
+    return result
+
+
+def analyze_one(
+    seed: int,
+    specs: list[CompilerSpec],
+    version: int | None = None,
+    generator_config: GeneratorConfig | None = None,
+) -> ProgramOutcome | None:
+    """Generate + instrument + ground-truth + compile one seed.
+
+    Returns None when the program is unusable (e.g. execution budget
+    exceeded), mirroring how a real campaign would skip a timeout.
+    """
+    program = generate_program(seed, generator_config)
+    instrumented = instrument_program(program)
+    info = check_program(instrumented.program)
+    try:
+        truth = compute_ground_truth(instrumented, info=info)
+    except StepLimitExceeded:
+        return None
+    analysis = analyze_markers(instrumented, specs, info=info, ground_truth=truth)
+    return ProgramOutcome(
+        seed, len(instrumented.markers), len(truth.dead), analysis
+    )
+
+
+def _accumulate(
+    result: CampaignResult,
+    outcome: ProgramOutcome,
+    version: int | None,
+    compare_level: str,
+) -> None:
+    analysis = outcome.analysis
+    truth = analysis.ground_truth
+    instrumented = analysis.instrumented
+    result.total_markers += len(instrumented.markers)
+    result.total_dead += len(truth.dead)
+    result.total_alive += len(truth.alive)
+
+    graph = build_marker_graph(instrumented, truth.executed_functions())
+
+    for family in FAMILIES:
+        for level in LEVELS:
+            spec = CompilerSpec(family, level, version)
+            missed = analysis.missed_vs_ideal(spec)
+            eliminated = analysis.outcome(spec).eliminated
+            primary = primary_missed_markers(
+                instrumented, truth, eliminated, graph=graph
+            )
+            stats = result.level_stats(family, level)
+            stats.dead_total += len(truth.dead)
+            stats.missed += len(missed)
+            stats.primary_missed += len(primary)
+            violations = analysis.soundness_violations(spec)
+            if violations:
+                result.soundness_violations.append(
+                    {"seed": outcome.seed, "spec": str(spec), "markers": sorted(violations)}
+                )
+
+    # Cross-compiler at the comparison level.
+    gcc_spec = CompilerSpec("gcclike", compare_level, version)
+    llvm_spec = CompilerSpec("llvmlike", compare_level, version)
+    gcc_misses = analysis.missed_vs(gcc_spec, llvm_spec)
+    llvm_misses = analysis.missed_vs(llvm_spec, gcc_spec)
+    result.cross_compiler.gcc_misses_llvm_catches += len(gcc_misses)
+    result.cross_compiler.llvm_misses_gcc_catches += len(llvm_misses)
+    gcc_elim = analysis.outcome(gcc_spec).eliminated
+    llvm_elim = analysis.outcome(llvm_spec).eliminated
+    gcc_primary = primary_missed_markers(instrumented, truth, gcc_elim, graph=graph)
+    llvm_primary = primary_missed_markers(instrumented, truth, llvm_elim, graph=graph)
+    result.cross_compiler.gcc_primary += len(gcc_misses & gcc_primary)
+    result.cross_compiler.llvm_primary += len(llvm_misses & llvm_primary)
+    if gcc_misses or llvm_misses:
+        result.findings.append(
+            {
+                "seed": outcome.seed,
+                "kind": "cross-compiler",
+                "gcc_misses": sorted(gcc_misses),
+                "llvm_misses": sorted(llvm_misses),
+            }
+        )
+
+    # Cross-level within each family.
+    for family in FAMILIES:
+        seized = missed_between_levels(analysis, family, high=compare_level, version=version)
+        if not seized:
+            continue
+        stats = result.cross_level[family]
+        stats.missed_at_high += len(seized)
+        spec = CompilerSpec(family, compare_level, version)
+        eliminated = analysis.outcome(spec).eliminated
+        primary = primary_missed_markers(instrumented, truth, eliminated, graph=graph)
+        stats.primary += len(seized & primary)
+        result.findings.append(
+            {
+                "seed": outcome.seed,
+                "kind": "cross-level",
+                "family": family,
+                "markers": sorted(seized),
+            }
+        )

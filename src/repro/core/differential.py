@@ -1,0 +1,100 @@
+"""Differential marker testing (paper §3.1, steps ②–③).
+
+Compile one instrumented program under several compiler specs, read
+each compiler's alive-marker set off its assembly, and compare:
+
+* against the *ground truth* (the hypothetically ideal compiler),
+* across compilers at the same level (``gcclike`` vs ``llvmlike``),
+* across levels of one compiler (-O1/-O2 vs -O3).
+
+A compiler that keeps a marker another one (or the ground truth
+witness) removes has missed an optimization; a compiler that *removes
+an alive marker* has miscompiled, which :func:`soundness_violations`
+surfaces (none are expected — the test suite asserts it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..compilers import CompilerSpec, compile_minic
+from ..frontend.typecheck import SymbolInfo, check_program
+from .ground_truth import GroundTruth, compute_ground_truth
+from .markers import InstrumentedProgram
+
+
+@dataclass
+class MarkerOutcome:
+    """One compiler's verdict on every marker of one program."""
+
+    spec: CompilerSpec
+    alive: frozenset[str]
+    all_markers: frozenset[str]
+
+    @property
+    def eliminated(self) -> frozenset[str]:
+        return self.all_markers - self.alive
+
+
+@dataclass
+class ProgramAnalysis:
+    instrumented: InstrumentedProgram
+    ground_truth: GroundTruth
+    outcomes: dict[str, MarkerOutcome] = field(default_factory=dict)
+
+    def outcome(self, spec: CompilerSpec) -> MarkerOutcome:
+        return self.outcomes[str(spec)]
+
+    def missed_vs_ideal(self, spec: CompilerSpec) -> frozenset[str]:
+        """Dead markers this compiler failed to eliminate."""
+        return self.ground_truth.dead & self.outcome(spec).alive
+
+    def missed_vs(self, spec: CompilerSpec, witness: CompilerSpec) -> frozenset[str]:
+        """Markers ``spec`` keeps that ``witness`` eliminates — the
+        paper's missed-optimization set for ``spec``."""
+        return self.outcome(spec).alive & self.outcome(witness).eliminated
+
+    def soundness_violations(self, spec: CompilerSpec) -> frozenset[str]:
+        """Alive markers the compiler (wrongly) eliminated."""
+        return self.ground_truth.alive & self.outcome(spec).eliminated
+
+
+def analyze_markers(
+    instrumented: InstrumentedProgram,
+    specs: list[CompilerSpec],
+    info: SymbolInfo | None = None,
+    ground_truth: GroundTruth | None = None,
+    marker_prefix: str = "DCEMarker",
+) -> ProgramAnalysis:
+    """Run the full marker pipeline for ``instrumented`` under ``specs``."""
+    if info is None:
+        info = check_program(instrumented.program)
+    if ground_truth is None:
+        ground_truth = compute_ground_truth(instrumented, info=info)
+    analysis = ProgramAnalysis(instrumented, ground_truth)
+    for spec in specs:
+        result = compile_minic(instrumented.program, spec, info=info)
+        alive = result.alive_markers(marker_prefix) & instrumented.marker_names
+        analysis.outcomes[str(spec)] = MarkerOutcome(
+            spec, alive, instrumented.marker_names
+        )
+    return analysis
+
+
+def missed_between_levels(
+    analysis: ProgramAnalysis,
+    family: str,
+    high: str = "O3",
+    lows: tuple[str, ...] = ("O1", "O2"),
+    version: int | None = None,
+) -> frozenset[str]:
+    """Markers the higher level keeps although a lower level of the
+    *same* compiler eliminates them (paper §4.2, 'between optimization
+    levels')."""
+    high_spec = CompilerSpec(family, high, version)
+    high_alive = analysis.outcome(high_spec).alive
+    seized_by_low: set[str] = set()
+    for low in lows:
+        low_spec = CompilerSpec(family, low, version)
+        seized_by_low |= analysis.outcome(low_spec).eliminated
+    return frozenset(high_alive & seized_by_low)

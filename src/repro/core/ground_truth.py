@@ -1,0 +1,51 @@
+"""Ground truth (paper §4.1).
+
+The test programs are deterministic and input-free, so one execution
+decides liveness for all executions: markers hit during interpretation
+are *alive*, the rest are *dead*.  This is how the paper compares real
+compilers against a hypothetically ideal one that eliminates all dead
+code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..frontend.typecheck import SymbolInfo, check_program
+from ..interp import DEFAULT_STEP_LIMIT, ExecutionResult, run_program
+from .markers import InstrumentedProgram
+
+
+@dataclass
+class GroundTruth:
+    all_markers: frozenset[str]
+    alive: frozenset[str]
+    execution: ExecutionResult
+
+    @property
+    def dead(self) -> frozenset[str]:
+        return self.all_markers - self.alive
+
+    @property
+    def dead_fraction(self) -> float:
+        if not self.all_markers:
+            return 0.0
+        return len(self.dead) / len(self.all_markers)
+
+    def executed_functions(self) -> frozenset[str]:
+        return frozenset(self.execution.function_calls)
+
+
+def compute_ground_truth(
+    instrumented: InstrumentedProgram,
+    info: SymbolInfo | None = None,
+    step_limit: int = DEFAULT_STEP_LIMIT,
+) -> GroundTruth:
+    """Execute the instrumented program and classify its markers."""
+    if info is None:
+        info = check_program(instrumented.program)
+    execution = run_program(instrumented.program, step_limit=step_limit, info=info)
+    alive = frozenset(
+        name for name in execution.marker_hits if name in instrumented.marker_names
+    )
+    return GroundTruth(instrumented.marker_names, alive, execution)

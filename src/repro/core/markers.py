@@ -1,0 +1,118 @@
+"""Optimization-marker instrumentation (paper §3.1, step ①).
+
+Inserts calls to fresh opaque functions (``DCEMarker0()``, …) into the
+source-level constructs that roughly correspond to basic blocks:
+
+* if-then and if-else bodies,
+* loop bodies (``for``/``while``/``do``),
+* switch case and default arms,
+* the statement position *after* an ``if`` that contains a ``return``
+  (the implicit continuation block).
+
+The instrumented program is a deep copy; the original is untouched.
+Because marker callees have no bodies, no compiler can analyze or
+inline them — a marker disappears from the assembly iff the compiler
+proved its block dead.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from ..lang import ast_nodes as ast
+from ..lang.types import VOID
+
+MARKER_PREFIX = "DCEMarker"
+
+
+@dataclass(frozen=True)
+class MarkerInfo:
+    name: str
+    kind: str  # 'if-then' | 'if-else' | 'loop-body' | 'case' | 'default' | 'after-return'
+    function: str
+
+
+@dataclass
+class InstrumentedProgram:
+    program: ast.Program
+    markers: list[MarkerInfo] = field(default_factory=list)
+
+    @property
+    def marker_names(self) -> frozenset[str]:
+        return frozenset(m.name for m in self.markers)
+
+    def info(self, name: str) -> MarkerInfo:
+        for m in self.markers:
+            if m.name == name:
+                return m
+        raise KeyError(name)
+
+
+def instrument_program(
+    program: ast.Program, prefix: str = MARKER_PREFIX
+) -> InstrumentedProgram:
+    """Insert optimization markers into a copy of ``program``."""
+    program = copy.deepcopy(program)
+    inserter = _Inserter(prefix)
+    for func in program.functions():
+        inserter.function = func.name
+        inserter.block(func.body)
+    # Declare the marker callees up front (opaque: no bodies).
+    decls: list[ast.Decl] = [
+        ast.FuncDecl(m.name, VOID, []) for m in inserter.markers
+    ]
+    program.decls = decls + program.decls
+    return InstrumentedProgram(program, inserter.markers)
+
+
+class _Inserter:
+    def __init__(self, prefix: str) -> None:
+        self.prefix = prefix
+        self.markers: list[MarkerInfo] = []
+        self.function = ""
+
+    def _marker(self, kind: str) -> ast.Stmt:
+        name = f"{self.prefix}{len(self.markers)}"
+        self.markers.append(MarkerInfo(name, kind, self.function))
+        return ast.ExprStmt(ast.Call(name, []))
+
+    def block(self, block: ast.Block) -> None:
+        """Recurse into nested constructs and add continuation markers
+        after ifs that may return."""
+        new_stmts: list[ast.Stmt] = []
+        for i, stmt in enumerate(block.stmts):
+            self.statement(stmt)
+            new_stmts.append(stmt)
+            if (
+                isinstance(stmt, ast.If)
+                and _contains_return(stmt)
+                and i + 1 < len(block.stmts)
+            ):
+                new_stmts.append(self._marker("after-return"))
+        block.stmts = new_stmts
+
+    def statement(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self.block(stmt)
+        elif isinstance(stmt, ast.If):
+            self.block(stmt.then)
+            stmt.then.stmts.insert(0, self._marker("if-then"))
+            if stmt.els is not None:
+                self.block(stmt.els)
+                stmt.els.stmts.insert(0, self._marker("if-else"))
+        elif isinstance(stmt, (ast.While, ast.DoWhile)):
+            self.block(stmt.body)
+            stmt.body.stmts.insert(0, self._marker("loop-body"))
+        elif isinstance(stmt, ast.For):
+            self.block(stmt.body)
+            stmt.body.stmts.insert(0, self._marker("loop-body"))
+        elif isinstance(stmt, ast.Switch):
+            for case in stmt.cases:
+                self.block(case.body)
+                kind = "default" if case.value is None else "case"
+                case.body.stmts.insert(0, self._marker(kind))
+
+
+def _contains_return(stmt: ast.Stmt) -> bool:
+    return any(isinstance(s, ast.Return) for s in ast.walk_stmts(stmt))

@@ -1,0 +1,150 @@
+"""Primary missed-marker analysis (paper §3.2, step ④).
+
+A missed dead marker is *primary* iff every predecessor marker in the
+(inter-procedural) control-flow graph is either alive or was itself
+eliminated — i.e. nothing upstream explains the miss.  Only primary
+markers are worth triaging: fixing the primary usually resolves its
+secondaries for free (paper Fig. 2 / Listing 5).
+
+The marker CFG is recovered from the *unoptimized* lowering of the
+instrumented program, so it reflects source structure.  Predecessors
+of a marker are the nearest markers on marker-free backward paths;
+paths that reach the entry of an executed function count as a live
+predecessor, and paths reaching the entry of a never-executed function
+continue interprocedurally through its call sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..frontend.lower import lower_program
+from ..frontend.typecheck import SymbolInfo, check_program
+from ..ir import instructions as ins
+from ..ir.function import Block, Module
+from .ground_truth import GroundTruth
+from .markers import InstrumentedProgram
+
+
+@dataclass
+class MarkerGraph:
+    """Predecessor sets over markers, plus a live-entry flag."""
+
+    preds: dict[str, frozenset[str]] = field(default_factory=dict)
+    live_entry: dict[str, bool] = field(default_factory=dict)
+
+
+def build_marker_graph(
+    instrumented: InstrumentedProgram,
+    executed_functions: frozenset[str],
+    info: SymbolInfo | None = None,
+) -> MarkerGraph:
+    """Compute each marker's predecessor markers on the raw IR CFG."""
+    if info is None:
+        info = check_program(instrumented.program)
+    module = lower_program(instrumented.program, info)
+    marker_names = instrumented.marker_names
+
+    # Call sites per defined function: (block, index) of each call.
+    call_sites: dict[str, list[tuple[Block, int]]] = {}
+    marker_positions: list[tuple[str, Block, int, str]] = []
+    func_of_block: dict[int, str] = {}
+    entry_of: dict[str, Block] = {}
+    for func in module.functions.values():
+        entry_of[func.name] = func.entry
+        for block in func.blocks:
+            func_of_block[id(block)] = func.name
+            for idx, instr in enumerate(block.instrs):
+                if isinstance(instr, ins.Call):
+                    if instr.callee in marker_names:
+                        marker_positions.append((instr.callee, block, idx, func.name))
+                    elif instr.callee in module.functions:
+                        call_sites.setdefault(instr.callee, []).append((block, idx))
+
+    preds_map = {f.name: f.predecessors() for f in module.functions.values()}
+
+    graph = MarkerGraph()
+    for name, block, idx, fname in marker_positions:
+        preds, live = _backward_search(
+            name, block, idx, module, marker_names, call_sites,
+            executed_functions, preds_map, func_of_block, entry_of,
+        )
+        graph.preds[name] = frozenset(preds)
+        graph.live_entry[name] = live
+    return graph
+
+
+def _backward_search(
+    marker: str,
+    block: Block,
+    index: int,
+    module: Module,
+    marker_names: frozenset[str],
+    call_sites: dict[str, list[tuple[Block, int]]],
+    executed_functions: frozenset[str],
+    preds_map: dict[str, dict[Block, list[Block]]],
+    func_of_block: dict[int, str],
+    entry_of: dict[str, Block],
+) -> tuple[set[str], bool]:
+    """Nearest markers on marker-free backward paths from (block, index)."""
+    found: set[str] = set()
+    live_entry = False
+    #: work items: (block, start_index) — scan instrs [start_index..0]
+    work: list[tuple[Block, int]] = [(block, index - 1)]
+    seen: set[tuple[int, int]] = set()
+    budget = 200_000  # hard cap; generated programs stay far below it
+
+    while work and budget > 0:
+        budget -= 1
+        cur_block, start = work.pop()
+        key = (id(cur_block), start)
+        if key in seen:
+            continue
+        seen.add(key)
+        hit = None
+        for i in range(start, -1, -1):
+            instr = cur_block.instrs[i]
+            if isinstance(instr, ins.Call) and instr.callee in marker_names:
+                hit = instr.callee
+                break
+        if hit is not None:
+            if hit != marker:  # self-loops (via back edges) don't count
+                found.add(hit)
+            continue
+        fname = func_of_block[id(cur_block)]
+        block_preds = preds_map[fname][cur_block]
+        if cur_block is entry_of[fname] and not block_preds:
+            if fname == "main" or fname in executed_functions:
+                live_entry = True
+            else:
+                for call_block, call_idx in call_sites.get(fname, ()):  # interprocedural
+                    work.append((call_block, call_idx - 1))
+            continue
+        for pred in block_preds:
+            work.append((pred, len(pred.instrs) - 1))
+    return found, live_entry
+
+
+def primary_missed_markers(
+    instrumented: InstrumentedProgram,
+    ground_truth: GroundTruth,
+    eliminated: frozenset[str],
+    info: SymbolInfo | None = None,
+    graph: MarkerGraph | None = None,
+) -> frozenset[str]:
+    """The primary subset of the missed dead markers.
+
+    ``eliminated`` is the compiler's eliminated-marker set; the missed
+    dead markers are ``ground_truth.dead - eliminated``.
+    """
+    if graph is None:
+        graph = build_marker_graph(
+            instrumented, ground_truth.executed_functions(), info
+        )
+    missed = ground_truth.dead - eliminated
+    primary: set[str] = set()
+    for marker in missed:
+        preds = graph.preds.get(marker, frozenset())
+        if all(p in ground_truth.alive or p in eliminated for p in preds):
+            primary.add(marker)
+    return frozenset(primary)

@@ -1,0 +1,261 @@
+"""Test-case reduction (C-Reduce-style, paper §4.3).
+
+A delta-debugging loop over the MiniC AST: repeatedly try to delete or
+simplify program fragments, keeping a candidate iff the caller's
+*interestingness* predicate still holds — for missed-optimization
+triage that predicate is "the ground truth still says the marker is
+dead, one compiler still keeps it, and the witness still eliminates
+it" (:func:`missed_marker_predicate`).
+
+Transformations, largest first:
+
+* drop whole function definitions and global variables,
+* delete statements (chunks, then singletons),
+* unwrap ``if``/loop bodies into their parent block,
+* replace expression operands by small literals.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable
+
+from ..compilers import CompilerSpec, compile_minic
+from ..frontend.typecheck import CheckError, check_program
+from ..interp import StepLimitExceeded
+from ..lang import ast_nodes as ast
+from .ground_truth import compute_ground_truth
+from .markers import InstrumentedProgram
+
+Predicate = Callable[[ast.Program], bool]
+
+
+@dataclass
+class ReductionResult:
+    program: ast.Program
+    attempts: int
+    successes: int
+    stmts_before: int
+    stmts_after: int
+
+
+def missed_marker_predicate(
+    marker: str,
+    keeper: CompilerSpec,
+    witness: CompilerSpec | None = None,
+    marker_prefix: str = "DCEMarker",
+) -> Predicate:
+    """The paper's interestingness check: ``marker`` is really dead,
+    ``keeper`` fails to eliminate it, and (if given) ``witness``
+    eliminates it."""
+
+    def interesting(program: ast.Program) -> bool:
+        try:
+            info = check_program(program)
+        except CheckError:
+            return False
+        try:
+            truth = compute_ground_truth(_as_instrumented(program), info=info)
+        except (StepLimitExceeded, KeyError):
+            return False
+        if marker not in truth.dead:
+            return False
+        kept = compile_minic(program, keeper, info=info).alive_markers(marker_prefix)
+        if marker not in kept:
+            return False
+        if witness is not None:
+            w = compile_minic(program, witness, info=info).alive_markers(marker_prefix)
+            if marker in w:
+                return False
+        return True
+
+    return interesting
+
+
+def _as_instrumented(program: ast.Program) -> InstrumentedProgram:
+    """Wrap an already-instrumented program (markers = its opaque
+    ``DCEMarker*`` declarations)."""
+    from .markers import MarkerInfo
+
+    markers = [
+        MarkerInfo(d.name, "unknown", "")
+        for d in program.extern_decls()
+        if d.name.startswith("DCEMarker")
+    ]
+    return InstrumentedProgram(program, markers)
+
+
+def count_statements(program: ast.Program) -> int:
+    return sum(1 for _ in ast.walk_program_stmts(program))
+
+
+def reduce_program(
+    program: ast.Program,
+    interesting: Predicate,
+    max_rounds: int = 12,
+) -> ReductionResult:
+    """Shrink ``program`` while ``interesting`` holds.
+
+    The input program itself must satisfy the predicate.
+    """
+    current = copy.deepcopy(program)
+    if not interesting(current):
+        raise ValueError("the initial program is not interesting")
+    attempts = successes = 0
+    before = count_statements(current)
+
+    for _ in range(max_rounds):
+        changed = False
+        for transform in (_drop_decls, _delete_statements, _unwrap_structures, _simplify_exprs):
+            while True:
+                candidate, did = transform(current, interesting)
+                attempts += did[0]
+                successes += did[1]
+                if did[1] == 0:
+                    break
+                current = candidate
+                changed = True
+        if not changed:
+            break
+    return ReductionResult(current, attempts, successes, before, count_statements(current))
+
+
+# -- transformations -------------------------------------------------------
+
+
+def _try(candidate: ast.Program, interesting: Predicate) -> bool:
+    try:
+        return interesting(candidate)
+    except Exception:
+        return False
+
+
+def _drop_decls(program: ast.Program, interesting: Predicate):
+    attempts = successes = 0
+    i = 0
+    current = program
+    while i < len(current.decls):
+        decl = current.decls[i]
+        if isinstance(decl, ast.FuncDef) and decl.name == "main":
+            i += 1
+            continue
+        candidate = copy.deepcopy(current)
+        del candidate.decls[i]
+        attempts += 1
+        if _try(candidate, interesting):
+            current = candidate
+            successes += 1
+        else:
+            i += 1
+    return current, (attempts, successes)
+
+
+def _blocks_of(program: ast.Program):
+    for func in program.functions():
+        for stmt in ast.walk_stmts(func.body):
+            if isinstance(stmt, ast.Block):
+                yield stmt
+        for stmt in ast.walk_stmts(func.body):
+            if isinstance(stmt, ast.Switch):
+                for case in stmt.cases:
+                    yield case.body
+
+
+def _delete_statements(program: ast.Program, interesting: Predicate):
+    """ddmin-flavoured: try chunk deletions then singletons.
+
+    Every candidate is built from a fresh deep copy, and after a
+    successful deletion the block enumeration restarts (deleting a
+    statement may remove nested blocks entirely).
+    """
+    attempts = successes = 0
+    current = copy.deepcopy(program)
+    restart = True
+    while restart:
+        restart = False
+        blocks = list(_blocks_of(current))
+        for b_idx, block in enumerate(blocks):
+            n = len(block.stmts)
+            if n == 0:
+                continue
+            for size in ([n, max(n // 2, 1), 1] if n > 1 else [1]):
+                start = 0
+                while start < len(block.stmts):
+                    candidate = copy.deepcopy(current)
+                    cand_blocks = list(_blocks_of(candidate))
+                    if b_idx >= len(cand_blocks):
+                        break
+                    del cand_blocks[b_idx].stmts[start : start + size]
+                    attempts += 1
+                    if _try(candidate, interesting):
+                        current = candidate
+                        successes += 1
+                        restart = True
+                        break
+                    start += size
+                if restart:
+                    break
+            if restart:
+                break
+    return current, (attempts, successes)
+
+
+def _unwrap_structures(program: ast.Program, interesting: Predicate):
+    """Replace ``if (c) { body }`` by ``body``, loops by their bodies."""
+    attempts = successes = 0
+    current = copy.deepcopy(program)
+    restart = True
+    while restart:
+        restart = False
+        blocks = list(_blocks_of(current))
+        for b_idx, block in enumerate(blocks):
+            for i, stmt in enumerate(block.stmts):
+                if not isinstance(stmt, (ast.If, ast.While, ast.DoWhile, ast.For)):
+                    continue
+                candidate = copy.deepcopy(current)
+                cand_blocks = list(_blocks_of(candidate))
+                if b_idx >= len(cand_blocks):
+                    continue
+                cand_stmt = cand_blocks[b_idx].stmts[i]
+                if isinstance(cand_stmt, ast.If):
+                    body = list(cand_stmt.then.stmts)
+                else:
+                    body = list(cand_stmt.body.stmts)  # type: ignore[union-attr]
+                cand_blocks[b_idx].stmts[i : i + 1] = body
+                attempts += 1
+                if _try(candidate, interesting):
+                    current = candidate
+                    successes += 1
+                    restart = True
+                    break
+            if restart:
+                break
+    return current, (attempts, successes)
+
+
+def _simplify_exprs(program: ast.Program, interesting: Predicate):
+    """Replace condition subtrees by literals (0 keeps branches dead)."""
+    attempts = successes = 0
+    current = copy.deepcopy(program)
+
+    def candidates(prog: ast.Program):
+        for func in prog.functions():
+            for stmt in ast.walk_stmts(func.body):
+                if isinstance(stmt, ast.If) and isinstance(stmt.cond, ast.Binary):
+                    yield stmt
+
+    count = sum(1 for _ in candidates(current))
+    for idx in range(count):
+        for literal in (0, 1):
+            candidate = copy.deepcopy(current)
+            picked = list(candidates(candidate))
+            if idx >= len(picked):
+                break
+            picked[idx].cond = ast.IntLit(literal)
+            attempts += 1
+            if _try(candidate, interesting):
+                current = candidate
+                successes += 1
+                break
+    return current, (attempts, successes)

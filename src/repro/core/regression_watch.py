@@ -1,0 +1,111 @@
+"""Continuous regression watching (paper §4.4, "Uncovering missed
+optimizations in practice").
+
+The paper suggests differentially testing a compiler's development tip
+against its previous release to catch new regressions as they land.
+``watch`` does exactly that: generate fresh programs, compare marker
+elimination between two versions of one family, and report (and
+optionally bisect) every regression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..compilers import CompilerSpec
+from ..compilers.versions import latest
+from ..frontend.typecheck import check_program
+from ..generator import GeneratorConfig, generate_program
+from ..interp import StepLimitExceeded
+from .bisect import BisectionResult, bisect_versions, marker_regression_predicate
+from .differential import analyze_markers
+from .ground_truth import compute_ground_truth
+from .markers import instrument_program
+
+
+@dataclass
+class Regression:
+    seed: int
+    family: str
+    level: str
+    marker: str
+    old_version: int
+    new_version: int
+    bisection: BisectionResult | None = None
+
+
+@dataclass
+class WatchReport:
+    family: str
+    old_version: int
+    new_version: int
+    programs: int = 0
+    regressions: list[Regression] = field(default_factory=list)
+    improvements: int = 0
+
+    def components(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for reg in self.regressions:
+            if reg.bisection is not None:
+                comp = reg.bisection.component
+                out[comp] = out.get(comp, 0) + 1
+        return out
+
+
+def watch(
+    family: str,
+    old_version: int,
+    new_version: int | None = None,
+    n_programs: int = 20,
+    seed_base: int = 10_000,
+    levels: tuple[str, ...] = ("O3",),
+    bisect: bool = True,
+    generator_config: GeneratorConfig | None = None,
+    bisect_limit_per_program: int = 3,
+) -> WatchReport:
+    """Compare two versions of one compiler family on fresh programs.
+
+    Bisections dominate the cost (each is O(log versions) full
+    compilations), and regressed markers within one program usually
+    share a root cause, so at most ``bisect_limit_per_program`` markers
+    are bisected per (program, level); the rest are still recorded.
+    """
+    if new_version is None:
+        new_version = latest(family)
+    report = WatchReport(family, old_version, new_version)
+    for seed in range(seed_base, seed_base + n_programs):
+        program = generate_program(seed, generator_config)
+        instrumented = instrument_program(program)
+        info = check_program(instrumented.program)
+        try:
+            truth = compute_ground_truth(instrumented, info=info)
+        except StepLimitExceeded:
+            continue
+        report.programs += 1
+        specs = [
+            CompilerSpec(family, level, version)
+            for level in levels
+            for version in (old_version, new_version)
+        ]
+        analysis = analyze_markers(instrumented, specs, info=info, ground_truth=truth)
+        for level in levels:
+            old_out = analysis.outcome(CompilerSpec(family, level, old_version))
+            new_out = analysis.outcome(CompilerSpec(family, level, new_version))
+            regressed = (old_out.eliminated & new_out.alive) & truth.dead
+            report.improvements += len(new_out.eliminated & old_out.alive & truth.dead)
+            bisected = 0
+            for marker in sorted(regressed):
+                reg = Regression(seed, family, level, marker, old_version, new_version)
+                if bisect and bisected < bisect_limit_per_program:
+                    bisected += 1
+                    is_bad = marker_regression_predicate(
+                        instrumented.program, marker, family, level, info
+                    )
+                    try:
+                        reg.bisection = bisect_versions(
+                            family, is_bad, good=old_version, bad=new_version
+                        )
+                    except ValueError:
+                        reg.bisection = None
+                report.regressions.append(reg)
+    return report

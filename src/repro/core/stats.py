@@ -1,0 +1,23 @@
+"""Plain-text table rendering shared by the benchmark harness."""
+
+from __future__ import annotations
+
+
+def format_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Render an aligned ASCII table (paper-style)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def pct(value: float) -> str:
+    return f"{value:.2f}%"

@@ -1,0 +1,194 @@
+"""Finding triage: deduplication and prioritization (paper §4.2/§4.3).
+
+"The discovered missed opportunities are not necessarily unique, i.e.
+the same root cause might be the source of multiple missed
+opportunities. We deduplicate cases after reducing them and before
+reporting them to compiler developers."
+
+A finding's *signature* approximates its root cause: the structural
+shape of the marker's guarding condition plus the set of compiler
+knobs whose flip changes the verdict (determined by probing).  Findings
+with equal signatures are reported once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..compilers import CompilerSpec, compile_minic
+from ..frontend.typecheck import SymbolInfo, check_program
+from ..lang import ast_nodes as ast
+
+#: Config knobs worth probing, with an alternative value each — the
+#: family-differentiator set from repro.compilers.config.
+_PROBE_KNOBS: tuple[tuple[str, object], ...] = (
+    ("addr_cmp", "all"),
+    ("global_fold_mode", "stored-init"),
+    ("fold_uniform_const_arrays", True),
+    ("gvn_across_calls", True),
+    ("vectorize", False),
+    ("unswitch", False),
+    ("dse_dead_at_exit", True),
+    ("vrp", True),
+    ("collapse_cast_chains", True),
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One missed marker in one program under one compiler spec."""
+
+    seed: int
+    marker: str
+    spec: CompilerSpec
+    program: ast.Program = field(compare=False, hash=False)
+
+
+@dataclass(frozen=True)
+class Signature:
+    """Root-cause approximation used for deduplication."""
+
+    family: str
+    level: str
+    condition_shape: str
+    sensitive_knobs: tuple[str, ...]
+
+
+def guarding_condition_shape(program: ast.Program, marker: str) -> str:
+    """The structural shape of the innermost condition guarding the
+    marker call (operators + operand kinds, no names/values)."""
+    for func in program.functions():
+        shape = _shape_in_block(func.body, marker)
+        if shape is not None:
+            return shape
+    return "<unguarded>"
+
+
+def _shape_in_block(block: ast.Block, marker: str) -> str | None:
+    for stmt in block.stmts:
+        if isinstance(stmt, ast.If):
+            if _block_calls(stmt.then, marker):
+                return _expr_shape(stmt.cond)
+            if stmt.els is not None and _block_calls(stmt.els, marker):
+                return f"!({_expr_shape(stmt.cond)})"
+        for child in _child_blocks(stmt):
+            found = _shape_in_block(child, marker)
+            if found is not None:
+                return found
+    return None
+
+
+def _child_blocks(stmt: ast.Stmt):
+    if isinstance(stmt, ast.Block):
+        yield stmt
+    elif isinstance(stmt, ast.If):
+        yield stmt.then
+        if stmt.els is not None:
+            yield stmt.els
+    elif isinstance(stmt, (ast.While, ast.DoWhile, ast.For)):
+        yield stmt.body
+    elif isinstance(stmt, ast.Switch):
+        for case in stmt.cases:
+            yield case.body
+
+
+def _block_calls(block: ast.Block, marker: str) -> bool:
+    for stmt in block.stmts:
+        if (
+            isinstance(stmt, ast.ExprStmt)
+            and isinstance(stmt.expr, ast.Call)
+            and stmt.expr.callee == marker
+        ):
+            return True
+    return False
+
+
+def _expr_shape(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.IntLit):
+        return "C"
+    if isinstance(expr, ast.VarRef):
+        return "v"
+    if isinstance(expr, ast.Index):
+        return f"{_expr_shape(expr.base)}[{_expr_shape(expr.index)}]"
+    if isinstance(expr, ast.Deref):
+        return f"*{_expr_shape(expr.pointer)}"
+    if isinstance(expr, ast.AddrOf):
+        return f"&{_expr_shape(expr.lvalue)}"
+    if isinstance(expr, ast.Unary):
+        return f"{expr.op}{_expr_shape(expr.operand)}"
+    if isinstance(expr, ast.Cast):
+        return f"(T){_expr_shape(expr.operand)}"
+    if isinstance(expr, ast.Binary):
+        return f"({_expr_shape(expr.lhs)} {expr.op} {_expr_shape(expr.rhs)})"
+    if isinstance(expr, ast.Call):
+        return "f()"
+    return "?"
+
+
+def sensitive_knobs(
+    finding: Finding,
+    info: SymbolInfo | None = None,
+    marker_prefix: str = "DCEMarker",
+) -> tuple[str, ...]:
+    """Which config knobs, when flipped, make the marker fold.
+
+    This is a direct probe of the root cause: a finding fixed by
+    ``addr_cmp='all'`` is an address-comparison weakness, one fixed by
+    ``vectorize=False`` is the vectorizer interaction, and so on.
+    """
+    if info is None:
+        info = check_program(finding.program)
+    base_config = finding.spec.config()
+    out = []
+    for knob, alt in _PROBE_KNOBS:
+        if getattr(base_config, knob) == alt:
+            continue
+        probed = base_config.with_(**{knob: alt})
+        alive = _alive_with_config(finding, probed, info, marker_prefix)
+        if finding.marker not in alive:
+            out.append(knob)
+    return tuple(sorted(out))
+
+
+def _alive_with_config(finding: Finding, config, info, marker_prefix):
+    from ..backend.asm import alive_markers, emit_module
+    from ..compilers.pipeline import run_pipeline
+    from ..frontend.lower import lower_program
+
+    module = lower_program(finding.program, info)
+    run_pipeline(module, config)
+    return alive_markers(emit_module(module), marker_prefix)
+
+
+def signature_of(finding: Finding, info: SymbolInfo | None = None) -> Signature:
+    return Signature(
+        family=finding.spec.family,
+        level=finding.spec.level,
+        condition_shape=guarding_condition_shape(finding.program, finding.marker),
+        sensitive_knobs=sensitive_knobs(finding, info),
+    )
+
+
+@dataclass
+class TriageResult:
+    unique: list[tuple[Signature, list[Finding]]] = field(default_factory=list)
+
+    @property
+    def duplicates_removed(self) -> int:
+        return sum(len(group) - 1 for _, group in self.unique)
+
+    def representative_findings(self) -> list[Finding]:
+        return [group[0] for _, group in self.unique]
+
+
+def deduplicate(findings: list[Finding]) -> TriageResult:
+    """Group findings by signature; one representative per group."""
+    groups: dict[Signature, list[Finding]] = {}
+    order: list[Signature] = []
+    for finding in findings:
+        sig = signature_of(finding)
+        if sig not in groups:
+            groups[sig] = []
+            order.append(sig)
+        groups[sig].append(finding)
+    return TriageResult([(sig, groups[sig]) for sig in order])

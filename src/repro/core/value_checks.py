@@ -1,0 +1,125 @@
+"""Value-check instrumentation (paper §4.4, "Future directions").
+
+Instead of relying on existing dead blocks, insert checks of the form
+``if (v != C) DCEMarker();`` where ``C`` is the value ``v`` actually
+holds at that point (derived by running the program and recording it).
+Every such marker is dead by construction, and eliminating it requires
+the compiler to *prove* the recorded value — this directly stress-tests
+value analyses such as scalar evolution after loops.
+
+We instrument global scalars at function-body sequence points: after
+each top-level statement of ``main`` (and optionally other functions),
+for each chosen global ``g``, record ``g``'s value ``C`` there via a
+profiling interpretation, then emit the check.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from ..frontend.typecheck import check_program
+from ..interp.interpreter import _Interpreter  # reuse internals deliberately
+from ..interp import run_program
+from ..lang import ast_nodes as ast
+from ..lang.types import VOID, IntType
+
+
+@dataclass
+class ValueCheckProgram:
+    program: ast.Program
+    markers: list[str] = field(default_factory=list)
+
+
+def instrument_value_checks(
+    program: ast.Program,
+    function: str = "main",
+    max_checks: int = 16,
+    prefix: str = "DCEValueCheck",
+) -> ValueCheckProgram:
+    """Insert ``if (g != C) marker();`` checks into ``function``.
+
+    The constants ``C`` are obtained by probing: for each insertion
+    point we run the *probed* program once with a recording marker, so
+    determinism guarantees the check is dead in the final program.
+    """
+    program = copy.deepcopy(program)
+    info = check_program(program)
+    func = program.function(function)
+    globals_ = [
+        g for g in program.globals() if isinstance(g.ty, IntType)
+    ]
+    if not globals_:
+        return ValueCheckProgram(program, [])
+
+    # Probe pass: run once, snapshotting global values after each
+    # top-level statement of the target function.  We do this by
+    # interpreting a variant with recorder calls; simpler and equally
+    # deterministic: interpret the original program once per insertion
+    # point prefix.  To keep it O(1) executions, we instead snapshot by
+    # replaying: insert *all* probes as zero-arg opaque calls first,
+    # interpret once while tracking global state at each probe hit.
+    probe_points = min(len(func.body.stmts), max_checks)
+    snapshots = _probe_global_values(program, info, function, probe_points, globals_)
+
+    markers: list[str] = []
+    decls: list[ast.Decl] = []
+    offset = 0
+    for index, values in snapshots.items():
+        for gname, value in values.items():
+            marker = f"{prefix}{len(markers)}"
+            markers.append(marker)
+            decls.append(ast.FuncDecl(marker, VOID, []))
+            check = ast.If(
+                ast.Binary("!=", ast.VarRef(gname), ast.IntLit(value)),
+                ast.Block([ast.ExprStmt(ast.Call(marker, []))]),
+            )
+            func.body.stmts.insert(index + 1 + offset, check)
+            offset += 1
+    program.decls = decls + program.decls
+    check_program(program)
+    return ValueCheckProgram(program, markers)
+
+
+def _probe_global_values(
+    program: ast.Program,
+    info,
+    function: str,
+    probe_points: int,
+    globals_,
+) -> dict[int, dict[str, int]]:
+    """Global values after each of the first ``probe_points`` top-level
+    statements of ``function`` during the (single) real execution.
+
+    Only the *first* time execution passes each point is recorded —
+    for ``main`` (never re-entered) that is exact.
+    """
+    probed = copy.deepcopy(program)
+    pinfo = check_program(probed)
+    func = probed.function(function)
+    names = [f"__probe{i}" for i in range(probe_points)]
+    for i, name in enumerate(reversed(names)):
+        idx = probe_points - i
+        func.body.stmts.insert(idx, ast.ExprStmt(ast.Call(name, [])))
+    probed.decls = [ast.FuncDecl(n, VOID, []) for n in names] + probed.decls
+    pinfo = check_program(probed)
+
+    snapshots: dict[int, dict[str, int]] = {}
+    interp = _Interpreter(probed, pinfo, step_limit=2_000_000)
+    original_call = interp._call
+
+    def recording_call(expr, frame):
+        if expr.callee.startswith("__probe"):
+            index = int(expr.callee[len("__probe"):])
+            if index not in snapshots:
+                snapshots[index] = {
+                    g.name: interp.storage[g.name].cells[0]
+                    for g in globals_
+                    if g.name in interp.storage
+                    and not isinstance(interp.storage[g.name].cells[0], tuple)
+                }
+        return original_call(expr, frame)
+
+    interp._call = recording_call  # type: ignore[method-assign]
+    interp.run()
+    return snapshots

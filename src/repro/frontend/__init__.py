@@ -1,0 +1,5 @@
+"""Frontend: semantic checking and AST-to-IR lowering."""
+
+from .typecheck import CheckError, FunctionSig, SymbolInfo, check_program
+
+__all__ = ["CheckError", "FunctionSig", "SymbolInfo", "check_program"]

@@ -1,0 +1,524 @@
+"""AST → IR lowering.
+
+Produces straightforward, unoptimized IR: every variable lives in an
+``alloca`` (or global) and is accessed through loads and stores, with
+explicit ``cast`` instructions at every C conversion point, mirroring
+the reference interpreter exactly.  ``mem2reg`` later promotes scalars
+to SSA registers.
+
+Short-circuit ``&&``/``||`` lower to control flow writing a temporary
+slot; ``switch`` lowers to a compare chain.  Array subscripts lower to
+plain ``gep`` — MiniC's wrapping-access semantics live in the memory
+operation itself (both interpreters wrap the cell index by the object
+length), so no index masking code is emitted.
+"""
+
+from __future__ import annotations
+
+from ..lang import ast_nodes as ast
+from ..lang.semantics import wrap
+from ..lang.types import (
+    INT,
+    LONG,
+    ArrayType,
+    IntType,
+    PointerType,
+    Type,
+    VoidType,
+    promote,
+    usual_arithmetic_conversion,
+)
+from ..ir import instructions as ins
+from ..ir.function import Block, ExternFunction, GlobalInfo, IRFunction, Module
+from ..ir.values import Constant, GlobalRef, NullPtr, Param, Value, const_int
+from .typecheck import SymbolInfo, check_program
+
+
+def lower_program(program: ast.Program, info: SymbolInfo | None = None) -> Module:
+    """Lower a checked program to an IR module.
+
+    Runs the checker first when ``info`` is not supplied.
+    """
+    if info is None:
+        info = check_program(program)
+    module = Module()
+    for g in program.globals():
+        module.add_global(GlobalInfo(g.name, g.ty, _global_init(g), g.static))
+    for decl in program.extern_decls():
+        if decl.name not in info.functions or not info.functions[decl.name].is_defined:
+            module.add_extern(
+                ExternFunction(decl.name, decl.return_ty, [p.ty for p in decl.params])
+            )
+    for func in program.functions():
+        module.add_function(_FunctionLowering(module, info, func).run())
+    return module
+
+
+def _global_init(g: ast.GlobalVar) -> object:
+    if isinstance(g.ty, ArrayType):
+        values = g.init if isinstance(g.init, list) else [0] * g.ty.length
+        return [wrap(v, g.ty.element) for v in values]
+    if isinstance(g.ty, PointerType):
+        if g.init is None:
+            return None
+        lv = g.init.lvalue if isinstance(g.init, ast.AddrOf) else g.init
+        if isinstance(lv, ast.VarRef):
+            return ("addr", lv.name, 0)
+        if isinstance(lv, ast.Index) and isinstance(lv.base, ast.VarRef):
+            assert isinstance(lv.index, ast.IntLit)
+            return ("addr", lv.base.name, lv.index.value)
+        raise ValueError(f"unsupported pointer initializer for {g.name}")
+    assert isinstance(g.ty, IntType)
+    return wrap(g.init, g.ty) if isinstance(g.init, int) else 0
+
+
+class _LoopContext:
+    def __init__(self, break_to: Block, continue_to: Block) -> None:
+        self.break_to = break_to
+        self.continue_to = continue_to
+
+
+class _FunctionLowering:
+    def __init__(self, module: Module, info: SymbolInfo, func: ast.FuncDef) -> None:
+        self.module = module
+        self.info = info
+        self.ast_func = func
+        params = [Param(p.name, p.ty) for p in func.params]
+        self.func = IRFunction(func.name, func.return_ty, params, func.static)
+        self.block: Block = self.func.new_block("entry")
+        self.scopes: list[dict[str, Value]] = []
+        self.loops: list[_LoopContext] = []
+        self._tmp = 0
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _emit(self, instr: ins.Instr) -> ins.Instr:
+        return self.block.append(instr)
+
+    def _new_block(self, hint: str) -> Block:
+        self._tmp += 1
+        return self.func.new_block(f"{self.ast_func.name}.{hint}{self._tmp}")
+
+    def _seal_and_switch(self, target: Block) -> None:
+        """Jump from the current block (if open) and continue in target."""
+        if self.block.terminator is None:
+            self._emit(ins.Jmp(target))
+        self.block = target
+
+    def _lookup(self, name: str) -> Value:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return self.module.global_ref(name)
+
+    def _slot_info(self, name: str) -> tuple[bool, IntType]:
+        """(is_pointer_slot, element type) of the storage behind name."""
+        for scope in reversed(self.scopes):
+            if name in scope:
+                value = scope[name]
+                assert isinstance(value, ins.Alloca)
+                return value.is_pointer_slot, value.element
+        info = self.module.globals[name]
+        return info.is_pointer_slot, info.element
+
+    # -- driver ---------------------------------------------------------------
+
+    def run(self) -> IRFunction:
+        self.scopes.append({})
+        for param in self.func.params:
+            slot = self._declare_slot(param.name, param.ty)
+            self._emit(ins.Store(slot, param))
+        self._block_stmt(self.ast_func.body, own_scope=True)
+        if self.block.terminator is None:
+            if isinstance(self.func.return_ty, IntType):
+                self._emit(ins.Ret(const_int(0, self.func.return_ty)))
+            else:
+                self._emit(ins.Ret(None))
+        self.scopes.pop()
+        self.func.drop_unreachable_blocks()
+        return self.func
+
+    def _declare_slot(self, name: str, ty: Type) -> ins.Alloca:
+        if isinstance(ty, ArrayType):
+            slot = ins.Alloca(name, ty.element, ty.length)
+        elif isinstance(ty, PointerType):
+            slot = ins.Alloca(name, ty.pointee, 1, is_pointer_slot=True)
+        else:
+            assert isinstance(ty, IntType)
+            slot = ins.Alloca(name, ty, 1)
+        # Allocas go to the entry block head so mem2reg sees them all.
+        entry = self.func.entry
+        slot.block = entry
+        entry.instrs.insert(self._alloca_insert_point(entry), slot)
+        self.scopes[-1][name] = slot
+        return slot
+
+    @staticmethod
+    def _alloca_insert_point(entry: Block) -> int:
+        for i, instr in enumerate(entry.instrs):
+            if not isinstance(instr, ins.Alloca):
+                return i
+        return len(entry.instrs)
+
+    # -- statements ---------------------------------------------------------
+
+    def _block_stmt(self, block: ast.Block, own_scope: bool = True) -> None:
+        if own_scope:
+            self.scopes.append({})
+        for stmt in block.stmts:
+            self._stmt(stmt)
+        if own_scope:
+            self.scopes.pop()
+
+    def _stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._block_stmt(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            self._var_decl(stmt)
+        elif isinstance(stmt, ast.Assign):
+            self._assign(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._rvalue(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._for(stmt)
+        elif isinstance(stmt, ast.Switch):
+            self._switch(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._return(stmt)
+        elif isinstance(stmt, ast.Break):
+            self._emit(ins.Jmp(self.loops[-1].break_to))
+            self.block = self._new_block("afterbrk")
+        elif isinstance(stmt, ast.Continue):
+            self._emit(ins.Jmp(self.loops[-1].continue_to))
+            self.block = self._new_block("aftercont")
+        else:
+            raise TypeError(f"cannot lower {stmt!r}")
+
+    def _var_decl(self, stmt: ast.VarDecl) -> None:
+        slot = self._declare_slot(stmt.name, stmt.ty)
+        if isinstance(stmt.ty, ArrayType):
+            for i in range(stmt.ty.length):
+                value: Value = const_int(0, stmt.ty.element)
+                if isinstance(stmt.init, list) and i < len(stmt.init):
+                    value = self._converted(stmt.init[i], stmt.ty.element)
+                addr = self._emit(ins.Gep(slot, const_int(i, LONG)))
+                self._emit(ins.Store(addr, value))
+            return
+        if isinstance(stmt.ty, PointerType):
+            value = (
+                self._rvalue(stmt.init)
+                if isinstance(stmt.init, ast.Expr)
+                else NullPtr(stmt.ty)
+            )
+            self._emit(ins.Store(slot, value))
+            return
+        assert isinstance(stmt.ty, IntType)
+        value = (
+            self._converted(stmt.init, stmt.ty)
+            if isinstance(stmt.init, ast.Expr)
+            else const_int(0, stmt.ty)
+        )
+        self._emit(ins.Store(slot, value))
+
+    def _assign(self, stmt: ast.Assign) -> None:
+        addr, is_ptr_slot, element = self._lvalue(stmt.target)
+        if stmt.op:
+            assert not is_ptr_slot
+            old = self._emit(ins.Load(addr))
+            rhs = self._rvalue(stmt.value)
+            rhs_ty = stmt.value.ty
+            assert isinstance(rhs_ty, IntType)
+            common = usual_arithmetic_conversion(element, rhs_ty)
+            lhs_c = self._convert(old, element, common)
+            rhs_c = self._convert(rhs, rhs_ty, common)
+            result = self._emit(ins.BinOp(stmt.op, lhs_c, rhs_c, common))
+            self._emit(ins.Store(addr, self._convert(result, common, element)))
+            return
+        if is_ptr_slot:
+            self._emit(ins.Store(addr, self._rvalue(stmt.value)))
+            return
+        value = self._converted(stmt.value, element)
+        self._emit(ins.Store(addr, value))
+
+    def _if(self, stmt: ast.If) -> None:
+        cond = self._condition(stmt.cond)
+        then_bb = self._new_block("then")
+        exit_bb = self._new_block("endif")
+        else_bb = self._new_block("else") if stmt.els is not None else exit_bb
+        self._emit(ins.Br(cond, then_bb, else_bb))
+        self.block = then_bb
+        self._block_stmt(stmt.then)
+        self._seal_and_switch(exit_bb)
+        if stmt.els is not None:
+            self.block = else_bb
+            self._block_stmt(stmt.els)
+            if self.block.terminator is None:
+                self._emit(ins.Jmp(exit_bb))
+            self.block = exit_bb
+
+    def _while(self, stmt: ast.While) -> None:
+        header = self._new_block("whilecond")
+        body = self._new_block("whilebody")
+        exit_bb = self._new_block("endwhile")
+        self._seal_and_switch(header)
+        cond = self._condition(stmt.cond)
+        self._emit(ins.Br(cond, body, exit_bb))
+        self.block = body
+        self.loops.append(_LoopContext(exit_bb, header))
+        self._block_stmt(stmt.body)
+        self.loops.pop()
+        self._seal_and_switch(header)
+        self.block = exit_bb
+
+    def _do_while(self, stmt: ast.DoWhile) -> None:
+        body = self._new_block("dobody")
+        latch = self._new_block("docond")
+        exit_bb = self._new_block("enddo")
+        self._seal_and_switch(body)
+        self.loops.append(_LoopContext(exit_bb, latch))
+        self._block_stmt(stmt.body)
+        self.loops.pop()
+        self._seal_and_switch(latch)
+        cond = self._condition(stmt.cond)
+        self._emit(ins.Br(cond, body, exit_bb))
+        self.block = exit_bb
+
+    def _for(self, stmt: ast.For) -> None:
+        self.scopes.append({})
+        if stmt.init is not None:
+            self._stmt(stmt.init)
+        header = self._new_block("forcond")
+        body = self._new_block("forbody")
+        step_bb = self._new_block("forstep")
+        exit_bb = self._new_block("endfor")
+        self._seal_and_switch(header)
+        if stmt.cond is not None:
+            cond = self._condition(stmt.cond)
+            self._emit(ins.Br(cond, body, exit_bb))
+        else:
+            self._emit(ins.Jmp(body))
+        self.block = body
+        self.loops.append(_LoopContext(exit_bb, step_bb))
+        self._block_stmt(stmt.body)
+        self.loops.pop()
+        self._seal_and_switch(step_bb)
+        if stmt.step is not None:
+            self._stmt(stmt.step)
+        self._seal_and_switch(header)
+        self.block = exit_bb
+        self.scopes.pop()
+
+    def _switch(self, stmt: ast.Switch) -> None:
+        scrutinee_ty = stmt.scrutinee.ty
+        assert isinstance(scrutinee_ty, IntType)
+        common = promote(scrutinee_ty)
+        value = self._convert(self._rvalue(stmt.scrutinee), scrutinee_ty, common)
+        exit_bb = self._new_block("endswitch")
+        # 'break' inside a case exits the switch; 'continue' still
+        # targets the enclosing loop (or is unreachable in valid C).
+        continue_to = self.loops[-1].continue_to if self.loops else exit_bb
+        default_case = next((c for c in stmt.cases if c.value is None), None)
+        arms = [c for c in stmt.cases if c.value is not None]
+        case_blocks = [self._new_block("case") for _ in arms]
+        default_bb = self._new_block("default") if default_case is not None else exit_bb
+        for case, case_bb in zip(arms, case_blocks):
+            next_test = self._new_block("casetest")
+            cmp = self._emit(
+                ins.ICmp("==", value, const_int(case.value, common), common)
+            )
+            self._emit(ins.Br(cmp, case_bb, next_test))
+            self.block = next_test
+        self._emit(ins.Jmp(default_bb))
+        for case, case_bb in zip(arms, case_blocks):
+            self.block = case_bb
+            self.loops.append(_LoopContext(exit_bb, continue_to))
+            self._block_stmt(case.body)
+            self.loops.pop()
+            self._seal_and_switch(exit_bb)
+        if default_case is not None:
+            self.block = default_bb
+            self.loops.append(_LoopContext(exit_bb, continue_to))
+            self._block_stmt(default_case.body)
+            self.loops.pop()
+            if self.block.terminator is None:
+                self._emit(ins.Jmp(exit_bb))
+        self.block = exit_bb
+
+    def _return(self, stmt: ast.Return) -> None:
+        if stmt.value is None:
+            self._emit(ins.Ret(None))
+        elif isinstance(self.func.return_ty, PointerType):
+            self._emit(ins.Ret(self._rvalue(stmt.value)))
+        else:
+            assert isinstance(self.func.return_ty, IntType)
+            self._emit(ins.Ret(self._converted(stmt.value, self.func.return_ty)))
+        self.block = self._new_block("afterret")
+
+    # -- expressions ------------------------------------------------------------
+
+    def _condition(self, expr: ast.Expr) -> Value:
+        """Lower a condition to an i32 0/1-ish value (non-zero = true)."""
+        value = self._rvalue(expr)
+        if isinstance(value.ty, PointerType):
+            null = NullPtr(value.ty)
+            return self._emit(ins.PCmp("!=", value, null))
+        return value
+
+    def _converted(self, expr: ast.Expr, want: IntType) -> Value:
+        value = self._rvalue(expr)
+        got = expr.ty
+        assert isinstance(got, IntType), expr
+        return self._convert(value, got, want)
+
+    def _convert(self, value: Value, got: IntType, want: IntType) -> Value:
+        if got == want:
+            return value
+        if isinstance(value, Constant):
+            return const_int(value.value, want)
+        return self._emit(ins.Cast(value, want))
+
+    def _lvalue(self, expr: ast.Expr) -> tuple[Value, bool, IntType]:
+        """Lower an lvalue to (address value, is_pointer_slot, element)."""
+        if isinstance(expr, ast.VarRef):
+            is_ptr_slot, element = self._slot_info(expr.name)
+            return self._lookup(expr.name), is_ptr_slot, element
+        if isinstance(expr, ast.Index):
+            base_addr = self._array_or_pointer_base(expr.base)
+            index_ty = expr.index.ty
+            assert isinstance(index_ty, IntType)
+            index = self._convert(self._rvalue(expr.index), index_ty, LONG)
+            addr = self._emit(ins.Gep(base_addr, index))
+            assert isinstance(addr.ty, PointerType)
+            return addr, False, addr.ty.pointee
+        if isinstance(expr, ast.Deref):
+            ptr = self._rvalue(expr.pointer)
+            assert isinstance(ptr.ty, PointerType)
+            return ptr, False, ptr.ty.pointee
+        raise TypeError(f"not an lvalue: {expr!r}")
+
+    def _array_or_pointer_base(self, expr: ast.Expr) -> Value:
+        """The pointer value that an Index node's base denotes."""
+        if isinstance(expr, ast.VarRef) and isinstance(expr.ty, ArrayType):
+            return self._lookup(expr.name)  # the object address itself
+        return self._rvalue(expr)  # a pointer-typed expression
+
+    def _rvalue(self, expr: ast.Expr) -> Value:
+        if isinstance(expr, ast.IntLit):
+            assert isinstance(expr.ty, IntType)
+            return const_int(expr.value, expr.ty)
+        if isinstance(expr, ast.VarRef):
+            if isinstance(expr.ty, ArrayType):
+                return self._lookup(expr.name)  # decay to pointer
+            addr = self._lookup(expr.name)
+            is_ptr_slot, element = self._slot_info(expr.name)
+            if is_ptr_slot:
+                return self._emit(ins.LoadPtr(addr, element))
+            return self._emit(ins.Load(addr))
+        if isinstance(expr, (ast.Index, ast.Deref)):
+            addr, _, _ = self._lvalue(expr)
+            return self._emit(ins.Load(addr))
+        if isinstance(expr, ast.AddrOf):
+            addr, _, _ = self._lvalue(expr.lvalue)
+            return addr
+        if isinstance(expr, ast.Unary):
+            return self._unary(expr)
+        if isinstance(expr, ast.Cast):
+            operand_ty = expr.operand.ty
+            assert isinstance(operand_ty, IntType)
+            return self._convert(self._rvalue(expr.operand), operand_ty, expr.target)
+        if isinstance(expr, ast.Binary):
+            return self._binary(expr)
+        if isinstance(expr, ast.Call):
+            return self._call(expr)
+        raise TypeError(f"cannot lower expression {expr!r}")
+
+    def _unary(self, expr: ast.Unary) -> Value:
+        operand_ty = expr.operand.ty
+        if expr.op == "!":
+            value = self._rvalue(expr.operand)
+            if isinstance(value.ty, PointerType):
+                return self._emit(ins.PCmp("==", value, NullPtr(value.ty)))
+            assert isinstance(operand_ty, IntType)
+            prom = promote(operand_ty)
+            zero = const_int(0, prom)
+            return self._emit(
+                ins.ICmp("==", self._convert(value, operand_ty, prom), zero, prom)
+            )
+        assert isinstance(operand_ty, IntType)
+        prom = promote(operand_ty)
+        value = self._convert(self._rvalue(expr.operand), operand_ty, prom)
+        if expr.op == "-":
+            return self._emit(ins.BinOp("-", const_int(0, prom), value, prom))
+        assert expr.op == "~"
+        return self._emit(ins.BinOp("^", value, const_int(-1, prom), prom))
+
+    def _binary(self, expr: ast.Binary) -> Value:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._short_circuit(expr)
+        lhs_ty = expr.lhs.ty
+        rhs_ty = expr.rhs.ty
+        if isinstance(lhs_ty, (PointerType, ArrayType)) or isinstance(
+            rhs_ty, (PointerType, ArrayType)
+        ):
+            lhs = self._pointer_operand(expr.lhs)
+            rhs = self._pointer_operand(expr.rhs)
+            return self._emit(ins.PCmp(op, lhs, rhs))
+        assert isinstance(lhs_ty, IntType) and isinstance(rhs_ty, IntType)
+        common = usual_arithmetic_conversion(lhs_ty, rhs_ty)
+        lhs = self._convert(self._rvalue(expr.lhs), lhs_ty, common)
+        rhs = self._convert(self._rvalue(expr.rhs), rhs_ty, common)
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            return self._emit(ins.ICmp(op, lhs, rhs, common))
+        return self._emit(ins.BinOp(op, lhs, rhs, common))
+
+    def _pointer_operand(self, expr: ast.Expr) -> Value:
+        value = self._rvalue(expr)
+        if isinstance(value.ty, PointerType):
+            return value
+        # Integer 0 compared against a pointer: the null pointer.
+        from ..lang.types import CHAR
+
+        return NullPtr(PointerType(CHAR))
+
+    def _short_circuit(self, expr: ast.Binary) -> Value:
+        """Lower && / || via control flow into a temporary slot."""
+        self._tmp += 1
+        slot = ins.Alloca(f"sc{self._tmp}", INT, 1)
+        entry = self.func.entry
+        slot.block = entry
+        entry.instrs.insert(self._alloca_insert_point(entry), slot)
+
+        rhs_bb = self._new_block("scrhs")
+        exit_bb = self._new_block("scend")
+        lhs_cond = self._condition(expr.lhs)
+        if expr.op == "&&":
+            self._emit(ins.Store(slot, const_int(0, INT)))
+            self._emit(ins.Br(lhs_cond, rhs_bb, exit_bb))
+        else:
+            self._emit(ins.Store(slot, const_int(1, INT)))
+            self._emit(ins.Br(lhs_cond, exit_bb, rhs_bb))
+        self.block = rhs_bb
+        rhs_cond = self._condition(expr.rhs)
+        rhs_bool = self._emit(ins.ICmp("!=", rhs_cond, const_int(0, rhs_cond.ty), rhs_cond.ty))
+        self._emit(ins.Store(slot, rhs_bool))
+        self._emit(ins.Jmp(exit_bb))
+        self.block = exit_bb
+        return self._emit(ins.Load(slot))
+
+    def _call(self, expr: ast.Call) -> Value:
+        sig = self.info.functions[expr.callee]
+        args: list[Value] = []
+        for arg, want in zip(expr.args, sig.param_tys):
+            if isinstance(want, PointerType):
+                args.append(self._rvalue(arg))
+            else:
+                assert isinstance(want, IntType)
+                args.append(self._converted(arg, want))
+        return self._emit(ins.Call(expr.callee, args, sig.return_ty))

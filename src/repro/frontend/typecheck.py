@@ -1,0 +1,387 @@
+"""MiniC semantic checker and type annotator.
+
+``check_program`` validates a parsed program and fills in the ``ty``
+attribute of every expression node.  All later stages (the reference
+interpreter, the IR lowering, the instrumenter) assume a checked
+program.
+
+Conversion model (C-style, made explicit here once):
+
+* binary arithmetic/bitwise: operands are converted to
+  ``usual_arithmetic_conversion(l, r)``; the result has that type;
+* comparisons produce ``int``; pointer comparisons require two
+  pointers (or a pointer and literal 0);
+* assignments, call arguments, returns and initializers convert the
+  value to the destination type;
+* array subscripts convert the index to ``long``;
+* conditions may be any integer or pointer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lang import ast_nodes as ast
+from ..lang.types import (
+    INT,
+    LONG,
+    ArrayType,
+    IntType,
+    PointerType,
+    Type,
+    VoidType,
+    usual_arithmetic_conversion,
+)
+
+
+class CheckError(ValueError):
+    """A MiniC semantic error (undeclared name, bad types, ...)."""
+
+
+@dataclass
+class FunctionSig:
+    name: str
+    return_ty: Type
+    param_tys: list[Type]
+    is_defined: bool  # False for opaque externs (markers, dead(), ...)
+
+
+@dataclass
+class SymbolInfo:
+    """Summary of a checked program used by downstream stages."""
+
+    globals: dict[str, ast.GlobalVar] = field(default_factory=dict)
+    functions: dict[str, FunctionSig] = field(default_factory=dict)
+
+    def opaque_functions(self) -> set[str]:
+        return {n for n, sig in self.functions.items() if not sig.is_defined}
+
+
+def check_program(program: ast.Program) -> SymbolInfo:
+    """Validate ``program`` and annotate expression types in place.
+
+    Returns the symbol summary.  Raises :class:`CheckError` on any
+    violation.
+    """
+    info = SymbolInfo()
+    for decl in program.decls:
+        if isinstance(decl, ast.GlobalVar):
+            if decl.name in info.globals or decl.name in info.functions:
+                raise CheckError(f"duplicate global name: {decl.name}")
+            _check_global(decl)
+            info.globals[decl.name] = decl
+        elif isinstance(decl, ast.FuncDecl):
+            sig = FunctionSig(decl.name, decl.return_ty, [p.ty for p in decl.params], False)
+            existing = info.functions.get(decl.name)
+            if existing is not None and existing.is_defined:
+                continue  # a forward declaration of a later definition
+            info.functions[decl.name] = sig
+        elif isinstance(decl, ast.FuncDef):
+            if decl.name in info.globals:
+                raise CheckError(f"function name clashes with global: {decl.name}")
+            sig = FunctionSig(decl.name, decl.return_ty, [p.ty for p in decl.params], True)
+            info.functions[decl.name] = sig
+        else:
+            raise CheckError(f"unknown declaration kind: {decl!r}")
+    for func in program.functions():
+        _FunctionChecker(info, func).run()
+    return info
+
+
+def _check_global(decl: ast.GlobalVar) -> None:
+    ty = decl.ty
+    if isinstance(ty, VoidType):
+        raise CheckError(f"global {decl.name} has void type")
+    if isinstance(ty, ArrayType):
+        if decl.init is not None and (
+            not isinstance(decl.init, list)
+            or len(decl.init) != ty.length
+            or not all(isinstance(v, int) for v in decl.init)
+        ):
+            raise CheckError(f"bad array initializer for {decl.name}")
+    elif isinstance(ty, IntType):
+        if decl.init is not None and not isinstance(decl.init, int):
+            raise CheckError(f"bad scalar initializer for {decl.name}")
+    elif isinstance(ty, PointerType):
+        if decl.init is not None and not isinstance(decl.init, (ast.AddrOf, ast.VarRef)):
+            raise CheckError(f"bad pointer initializer for {decl.name}")
+
+
+class _FunctionChecker:
+    def __init__(self, info: SymbolInfo, func: ast.FuncDef) -> None:
+        self.info = info
+        self.func = func
+        self.scopes: list[dict[str, Type]] = []
+        self._loop_depth = 0
+
+    def run(self) -> None:
+        params: dict[str, Type] = {}
+        for p in self.func.params:
+            if p.name in params:
+                raise CheckError(f"duplicate parameter {p.name} in {self.func.name}")
+            if not isinstance(p.ty, (IntType, PointerType)):
+                raise CheckError(f"parameter {p.name} must be scalar")
+            params[p.name] = p.ty
+        self.scopes = [params]
+        self._block(self.func.body, new_scope=True)
+
+    # -- scope handling --------------------------------------------------
+
+    def _lookup(self, name: str) -> Type:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        g = self.info.globals.get(name)
+        if g is not None:
+            return g.ty
+        raise CheckError(f"undeclared identifier {name!r} in {self.func.name}")
+
+    # -- statements -------------------------------------------------------
+
+    def _block(self, block: ast.Block, new_scope: bool = True) -> None:
+        if new_scope:
+            self.scopes.append({})
+        for stmt in block.stmts:
+            self._stmt(stmt)
+        if new_scope:
+            self.scopes.pop()
+
+    def _stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self._block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            self._var_decl(stmt)
+        elif isinstance(stmt, ast.Assign):
+            self._assign(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._expr(stmt.expr, allow_void_call=True)
+        elif isinstance(stmt, ast.If):
+            self._condition(stmt.cond)
+            self._block(stmt.then)
+            if stmt.els is not None:
+                self._block(stmt.els)
+        elif isinstance(stmt, ast.While):
+            self._condition(stmt.cond)
+            self._in_loop(stmt.body)
+        elif isinstance(stmt, ast.DoWhile):
+            self._in_loop(stmt.body)
+            self._condition(stmt.cond)
+        elif isinstance(stmt, ast.For):
+            self.scopes.append({})
+            if stmt.init is not None:
+                self._stmt(stmt.init)
+            if stmt.cond is not None:
+                self._condition(stmt.cond)
+            if stmt.step is not None:
+                self._stmt(stmt.step)
+            self._in_loop(stmt.body)
+            self.scopes.pop()
+        elif isinstance(stmt, ast.Switch):
+            ty = self._expr(stmt.scrutinee)
+            if not isinstance(ty, IntType):
+                raise CheckError("switch scrutinee must be an integer")
+            seen: set[int | None] = set()
+            for case in stmt.cases:
+                if case.value in seen:
+                    raise CheckError(f"duplicate switch case {case.value}")
+                seen.add(case.value)
+                self._loop_depth += 1  # 'break' inside a case is legal C
+                self._block(case.body)
+                self._loop_depth -= 1
+        elif isinstance(stmt, ast.Return):
+            want = self.func.return_ty
+            if stmt.value is None:
+                if not isinstance(want, VoidType):
+                    raise CheckError(f"{self.func.name}: return without value")
+            else:
+                if isinstance(want, VoidType):
+                    raise CheckError(f"{self.func.name}: void function returns value")
+                got = self._expr(stmt.value)
+                _require_convertible(got, want, "return value")
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self._loop_depth == 0:
+                raise CheckError("break/continue outside loop")
+        else:
+            raise CheckError(f"unknown statement: {stmt!r}")
+
+    def _in_loop(self, body: ast.Block) -> None:
+        self._loop_depth += 1
+        self._block(body)
+        self._loop_depth -= 1
+
+    def _var_decl(self, stmt: ast.VarDecl) -> None:
+        if stmt.name in self.scopes[-1]:
+            raise CheckError(f"redeclaration of {stmt.name}")
+        if isinstance(stmt.ty, VoidType):
+            raise CheckError(f"variable {stmt.name} has void type")
+        if isinstance(stmt.ty, ArrayType):
+            if isinstance(stmt.init, list):
+                if len(stmt.init) > stmt.ty.length:
+                    raise CheckError(f"too many initializers for {stmt.name}")
+                for e in stmt.init:
+                    got = self._expr(e)
+                    _require_convertible(got, stmt.ty.element, "array initializer")
+            elif stmt.init is not None:
+                raise CheckError(f"scalar initializer for array {stmt.name}")
+        else:
+            if isinstance(stmt.init, list):
+                raise CheckError(f"brace initializer for scalar {stmt.name}")
+            if stmt.init is not None:
+                got = self._expr(stmt.init)
+                _require_convertible(got, stmt.ty, f"initializer of {stmt.name}")
+        self.scopes[-1][stmt.name] = stmt.ty
+
+    def _assign(self, stmt: ast.Assign) -> None:
+        target_ty = self._lvalue(stmt.target)
+        value_ty = self._expr(stmt.value)
+        if stmt.op:
+            if not isinstance(target_ty, IntType):
+                raise CheckError("compound assignment requires integer target")
+            if not isinstance(value_ty, IntType):
+                raise CheckError("compound assignment requires integer value")
+        else:
+            _require_convertible(value_ty, target_ty, "assignment")
+
+    def _condition(self, expr: ast.Expr) -> None:
+        ty = self._expr(expr)
+        if not isinstance(ty, (IntType, PointerType)):
+            raise CheckError("condition must be integer or pointer")
+
+    # -- expressions -------------------------------------------------------
+
+    def _lvalue(self, expr: ast.Expr) -> Type:
+        """Type-check an expression used as an assignment target."""
+        ty = self._expr(expr)
+        if not ast.is_lvalue(expr):
+            raise CheckError("not an lvalue")
+        if isinstance(ty, ArrayType):
+            raise CheckError("cannot assign to an array")
+        return ty
+
+    def _expr(self, expr: ast.Expr, allow_void_call: bool = False) -> Type:
+        ty = self._expr_inner(expr, allow_void_call)
+        expr.ty = ty
+        return ty
+
+    def _expr_inner(self, expr: ast.Expr, allow_void_call: bool) -> Type:
+        if isinstance(expr, ast.IntLit):
+            return _literal_type(expr.value)
+        if isinstance(expr, ast.VarRef):
+            return self._lookup(expr.name)
+        if isinstance(expr, ast.Index):
+            base_ty = self._expr(expr.base)
+            index_ty = self._expr(expr.index)
+            if not isinstance(index_ty, IntType):
+                raise CheckError("array index must be an integer")
+            if isinstance(base_ty, ArrayType):
+                return base_ty.element
+            if isinstance(base_ty, PointerType):
+                return base_ty.pointee
+            raise CheckError("subscripted value is not array or pointer")
+        if isinstance(expr, ast.Deref):
+            ptr_ty = self._expr(expr.pointer)
+            if not isinstance(ptr_ty, PointerType):
+                raise CheckError("cannot dereference a non-pointer")
+            return ptr_ty.pointee
+        if isinstance(expr, ast.AddrOf):
+            inner = self._expr(expr.lvalue)
+            if isinstance(inner, ArrayType):
+                raise CheckError("'&array' is not supported; use &array[i]")
+            if not isinstance(inner, IntType):
+                raise CheckError("'&' requires an integer lvalue")
+            if not ast.is_lvalue(expr.lvalue):
+                raise CheckError("'&' requires an lvalue")
+            return PointerType(inner)
+        if isinstance(expr, ast.Unary):
+            operand_ty = self._expr(expr.operand)
+            if expr.op == "!":
+                if not isinstance(operand_ty, (IntType, PointerType)):
+                    raise CheckError("'!' requires scalar operand")
+                return INT
+            if not isinstance(operand_ty, IntType):
+                raise CheckError(f"unary {expr.op!r} requires integer operand")
+            from ..lang.types import promote
+
+            return promote(operand_ty)
+        if isinstance(expr, ast.Cast):
+            operand_ty = self._expr(expr.operand)
+            if not isinstance(operand_ty, (IntType, PointerType)):
+                raise CheckError("cast of non-scalar")
+            return expr.target
+        if isinstance(expr, ast.Binary):
+            return self._binary(expr)
+        if isinstance(expr, ast.Call):
+            return self._call(expr, allow_void_call)
+        raise CheckError(f"unknown expression: {expr!r}")
+
+    def _binary(self, expr: ast.Binary) -> Type:
+        lhs_ty = self._expr(expr.lhs)
+        rhs_ty = self._expr(expr.rhs)
+        op = expr.op
+        if op in ("&&", "||"):
+            for ty in (lhs_ty, rhs_ty):
+                if not isinstance(ty, (IntType, PointerType)):
+                    raise CheckError(f"{op!r} requires scalar operands")
+            return INT
+        if isinstance(lhs_ty, PointerType) or isinstance(rhs_ty, PointerType):
+            if op not in ("==", "!="):
+                raise CheckError(f"pointer operands not allowed for {op!r}")
+            if not _pointer_comparable(lhs_ty, rhs_ty, expr):
+                raise CheckError("invalid pointer comparison")
+            return INT
+        if not isinstance(lhs_ty, IntType) or not isinstance(rhs_ty, IntType):
+            raise CheckError(f"{op!r} requires integer operands")
+        common = usual_arithmetic_conversion(lhs_ty, rhs_ty)
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            return INT
+        return common
+
+    def _call(self, expr: ast.Call, allow_void: bool) -> Type:
+        sig = self.info.functions.get(expr.callee)
+        if sig is None:
+            raise CheckError(f"call to undeclared function {expr.callee!r}")
+        if len(expr.args) != len(sig.param_tys):
+            raise CheckError(
+                f"{expr.callee} expects {len(sig.param_tys)} args, got {len(expr.args)}"
+            )
+        for arg, want in zip(expr.args, sig.param_tys):
+            got = self._expr(arg)
+            _require_convertible(got, want, f"argument of {expr.callee}")
+        if isinstance(sig.return_ty, VoidType) and not allow_void:
+            raise CheckError(f"void value of {expr.callee}() used")
+        return sig.return_ty
+
+
+def _literal_type(value: int) -> IntType:
+    if INT.min_value <= value <= INT.max_value:
+        return INT
+    if LONG.min_value <= value <= LONG.max_value:
+        return LONG
+    from ..lang.types import ULONG
+
+    if 0 <= value <= ULONG.max_value:
+        return ULONG
+    raise CheckError(f"integer literal out of range: {value}")
+
+
+def _pointer_comparable(lhs: Type, rhs: Type, expr: ast.Binary) -> bool:
+    def is_null(e: ast.Expr, ty: Type) -> bool:
+        return isinstance(ty, IntType) and isinstance(e, ast.IntLit) and e.value == 0
+
+    if isinstance(lhs, PointerType) and isinstance(rhs, PointerType):
+        return True
+    if isinstance(lhs, PointerType):
+        return is_null(expr.rhs, rhs)
+    return is_null(expr.lhs, lhs)
+
+
+def _require_convertible(got: Type, want: Type, what: str) -> None:
+    if isinstance(want, IntType) and isinstance(got, IntType):
+        return
+    if isinstance(want, PointerType):
+        if isinstance(got, PointerType):
+            return
+        raise CheckError(f"{what}: cannot convert {got} to {want}")
+    if isinstance(want, IntType) and isinstance(got, PointerType):
+        raise CheckError(f"{what}: cannot convert pointer to {want}")
+    raise CheckError(f"{what}: cannot convert {got} to {want}")

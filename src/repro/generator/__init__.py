@@ -1,0 +1,6 @@
+"""Csmith-like random program generation for MiniC."""
+
+from .config import GeneratorConfig
+from .generator import generate_program
+
+__all__ = ["GeneratorConfig", "generate_program"]

@@ -1,0 +1,631 @@
+"""Csmith-like random MiniC program generator.
+
+Generated programs are, by construction:
+
+* **self-contained** — no inputs, no external state;
+* **terminating** — every loop is counter-bounded and the call graph
+  is acyclic (function ``i`` may only call ``j < i``);
+* **UB-free** — MiniC semantics are total, array subscripts are kept
+  in bounds at the source level (so the UB-safe C printing also holds
+  for real compilers), pointers always point at live global storage;
+* **dead-heavy** — most branch conditions are of usually-false shapes,
+  yielding the ~90% dead instrumented blocks the paper relies on.
+
+Every generated program is validated through the semantic checker
+before being returned.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..frontend.typecheck import check_program
+from ..lang import ast_nodes as ast
+from ..lang.types import (
+    CHAR,
+    INT,
+    LONG,
+    SHORT,
+    UCHAR,
+    UINT,
+    ULONG,
+    USHORT,
+    ArrayType,
+    IntType,
+    PointerType,
+)
+
+_SCALAR_TYPES = (CHAR, UCHAR, SHORT, USHORT, INT, UINT, LONG, ULONG)
+_BIN_OPS = ("+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>")
+_CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+from .config import GeneratorConfig
+
+
+@dataclass
+class _GlobalSym:
+    name: str
+    ty: object
+    static: bool
+    #: reset-only globals are only ever assigned their initial value
+    #: back — foldable by a stored-init analysis (LLVM), opaque to a
+    #: readonly-only one (GCC); see paper Listing 4a.
+    reset_only: bool = False
+    #: read-only arrays are never written; with uniform initializers
+    #: their unknown-index loads fold under the array rule GCC lacks.
+    read_only: bool = False
+
+
+@dataclass
+class _Scope:
+    """Visible scalar locals / loop counters / pointers at a site."""
+
+    ints: list[tuple[str, IntType]] = field(default_factory=list)
+    pointers: list[tuple[str, PointerType]] = field(default_factory=list)
+    arrays: list[tuple[str, ArrayType]] = field(default_factory=list)
+    counters: list[tuple[str, int]] = field(default_factory=list)  # (name, bound)
+    protected: set[str] = field(default_factory=set)  # loop counters: no writes
+
+
+def _addr_key(expr: ast.Expr) -> tuple[str, int]:
+    """(object, element) denoted by an AddrOf initializer expression."""
+    assert isinstance(expr, ast.AddrOf)
+    lv = expr.lvalue
+    if isinstance(lv, ast.VarRef):
+        return (lv.name, 0)
+    assert isinstance(lv, ast.Index) and isinstance(lv.base, ast.VarRef)
+    assert isinstance(lv.index, ast.IntLit)
+    return (lv.base.name, lv.index.value)
+
+
+def generate_program(seed: int, config: GeneratorConfig | None = None) -> ast.Program:
+    """Generate a random, checked MiniC program from ``seed``."""
+    gen = _Generator(random.Random(seed), config or GeneratorConfig())
+    program = gen.run()
+    check_program(program)  # the generator's own safety net
+    return program
+
+
+class _Generator:
+    def __init__(self, rng: random.Random, config: GeneratorConfig) -> None:
+        self.rng = rng
+        self.config = config
+        self.globals: list[_GlobalSym] = []
+        self.functions: list[ast.FuncDef] = []
+        self._call_counts: dict[str, int] = {}
+        self._global_inits: dict[str, int] = {}
+        self._names = 0
+
+    def _fresh(self, prefix: str) -> str:
+        self._names += 1
+        return f"{prefix}_{self._names}"
+
+    # -- top level -------------------------------------------------------
+
+    def run(self) -> ast.Program:
+        rng, cfg = self.rng, self.config
+        decls: list[ast.Decl] = []
+        n_globals = rng.randint(cfg.min_globals, cfg.max_globals)
+        for _ in range(n_globals):
+            decls.append(self._global())
+        # Pointer globals referencing earlier globals.
+        int_globals = [g for g in self.globals if isinstance(g.ty, IntType)]
+        array_globals = [g for g in self.globals if isinstance(g.ty, ArrayType)]
+        if int_globals and rng.random() < cfg.pointer_fraction * 2:
+            target = rng.choice(int_globals)
+            name = self._fresh("gp")
+            ty = PointerType(target.ty)
+            decls.append(
+                ast.GlobalVar(name, ty, ast.AddrOf(ast.VarRef(target.name)), True)
+            )
+            self.globals.append(_GlobalSym(name, ty, True))
+        n_funcs = rng.randint(cfg.min_functions, cfg.max_functions)
+        for i in range(n_funcs):
+            func = self._function(f"func_{i}")
+            self.functions.append(func)
+            decls.append(func)
+        main = self._main()
+        self.functions.append(main)
+        decls.append(main)
+        return ast.Program(decls)
+
+    def _global(self) -> ast.GlobalVar:
+        rng, cfg = self.rng, self.config
+        name = self._fresh("g")
+        static = rng.random() < cfg.static_fraction
+        if rng.random() < cfg.array_fraction:
+            elem = rng.choice((CHAR, SHORT, INT, INT, LONG))
+            length = rng.randint(2, 6)
+            uniform = rng.random() < 0.35
+            if uniform:
+                # Uniform arrays: every cell the same constant.  Loads
+                # with unknown indices are still foldable — paper
+                # Listing 9f / GCC bug #99419, which GCC misses.
+                init = [self._small_const(elem)] * length
+            else:
+                init = [self._small_const(elem) for _ in range(length)]
+            ty = ArrayType(elem, length)
+            read_only = uniform and static and rng.random() < 0.7
+            sym = _GlobalSym(name, ty, static, read_only=read_only)
+            self.globals.append(sym)
+            return ast.GlobalVar(name, ty, init, static)
+        ty = rng.choice(_SCALAR_TYPES)
+        init = self._small_const(ty) if rng.random() < 0.8 else None
+        reset_only = static and rng.random() < 0.25
+        sym = _GlobalSym(name, ty, static, reset_only)
+        self.globals.append(sym)
+        self._global_inits[name] = init if init is not None else 0
+        return ast.GlobalVar(name, ty, init, static)
+
+    def _small_const(self, ty: IntType) -> int:
+        rng = self.rng
+        choices = (0, 0, 0, 1, 1, 2, 3, 5, 7, 10, 100, -1, -2)
+        value = rng.choice(choices)
+        return max(ty.min_value, min(ty.max_value, value))
+
+    # -- functions -----------------------------------------------------------
+
+    def _function(self, name: str) -> ast.FuncDef:
+        rng, cfg = self.rng, self.config
+        n_params = rng.randint(0, 3)
+        params = [
+            ast.Param(self._fresh("p"), rng.choice((INT, INT, CHAR, UINT, LONG)))
+            for _ in range(n_params)
+        ]
+        return_ty = rng.choice((INT, INT, LONG, SHORT))
+        scope = _Scope()
+        for p in params:
+            scope.ints.append((p.name, p.ty))
+        body = self._block(scope, depth=0, in_loop=False, return_ty=return_ty)
+        body.stmts.append(ast.Return(self._int_expr(scope, 2)))
+        return ast.FuncDef(name, return_ty, params, body, static=True)
+
+    def _main(self) -> ast.FuncDef:
+        scope = _Scope()
+        body = self._block(scope, depth=0, in_loop=False, return_ty=INT)
+        body.stmts.append(ast.Return(ast.IntLit(0)))
+        return ast.FuncDef("main", INT, [], body, static=False)
+
+    # -- statements --------------------------------------------------------------
+
+    def _block(
+        self, scope: _Scope, depth: int, in_loop: bool, return_ty: IntType
+    ) -> ast.Block:
+        rng, cfg = self.rng, self.config
+        stmts: list[ast.Stmt] = []
+        inner = _Scope(
+            list(scope.ints), list(scope.pointers), list(scope.arrays),
+            list(scope.counters), set(scope.protected),
+        )
+        n = rng.randint(cfg.min_block_stmts, cfg.max_block_stmts)
+        for _ in range(n):
+            stmts.append(self._statement(inner, depth, in_loop, return_ty))
+        return ast.Block(stmts)
+
+    def _statement(
+        self, scope: _Scope, depth: int, in_loop: bool, return_ty: IntType
+    ) -> ast.Stmt:
+        rng, cfg = self.rng, self.config
+        roll = rng.random()
+        nested_ok = depth < cfg.max_depth
+        if roll < 0.005 and nested_ok and not in_loop:
+            return self._init_loop_then_check(scope, depth)
+        if roll < 0.01 and not in_loop and self.functions:
+            return self._cse_across_call(scope, depth)
+        if roll < 0.15:
+            return self._local_decl(scope)
+        if roll < 0.45 or not nested_ok:
+            extra = rng.random()
+            if in_loop and extra < 0.06:
+                return rng.choice((ast.Break(), ast.Continue()))
+            if extra < cfg.call_fraction and self.functions and not in_loop:
+                # Calls stay out of loop bodies: with an acyclic call
+                # graph this bounds total work to a small polynomial.
+                return self._call_stmt(scope)
+            return self._assignment(scope)
+        if roll < 0.75:
+            return self._if(scope, depth, in_loop, return_ty)
+        if roll < 0.75 + cfg.switch_fraction:
+            return self._switch(scope, depth, return_ty)
+        return self._loop(scope, depth, return_ty)
+
+    def _local_decl(self, scope: _Scope) -> ast.Stmt:
+        rng, cfg = self.rng, self.config
+        name = self._fresh("l")
+        roll = rng.random()
+        if roll < cfg.pointer_fraction:
+            target = self._pointer_target()
+            if target is not None:
+                ty, init = target
+                scope.pointers.append((name, ty))
+                return ast.VarDecl(name, ty, init)
+        if roll < cfg.pointer_fraction + 0.15:
+            elem = rng.choice((INT, SHORT, LONG))
+            length = rng.randint(2, 4)
+            ty = ArrayType(elem, length)
+            init = [self._int_expr(scope, 1) for _ in range(length)]
+            scope.arrays.append((name, ty))
+            return ast.VarDecl(name, ty, init)
+        ty = rng.choice(_SCALAR_TYPES)
+        init = self._int_expr(scope, 2) if rng.random() < 0.8 else None
+        scope.ints.append((name, ty))
+        return ast.VarDecl(name, ty, init)
+
+    def _init_loop_then_check(self, scope: _Scope, depth: int) -> ast.Stmt:
+        """A counted loop filling an array with a constant, followed by
+        a dead check on one cell (paper Listing 9e, GCC bug #99776).
+
+        Any compiler that fully unrolls the loop and forwards the
+        stores folds the check; a vectorizer that claims the loop
+        first (trip >= its threshold) blocks exactly that.
+        """
+        rng = self.rng
+        name = self._fresh("va")
+        counter = self._fresh("i")
+        length = rng.choice((2, 2, 3, 3, 4, 5))  # >=4 triggers the vectorizer
+        value = rng.choice((0, 1, 5))
+        ty = ArrayType(INT, length)
+        # The declarations live inside the pattern's own block, so the
+        # surrounding scope must not see them.
+        scope = _Scope(
+            list(scope.ints), list(scope.pointers),
+            list(scope.arrays) + [(name, ty)],
+            list(scope.counters), set(scope.protected),
+        )
+        fill = ast.For(
+            ast.VarDecl(counter, INT, ast.IntLit(0)),
+            ast.Binary("<", ast.VarRef(counter), ast.IntLit(length)),
+            ast.Assign(ast.VarRef(counter), ast.IntLit(1), "+"),
+            ast.Block([
+                ast.Assign(ast.Index(ast.VarRef(name), ast.VarRef(counter)),
+                           ast.IntLit(value)),
+            ]),
+        )
+        check = ast.If(
+            ast.Binary("!=", ast.Index(ast.VarRef(name), ast.IntLit(rng.randrange(length))),
+                       ast.IntLit(value)),
+            self._block(scope, depth + 1, False, INT),
+        )
+        return ast.Block([ast.VarDecl(name, ty, None), fill, check])
+
+    def _cse_across_call(self, scope: _Scope, depth: int) -> ast.Stmt:
+        """A load reused across a call: the dead check folds only when
+        GVN may forward loads of non-escaping locals across call sites
+        (the knob a paper-style 'compile-time' commit turns off)."""
+        rng = self.rng
+        arr = self._fresh("ca")
+        saved = self._fresh("cv")
+        ty = ArrayType(LONG, 2)
+        # Initializers and call arguments use the *outer* scope; only
+        # the check body may refer to the pattern's own names.
+        init_exprs = [self._int_expr(scope, 1), self._int_expr(scope, 1)]
+        callee = rng.choice(self.functions)
+        self._call_counts[callee.name] = self._call_counts.get(callee.name, 0) + 1
+        call = ast.ExprStmt(ast.Call(callee.name, [
+            self._int_expr(scope, 1) for _ in callee.params
+        ]))
+        scope = _Scope(
+            list(scope.ints) + [(saved, LONG)], list(scope.pointers),
+            list(scope.arrays) + [(arr, ty)],
+            list(scope.counters), set(scope.protected),
+        )
+        check = ast.If(
+            ast.Binary("!=", ast.Index(ast.VarRef(arr), ast.IntLit(0)), ast.VarRef(saved)),
+            self._block(scope, depth + 1, False, INT),
+        )
+        return ast.Block([
+            ast.VarDecl(arr, ty, init_exprs),
+            ast.VarDecl(saved, LONG, ast.Index(ast.VarRef(arr), ast.IntLit(0))),
+            call,
+            check,
+        ])
+
+    def _pointer_target(self) -> tuple[PointerType, ast.Expr] | None:
+        """A pointer type + initializer aimed at global storage."""
+        rng = self.rng
+        int_globals = [
+            g for g in self.globals
+            if isinstance(g.ty, IntType) and not g.reset_only
+        ]
+        array_globals = [g for g in self.globals if isinstance(g.ty, ArrayType)]
+        options = []
+        if int_globals:
+            options.append("scalar")
+        if array_globals:
+            options.append("element")
+        if not options:
+            return None
+        if rng.choice(options) == "scalar":
+            g = rng.choice(int_globals)
+            return PointerType(g.ty), ast.AddrOf(ast.VarRef(g.name))
+        g = rng.choice(array_globals)
+        index = rng.randrange(g.ty.length)
+        return (
+            PointerType(g.ty.element),
+            ast.AddrOf(ast.Index(ast.VarRef(g.name), ast.IntLit(index))),
+        )
+
+    def _assignment(self, scope: _Scope) -> ast.Stmt:
+        rng = self.rng
+        if rng.random() < 0.1:
+            # Store a global's own initializer back into it ("resets"
+            # Csmith emits naturally).  Such globals stay foldable
+            # under a stored-init analysis (LLVM) but become opaque to
+            # a readonly-only analysis (GCC) — paper Listing 4a.
+            candidates = [
+                g for g in self.globals
+                if isinstance(g.ty, IntType) and g.static
+            ]
+            reset_candidates = [g for g in candidates if g.reset_only]
+            if reset_candidates or candidates:
+                g = rng.choice(reset_candidates or candidates)
+                init = self._global_inits.get(g.name, 0)
+                return ast.Assign(ast.VarRef(g.name), ast.IntLit(init))
+        target = self._lvalue(scope)
+        if target is None:
+            return ast.ExprStmt(self._int_expr(scope, 1))
+        lv, _ = target
+        if rng.random() < 0.25:
+            op = rng.choice(("+", "-", "^", "|", "&"))
+            return ast.Assign(lv, self._int_expr(scope, 2), op)
+        return ast.Assign(lv, self._int_expr(scope, self.config.max_expr_depth))
+
+    def _lvalue(self, scope: _Scope) -> tuple[ast.Expr, IntType] | None:
+        rng = self.rng
+        options: list[tuple[ast.Expr, IntType]] = []
+        writable_ints = [
+            (n, t) for n, t in scope.ints if n not in scope.protected
+        ]
+        if writable_ints:
+            n, t = rng.choice(writable_ints)
+            options.append((ast.VarRef(n), t))
+        int_globals = [
+            g for g in self.globals
+            if isinstance(g.ty, IntType) and not g.reset_only
+        ]
+        if int_globals:
+            g = rng.choice(int_globals)
+            options.append((ast.VarRef(g.name), g.ty))
+        arrays = list(scope.arrays) + [
+            (g.name, g.ty)
+            for g in self.globals
+            if isinstance(g.ty, ArrayType) and not g.read_only
+        ]
+        if arrays:
+            name, ty = rng.choice(arrays)
+            index = self._index_expr(scope, ty.length)
+            options.append((ast.Index(ast.VarRef(name), index), ty.element))
+        if scope.pointers and rng.random() < 0.4:
+            name, ty = rng.choice(scope.pointers)
+            options.append((ast.Deref(ast.VarRef(name)), ty.pointee))
+        if not options:
+            return None
+        return rng.choice(options)
+
+    def _index_expr(self, scope: _Scope, length: int) -> ast.Expr:
+        """An always-in-bounds index expression."""
+        rng = self.rng
+        fitting = [(n, b) for n, b in scope.counters if b <= length]
+        if fitting and rng.random() < 0.5:
+            return ast.VarRef(rng.choice(fitting)[0])
+        return ast.IntLit(rng.randrange(length))
+
+    def _call_stmt(self, scope: _Scope) -> ast.Stmt:
+        """Call a generated function.  Csmith-style: the call graph is
+        a tree-ish DAG where most functions have a single call site,
+        which is what makes whole-program inlining (and hence deep
+        constant folding) possible for real compilers."""
+        rng = self.rng
+        candidates = [
+            f for f in self.functions if self._call_counts.get(f.name, 0) < 2
+        ]
+        if not candidates:
+            return self._assignment(scope)
+        never_called = [f for f in candidates if f.name not in self._call_counts]
+        callee = rng.choice(never_called or candidates)
+        self._call_counts[callee.name] = self._call_counts.get(callee.name, 0) + 1
+        args = [self._int_expr(scope, 2) for _ in callee.params]
+        call = ast.Call(callee.name, args)
+        if rng.random() < 0.5:
+            target = self._lvalue(scope)
+            if target is not None:
+                return ast.Assign(target[0], call)
+        return ast.ExprStmt(call)
+
+    def _if(self, scope, depth, in_loop, return_ty) -> ast.Stmt:
+        rng, cfg = self.rng, self.config
+        cond = self._condition(scope)
+        then = self._block(scope, depth + 1, in_loop, return_ty)
+        if rng.random() < cfg.early_return_fraction:
+            then.stmts.append(ast.Return(self._int_expr(scope, 1)))
+        els = None
+        if rng.random() < cfg.else_fraction:
+            els = self._block(scope, depth + 1, in_loop, return_ty)
+        return ast.If(cond, then, els)
+
+    def _switch(self, scope, depth, return_ty) -> ast.Stmt:
+        rng = self.rng
+        scrutinee = self._int_expr(scope, 2)
+        if rng.random() < 0.6:
+            # A masked scrutinee makes out-of-range arms provably dead.
+            scrutinee = ast.Binary("&", scrutinee, ast.IntLit(rng.choice((3, 7))))
+        n_cases = rng.randint(1, 4)
+        values = rng.sample(range(-2, 12), n_cases)
+        cases = [
+            ast.SwitchCase(v, self._block(scope, depth + 1, False, return_ty))
+            for v in values
+        ]
+        if rng.random() < 0.6:
+            cases.append(
+                ast.SwitchCase(None, self._block(scope, depth + 1, False, return_ty))
+            )
+        return ast.Switch(scrutinee, cases)
+
+    def _loop(self, scope, depth, return_ty) -> ast.Stmt:
+        rng, cfg = self.rng, self.config
+        kind = rng.random()
+        counter = self._fresh("i")
+        trip_choices = [0, 1, 2, 2, 3, 4, 5, 8, cfg.max_loop_trip]
+        trip = rng.choice(trip_choices)
+        inner = _Scope(
+            list(scope.ints), list(scope.pointers), list(scope.arrays),
+            list(scope.counters), set(scope.protected),
+        )
+        inner.ints.append((counter, INT))
+        inner.counters.append((counter, max(trip, 1)))
+        inner.protected.add(counter)
+        if kind < 0.6:
+            body = self._block(inner, depth + 1, True, return_ty)
+            return ast.For(
+                ast.VarDecl(counter, INT, ast.IntLit(0)),
+                ast.Binary("<", ast.VarRef(counter), ast.IntLit(trip)),
+                ast.Assign(ast.VarRef(counter), ast.IntLit(1), "+"),
+                body,
+            )
+        # while/do-while keep their counter update inside the body, so
+        # their bodies must not contain 'continue' (it would skip the
+        # update): generate the body with loop jumps disabled.
+        body = self._block(inner, depth + 1, False, return_ty)
+        if kind < 0.85:
+            body.stmts.append(ast.Assign(ast.VarRef(counter), ast.IntLit(1), "-"))
+            loop = ast.While(ast.Binary(">", ast.VarRef(counter), ast.IntLit(0)), body)
+            return ast.Block([ast.VarDecl(counter, INT, ast.IntLit(trip)), loop])
+        body.stmts.append(ast.Assign(ast.VarRef(counter), ast.IntLit(1), "+"))
+        loop = ast.DoWhile(body, ast.Binary("<", ast.VarRef(counter), ast.IntLit(trip)))
+        return ast.Block([ast.VarDecl(counter, INT, ast.IntLit(0)), loop])
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _condition(self, scope: _Scope) -> ast.Expr:
+        rng, cfg = self.rng, self.config
+        if scope.pointers and rng.random() < 0.1:
+            name, ty = rng.choice(scope.pointers)
+            other = self._pointer_target()
+            if other is not None and other[0] == ty:
+                return ast.Binary(rng.choice(("==", "!=")), ast.VarRef(name), other[1])
+        if rng.random() < cfg.dead_bias:
+            return self._dead_condition(scope)
+        roll = rng.random()
+        if roll < 0.3:
+            # Provably-true shapes: their *else* arms are provably dead.
+            mask = rng.choice((3, 7, 15, 31))
+            expr = ast.Binary("&", self._int_expr(scope, 2), ast.IntLit(mask))
+            return ast.Binary("<=", expr, ast.IntLit(mask + rng.randint(0, 4)))
+        if roll < 0.65:
+            return ast.Binary(
+                rng.choice(_CMP_OPS), self._int_expr(scope, 2), self._int_expr(scope, 2)
+            )
+        if roll < 0.85:
+            return ast.Binary(
+                rng.choice(("&&", "||")), self._condition_leaf(scope), self._condition_leaf(scope)
+            )
+        return self._condition_leaf(scope)
+
+    def _dead_condition(self, scope: _Scope) -> ast.Expr:
+        """An always/usually-false condition.
+
+        Csmith-style dead code is mostly *statically* dead: value
+        ranges, masked values, and constant arithmetic prove the
+        branch never fires.  A tail of shapes is only *dynamically*
+        dead — those are the residual misses that make the corpus
+        interesting (paper §4.1: even at -O3 a few percent survive).
+        """
+        rng = self.rng
+        shape = rng.random()
+        if shape < 0.04:
+            # Comparing addresses of distinct objects: always false,
+            # but only foldable under the stronger addr-compare rule
+            # (paper Listing 3 — LLVM's EarlyCSE misses index != 0).
+            left = self._pointer_target()
+            right = self._pointer_target()
+            if left is not None and right is not None and left[1] is not right[1]:
+                if _addr_key(left[1]) != _addr_key(right[1]):
+                    return ast.Binary("==", left[1], right[1])
+        if shape < 0.30:
+            # Masked value vs out-of-range constant: VRP folds it.
+            mask = rng.choice((1, 3, 7, 15, 31))
+            expr = ast.Binary("&", self._int_expr(scope, 2), ast.IntLit(mask))
+            return ast.Binary(">", expr, ast.IntLit(mask + rng.randint(1, 9)))
+        if shape < 0.50:
+            # Narrow-typed value vs a threshold outside its type range.
+            expr = ast.Cast(rng.choice((CHAR, UCHAR, SHORT)), self._int_expr(scope, 2))
+            threshold = rng.choice((1 << 16, 1 << 20, 70000))
+            return ast.Binary(">", expr, ast.IntLit(threshold))
+        if shape < 0.63:
+            # Remainder range: (x % k) can never reach k or beyond.
+            k = rng.randint(2, 9)
+            expr = ast.Binary("%", self._int_expr(scope, 2), ast.IntLit(k))
+            return ast.Binary(rng.choice((">", "==")), expr, ast.IntLit(k + rng.randint(0, 5)))
+        if shape < 0.82:
+            # Constant arithmetic: front ends fold the literal-only
+            # half even at -O0; the variants with a zero-absorbed
+            # variable need real algebraic simplification (-O1+).
+            a, b = rng.randint(-20, 20), rng.randint(1, 20)
+            lhs: ast.Expr = ast.Binary(
+                rng.choice(("+", "*", "^")), ast.IntLit(a), ast.IntLit(b)
+            )
+            if rng.random() < 0.55:
+                absorbed = ast.Binary("*", self._int_expr(scope, 1), ast.IntLit(0))
+                lhs = ast.Binary("+", lhs, absorbed)
+            wrong = ast.IntLit(a + b + rng.choice((1, 2, 5)) if rng.random() < 0.5 else 10_000)
+            cond = ast.Binary("==", lhs, wrong)
+            if rng.random() < 0.4:
+                # ... sometimes guarded behind a live-looking operand.
+                return ast.Binary("&&", cond, self._condition_leaf(scope))
+            return cond
+        # The "hard" tail: dynamically dead, statically unprovable.
+        lhs = self._int_expr(scope, 2)
+        if shape < 0.91:
+            return ast.Binary("==", lhs, ast.IntLit(rng.choice((9, 13, 77, -5, 1000))))
+        if shape < 0.96:
+            return ast.Binary(">", lhs, ast.IntLit(rng.choice((500, 1 << 12, 1 << 20))))
+        return ast.Binary("<", lhs, ast.IntLit(rng.choice((-600, -(1 << 13)))))
+
+    def _condition_leaf(self, scope: _Scope) -> ast.Expr:
+        rng = self.rng
+        expr = self._int_expr(scope, 1)
+        if rng.random() < 0.3:
+            return ast.Unary("!", expr)
+        return expr
+
+    def _int_expr(self, scope: _Scope, depth: int) -> ast.Expr:
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.35:
+            return self._int_leaf(scope)
+        roll = rng.random()
+        if roll < 0.12:
+            return ast.Unary(rng.choice(("-", "~", "!")), self._int_expr(scope, depth - 1))
+        if roll < 0.2:
+            ty = rng.choice(_SCALAR_TYPES)
+            return ast.Cast(ty, self._int_expr(scope, depth - 1))
+        op = rng.choice(_BIN_OPS + _CMP_OPS)
+        return ast.Binary(op, self._int_expr(scope, depth - 1), self._int_expr(scope, depth - 1))
+
+    def _int_leaf(self, scope: _Scope) -> ast.Expr:
+        rng = self.rng
+        options = []
+        if scope.ints:
+            options.append("local")
+        int_globals = [g for g in self.globals if isinstance(g.ty, IntType)]
+        if int_globals:
+            options.append("global")
+        arrays = list(scope.arrays) + [
+            (g.name, g.ty) for g in self.globals if isinstance(g.ty, ArrayType)
+        ]
+        if arrays:
+            options.append("element")
+        if scope.pointers:
+            options.append("deref")
+        options.append("const")
+        choice = rng.choice(options)
+        if choice == "local":
+            return ast.VarRef(rng.choice(scope.ints)[0])
+        if choice == "global":
+            return ast.VarRef(rng.choice(int_globals).name)
+        if choice == "element":
+            name, ty = rng.choice(arrays)
+            return ast.Index(ast.VarRef(name), self._index_expr(scope, ty.length))
+        if choice == "deref":
+            return ast.Deref(ast.VarRef(rng.choice(scope.pointers)[0]))
+        return ast.IntLit(rng.choice((0, 1, 2, 3, 4, 6, 9, 12, 100, 255, -1, -7)))

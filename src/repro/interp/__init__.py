@@ -1,0 +1,19 @@
+"""Reference execution of MiniC programs (the ground-truth oracle)."""
+
+from .interpreter import (
+    DEFAULT_STEP_LIMIT,
+    Address,
+    ExecutionResult,
+    InterpreterError,
+    StepLimitExceeded,
+    run_program,
+)
+
+__all__ = [
+    "DEFAULT_STEP_LIMIT",
+    "Address",
+    "ExecutionResult",
+    "InterpreterError",
+    "StepLimitExceeded",
+    "run_program",
+]

@@ -1,0 +1,581 @@
+"""MiniC reference interpreter.
+
+Executes a checked MiniC program directly on the AST.  This is the
+paper's *ground truth* mechanism: the test programs are deterministic
+and input-free, so a marker (call to an opaque function) executed
+during interpretation belongs to an alive block, and every marker that
+is never executed is dead for all executions.
+
+The interpreter also produces a checksum of all global state at exit,
+which the test suite uses for translation validation against the IR
+interpreter at every optimization level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..frontend.typecheck import SymbolInfo, check_program
+from ..lang import ast_nodes as ast
+from ..lang.semantics import eval_binop, eval_unop, wrap
+from ..lang.types import (
+    INT,
+    LONG,
+    ArrayType,
+    IntType,
+    PointerType,
+    Type,
+    VoidType,
+    promote,
+    usual_arithmetic_conversion,
+)
+
+
+class StepLimitExceeded(RuntimeError):
+    """The program exceeded the execution step budget."""
+
+
+class InterpreterError(RuntimeError):
+    """An internal inconsistency (checked programs should never hit it)."""
+
+
+@dataclass(frozen=True)
+class Address:
+    """A pointer value: a cell within a named storage object.
+
+    ``object_id`` is unique per storage object (globals keep their
+    name; locals get a fresh id per activation); ``index`` selects the
+    cell (0 for scalars).
+    """
+
+    object_id: str
+    index: int
+    element: IntType
+
+
+NULL = None  # the null pointer value
+_U64 = 0xFFFFFFFFFFFFFFFF
+
+
+@dataclass
+class _Storage:
+    """One storage object: a boxed list of integer cells."""
+
+    element: IntType
+    cells: list
+
+
+@dataclass
+class ExecutionResult:
+    """Everything observable about one program execution."""
+
+    exit_code: int
+    marker_hits: dict[str, int] = field(default_factory=dict)
+    steps: int = 0
+    checksum: int = 0
+    #: order-insensitive fold of every opaque call's (name, args);
+    #: compilers must preserve it exactly.
+    call_trace: int = 0
+    #: activation counts of *defined* functions (used by the primary
+    #: marker analysis; not part of observable behaviour — inlining
+    #: legitimately changes it)
+    function_calls: dict[str, int] = field(default_factory=dict)
+
+    def executed_markers(self) -> frozenset[str]:
+        return frozenset(self.marker_hits)
+
+
+def call_observation(callee: str, values: list) -> int:
+    """A deterministic digest of one opaque call (callee + arguments)."""
+    acc = 0x9E3779B97F4A7C15
+    for ch in callee.encode():
+        acc = ((acc ^ ch) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    for value in values:
+        if isinstance(value, Address):
+            # Local objects get interpreter-specific ids (frame names
+            # vs stack-slot names); only the *cell within a global* is
+            # a stable observation.  Locals hash to a fixed tag.
+            if "#" in value.object_id or value.object_id.startswith("%"):
+                piece = 2
+            else:
+                piece = pointer_cell_hash(value.object_id, value.index)
+        elif value is NULL:
+            piece = 1
+        else:
+            piece = (int(value) * 2 + 3) & 0xFFFFFFFFFFFFFFFF
+        acc = ((acc ^ piece) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return acc or 1
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value) -> None:
+        super().__init__()
+        self.value = value
+
+
+# Default budget: generous for generator output (which bounds loops),
+# small enough that accidental runaway programs fail fast.
+DEFAULT_STEP_LIMIT = 2_000_000
+
+
+def pointer_cell_hash(object_id: str, index: int) -> int:
+    """Deterministic (process-independent) hash of a pointer cell.
+
+    Used by both interpreters' checksums so a pointer to global ``g``
+    hashes identically whether produced by AST or IR execution.
+    Pointers to *locals* escape only in programs the generator never
+    produces; their object ids differ between the two interpreters by
+    design, which translation-validation tests would flag.
+    """
+    acc = 0x811C9DC5
+    for byte in object_id.encode():
+        acc = ((acc ^ byte) * 0x01000193) & 0xFFFFFFFF
+    return (acc ^ (index & 0xFFFF)) & 0xFFFF
+
+
+def run_program(
+    program: ast.Program,
+    step_limit: int = DEFAULT_STEP_LIMIT,
+    info: SymbolInfo | None = None,
+) -> ExecutionResult:
+    """Execute ``program`` starting from ``main`` and return the result.
+
+    ``info`` may be passed when the program has already been checked;
+    otherwise the checker runs first (annotating expression types).
+    """
+    if info is None:
+        info = check_program(program)
+    return _Interpreter(program, info, step_limit).run()
+
+
+class _Interpreter:
+    def __init__(self, program: ast.Program, info: SymbolInfo, step_limit: int) -> None:
+        self.program = program
+        self.info = info
+        self.step_limit = step_limit
+        self.steps = 0
+        self.call_trace = 0
+        self.marker_hits: dict[str, int] = {}
+        self.function_calls: dict[str, int] = {}
+        self.storage: dict[str, _Storage] = {}
+        self._activation = 0
+        self._globals_order: list[str] = []
+        self._init_globals()
+
+    # -- setup ------------------------------------------------------------
+
+    def _init_globals(self) -> None:
+        for g in self.program.globals():
+            # Only externally-visible globals are observable state at
+            # exit; internal (static) globals may legally be optimized
+            # away entirely, so they stay out of the checksum.
+            if not g.static:
+                self._globals_order.append(g.name)
+            ty = g.ty
+            if isinstance(ty, ArrayType):
+                values = g.init if isinstance(g.init, list) else [0] * ty.length
+                cells = [wrap(v, ty.element) for v in values]
+                self.storage[g.name] = _Storage(ty.element, cells)
+            elif isinstance(ty, IntType):
+                init = g.init if isinstance(g.init, int) else 0
+                self.storage[g.name] = _Storage(ty, [wrap(init, ty)])
+            elif isinstance(ty, PointerType):
+                self.storage[g.name] = _Storage(ty.pointee, [NULL])
+            else:
+                raise InterpreterError(f"bad global type {ty}")
+        # Pointer globals may reference other globals; resolve after all
+        # storage exists.
+        for g in self.program.globals():
+            if isinstance(g.ty, PointerType) and g.init is not None:
+                addr = self._const_address(g.init)
+                self.storage[g.name].cells[0] = addr
+
+    def _const_address(self, init) -> Address:
+        if isinstance(init, ast.AddrOf):
+            lv = init.lvalue
+            if isinstance(lv, ast.VarRef):
+                store = self.storage[lv.name]
+                return Address(lv.name, 0, store.element)
+            if isinstance(lv, ast.Index) and isinstance(lv.base, ast.VarRef):
+                if not isinstance(lv.index, ast.IntLit):
+                    raise InterpreterError("non-constant global pointer init")
+                store = self.storage[lv.base.name]
+                return Address(lv.base.name, lv.index.value, store.element)
+        raise InterpreterError(f"unsupported pointer initializer {init!r}")
+
+    # -- driver --------------------------------------------------------------
+
+    def run(self) -> ExecutionResult:
+        main = self.program.function("main")
+        try:
+            value = self._call_function(main, [])
+        except _ReturnSignal as sig:  # pragma: no cover - defensive
+            value = sig.value
+        exit_code = value if isinstance(value, int) else 0
+        return ExecutionResult(
+            exit_code=wrap(exit_code if exit_code is not None else 0, INT),
+            marker_hits=dict(self.marker_hits),
+            steps=self.steps,
+            checksum=self._checksum(),
+            call_trace=self.call_trace,
+            function_calls=dict(self.function_calls),
+        )
+
+    def _checksum(self) -> int:
+        acc = 0xCBF29CE484222325  # FNV offset basis
+        for name in self._globals_order:
+            for cell in self.storage[name].cells:
+                if isinstance(cell, Address):
+                    piece = pointer_cell_hash(cell.object_id, cell.index)
+                elif cell is NULL:
+                    piece = 0
+                else:
+                    piece = cell & 0xFFFFFFFFFFFFFFFF
+                acc ^= piece
+                acc = (acc * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        return acc
+
+    def _tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.step_limit:
+            raise StepLimitExceeded(f"exceeded {self.step_limit} steps")
+
+    # -- function calls -----------------------------------------------------
+
+    def _call_function(self, func: ast.FuncDef, args: list):
+        self.function_calls[func.name] = self.function_calls.get(func.name, 0) + 1
+        self._activation += 1
+        frame_prefix = f"{func.name}#{self._activation}:"
+        frame: dict[str, str] = {}
+        created: list[str] = []
+        for param, value in zip(func.params, args):
+            obj = frame_prefix + param.name
+            element = param.ty if isinstance(param.ty, IntType) else param.ty.pointee
+            stored = wrap(value, param.ty) if isinstance(param.ty, IntType) else value
+            self.storage[obj] = _Storage(element, [stored])
+            frame[param.name] = obj
+            created.append(obj)
+        result = None
+        try:
+            self._exec_block(func.body, frame, frame_prefix, created)
+        except _ReturnSignal as sig:
+            result = sig.value
+        finally:
+            for obj in created:
+                self.storage.pop(obj, None)
+        if result is None and isinstance(func.return_ty, IntType):
+            result = 0
+        return result
+
+    def _call(self, expr: ast.Call, frame: dict[str, str]):
+        sig = self.info.functions[expr.callee]
+        values = [self._eval_converted(a, want, frame) for a, want in zip(expr.args, sig.param_tys)]
+        if not sig.is_defined:
+            self.marker_hits[expr.callee] = self.marker_hits.get(expr.callee, 0) + 1
+            self.call_trace = (self.call_trace + call_observation(expr.callee, values)) & _U64
+            if isinstance(sig.return_ty, IntType):
+                return 0
+            return None
+        callee = self.program.function(expr.callee)
+        return self._call_function(callee, values)
+
+    # -- statements ----------------------------------------------------------
+
+    def _exec_block(
+        self,
+        block: ast.Block,
+        frame: dict[str, str],
+        prefix: str,
+        created: list[str],
+    ) -> None:
+        shadowed: list[tuple[str, str | None]] = []
+        declared: list[str] = []
+        try:
+            for stmt in block.stmts:
+                self._exec_stmt(stmt, frame, prefix, created, shadowed, declared)
+        finally:
+            for name in declared:
+                frame.pop(name, None)
+            for name, old in reversed(shadowed):
+                if old is not None:
+                    frame[name] = old
+
+    def _exec_stmt(self, stmt, frame, prefix, created, shadowed, declared) -> None:
+        self._tick()
+        if isinstance(stmt, ast.Block):
+            self._exec_block(stmt, frame, prefix, created)
+        elif isinstance(stmt, ast.VarDecl):
+            self._declare(stmt, frame, prefix, created, shadowed, declared)
+        elif isinstance(stmt, ast.Assign):
+            self._assign(stmt, frame)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._eval(stmt.expr, frame)
+        elif isinstance(stmt, ast.If):
+            if self._truthy(stmt.cond, frame):
+                self._exec_block(stmt.then, frame, prefix, created)
+            elif stmt.els is not None:
+                self._exec_block(stmt.els, frame, prefix, created)
+        elif isinstance(stmt, ast.While):
+            while self._truthy(stmt.cond, frame):
+                self._tick()
+                try:
+                    self._exec_block(stmt.body, frame, prefix, created)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    continue
+        elif isinstance(stmt, ast.DoWhile):
+            while True:
+                self._tick()
+                try:
+                    self._exec_block(stmt.body, frame, prefix, created)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    pass
+                if not self._truthy(stmt.cond, frame):
+                    break
+        elif isinstance(stmt, ast.For):
+            self._exec_for(stmt, frame, prefix, created)
+        elif isinstance(stmt, ast.Switch):
+            self._exec_switch(stmt, frame, prefix, created)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                raise _ReturnSignal(None)
+            value = self._eval(stmt.value, frame)
+            raise _ReturnSignal(value)
+        elif isinstance(stmt, ast.Break):
+            raise _BreakSignal()
+        elif isinstance(stmt, ast.Continue):
+            raise _ContinueSignal()
+        else:
+            raise InterpreterError(f"unknown statement {stmt!r}")
+
+    def _exec_for(self, stmt: ast.For, frame, prefix, created) -> None:
+        inner_shadowed: list[tuple[str, str | None]] = []
+        inner_declared: list[str] = []
+        try:
+            if stmt.init is not None:
+                self._exec_stmt(stmt.init, frame, prefix, created, inner_shadowed, inner_declared)
+            while stmt.cond is None or self._truthy(stmt.cond, frame):
+                self._tick()
+                try:
+                    self._exec_block(stmt.body, frame, prefix, created)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    pass
+                if stmt.step is not None:
+                    self._exec_stmt(stmt.step, frame, prefix, created, inner_shadowed, inner_declared)
+        finally:
+            for name in inner_declared:
+                frame.pop(name, None)
+            for name, old in reversed(inner_shadowed):
+                if old is not None:
+                    frame[name] = old
+
+    def _exec_switch(self, stmt: ast.Switch, frame, prefix, created) -> None:
+        value = self._eval(stmt.scrutinee, frame)
+        default = None
+        chosen = None
+        for case in stmt.cases:
+            if case.value is None:
+                default = case
+            elif case.value == value:
+                chosen = case
+                break
+        if chosen is None:
+            chosen = default
+        if chosen is not None:
+            try:
+                self._exec_block(chosen.body, frame, prefix, created)
+            except _BreakSignal:
+                pass
+
+    def _declare(self, stmt: ast.VarDecl, frame, prefix, created, shadowed, declared) -> None:
+        obj = f"{prefix}{stmt.name}@{len(created)}"
+        ty = stmt.ty
+        if isinstance(ty, ArrayType):
+            cells = [0] * ty.length
+            if isinstance(stmt.init, list):
+                for i, e in enumerate(stmt.init):
+                    cells[i] = self._eval_converted(e, ty.element, frame)
+            self.storage[obj] = _Storage(ty.element, cells)
+        elif isinstance(ty, IntType):
+            value = 0
+            if isinstance(stmt.init, ast.Expr):
+                value = self._eval_converted(stmt.init, ty, frame)
+            self.storage[obj] = _Storage(ty, [value])
+        elif isinstance(ty, PointerType):
+            value = NULL
+            if isinstance(stmt.init, ast.Expr):
+                value = self._eval(stmt.init, frame)
+            self.storage[obj] = _Storage(ty.pointee, [value])
+        else:
+            raise InterpreterError(f"bad local type {ty}")
+        if stmt.name in frame:
+            shadowed.append((stmt.name, frame[stmt.name]))
+        else:
+            shadowed.append((stmt.name, None))
+            declared.append(stmt.name)
+        frame[stmt.name] = obj
+        created.append(obj)
+
+    def _assign(self, stmt: ast.Assign, frame) -> None:
+        addr = self._lvalue_address(stmt.target, frame)
+        store = self.storage[addr.object_id]
+        target_ty = stmt.target.ty
+        if stmt.op:
+            assert isinstance(target_ty, IntType)
+            old = store.cells[addr.index]
+            rhs_ty = stmt.value.ty
+            assert isinstance(rhs_ty, IntType)
+            common = usual_arithmetic_conversion(target_ty, rhs_ty)
+            lhs_v = wrap(old, common)
+            rhs_v = wrap(self._eval(stmt.value, frame), common)
+            result = eval_binop(stmt.op, lhs_v, rhs_v, common)
+            store.cells[addr.index] = wrap(result, target_ty)
+            return
+        if isinstance(target_ty, PointerType):
+            store.cells[addr.index] = self._eval(stmt.value, frame)
+        else:
+            assert isinstance(target_ty, IntType)
+            store.cells[addr.index] = self._eval_converted(stmt.value, target_ty, frame)
+
+    # -- expressions ----------------------------------------------------------
+
+    def _truthy(self, expr: ast.Expr, frame) -> bool:
+        value = self._eval(expr, frame)
+        if isinstance(value, Address):
+            return True
+        return value not in (0, NULL)
+
+    def _eval_converted(self, expr: ast.Expr, want: Type, frame):
+        value = self._eval(expr, frame)
+        if isinstance(want, IntType):
+            if isinstance(value, Address) or value is NULL:
+                raise InterpreterError("pointer converted to integer")
+            return wrap(value, want)
+        return value
+
+    def _object_for(self, name: str, frame) -> str:
+        obj = frame.get(name)
+        if obj is not None:
+            return obj
+        if name in self.storage:
+            return name
+        raise InterpreterError(f"no storage for {name}")
+
+    def _lvalue_address(self, expr: ast.Expr, frame) -> Address:
+        self._tick()
+        if isinstance(expr, ast.VarRef):
+            obj = self._object_for(expr.name, frame)
+            store = self.storage[obj]
+            return Address(obj, 0, store.element)
+        if isinstance(expr, ast.Index):
+            base = expr.base
+            index = self._eval(expr.index, frame)
+            if isinstance(index, Address):
+                raise InterpreterError("pointer used as index")
+            if isinstance(base, ast.VarRef) and isinstance(base.ty, ArrayType):
+                obj = self._object_for(base.name, frame)
+                store = self.storage[obj]
+                idx = index % len(store.cells)  # MiniC defines wrapping access
+                return Address(obj, idx, store.element)
+            ptr = self._eval(base, frame)
+            if not isinstance(ptr, Address):
+                raise InterpreterError("indexing a null pointer")
+            store = self.storage[ptr.object_id]
+            idx = (ptr.index + index) % len(store.cells)
+            return Address(ptr.object_id, idx, store.element)
+        if isinstance(expr, ast.Deref):
+            ptr = self._eval(expr.pointer, frame)
+            if not isinstance(ptr, Address):
+                raise InterpreterError("dereferencing a null pointer")
+            return ptr
+        raise InterpreterError(f"not an lvalue: {expr!r}")
+
+    def _eval(self, expr: ast.Expr, frame):
+        self._tick()
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.VarRef):
+            obj = self._object_for(expr.name, frame)
+            store = self.storage[obj]
+            if isinstance(expr.ty, ArrayType):
+                # Array decays to pointer to first element.
+                return Address(obj, 0, store.element)
+            return store.cells[0]
+        if isinstance(expr, (ast.Index, ast.Deref)):
+            addr = self._lvalue_address(expr, frame)
+            return self.storage[addr.object_id].cells[addr.index]
+        if isinstance(expr, ast.AddrOf):
+            return self._lvalue_address(expr.lvalue, frame)
+        if isinstance(expr, ast.Unary):
+            value = self._eval(expr.operand, frame)
+            assert isinstance(expr.ty, IntType)
+            if expr.op == "!":
+                if isinstance(value, Address):
+                    return 0
+                if value is NULL:
+                    return 1
+                return 1 if value == 0 else 0
+            operand_ty = expr.operand.ty
+            assert isinstance(operand_ty, IntType)
+            promoted = promote(operand_ty)
+            return eval_unop(expr.op, wrap(value, promoted), promoted)
+        if isinstance(expr, ast.Cast):
+            value = self._eval(expr.operand, frame)
+            if isinstance(value, Address) or value is NULL:
+                raise InterpreterError("pointer cast to integer")
+            return wrap(value, expr.target)
+        if isinstance(expr, ast.Binary):
+            return self._binary(expr, frame)
+        if isinstance(expr, ast.Call):
+            return self._call(expr, frame)
+        raise InterpreterError(f"unknown expression {expr!r}")
+
+    def _binary(self, expr: ast.Binary, frame):
+        op = expr.op
+        if op == "&&":
+            if not self._truthy(expr.lhs, frame):
+                return 0
+            return 1 if self._truthy(expr.rhs, frame) else 0
+        if op == "||":
+            if self._truthy(expr.lhs, frame):
+                return 1
+            return 1 if self._truthy(expr.rhs, frame) else 0
+        lhs = self._eval(expr.lhs, frame)
+        rhs = self._eval(expr.rhs, frame)
+        lhs_ty = expr.lhs.ty
+        rhs_ty = expr.rhs.ty
+        if isinstance(lhs_ty, (PointerType, ArrayType)) or isinstance(rhs_ty, (PointerType, ArrayType)):
+            same = _pointer_equal(lhs, rhs)
+            if op == "==":
+                return 1 if same else 0
+            if op == "!=":
+                return 0 if same else 1
+            raise InterpreterError(f"pointer operands for {op!r}")
+        assert isinstance(lhs_ty, IntType) and isinstance(rhs_ty, IntType)
+        common = usual_arithmetic_conversion(lhs_ty, rhs_ty)
+        return eval_binop(op, wrap(lhs, common), wrap(rhs, common), common)
+
+
+def _pointer_equal(lhs, rhs) -> bool:
+    if lhs is NULL or rhs is NULL:
+        return lhs is NULL and rhs is NULL
+    if isinstance(lhs, Address) and isinstance(rhs, Address):
+        return lhs.object_id == rhs.object_id and lhs.index == rhs.index
+    if isinstance(lhs, Address) or isinstance(rhs, Address):
+        # Pointer compared against integer 0 (null).
+        other = rhs if isinstance(lhs, Address) else lhs
+        return False if other == 0 else False
+    return lhs == rhs

@@ -1,0 +1,31 @@
+"""SSA-flavoured intermediate representation and its tooling."""
+
+from . import instructions
+from .dominators import DominatorTree
+from .function import Block, ExternFunction, GlobalInfo, IRFunction, Module
+from .interp import run_module
+from .printer import print_function, print_module
+from .values import Constant, GlobalRef, NullPtr, Param, Value, const_int
+from .verify import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "Block",
+    "Constant",
+    "DominatorTree",
+    "ExternFunction",
+    "GlobalInfo",
+    "GlobalRef",
+    "IRFunction",
+    "Module",
+    "NullPtr",
+    "Param",
+    "Value",
+    "VerificationError",
+    "const_int",
+    "instructions",
+    "print_function",
+    "print_module",
+    "run_module",
+    "verify_function",
+    "verify_module",
+]

@@ -1,0 +1,119 @@
+"""Dominator tree and dominance frontiers.
+
+Implements the Cooper–Harvey–Kennedy "engineered" dominance algorithm,
+which is simple and fast enough for our function sizes.  Used by SSA
+construction (mem2reg), GVN's dominator-order walk, and the verifier.
+"""
+
+from __future__ import annotations
+
+from .function import Block, IRFunction
+
+
+class DominatorTree:
+    """Immutable snapshot of the dominance relation of a function.
+
+    Only blocks reachable from entry participate; unreachable blocks
+    are absent from all maps.
+    """
+
+    def __init__(self, func: IRFunction) -> None:
+        self.func = func
+        rpo = func.reverse_postorder()
+        index = {id(b): i for i, b in enumerate(rpo)}
+        preds = func.predecessors()
+        idom: dict[int, Block] = {id(rpo[0]): rpo[0]}
+
+        changed = True
+        while changed:
+            changed = False
+            for block in rpo[1:]:
+                new_idom: Block | None = None
+                for pred in preds[block]:
+                    if id(pred) not in idom or id(pred) not in index:
+                        continue
+                    if new_idom is None:
+                        new_idom = pred
+                    else:
+                        new_idom = self._intersect(pred, new_idom, idom, index)
+                if new_idom is not None and idom.get(id(block)) is not new_idom:
+                    idom[id(block)] = new_idom
+                    changed = True
+
+        self._rpo = rpo
+        self._index = index
+        self._idom = idom
+        self._children: dict[int, list[Block]] = {id(b): [] for b in rpo}
+        for block in rpo[1:]:
+            parent = idom.get(id(block))
+            if parent is not None:
+                self._children[id(parent)].append(block)
+        self._frontiers: dict[int, list[Block]] | None = None
+        self._preds = preds
+
+    @staticmethod
+    def _intersect(b1: Block, b2: Block, idom: dict[int, Block], index: dict[int, int]) -> Block:
+        while b1 is not b2:
+            while index[id(b1)] > index[id(b2)]:
+                b1 = idom[id(b1)]
+            while index[id(b2)] > index[id(b1)]:
+                b2 = idom[id(b2)]
+        return b1
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def reverse_postorder(self) -> list[Block]:
+        return list(self._rpo)
+
+    def idom(self, block: Block) -> Block | None:
+        """Immediate dominator (None for entry / unreachable blocks)."""
+        parent = self._idom.get(id(block))
+        if parent is block:
+            return None
+        return parent
+
+    def children(self, block: Block) -> list[Block]:
+        return list(self._children.get(id(block), []))
+
+    def dominates(self, a: Block, b: Block) -> bool:
+        """True when ``a`` dominates ``b`` (reflexive)."""
+        runner: Block | None = b
+        while runner is not None:
+            if runner is a:
+                return True
+            parent = self._idom.get(id(runner))
+            if parent is runner:
+                return False
+            runner = parent
+        return False
+
+    def frontiers(self) -> dict[int, list[Block]]:
+        """Dominance frontier per block id (computed lazily)."""
+        if self._frontiers is not None:
+            return self._frontiers
+        df: dict[int, list[Block]] = {id(b): [] for b in self._rpo}
+        for block in self._rpo:
+            preds = [p for p in self._preds[block] if id(p) in self._index]
+            if len(preds) < 2:
+                continue
+            target_idom = self._idom[id(block)]
+            for pred in preds:
+                runner = pred
+                while runner is not target_idom:
+                    bucket = df[id(runner)]
+                    if block not in bucket:
+                        bucket.append(block)
+                    runner = self._idom[id(runner)]
+        self._frontiers = df
+        return df
+
+    def dom_preorder(self) -> list[Block]:
+        """Blocks in dominator-tree preorder (parents before children)."""
+        order: list[Block] = []
+        stack = [self._rpo[0]]
+        while stack:
+            block = stack.pop()
+            order.append(block)
+            stack.extend(reversed(self._children[id(block)]))
+        return order

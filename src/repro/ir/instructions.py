@@ -1,0 +1,406 @@
+"""IR instruction set.
+
+A deliberately small, orthogonal instruction set:
+
+========== ===========================================================
+``alloca``   create a stack object (address result)
+``gep``      pointer arithmetic: ``base + index`` elements
+``load``     read one integer cell through a pointer
+``store``    write one integer cell through a pointer
+``binop``    integer arithmetic/bitwise op in an explicit type
+``icmp``     integer comparison (explicit operand type, i32 result)
+``pcmp``     pointer equality comparison (i32 result)
+``cast``     integer width/signedness conversion
+``select``   ``cond ? a : b`` without control flow
+``call``     function call (opaque or defined callee)
+``phi``      SSA merge
+``br``       conditional branch (non-zero = taken)
+``jmp``      unconditional branch
+``ret``      return
+``unreachable`` end of a block proven never to execute
+========== ===========================================================
+
+Instructions that produce a result are themselves :class:`Value`\\ s.
+Operand access is uniform through :meth:`Instr.operands` and
+:meth:`Instr.replace_uses`, which is what makes the passes generic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from ..lang.types import INT, IntType, PointerType, Type, VoidType
+from .values import Value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .function import Block
+
+
+class Instr(Value):
+    """Base instruction.  ``block`` is maintained by Block helpers."""
+
+    __slots__ = ("ty", "block", "name")
+
+    def __init__(self, ty: Type) -> None:
+        self.ty = ty
+        self.block: "Block | None" = None
+        self.name: str | None = None  # printer-assigned
+
+    # -- generic operand plumbing -------------------------------------
+
+    def operands(self) -> list[Value]:
+        raise NotImplementedError
+
+    def set_operands(self, new: list[Value]) -> None:
+        raise NotImplementedError
+
+    def replace_uses(self, mapping: dict[Value, Value]) -> bool:
+        """Substitute operands according to ``mapping`` (by identity).
+
+        Returns True when anything changed.
+        """
+        ops = self.operands()
+        changed = False
+        for i, op in enumerate(ops):
+            new = mapping.get(op)
+            if new is not None and new is not op:
+                ops[i] = new
+                changed = True
+        if changed:
+            self.set_operands(ops)
+        return changed
+
+    def map_operands(self, fn: Callable[[Value], Value]) -> None:
+        self.set_operands([fn(op) for op in self.operands()])
+
+    # -- classification -------------------------------------------------
+
+    @property
+    def is_terminator(self) -> bool:
+        return isinstance(self, (Br, Jmp, Ret, Unreachable))
+
+    def has_side_effects(self) -> bool:
+        """True when the instruction must not be removed even if its
+        result is unused."""
+        return isinstance(self, (Store, Call)) or self.is_terminator
+
+    def produces_value(self) -> bool:
+        return not isinstance(self.ty, VoidType) and not self.is_terminator
+
+
+class Alloca(Instr):
+    """A stack object of ``length`` cells of ``element`` type.
+
+    When ``is_pointer_slot`` is true the (single) cell stores a
+    *pointer to element* rather than an element; such slots are read
+    with :class:`LoadPtr`.  The Alloca's own value type is the address
+    of the slot in both cases.
+    """
+
+    __slots__ = ("var_name", "element", "length", "is_pointer_slot")
+
+    def __init__(
+        self,
+        var_name: str,
+        element: IntType,
+        length: int = 1,
+        is_pointer_slot: bool = False,
+    ) -> None:
+        super().__init__(PointerType(element))
+        self.var_name = var_name
+        self.element = element
+        self.length = length
+        self.is_pointer_slot = is_pointer_slot
+
+    def operands(self) -> list[Value]:
+        return []
+
+    def set_operands(self, new: list[Value]) -> None:
+        assert not new
+
+
+class Gep(Instr):
+    """``result = base + index`` (in elements).  ``base`` is a pointer."""
+
+    __slots__ = ("base", "index")
+
+    def __init__(self, base: Value, index: Value) -> None:
+        assert isinstance(base.ty, PointerType), base
+        super().__init__(base.ty)
+        self.base = base
+        self.index = index
+
+    def operands(self) -> list[Value]:
+        return [self.base, self.index]
+
+    def set_operands(self, new: list[Value]) -> None:
+        self.base, self.index = new
+
+
+class Load(Instr):
+    __slots__ = ("address",)
+
+    def __init__(self, address: Value) -> None:
+        assert isinstance(address.ty, PointerType), address
+        super().__init__(address.ty.pointee)
+        self.address = address
+
+    def operands(self) -> list[Value]:
+        return [self.address]
+
+    def set_operands(self, new: list[Value]) -> None:
+        (self.address,) = new
+
+
+class LoadPtr(Instr):
+    """Load a *pointer* cell (MiniC pointer variables live in memory
+    until mem2reg promotes them)."""
+
+    __slots__ = ("address", "pointee")
+
+    def __init__(self, address: Value, pointee: IntType) -> None:
+        super().__init__(PointerType(pointee))
+        self.address = address
+        self.pointee = pointee
+
+    def operands(self) -> list[Value]:
+        return [self.address]
+
+    def set_operands(self, new: list[Value]) -> None:
+        (self.address,) = new
+
+
+class Store(Instr):
+    __slots__ = ("address", "value")
+
+    def __init__(self, address: Value, value: Value) -> None:
+        super().__init__(VoidType())
+        self.address = address
+        self.value = value
+
+    def operands(self) -> list[Value]:
+        return [self.address, self.value]
+
+    def set_operands(self, new: list[Value]) -> None:
+        self.address, self.value = new
+
+
+class BinOp(Instr):
+    """Arithmetic/bitwise op; both operands and result have type ``ty``."""
+
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op: str, lhs: Value, rhs: Value, ty: IntType) -> None:
+        super().__init__(ty)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def operands(self) -> list[Value]:
+        return [self.lhs, self.rhs]
+
+    def set_operands(self, new: list[Value]) -> None:
+        self.lhs, self.rhs = new
+
+
+class ICmp(Instr):
+    """Integer comparison in ``operand_ty``; produces i32 0/1."""
+
+    __slots__ = ("op", "lhs", "rhs", "operand_ty")
+
+    def __init__(self, op: str, lhs: Value, rhs: Value, operand_ty: IntType) -> None:
+        super().__init__(INT)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+        self.operand_ty = operand_ty
+
+    def operands(self) -> list[Value]:
+        return [self.lhs, self.rhs]
+
+    def set_operands(self, new: list[Value]) -> None:
+        self.lhs, self.rhs = new
+
+
+class PCmp(Instr):
+    """Pointer equality comparison ('==' or '!='); produces i32 0/1."""
+
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op: str, lhs: Value, rhs: Value) -> None:
+        assert op in ("==", "!=")
+        super().__init__(INT)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def operands(self) -> list[Value]:
+        return [self.lhs, self.rhs]
+
+    def set_operands(self, new: list[Value]) -> None:
+        self.lhs, self.rhs = new
+
+
+class Cast(Instr):
+    """Integer conversion from the operand's type to ``ty``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Value, to_ty: IntType) -> None:
+        super().__init__(to_ty)
+        self.value = value
+
+    def operands(self) -> list[Value]:
+        return [self.value]
+
+    def set_operands(self, new: list[Value]) -> None:
+        (self.value,) = new
+
+
+class Select(Instr):
+    """``cond != 0 ? if_true : if_false`` — no control flow."""
+
+    __slots__ = ("cond", "if_true", "if_false")
+
+    def __init__(self, cond: Value, if_true: Value, if_false: Value, ty: Type) -> None:
+        super().__init__(ty)
+        self.cond = cond
+        self.if_true = if_true
+        self.if_false = if_false
+
+    def operands(self) -> list[Value]:
+        return [self.cond, self.if_true, self.if_false]
+
+    def set_operands(self, new: list[Value]) -> None:
+        self.cond, self.if_true, self.if_false = new
+
+
+class Call(Instr):
+    __slots__ = ("callee", "args")
+
+    def __init__(self, callee: str, args: list[Value], return_ty: Type) -> None:
+        super().__init__(return_ty)
+        self.callee = callee
+        self.args = list(args)
+
+    def operands(self) -> list[Value]:
+        return list(self.args)
+
+    def set_operands(self, new: list[Value]) -> None:
+        self.args = list(new)
+
+
+class Phi(Instr):
+    """SSA merge: one incoming value per predecessor block."""
+
+    __slots__ = ("incomings",)
+
+    def __init__(self, ty: Type, incomings: list[tuple["Block", Value]] | None = None) -> None:
+        super().__init__(ty)
+        self.incomings: list[tuple["Block", Value]] = list(incomings or [])
+
+    def operands(self) -> list[Value]:
+        return [v for _, v in self.incomings]
+
+    def set_operands(self, new: list[Value]) -> None:
+        assert len(new) == len(self.incomings)
+        self.incomings = [(b, v) for (b, _), v in zip(self.incomings, new)]
+
+    def incoming_for(self, block: "Block") -> Value:
+        for b, v in self.incomings:
+            if b is block:
+                return v
+        raise KeyError(f"no incoming from {block}")
+
+    def remove_incoming(self, block: "Block") -> None:
+        self.incomings = [(b, v) for b, v in self.incomings if b is not block]
+
+
+class Br(Instr):
+    """Conditional branch; any non-zero condition takes ``if_true``."""
+
+    __slots__ = ("cond", "if_true", "if_false")
+
+    def __init__(self, cond: Value, if_true: "Block", if_false: "Block") -> None:
+        super().__init__(VoidType())
+        self.cond = cond
+        self.if_true = if_true
+        self.if_false = if_false
+
+    def operands(self) -> list[Value]:
+        return [self.cond]
+
+    def set_operands(self, new: list[Value]) -> None:
+        (self.cond,) = new
+
+
+class Jmp(Instr):
+    __slots__ = ("target",)
+
+    def __init__(self, target: "Block") -> None:
+        super().__init__(VoidType())
+        self.target = target
+
+    def operands(self) -> list[Value]:
+        return []
+
+    def set_operands(self, new: list[Value]) -> None:
+        assert not new
+
+
+class Ret(Instr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Value | None) -> None:
+        super().__init__(VoidType())
+        self.value = value
+
+    def operands(self) -> list[Value]:
+        return [] if self.value is None else [self.value]
+
+    def set_operands(self, new: list[Value]) -> None:
+        if self.value is None:
+            assert not new
+        else:
+            (self.value,) = new
+
+
+class Unreachable(Instr):
+    def __init__(self) -> None:
+        super().__init__(VoidType())
+
+    def operands(self) -> list[Value]:
+        return []
+
+    def set_operands(self, new: list[Value]) -> None:
+        assert not new
+
+
+def successors(term: Instr) -> list["Block"]:
+    """The successor blocks of a terminator instruction."""
+    if isinstance(term, Br):
+        return [term.if_true, term.if_false]
+    if isinstance(term, Jmp):
+        return [term.target]
+    return []
+
+
+def retarget(term: Instr, old: "Block", new: "Block") -> None:
+    """Redirect every edge of ``term`` that points at ``old`` to ``new``."""
+    if isinstance(term, Br):
+        if term.if_true is old:
+            term.if_true = new
+        if term.if_false is old:
+            term.if_false = new
+    elif isinstance(term, Jmp):
+        if term.target is old:
+            term.target = new
+
+
+MEMORY_INSTRS = (Load, LoadPtr, Store)
+
+
+def loads_from(instr: Instr) -> Value | None:
+    if isinstance(instr, (Load, LoadPtr)):
+        return instr.address
+    return None

@@ -1,0 +1,269 @@
+"""IR interpreter.
+
+Executes a :class:`repro.ir.function.Module` with the same observable
+semantics as the MiniC reference interpreter: the same marker trace,
+exit code, and global-state checksum.  The test suite uses this for
+*translation validation*: for random programs,
+``interp(AST) == interp(IR at O0) == interp(IR at O3)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..interp.interpreter import (
+    ExecutionResult,
+    StepLimitExceeded,
+    call_observation,
+    pointer_cell_hash,
+)
+from ..interp.interpreter import Address as _AstAddress
+from ..lang.semantics import eval_binop, wrap
+from ..lang.types import INT, IntType
+from . import instructions as ins
+from .function import Block, IRFunction, Module
+from .values import Constant, GlobalRef, NullPtr, Param, Value
+
+DEFAULT_STEP_LIMIT = 4_000_000
+
+
+class IRInterpreterError(RuntimeError):
+    pass
+
+
+@dataclass(frozen=True)
+class RAddr:
+    """A runtime pointer: cell ``index`` of storage object ``object_id``."""
+
+    object_id: str
+    index: int
+
+
+class _RStorage:
+    __slots__ = ("cells", "element")
+
+    def __init__(self, cells: list, element: IntType) -> None:
+        self.cells = cells
+        self.element = element
+
+
+def run_module(module: Module, step_limit: int = DEFAULT_STEP_LIMIT) -> ExecutionResult:
+    """Execute ``module`` from ``main`` and return the result."""
+    return _IRInterp(module, step_limit).run()
+
+
+class _IRInterp:
+    def __init__(self, module: Module, step_limit: int) -> None:
+        self.module = module
+        self.step_limit = step_limit
+        self.steps = 0
+        self.call_trace = 0
+        self.marker_hits: dict[str, int] = {}
+        self.storage: dict[str, _RStorage] = {}
+        self._activation = 0
+        self._globals_order: list[str] = []
+        self._init_globals()
+
+    def _init_globals(self) -> None:
+        for info in self.module.globals.values():
+            if not info.static:
+                self._globals_order.append(info.name)
+            cells = []
+            for cell in info.initial_cells():
+                if cell is None:
+                    cells.append(None)
+                elif isinstance(cell, tuple) and cell and cell[0] == "addr":
+                    cells.append(RAddr(cell[1], cell[2]))
+                else:
+                    cells.append(wrap(int(cell), info.element))
+            self.storage[info.name] = _RStorage(cells, info.element)
+
+    def _tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.step_limit:
+            raise StepLimitExceeded(f"IR execution exceeded {self.step_limit} steps")
+
+    def run(self) -> ExecutionResult:
+        main = self.module.functions["main"]
+        value = self._call_function(main, [])
+        exit_code = value if isinstance(value, int) else 0
+        return ExecutionResult(
+            exit_code=wrap(exit_code, INT),
+            marker_hits=dict(self.marker_hits),
+            steps=self.steps,
+            checksum=self._checksum(),
+            call_trace=self.call_trace,
+        )
+
+    def _checksum(self) -> int:
+        acc = 0xCBF29CE484222325
+        for name in self._globals_order:
+            for cell in self.storage[name].cells:
+                if isinstance(cell, RAddr):
+                    piece = pointer_cell_hash(cell.object_id, cell.index)
+                elif cell is None:
+                    piece = 0
+                else:
+                    piece = cell & 0xFFFFFFFFFFFFFFFF
+                acc ^= piece
+                acc = (acc * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        return acc
+
+    # -- execution -------------------------------------------------------
+
+    def _call_function(self, func: IRFunction, args: list):
+        self._activation += 1
+        env: dict[int, object] = {}
+        frame_objects: list[str] = []
+        for param, value in zip(func.params, args):
+            env[id(param)] = value
+        try:
+            return self._run_blocks(func, env, frame_objects)
+        finally:
+            for obj in frame_objects:
+                self.storage.pop(obj, None)
+
+    def _run_blocks(self, func: IRFunction, env: dict[int, object], frame_objects: list[str]):
+        block = func.entry
+        prev: Block | None = None
+        while True:
+            # Phis evaluate simultaneously against the incoming edge.
+            phis = block.phis()
+            if phis:
+                assert prev is not None, "phi in entry block"
+                values = [self._value(phi.incoming_for(prev), env) for phi in phis]
+                for phi, value in zip(phis, values):
+                    env[id(phi)] = value
+            for instr in block.instrs[len(phis):]:
+                self._tick()
+                if isinstance(instr, ins.Br):
+                    cond = self._value(instr.cond, env)
+                    taken = instr.if_true if _truthy(cond) else instr.if_false
+                    prev, block = block, taken
+                    break
+                if isinstance(instr, ins.Jmp):
+                    prev, block = block, instr.target
+                    break
+                if isinstance(instr, ins.Ret):
+                    if instr.value is None:
+                        return None
+                    return self._value(instr.value, env)
+                if isinstance(instr, ins.Unreachable):
+                    raise IRInterpreterError(f"{func.name}: executed unreachable")
+                self._exec(instr, env, frame_objects)
+            else:
+                raise IRInterpreterError(f"{func.name}/{block.label}: fell off block")
+
+    def _exec(self, instr: ins.Instr, env: dict[int, object], frame_objects: list[str]) -> None:
+        if isinstance(instr, ins.Alloca):
+            obj = f"%stack{self._activation}.{len(frame_objects)}.{instr.var_name}"
+            if instr.is_pointer_slot:
+                cells: list = [None]
+            else:
+                cells = [0] * instr.length
+            self.storage[obj] = _RStorage(cells, instr.element)
+            frame_objects.append(obj)
+            env[id(instr)] = RAddr(obj, 0)
+        elif isinstance(instr, ins.Gep):
+            base = self._value(instr.base, env)
+            index = self._value(instr.index, env)
+            if not isinstance(base, RAddr):
+                raise IRInterpreterError("gep on non-pointer")
+            if isinstance(index, RAddr):
+                raise IRInterpreterError("gep with pointer index")
+            env[id(instr)] = RAddr(base.object_id, base.index + index)
+        elif isinstance(instr, (ins.Load, ins.LoadPtr)):
+            addr = self._value(instr.address, env)
+            env[id(instr)] = self._load(addr)
+        elif isinstance(instr, ins.Store):
+            addr = self._value(instr.address, env)
+            value = self._value(instr.value, env)
+            self._store(addr, value)
+        elif isinstance(instr, ins.BinOp):
+            lhs = self._int(instr.lhs, env)
+            rhs = self._int(instr.rhs, env)
+            env[id(instr)] = eval_binop(instr.op, lhs, rhs, instr.ty)
+        elif isinstance(instr, ins.ICmp):
+            lhs = self._int(instr.lhs, env)
+            rhs = self._int(instr.rhs, env)
+            env[id(instr)] = eval_binop(instr.op, lhs, rhs, instr.operand_ty)
+        elif isinstance(instr, ins.PCmp):
+            lhs = self._value(instr.lhs, env)
+            rhs = self._value(instr.rhs, env)
+            same = lhs == rhs
+            env[id(instr)] = (1 if same else 0) if instr.op == "==" else (0 if same else 1)
+        elif isinstance(instr, ins.Cast):
+            value = self._value(instr.value, env)
+            if isinstance(value, RAddr):
+                raise IRInterpreterError("cast of pointer")
+            env[id(instr)] = wrap(int(value), instr.ty)
+        elif isinstance(instr, ins.Select):
+            cond = self._value(instr.cond, env)
+            env[id(instr)] = self._value(
+                instr.if_true if _truthy(cond) else instr.if_false, env
+            )
+        elif isinstance(instr, ins.Call):
+            env[id(instr)] = self._call(instr, env)
+        else:
+            raise IRInterpreterError(f"unhandled instruction {type(instr).__name__}")
+
+    def _call(self, instr: ins.Call, env: dict[int, object]):
+        args = [self._value(a, env) for a in instr.args]
+        if self.module.is_opaque(instr.callee):
+            self.marker_hits[instr.callee] = self.marker_hits.get(instr.callee, 0) + 1
+            observed = [
+                _AstAddress(a.object_id, a.index, None) if isinstance(a, RAddr) else a
+                for a in args
+            ]
+            self.call_trace = (
+                self.call_trace + call_observation(instr.callee, observed)
+            ) & 0xFFFFFFFFFFFFFFFF
+            ext = self.module.externs[instr.callee]
+            return 0 if isinstance(ext.return_ty, IntType) else None
+        func = self.module.functions[instr.callee]
+        result = self._call_function(func, args)
+        if result is None and isinstance(func.return_ty, IntType):
+            result = 0
+        return result
+
+    # -- memory --------------------------------------------------------
+
+    def _load(self, addr) -> object:
+        if not isinstance(addr, RAddr):
+            raise IRInterpreterError("load through null/invalid pointer")
+        store = self.storage[addr.object_id]
+        return store.cells[addr.index % len(store.cells)]
+
+    def _store(self, addr, value) -> None:
+        if not isinstance(addr, RAddr):
+            raise IRInterpreterError("store through null/invalid pointer")
+        store = self.storage[addr.object_id]
+        store.cells[addr.index % len(store.cells)] = value
+
+    # -- values ----------------------------------------------------------
+
+    def _value(self, value: Value, env: dict[int, object]):
+        if isinstance(value, Constant):
+            return value.value
+        if isinstance(value, NullPtr):
+            return None
+        if isinstance(value, GlobalRef):
+            return RAddr(value.name, 0)
+        try:
+            return env[id(value)]
+        except KeyError:
+            raise IRInterpreterError(
+                f"undefined value {type(value).__name__} (did a pass break SSA?)"
+            ) from None
+
+    def _int(self, value: Value, env: dict[int, object]) -> int:
+        v = self._value(value, env)
+        if isinstance(v, RAddr) or v is None:
+            raise IRInterpreterError("integer operation on pointer")
+        return v
+
+
+def _truthy(value) -> bool:
+    if isinstance(value, RAddr):
+        return True
+    return value not in (0, None)

@@ -1,0 +1,99 @@
+"""Textual IR dump (for debugging, tests, and golden comparisons)."""
+
+from __future__ import annotations
+
+from . import instructions as ins
+from .function import Block, IRFunction, Module
+from .values import Constant, GlobalRef, NullPtr, Param, Value, _short
+
+
+def print_module(module: Module) -> str:
+    parts: list[str] = []
+    for info in module.globals.values():
+        prefix = "static " if info.static else ""
+        parts.append(f"{prefix}global @{info.name} : {info.ty} = {info.init}\n")
+    for ext in module.externs.values():
+        parts.append(f"declare {ext.return_ty} @{ext.name}(...)\n")
+    for func in module.functions.values():
+        parts.append(print_function(func))
+    return "".join(parts)
+
+
+def print_function(func: IRFunction) -> str:
+    namer = _Namer()
+    parts = [f"define {func.return_ty} @{func.name}("]
+    parts.append(", ".join(f"%{p.name}: {p.ty}" for p in func.params))
+    parts.append(") {\n")
+    for block in func.blocks:
+        parts.append(f"{block.label}:\n")
+        for instr in block.instrs:
+            parts.append(f"  {format_instr(instr, namer)}\n")
+    parts.append("}\n")
+    return "".join(parts)
+
+
+class _Namer:
+    def __init__(self) -> None:
+        self._names: dict[int, str] = {}
+        self._next = 0
+
+    def name(self, value: Value) -> str:
+        key = id(value)
+        if key not in self._names:
+            self._names[key] = f"%t{self._next}"
+            self._next += 1
+        return self._names[key]
+
+
+def format_value(value: Value, namer: _Namer) -> str:
+    if isinstance(value, Constant):
+        return str(value)
+    if isinstance(value, NullPtr):
+        return "null"
+    if isinstance(value, GlobalRef):
+        return f"@{value.name}"
+    if isinstance(value, Param):
+        return f"%{value.name}"
+    return namer.name(value)
+
+
+def format_instr(instr: ins.Instr, namer: _Namer | None = None) -> str:
+    namer = namer or _Namer()
+    v = lambda x: format_value(x, namer)  # noqa: E731 - local shorthand
+    result = namer.name(instr) + " = " if instr.produces_value() else ""
+    if isinstance(instr, ins.Alloca):
+        kind = "ptr-slot" if instr.is_pointer_slot else f"{instr.element}"
+        return f"{result}alloca {instr.var_name} [{instr.length} x {kind}]"
+    if isinstance(instr, ins.Gep):
+        return f"{result}gep {v(instr.base)}, {v(instr.index)}"
+    if isinstance(instr, ins.LoadPtr):
+        return f"{result}loadptr {v(instr.address)}"
+    if isinstance(instr, ins.Load):
+        return f"{result}load {_short(instr.ty)} {v(instr.address)}"
+    if isinstance(instr, ins.Store):
+        return f"store {v(instr.value)} -> {v(instr.address)}"
+    if isinstance(instr, ins.BinOp):
+        return f"{result}{instr.op} {_short(instr.ty)} {v(instr.lhs)}, {v(instr.rhs)}"
+    if isinstance(instr, ins.ICmp):
+        return f"{result}icmp {instr.op} {_short(instr.operand_ty)} {v(instr.lhs)}, {v(instr.rhs)}"
+    if isinstance(instr, ins.PCmp):
+        return f"{result}pcmp {instr.op} {v(instr.lhs)}, {v(instr.rhs)}"
+    if isinstance(instr, ins.Cast):
+        return f"{result}cast {v(instr.value)} to {_short(instr.ty)}"
+    if isinstance(instr, ins.Select):
+        return f"{result}select {v(instr.cond)}, {v(instr.if_true)}, {v(instr.if_false)}"
+    if isinstance(instr, ins.Call):
+        args = ", ".join(v(a) for a in instr.args)
+        return f"{result}call @{instr.callee}({args})"
+    if isinstance(instr, ins.Phi):
+        pairs = ", ".join(f"[{b.label}: {v(val)}]" for b, val in instr.incomings)
+        return f"{result}phi {pairs}"
+    if isinstance(instr, ins.Br):
+        return f"br {v(instr.cond)}, {instr.if_true.label}, {instr.if_false.label}"
+    if isinstance(instr, ins.Jmp):
+        return f"jmp {instr.target.label}"
+    if isinstance(instr, ins.Ret):
+        return "ret" if instr.value is None else f"ret {v(instr.value)}"
+    if isinstance(instr, ins.Unreachable):
+        return "unreachable"
+    return f"<unknown {type(instr).__name__}>"

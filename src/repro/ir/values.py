@@ -1,0 +1,105 @@
+"""IR value model.
+
+Every operand of an instruction is a :class:`Value`.  Values are:
+
+* :class:`Constant` — an integer constant with an explicit ``IntType``;
+* :class:`NullPtr` — the null pointer;
+* :class:`GlobalRef` — the address of a global object (element 0);
+* :class:`Param` — a function parameter (SSA value);
+* instructions themselves (see :mod:`repro.ir.instructions`) — an
+  instruction that produces a result *is* that result.
+
+Identity is object identity; the printer assigns stable names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang.types import IntType, PointerType, Type
+
+
+class Value:
+    """Base class for everything an instruction can reference."""
+
+    ty: Type
+
+    def is_constant(self) -> bool:
+        return isinstance(self, (Constant, NullPtr))
+
+
+@dataclass(frozen=True)
+class Constant(Value):
+    """An integer constant already wrapped into ``ty``'s range."""
+
+    value: int
+    ty: IntType
+
+    def __post_init__(self) -> None:
+        if not (self.ty.min_value <= self.value <= self.ty.max_value):
+            raise ValueError(f"constant {self.value} out of range for {self.ty}")
+
+    def __str__(self) -> str:
+        return f"{self.value}:{_short(self.ty)}"
+
+
+@dataclass(frozen=True)
+class NullPtr(Value):
+    ty: PointerType
+
+    def __str__(self) -> str:
+        return "null"
+
+
+@dataclass(frozen=True)
+class GlobalRef(Value):
+    """The address of global object ``name`` (its first element)."""
+
+    name: str
+    ty: PointerType  # pointer to the element type
+
+    def __str__(self) -> str:
+        return f"@{self.name}"
+
+
+class Param(Value):
+    """A function parameter; an SSA value defined at function entry."""
+
+    def __init__(self, name: str, ty: Type) -> None:
+        self.name = name
+        self.ty = ty
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+    def __repr__(self) -> str:
+        return f"Param({self.name})"
+
+
+def _short(ty: Type) -> str:
+    from ..lang.types import ArrayType, IntType, PointerType, VoidType
+
+    if isinstance(ty, IntType):
+        return f"{'i' if ty.signed else 'u'}{ty.width}"
+    if isinstance(ty, PointerType):
+        return f"p{_short(ty.pointee)}"
+    if isinstance(ty, ArrayType):
+        return f"[{ty.length} x {_short(ty.element)}]"
+    if isinstance(ty, VoidType):
+        return "void"
+    return str(ty)
+
+
+def const_int(value: int, ty: IntType) -> Constant:
+    """Build a constant, wrapping ``value`` into ``ty``'s range."""
+    from ..lang.semantics import wrap
+
+    return Constant(wrap(value, ty), ty)
+
+
+def is_zero(value: Value) -> bool:
+    return isinstance(value, Constant) and value.value == 0 or isinstance(value, NullPtr)
+
+
+def is_const_equal(value: Value, number: int) -> bool:
+    return isinstance(value, Constant) and value.value == number

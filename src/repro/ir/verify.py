@@ -1,0 +1,145 @@
+"""IR verifier.
+
+Catches malformed IR as early as possible: structural invariants,
+def-dominates-use, and phi consistency.  Every pass in the test suite
+runs under the verifier, which is how pass bugs surface as crisp
+errors instead of wrong code.
+"""
+
+from __future__ import annotations
+
+from ..lang.types import IntType, PointerType
+from . import instructions as ins
+from .dominators import DominatorTree
+from .function import Block, IRFunction, Module
+from .printer import print_function
+from .values import Constant, GlobalRef, NullPtr, Param, Value
+
+
+class VerificationError(AssertionError):
+    pass
+
+
+def verify_module(module: Module) -> None:
+    for func in module.functions.values():
+        verify_function(func, module)
+
+
+def verify_function(func: IRFunction, module: Module | None = None) -> None:
+    try:
+        _verify_function(func, module)
+    except VerificationError as err:
+        raise VerificationError(f"{err}\n--- function dump ---\n{print_function(func)}") from None
+
+
+def _verify_function(func: IRFunction, module: Module | None) -> None:
+    if not func.blocks:
+        raise VerificationError(f"{func.name}: no blocks")
+    block_set = {id(b) for b in func.blocks}
+    preds = func.predecessors()
+    reachable = {id(b) for b in func.reachable_blocks()}
+
+    defined_in: dict[int, Block] = {}
+    position: dict[int, int] = {}
+    for block in func.blocks:
+        for idx, instr in enumerate(block.instrs):
+            if id(instr) in defined_in:
+                raise VerificationError(f"instruction appears twice: {instr}")
+            defined_in[id(instr)] = block
+            position[id(instr)] = idx
+            if instr.block is not block:
+                raise VerificationError(f"{func.name}/{block.label}: bad back-pointer")
+
+    for block in func.blocks:
+        term = block.terminator
+        if term is None:
+            raise VerificationError(f"{func.name}/{block.label}: missing terminator")
+        for idx, instr in enumerate(block.instrs):
+            if instr.is_terminator and idx != len(block.instrs) - 1:
+                raise VerificationError(f"{func.name}/{block.label}: terminator not last")
+            if isinstance(instr, ins.Phi) and idx > 0 and not isinstance(block.instrs[idx - 1], ins.Phi):
+                raise VerificationError(f"{func.name}/{block.label}: phi after non-phi")
+        for succ in block.successors():
+            if id(succ) not in block_set:
+                raise VerificationError(
+                    f"{func.name}/{block.label}: successor {succ.label} not in function"
+                )
+
+    dom = DominatorTree(func)
+    params = {id(p) for p in func.params}
+
+    def check_use(user: ins.Instr, block: Block, value: Value, from_block: Block | None = None) -> None:
+        if isinstance(value, (Constant, NullPtr, GlobalRef)):
+            return
+        if id(value) in params:
+            return
+        if not isinstance(value, ins.Instr):
+            raise VerificationError(f"{func.name}: operand of unknown kind {value!r}")
+        def_block = defined_in.get(id(value))
+        if def_block is None:
+            raise VerificationError(
+                f"{func.name}/{block.label}: use of instruction not in function: "
+                f"{type(value).__name__}"
+            )
+        if id(block) not in reachable:
+            return  # dominance is meaningless in unreachable code
+        use_block = from_block if from_block is not None else block
+        if id(use_block) not in reachable:
+            return
+        if def_block is use_block and from_block is None:
+            if position[id(value)] >= position[id(user)]:
+                raise VerificationError(
+                    f"{func.name}/{block.label}: use before def of {type(value).__name__}"
+                )
+            return
+        if not dom.dominates(def_block, use_block):
+            raise VerificationError(
+                f"{func.name}/{block.label}: def in {def_block.label} does not dominate use"
+            )
+
+    for block in func.blocks:
+        pred_ids = {id(p) for p in preds[block]}
+        for instr in block.instrs:
+            if isinstance(instr, ins.Phi):
+                incoming_ids = {id(b) for b, _ in instr.incomings}
+                if id(block) in reachable and incoming_ids != pred_ids:
+                    raise VerificationError(
+                        f"{func.name}/{block.label}: phi incomings "
+                        f"{sorted(b.label for b, _ in instr.incomings)} != preds "
+                        f"{sorted(p.label for p in preds[block])}"
+                    )
+                for from_block, value in instr.incomings:
+                    check_use(instr, block, value, from_block=from_block)
+            else:
+                for op in instr.operands():
+                    check_use(instr, block, op)
+            _check_types(func, block, instr, module)
+
+
+def _check_types(func: IRFunction, block: Block, instr: ins.Instr, module: Module | None) -> None:
+    where = f"{func.name}/{block.label}"
+    if isinstance(instr, ins.BinOp):
+        for op in (instr.lhs, instr.rhs):
+            if isinstance(op, Constant) and op.ty != instr.ty:
+                raise VerificationError(f"{where}: binop operand type {op.ty} != {instr.ty}")
+            if isinstance(op.ty, PointerType):
+                raise VerificationError(f"{where}: pointer operand in binop")
+    elif isinstance(instr, ins.ICmp):
+        for op in (instr.lhs, instr.rhs):
+            if isinstance(op, Constant) and op.ty != instr.operand_ty:
+                raise VerificationError(
+                    f"{where}: icmp operand type {op.ty} != {instr.operand_ty}"
+                )
+    elif isinstance(instr, ins.PCmp):
+        for op in (instr.lhs, instr.rhs):
+            if not isinstance(op.ty, PointerType):
+                raise VerificationError(f"{where}: pcmp of non-pointer")
+    elif isinstance(instr, ins.Store):
+        if not isinstance(instr.address.ty, PointerType):
+            raise VerificationError(f"{where}: store through non-pointer")
+    elif isinstance(instr, (ins.Load, ins.LoadPtr)):
+        if not isinstance(instr.address.ty, PointerType):
+            raise VerificationError(f"{where}: load through non-pointer")
+    elif isinstance(instr, ins.Call) and module is not None:
+        if instr.callee not in module.functions and instr.callee not in module.externs:
+            raise VerificationError(f"{where}: call to unknown {instr.callee}")

@@ -1,0 +1,26 @@
+"""MiniC: the deterministic, UB-free C subset used by this reproduction.
+
+Public surface:
+
+* :mod:`repro.lang.types` — the type system.
+* :mod:`repro.lang.semantics` — the single source of truth for what
+  every operator computes.
+* :mod:`repro.lang.ast_nodes` — the AST.
+* :func:`repro.lang.parse_program` / :func:`repro.lang.print_program`
+  — source text round-trip.
+"""
+
+from .lexer import LexError, tokenize
+from .parser import ParseError, parse_expression, parse_program
+from .printer import print_expr, print_program, print_stmt
+
+__all__ = [
+    "LexError",
+    "ParseError",
+    "parse_expression",
+    "parse_program",
+    "print_expr",
+    "print_program",
+    "print_stmt",
+    "tokenize",
+]

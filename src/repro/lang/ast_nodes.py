@@ -1,0 +1,370 @@
+"""MiniC abstract syntax tree.
+
+Nodes are small mutable dataclasses (mutability is what makes the
+reducer and instrumenter cheap to implement).  Every expression node
+carries a ``ty`` attribute filled in by ``repro.frontend.typecheck``.
+
+Value category notes:
+
+* Lvalues are ``VarRef``, ``Index`` and ``Deref``.
+* Assignment is statement-level (``Assign``); MiniC has no assignment
+  expressions, comma operator, or ``++``/``--`` expressions, which
+  keeps evaluation order trivially deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .types import ArrayType, IntType, PointerType, Type, VoidType
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+    ty: IntType | None = None
+
+
+@dataclass
+class VarRef(Expr):
+    name: str
+    ty: Type | None = None
+
+
+@dataclass
+class Index(Expr):
+    """``base[index]`` where ``base`` names an array or is a pointer."""
+
+    base: Expr
+    index: Expr
+    ty: IntType | None = None
+
+
+@dataclass
+class Deref(Expr):
+    """``*pointer``"""
+
+    pointer: Expr
+    ty: IntType | None = None
+
+
+@dataclass
+class AddrOf(Expr):
+    """``&lvalue`` — the lvalue is a VarRef or Index."""
+
+    lvalue: Expr
+    ty: PointerType | None = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str  # one of semantics.UNARY_OPS
+    operand: Expr
+    ty: IntType | None = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str  # one of semantics.ALL_BINARY_OPS
+    lhs: Expr
+    rhs: Expr
+    ty: IntType | None = None
+
+
+@dataclass
+class Cast(Expr):
+    target: IntType
+    operand: Expr
+    ty: IntType | None = None
+
+
+@dataclass
+class Call(Expr):
+    callee: str
+    args: list[Expr] = field(default_factory=list)
+    ty: Type | None = None
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Stmt):
+    """A local variable declaration with an optional initializer.
+
+    ``init`` is a scalar expression, or a list of constant expressions
+    for arrays, or ``None``.  Uninitialized locals are implicitly
+    zero-initialized (MiniC has no indeterminate values).
+    """
+
+    name: str
+    ty: Type
+    init: Expr | list[Expr] | None = None
+
+
+@dataclass
+class Assign(Stmt):
+    """``target op= value`` where ``op`` is '' for plain assignment."""
+
+    target: Expr  # an lvalue
+    value: Expr
+    op: str = ""  # '', '+', '-', '*', '&', '|', '^', ...
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: Block
+    els: Block | None = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Block
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Block
+    cond: Expr
+
+
+@dataclass
+class For(Stmt):
+    """``for (init; cond; step) body`` — init/step are statements."""
+
+    init: Stmt | None
+    cond: Expr | None
+    step: Stmt | None
+    body: Block
+
+
+@dataclass
+class Switch(Stmt):
+    scrutinee: Expr
+    cases: list[SwitchCase] = field(default_factory=list)
+
+
+@dataclass
+class SwitchCase(Node):
+    """One ``case N: ...`` arm (or ``default`` when ``value is None``).
+
+    MiniC switch arms never fall through: the printer emits an explicit
+    ``break`` at the end of each arm.
+    """
+
+    value: int | None
+    body: Block = field(default_factory=Block)
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# --------------------------------------------------------------------------
+# Top-level declarations
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Decl(Node):
+    pass
+
+
+@dataclass
+class GlobalVar(Decl):
+    """A file-scope variable; ``static`` selects internal linkage.
+
+    ``init`` is an int for scalars, a list of ints for arrays, or an
+    ``AddrOf``/``VarRef`` constant expression for pointers.  A missing
+    initializer means zero, as in C.
+    """
+
+    name: str
+    ty: Type
+    init: object = None
+    static: bool = False
+
+
+@dataclass
+class Param(Node):
+    name: str
+    ty: Type
+
+
+@dataclass
+class FuncDecl(Decl):
+    """A declaration without a body (``void DCECheck0(void);``).
+
+    These are the paper's *optimization markers* and ``dead()``-style
+    opaque callees: the compiler can never analyze their bodies.
+    """
+
+    name: str
+    return_ty: Type = VoidType()
+    params: list[Param] = field(default_factory=list)
+
+
+@dataclass
+class FuncDef(Decl):
+    name: str
+    return_ty: Type
+    params: list[Param] = field(default_factory=list)
+    body: Block = field(default_factory=Block)
+    static: bool = False
+
+
+@dataclass
+class Program(Node):
+    decls: list[Decl] = field(default_factory=list)
+
+    def functions(self) -> list[FuncDef]:
+        return [d for d in self.decls if isinstance(d, FuncDef)]
+
+    def globals(self) -> list[GlobalVar]:
+        return [d for d in self.decls if isinstance(d, GlobalVar)]
+
+    def extern_decls(self) -> list[FuncDecl]:
+        return [d for d in self.decls if isinstance(d, FuncDecl)]
+
+    def function(self, name: str) -> FuncDef:
+        for d in self.decls:
+            if isinstance(d, FuncDef) and d.name == name:
+                return d
+        raise KeyError(name)
+
+    def global_var(self, name: str) -> GlobalVar:
+        for d in self.decls:
+            if isinstance(d, GlobalVar) and d.name == name:
+                return d
+        raise KeyError(name)
+
+
+LVALUE_TYPES = (VarRef, Index, Deref)
+
+
+def is_lvalue(expr: Expr) -> bool:
+    """True when ``expr`` may appear on the left of an assignment or
+    under ``&`` (modulo type checking)."""
+    return isinstance(expr, LVALUE_TYPES)
+
+
+def walk_expr(expr: Expr):
+    """Yield ``expr`` and every sub-expression, preorder."""
+    yield expr
+    if isinstance(expr, (Unary, Cast)):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, Binary):
+        yield from walk_expr(expr.lhs)
+        yield from walk_expr(expr.rhs)
+    elif isinstance(expr, Index):
+        yield from walk_expr(expr.base)
+        yield from walk_expr(expr.index)
+    elif isinstance(expr, Deref):
+        yield from walk_expr(expr.pointer)
+    elif isinstance(expr, AddrOf):
+        yield from walk_expr(expr.lvalue)
+    elif isinstance(expr, Call):
+        for arg in expr.args:
+            yield from walk_expr(arg)
+
+
+def walk_stmts(stmt: Stmt):
+    """Yield ``stmt`` and every nested statement, preorder."""
+    yield stmt
+    if isinstance(stmt, Block):
+        for s in stmt.stmts:
+            yield from walk_stmts(s)
+    elif isinstance(stmt, If):
+        yield from walk_stmts(stmt.then)
+        if stmt.els is not None:
+            yield from walk_stmts(stmt.els)
+    elif isinstance(stmt, (While, DoWhile)):
+        yield from walk_stmts(stmt.body)
+    elif isinstance(stmt, For):
+        if stmt.init is not None:
+            yield from walk_stmts(stmt.init)
+        if stmt.step is not None:
+            yield from walk_stmts(stmt.step)
+        yield from walk_stmts(stmt.body)
+    elif isinstance(stmt, Switch):
+        for case in stmt.cases:
+            yield from walk_stmts(case.body)
+
+
+def walk_exprs_of_stmt(stmt: Stmt):
+    """Yield every expression directly attached to ``stmt`` (not
+    descending into nested statements)."""
+    if isinstance(stmt, VarDecl):
+        if isinstance(stmt.init, Expr):
+            yield from walk_expr(stmt.init)
+        elif isinstance(stmt.init, list):
+            for e in stmt.init:
+                yield from walk_expr(e)
+    elif isinstance(stmt, Assign):
+        yield from walk_expr(stmt.target)
+        yield from walk_expr(stmt.value)
+    elif isinstance(stmt, ExprStmt):
+        yield from walk_expr(stmt.expr)
+    elif isinstance(stmt, If):
+        yield from walk_expr(stmt.cond)
+    elif isinstance(stmt, While):
+        yield from walk_expr(stmt.cond)
+    elif isinstance(stmt, DoWhile):
+        yield from walk_expr(stmt.cond)
+    elif isinstance(stmt, For):
+        if stmt.cond is not None:
+            yield from walk_expr(stmt.cond)
+    elif isinstance(stmt, Switch):
+        yield from walk_expr(stmt.scrutinee)
+    elif isinstance(stmt, Return) and stmt.value is not None:
+        yield from walk_expr(stmt.value)
+
+
+def walk_program_stmts(program: Program):
+    """Yield every statement in every function of ``program``."""
+    for func in program.functions():
+        yield from walk_stmts(func.body)

@@ -1,0 +1,142 @@
+"""MiniC lexer.
+
+A small hand-rolled scanner producing a flat token list.  It accepts
+the C spellings MiniC uses: identifiers, integer literals (decimal and
+hex, with optional U/L suffixes), the operator/punctuation set, and
+``//`` and ``/* */`` comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class LexError(ValueError):
+    """Raised on malformed input; carries the 1-based source line."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+KEYWORDS = frozenset(
+    {
+        "void", "char", "short", "int", "long", "unsigned", "signed",
+        "static", "extern", "if", "else", "while", "do", "for",
+        "return", "break", "continue", "switch", "case", "default",
+        "const",
+    }
+)
+
+# Longest-match-first operator table.
+OPERATORS = (
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "(", ")", "{", "}", "[", "]", ";", ",", ":", "?",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'number' | 'keyword' | 'op' | 'eof'
+    text: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Scan ``source`` into tokens, ending with a single ``eof`` token."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end == -1 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise LexError("unterminated block comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if source.startswith("#", i):
+            # Preprocessor lines (e.g. '#include <stdio.h>') are
+            # skipped so paper listings paste in unchanged.
+            end = source.find("\n", i)
+            i = n if end == -1 else end
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            i = j
+            continue
+        if ch.isdigit():
+            j = i
+            if source.startswith(("0x", "0X"), i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+            else:
+                while j < n and source[j].isdigit():
+                    j += 1
+            # Swallow integer suffixes.
+            while j < n and source[j] in "uUlL":
+                j += 1
+            tokens.append(Token("number", source[i:j], line))
+            i = j
+            continue
+        if ch == "'":
+            # Character literal -> its integer value.
+            j = i + 1
+            if j < n and source[j] == "\\":
+                j += 1
+            if j >= n or j + 1 >= n or source[j + 1] != "'":
+                raise LexError("malformed character literal", line)
+            value = _char_value(source[i + 1 : j + 1])
+            tokens.append(Token("number", str(value), line))
+            i = j + 2
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line))
+                i += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", "", line))
+    return tokens
+
+
+def _char_value(text: str) -> int:
+    if text.startswith("\\"):
+        escapes = {"n": 10, "t": 9, "0": 0, "\\": 92, "'": 39, "r": 13}
+        try:
+            return escapes[text[1]]
+        except KeyError:
+            raise LexError(f"unsupported escape {text!r}", 0) from None
+    return ord(text)
+
+
+def parse_int_literal(text: str) -> int:
+    """Decode a lexed integer literal (suffixes already attached)."""
+    stripped = text.rstrip("uUlL")
+    return int(stripped, 0)

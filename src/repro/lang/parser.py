@@ -1,0 +1,513 @@
+"""MiniC recursive-descent parser.
+
+Parses the MiniC subset of C into ``repro.lang.ast_nodes`` trees.  The
+grammar is a strict subset of C, so every paper listing (translated to
+avoid ``printf`` varargs) parses unchanged.
+
+The parser performs *no* type checking; run
+``repro.frontend.typecheck.check_program`` on the result.
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as ast
+from .lexer import Token, parse_int_literal, tokenize
+from .types import (
+    ArrayType,
+    IntType,
+    PointerType,
+    Type,
+    VoidType,
+    int_type_by_name,
+)
+
+
+class ParseError(ValueError):
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"line {token.line}: {message} (at {token.text!r})")
+        self.token = token
+
+
+# Binary operator precedence, loosest first (C precedence order).
+_PRECEDENCE: list[tuple[str, ...]] = [
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+_COMPOUND_ASSIGN = {"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse MiniC source text into a Program AST."""
+    return _Parser(tokenize(source)).program()
+
+
+def parse_expression(source: str) -> ast.Expr:
+    """Parse a single expression (handy in tests and the reducer)."""
+    parser = _Parser(tokenize(source))
+    expr = parser._expr()
+    parser._expect_kind("eof")
+    return expr
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    @property
+    def _tok(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        tok = self._tok
+        self._pos += 1
+        return tok
+
+    def _check(self, text: str) -> bool:
+        return self._tok.text == text and self._tok.kind in ("op", "keyword")
+
+    def _accept(self, text: str) -> bool:
+        if self._check(text):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, text: str) -> Token:
+        if not self._check(text):
+            raise ParseError(f"expected {text!r}", self._tok)
+        return self._advance()
+
+    def _expect_kind(self, kind: str) -> Token:
+        if self._tok.kind != kind:
+            raise ParseError(f"expected {kind}", self._tok)
+        return self._advance()
+
+    # -- declarations -----------------------------------------------------
+
+    def program(self) -> ast.Program:
+        decls: list[ast.Decl] = []
+        while self._tok.kind != "eof":
+            decls.append(self._top_level())
+        return ast.Program(decls)
+
+    def _top_level(self) -> ast.Decl:
+        is_extern = self._accept("extern")
+        is_static = self._accept("static")
+        base = self._type_specifier()
+        is_ptr = self._accept("*")
+        name = self._expect_kind("ident").text
+        if self._check("("):
+            return self._function(base, is_ptr, name, is_static, is_extern)
+        return self._global_var(base, is_ptr, name, is_static)
+
+    def _type_specifier(self) -> Type:
+        self._accept("const")
+        unsigned = False
+        signed = False
+        if self._accept("unsigned"):
+            unsigned = True
+        elif self._accept("signed"):
+            signed = True
+        tok = self._tok
+        if tok.kind == "keyword" and tok.text in ("void", "char", "short", "int", "long"):
+            self._advance()
+            name = tok.text
+            # 'long long' and 'long int' style multi-word types.
+            if name == "long":
+                self._accept("long")
+                self._accept("int")
+            elif name == "short":
+                self._accept("int")
+        elif unsigned or signed:
+            name = "int"
+        else:
+            raise ParseError("expected type specifier", tok)
+        if name == "void":
+            if unsigned:
+                raise ParseError("'unsigned void' is invalid", tok)
+            return VoidType()
+        ty = int_type_by_name(name)
+        assert isinstance(ty, IntType)
+        if unsigned:
+            ty = IntType(ty.width, False)
+        return ty
+
+    def _declared_type(self, base: Type, is_ptr: bool) -> Type:
+        if is_ptr:
+            if not isinstance(base, IntType):
+                raise ParseError("pointer to non-integer type", self._tok)
+            return PointerType(base)
+        return base
+
+    def _global_var(self, base: Type, is_ptr: bool, name: str, static: bool) -> ast.GlobalVar:
+        ty = self._declared_type(base, is_ptr)
+        if self._accept("["):
+            length = parse_int_literal(self._expect_kind("number").text)
+            self._expect("]")
+            if not isinstance(ty, IntType):
+                raise ParseError("array of non-integer type", self._tok)
+            ty = ArrayType(ty, length)
+        init: object = None
+        if self._accept("="):
+            init = self._global_initializer(ty)
+        self._expect(";")
+        return ast.GlobalVar(name, ty, init, static)
+
+    def _global_initializer(self, ty: Type) -> object:
+        if isinstance(ty, ArrayType):
+            self._expect("{")
+            values: list[int] = []
+            if not self._check("}"):
+                values.append(self._const_int())
+                while self._accept(","):
+                    if self._check("}"):
+                        break
+                    values.append(self._const_int())
+            self._expect("}")
+            # C zero-fills missing trailing elements.
+            values.extend([0] * (ty.length - len(values)))
+            return values[: ty.length]
+        if isinstance(ty, PointerType):
+            if self._tok.kind == "number" and parse_int_literal(self._tok.text) == 0:
+                self._advance()
+                return None
+            return self._expr()  # &x or &x[i]
+        return self._const_int()
+
+    def _const_int(self) -> int:
+        negative = self._accept("-")
+        value = parse_int_literal(self._expect_kind("number").text)
+        return -value if negative else value
+
+    def _function(self, base: Type, is_ptr: bool, name: str, static: bool, is_extern: bool) -> ast.Decl:
+        return_ty = self._declared_type(base, is_ptr)
+        self._expect("(")
+        params: list[ast.Param] = []
+        if not self._check(")"):
+            if self._check("void") and self._tokens[self._pos + 1].text == ")":
+                self._advance()
+            else:
+                params.append(self._param())
+                while self._accept(","):
+                    params.append(self._param())
+        self._expect(")")
+        if self._accept(";"):
+            return ast.FuncDecl(name, return_ty, params)
+        if is_extern:
+            raise ParseError("extern function with a body", self._tok)
+        body = self._block()
+        return ast.FuncDef(name, return_ty, params, body, static)
+
+    def _param(self) -> ast.Param:
+        base = self._type_specifier()
+        is_ptr = self._accept("*")
+        pname = self._expect_kind("ident").text
+        return ast.Param(pname, self._declared_type(base, is_ptr))
+
+    # -- statements ---------------------------------------------------------
+
+    def _block(self) -> ast.Block:
+        self._expect("{")
+        stmts: list[ast.Stmt] = []
+        while not self._check("}"):
+            stmts.append(self._statement())
+        self._expect("}")
+        return ast.Block(stmts)
+
+    def _stmt_as_block(self) -> ast.Block:
+        """A statement in a context that MiniC models as a block
+        (if/loop bodies), wrapping single statements."""
+        if self._check("{"):
+            return self._block()
+        if self._accept(";"):
+            return ast.Block([])
+        return ast.Block([self._statement()])
+
+    def _statement(self) -> ast.Stmt:
+        tok = self._tok
+        if self._check("{"):
+            return self._block()
+        if self._accept(";"):
+            return ast.Block([])
+        if tok.kind == "keyword":
+            if tok.text in ("void", "char", "short", "int", "long", "unsigned", "signed", "const", "static"):
+                return self._local_decl()
+            if self._accept("if"):
+                return self._if_stmt()
+            if self._accept("while"):
+                self._expect("(")
+                cond = self._expr()
+                self._expect(")")
+                return ast.While(cond, self._stmt_as_block())
+            if self._accept("do"):
+                body = self._stmt_as_block()
+                self._expect("while")
+                self._expect("(")
+                cond = self._expr()
+                self._expect(")")
+                self._expect(";")
+                return ast.DoWhile(body, cond)
+            if self._accept("for"):
+                return self._for_stmt()
+            if self._accept("switch"):
+                return self._switch_stmt()
+            if self._accept("return"):
+                if self._accept(";"):
+                    return ast.Return(None)
+                value = self._expr()
+                self._expect(";")
+                return ast.Return(value)
+            if self._accept("break"):
+                self._expect(";")
+                return ast.Break()
+            if self._accept("continue"):
+                self._expect(";")
+                return ast.Continue()
+            raise ParseError("unexpected keyword", tok)
+        return self._expr_or_assign_stmt()
+
+    def _local_decl(self) -> ast.Stmt:
+        self._accept("static")  # function-local statics are file-scope in
+        # MiniC's model; the checker rejects them, but parse them anyway.
+        base = self._type_specifier()
+        decls: list[ast.Stmt] = []
+        while True:
+            is_ptr = self._accept("*")
+            name = self._expect_kind("ident").text
+            ty = self._declared_type(base, is_ptr)
+            if self._accept("["):
+                length = parse_int_literal(self._expect_kind("number").text)
+                self._expect("]")
+                assert isinstance(ty, IntType)
+                ty = ArrayType(ty, length)
+            init: ast.Expr | list[ast.Expr] | None = None
+            if self._accept("="):
+                if isinstance(ty, ArrayType):
+                    self._expect("{")
+                    elems: list[ast.Expr] = []
+                    if not self._check("}"):
+                        elems.append(self._expr())
+                        while self._accept(","):
+                            if self._check("}"):
+                                break
+                            elems.append(self._expr())
+                    self._expect("}")
+                    init = elems
+                else:
+                    init = self._expr()
+            decls.append(ast.VarDecl(name, ty, init))
+            if not self._accept(","):
+                break
+        self._expect(";")
+        if len(decls) == 1:
+            return decls[0]
+        return ast.Block(decls)
+
+    def _if_stmt(self) -> ast.If:
+        self._expect("(")
+        cond = self._expr()
+        self._expect(")")
+        then = self._stmt_as_block()
+        els: ast.Block | None = None
+        if self._accept("else"):
+            if self._accept("if"):
+                els = ast.Block([self._if_stmt()])
+            else:
+                els = self._stmt_as_block()
+        return ast.If(cond, then, els)
+
+    def _for_stmt(self) -> ast.For:
+        self._expect("(")
+        init: ast.Stmt | None = None
+        if not self._check(";"):
+            if self._tok.kind == "keyword" and self._tok.text in (
+                "char", "short", "int", "long", "unsigned", "signed", "const",
+            ):
+                init = self._local_decl()
+            else:
+                init = self._simple_assign_or_expr()
+                self._expect(";")
+        else:
+            self._expect(";")
+        cond: ast.Expr | None = None
+        if not self._check(";"):
+            cond = self._expr()
+        self._expect(";")
+        step: ast.Stmt | None = None
+        if not self._check(")"):
+            step = self._simple_assign_or_expr()
+        self._expect(")")
+        return ast.For(init, cond, step, self._stmt_as_block())
+
+    def _switch_stmt(self) -> ast.Switch:
+        self._expect("(")
+        scrutinee = self._expr()
+        self._expect(")")
+        self._expect("{")
+        cases: list[ast.SwitchCase] = []
+        while not self._check("}"):
+            if self._accept("case"):
+                value: int | None = self._const_int()
+            else:
+                self._expect("default")
+                value = None
+            self._expect(":")
+            stmts: list[ast.Stmt] = []
+            while not (self._check("case") or self._check("default") or self._check("}")):
+                stmt = self._statement()
+                if isinstance(stmt, ast.Break):
+                    break
+                stmts.append(stmt)
+            if len(stmts) == 1 and isinstance(stmts[0], ast.Block):
+                body = stmts[0]  # avoid re-nesting on round trips
+            else:
+                body = ast.Block(stmts)
+            cases.append(ast.SwitchCase(value, body))
+        self._expect("}")
+        return ast.Switch(scrutinee, cases)
+
+    def _expr_or_assign_stmt(self) -> ast.Stmt:
+        stmt = self._simple_assign_or_expr()
+        self._expect(";")
+        return stmt
+
+    def _simple_assign_or_expr(self) -> ast.Stmt:
+        expr = self._expr()
+        tok = self._tok
+        if self._accept("="):
+            if not ast.is_lvalue(expr):
+                raise ParseError("assignment to non-lvalue", tok)
+            return ast.Assign(expr, self._expr(), "")
+        for op in _COMPOUND_ASSIGN:
+            if self._accept(op):
+                if not ast.is_lvalue(expr):
+                    raise ParseError("assignment to non-lvalue", tok)
+                return ast.Assign(expr, self._expr(), op[:-1])
+        if self._accept("++"):
+            return ast.Assign(expr, ast.IntLit(1), "+")
+        if self._accept("--"):
+            return ast.Assign(expr, ast.IntLit(1), "-")
+        return ast.ExprStmt(expr)
+
+    # -- expressions ----------------------------------------------------------
+
+    def _expr(self) -> ast.Expr:
+        return self._ternary()
+
+    def _ternary(self) -> ast.Expr:
+        cond = self._binary(0)
+        if self._accept("?"):
+            # Lower a ? b : c into short-circuit form understood by
+            # the rest of the system: (a && b') || (!a && c') is wrong
+            # for general values, so MiniC keeps an explicit node-free
+            # desugaring: cond ? x : y  ==>  handled via If at the
+            # statement level.  At expression level we only support
+            # the select pattern when both arms are expressions:
+            then = self._expr()
+            self._expect(":")
+            els = self._ternary()
+            return _desugar_ternary(cond, then, els)
+        return cond
+
+    def _binary(self, level: int) -> ast.Expr:
+        if level >= len(_PRECEDENCE):
+            return self._unary()
+        ops = _PRECEDENCE[level]
+        lhs = self._binary(level + 1)
+        while self._tok.kind == "op" and self._tok.text in ops:
+            op = self._advance().text
+            rhs = self._binary(level + 1)
+            lhs = ast.Binary(op, lhs, rhs)
+        return lhs
+
+    def _unary(self) -> ast.Expr:
+        tok = self._tok
+        if tok.kind == "op":
+            if self._accept("-"):
+                return ast.Unary("-", self._unary())
+            if self._accept("~"):
+                return ast.Unary("~", self._unary())
+            if self._accept("!"):
+                return ast.Unary("!", self._unary())
+            if self._accept("+"):
+                return self._unary()
+            if self._accept("*"):
+                return ast.Deref(self._unary())
+            if self._accept("&"):
+                operand = self._unary()
+                if not isinstance(operand, (ast.VarRef, ast.Index)):
+                    raise ParseError("'&' requires a variable or element", tok)
+                return ast.AddrOf(operand)
+            if self._check("("):
+                # Either a cast or a parenthesized expression.
+                nxt = self._tokens[self._pos + 1]
+                if nxt.kind == "keyword" and nxt.text in (
+                    "char", "short", "int", "long", "unsigned", "signed", "const",
+                ):
+                    self._advance()
+                    target = self._type_specifier()
+                    self._expect(")")
+                    if not isinstance(target, IntType):
+                        raise ParseError("cast to non-integer type", tok)
+                    return ast.Cast(target, self._unary())
+                self._advance()
+                inner = self._expr()
+                self._expect(")")
+                return self._postfix(inner)
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        tok = self._tok
+        if tok.kind == "number":
+            self._advance()
+            return self._postfix(ast.IntLit(parse_int_literal(tok.text)))
+        if tok.kind == "ident":
+            self._advance()
+            if self._check("("):
+                self._advance()
+                args: list[ast.Expr] = []
+                if not self._check(")"):
+                    args.append(self._expr())
+                    while self._accept(","):
+                        args.append(self._expr())
+                self._expect(")")
+                return self._postfix(ast.Call(tok.text, args))
+            return self._postfix(ast.VarRef(tok.text))
+        raise ParseError("expected expression", tok)
+
+    def _postfix(self, expr: ast.Expr) -> ast.Expr:
+        while self._accept("["):
+            index = self._expr()
+            self._expect("]")
+            expr = ast.Index(expr, index)
+        return expr
+
+
+def _desugar_ternary(cond: ast.Expr, then: ast.Expr, els: ast.Expr) -> ast.Expr:
+    """Desugar ``cond ? then : els``.
+
+    MiniC has no select expression, so we use the arithmetic identity
+    ``mask = -(cond != 0); (then & mask) | (els & ~mask)`` which is
+    total and branch-free, preserving both values' bit patterns in the
+    common type.  Short-circuit evaluation is *not* preserved, but
+    MiniC expressions are side-effect-free apart from calls, and the
+    checker rejects calls inside ternaries, so this is sound.
+    """
+    nz = ast.Binary("!=", cond, ast.IntLit(0))
+    mask = ast.Unary("-", nz)
+    return ast.Binary(
+        "|",
+        ast.Binary("&", then, mask),
+        ast.Binary("&", els, ast.Unary("~", mask)),
+    )

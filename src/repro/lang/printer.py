@@ -1,0 +1,292 @@
+"""MiniC pretty-printer.
+
+Prints a MiniC AST back to C source text.  Two modes:
+
+* ``safe=False`` (default): plain C, readable, used for display,
+  reduction output, and round-trip tests.  Because MiniC semantics are
+  total, plain mode may exhibit UB when fed to a *real* C compiler on
+  programs that divide by zero or overflow signed arithmetic.
+* ``safe=True``: emits UB-free C by (a) routing ``/`` and ``%``
+  through ``SAFE_DIV``/``SAFE_MOD`` macros, (b) masking shift counts,
+  and (c) performing ``+``/``-``/``*`` in the unsigned counterpart
+  type.  This is the mode the real-compiler driver uses, mirroring
+  Csmith's safe-math headers.
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as ast
+from .semantics import SAFE_MATH_C_HELPERS
+from .types import ArrayType, IntType, PointerType, Type, VoidType
+
+# Larger number = binds tighter.  Mirrors _PRECEDENCE in parser.py.
+_BINARY_PREC = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+_UNARY_PREC = 11
+_POSTFIX_PREC = 12
+
+
+def print_program(program: ast.Program, safe: bool = False) -> str:
+    """Render ``program`` as C source text."""
+    printer = _Printer(safe)
+    return printer.program(program)
+
+
+def print_stmt(stmt: ast.Stmt) -> str:
+    """Render a single statement (used by tests and diagnostics)."""
+    printer = _Printer(safe=False)
+    printer._stmt(stmt, 0)
+    return "".join(printer._parts)
+
+
+def print_expr(expr: ast.Expr, safe: bool = False) -> str:
+    return _Printer(safe)._expr(expr, 0)
+
+
+def type_prefix(ty: Type) -> str:
+    """The declaration prefix for ``ty`` ('int', 'char *', ...)."""
+    if isinstance(ty, VoidType):
+        return "void"
+    if isinstance(ty, IntType):
+        return ty.c_name
+    if isinstance(ty, PointerType):
+        return f"{ty.pointee.c_name} *"
+    if isinstance(ty, ArrayType):
+        return ty.element.c_name
+    raise TypeError(f"unprintable type: {ty!r}")
+
+
+def declare(ty: Type, name: str) -> str:
+    """A full declarator, e.g. ``int a``, ``char *p``, ``int a[4]``."""
+    if isinstance(ty, ArrayType):
+        return f"{ty.element.c_name} {name}[{ty.length}]"
+    prefix = type_prefix(ty)
+    sep = "" if prefix.endswith("*") else " "
+    return f"{prefix}{sep}{name}"
+
+
+class _Printer:
+    def __init__(self, safe: bool) -> None:
+        self.safe = safe
+        self._parts: list[str] = []
+
+    # -- top level -------------------------------------------------------
+
+    def program(self, program: ast.Program) -> str:
+        self._parts = []
+        if self.safe:
+            self._parts.append(SAFE_MATH_C_HELPERS)
+            self._parts.append("\n")
+        for decl in program.decls:
+            self._decl(decl)
+        return "".join(self._parts)
+
+    def _decl(self, decl: ast.Decl) -> None:
+        out = self._parts
+        if isinstance(decl, ast.GlobalVar):
+            prefix = "static " if decl.static else ""
+            text = f"{prefix}{declare(decl.ty, decl.name)}"
+            if decl.init is not None:
+                text += f" = {self._global_init(decl)}"
+            out.append(text + ";\n")
+        elif isinstance(decl, ast.FuncDecl):
+            params = self._params(decl.params)
+            out.append(f"{type_prefix(decl.return_ty)} {decl.name}({params});\n")
+        elif isinstance(decl, ast.FuncDef):
+            prefix = "static " if decl.static else ""
+            params = self._params(decl.params)
+            out.append(f"{prefix}{type_prefix(decl.return_ty)} {decl.name}({params}) ")
+            self._block(decl.body, 0)
+            out.append("\n")
+        else:
+            raise TypeError(f"unprintable declaration: {decl!r}")
+
+    def _params(self, params: list[ast.Param]) -> str:
+        if not params:
+            return "void"
+        return ", ".join(declare(p.ty, p.name) for p in params)
+
+    def _global_init(self, decl: ast.GlobalVar) -> str:
+        init = decl.init
+        if isinstance(init, list):
+            return "{" + ", ".join(str(v) for v in init) + "}"
+        if isinstance(init, ast.Expr):
+            return self._expr(init, 0)
+        return str(init)
+
+    # -- statements --------------------------------------------------------
+
+    def _indent(self, depth: int) -> None:
+        self._parts.append("  " * depth)
+
+    def _block(self, block: ast.Block, depth: int) -> None:
+        self._parts.append("{\n")
+        for stmt in block.stmts:
+            self._stmt(stmt, depth + 1)
+        self._indent(depth)
+        self._parts.append("}")
+
+    def _stmt(self, stmt: ast.Stmt, depth: int) -> None:
+        out = self._parts
+        self._indent(depth)
+        if isinstance(stmt, ast.Block):
+            self._block(stmt, depth)
+            out.append("\n")
+        elif isinstance(stmt, ast.VarDecl):
+            text = declare(stmt.ty, stmt.name)
+            if isinstance(stmt.init, list):
+                elems = ", ".join(self._expr(e, 0) for e in stmt.init)
+                text += " = {" + elems + "}"
+            elif stmt.init is not None:
+                text += f" = {self._expr(stmt.init, 0)}"
+            out.append(text + ";\n")
+        elif isinstance(stmt, ast.Assign):
+            target = self._expr(stmt.target, 0)
+            value = self._expr(stmt.value, 0)
+            op = stmt.op + "="
+            out.append(f"{target} {op} {value};\n")
+        elif isinstance(stmt, ast.ExprStmt):
+            out.append(self._expr(stmt.expr, 0) + ";\n")
+        elif isinstance(stmt, ast.If):
+            out.append(f"if ({self._expr(stmt.cond, 0)}) ")
+            self._block(stmt.then, depth)
+            if stmt.els is not None:
+                out.append(" else ")
+                self._block(stmt.els, depth)
+            out.append("\n")
+        elif isinstance(stmt, ast.While):
+            out.append(f"while ({self._expr(stmt.cond, 0)}) ")
+            self._block(stmt.body, depth)
+            out.append("\n")
+        elif isinstance(stmt, ast.DoWhile):
+            out.append("do ")
+            self._block(stmt.body, depth)
+            out.append(f" while ({self._expr(stmt.cond, 0)});\n")
+        elif isinstance(stmt, ast.For):
+            init = self._inline_stmt(stmt.init)
+            cond = self._expr(stmt.cond, 0) if stmt.cond is not None else ""
+            step = self._inline_stmt(stmt.step)
+            out.append(f"for ({init}; {cond}; {step}) ")
+            self._block(stmt.body, depth)
+            out.append("\n")
+        elif isinstance(stmt, ast.Switch):
+            out.append(f"switch ({self._expr(stmt.scrutinee, 0)}) {{\n")
+            for case in stmt.cases:
+                self._indent(depth + 1)
+                if case.value is None:
+                    out.append("default: ")
+                else:
+                    out.append(f"case {case.value}: ")
+                self._block(case.body, depth + 1)
+                out.append(" break;\n")
+            self._indent(depth)
+            out.append("}\n")
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                out.append("return;\n")
+            else:
+                out.append(f"return {self._expr(stmt.value, 0)};\n")
+        elif isinstance(stmt, ast.Break):
+            out.append("break;\n")
+        elif isinstance(stmt, ast.Continue):
+            out.append("continue;\n")
+        else:
+            raise TypeError(f"unprintable statement: {stmt!r}")
+
+    def _inline_stmt(self, stmt: ast.Stmt | None) -> str:
+        """Print a for-loop init/step clause without the trailing ';'."""
+        if stmt is None:
+            return ""
+        if isinstance(stmt, ast.Assign):
+            target = self._expr(stmt.target, 0)
+            return f"{target} {stmt.op}= {self._expr(stmt.value, 0)}"
+        if isinstance(stmt, ast.VarDecl):
+            text = declare(stmt.ty, stmt.name)
+            if isinstance(stmt.init, ast.Expr):
+                text += f" = {self._expr(stmt.init, 0)}"
+            return text
+        if isinstance(stmt, ast.ExprStmt):
+            return self._expr(stmt.expr, 0)
+        raise TypeError(f"cannot inline statement: {stmt!r}")
+
+    # -- expressions -------------------------------------------------------
+
+    def _expr(self, expr: ast.Expr, parent_prec: int) -> str:
+        text, prec = self._expr_prec(expr)
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+
+    def _expr_prec(self, expr: ast.Expr) -> tuple[str, int]:
+        if isinstance(expr, ast.IntLit):
+            if expr.value < 0:
+                return str(expr.value), _UNARY_PREC
+            suffix = ""
+            if expr.ty is not None and expr.ty.width == 64:
+                suffix = "L" if expr.ty.signed else "UL"
+            elif expr.ty is not None and not expr.ty.signed and expr.ty.width == 32:
+                suffix = "U"
+            return f"{expr.value}{suffix}", _POSTFIX_PREC
+        if isinstance(expr, ast.VarRef):
+            return expr.name, _POSTFIX_PREC
+        if isinstance(expr, ast.Index):
+            base = self._expr(expr.base, _POSTFIX_PREC)
+            return f"{base}[{self._expr(expr.index, 0)}]", _POSTFIX_PREC
+        if isinstance(expr, ast.Deref):
+            return f"*{self._expr(expr.pointer, _UNARY_PREC)}", _UNARY_PREC
+        if isinstance(expr, ast.AddrOf):
+            return f"&{self._expr(expr.lvalue, _UNARY_PREC)}", _UNARY_PREC
+        if isinstance(expr, ast.Unary):
+            operand = self._expr(expr.operand, _UNARY_PREC)
+            # '- -x' must not print as '--x' (the decrement token).
+            sep = " " if operand.startswith(expr.op) else ""
+            return f"{expr.op}{sep}{operand}", _UNARY_PREC
+        if isinstance(expr, ast.Cast):
+            operand = self._expr(expr.operand, _UNARY_PREC)
+            return f"({expr.target.c_name}){operand}", _UNARY_PREC
+        if isinstance(expr, ast.Call):
+            args = ", ".join(self._expr(a, 0) for a in expr.args)
+            return f"{expr.callee}({args})", _POSTFIX_PREC
+        if isinstance(expr, ast.Binary):
+            return self._binary(expr)
+        raise TypeError(f"unprintable expression: {expr!r}")
+
+    def _binary(self, expr: ast.Binary) -> tuple[str, int]:
+        prec = _BINARY_PREC[expr.op]
+        if self.safe and expr.op in ("/", "%") and expr.ty is not None:
+            macro = "SAFE_DIV" if expr.op == "/" else "SAFE_MOD"
+            ty = expr.ty.c_name
+            lhs = self._expr(expr.lhs, 0)
+            rhs = self._expr(expr.rhs, 0)
+            return f"{macro}({ty}, {lhs}, {rhs})", _POSTFIX_PREC
+        if self.safe and expr.op in ("<<", ">>") and expr.ty is not None:
+            lhs = self._expr(expr.lhs, prec)
+            rhs = self._expr(expr.rhs, 0)
+            mask = expr.ty.width - 1
+            shifted = f"({rhs}) & {mask}"
+            if expr.op == "<<" and expr.ty.signed:
+                # Shift in the unsigned type to avoid signed overflow.
+                uns = IntType(expr.ty.width, False).c_name
+                return (
+                    f"({expr.ty.c_name})(({uns})({lhs}) << ({shifted}))",
+                    _UNARY_PREC,
+                )
+            return f"{lhs} {expr.op} ({shifted})", prec
+        if self.safe and expr.op in ("+", "-", "*") and expr.ty is not None and expr.ty.signed:
+            uns = IntType(expr.ty.width, False).c_name
+            lhs = self._expr(expr.lhs, 0)
+            rhs = self._expr(expr.rhs, 0)
+            return (
+                f"({expr.ty.c_name})(({uns})({lhs}) {expr.op} ({uns})({rhs}))",
+                _UNARY_PREC,
+            )
+        # Left-associative: the right child needs a higher threshold.
+        lhs = self._expr(expr.lhs, prec)
+        rhs = self._expr(expr.rhs, prec + 1)
+        return f"{lhs} {expr.op} {rhs}", prec

@@ -1,0 +1,140 @@
+"""MiniC evaluation semantics.
+
+This module is the *single source of truth* for what every MiniC
+operator computes.  The reference interpreter, the compiler's constant
+folder, SCCP, instcombine, and the IR interpreter all call into these
+functions, which guarantees that constant folding is always
+semantics-preserving (a property the test suite checks end-to-end).
+
+MiniC is deliberately UB-free: every operation is total.
+
+* Arithmetic wraps around at the result type's width (two's
+  complement for signed types).
+* ``x / 0 == x`` and ``x % 0 == x`` (Csmith's "safe math" convention).
+* ``INT_MIN / -1 == INT_MIN`` (wraps, no trap).
+* Shift counts are masked by ``width - 1``; right shift of signed
+  values is arithmetic.
+* Comparisons and logical operators yield ``0`` or ``1`` as ``int``.
+"""
+
+from __future__ import annotations
+
+from .types import IntType
+
+# Binary operators grouped by category.  These spellings are shared by
+# the AST, the IR, and the printers.
+ARITH_OPS = ("+", "-", "*", "/", "%")
+BIT_OPS = ("&", "|", "^", "<<", ">>")
+CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+LOGICAL_OPS = ("&&", "||")
+ALL_BINARY_OPS = ARITH_OPS + BIT_OPS + CMP_OPS + LOGICAL_OPS
+
+UNARY_OPS = ("-", "~", "!")
+
+
+def wrap(value: int, ty: IntType) -> int:
+    """Reduce ``value`` into the representable range of ``ty``.
+
+    Implements two's-complement truncation: the result ``r`` satisfies
+    ``r == value (mod 2**width)`` and ``ty.min_value <= r <= ty.max_value``.
+    """
+    mask = (1 << ty.width) - 1
+    value &= mask
+    if ty.signed and value > ty.max_value:
+        value -= 1 << ty.width
+    return value
+
+
+def convert(value: int, src: IntType, dst: IntType) -> int:
+    """Convert a value of type ``src`` to type ``dst`` (C-style)."""
+    del src  # conversion depends only on the destination type
+    return wrap(value, dst)
+
+
+def _div(lhs: int, rhs: int) -> int:
+    if rhs == 0:
+        return lhs
+    # C division truncates toward zero; Python's // floors.
+    quotient = abs(lhs) // abs(rhs)
+    return quotient if (lhs < 0) == (rhs < 0) else -quotient
+
+
+def _rem(lhs: int, rhs: int) -> int:
+    if rhs == 0:
+        return lhs
+    return lhs - _div(lhs, rhs) * rhs
+
+
+def eval_binop(op: str, lhs: int, rhs: int, ty: IntType) -> int:
+    """Evaluate ``lhs op rhs`` where both operands already have the
+    common type ``ty``; the result also has type ``ty`` (or ``int``
+    for comparisons, whose 0/1 result fits any type).
+    """
+    if op == "+":
+        return wrap(lhs + rhs, ty)
+    if op == "-":
+        return wrap(lhs - rhs, ty)
+    if op == "*":
+        return wrap(lhs * rhs, ty)
+    if op == "/":
+        return wrap(_div(lhs, rhs), ty)
+    if op == "%":
+        return wrap(_rem(lhs, rhs), ty)
+    if op == "&":
+        return wrap(lhs & rhs, ty)
+    if op == "|":
+        return wrap(lhs | rhs, ty)
+    if op == "^":
+        return wrap(lhs ^ rhs, ty)
+    if op == "<<":
+        return wrap(lhs << (rhs & (ty.width - 1)), ty)
+    if op == ">>":
+        # Arithmetic shift for signed (Python's >> on negative ints is
+        # arithmetic), logical for unsigned (operand is non-negative).
+        return wrap(lhs >> (rhs & (ty.width - 1)), ty)
+    if op == "==":
+        return 1 if lhs == rhs else 0
+    if op == "!=":
+        return 1 if lhs != rhs else 0
+    if op == "<":
+        return 1 if lhs < rhs else 0
+    if op == "<=":
+        return 1 if lhs <= rhs else 0
+    if op == ">":
+        return 1 if lhs > rhs else 0
+    if op == ">=":
+        return 1 if lhs >= rhs else 0
+    raise ValueError(f"unknown binary operator: {op!r}")
+
+
+def eval_unop(op: str, operand: int, ty: IntType) -> int:
+    """Evaluate a unary operator on an operand of type ``ty``."""
+    if op == "-":
+        return wrap(-operand, ty)
+    if op == "~":
+        return wrap(~operand, ty)
+    if op == "!":
+        return 1 if operand == 0 else 0
+    raise ValueError(f"unknown unary operator: {op!r}")
+
+
+def is_commutative(op: str) -> bool:
+    return op in ("+", "*", "&", "|", "^", "==", "!=")
+
+
+def comparison_is_signless(op: str) -> bool:
+    """Equality does not depend on the signedness interpretation."""
+    return op in ("==", "!=")
+
+
+#: C source for the safe-math helpers emitted by the pretty-printer so
+#: that *printed* MiniC programs are UB-free C as well.  Division and
+#: remainder are the only operators whose C behaviour differs from
+#: MiniC semantics on edge cases (div by zero, INT_MIN/-1); shifts are
+#: made safe by masking at the source level.
+SAFE_MATH_C_HELPERS = """\
+#define SAFE_DIV(T, a, b) ((T)(((b) == 0 || ((a) == (T)1 << (sizeof(T)*8-1) \
+&& (b) == (T)-1)) ? (a) : (T)((a) / (b))))
+#define SAFE_MOD(T, a, b) ((T)(((b) == 0 || ((a) == (T)1 << (sizeof(T)*8-1) \
+&& (b) == (T)-1)) ? (a) : (T)((a) % (b))))
+"""

@@ -1,0 +1,151 @@
+"""MiniC type system.
+
+MiniC is a deterministic, UB-free subset of C used throughout this
+reproduction.  Its types are fixed-width integers (signed and
+unsigned), pointers to integers, and one-dimensional arrays of
+integers.  Functions return an integer type or ``void``.
+
+Widths follow the LP64 model the paper's experiments ran on:
+``char``=8, ``short``=16, ``int``=32, ``long``=64 bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Type:
+    """Base class for all MiniC types."""
+
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+
+@dataclass(frozen=True)
+class VoidType(Type):
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    """A fixed-width integer type.
+
+    ``width`` is the size in bits (8, 16, 32 or 64) and ``signed``
+    selects two's-complement signed or unsigned interpretation.
+    """
+
+    width: int
+    signed: bool
+
+    def __post_init__(self) -> None:
+        if self.width not in (8, 16, 32, 64):
+            raise ValueError(f"unsupported integer width: {self.width}")
+
+    @property
+    def min_value(self) -> int:
+        return -(1 << (self.width - 1)) if self.signed else 0
+
+    @property
+    def max_value(self) -> int:
+        if self.signed:
+            return (1 << (self.width - 1)) - 1
+        return (1 << self.width) - 1
+
+    @property
+    def c_name(self) -> str:
+        base = {8: "char", 16: "short", 32: "int", 64: "long"}[self.width]
+        return base if self.signed else f"unsigned {base}"
+
+    def __str__(self) -> str:
+        return self.c_name
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    """Pointer to an integer type (MiniC has no pointer-to-pointer)."""
+
+    pointee: IntType
+
+    def __str__(self) -> str:
+        return f"{self.pointee} *"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    """One-dimensional array of a fixed integer element type."""
+
+    element: IntType
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ValueError("array length must be positive")
+
+    def __str__(self) -> str:
+        return f"{self.element}[{self.length}]"
+
+
+# Canonical singletons used pervasively.
+VOID = VoidType()
+CHAR = IntType(8, True)
+UCHAR = IntType(8, False)
+SHORT = IntType(16, True)
+USHORT = IntType(16, False)
+INT = IntType(32, True)
+UINT = IntType(32, False)
+LONG = IntType(64, True)
+ULONG = IntType(64, False)
+
+ALL_INT_TYPES = (CHAR, UCHAR, SHORT, USHORT, INT, UINT, LONG, ULONG)
+
+_BY_NAME = {t.c_name: t for t in ALL_INT_TYPES}
+_BY_NAME["void"] = VOID
+
+
+def int_type_by_name(name: str) -> Type:
+    """Look up an integer (or void) type by its C spelling."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(f"unknown type name: {name!r}") from None
+
+
+def promote(ty: IntType) -> IntType:
+    """C integer promotion: types narrower than ``int`` become ``int``."""
+    if ty.width < 32:
+        return INT
+    return ty
+
+
+def usual_arithmetic_conversion(lhs: IntType, rhs: IntType) -> IntType:
+    """The common type of a binary arithmetic expression.
+
+    Mirrors C's usual arithmetic conversions for our LP64-style types:
+    promote both operands, then pick the larger rank; on equal rank
+    with mixed signedness the unsigned type wins.
+    """
+    lhs = promote(lhs)
+    rhs = promote(rhs)
+    if lhs == rhs:
+        return lhs
+    if lhs.width != rhs.width:
+        wide, narrow = (lhs, rhs) if lhs.width > rhs.width else (rhs, lhs)
+        if wide.signed and not narrow.signed and narrow.width < wide.width:
+            # unsigned of smaller rank converts to the larger signed type
+            return wide
+        if not wide.signed:
+            return wide
+        return wide
+    # Same width, different signedness: unsigned wins.
+    return IntType(lhs.width, False)

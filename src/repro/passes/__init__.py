@@ -1,0 +1,36 @@
+"""Optimization passes for the repro compiler framework."""
+
+from .dce import eliminate_dead_code
+from .dse import eliminate_dead_stores
+from .globalopt import optimize_globals
+from .gvn import global_value_numbering
+from .inline import inline_functions
+from .instcombine import combine_instructions
+from .jump_threading import thread_jumps
+from .loop_unroll import unroll_loops
+from .loop_unswitch import unswitch_loops
+from .mem2reg import promote_memory_to_registers
+from .registry import PASS_REGISTRY, available_passes
+from .sccp import sparse_conditional_constant_propagation
+from .simplify_cfg import simplify_cfg
+from .vectorize import vectorize_loops
+from .vrp import propagate_value_ranges
+
+__all__ = [
+    "PASS_REGISTRY",
+    "available_passes",
+    "combine_instructions",
+    "eliminate_dead_code",
+    "eliminate_dead_stores",
+    "global_value_numbering",
+    "inline_functions",
+    "optimize_globals",
+    "promote_memory_to_registers",
+    "propagate_value_ranges",
+    "simplify_cfg",
+    "sparse_conditional_constant_propagation",
+    "thread_jumps",
+    "unroll_loops",
+    "unswitch_loops",
+    "vectorize_loops",
+]

@@ -1,0 +1,121 @@
+"""Conditional constant propagation over branch implications
+("cprop", modelled on GCC's DOM pass / LLVM's CorrelatedValuePropagation).
+
+When a block is reached only through the true edge of ``x == C``, every
+use of ``x`` dominated by that edge may be replaced with ``C``;
+likewise the false edge of ``x != C``.  This catches the redundant
+recheck shapes that pure SCCP cannot (its lattice has no per-edge
+refinement):
+
+    if (x == 5) {
+        if (x != 5) { dead(); }   /* folds here */
+    }
+"""
+
+from __future__ import annotations
+
+from ..compilers.config import PipelineConfig
+from ..ir import instructions as ins
+from ..ir.dominators import DominatorTree
+from ..ir.function import Block, IRFunction, Module
+from ..ir.values import Constant, Value, const_int
+
+
+def propagate_conditions(
+    func: IRFunction, module: Module, config: PipelineConfig | None = None
+) -> bool:
+    func.drop_unreachable_blocks()
+    dom = DominatorTree(func)
+    preds = func.predecessors()
+
+    #: (refined value, constant, root block) facts per implication edge
+    facts: list[tuple[Value, Constant, Block]] = []
+    for block in func.blocks:
+        term = block.terminator
+        if not isinstance(term, ins.Br):
+            continue
+        cond = term.cond
+        if not isinstance(cond, ins.ICmp):
+            continue
+        implied: tuple[Value, Constant, Block] | None = None
+        if isinstance(cond.rhs, Constant) and not isinstance(cond.lhs, Constant):
+            if cond.op == "==":
+                implied = (cond.lhs, cond.rhs, term.if_true)
+            elif cond.op == "!=":
+                implied = (cond.lhs, cond.rhs, term.if_false)
+        elif isinstance(cond.lhs, Constant) and not isinstance(cond.rhs, Constant):
+            if cond.op == "==":
+                implied = (cond.rhs, cond.lhs, term.if_true)
+            elif cond.op == "!=":
+                implied = (cond.rhs, cond.lhs, term.if_false)
+        if implied is None:
+            continue
+        value, constant, target = implied
+        # The refinement holds in `target` only if the edge is its sole
+        # entry; then it holds in everything `target` dominates.
+        if len(preds[target]) != 1 or target is block:
+            continue
+        facts.append((value, constant, target))
+
+    if not facts:
+        return False
+
+    changed = False
+    for value, constant, root in facts:
+        wrapped = _as_type(constant, value)
+        if wrapped is None:
+            continue
+        for block in _dominated_by(dom, root):
+            for instr in block.instrs:
+                if isinstance(instr, ins.Phi):
+                    # Only incomings flowing from dominated blocks may
+                    # be refined.
+                    new_incomings = []
+                    for from_block, v in instr.incomings:
+                        if v is value and dom.dominates(root, from_block):
+                            new_incomings.append((from_block, wrapped))
+                            changed = True
+                        else:
+                            new_incomings.append((from_block, v))
+                    instr.incomings = new_incomings
+                    continue
+                ops = instr.operands()
+                if any(op is value for op in ops):
+                    instr.set_operands([wrapped if op is value else op for op in ops])
+                    changed = True
+    return changed
+
+
+def _as_type(constant: Constant, value: Value) -> Constant | None:
+    """The constant re-typed to the refined value's type (the compare
+    happened in a common type; the value's own type can be narrower,
+    in which case equality pins the value only if it round-trips)."""
+    from ..lang.types import IntType
+    from ..lang.semantics import wrap
+
+    ty = value.ty
+    if not isinstance(ty, IntType):
+        return None
+    if constant.ty == ty:
+        return constant
+    narrowed = wrap(constant.value, ty)
+    # x (of ty) == C in the wide type requires convert(x) == C; that
+    # pins x itself only when C is representable in ty.
+    widened_back = wrap(narrowed, constant.ty)
+    if widened_back != constant.value:
+        return None
+    # Also the conversion ty -> compare type must be value-preserving
+    # (lossless extension), otherwise several x values map to C.
+    if constant.ty.width < ty.width:
+        return None
+    if constant.ty.width > ty.width and constant.ty.signed != ty.signed and not ty.signed:
+        pass  # zero-extension: injective, fine
+    return const_int(narrowed, ty)
+
+
+def _dominated_by(dom: DominatorTree, root: Block):
+    stack = [root]
+    while stack:
+        block = stack.pop()
+        yield block
+        stack.extend(dom.children(block))

@@ -1,0 +1,45 @@
+"""Dead code elimination (the instruction-level half).
+
+Liveness seeds from instructions with observable effects (stores,
+calls, terminators) and propagates through operands; everything
+unmarked is deleted.  Block-level dead code is handled by SCCP +
+simplify-cfg, which is precisely the interaction the paper's
+optimization markers probe: *this* pass can only delete a marker call
+if earlier passes proved its block unreachable.
+"""
+
+from __future__ import annotations
+
+from ..ir import instructions as ins
+from ..ir.function import IRFunction, Module
+from .utils import erase_instructions
+
+
+def eliminate_dead_code(func: IRFunction, module: Module | None = None) -> bool:
+    """Aggressive DCE over ``func``; returns True when anything died."""
+    live: set[int] = set()
+    work: list[ins.Instr] = []
+
+    for block in func.blocks:
+        for instr in block.instrs:
+            if instr.has_side_effects():
+                live.add(id(instr))
+                work.append(instr)
+
+    while work:
+        instr = work.pop()
+        for op in instr.operands():
+            if isinstance(op, ins.Instr) and id(op) not in live:
+                live.add(id(op))
+                work.append(op)
+
+    dead = {
+        id(i)
+        for block in func.blocks
+        for i in block.instrs
+        if id(i) not in live
+    }
+    if not dead:
+        return False
+    erase_instructions(func, dead)
+    return True

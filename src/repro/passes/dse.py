@@ -1,0 +1,102 @@
+"""Dead store elimination.
+
+Two rules, both of which the paper's case studies exercise:
+
+* **overwrite**: a store followed (in the same block) by another store
+  to the same cell with no intervening may-read is dead;
+* **dead at exit**: in ``main``, a store to a non-escaping internal
+  (static) global or to a local object that is never read before the
+  function returns is dead — this is exactly the ``movl $0, c(%rip)``
+  GCC missed in paper Listing 1c / bug #99357.
+
+Both are conservative with respect to calls: any call that may access
+the cell counts as a read.
+"""
+
+from __future__ import annotations
+
+from ..analysis.alias import AliasResult, MemorySSAish, trace_root
+from ..compilers.config import PipelineConfig
+from ..ir import instructions as ins
+from ..ir.function import Block, IRFunction, Module
+from .utils import erase_instructions
+
+
+def eliminate_dead_stores(
+    func: IRFunction, module: Module, config: PipelineConfig | None = None
+) -> bool:
+    config = config or PipelineConfig()
+    if not config.dse:
+        return False
+    memory = MemorySSAish(module, config.alias_max_objects)
+    dead: set[int] = set()
+    for block in func.blocks:
+        _scan_block(block, func, module, memory, config, dead)
+    if not dead:
+        return False
+    erase_instructions(func, dead)
+    return True
+
+
+def _scan_block(
+    block: Block,
+    func: IRFunction,
+    module: Module,
+    memory: MemorySSAish,
+    config: PipelineConfig,
+    dead: set[int],
+) -> None:
+    #: addresses whose current content is known to be overwritten (or
+    #: unobservable) before it can be read again.
+    pending: list = []
+    exit_dead = (
+        config.dse_dead_at_exit
+        and func.name == "main"
+        and isinstance(block.terminator, ins.Ret)
+    )
+    for instr in reversed(block.instrs):
+        if isinstance(instr, ins.Store):
+            for addr in pending:
+                if memory.alias(instr.address, addr) is AliasResult.MUST:
+                    dead.add(id(instr))
+                    break
+            else:
+                if exit_dead and _unobservable_after_exit(instr.address, module, memory):
+                    dead.add(id(instr))
+                    continue
+                pending.append(instr.address)
+            continue
+        if isinstance(instr, (ins.Load, ins.LoadPtr)):
+            pending = [
+                a for a in pending if memory.alias(a, instr.address) is AliasResult.NO
+            ]
+            exit_dead = exit_dead and not _reads_exit_candidates(
+                instr.address, module, memory
+            )
+        elif isinstance(instr, ins.Call):
+            pending = [a for a in pending if not memory.call_may_access(instr, a)]
+            if not module.is_opaque(instr.callee):
+                exit_dead = False  # the callee may read statics directly
+            else:
+                exit_dead = exit_dead and not instr.args
+        elif instr.is_terminator:
+            continue
+
+
+def _unobservable_after_exit(addr, module: Module, memory: MemorySSAish) -> bool:
+    root = trace_root(addr)
+    if root.kind == "alloca":
+        return True  # locals die with the frame
+    if root.kind == "global":
+        info = module.globals.get(root.key)  # type: ignore[arg-type]
+        return info is not None and info.static and not memory.global_escaped(root.key)
+    return False
+
+
+def _reads_exit_candidates(addr, module: Module, memory: MemorySSAish) -> bool:
+    """Conservatively: could this load observe a store we would kill
+    under the dead-at-exit rule?"""
+    root = trace_root(addr)
+    if root.kind == "unknown":
+        return True
+    return _unobservable_after_exit(addr, module, memory)

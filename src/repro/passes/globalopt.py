@@ -1,0 +1,178 @@
+"""Global value analysis ("globalopt").
+
+Folds loads of internal (static) globals whose value is provably
+known.  The precision is the main family differentiator from the
+paper (§2, Listings 4a/6a and the rediscovered array bug 9f):
+
+* ``readonly`` (GCC-like): fold only globals that are **never
+  stored to** anywhere in the module.  A global with any store —
+  even one that rewrites the initial value — is opaque; this is the
+  flow-insensitivity the paper blames for GCC missing
+  ``static int a = 0; if (a) ...; a = 0;``.
+* ``stored-init`` (LLVM-like): additionally fold when **every store
+  writes the initializer value back** (so the value is invariant).
+  The ``a = 1`` variant (Listing 6a) still defeats it.
+* ``flow`` (the paper's hypothetical fix, used in ablations): like
+  ``stored-init``, and additionally forwards a dominating constant
+  store to loads it reaches with no intervening may-write (a cheap
+  flow-sensitive refinement).
+
+Arrays: a never-written internal array folds (a) loads with constant
+indices always, and (b) loads with *any* index when every cell holds
+the same constant — the latter only under
+``config.fold_uniform_const_arrays`` (GCC misses it: bug #99419).
+
+Also deletes stores to internal globals that are never read anywhere
+(dead global elimination).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.alias import MemorySSAish, trace_root
+from ..compilers.config import PipelineConfig
+from ..ir import instructions as ins
+from ..ir.function import IRFunction, Module
+from ..ir.values import Constant, GlobalRef, NullPtr, Value, const_int
+from ..lang.types import PointerType
+from .utils import erase_instructions, replace_all_uses
+
+
+@dataclass
+class _GlobalSummary:
+    loads: list[tuple[IRFunction, ins.Instr]] = field(default_factory=list)
+    stores: list[tuple[IRFunction, ins.Store]] = field(default_factory=list)
+
+
+def optimize_globals(module: Module, config: PipelineConfig | None = None) -> bool:
+    config = config or PipelineConfig()
+    memory = MemorySSAish(module, config.alias_max_objects)
+    summaries: dict[str, _GlobalSummary] = {}
+
+    for func in module.functions.values():
+        for block in func.blocks:
+            for instr in block.instrs:
+                if isinstance(instr, (ins.Load, ins.LoadPtr)):
+                    root = trace_root(instr.address)
+                    if root.kind == "global":
+                        summaries.setdefault(root.key, _GlobalSummary()).loads.append(
+                            (func, instr)
+                        )
+                elif isinstance(instr, ins.Store):
+                    root = trace_root(instr.address)
+                    if root.kind == "global":
+                        summaries.setdefault(root.key, _GlobalSummary()).stores.append(
+                            (func, instr)
+                        )
+
+    changed = False
+    per_func_replacements: dict[str, dict[Value, Value]] = {}
+    per_func_dead: dict[str, set[int]] = {}
+
+    for name, info in module.globals.items():
+        if not info.static or memory.global_escaped(name):
+            continue
+        summary = summaries.get(name, _GlobalSummary())
+        known = _known_value(info, summary, module, config)
+        if known is not None:
+            for func, load in summary.loads:
+                replacement = _materialize(load, known, module, info)
+                if replacement is not None:
+                    per_func_replacements.setdefault(func.name, {})[load] = replacement
+                    per_func_dead.setdefault(func.name, set()).add(id(load))
+        elif info.length > 1 and not summary.stores:
+            # Read-only array without a uniform value: fold loads whose
+            # index is a compile-time constant.
+            cells = info.initial_cells()
+            for func, load in summary.loads:
+                root = trace_root(load.address)
+                if root.offset is None:
+                    continue
+                value = cells[root.offset % info.length]
+                const = const_int(int(value), info.element)
+                per_func_replacements.setdefault(func.name, {})[load] = const
+                per_func_dead.setdefault(func.name, set()).add(id(load))
+        if not summary.loads and summary.stores:
+            # No load anywhere: the global's content is unobservable.
+            for func, store in summary.stores:
+                per_func_dead.setdefault(func.name, set()).add(id(store))
+
+    for fname, replacements in per_func_replacements.items():
+        func = module.functions[fname]
+        if replace_all_uses(func, replacements):
+            changed = True
+    for fname, dead in per_func_dead.items():
+        func = module.functions[fname]
+        if erase_instructions(func, dead):
+            changed = True
+
+    # Flow-sensitive refinement ('flow' mode) lives in the memcp pass,
+    # which seeds main's entry state with static initializers.
+    return changed
+
+
+def _known_value(info, summary: _GlobalSummary, module: Module, config: PipelineConfig):
+    """The invariant content of the global, or None.
+
+    Returns an int (scalar), ('ptr', sym, idx) / ('null',) for pointer
+    slots, or ('uniform', int) for arrays with one repeated value.
+    """
+    cells = info.initial_cells()
+    if info.is_pointer_slot:
+        if summary.stores:
+            return None  # stored pointer values are not tracked
+        init = cells[0]
+        if init is None:
+            return ("null",)
+        return ("ptr", init[1], init[2])
+    if info.length == 1:
+        init = int(cells[0])
+        if not summary.stores:
+            return init
+        if config.global_fold_mode in ("stored-init", "flow"):
+            if all(
+                isinstance(s.value, Constant) and s.value.value == init
+                for _, s in summary.stores
+            ):
+                return init
+        return None
+    # Array: only foldable-for-any-index when uniform and never stored.
+    if summary.stores:
+        return None
+    first = int(cells[0])
+    if all(int(c) == first for c in cells):
+        if config.fold_uniform_const_arrays:
+            return ("uniform", first)
+    return None
+
+
+def _materialize(load: ins.Instr, known, module: Module, info) -> Value | None:
+    """Build the replacement value for a folded load."""
+    if isinstance(known, int):
+        return const_int(known, info.element)
+    if known[0] == "uniform":
+        return const_int(known[1], info.element)
+    if known[0] == "null":
+        assert isinstance(load.ty, PointerType)
+        return NullPtr(load.ty)
+    if known[0] == "ptr":
+        target = module.globals.get(known[1])
+        if target is None:
+            return None
+        ref = module.global_ref(known[1])
+        if known[2] == 0:
+            return ref
+        gep = ins.Gep(ref, const_int(known[2], _index_ty()))
+        block = load.block
+        assert block is not None
+        gep.block = block
+        block.instrs.insert(block.instrs.index(load), gep)
+        return gep
+    return None
+
+
+def _index_ty():
+    from ..lang.types import LONG
+
+    return LONG

@@ -1,0 +1,163 @@
+"""Global value numbering + load CSE + store-to-load forwarding.
+
+Pure expressions are numbered over a dominator-tree walk with scoped
+hash tables (classic dominator-based GVN).  Memory is handled
+block-locally: within a block, a load can reuse an earlier load of a
+must-alias address, or the value of an earlier store to it, as long as
+no intervening instruction may write that cell.  Calls kill forwarded
+values unless the config says the callee cannot touch the address
+(``gvn_across_calls`` — the knob a paper-style regression commit
+flips off to trade precision for compile time).
+"""
+
+from __future__ import annotations
+
+from ..analysis.alias import AliasResult, MemorySSAish
+from ..compilers.config import PipelineConfig
+from ..ir import instructions as ins
+from ..ir.dominators import DominatorTree
+from ..ir.function import Block, IRFunction, Module
+from ..ir.values import Constant, GlobalRef, NullPtr, Value
+from .utils import erase_instructions, replace_all_uses
+
+
+def global_value_numbering(
+    func: IRFunction, module: Module, config: PipelineConfig | None = None
+) -> bool:
+    config = config or PipelineConfig()
+    func.drop_unreachable_blocks()
+    changed = _number_pure_values(func)
+    memory = MemorySSAish(module, config.alias_max_objects)
+    for block in func.blocks:
+        changed |= _forward_memory(block, func, module, memory, config)
+    return changed
+
+
+# --------------------------------------------------------------------------
+# Pure-expression GVN
+# --------------------------------------------------------------------------
+
+
+def _number_pure_values(func: IRFunction) -> bool:
+    dom = DominatorTree(func)
+    replacements: dict[Value, Value] = {}
+    dead: set[int] = set()
+
+    def key_for(instr: ins.Instr, canon: dict[int, Value]) -> tuple | None:
+        def vid(value: Value):
+            value = replacements.get(value, value)
+            if isinstance(value, Constant):
+                return ("c", value.value, value.ty)
+            if isinstance(value, NullPtr):
+                return ("null",)
+            if isinstance(value, GlobalRef):
+                return ("g", value.name)
+            return ("v", id(value))
+
+        if isinstance(instr, ins.BinOp):
+            a, b = vid(instr.lhs), vid(instr.rhs)
+            from ..lang.semantics import is_commutative
+
+            if is_commutative(instr.op) and b < a:
+                a, b = b, a
+            return ("binop", instr.op, instr.ty, a, b)
+        if isinstance(instr, ins.ICmp):
+            return ("icmp", instr.op, instr.operand_ty, vid(instr.lhs), vid(instr.rhs))
+        if isinstance(instr, ins.PCmp):
+            return ("pcmp", instr.op, vid(instr.lhs), vid(instr.rhs))
+        if isinstance(instr, ins.Cast):
+            return ("cast", instr.ty, vid(instr.value))
+        if isinstance(instr, ins.Gep):
+            return ("gep", vid(instr.base), vid(instr.index))
+        if isinstance(instr, ins.Select):
+            return ("select", vid(instr.cond), vid(instr.if_true), vid(instr.if_false))
+        return None
+
+    # Scoped table via dominator-tree DFS with undo log.
+    table: dict[tuple, Value] = {}
+    stack: list[tuple[Block, list[tuple] | None]] = [(func.entry, None)]
+    undo_stack: list[list[tuple]] = []
+    while stack:
+        block, undo = stack.pop()
+        if undo is not None:  # post-visit marker
+            for key in undo:
+                table.pop(key, None)
+            continue
+        added: list[tuple] = []
+        stack.append((block, added))
+        for instr in block.instrs:
+            key = key_for(instr, {})
+            if key is None:
+                continue
+            existing = table.get(key)
+            if existing is not None:
+                replacements[instr] = existing
+                dead.add(id(instr))
+            else:
+                table[key] = instr
+                added.append(key)
+    if not replacements:
+        return False
+    replace_all_uses(func, replacements)
+    erase_instructions(func, dead)
+    return True
+
+
+# --------------------------------------------------------------------------
+# Block-local memory forwarding
+# --------------------------------------------------------------------------
+
+
+def _forward_memory(
+    block: Block,
+    func: IRFunction,
+    module: Module,
+    memory: MemorySSAish,
+    config: PipelineConfig,
+) -> bool:
+    #: list of (address value, stored/loaded value, came_from_store)
+    available: list[tuple[Value, Value, bool]] = []
+    replacements: dict[Value, Value] = {}
+    dead: set[int] = set()
+
+    for instr in block.instrs:
+        if isinstance(instr, (ins.Load, ins.LoadPtr)):
+            addr = instr.address
+            forwarded = None
+            for known_addr, value, _ in reversed(available):
+                res = memory.alias(addr, known_addr)
+                if res is AliasResult.MUST and value.ty == instr.ty:
+                    forwarded = value
+                    break
+                if res is not AliasResult.NO:
+                    break  # a may-alias entry in between blocks forwarding
+            if forwarded is not None:
+                replacements[instr] = forwarded
+                dead.add(id(instr))
+            else:
+                available.append((addr, instr, False))
+        elif isinstance(instr, ins.Store):
+            if config.store_forwarding:
+                available = [
+                    (a, v, s)
+                    for a, v, s in available
+                    if memory.alias(a, instr.address) is AliasResult.NO
+                ]
+                available.append((instr.address, instr.value, True))
+            else:
+                available = []
+        elif isinstance(instr, ins.Call):
+            if config.gvn_across_calls:
+                available = [
+                    (a, v, s)
+                    for a, v, s in available
+                    if not memory.call_may_access(instr, a)
+                ]
+            else:
+                available = []
+
+    if not replacements:
+        return False
+    replace_all_uses(func, replacements)
+    erase_instructions(func, dead)
+    return True

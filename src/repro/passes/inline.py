@@ -1,0 +1,195 @@
+"""Function inlining.
+
+Bottom-up inlining with a size budget.  Static functions with a single
+call site get a budget bonus (they disappear entirely afterwards —
+GCC's ``-finline-functions-called-once``).  Functions on call-graph
+cycles are never inlined.  Inlining is the gateway to interprocedural
+constant propagation in this compiler, so its budget is a favourite
+lever for paper-style regressions ("tighten inlining to control code
+growth" costing DCE opportunities downstream).
+"""
+
+from __future__ import annotations
+
+from ..compilers.config import PipelineConfig
+from ..ir import instructions as ins
+from ..ir.function import Block, IRFunction, Module
+from ..ir.values import Value
+from .utils import clone_region, function_size, replace_all_uses, split_block
+
+
+def inline_functions(module: Module, config: PipelineConfig | None = None) -> bool:
+    config = config or PipelineConfig()
+    changed = False
+    recursive = _functions_on_cycles(module)
+    for _round in range(4):
+        call_counts = _call_site_counts(module)
+        round_changed = False
+        for func in list(module.functions.values()):
+            for call in _inlinable_calls(func, module, recursive, call_counts, config):
+                if _inline_call(func, call, module):
+                    round_changed = True
+                    changed = True
+                    break  # block structure changed; rescan the function
+        if not round_changed:
+            break
+    _drop_dead_private_functions(module)
+    return changed
+
+
+def _functions_on_cycles(module: Module) -> set[str]:
+    edges: dict[str, set[str]] = {name: set() for name in module.functions}
+    for func in module.functions.values():
+        for block in func.blocks:
+            for instr in block.instrs:
+                if isinstance(instr, ins.Call) and instr.callee in module.functions:
+                    edges[func.name].add(instr.callee)
+
+    on_cycle: set[str] = set()
+
+    def reaches(start: str, goal: str, seen: set[str]) -> bool:
+        if start == goal:
+            return True
+        for nxt in edges.get(start, ()):
+            if nxt not in seen:
+                seen.add(nxt)
+                if reaches(nxt, goal, seen):
+                    return True
+        return False
+
+    for name in module.functions:
+        if any(reaches(callee, name, {callee}) for callee in edges[name]):
+            on_cycle.add(name)
+        if name in edges[name]:
+            on_cycle.add(name)
+    return on_cycle
+
+
+def _call_site_counts(module: Module) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for func in module.functions.values():
+        for block in func.blocks:
+            for instr in block.instrs:
+                if isinstance(instr, ins.Call):
+                    counts[instr.callee] = counts.get(instr.callee, 0) + 1
+    return counts
+
+
+def _inlinable_calls(
+    func: IRFunction,
+    module: Module,
+    recursive: set[str],
+    call_counts: dict[str, int],
+    config: PipelineConfig,
+) -> list[ins.Call]:
+    out = []
+    for block in func.blocks:
+        for instr in block.instrs:
+            if not isinstance(instr, ins.Call):
+                continue
+            callee = module.functions.get(instr.callee)
+            if callee is None or instr.callee == func.name or instr.callee in recursive:
+                continue
+            if callee.name == "main":
+                continue
+            budget = config.inline_budget
+            if callee.static and call_counts.get(callee.name, 0) == 1:
+                budget += config.inline_single_call_bonus
+            if function_size(callee) <= budget:
+                out.append(instr)
+    return out
+
+
+def _inline_call(func: IRFunction, call: ins.Call, module: Module) -> bool:
+    callee = module.functions[call.callee]
+    block = call.block
+    if block is None or block not in func.blocks:
+        return False
+    index = block.instrs.index(call)
+    tail = split_block(func, block, index + 1, "ret")
+    block.instrs.pop()  # remove the call itself (block is now open)
+    call.block = None
+
+    value_map: dict[Value, Value] = {
+        param: arg for param, arg in zip(callee.params, call.args)
+    }
+    block_map = clone_region(func, callee.blocks, value_map, f"in.{callee.name}")
+    entry_clone = block_map[id(callee.entry)]
+    block.append(ins.Jmp(entry_clone))
+
+    # Move cloned allocas into the caller's entry block.
+    _hoist_allocas(func, block_map.values())
+
+    # Rewire cloned returns to the continuation.
+    returns: list[tuple[Block, Value | None]] = []
+    for clone in block_map.values():
+        term = clone.terminator
+        if isinstance(term, ins.Ret):
+            returns.append((clone, term.value))
+            clone.replace_terminator(ins.Jmp(tail))
+
+    if call.produces_value():
+        from ..lang.types import IntType
+
+        result: Value | None
+        if len(returns) == 1:
+            result = returns[0][1]
+        elif returns:
+            phi = ins.Phi(call.ty)
+            for ret_block, value in returns:
+                if value is None and isinstance(call.ty, IntType):
+                    from ..ir.values import const_int
+
+                    value = const_int(0, call.ty)
+                phi.incomings.append((ret_block, value))
+            tail.insert_phi(phi)
+            result = phi
+        else:
+            result = None  # the callee never returns
+        if result is not None:
+            replace_all_uses(func, {call: result})
+
+    func.drop_unreachable_blocks()
+    return True
+
+
+def _hoist_allocas(func: IRFunction, cloned_blocks) -> None:
+    entry = func.entry
+    for clone in cloned_blocks:
+        if clone is entry:
+            continue
+        moved = [i for i in clone.instrs if isinstance(i, ins.Alloca)]
+        if not moved:
+            continue
+        clone.instrs = [i for i in clone.instrs if not isinstance(i, ins.Alloca)]
+        insert_at = 0
+        for i, instr in enumerate(entry.instrs):
+            if not isinstance(instr, ins.Alloca):
+                insert_at = i
+                break
+        else:
+            insert_at = len(entry.instrs)
+        for alloca in moved:
+            alloca.block = entry
+            entry.instrs.insert(insert_at, alloca)
+            insert_at += 1
+
+
+def _drop_dead_private_functions(module: Module) -> None:
+    """Remove static functions that no remaining call references."""
+    while True:
+        called: set[str] = set()
+        for func in module.functions.values():
+            for block in func.blocks:
+                for instr in block.instrs:
+                    if isinstance(instr, ins.Call):
+                        called.add(instr.callee)
+        dead = [
+            name
+            for name, func in module.functions.items()
+            if func.static and name not in called and name != "main"
+        ]
+        if not dead:
+            return
+        for name in dead:
+            del module.functions[name]

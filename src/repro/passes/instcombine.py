@@ -1,0 +1,270 @@
+"""Peephole simplification ("instcombine").
+
+Local rewrites over single instructions: algebraic identities,
+constant folding, cast-chain collapsing, comparison canonicalization,
+and syntactic pointer-comparison folding (the family-dependent
+EarlyCSE behaviour from paper Listing 3 lives here as well as in
+SCCP's lattice).
+"""
+
+from __future__ import annotations
+
+from ..analysis.alias import trace_root
+from ..compilers.config import PipelineConfig
+from ..ir import instructions as ins
+from ..ir.function import IRFunction, Module
+from ..ir.values import Constant, NullPtr, Value, const_int
+from ..lang.semantics import eval_binop, is_commutative, wrap
+from ..lang.types import INT, IntType
+from .utils import erase_instructions, replace_all_uses
+
+_NEGATE = {"==": "!=", "!=": "==", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+
+
+def combine_instructions(
+    func: IRFunction, module: Module, config: PipelineConfig | None = None
+) -> bool:
+    config = config or PipelineConfig()
+    changed = False
+    while _one_round(func, module, config):
+        changed = True
+    return changed
+
+
+def _one_round(func: IRFunction, module: Module, config: PipelineConfig) -> bool:
+    replacements: dict[Value, Value] = {}
+    for block in func.blocks:
+        # Iterate a snapshot: simplification may insert helper
+        # instructions (flipped comparisons, collapsed casts) in place.
+        for instr in list(block.instrs):
+            if instr in replacements:
+                continue
+            simplified = _simplify(instr, module, config)
+            if simplified is not None and simplified is not instr:
+                replacements[instr] = simplified
+    if not replacements:
+        return False
+    replace_all_uses(func, replacements)
+    erase_instructions(func, {id(i) for i in replacements if isinstance(i, ins.Instr)})
+    return True
+
+
+def _simplify(instr: ins.Instr, module: Module, config: PipelineConfig) -> Value | None:
+    if isinstance(instr, ins.BinOp):
+        return _simplify_binop(instr, config.peephole_algebraic)
+    if isinstance(instr, ins.ICmp):
+        return _simplify_icmp(instr, config)
+    if isinstance(instr, ins.PCmp):
+        return _simplify_pcmp(instr, module, config)
+    if isinstance(instr, ins.Cast):
+        return _simplify_cast(instr, config)
+    if isinstance(instr, ins.Select):
+        return _simplify_select(instr)
+    if isinstance(instr, ins.Gep):
+        if isinstance(instr.index, Constant) and instr.index.value == 0:
+            return instr.base
+    return None
+
+
+def _simplify_binop(instr: ins.BinOp, algebraic: bool = True) -> Value | None:
+    op, lhs, rhs, ty = instr.op, instr.lhs, instr.rhs, instr.ty
+    lc = lhs.value if isinstance(lhs, Constant) else None
+    rc = rhs.value if isinstance(rhs, Constant) else None
+    if lc is not None and rc is not None:
+        return const_int(eval_binop(op, lc, rc, ty), ty)
+    if not algebraic:
+        return None
+    # Canonicalize constants to the right for commutative ops.
+    if lc is not None and rc is None and is_commutative(op):
+        lhs, rhs, lc, rc = rhs, lhs, rc, lc
+    if op == "+" and rc == 0:
+        return lhs
+    if op == "-" and rc == 0:
+        return lhs
+    if op == "-" and lhs is rhs:
+        return const_int(0, ty)
+    if op == "*":
+        if rc == 0:
+            return const_int(0, ty)
+        if rc == 1:
+            return lhs
+    if op == "/":
+        if rc == 1:
+            return lhs
+        if rc == 0:
+            return lhs  # MiniC: x / 0 == x
+        if lc == 0:
+            return const_int(0, ty)  # 0 / y == 0 for all y (incl. 0)
+    if op == "%":
+        if rc == 1:
+            return const_int(0, ty)
+        if rc == 0:
+            return lhs  # MiniC: x % 0 == x
+        if lc == 0:
+            return const_int(0, ty)
+    if op == "&":
+        if rc == 0:
+            return const_int(0, ty)
+        if rc is not None and wrap(rc, ty) == wrap(-1, ty):
+            return lhs
+        if lhs is rhs:
+            return lhs
+    if op == "|":
+        if rc == 0:
+            return lhs
+        if rc is not None and wrap(rc, ty) == wrap(-1, ty):
+            return const_int(-1, ty)
+        if lhs is rhs:
+            return lhs
+    if op == "^":
+        if rc == 0:
+            return lhs
+        if lhs is rhs:
+            return const_int(0, ty)
+    if op in ("<<", ">>"):
+        if rc is not None and (rc & (ty.width - 1)) == 0:
+            return lhs
+        if lc == 0:
+            return const_int(0, ty)
+    # --x == x
+    if (
+        op == "-"
+        and lc == 0
+        and isinstance(rhs, ins.BinOp)
+        and rhs.op == "-"
+        and isinstance(rhs.lhs, Constant)
+        and rhs.lhs.value == 0
+    ):
+        return rhs.rhs
+    return None
+
+
+def _simplify_icmp(instr: ins.ICmp, config: PipelineConfig) -> Value | None:
+    op, lhs, rhs, ty = instr.op, instr.lhs, instr.rhs, instr.operand_ty
+    if isinstance(lhs, Constant) and isinstance(rhs, Constant):
+        return const_int(eval_binop(op, lhs.value, rhs.value, ty), INT)
+    if not config.peephole_algebraic:
+        return None
+    if lhs is rhs:
+        return const_int(1 if op in ("==", "<=", ">=") else 0, INT)
+    if not ty.signed and isinstance(rhs, Constant) and rhs.value == 0:
+        if op == "<":
+            return const_int(0, INT)  # unsigned x < 0
+        if op == ">=":
+            return const_int(1, INT)
+    # (x cmp c) == 0  ->  x !cmp c ; (x cmp c) != 0 -> x cmp c
+    if (
+        config.fold_cmp_chains
+        and op in ("==", "!=")
+        and isinstance(rhs, Constant)
+        and rhs.value == 0
+        and isinstance(lhs, (ins.ICmp, ins.PCmp))
+    ):
+        if op == "!=":
+            return lhs
+        if isinstance(lhs, ins.ICmp):
+            return ins_replacement_icmp(lhs)
+        return ins_replacement_pcmp(lhs)
+    return None
+
+
+def ins_replacement_icmp(inner: ins.ICmp) -> ins.Instr:
+    flipped = ins.ICmp(_NEGATE[inner.op], inner.lhs, inner.rhs, inner.operand_ty)
+    return _insert_sibling(inner, flipped)
+
+
+def ins_replacement_pcmp(inner: ins.PCmp) -> ins.Instr:
+    flipped = ins.PCmp(_NEGATE[inner.op], inner.lhs, inner.rhs)
+    return _insert_sibling(inner, flipped)
+
+
+def _insert_sibling(anchor: ins.Instr, new_instr: ins.Instr) -> ins.Instr:
+    """Insert ``new_instr`` right after ``anchor`` in its block."""
+    block = anchor.block
+    assert block is not None
+    new_instr.block = block
+    block.instrs.insert(block.instrs.index(anchor) + 1, new_instr)
+    return new_instr
+
+
+def _simplify_pcmp(instr: ins.PCmp, module: Module, config: PipelineConfig) -> Value | None:
+    def result(equal: bool) -> Constant:
+        value = equal if instr.op == "==" else not equal
+        return const_int(1 if value else 0, INT)
+
+    lhs, rhs = instr.lhs, instr.rhs
+    if lhs is rhs:
+        return result(True)
+    lnull = isinstance(lhs, NullPtr)
+    rnull = isinstance(rhs, NullPtr)
+    if lnull and rnull:
+        return result(True)
+    lroot = trace_root(lhs)
+    rroot = trace_root(rhs)
+    if lnull != rnull:
+        known = rroot if lnull else lroot
+        if known.kind != "unknown":
+            return result(False)  # a real object is never at null
+        return None
+    if lroot.kind == "unknown" or rroot.kind == "unknown":
+        return None
+    if (lroot.kind, lroot.key) == (rroot.kind, rroot.key):
+        if lroot.offset is None or rroot.offset is None:
+            return None
+        length = _root_length(lroot, module)
+        if length is None:
+            return None
+        return result(lroot.offset % length == rroot.offset % length)
+    # Distinct objects: family-dependent folding (paper Listing 3).
+    if config.addr_cmp == "all":
+        return result(False)
+    if config.addr_cmp == "zero-index":
+        if lroot.offset == 0 and rroot.offset == 0:
+            return result(False)
+        return None
+    return None
+
+
+def _root_length(root, module: Module) -> int | None:
+    if root.kind == "global":
+        info = module.globals.get(root.key)
+        return None if info is None else info.length
+    if root.kind == "alloca":
+        return root.length
+    return None
+
+
+def _simplify_cast(instr: ins.Cast, config: PipelineConfig) -> Value | None:
+    value = instr.value
+    assert isinstance(instr.ty, IntType)
+    if isinstance(value, Constant):
+        return const_int(value.value, instr.ty)
+    if value.ty == instr.ty:
+        return value
+    if config.collapse_cast_chains and isinstance(value, ins.Cast):
+        src_ty = value.value.ty
+        mid_ty = value.ty
+        if isinstance(src_ty, IntType) and isinstance(mid_ty, IntType):
+            dst_ty = instr.ty
+            # Collapsible when the middle keeps all bits the result
+            # needs (dst no wider than mid), or when src -> mid was
+            # value-preserving (wider, compatible signedness).
+            lossless_mid = mid_ty.width > src_ty.width and (
+                mid_ty.signed or not src_ty.signed
+            )
+            if dst_ty.width <= mid_ty.width or lossless_mid:
+                if src_ty == dst_ty:
+                    return value.value
+                collapsed = ins.Cast(value.value, dst_ty)
+                return _insert_sibling(instr, collapsed)
+    return None
+
+
+def _simplify_select(instr: ins.Select) -> Value | None:
+    if isinstance(instr.cond, Constant):
+        return instr.if_true if instr.cond.value != 0 else instr.if_false
+    if isinstance(instr.cond, NullPtr):
+        return instr.if_false
+    if instr.if_true is instr.if_false:
+        return instr.if_true
+    return None

@@ -1,0 +1,156 @@
+"""Jump threading.
+
+When a block's conditional branch is decided by a phi whose incoming
+value on some edge is a constant, that predecessor can jump straight
+to the decided target, bypassing the block.  Threading duplicates
+control flow and — exactly as the paper's Listing 9d recounts for
+GCC — can also *create* IR shapes that later passes fail to clean up,
+so it doubles as a realistic regression lever.
+"""
+
+from __future__ import annotations
+
+from ..compilers.config import PipelineConfig
+from ..ir import instructions as ins
+from ..ir.function import Block, IRFunction, Module
+from ..ir.values import Constant, NullPtr, Value
+from ..lang.semantics import eval_binop
+
+
+def thread_jumps(
+    func: IRFunction, module: Module, config: PipelineConfig | None = None
+) -> bool:
+    config = config or PipelineConfig()
+    if not config.jump_threading:
+        return False
+    changed = False
+    for _ in range(4):
+        if not _one_round(func):
+            break
+        changed = True
+        func.drop_unreachable_blocks()
+    return changed
+
+
+def _one_round(func: IRFunction) -> bool:
+    preds = func.predecessors()
+    external_users = _external_use_map(func)
+    for block in list(func.blocks):
+        term = block.terminator
+        if not isinstance(term, ins.Br):
+            continue
+        decider = _decider(block, term)
+        if decider is None:
+            continue
+        phi, translate = decider
+        # Threading bypasses the block, so it must have no effects
+        # beyond phis and the condition computation...
+        if not _threadable_body(block, term):
+            continue
+        # ...and nothing it defines may be used elsewhere: bypassing
+        # would break dominance for those uses.  (Real jump threaders
+        # duplicate the block instead; we keep the conservative form.)
+        if any(external_users.get(id(i)) for i in block.instrs):
+            continue
+        for pred in list(preds[block]):
+            if len(phi.incomings) < 2:
+                break
+            try:
+                incoming = phi.incoming_for(pred)
+            except KeyError:
+                continue
+            if not isinstance(incoming, (Constant, NullPtr)):
+                continue
+            outcome = translate(incoming)
+            if outcome is None:
+                continue
+            target = term.if_true if outcome else term.if_false
+            if target is block or _already_pred(func, pred, target):
+                continue
+            # Compute what the target's phis would receive along the
+            # new edge; bail if any value lives in the bypassed block.
+            blocked = False
+            new_incomings = []
+            for tphi in target.phis():
+                value = tphi.incoming_for(block)
+                if isinstance(value, ins.Phi) and value.block is block:
+                    value = value.incoming_for(pred)
+                # After translation the value must dominate the new
+                # edge; accept only the trivially-safe cases (constants
+                # and values defined in the predecessor itself).
+                if isinstance(value, ins.Instr) and value.block is not pred:
+                    blocked = True
+                    break
+                new_incomings.append((tphi, value))
+            if blocked:
+                continue
+            pterm = pred.terminator
+            assert pterm is not None
+            ins.retarget(pterm, block, target)
+            if isinstance(pterm, ins.Br) and pterm.if_true is pterm.if_false:
+                pred.replace_terminator(ins.Jmp(pterm.if_true))
+            for tphi, value in new_incomings:
+                tphi.incomings.append((pred, value))
+            for bphi in block.phis():
+                bphi.remove_incoming(pred)
+            return True
+    return False
+
+
+def _external_use_map(func: IRFunction) -> dict[int, bool]:
+    """instr id -> True when some use lives outside its own block
+    (phi incomings count as uses at the *edge*, i.e. external when the
+    incoming block differs from the def block)."""
+    external: dict[int, bool] = {}
+    for block in func.blocks:
+        for instr in block.instrs:
+            if isinstance(instr, ins.Phi):
+                for from_block, value in instr.incomings:
+                    if isinstance(value, ins.Instr) and value.block is not from_block:
+                        if value.block is not None and from_block is not value.block:
+                            external[id(value)] = True
+                continue
+            for op in instr.operands():
+                if isinstance(op, ins.Instr) and op.block is not block:
+                    external[id(op)] = True
+    return external
+
+
+def _decider(block: Block, term: ins.Br):
+    """Find (phi, translate) where translate maps a constant incoming
+    value to the branch outcome (True/False), or None."""
+    cond = term.cond
+    if isinstance(cond, ins.Phi) and cond.block is block:
+        return cond, lambda v: (v.value != 0) if isinstance(v, Constant) else False
+    if (
+        isinstance(cond, ins.ICmp)
+        and cond.block is block
+        and isinstance(cond.rhs, Constant)
+        and isinstance(cond.lhs, ins.Phi)
+        and cond.lhs.block is block
+    ):
+        icmp = cond
+
+        def translate(v: Value):
+            if not isinstance(v, Constant):
+                return None
+            return bool(
+                eval_binop(icmp.op, v.value, icmp.rhs.value, icmp.operand_ty)
+            )
+
+        return cond.lhs, translate
+    return None
+
+
+def _threadable_body(block: Block, term: ins.Br) -> bool:
+    for instr in block.instrs:
+        if isinstance(instr, ins.Phi) or instr is term:
+            continue
+        if instr is term.cond:
+            continue
+        return False
+    return True
+
+
+def _already_pred(func: IRFunction, pred: Block, target: Block) -> bool:
+    return any(s is target for s in pred.successors())

@@ -1,0 +1,109 @@
+"""Loop-invariant code motion (LICM).
+
+Hoists pure instructions whose operands are defined outside the loop
+into the preheader.  MiniC semantics are total (no division traps), so
+every pure instruction is speculatable and the classic "executes at
+least once" requirement can be dropped.
+
+Loads are hoisted only when the loop provably cannot write the cell
+(no may-alias store, no call that may access it) — the precision comes
+from the same alias analysis the other memory passes use.
+"""
+
+from __future__ import annotations
+
+from ..analysis.alias import AliasResult, MemorySSAish
+from ..analysis.loops import Loop, find_loops, loop_preheader
+from ..compilers.config import PipelineConfig
+from ..ir import instructions as ins
+from ..ir.dominators import DominatorTree
+from ..ir.function import IRFunction, Module
+
+_PURE = (ins.BinOp, ins.ICmp, ins.PCmp, ins.Cast, ins.Select, ins.Gep)
+
+
+def hoist_loop_invariants(
+    func: IRFunction, module: Module, config: PipelineConfig | None = None
+) -> bool:
+    config = config or PipelineConfig()
+    memory = MemorySSAish(module, config.alias_max_objects)
+    changed = False
+    # Outermost-last ordering lets hoisted code bubble outward across
+    # rounds.
+    for _ in range(3):
+        round_changed = False
+        for loop in find_loops(func, DominatorTree(func)):
+            round_changed |= _hoist_from_loop(func, loop, module, memory)
+        changed |= round_changed
+        if not round_changed:
+            break
+    return changed
+
+
+def _hoist_from_loop(
+    func: IRFunction, loop: Loop, module: Module, memory: MemorySSAish
+) -> bool:
+    preheader = loop_preheader(loop, func)
+    if preheader is None:
+        return False
+    inside = loop.block_ids()
+
+    def defined_outside(value) -> bool:
+        if isinstance(value, ins.Instr):
+            return value.block is None or id(value.block) not in inside
+        return True
+
+    may_write_in_loop = _loop_memory_effects(loop, module, memory)
+
+    changed = False
+    progress = True
+    while progress:
+        progress = False
+        for block in loop.blocks:
+            for instr in list(block.instrs):
+                if instr.is_terminator or isinstance(instr, ins.Phi):
+                    continue
+                if not all(defined_outside(op) for op in instr.operands()):
+                    continue
+                if isinstance(instr, _PURE):
+                    pass  # always speculatable under total semantics
+                elif isinstance(instr, (ins.Load, ins.LoadPtr)):
+                    if may_write_in_loop(instr.address):
+                        continue
+                    # Speculating a load requires a provably valid
+                    # address (a zero-trip loop must not dereference a
+                    # possibly-null pointer it never would have).
+                    from ..analysis.alias import trace_root
+
+                    if trace_root(instr.address).kind == "unknown":
+                        continue
+                else:
+                    continue
+                block.remove(instr)
+                preheader.insert_before_terminator(instr)
+                changed = True
+                progress = True
+    return changed
+
+
+def _loop_memory_effects(loop: Loop, module: Module, memory: MemorySSAish):
+    """A may-write predicate for addresses, w.r.t. this loop's body."""
+    stores = []
+    calls = []
+    for block in loop.blocks:
+        for instr in block.instrs:
+            if isinstance(instr, ins.Store):
+                stores.append(instr)
+            elif isinstance(instr, ins.Call):
+                calls.append(instr)
+
+    def may_write(addr) -> bool:
+        for store in stores:
+            if memory.alias(addr, store.address) is not AliasResult.NO:
+                return True
+        for call in calls:
+            if memory.call_may_access(call, addr):
+                return True
+        return False
+
+    return may_write

@@ -1,0 +1,377 @@
+"""Full loop unrolling.
+
+Unrolls counted loops whose trip count can be determined by abstract
+simulation of the exit-condition chain (initial phi values must be
+constants, and every value feeding the exit condition must be
+computable by pure integer arithmetic).  Full unrolling is what lets
+constants propagate *through* loops — e.g. paper Listing 9e's
+
+    for (b = 0; b < 2; b++) c[b] = &a[1];
+    if (!c[0]) dead();
+
+only folds once the loop body has been materialized per iteration.
+
+Two canonical shapes are handled, matching exactly what the MiniC
+frontend emits:
+
+* **header-exit** (``for``/``while``): the header's conditional branch
+  is the only exit; the latch jumps back unconditionally;
+* **latch-exit** (``do``-``while``): the latch's conditional branch is
+  the only exit; the body always runs at least once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.loops import Loop, find_loops, loop_preheader
+from ..compilers.config import PipelineConfig
+from ..ir import instructions as ins
+from ..ir.dominators import DominatorTree
+from ..ir.function import Block, IRFunction, Module
+from ..ir.values import Constant, Value
+from ..lang.semantics import eval_binop, wrap
+from .utils import clone_region, replace_all_uses
+
+
+def unroll_loops(
+    func: IRFunction, module: Module, config: PipelineConfig | None = None
+) -> bool:
+    config = config or PipelineConfig()
+    changed = False
+    # Innermost-first; after each successful unroll the CFG changed
+    # enough that loops are recomputed.  Rounds are bounded to keep
+    # pathological nests from spinning.
+    for _ in range(6):
+        dom = DominatorTree(func)
+        loops = find_loops(func, dom)
+        for loop in loops:
+            if _try_full_unroll(func, module, loop, config):
+                changed = True
+                break
+        else:
+            break
+    return changed
+
+
+@dataclass
+class CountedLoop:
+    """Result of the shape + trip-count analysis.
+
+    ``trip`` is the number of body executions.  ``exit_kind`` is
+    'header' or 'latch'; ``inside_target`` is only meaningful for
+    header exits (where the final header evaluation jumps out).
+    """
+
+    trip: int
+    region: list[Block]
+    exit_block: Block
+    inside_target: Block | None
+    preheader: Block
+    latch: Block
+    exit_kind: str
+
+
+def analyze_counted_loop(
+    func: IRFunction, loop: Loop, max_trip: int
+) -> CountedLoop | None:
+    """Shape + trip-count analysis shared by the unroller and the
+    vectorizer's cost model."""
+    latch = loop.single_latch
+    if latch is None:
+        return None
+    preheader = loop_preheader(loop, func)
+    if preheader is None:
+        return None
+    preds = func.predecessors()
+    header_preds = {id(p) for p in preds[loop.header]}
+    if header_preds != {id(preheader), id(latch)}:
+        return None
+    inside = loop.block_ids()
+    exits = loop.exits()
+    if len(exits) != 1:
+        return None
+    exit_source, exit_block = exits[0]
+
+    latch_term = latch.terminator
+    if exit_source is loop.header and isinstance(latch_term, ins.Jmp):
+        term = loop.header.terminator
+        if not isinstance(term, ins.Br):
+            return None
+        t_in = id(term.if_true) in inside
+        inside_target = term.if_true if t_in else term.if_false
+        exit_kind = "header"
+        cond_term = term
+        exit_on_false = t_in  # staying inside when the condition holds
+    elif exit_source is latch and isinstance(latch_term, ins.Br):
+        t_in = id(latch_term.if_true) in inside
+        inside_target = None
+        exit_kind = "latch"
+        cond_term = latch_term
+        exit_on_false = t_in
+    else:
+        return None
+
+    region = _topo_region(loop, latch)
+    if region is None:
+        return None  # inner cycle (un-unrolled nested loop)
+    trip = _simulate_trip_count(
+        loop, region, preheader, latch, cond_term, exit_on_false, exit_kind, max_trip
+    )
+    if trip is None:
+        return None
+    return CountedLoop(trip, region, exit_block, inside_target, preheader, latch, exit_kind)
+
+
+def _try_full_unroll(
+    func: IRFunction, module: Module, loop: Loop, config: PipelineConfig
+) -> bool:
+    if getattr(loop.header, "no_unroll", False):
+        return False  # the vectorizer claimed this loop (see vectorize.py)
+    if loop.size() > config.unroll_max_body:
+        return False
+    info = analyze_counted_loop(func, loop, config.unroll_max_trip)
+    if info is None:
+        return False
+    if info.exit_kind == "header":
+        _unroll_header_exit(func, loop, info)
+    else:
+        _unroll_latch_exit(func, loop, info)
+    func.drop_unreachable_blocks()
+    return True
+
+
+def _unroll_header_exit(func: IRFunction, loop: Loop, info: CountedLoop) -> None:
+    """for/while shape: trip body copies plus a final header
+    evaluation that jumps to the exit."""
+    header_phis = loop.header.phis()
+    current: dict[ins.Phi, Value] = {
+        phi: phi.incoming_for(info.preheader) for phi in header_phis
+    }
+    prev_latch_clone: Block | None = None
+    final_map: dict[Value, Value] = {}
+    final_header: Block | None = None
+
+    for iteration in range(info.trip + 1):
+        last = iteration == info.trip
+        value_map: dict[Value, Value] = dict(current)
+        block_map = clone_region(func, info.region, value_map, f"unroll{iteration}")
+        header_clone = block_map[id(loop.header)]
+        _drop_phis(header_clone)
+        if last:
+            final_header = header_clone
+            final_map = value_map
+            header_clone.replace_terminator(ins.Jmp(info.exit_block))
+        else:
+            assert info.inside_target is not None
+            header_clone.replace_terminator(
+                ins.Jmp(block_map[id(info.inside_target)])
+            )
+        _enter_iteration(func, loop, info, header_clone, prev_latch_clone)
+        if last:
+            prev_latch_clone = None
+        else:
+            prev_latch_clone = block_map[id(info.latch)]
+            current = _next_values(header_phis, info.latch, value_map)
+
+    assert final_header is not None
+    _retarget_exit_phis(info.exit_block, loop.header, final_header, final_map)
+    _replace_external_uses(func, loop.header.instrs, final_map)
+
+
+def _unroll_latch_exit(func: IRFunction, loop: Loop, info: CountedLoop) -> None:
+    """do-while shape: exactly trip body copies; the final latch jumps
+    to the exit."""
+    header_phis = loop.header.phis()
+    current: dict[ins.Phi, Value] = {
+        phi: phi.incoming_for(info.preheader) for phi in header_phis
+    }
+    prev_latch_clone: Block | None = None
+    final_map: dict[Value, Value] = {}
+    final_latch: Block | None = None
+
+    for iteration in range(info.trip):
+        last = iteration == info.trip - 1
+        value_map: dict[Value, Value] = dict(current)
+        block_map = clone_region(func, info.region, value_map, f"unroll{iteration}")
+        header_clone = block_map[id(loop.header)]
+        _drop_phis(header_clone)
+        latch_clone = block_map[id(info.latch)]
+        # The cloned latch branch currently targets this iteration's
+        # own header clone (a self-loop): point it at the exit (the
+        # next iteration patches it forward when one exists).
+        latch_clone.replace_terminator(ins.Jmp(info.exit_block))
+        _enter_iteration(func, loop, info, header_clone, prev_latch_clone)
+        if last:
+            final_latch = latch_clone
+            final_map = value_map
+        else:
+            prev_latch_clone = latch_clone
+            current = _next_values(header_phis, info.latch, value_map)
+
+    assert final_latch is not None
+    _retarget_exit_phis(info.exit_block, info.latch, final_latch, final_map)
+    # Every region block dominates the (single) exit edge in this
+    # shape, so any region value may be used after the loop.
+    all_instrs = [i for block in info.region for i in block.instrs]
+    _replace_external_uses(func, all_instrs, final_map)
+
+
+def _drop_phis(header_clone: Block) -> None:
+    """Cloned header phis are pre-seeded through the value map."""
+    header_clone.instrs = [
+        i for i in header_clone.instrs if not isinstance(i, ins.Phi)
+    ]
+
+
+def _enter_iteration(
+    func: IRFunction,
+    loop: Loop,
+    info: CountedLoop,
+    header_clone: Block,
+    prev_latch_clone: Block | None,
+) -> None:
+    """Wire control into this iteration's header clone."""
+    if prev_latch_clone is not None:
+        prev_latch_clone.replace_terminator(ins.Jmp(header_clone))
+    else:
+        pre_term = info.preheader.terminator
+        assert pre_term is not None
+        ins.retarget(pre_term, loop.header, header_clone)
+
+
+def _next_values(
+    header_phis: list[ins.Phi], latch: Block, value_map: dict[Value, Value]
+) -> dict[ins.Phi, Value]:
+    return {
+        phi: value_map.get(phi.incoming_for(latch), phi.incoming_for(latch))
+        for phi in header_phis
+    }
+
+
+def _retarget_exit_phis(
+    exit_block: Block, old_pred: Block, new_pred: Block, final_map: dict[Value, Value]
+) -> None:
+    for phi in exit_block.phis():
+        phi.incomings = [
+            (new_pred, final_map.get(v, v)) if b is old_pred else (b, v)
+            for b, v in phi.incomings
+        ]
+
+
+def _replace_external_uses(func: IRFunction, instrs, final_map: dict[Value, Value]) -> None:
+    """Uses of original loop values after the loop must refer to the
+    final iteration's clones."""
+    external = {}
+    for instr in instrs:
+        mapped = final_map.get(instr)
+        if mapped is not None and mapped is not instr:
+            external[instr] = mapped
+    replace_all_uses(func, external)
+
+
+def _topo_region(loop: Loop, latch: Block) -> list[Block] | None:
+    """Loop blocks in a topological order ignoring the back edge, or
+    None when the body contains another cycle."""
+    inside = loop.block_ids()
+    indeg: dict[int, int] = {id(b): 0 for b in loop.blocks}
+    for block in loop.blocks:
+        for succ in block.successors():
+            if id(succ) in inside and not (block is latch and succ is loop.header):
+                indeg[id(succ)] += 1
+    by_id = {id(b): b for b in loop.blocks}
+    ready = [b for b in loop.blocks if indeg[id(b)] == 0]
+    order: list[Block] = []
+    while ready:
+        block = ready.pop()
+        order.append(block)
+        for succ in block.successors():
+            if id(succ) in inside and not (block is latch and succ is loop.header):
+                indeg[id(succ)] -= 1
+                if indeg[id(succ)] == 0:
+                    ready.append(by_id[id(succ)])
+    if len(order) != len(loop.blocks):
+        return None
+    # The header must come first for cloning sanity.
+    if order[0] is not loop.header:
+        return None
+    return order
+
+
+def _simulate_trip_count(
+    loop: Loop,
+    region: list[Block],
+    preheader: Block,
+    latch: Block,
+    cond_term: ins.Br,
+    exit_on_false: bool,
+    exit_kind: str,
+    max_trip: int,
+) -> int | None:
+    """How many times the body executes, or None if undecidable.
+
+    For header exits the condition is checked *before* each body
+    execution (trip may be 0); for latch exits it is checked after
+    (trip is at least 1)."""
+    header_phis = loop.header.phis()
+    values: dict[int, int] = {}
+    for phi in header_phis:
+        init = phi.incoming_for(preheader)
+        if isinstance(init, Constant):
+            values[id(phi)] = init.value
+        # unknown initial values stay absent (only fatal if the
+        # condition chain needs them)
+
+    def known(v: Value) -> int | None:
+        if isinstance(v, Constant):
+            return v.value
+        return values.get(id(v))
+
+    for _trip in range(max_trip + 1):
+        # Evaluate the region's pure instructions in topo order.
+        for block in region:
+            for instr in block.instrs:
+                if isinstance(instr, ins.Phi):
+                    continue  # body phis are unknown
+                result = _eval_pure(instr, known)
+                if result is not None:
+                    values[id(instr)] = result
+                else:
+                    values.pop(id(instr), None)
+        cond = known(cond_term.cond)
+        if cond is None:
+            return None
+        taken_inside = (cond != 0) == exit_on_false
+        if not taken_inside:
+            return _trip if exit_kind == "header" else _trip + 1
+        next_values: dict[int, int] = {}
+        for phi in header_phis:
+            nxt = known(phi.incoming_for(latch))
+            if nxt is not None:
+                next_values[id(phi)] = nxt
+        values = next_values
+    return None
+
+
+def _eval_pure(instr: ins.Instr, known) -> int | None:
+    if isinstance(instr, ins.BinOp):
+        lhs, rhs = known(instr.lhs), known(instr.rhs)
+        if lhs is None or rhs is None:
+            return None
+        return eval_binop(instr.op, lhs, rhs, instr.ty)
+    if isinstance(instr, ins.ICmp):
+        lhs, rhs = known(instr.lhs), known(instr.rhs)
+        if lhs is None or rhs is None:
+            return None
+        return eval_binop(instr.op, lhs, rhs, instr.operand_ty)
+    if isinstance(instr, ins.Cast):
+        value = known(instr.value)
+        if value is None:
+            return None
+        return wrap(value, instr.ty)
+    if isinstance(instr, ins.Select):
+        cond = known(instr.cond)
+        if cond is None:
+            return None
+        return known(instr.if_true if cond != 0 else instr.if_false)
+    return None

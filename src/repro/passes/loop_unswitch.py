@@ -1,0 +1,100 @@
+"""Loop unswitching.
+
+Hoists a loop-invariant conditional out of a loop by *versioning* it:
+a guard block branches on the invariant condition into two loop
+copies, each with that branch folded.  Modelled after LLVM's
+SimpleLoopUnswitch; the ``unswitch`` config knob is how the paper-style
+O3 regression (Listings 7/8a) enters our llvmlike pipeline — the code
+growth interacts with the unroller's and inliner's size limits.
+"""
+
+from __future__ import annotations
+
+from ..analysis.loops import Loop, find_loops, is_invariant, loop_preheader
+from ..compilers.config import PipelineConfig
+from ..ir import instructions as ins
+from ..ir.dominators import DominatorTree
+from ..ir.function import Block, IRFunction, Module
+from ..ir.values import Value
+from .utils import clone_region, fix_external_phis
+
+
+def unswitch_loops(
+    func: IRFunction, module: Module, config: PipelineConfig | None = None
+) -> bool:
+    config = config or PipelineConfig()
+    if not config.unswitch:
+        return False
+    changed = False
+    for _ in range(4):  # bounded versioning rounds
+        loops = find_loops(func, DominatorTree(func))
+        for loop in loops:
+            if _try_unswitch(func, loop, config):
+                changed = True
+                break
+        else:
+            break
+    return changed
+
+
+def _try_unswitch(func: IRFunction, loop: Loop, config: PipelineConfig) -> bool:
+    if loop.size() > config.unswitch_max_body:
+        return False
+    if getattr(loop.header, "unswitched", False):
+        return False
+    preheader = loop_preheader(loop, func)
+    if preheader is None:
+        return False
+    inside = loop.block_ids()
+    candidate: ins.Br | None = None
+    for block in loop.blocks:
+        term = block.terminator
+        if (
+            isinstance(term, ins.Br)
+            and id(term.if_true) in inside
+            and id(term.if_false) in inside
+            and term.if_true is not term.if_false
+            and is_invariant(term.cond, loop)
+            and not term.cond.is_constant()
+        ):
+            candidate = term
+            break
+    if candidate is None:
+        return False
+
+    # Clone the loop; original becomes the 'true' version.
+    value_map: dict[Value, Value] = {}
+    block_map = clone_region(func, loop.blocks, value_map, "unsw")
+    fix_external_phis(func, inside, block_map, value_map)
+
+    cloned_candidate = value_map[candidate]
+    assert isinstance(cloned_candidate, ins.Br)
+    true_target = candidate.if_true
+    false_target_clone = cloned_candidate.if_false
+    _fold_branch(candidate.block, candidate, true_target)
+    _fold_branch(cloned_candidate.block, cloned_candidate, false_target_clone)
+
+    guard = func.new_block(f"{loop.header.label}.guard")
+    header_clone = block_map[id(loop.header)]
+    guard.append(ins.Br(candidate.cond, loop.header, header_clone))
+    pre_term = preheader.terminator
+    assert pre_term is not None
+    ins.retarget(pre_term, loop.header, guard)
+    for header in (loop.header, header_clone):
+        for phi in header.phis():
+            phi.incomings = [
+                (guard if b is preheader else b, v) for b, v in phi.incomings
+            ]
+    loop.header.unswitched = True  # type: ignore[attr-defined]
+    header_clone.unswitched = True  # type: ignore[attr-defined]
+    func.drop_unreachable_blocks()
+    return True
+
+
+def _fold_branch(block: Block | None, term: ins.Br, target: Block) -> None:
+    assert block is not None
+    dropped = term.if_false if target is term.if_true else term.if_true
+    if dropped is not target:
+        for phi in dropped.phis():
+            phi.remove_incoming(block)
+    block.replace_terminator(ins.Jmp(target))

@@ -1,0 +1,144 @@
+"""mem2reg: promote scalar stack slots to SSA values.
+
+Classic SSA construction: phi insertion at iterated dominance
+frontiers of the stores, then a renaming walk over the dominator tree.
+Only single-cell allocas whose address never escapes (no gep, no use
+as a stored value / call argument / pointer comparison) are promoted;
+arrays and address-taken locals stay in memory.
+"""
+
+from __future__ import annotations
+
+from ..ir import instructions as ins
+from ..ir.dominators import DominatorTree
+from ..ir.function import Block, IRFunction, Module
+from ..ir.values import NullPtr, Value, const_int
+from ..lang.types import PointerType
+
+
+def promote_memory_to_registers(func: IRFunction, module: Module | None = None) -> bool:
+    """Run mem2reg on ``func``; returns True when anything changed."""
+    promotable = _find_promotable(func)
+    if not promotable:
+        return False
+    func.drop_unreachable_blocks()
+    promotable = _find_promotable(func)
+    if not promotable:
+        return False
+
+    dom = DominatorTree(func)
+    frontiers = dom.frontiers()
+    preds = func.predecessors()
+
+    # 1. Phi placement at iterated dominance frontiers of the stores.
+    phi_owner: dict[int, ins.Alloca] = {}
+    blocks_with_phi: dict[int, dict[int, ins.Phi]] = {}  # block id -> alloca id -> phi
+    reachable_ids = {id(b) for b in dom.reverse_postorder}
+    for alloca in promotable:
+        def_blocks = {
+            id(i.block): i.block
+            for i in _users(func, alloca)
+            if isinstance(i, ins.Store) and i.block is not None
+        }
+        work = [b for bid, b in def_blocks.items() if bid in reachable_ids]
+        placed: set[int] = set()
+        while work:
+            block = work.pop()
+            for front in frontiers.get(id(block), []):
+                if id(front) in placed:
+                    continue
+                placed.add(id(front))
+                phi = ins.Phi(_slot_value_ty(alloca))
+                front.insert_phi(phi)
+                phi_owner[id(phi)] = alloca
+                blocks_with_phi.setdefault(id(front), {})[id(alloca)] = phi
+                if id(front) not in def_blocks:
+                    work.append(front)
+
+    # 2. Renaming walk.
+    replacements: dict[Value, Value] = {}
+    dead: set[int] = set()
+    initial = {id(a): _initial_value(a) for a in promotable}
+    promotable_ids = {id(a) for a in promotable}
+
+    # Iterative dominator-tree walk (deep CFGs would blow the Python
+    # recursion limit after unrolling).
+    stack: list[tuple[Block, dict[int, Value]]] = [(func.entry, initial)]
+    while stack:
+        block, incoming = stack.pop()
+        current = dict(incoming)
+        for phi in block.phis():
+            owner = phi_owner.get(id(phi))
+            if owner is not None:
+                current[id(owner)] = phi
+        for instr in block.instrs:
+            if isinstance(instr, (ins.Load, ins.LoadPtr)) and id(instr.address) in promotable_ids:
+                replacements[instr] = current[id(instr.address)]
+                dead.add(id(instr))
+            elif isinstance(instr, ins.Store) and id(instr.address) in promotable_ids:
+                current[id(instr.address)] = instr.value
+                dead.add(id(instr))
+            elif isinstance(instr, ins.Alloca) and id(instr) in promotable_ids:
+                dead.add(id(instr))
+        for succ in block.successors():
+            phis = blocks_with_phi.get(id(succ))
+            if phis:
+                for alloca_id, phi in phis.items():
+                    phi.incomings.append((block, current[alloca_id]))
+        for child in dom.children(block):
+            stack.append((child, current))
+
+    # Phi incomings must match predecessor sets exactly; the walk added
+    # one incoming per executed pred edge, in dom order.  Fix ordering
+    # duplicates (a pred with two edges to the same block can't occur
+    # in our CFG since Br targets are distinct blocks or folded).
+    from .utils import erase_instructions, replace_all_uses
+
+    replace_all_uses(func, replacements)
+    # Phis may reference replaced loads via the map too.
+    erase_instructions(func, dead)
+    return True
+
+
+def _slot_value_ty(alloca: ins.Alloca):
+    if alloca.is_pointer_slot:
+        return PointerType(alloca.element)
+    return alloca.element
+
+
+def _initial_value(alloca: ins.Alloca) -> Value:
+    """The value a slot holds before any store (locals are
+    zero-initialized in MiniC, and lowering stores immediately, so
+    this is only visible on read-before-write paths)."""
+    if alloca.is_pointer_slot:
+        return NullPtr(PointerType(alloca.element))
+    return const_int(0, alloca.element)
+
+
+def _users(func: IRFunction, value: Value):
+    for block in func.blocks:
+        for instr in block.instrs:
+            if isinstance(instr, ins.Phi):
+                if any(v is value for _, v in instr.incomings):
+                    yield instr
+            elif any(op is value for op in instr.operands()):
+                yield instr
+
+
+def _find_promotable(func: IRFunction) -> list[ins.Alloca]:
+    allocas = [i for i in func.entry.instrs if isinstance(i, ins.Alloca)]
+    out = []
+    for alloca in allocas:
+        if alloca.length != 1:
+            continue
+        ok = True
+        for user in _users(func, alloca):
+            if isinstance(user, (ins.Load, ins.LoadPtr)) and user.address is alloca:
+                continue
+            if isinstance(user, ins.Store) and user.address is alloca and user.value is not alloca:
+                continue
+            ok = False
+            break
+        if ok:
+            out.append(alloca)
+    return out

@@ -1,0 +1,161 @@
+"""Memory constant propagation ("memcp").
+
+A forward must-constant dataflow over memory cells: after
+``g = 5;`` every path-reachable load of ``g`` with no intervening
+may-write yields 5 — across basic blocks, with intersection at joins.
+This is the workhorse that lets a compiler evaluate Csmith-style
+closed-form programs; both families run it (real GCC and LLVM are both
+strong here — their *differences* live in the global-value analysis,
+see ``globalopt``).
+
+Tracked locations are cells ``(object, constant index)`` of
+non-escaping objects (internal globals whose address never escapes,
+and local arrays).  Calls kill according to what the callee could
+write: a defined callee may store to any global; an opaque callee can
+touch nothing that doesn't escape.
+
+When ``config.global_fold_mode == 'flow'`` the entry state of ``main``
+is seeded with the initializers of internal globals — sound in MiniC
+(static initialization happens before ``main``, and nothing else runs
+first) and exactly the "flow-sensitive global analysis" the paper
+points out GCC lacks; the pre-3.8 llvmlike versions enable it.
+"""
+
+from __future__ import annotations
+
+from ..analysis.alias import MemorySSAish, trace_root
+from ..compilers.config import PipelineConfig
+from ..ir import instructions as ins
+from ..ir.function import Block, IRFunction, Module
+from ..ir.values import Constant, Value, const_int
+from ..lang.types import IntType
+from .utils import erase_instructions, replace_all_uses
+
+_KILL_OBJECT = object()
+
+
+def propagate_memory_constants(
+    func: IRFunction, module: Module, config: PipelineConfig | None = None
+) -> bool:
+    config = config or PipelineConfig()
+    memory = MemorySSAish(module, config.alias_max_objects)
+    func.drop_unreachable_blocks()
+
+    tracked_globals = {
+        name
+        for name, info in module.globals.items()
+        if info.static
+        and not memory.global_escaped(name)
+        and not info.is_pointer_slot
+    }
+
+    def loc_of(addr: Value):
+        """A tracked cell key, ('obj', key) for a whole-object kill,
+        or None when the address cannot touch tracked state."""
+        root = trace_root(addr)
+        if root.kind == "global":
+            if root.key not in tracked_globals:
+                return None
+            length = module.globals[root.key].length
+            obj = ("g", root.key)
+        elif root.kind == "alloca":
+            if memory.escaped(root):
+                return None
+            length = max(root.length, 1)
+            obj = ("a", root.key)
+        else:
+            return None  # unknown pointers cannot reach non-escaped objects
+        if root.offset is None:
+            return (obj, _KILL_OBJECT)
+        return (obj, root.offset % length)
+
+    entry_seed: dict = {}
+    if config.global_fold_mode == "flow" and func.name == "main":
+        for name in tracked_globals:
+            info = module.globals[name]
+            for idx, cell in enumerate(info.initial_cells()):
+                entry_seed[(("g", name), idx)] = int(cell)
+
+    def transfer(state: dict, block: Block, rewrite: bool, out_repl: dict) -> dict:
+        state = dict(state)
+        for instr in block.instrs:
+            if isinstance(instr, ins.Store):
+                loc = loc_of(instr.address)
+                if loc is None:
+                    continue
+                obj, idx = loc
+                if idx is _KILL_OBJECT:
+                    _kill_object(state, obj)
+                elif isinstance(instr.value, Constant):
+                    state[(obj, idx)] = instr.value.value
+                else:
+                    state.pop((obj, idx), None)
+            elif isinstance(instr, ins.Load):
+                loc = loc_of(instr.address)
+                if loc is None or loc[1] is _KILL_OBJECT:
+                    continue
+                known = state.get(loc)
+                if rewrite and known is not None and isinstance(instr.ty, IntType):
+                    out_repl[instr] = const_int(known, instr.ty)
+            elif isinstance(instr, ins.Call):
+                if module.is_opaque(instr.callee):
+                    continue  # cannot reach non-escaped objects
+                # A defined callee may write any global directly.
+                for key in list(state):
+                    if key[0][0] == "g":
+                        del state[key]
+        return state
+
+    # Forward worklist dataflow; meet = intersection on (loc, value).
+    blocks = func.reverse_postorder()
+    preds = func.predecessors()
+    in_state: dict[int, dict] = {id(func.entry): dict(entry_seed)}
+    out_state: dict[int, dict] = {}
+    work = list(blocks)
+    rounds = 0
+    while work and rounds < 10_000:
+        rounds += 1
+        block = work.pop(0)
+        if block is func.entry:
+            current_in = dict(entry_seed)
+        else:
+            pred_outs = [out_state[id(p)] for p in preds[block] if id(p) in out_state]
+            if not pred_outs:
+                continue
+            current_in = _intersect(pred_outs)
+        in_state[id(block)] = current_in
+        new_out = transfer(current_in, block, rewrite=False, out_repl={})
+        if out_state.get(id(block)) != new_out:
+            out_state[id(block)] = new_out
+            for succ in block.successors():
+                if succ not in work:
+                    work.append(succ)
+
+    replacements: dict[Value, Value] = {}
+    for block in blocks:
+        state = in_state.get(id(block))
+        if state is None:
+            continue
+        transfer(state, block, rewrite=True, out_repl=replacements)
+    if not replacements:
+        return False
+    replace_all_uses(func, replacements)
+    erase_instructions(func, {id(i) for i in replacements})
+    return True
+
+
+def _kill_object(state: dict, obj) -> None:
+    for key in list(state):
+        if key[0] == obj:
+            del state[key]
+
+
+def _intersect(states: list[dict]) -> dict:
+    first, *rest = states
+    if not rest:
+        return dict(first)
+    out = {}
+    for key, value in first.items():
+        if all(other.get(key) == value for other in rest):
+            out[key] = value
+    return out

@@ -1,0 +1,77 @@
+"""Pass registry: names → module-level pass callables.
+
+Every pass is normalized to the signature ``(module, config) -> bool``
+so pipelines are plain name lists (see
+:data:`repro.compilers.config.FULL_PIPELINE`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..compilers.config import PipelineConfig
+from ..ir.function import Module
+from .dce import eliminate_dead_code
+from .dse import eliminate_dead_stores
+from .globalopt import optimize_globals
+from .gvn import global_value_numbering
+from .inline import inline_functions
+from .instcombine import combine_instructions
+from .cprop import propagate_conditions
+from .jump_threading import thread_jumps
+from .licm import hoist_loop_invariants
+from .loop_unroll import unroll_loops
+from .loop_unswitch import unswitch_loops
+from .mem2reg import promote_memory_to_registers
+from .memcp import propagate_memory_constants
+from .sccp import sparse_conditional_constant_propagation
+from .simplify_cfg import simplify_cfg
+from .vectorize import vectorize_loops
+from .vrp import propagate_value_ranges
+
+ModulePassFn = Callable[[Module, PipelineConfig], bool]
+
+
+def _per_function(fn) -> ModulePassFn:
+    def run(module: Module, config: PipelineConfig) -> bool:
+        changed = False
+        for func in list(module.functions.values()):
+            changed |= fn(func, module, config)
+        return changed
+
+    return run
+
+
+def _no_config(fn) -> ModulePassFn:
+    def run(module: Module, config: PipelineConfig) -> bool:
+        changed = False
+        for func in list(module.functions.values()):
+            changed |= fn(func, module)
+        return changed
+
+    return run
+
+
+PASS_REGISTRY: dict[str, ModulePassFn] = {
+    "simplify-cfg": _no_config(simplify_cfg),
+    "mem2reg": _no_config(promote_memory_to_registers),
+    "sccp": _per_function(sparse_conditional_constant_propagation),
+    "instcombine": _per_function(combine_instructions),
+    "gvn": _per_function(global_value_numbering),
+    "memcp": _per_function(propagate_memory_constants),
+    "dse": _per_function(eliminate_dead_stores),
+    "adce": _no_config(eliminate_dead_code),
+    "inline": lambda module, config: inline_functions(module, config),
+    "globalopt": lambda module, config: optimize_globals(module, config),
+    "unroll": _per_function(unroll_loops),
+    "unswitch": _per_function(unswitch_loops),
+    "vectorize": _per_function(vectorize_loops),
+    "vrp": _per_function(propagate_value_ranges),
+    "jump-threading": _per_function(thread_jumps),
+    "cprop": _per_function(propagate_conditions),
+    "licm": _per_function(hoist_loop_invariants),
+}
+
+
+def available_passes() -> list[str]:
+    return sorted(PASS_REGISTRY)

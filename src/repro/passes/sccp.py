@@ -1,0 +1,316 @@
+"""Sparse conditional constant propagation (Wegman–Zadeck).
+
+Tracks a lattice per SSA value plus CFG edge executability, so
+constants propagate *through* conditionally-dead regions.  The
+pointer half of the lattice tracks which object an address is rooted
+in, which is what lets SCCP fold address comparisons — subject to the
+family's ``addr_cmp`` precision knob (GCC-like folds any
+distinct-object comparison; LLVM-like EarlyCSE only folds when both
+subscripts are zero, reproducing paper Listing 3).
+
+After solving, constant results are substituted, decided branches are
+folded, and newly unreachable blocks are removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..compilers.config import PipelineConfig
+from ..ir import instructions as ins
+from ..ir.function import Block, IRFunction, Module
+from ..ir.values import Constant, GlobalRef, NullPtr, Param, Value, const_int
+from ..lang.semantics import eval_binop
+from ..lang.types import IntType
+from .utils import erase_instructions, replace_all_uses
+
+# Lattice:
+#   TOP     — no evidence yet (optimistic)
+#   int     — a known integer constant (plain Python int)
+#   _Addr   — a known object address (possibly unknown offset)
+#   _NULL   — the null pointer
+#   BOTTOM  — overdefined
+TOP = object()
+BOTTOM = object()
+_NULL = object()
+
+
+@dataclass(frozen=True)
+class _Addr:
+    kind: str  # 'global' | 'alloca'
+    key: object
+    offset: int | None  # None = unknown offset within the object
+
+
+def _meet(a, b):
+    if a is TOP:
+        return b
+    if b is TOP:
+        return a
+    if a is BOTTOM or b is BOTTOM:
+        return BOTTOM
+    if a == b:
+        return a
+    if isinstance(a, _Addr) and isinstance(b, _Addr):
+        if (a.kind, a.key) == (b.kind, b.key):
+            return _Addr(a.kind, a.key, None)
+    return BOTTOM
+
+
+class _SCCPSolver:
+    def __init__(self, func: IRFunction, module: Module, config: PipelineConfig) -> None:
+        self.func = func
+        self.module = module
+        self.config = config
+        self.lattice: dict[int, object] = {}
+        self.executable_edges: set[tuple[int, int]] = set()
+        self.executable_blocks: set[int] = set()
+        self.ssa_work: list[ins.Instr] = []
+        self.flow_work: list[tuple[Block | None, Block]] = [(None, func.entry)]
+        self.users: dict[int, list[ins.Instr]] = {}
+        self.preds = func.predecessors()
+        for block in func.blocks:
+            for instr in block.instrs:
+                for op in instr.operands():
+                    if isinstance(op, ins.Instr):
+                        self.users.setdefault(id(op), []).append(instr)
+                if isinstance(instr, ins.Phi):
+                    for _, v in instr.incomings:
+                        if isinstance(v, ins.Instr):
+                            self.users.setdefault(id(v), []).append(instr)
+
+    # -- lattice helpers ---------------------------------------------------
+
+    def value_of(self, value: Value):
+        if isinstance(value, Constant):
+            return value.value
+        if isinstance(value, NullPtr):
+            return _NULL
+        if isinstance(value, GlobalRef):
+            return _Addr("global", value.name, 0)
+        if isinstance(value, Param):
+            return BOTTOM
+        return self.lattice.get(id(value), TOP)
+
+    def _raise_to(self, instr: ins.Instr, new) -> None:
+        old = self.lattice.get(id(instr), TOP)
+        merged = _meet(old, new)
+        if merged == old:  # sentinels compare by identity, ints/_Addr by value
+            return
+        self.lattice[id(instr)] = merged
+        for user in self.users.get(id(instr), []):
+            if user.block is not None and id(user.block) in self.executable_blocks:
+                self.ssa_work.append(user)
+
+    # -- solver --------------------------------------------------------------
+
+    def solve(self) -> None:
+        while self.flow_work or self.ssa_work:
+            while self.flow_work:
+                pred, block = self.flow_work.pop()
+                edge = (id(pred) if pred else 0, id(block))
+                if edge in self.executable_edges:
+                    # Re-evaluate phis for this edge anyway.
+                    for phi in block.phis():
+                        self._visit(phi)
+                    continue
+                self.executable_edges.add(edge)
+                first_time = id(block) not in self.executable_blocks
+                self.executable_blocks.add(id(block))
+                for phi in block.phis():
+                    self._visit(phi)
+                if first_time:
+                    for instr in block.instrs:
+                        if not isinstance(instr, ins.Phi):
+                            self._visit(instr)
+            while self.ssa_work:
+                instr = self.ssa_work.pop()
+                if instr.block is not None and id(instr.block) in self.executable_blocks:
+                    self._visit(instr)
+
+    def _edge_executable(self, pred: Block, block: Block) -> bool:
+        return (id(pred), id(block)) in self.executable_edges or (
+            pred is None and block is self.func.entry
+        )
+
+    def _visit(self, instr: ins.Instr) -> None:
+        if isinstance(instr, ins.Phi):
+            acc = TOP
+            for pred, value in instr.incomings:
+                if (id(pred), id(instr.block)) in self.executable_edges:
+                    acc = _meet(acc, self.value_of(value))
+            self._raise_to(instr, acc)
+            return
+        if isinstance(instr, ins.Br):
+            cond = self.value_of(instr.cond)
+            if cond is TOP:
+                return
+            if isinstance(cond, int):
+                target = instr.if_true if cond != 0 else instr.if_false
+                self.flow_work.append((instr.block, target))
+            elif cond is _NULL:
+                self.flow_work.append((instr.block, instr.if_false))
+            elif isinstance(cond, _Addr):
+                self.flow_work.append((instr.block, instr.if_true))
+            else:
+                self.flow_work.append((instr.block, instr.if_true))
+                self.flow_work.append((instr.block, instr.if_false))
+            return
+        if isinstance(instr, ins.Jmp):
+            self.flow_work.append((instr.block, instr.target))
+            return
+        if isinstance(instr, (ins.Ret, ins.Unreachable, ins.Store)):
+            return
+        self._raise_to(instr, self._evaluate(instr))
+
+    def _evaluate(self, instr: ins.Instr):
+        if isinstance(instr, ins.BinOp):
+            lhs = self.value_of(instr.lhs)
+            rhs = self.value_of(instr.rhs)
+            if isinstance(lhs, int) and isinstance(rhs, int):
+                return eval_binop(instr.op, lhs, rhs, instr.ty)
+            if lhs is TOP or rhs is TOP:
+                return TOP
+            return BOTTOM
+        if isinstance(instr, ins.ICmp):
+            lhs = self.value_of(instr.lhs)
+            rhs = self.value_of(instr.rhs)
+            if isinstance(lhs, int) and isinstance(rhs, int):
+                return eval_binop(instr.op, lhs, rhs, instr.operand_ty)
+            if lhs is TOP or rhs is TOP:
+                return TOP
+            return BOTTOM
+        if isinstance(instr, ins.PCmp):
+            lhs = self.value_of(instr.lhs)
+            rhs = self.value_of(instr.rhs)
+            if lhs is TOP or rhs is TOP:
+                return TOP
+            return fold_pointer_compare(instr.op, lhs, rhs, self.module, self.config)
+        if isinstance(instr, ins.Cast):
+            value = self.value_of(instr.value)
+            if isinstance(value, int):
+                from ..lang.semantics import wrap
+
+                assert isinstance(instr.ty, IntType)
+                return wrap(value, instr.ty)
+            return value if value is TOP else BOTTOM
+        if isinstance(instr, ins.Select):
+            cond = self.value_of(instr.cond)
+            if cond is TOP:
+                return TOP
+            if isinstance(cond, int) or cond is _NULL or isinstance(cond, _Addr):
+                truthy = (isinstance(cond, int) and cond != 0) or isinstance(cond, _Addr)
+                chosen = instr.if_true if truthy else instr.if_false
+                return self.value_of(chosen)
+            return _meet(self.value_of(instr.if_true), self.value_of(instr.if_false))
+        if isinstance(instr, ins.Gep):
+            base = self.value_of(instr.base)
+            index = self.value_of(instr.index)
+            if base is TOP or index is TOP:
+                return TOP
+            if isinstance(base, _Addr):
+                if isinstance(index, int) and base.offset is not None:
+                    return _Addr(base.kind, base.key, base.offset + index)
+                return _Addr(base.kind, base.key, None)
+            return BOTTOM
+        if isinstance(instr, ins.Alloca):
+            return _Addr("alloca", id(instr), 0)
+        # Loads, calls: unknown to SCCP (globalopt refines loads).
+        return BOTTOM
+
+
+def fold_pointer_compare(op, lhs, rhs, module: Module, config: PipelineConfig):
+    """Fold a pointer comparison given two lattice values.
+
+    Returns an int (0/1), TOP, or BOTTOM.  Precision depends on
+    ``config.addr_cmp`` — see module docstring.
+    """
+    if lhs is BOTTOM or rhs is BOTTOM:
+        return BOTTOM
+
+    def result(equal: bool) -> int:
+        if op == "==":
+            return 1 if equal else 0
+        return 0 if equal else 1
+
+    if lhs is _NULL and rhs is _NULL:
+        return result(True)
+    if isinstance(lhs, _Addr) and rhs is _NULL or isinstance(rhs, _Addr) and lhs is _NULL:
+        return result(False)  # objects are never at address null
+    if isinstance(lhs, _Addr) and isinstance(rhs, _Addr):
+        if (lhs.kind, lhs.key) == (rhs.kind, rhs.key):
+            if lhs.offset is None or rhs.offset is None:
+                return BOTTOM
+            length = 1
+            if lhs.kind == "global":
+                info = module.globals.get(lhs.key)  # type: ignore[arg-type]
+                if info is None:
+                    return BOTTOM
+                length = info.length
+            else:
+                return BOTTOM  # alloca lengths not tracked here; rare
+            return result(lhs.offset % length == rhs.offset % length)
+        # Distinct objects: precision is the family knob.
+        if config.addr_cmp == "all":
+            return result(False)
+        if config.addr_cmp == "zero-index":
+            if lhs.offset == 0 and rhs.offset == 0:
+                return result(False)
+            return BOTTOM
+        return BOTTOM
+    return BOTTOM
+
+
+def sparse_conditional_constant_propagation(
+    func: IRFunction, module: Module, config: PipelineConfig | None = None
+) -> bool:
+    """Run SCCP over ``func``; folds values and branches in place."""
+    config = config or PipelineConfig()
+    solver = _SCCPSolver(func, module, config)
+    solver.solve()
+
+    changed = False
+    replacements: dict[Value, Value] = {}
+    dead: set[int] = set()
+    for block in func.blocks:
+        if id(block) not in solver.executable_blocks:
+            continue
+        for instr in block.instrs:
+            if not instr.produces_value() or instr.has_side_effects():
+                continue
+            value = solver.lattice.get(id(instr), TOP)
+            if isinstance(value, int) and isinstance(instr.ty, IntType):
+                replacements[instr] = const_int(value, instr.ty)
+                dead.add(id(instr))
+
+    if replacements:
+        replace_all_uses(func, replacements)
+        erase_instructions(func, dead)
+        changed = True
+
+    # Fold branches whose condition settled.
+    for block in list(func.blocks):
+        if id(block) not in solver.executable_blocks:
+            continue
+        term = block.terminator
+        if not isinstance(term, ins.Br):
+            continue
+        cond = solver.value_of(term.cond)
+        target: Block | None = None
+        if isinstance(cond, int):
+            target = term.if_true if cond != 0 else term.if_false
+        elif cond is _NULL:
+            target = term.if_false
+        elif isinstance(cond, _Addr):
+            target = term.if_true
+        if target is None:
+            continue
+        dropped = term.if_false if target is term.if_true else term.if_true
+        if dropped is not target:
+            for phi in dropped.phis():
+                phi.remove_incoming(block)
+        block.replace_terminator(ins.Jmp(target))
+        changed = True
+
+    changed |= func.drop_unreachable_blocks()
+    return changed

@@ -1,0 +1,163 @@
+"""CFG cleanup: fold constant/degenerate branches, merge straight-line
+blocks, thread trivial forwarders, and simplify single-entry phis."""
+
+from __future__ import annotations
+
+from ..ir import instructions as ins
+from ..ir.function import Block, IRFunction, Module
+from ..ir.values import Constant, NullPtr, Value
+from .utils import replace_all_uses
+
+
+def simplify_cfg(func: IRFunction, module: Module | None = None) -> bool:
+    changed = False
+    while _one_round(func):
+        changed = True
+    return changed
+
+
+def _one_round(func: IRFunction) -> bool:
+    changed = False
+    changed |= _fold_branches(func)
+    changed |= func.drop_unreachable_blocks()
+    changed |= _simplify_phis(func)
+    changed |= _merge_straight_line(func)
+    changed |= _thread_forwarders(func)
+    return changed
+
+
+def _fold_branches(func: IRFunction) -> bool:
+    changed = False
+    for block in list(func.blocks):
+        term = block.terminator
+        if not isinstance(term, ins.Br):
+            continue
+        target: Block | None = None
+        dropped: Block | None = None
+        if isinstance(term.cond, Constant):
+            taken = term.cond.value != 0
+            target = term.if_true if taken else term.if_false
+            dropped = term.if_false if taken else term.if_true
+        elif isinstance(term.cond, NullPtr):
+            target, dropped = term.if_false, term.if_true
+        elif term.if_true is term.if_false:
+            target, dropped = term.if_true, None
+        if target is None:
+            continue
+        if dropped is not None and dropped is not target:
+            _remove_phi_edge(dropped, block)
+        block.replace_terminator(ins.Jmp(target))
+        changed = True
+    return changed
+
+
+def _remove_phi_edge(block: Block, pred: Block) -> None:
+    for phi in block.phis():
+        phi.remove_incoming(pred)
+
+
+def _simplify_phis(func: IRFunction) -> bool:
+    """Replace phis whose incomings are all identical (or self + one
+    other value) with that value."""
+    replacements: dict[Value, Value] = {}
+    for block in func.blocks:
+        for phi in block.phis():
+            distinct = []
+            for _, value in phi.incomings:
+                if value is phi:
+                    continue
+                if not any(value is d for d in distinct):
+                    distinct.append(value)
+            if len(distinct) == 1:
+                replacements[phi] = distinct[0]
+    if not replacements:
+        return False
+    replace_all_uses(func, replacements)
+    for block in func.blocks:
+        block.instrs = [
+            i for i in block.instrs if not (isinstance(i, ins.Phi) and i in replacements)
+        ]
+    return True
+
+
+def _merge_straight_line(func: IRFunction) -> bool:
+    """Merge B -> S when B's only successor is S and S's only pred is B."""
+    changed = False
+    preds = func.predecessors()
+    removed: set[int] = set()
+    for block in list(func.blocks):
+        if id(block) in removed:
+            continue
+        term = block.terminator
+        if not isinstance(term, ins.Jmp):
+            continue
+        succ = term.target
+        if succ is block or succ is func.entry or id(succ) in removed:
+            continue
+        if len(preds[succ]) != 1:
+            continue
+        # Fold succ's phis (single incoming) then splice instructions.
+        replacements: dict[Value, Value] = {}
+        for phi in succ.phis():
+            replacements[phi] = phi.incoming_for(block)
+        if replacements:
+            replace_all_uses(func, replacements)
+        block.instrs.pop()  # the Jmp
+        for instr in succ.instrs:
+            if isinstance(instr, ins.Phi):
+                continue
+            instr.block = block
+            block.instrs.append(instr)
+        succ.instrs = []
+        # Successor phis referencing succ now come from block.
+        for nxt in block.successors():
+            for phi in nxt.phis():
+                phi.incomings = [
+                    (block if b is succ else b, v) for b, v in phi.incomings
+                ]
+        func.remove_block(succ)
+        removed.add(id(succ))
+        changed = True
+        preds = func.predecessors()
+    return changed
+
+
+def _thread_forwarders(func: IRFunction) -> bool:
+    """Bypass empty blocks containing only ``jmp T`` (when safe)."""
+    changed = False
+    preds = func.predecessors()
+    for block in list(func.blocks):
+        if block is func.entry:
+            continue
+        if len(block.instrs) != 1:
+            continue
+        term = block.terminator
+        if not isinstance(term, ins.Jmp):
+            continue
+        target = term.target
+        if target is block:
+            continue
+        # Retargeting is only safe w.r.t. phis when the target has no
+        # phis, or every pred of the forwarder is not already a pred of
+        # the target (otherwise the phi would need two incomings).
+        target_preds = {id(p) for p in preds[target]}
+        blocked = False
+        if target.phis():
+            for pred in preds[block]:
+                if id(pred) in target_preds:
+                    blocked = True
+                    break
+        if blocked or not preds[block]:
+            continue
+        for pred in preds[block]:
+            pterm = pred.terminator
+            assert pterm is not None
+            ins.retarget(pterm, block, target)
+            for phi in target.phis():
+                phi.incomings.append((pred, phi.incoming_for(block)))
+        for phi in target.phis():
+            phi.remove_incoming(block)
+        func.remove_block(block)
+        changed = True
+        preds = func.predecessors()
+    return changed

@@ -1,0 +1,179 @@
+"""Shared pass machinery: use replacement, instruction erasure, and
+block cloning (used by the inliner, unroller, and unswitcher)."""
+
+from __future__ import annotations
+
+from ..ir import instructions as ins
+from ..ir.function import Block, IRFunction
+from ..ir.values import Value
+
+
+def resolve_mapping(mapping: dict[Value, Value]) -> dict[Value, Value]:
+    """Collapse chains a->b->c into a->c (cycles are broken arbitrarily)."""
+    resolved: dict[Value, Value] = {}
+    for key in mapping:
+        target = mapping[key]
+        seen = {id(key)}
+        while target in mapping and id(target) not in seen:
+            seen.add(id(target))
+            target = mapping[target]
+        resolved[key] = target
+    return resolved
+
+
+def replace_all_uses(func: IRFunction, mapping: dict[Value, Value]) -> bool:
+    """Apply a value substitution across the whole function."""
+    if not mapping:
+        return False
+    mapping = resolve_mapping(mapping)
+    changed = False
+    for block in func.blocks:
+        for instr in block.instrs:
+            if instr.replace_uses(mapping):
+                changed = True
+    return changed
+
+
+def erase_instructions(func: IRFunction, dead: set[int]) -> int:
+    """Remove instructions whose ids are in ``dead``; returns count."""
+    removed = 0
+    for block in func.blocks:
+        kept = []
+        for instr in block.instrs:
+            if id(instr) in dead:
+                instr.block = None
+                removed += 1
+            else:
+                kept.append(instr)
+        block.instrs = kept
+    return removed
+
+
+def clone_region(
+    func: IRFunction,
+    blocks: list[Block],
+    value_map: dict[Value, Value],
+    suffix: str,
+) -> dict[int, Block]:
+    """Clone ``blocks`` (with instructions) into ``func``.
+
+    ``value_map`` seeds external substitutions (e.g. parameter ->
+    argument for inlining) and is extended with old->new instruction
+    mappings.  Branch targets and phi incoming blocks pointing inside
+    the region are remapped; those pointing outside are preserved.
+
+    Returns the old-block-id -> new-block map.
+    """
+    block_map: dict[int, Block] = {}
+    for block in blocks:
+        new_block = func.new_block(f"{block.label}.{suffix}")
+        block_map[id(block)] = new_block
+
+    cloned_phis: list[tuple[ins.Phi, ins.Phi]] = []
+    for block in blocks:
+        new_block = block_map[id(block)]
+        for instr in block.instrs:
+            clone = _clone_instr(instr, block_map)
+            clone.block = new_block
+            new_block.instrs.append(clone)
+            # Seeded entries win: the unroller pre-maps header phis to
+            # per-iteration values and the clone must honor that.
+            value_map.setdefault(instr, clone)
+            if isinstance(instr, ins.Phi):
+                cloned_phis.append((instr, clone))
+
+    # Second pass: remap operands through value_map.
+    mapping = value_map
+    for block in blocks:
+        new_block = block_map[id(block)]
+        for instr in new_block.instrs:
+            instr.replace_uses(mapping)
+    # Phi incoming blocks inside the region move to their clones.
+    for _, clone in cloned_phis:
+        clone.incomings = [
+            (block_map.get(id(b), b), v) for b, v in clone.incomings
+        ]
+    return block_map
+
+
+def _clone_instr(instr: ins.Instr, block_map: dict[int, Block]) -> ins.Instr:
+    def bmap(block: Block) -> Block:
+        return block_map.get(id(block), block)
+
+    if isinstance(instr, ins.Alloca):
+        return ins.Alloca(instr.var_name, instr.element, instr.length, instr.is_pointer_slot)
+    if isinstance(instr, ins.Gep):
+        return ins.Gep(instr.base, instr.index)
+    if isinstance(instr, ins.LoadPtr):
+        return ins.LoadPtr(instr.address, instr.pointee)
+    if isinstance(instr, ins.Load):
+        return ins.Load(instr.address)
+    if isinstance(instr, ins.Store):
+        return ins.Store(instr.address, instr.value)
+    if isinstance(instr, ins.BinOp):
+        return ins.BinOp(instr.op, instr.lhs, instr.rhs, instr.ty)
+    if isinstance(instr, ins.ICmp):
+        return ins.ICmp(instr.op, instr.lhs, instr.rhs, instr.operand_ty)
+    if isinstance(instr, ins.PCmp):
+        return ins.PCmp(instr.op, instr.lhs, instr.rhs)
+    if isinstance(instr, ins.Cast):
+        return ins.Cast(instr.value, instr.ty)
+    if isinstance(instr, ins.Select):
+        return ins.Select(instr.cond, instr.if_true, instr.if_false, instr.ty)
+    if isinstance(instr, ins.Call):
+        return ins.Call(instr.callee, list(instr.args), instr.ty)
+    if isinstance(instr, ins.Phi):
+        return ins.Phi(instr.ty, list(instr.incomings))
+    if isinstance(instr, ins.Br):
+        return ins.Br(instr.cond, bmap(instr.if_true), bmap(instr.if_false))
+    if isinstance(instr, ins.Jmp):
+        return ins.Jmp(bmap(instr.target))
+    if isinstance(instr, ins.Ret):
+        return ins.Ret(instr.value)
+    if isinstance(instr, ins.Unreachable):
+        return ins.Unreachable()
+    raise TypeError(f"cannot clone {type(instr).__name__}")
+
+
+def fix_external_phis(
+    func: IRFunction,
+    region_ids: set[int],
+    block_map: dict[int, Block],
+    value_map: dict[Value, Value],
+) -> None:
+    """After cloning a region that stays reachable alongside the
+    original (unswitch/threading), blocks *outside* the region with a
+    phi incoming from a region block need a second incoming from the
+    clone, carrying the cloned value."""
+    for block in func.blocks:
+        if id(block) in region_ids or id(block) in {id(b) for b in block_map.values()}:
+            continue
+        for phi in block.phis():
+            extra = []
+            for pred, value in phi.incomings:
+                clone_block = block_map.get(id(pred))
+                if clone_block is not None:
+                    extra.append((clone_block, value_map.get(value, value)))
+            phi.incomings.extend(extra)
+
+
+def function_size(func: IRFunction) -> int:
+    """Instruction count (the cost-model currency of this compiler)."""
+    return sum(len(b.instrs) for b in func.blocks)
+
+
+def split_block(func: IRFunction, block: Block, index: int, suffix: str) -> Block:
+    """Split ``block`` before instruction ``index``; the tail moves to a
+    new block which inherits the terminator.  Phis in successors are
+    retargeted to the tail block.  Returns the tail block."""
+    tail = func.new_block(f"{block.label}.{suffix}")
+    tail.instrs = block.instrs[index:]
+    for instr in tail.instrs:
+        instr.block = tail
+    block.instrs = block.instrs[:index]
+    for succ in tail.successors():
+        for phi in succ.phis():
+            phi.incomings = [
+                (tail if b is block else b, v) for b, v in phi.incomings
+            ]
+    return tail

@@ -1,0 +1,54 @@
+"""Loop "vectorization" (cost-model model).
+
+A faithful SIMD code generator is out of scope for marker-liveness
+experiments, but the *interaction* the paper documents matters: GCC at
+-O3 vectorizes small counted memory loops, rewriting their index
+arithmetic into ``unsigned long`` vector-pointer form, which blocks the
+constant folding that -O1 performed (paper Listing 9e, bug #99776).
+
+We model exactly that interference: a loop the vectorizer claims is
+tagged ``no_unroll`` (the analogue of LLVM's ``isvectorized`` loop
+metadata / GCC's internal flag) and the unroller then refuses it, so
+per-iteration constants never materialize.  The selection heuristic
+mirrors the real one: counted loops that store to memory.
+"""
+
+from __future__ import annotations
+
+from ..analysis.loops import find_loops, loop_preheader
+from ..compilers.config import PipelineConfig
+from ..ir import instructions as ins
+from ..ir.dominators import DominatorTree
+from ..ir.function import IRFunction, Module
+from ..ir.values import Constant
+
+
+def vectorize_loops(
+    func: IRFunction, module: Module, config: PipelineConfig | None = None
+) -> bool:
+    config = config or PipelineConfig()
+    if not config.vectorize:
+        return False
+    changed = False
+    for loop in find_loops(func, DominatorTree(func)):
+        if getattr(loop.header, "no_unroll", False):
+            continue
+        # Cost model: a counted loop with at least ``vectorize_min_trip``
+        # iterations that stores through a gep — the vectorizer's bread
+        # and butter.  (Shorter loops aren't worth a vector prologue.)
+        from .loop_unroll import analyze_counted_loop
+
+        analysis = analyze_counted_loop(func, loop, 1024)
+        if analysis is None:
+            continue
+        if analysis.trip < config.vectorize_min_trip:
+            continue
+        stores = any(
+            isinstance(i, ins.Store) and isinstance(i.address, ins.Gep)
+            for b in loop.blocks
+            for i in b.instrs
+        )
+        if stores:
+            loop.header.no_unroll = True  # type: ignore[attr-defined]
+            changed = True
+    return changed

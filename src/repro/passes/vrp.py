@@ -1,0 +1,229 @@
+"""Value range propagation.
+
+A straightforward interval analysis: ranges flow forward through pure
+integer instructions (with overflow-checked interval arithmetic) and
+merge at phis with widening.  Comparisons that ranges decide fold to
+constants — e.g. ``(x & 7) > 10`` or an unsigned value compared below
+zero — which is one of the analyses the paper's markers probe (GCC's
+VRP appears in both component tables).
+"""
+
+from __future__ import annotations
+
+from ..compilers.config import PipelineConfig
+from ..ir import instructions as ins
+from ..ir.function import IRFunction, Module
+from ..ir.values import Constant, Value, const_int
+from ..lang.types import INT, IntType
+from .utils import erase_instructions, replace_all_uses
+
+_WIDEN_AFTER = 4
+
+
+class _Range:
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: int, hi: int) -> None:
+        self.lo = lo
+        self.hi = hi
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _Range) and (self.lo, self.hi) == (other.lo, other.hi)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"[{self.lo}, {self.hi}]"
+
+
+def _full(ty: IntType) -> _Range:
+    return _Range(ty.min_value, ty.max_value)
+
+
+def propagate_value_ranges(
+    func: IRFunction, module: Module, config: PipelineConfig | None = None
+) -> bool:
+    config = config or PipelineConfig()
+    if not config.vrp:
+        return False
+    ranges = _compute_ranges(func, config.vrp_widen_after, config.vrp_extended_ops)
+    replacements: dict[Value, Value] = {}
+    dead: set[int] = set()
+    for block in func.blocks:
+        for instr in block.instrs:
+            if not isinstance(instr, ins.ICmp):
+                continue
+            lhs = _range_of(instr.lhs, ranges, instr.operand_ty)
+            rhs = _range_of(instr.rhs, ranges, instr.operand_ty)
+            decided = _decide(instr.op, lhs, rhs)
+            if decided is not None:
+                replacements[instr] = const_int(decided, INT)
+                dead.add(id(instr))
+    if not replacements:
+        return False
+    replace_all_uses(func, replacements)
+    erase_instructions(func, dead)
+    return True
+
+
+def _range_of(value: Value, ranges: dict[int, _Range], ty: IntType) -> _Range:
+    if isinstance(value, Constant):
+        return _Range(value.value, value.value)
+    got = ranges.get(id(value))
+    if got is None:
+        return _full(ty)
+    return got
+
+
+def _compute_ranges(
+    func: IRFunction,
+    widen_after: int = _WIDEN_AFTER,
+    extended_ops: bool = True,
+) -> dict[int, _Range]:
+    ranges: dict[int, _Range] = {}
+    visits: dict[int, int] = {}
+    order = func.reverse_postorder()
+    for _ in range(3):  # a few passes reach a fixpoint on typical code
+        changed = False
+        for block in order:
+            for instr in block.instrs:
+                new = _transfer(instr, ranges, extended_ops)
+                if new is None:
+                    continue
+                old = ranges.get(id(instr))
+                if old is not None and isinstance(instr, ins.Phi):
+                    visits[id(instr)] = visits.get(id(instr), 0) + 1
+                    if visits[id(instr)] > widen_after:
+                        assert isinstance(instr.ty, IntType)
+                        new = _full(instr.ty)
+                    else:
+                        new = _Range(min(old.lo, new.lo), max(old.hi, new.hi))
+                if new != old:
+                    ranges[id(instr)] = new
+                    changed = True
+        if not changed:
+            break
+    return ranges
+
+
+def _transfer(
+    instr: ins.Instr, ranges: dict[int, _Range], extended_ops: bool = True
+) -> _Range | None:
+    if not isinstance(instr.ty, IntType):
+        return None
+
+    def rng(v: Value) -> _Range:
+        ty = v.ty if isinstance(v.ty, IntType) else instr.ty
+        assert isinstance(ty, IntType)
+        return _range_of(v, ranges, ty)
+
+    ty = instr.ty
+    if isinstance(instr, ins.Phi):
+        parts = [rng(v) for _, v in instr.incomings]
+        if not parts:
+            return None
+        return _Range(min(p.lo for p in parts), max(p.hi for p in parts))
+    if isinstance(instr, ins.Cast):
+        src = rng(instr.value)
+        if ty.min_value <= src.lo and src.hi <= ty.max_value:
+            return src
+        return _full(ty)
+    if isinstance(instr, ins.Select):
+        a, b = rng(instr.if_true), rng(instr.if_false)
+        return _Range(min(a.lo, b.lo), max(a.hi, b.hi))
+    if isinstance(instr, ins.ICmp):
+        return _Range(0, 1)
+    if isinstance(instr, ins.PCmp):
+        return _Range(0, 1)
+    if isinstance(instr, ins.BinOp):
+        return _binop_range(instr, rng(instr.lhs), rng(instr.rhs), ty, extended_ops)
+    if isinstance(instr, (ins.Load, ins.LoadPtr, ins.Call)):
+        return _full(ty)
+    return None
+
+
+def _binop_range(
+    instr: ins.BinOp, a: _Range, b: _Range, ty: IntType, extended_ops: bool = True
+) -> _Range:
+    op = instr.op
+    if op == "+":
+        return _clamped(a.lo + b.lo, a.hi + b.hi, ty)
+    if op == "-":
+        return _clamped(a.lo - b.hi, a.hi - b.lo, ty)
+    if op == "*":
+        corners = [a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi]
+        return _clamped(min(corners), max(corners), ty)
+    if op == "&":
+        if b.lo == b.hi and b.lo >= 0:
+            return _Range(0, b.lo)
+        if a.lo == a.hi and a.lo >= 0:
+            return _Range(0, a.lo)
+        if a.lo >= 0 and b.lo >= 0:
+            return _Range(0, min(a.hi, b.hi))
+        return _full(ty)
+    if op == "%":
+        if extended_ops and b.lo == b.hi and b.lo > 0:
+            m = b.lo - 1
+            if a.lo >= 0:
+                return _Range(0, min(m, a.hi))
+            return _Range(-m, m)
+        return _full(ty)
+    if op == "<<":
+        if (
+            extended_ops
+            and b.lo == b.hi
+            and 0 <= b.lo < ty.width
+            and a.lo >= 0
+            and (a.hi << b.lo) <= ty.max_value
+        ):
+            return _Range(a.lo << b.lo, a.hi << b.lo)
+        return _full(ty)
+    if op == ">>":
+        if b.lo == b.hi and 0 <= b.lo < ty.width and a.lo >= 0:
+            return _Range(a.lo >> b.lo, a.hi >> b.lo)
+        return _full(ty)
+    if op == "|":
+        if a.lo >= 0 and b.lo >= 0:
+            upper = (1 << max(a.hi.bit_length(), b.hi.bit_length())) - 1
+            if upper <= ty.max_value:
+                return _Range(0, upper)
+        return _full(ty)
+    return _full(ty)
+
+
+def _clamped(lo: int, hi: int, ty: IntType) -> _Range:
+    if ty.min_value <= lo and hi <= ty.max_value:
+        return _Range(lo, hi)
+    return _full(ty)
+
+
+def _decide(op: str, a: _Range, b: _Range) -> int | None:
+    if op == "<":
+        if a.hi < b.lo:
+            return 1
+        if a.lo >= b.hi:
+            return 0
+    elif op == "<=":
+        if a.hi <= b.lo:
+            return 1
+        if a.lo > b.hi:
+            return 0
+    elif op == ">":
+        if a.lo > b.hi:
+            return 1
+        if a.hi <= b.lo:
+            return 0
+    elif op == ">=":
+        if a.lo >= b.hi:
+            return 1
+        if a.hi < b.lo:
+            return 0
+    elif op == "==":
+        if a.lo == a.hi == b.lo == b.hi:
+            return 1
+        if a.hi < b.lo or b.hi < a.lo:
+            return 0
+    elif op == "!=":
+        if a.lo == a.hi == b.lo == b.hi:
+            return 0
+        if a.hi < b.lo or b.hi < a.lo:
+            return 1
+    return None

@@ -1,0 +1,19 @@
+"""Optional integration with the host system's real compilers."""
+
+from .gcc_driver import (
+    RealCompileResult,
+    RealDifferentialResult,
+    compile_with_gcc,
+    differential_real_gcc,
+    executable_check,
+    gcc_available,
+)
+
+__all__ = [
+    "RealCompileResult",
+    "RealDifferentialResult",
+    "compile_with_gcc",
+    "differential_real_gcc",
+    "executable_check",
+    "gcc_available",
+]

@@ -1,0 +1,154 @@
+"""Driving a *real* compiler (the system ``gcc``) with the same
+technique.
+
+Generated MiniC programs print as UB-free C (the safe-math mode
+handles division, shifts, and signed overflow), so the paper's actual
+experiment can be run against the host toolchain: compile the
+instrumented program at two optimization levels, grep the assembly for
+``call DCEMarkerN`` (and the rip-relative variant), and compare.
+
+This module shells out and is therefore optional: everything degrades
+gracefully when no compiler is installed (``gcc_available()``).
+"""
+
+from __future__ import annotations
+
+import re
+import shutil
+import subprocess
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core.markers import InstrumentedProgram
+from ..lang import ast_nodes as ast
+from ..lang.printer import print_program
+
+_CALL_RE = re.compile(r"\bcall[a-z]?\s+(\w+)")
+
+
+def gcc_available(binary: str = "gcc") -> bool:
+    return shutil.which(binary) is not None
+
+
+@dataclass
+class RealCompileResult:
+    level: str
+    asm: str
+    alive: frozenset[str]
+
+
+@dataclass
+class RealDifferentialResult:
+    source: str
+    outcomes: dict[str, RealCompileResult] = field(default_factory=dict)
+
+    def missed_at(self, high: str, low: str) -> frozenset[str]:
+        """Markers the higher level keeps but the lower eliminates."""
+        return self.outcomes[high].alive - self.outcomes[low].alive
+
+
+def compile_with_gcc(
+    source: str,
+    level: str = "O2",
+    binary: str = "gcc",
+    marker_prefix: str = "DCEMarker",
+    timeout: int = 30,
+) -> RealCompileResult:
+    """Compile C source to assembly with the host compiler and scan
+    for surviving marker calls."""
+    with tempfile.TemporaryDirectory(prefix="repro-gcc-") as tmp:
+        c_file = Path(tmp) / "case.c"
+        s_file = Path(tmp) / "case.s"
+        c_file.write_text(source)
+        cmd = [binary, f"-{level}", "-S", "-o", str(s_file), str(c_file), "-w"]
+        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=timeout)
+        if proc.returncode != 0:
+            raise RuntimeError(f"{binary} failed: {proc.stderr[:2000]}")
+        asm = s_file.read_text()
+    alive = frozenset(
+        name for name in _CALL_RE.findall(asm) if name.startswith(marker_prefix)
+    )
+    return RealCompileResult(level, asm, alive)
+
+
+def differential_real_gcc(
+    instrumented: InstrumentedProgram,
+    levels: tuple[str, ...] = ("O0", "O1", "O2", "O3"),
+    binary: str = "gcc",
+) -> RealDifferentialResult:
+    """Run the paper's cross-level differential against real gcc."""
+    source = print_program(instrumented.program, safe=True)
+    result = RealDifferentialResult(source)
+    for level in levels:
+        result.outcomes[level] = compile_with_gcc(source, level, binary)
+    return result
+
+
+def executable_check(
+    instrumented: InstrumentedProgram,
+    binary: str = "gcc",
+    timeout: int = 30,
+) -> frozenset[str]:
+    """Ground truth through the *real* toolchain: link the instrumented
+    program with recording marker bodies, execute it, and return the
+    set of markers that ran.  Cross-checks our interpreter."""
+    program = instrumented.program
+    source = print_program(program, safe=True)
+    recorder = ["#include <stdio.h>"]
+    for info in instrumented.markers:
+        recorder.append(
+            f'void {info.name}(void) {{ printf("HIT {info.name}\\n"); }}'
+        )
+    # Opaque non-marker externs need stub bodies to link.
+    marker_names = instrumented.marker_names
+    for decl in program.extern_decls():
+        if decl.name in marker_names:
+            continue
+        params = ", ".join(
+            f"{_c_type(p.ty)} a{i}" for i, p in enumerate(decl.params)
+        ) or "void"
+        ret = _c_type(decl.return_ty)
+        body = "return 0;" if ret != "void" else ""
+        recorder.append(f"{ret} {decl.name}({params}) {{ {body} }}")
+    full = "\n".join(recorder) + "\n" + _strip_extern_decls(source, marker_names)
+
+    with tempfile.TemporaryDirectory(prefix="repro-exec-") as tmp:
+        c_file = Path(tmp) / "case.c"
+        exe = Path(tmp) / "case"
+        c_file.write_text(full)
+        proc = subprocess.run(
+            [binary, "-O0", "-o", str(exe), str(c_file), "-w"],
+            capture_output=True, text=True, timeout=timeout,
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(f"link failed: {proc.stderr[:2000]}")
+        run = subprocess.run([str(exe)], capture_output=True, text=True, timeout=timeout)
+    hits = set()
+    for line in run.stdout.splitlines():
+        if line.startswith("HIT "):
+            hits.add(line[4:].strip())
+    return frozenset(hits)
+
+
+def _c_type(ty) -> str:
+    from ..lang.printer import type_prefix
+
+    return type_prefix(ty)
+
+
+_PROTO_RE = re.compile(
+    r"^\s*(?:extern\s+)?(?:void|int|long|short|char|unsigned[\w ]*)\s*\*?\s*"
+    r"(\w+)\s*\([^)]*\)\s*;\s*$"
+)
+
+
+def _strip_extern_decls(source: str, marker_names: frozenset[str]) -> str:
+    """Drop the function *prototypes* the recorder prelude now defines
+    (matching full-line prototypes only, never statements)."""
+    out = []
+    for line in source.splitlines():
+        if "=" not in line and _PROTO_RE.match(line):
+            continue
+        out.append(line)
+    return "\n".join(out)

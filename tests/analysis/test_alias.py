@@ -1,0 +1,129 @@
+from repro.analysis.alias import AliasResult, MemorySSAish, trace_root
+from repro.frontend.lower import lower_program
+from repro.frontend.typecheck import check_program
+from repro.ir import instructions as ins
+from repro.lang import parse_program
+
+
+def build(source):
+    program = parse_program(source)
+    info = check_program(program)
+    return lower_program(program, info)
+
+
+def find(module, kind, func="main"):
+    return [
+        i for b in module.functions[func].blocks for i in b.instrs
+        if isinstance(i, kind)
+    ]
+
+
+def test_trace_root_through_gep_chain():
+    module = build(
+        """
+        static int xs[4];
+        int main() { xs[2] = 1; return xs[2]; }
+        """
+    )
+    store = find(module, ins.Store)[0]
+    root = trace_root(store.address)
+    assert root.kind == "global" and root.key == "xs" and root.offset == 2
+
+
+def test_distinct_globals_never_alias():
+    module = build(
+        """
+        static int a;
+        static int b;
+        int main() { a = 1; b = 2; return a; }
+        """
+    )
+    memory = MemorySSAish(module)
+    stores = find(module, ins.Store)
+    assert memory.alias(stores[0].address, stores[1].address) is AliasResult.NO
+
+
+def test_same_cell_must_alias_modulo_length():
+    module = build(
+        """
+        static int xs[3];
+        int main() { xs[1] = 1; xs[4] = 2; return xs[1]; }
+        """
+    )
+    memory = MemorySSAish(module)
+    stores = find(module, ins.Store)
+    # index 4 wraps to 1 in MiniC's model.
+    assert memory.alias(stores[0].address, stores[1].address) is AliasResult.MUST
+
+
+def test_static_global_not_escaped_by_direct_use():
+    module = build("static int g; int main() { g = 1; return g; }")
+    memory = MemorySSAish(module)
+    assert not memory.global_escaped("g")
+
+
+def test_external_global_is_escaped():
+    module = build("int g; int main() { g = 1; return g; }")
+    memory = MemorySSAish(module)
+    assert memory.global_escaped("g")
+
+
+def test_passing_address_to_call_escapes():
+    module = build(
+        """
+        void sink(int *p);
+        static int g;
+        int main() { sink(&g); return g; }
+        """
+    )
+    memory = MemorySSAish(module)
+    assert memory.global_escaped("g")
+
+
+def test_pointer_comparison_does_not_escape():
+    module = build(
+        """
+        static char g;
+        static char h;
+        int main() {
+          char *p = &g;
+          return p == &h;
+        }
+        """
+    )
+    memory = MemorySSAish(module)
+    # Comparing addresses publishes nothing.
+    assert not memory.global_escaped("h")
+
+
+def test_storing_address_into_memory_escapes():
+    module = build(
+        """
+        static int g;
+        int *holder;
+        int main() { holder = &g; return 0; }
+        """
+    )
+    memory = MemorySSAish(module)
+    assert memory.global_escaped("g")
+
+
+def test_opaque_call_cannot_touch_non_escaped():
+    module = build(
+        """
+        void opaque(void);
+        static int g;
+        int main() { g = 1; opaque(); return g; }
+        """
+    )
+    memory = MemorySSAish(module)
+    call = find(module, ins.Call)[0]
+    store = find(module, ins.Store)[0]
+    assert not memory.call_may_access(call, store.address)
+
+
+def test_precision_budget_forces_conservatism():
+    module = build("static int g; int main() { g = 1; return g; }")
+    memory = MemorySSAish(module, max_objects=0)
+    assert memory.imprecise
+    assert memory.global_escaped("g")

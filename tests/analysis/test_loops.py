@@ -1,0 +1,90 @@
+from repro.analysis.loops import find_loops, is_invariant, loop_preheader
+from repro.frontend.lower import lower_program
+from repro.frontend.typecheck import check_program
+from repro.ir.dominators import DominatorTree
+from repro.lang import parse_program
+
+
+def main_of(source):
+    program = parse_program(source)
+    info = check_program(program)
+    module = lower_program(program, info)
+    from repro.passes import promote_memory_to_registers, simplify_cfg
+
+    main = module.functions["main"]
+    simplify_cfg(main)
+    promote_memory_to_registers(main)
+    return main
+
+
+def test_single_loop_detected():
+    main = main_of(
+        """
+        int opaque_source(void);
+        int main() {
+          int n = opaque_source();
+          int acc = 0;
+          for (int i = 0; i < n; i++) { acc += 1; }
+          return acc;
+        }
+        """
+    )
+    loops = find_loops(main, DominatorTree(main))
+    assert len(loops) == 1
+    loop = loops[0]
+    assert loop.single_latch is not None
+    assert loop_preheader(loop, main) is not None
+    assert len(loop.exits()) == 1
+
+
+def test_nested_loops_inner_first():
+    main = main_of(
+        """
+        int opaque_source(void);
+        int main() {
+          int n = opaque_source();
+          int acc = 0;
+          for (int i = 0; i < n; i++) {
+            for (int j = 0; j < n; j++) { acc += 1; }
+          }
+          return acc;
+        }
+        """
+    )
+    loops = find_loops(main, DominatorTree(main))
+    assert len(loops) == 2
+    assert len(loops[0].blocks) < len(loops[1].blocks)
+    # The inner loop's blocks are a subset of the outer's.
+    assert loops[0].block_ids() <= loops[1].block_ids()
+
+
+def test_no_loops_in_straight_line_code():
+    main = main_of("int main() { int a = 1; return a + 2; }")
+    assert find_loops(main, DominatorTree(main)) == []
+
+
+def test_invariance_query():
+    main = main_of(
+        """
+        int opaque_source(void);
+        int main() {
+          int p = opaque_source();
+          int n = opaque_source();
+          int acc = 0;
+          for (int i = 0; i < n; i++) {
+            if (p) { acc += 1; }
+          }
+          return acc;
+        }
+        """
+    )
+    loop = find_loops(main, DominatorTree(main))[0]
+    from repro.ir import instructions as ins
+
+    branch = None
+    for block in loop.blocks:
+        term = block.terminator
+        if isinstance(term, ins.Br) and loop.contains(term.if_true) and loop.contains(term.if_false):
+            branch = term
+    assert branch is not None
+    assert is_invariant(branch.cond, loop)

@@ -1,0 +1,58 @@
+from repro.backend import alive_markers, emit_module
+from repro.compilers import CompilerSpec, compile_minic
+from repro.frontend.lower import lower_program
+from repro.frontend.typecheck import check_program
+from repro.lang import parse_program
+
+
+def test_alive_markers_scans_call_lines():
+    asm = """
+main:
+\tcall\tDCEMarker0
+\tmov\t$1, %rax
+\tcall\tprintf
+\tcall\tDCEMarker7
+\tret
+"""
+    assert alive_markers(asm, "DCEMarker") == {"DCEMarker0", "DCEMarker7"}
+    assert alive_markers(asm) == {"DCEMarker0", "printf", "DCEMarker7"}
+
+
+def test_emitted_module_contains_globals_and_functions():
+    program = parse_program(
+        """
+        static int counter = 3;
+        int values[2] = {7, 8};
+        int main() { counter += 1; return values[0]; }
+        """
+    )
+    info = check_program(program)
+    asm = emit_module(lower_program(program, info))
+    assert ".local\tcounter" in asm
+    assert ".globl\tvalues" in asm
+    assert "main:" in asm
+    assert "ret" in asm
+
+
+def test_unoptimized_asm_keeps_markers_optimized_drops_them():
+    source = """
+        void DCEMarker0(void);
+        int main() {
+          int dead = 0;
+          if (dead) { DCEMarker0(); }
+          return 0;
+        }
+    """
+    o0 = compile_minic(source, CompilerSpec("gcclike", "O0"))
+    o2 = compile_minic(source, CompilerSpec("gcclike", "O2"))
+    assert "DCEMarker0" in o0.alive_markers("DCEMarker")
+    assert o2.alive_markers("DCEMarker") == frozenset()
+
+
+def test_call_arguments_are_pushed():
+    asm = compile_minic(
+        "void take(int a, int b); int main() { take(1, 2); return 0; }",
+        CompilerSpec("gcclike", "O0"),
+    ).asm
+    assert asm.count("push") >= 2
+    assert "call\ttake" in asm

@@ -1,0 +1,67 @@
+from repro.compilers import config_at, history, latest
+from repro.compilers.vendors import LEVELS
+
+
+def test_o0_is_immune_to_middle_end_commits():
+    for family in ("gcclike", "llvmlike"):
+        assert config_at(family, "O0", 0) == config_at(family, "O0", latest(family))
+
+
+def test_known_regression_commits_change_o3():
+    # llvm 3cc38712: MemDep cap at -O3 only.
+    before = config_at("llvmlike", "O3", 11)
+    after = config_at("llvmlike", "O3", 12)
+    assert before.gvn_across_calls and not after.gvn_across_calls
+    # ... and -O2 is untouched by it.
+    assert config_at("llvmlike", "O2", 11).gvn_across_calls == config_at(
+        "llvmlike", "O2", 12
+    ).gvn_across_calls
+
+
+def test_fixed_regression_sequence():
+    # llvm 3cc38709 drops the extra O3 cleanup round; 3cc38713 restores.
+    assert config_at("llvmlike", "O3", 8).sccp_iterations == 2
+    assert config_at("llvmlike", "O3", 9).sccp_iterations == 1
+    assert config_at("llvmlike", "O3", 13).sccp_iterations == 2
+
+
+def test_gcc_vectorizer_arrives_with_its_commit():
+    assert not config_at("gcclike", "O3", 6).vectorize
+    assert config_at("gcclike", "O3", 7).vectorize
+    assert not config_at("gcclike", "O2", 7).vectorize
+
+
+def test_pipelines_contain_the_new_passes():
+    for family in ("gcclike", "llvmlike"):
+        for level in ("O1", "O2", "O3"):
+            passes = config_at(family, level).passes
+            assert "licm" in passes, (family, level)
+            assert "cprop" in passes, (family, level)
+            assert passes.count("memcp") >= 2
+
+
+def test_cleanup_rounds_follow_sccp_iterations():
+    one = config_at("gcclike", "O2")  # sccp_iterations 1
+    assert one.passes.count("adce") == 1
+    two = config_at("llvmlike", "O3")  # restored to 2 at the tip
+    assert two.passes.count("adce") == 2
+
+
+def test_every_behavioural_commit_names_a_real_knob():
+    from dataclasses import fields
+
+    from repro.compilers.config import PipelineConfig
+
+    knob_names = {f.name for f in fields(PipelineConfig)}
+    for family in ("gcclike", "llvmlike"):
+        for commit in history(family):
+            for _levels, field_name, _value in commit.changes:
+                assert field_name in knob_names, (commit.sha, field_name)
+
+
+def test_commit_levels_are_valid():
+    for family in ("gcclike", "llvmlike"):
+        for commit in history(family):
+            for levels, _f, _v in commit.changes:
+                for level in levels or ():
+                    assert level in LEVELS

@@ -1,0 +1,77 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compilers import CompilerSpec, compile_minic
+from repro.frontend.typecheck import check_program
+from repro.interp import run_program
+from repro.ir import run_module, verify_module
+from repro.lang import parse_program
+
+
+@pytest.fixture
+def checked():
+    """Parse + typecheck helper: returns (program, info)."""
+
+    def _checked(source: str):
+        program = parse_program(source)
+        info = check_program(program)
+        return program, info
+
+    return _checked
+
+
+@pytest.fixture
+def run_source(checked):
+    """Interpret a source program and return its ExecutionResult."""
+
+    def _run(source: str):
+        program, info = checked(source)
+        return run_program(program, info=info)
+
+    return _run
+
+
+@pytest.fixture
+def compile_source(checked):
+    """Compile source under a (family, level) and return the result."""
+
+    def _compile(source: str, family: str = "gcclike", level: str = "O2",
+                 version=None, verify: bool = True):
+        program, info = checked(source)
+        result = compile_minic(
+            program, CompilerSpec(family, level, version), info=info,
+            verify_each=verify,
+        )
+        verify_module(result.module)
+        return result
+
+    return _compile
+
+
+@pytest.fixture
+def validate_semantics(checked):
+    """Assert compiled IR behaves exactly like the reference
+    interpreter for every requested spec; returns the reference."""
+
+    def _validate(source: str, specs=None):
+        program, info = checked(source)
+        ref = run_program(program, info=info)
+        specs = specs or [
+            CompilerSpec(f, l)
+            for f in ("gcclike", "llvmlike")
+            for l in ("O0", "O1", "Os", "O2", "O3")
+        ]
+        for spec in specs:
+            result = compile_minic(program, spec, info=info)
+            verify_module(result.module)
+            got = run_module(result.module)
+            assert got.exit_code == ref.exit_code, spec
+            assert got.marker_hits == ref.marker_hits, spec
+            assert got.checksum == ref.checksum, spec
+            assert got.call_trace == ref.call_trace, spec
+        return ref
+
+    return _validate

@@ -1,0 +1,95 @@
+from repro import api
+from repro.cli import main as cli_main
+from repro.compilers import CompilerSpec
+
+LISTING_1 = """
+char a;
+char b[2];
+static int c = 0;
+int main() {
+  char *d = &a;
+  char *e = &b[1];
+  if (d == e) {
+    b[0] = 2;
+  }
+  if (c) {
+    b[0] = 1;
+  }
+  c = 0;
+  return 0;
+}
+"""
+
+
+def test_analyze_source_finds_the_paper_asymmetry():
+    specs = [CompilerSpec("gcclike", "O3"), CompilerSpec("llvmlike", "O3")]
+    report = api.analyze_source(LISTING_1, specs)
+    gcc_missed = report.missed[str(specs[0])]
+    llvm_missed = report.missed[str(specs[1])]
+    assert len(gcc_missed) == 1
+    assert len(llvm_missed) == 1
+    assert gcc_missed != llvm_missed
+    summary = report.summary()
+    assert "missed" in summary
+
+
+def test_primary_subset_of_missed():
+    report = api.analyze_source(LISTING_1)
+    for spec, missed in report.missed.items():
+        assert report.primary[spec] <= missed
+
+
+def test_instrumented_source_contains_markers():
+    text = api.instrumented_source(LISTING_1)
+    assert "DCEMarker0();" in text
+    assert "void DCEMarker0(void);" in text
+
+
+def test_compile_to_asm():
+    asm = api.compile_to_asm("int main() { return 7; }")
+    assert "main:" in asm and "ret" in asm
+
+
+def test_cli_generate_and_analyze(tmp_path, capsys):
+    assert cli_main(["generate", "--seed", "3"]) == 0
+    generated = capsys.readouterr().out
+    assert "int main" in generated
+
+    case = tmp_path / "case.c"
+    case.write_text(LISTING_1)
+    assert cli_main(["analyze", str(case)]) == 0
+    out = capsys.readouterr().out
+    assert "markers:" in out
+
+
+def test_cli_asm(tmp_path, capsys):
+    case = tmp_path / "case.c"
+    case.write_text("int main() { return 0; }")
+    assert cli_main(["asm", str(case), "--level", "O1"]) == 0
+    assert "main:" in capsys.readouterr().out
+
+
+def test_cli_bisect(tmp_path, capsys):
+    case = tmp_path / "case.c"
+    case.write_text(
+        """
+        void DCEMarker0(void);
+        static int a = 0;
+        int main() {
+          if (a) { DCEMarker0(); }
+          a = 1;
+          return 0;
+        }
+        """
+    )
+    assert cli_main(["bisect", str(case), "DCEMarker0", "--family", "llvmlike"]) == 0
+    out = capsys.readouterr().out
+    assert "3cc38703" in out
+
+
+def test_cli_corpus_build_and_validate(tmp_path, capsys):
+    directory = tmp_path / "corpus"
+    assert cli_main(["corpus-build", str(directory), "--programs", "2"]) == 0
+    assert "wrote 2 programs" in capsys.readouterr().out
+    assert cli_main(["corpus-validate", str(directory)]) == 0
+    assert "reproduce" in capsys.readouterr().out

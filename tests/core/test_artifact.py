@@ -1,0 +1,68 @@
+import json
+
+import pytest
+
+from repro.core.artifact import (
+    build_corpus,
+    load_corpus,
+    load_program,
+    validate_corpus,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("corpus")
+    records = build_corpus(directory, seeds=[1, 2])
+    return directory, records
+
+
+def test_build_writes_layout(corpus):
+    directory, records = corpus
+    assert (directory / "manifest.json").exists()
+    assert (directory / "results.json").exists()
+    assert (directory / "programs" / "seed_000001.c").exists()
+    assert len(records) == 2
+
+
+def test_round_trip_load(corpus):
+    directory, records = corpus
+    manifest, loaded = load_corpus(directory)
+    assert manifest["seeds"] == [r.seed for r in records]
+    assert [r.to_json() for r in loaded] == [r.to_json() for r in records]
+
+
+def test_programs_reload_with_markers(corpus):
+    directory, records = corpus
+    inst = load_program(directory, 1)
+    assert set(records[0].markers) == set(inst.marker_names)
+
+
+def test_validate_passes_on_fresh_corpus(corpus):
+    directory, _ = corpus
+    report = validate_corpus(directory)
+    assert report.ok
+    assert report.checked == 2
+
+
+def test_validate_detects_tampering(corpus, tmp_path):
+    directory, _ = corpus
+    import shutil
+
+    copy = tmp_path / "tampered"
+    shutil.copytree(directory, copy)
+    results = json.loads((copy / "results.json").read_text())
+    # Claim a compiler eliminated nothing anywhere.
+    key = next(iter(results[0]["eliminated_by"]))
+    results[0]["eliminated_by"][key] = []
+    (copy / "results.json").write_text(json.dumps(results))
+    report = validate_corpus(copy)
+    assert not report.ok
+    assert any("drifted" in m for m in report.mismatches)
+
+
+def test_unsupported_format_rejected(tmp_path):
+    (tmp_path / "manifest.json").write_text('{"format": 99}')
+    (tmp_path / "results.json").write_text("[]")
+    with pytest.raises(ValueError, match="format"):
+        load_corpus(tmp_path)

@@ -1,0 +1,119 @@
+import pytest
+
+from repro.compilers.versions import history, latest
+from repro.core.bisect import (
+    bisect_marker_regression,
+    bisect_versions,
+    marker_regression_predicate,
+)
+from repro.lang import parse_program
+
+# The llvmlike GlobalOpt rewrite (3cc38703) regresses this program:
+# old versions fold `if (a)` via the flow-sensitive analysis.
+LISTING_6A = """
+void DCEMarker0(void);
+static int a = 0;
+int main() {
+  if (a) {
+    DCEMarker0();
+  }
+  a = 1;
+  return 0;
+}
+"""
+
+# The O3-only MemDep change (3cc38712) regresses this one.
+CSE_CASE = """
+void DCEMarker0(void);
+void opaque_sink(void);
+int opaque_source(void);
+int main() {
+  long t[2];
+  t[0] = opaque_source();
+  t[1] = 0;
+  long x = t[0];
+  opaque_sink();
+  if (t[0] != x) {
+    DCEMarker0();
+  }
+  return 0;
+}
+"""
+
+
+def test_bisect_finds_globalopt_rewrite():
+    program = parse_program(LISTING_6A)
+    result = bisect_marker_regression(program, "DCEMarker0", "llvmlike", "O3")
+    assert result is not None
+    assert result.commit.sha == "3cc38703"
+    assert result.commit.component == "Value Propagation"
+
+
+def test_bisect_finds_memdep_change():
+    program = parse_program(CSE_CASE)
+    result = bisect_marker_regression(program, "DCEMarker0", "llvmlike", "O3")
+    assert result is not None
+    assert result.commit.sha == "3cc38712"
+    assert result.commit.component == "SSA Memory Analysis"
+
+
+def test_bisect_finds_gcc_vectorizer_commit():
+    program = parse_program(
+        """
+        void DCEMarker0(void);
+        static int c[4];
+        int main() {
+          for (int b = 0; b < 4; b++) { c[b] = 7; }
+          if (c[0] != 7) { DCEMarker0(); }
+          return 0;
+        }
+        """
+    )
+    result = bisect_marker_regression(program, "DCEMarker0", "gcclike", "O3")
+    assert result is not None
+    assert result.commit.sha == "92acae07"
+    assert result.commit.component == "Loop Transformations"
+
+
+def test_non_regression_returns_none():
+    program = parse_program(
+        """
+        void DCEMarker0(void);
+        int opaque_source(void);
+        int main() {
+          if (opaque_source() == 12345) { DCEMarker0(); }
+          return 0;
+        }
+        """
+    )
+    # Missed at every version: not a regression.
+    assert bisect_marker_regression(program, "DCEMarker0", "gcclike", "O3") is None
+
+
+def test_always_eliminated_returns_none():
+    program = parse_program(
+        """
+        void DCEMarker0(void);
+        int main() {
+          if (0) { DCEMarker0(); }
+          return 0;
+        }
+        """
+    )
+    assert bisect_marker_regression(program, "DCEMarker0", "llvmlike", "O3") is None
+
+
+def test_bisect_step_count_is_logarithmic():
+    program = parse_program(LISTING_6A)
+    is_bad = marker_regression_predicate(program, "DCEMarker0", "llvmlike", "O3")
+    result = bisect_versions("llvmlike", is_bad)
+    import math
+
+    assert result.steps <= math.ceil(math.log2(latest("llvmlike"))) + 3
+
+
+def test_bisect_validates_endpoints():
+    with pytest.raises(ValueError):
+        bisect_versions("llvmlike", lambda v: True)
+    with pytest.raises(ValueError):
+        bisect_versions("llvmlike", lambda v: False)

@@ -1,0 +1,31 @@
+import pytest
+
+from repro.core.case_studies import CASE_STUDIES, case_study, verify_case_study
+
+
+@pytest.mark.parametrize("case", CASE_STUDIES, ids=lambda c: c.case_id)
+def test_case_study_reproduces(case):
+    problems = verify_case_study(case)
+    assert not problems, "\n".join(problems)
+
+
+def test_lookup_by_id():
+    case = case_study("listing4-global-store-init")
+    assert "flow-sensitive" in case.title
+
+
+def test_lookup_unknown_raises():
+    with pytest.raises(KeyError):
+        case_study("nope")
+
+
+def test_adaptations_are_documented():
+    # Every case that deviates from the paper's exact C must say why.
+    for case in CASE_STUDIES:
+        if "analogue" in case.paper_ref or "adapt" in case.title.lower():
+            assert case.adaptation, case.case_id
+
+
+def test_case_ids_unique():
+    ids = [c.case_id for c in CASE_STUDIES]
+    assert len(ids) == len(set(ids))

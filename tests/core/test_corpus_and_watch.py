@@ -1,0 +1,45 @@
+from repro.compilers import CompilerSpec
+from repro.core.corpus import analyze_one, default_specs, run_campaign
+from repro.core.regression_watch import watch
+
+
+def test_analyze_one_produces_outcome():
+    outcome = analyze_one(0, default_specs())
+    assert outcome is not None
+    assert outcome.marker_count > 0
+    assert 0 <= outcome.dead_count <= outcome.marker_count
+
+
+def test_small_campaign_accumulates_consistently():
+    result = run_campaign(n_programs=3, seed_base=100)
+    assert len(result.seeds) + len(result.skipped) == 3
+    assert result.total_dead + result.total_alive == result.total_markers
+    assert not result.soundness_violations
+    for family in ("gcclike", "llvmlike"):
+        for level in ("O0", "O1", "Os", "O2", "O3"):
+            stats = result.level_stats(family, level)
+            assert stats.dead_total == result.total_dead
+            assert 0 <= stats.primary_missed <= stats.missed <= stats.dead_total
+
+
+def test_campaign_missed_pct_monotone_from_o0():
+    result = run_campaign(n_programs=4, seed_base=200)
+    for family in ("gcclike", "llvmlike"):
+        o0 = result.level_stats(family, "O0").missed_pct
+        o1 = result.level_stats(family, "O1").missed_pct
+        assert o0 > o1
+
+
+def test_watch_detects_planted_regressions():
+    # Version 10 of llvmlike predates the aggressive-unswitch /
+    # MemDep commits; the tip should regress on some fresh programs.
+    report = watch(
+        "llvmlike", old_version=10, n_programs=8, seed_base=500,
+        levels=("O3",), bisect=True,
+    )
+    assert report.programs > 0
+    # Regressions may or may not appear in a tiny sample, but when
+    # they do, every bisection must land on a behavioural commit.
+    for regression in report.regressions:
+        if regression.bisection is not None:
+            assert regression.bisection.commit.is_behavioural

@@ -1,0 +1,123 @@
+from repro.core.ground_truth import compute_ground_truth
+from repro.core.markers import instrument_program
+from repro.frontend.typecheck import check_program
+from repro.lang import ast_nodes as ast
+from repro.lang import parse_program, print_program
+
+SOURCE = """
+int opaque_source(void);
+int main() {
+  int v = opaque_source();
+  if (v) {
+    v += 1;
+  } else {
+    v -= 1;
+  }
+  for (int i = 0; i < 2; i++) { v += i; }
+  switch (v) {
+    case 0: v = 10; break;
+    default: v = 20; break;
+  }
+  if (v == 12345) { return 1; }
+  int tail = v;
+  return tail;
+}
+"""
+
+
+def test_each_construct_gets_a_marker():
+    inst = instrument_program(parse_program(SOURCE))
+    kinds = [m.kind for m in inst.markers]
+    assert kinds.count("if-then") == 2
+    assert kinds.count("if-else") == 1
+    assert kinds.count("loop-body") == 1
+    assert kinds.count("case") == 1
+    assert kinds.count("default") == 1
+    assert kinds.count("after-return") == 1
+
+
+def test_markers_are_declared_and_checkable():
+    inst = instrument_program(parse_program(SOURCE))
+    info = check_program(inst.program)
+    assert inst.marker_names <= set(info.opaque_functions())
+
+
+def test_original_program_is_untouched():
+    program = parse_program(SOURCE)
+    before = print_program(program)
+    instrument_program(program)
+    assert print_program(program) == before
+
+
+def test_instrumented_program_prints_as_valid_source():
+    inst = instrument_program(parse_program(SOURCE))
+    text = print_program(inst.program)
+    reparsed = parse_program(text)
+    check_program(reparsed)
+    assert "DCEMarker0();" in text
+
+
+def test_ground_truth_separates_dead_and_alive():
+    inst = instrument_program(parse_program(SOURCE))
+    truth = compute_ground_truth(inst)
+    # opaque_source() returns 0: else-branch runs, then-branch dead.
+    by_kind = {m.kind: m.name for m in inst.markers}
+    assert by_kind["if-else"] in truth.alive
+    assert by_kind["loop-body"] in truth.alive
+    assert truth.dead | truth.alive == inst.marker_names
+    assert truth.dead & truth.alive == frozenset()
+    # if (v == 12345) never fires: its then marker and nothing else
+    dead_kinds = {m.kind for m in inst.markers if m.name in truth.dead}
+    assert "if-then" in dead_kinds
+
+
+def test_after_return_marker_position():
+    source = """
+    int opaque_source(void);
+    int main() {
+      if (opaque_source()) { return 1; }
+      return 0;
+    }
+    """
+    inst = instrument_program(parse_program(source))
+    kinds = [m.kind for m in inst.markers]
+    # 'return 0;' follows the conditional return: the continuation
+    # position gets a marker (the paper's 'function body after a
+    # conditional return').
+    assert "after-return" in kinds
+
+    source2 = """
+    int opaque_source(void);
+    int main() {
+      int acc = 0;
+      if (opaque_source()) { return 1; }
+      acc += 1;
+      return acc;
+    }
+    """
+    inst2 = instrument_program(parse_program(source2))
+    assert "after-return" in [m.kind for m in inst2.markers]
+
+
+def test_executed_functions_recorded():
+    inst = instrument_program(
+        parse_program(
+            """
+            static int helper(void) { return 4; }
+            static int unused(void) { return 5; }
+            int main() { return helper(); }
+            """
+        )
+    )
+    truth = compute_ground_truth(inst)
+    executed = truth.executed_functions()
+    assert "helper" in executed and "main" in executed
+    assert "unused" not in executed
+
+
+def test_dead_fraction_property():
+    inst = instrument_program(
+        parse_program("int main() { int x = 0; if (0) { x = 1; } return x; }")
+    )
+    truth = compute_ground_truth(inst)
+    assert truth.dead_fraction == 1.0

@@ -1,0 +1,74 @@
+import pytest
+
+from repro.compilers import CompilerSpec
+from repro.core.reduction import (
+    count_statements,
+    missed_marker_predicate,
+    reduce_program,
+)
+from repro.lang import parse_program, print_program
+
+# A listing-1-flavoured program padded with removable noise.
+BLOATED = """
+void DCEMarker0(void);
+char a;
+char b[2];
+static int noise1 = 4;
+static long noise2[3] = {1, 2, 3};
+static int helper(int x) { return x * 3; }
+int main() {
+  int pad1 = helper(2);
+  noise1 += pad1;
+  long pad2 = noise2[1] + noise1;
+  char *d = &a;
+  char *e = &b[1];
+  if (d == e) {
+    DCEMarker0();
+  }
+  noise2[2] = pad2;
+  for (int i = 0; i < 3; i++) { noise1 += i; }
+  return 0;
+}
+"""
+
+
+def test_reduction_shrinks_while_preserving_interestingness():
+    program = parse_program(BLOATED)
+    predicate = missed_marker_predicate(
+        "DCEMarker0",
+        keeper=CompilerSpec("llvmlike", "O3"),
+        witness=CompilerSpec("gcclike", "O3"),
+    )
+    assert predicate(program)
+    result = reduce_program(program, predicate)
+    assert result.stmts_after < result.stmts_before
+    assert predicate(result.program)
+    text = print_program(result.program)
+    assert "DCEMarker0" in text
+    # The noise should be gone.
+    assert "helper" not in text
+    assert "noise2" not in text
+
+
+def test_reduction_requires_interesting_input():
+    program = parse_program("void DCEMarker0(void); int main() { return 0; }")
+    predicate = missed_marker_predicate(
+        "DCEMarker0", keeper=CompilerSpec("llvmlike", "O3")
+    )
+    with pytest.raises(ValueError):
+        reduce_program(program, predicate)
+
+
+def test_predicate_rejects_alive_marker():
+    program = parse_program(
+        "void DCEMarker0(void); int main() { DCEMarker0(); return 0; }"
+    )
+    predicate = missed_marker_predicate(
+        "DCEMarker0", keeper=CompilerSpec("llvmlike", "O3")
+    )
+    assert not predicate(program)
+
+
+def test_count_statements():
+    program = parse_program("int main() { int a = 1; a += 2; return a; }")
+    assert count_statements(program) >= 4  # block + three statements

@@ -1,0 +1,38 @@
+from repro.core.case_studies import case_study
+from repro.core.reports import LEDGER, reports_for, table5_counts
+
+
+def test_table5_counts_match_paper():
+    counts = table5_counts()
+    assert counts["gcclike"] == {
+        "reported": 53, "confirmed": 43, "duplicate": 5, "fixed": 12,
+    }
+    assert counts["llvmlike"] == {
+        "reported": 31, "confirmed": 19, "duplicate": 0, "fixed": 11,
+    }
+
+
+def test_ledger_ids_unique():
+    ids = [r.report_id for r in LEDGER]
+    assert len(ids) == len(set(ids))
+
+
+def test_backed_reports_reference_real_case_studies():
+    backed = [r for r in LEDGER if r.case_id is not None]
+    assert backed, "some reports should be case-study-backed"
+    for report in backed:
+        case = case_study(report.case_id)
+        assert case.report["family"] == report.family
+        assert case.report["status"] == report.status
+
+
+def test_component_diversity():
+    for family in ("gcclike", "llvmlike"):
+        components = {r.component for r in reports_for(family)}
+        assert len(components) >= 8, family
+
+
+def test_statuses_are_valid():
+    from repro.core.reports import STATUSES
+
+    assert all(r.status in STATUSES for r in LEDGER)

@@ -1,0 +1,47 @@
+from repro.core.regression_watch import Regression, WatchReport
+from repro.core.stats import format_table, pct
+
+
+def test_format_table_alignment():
+    table = format_table(
+        ["name", "value"],
+        [["short", "1"], ["a-much-longer-name", "22"]],
+        title="T",
+    )
+    lines = table.splitlines()
+    assert lines[0] == "T"
+    # header and rows aligned to the widest cell
+    assert lines[1].startswith("name")
+    assert len(lines[2].split("  ")[0]) == len("a-much-longer-name")
+
+
+def test_pct_formatting():
+    assert pct(12.3456) == "12.35%"
+    assert pct(0) == "0.00%"
+
+
+def test_watch_report_component_grouping():
+    from repro.compilers.versions import commit_at
+    from repro.core.bisect import BisectionResult
+
+    commit = commit_at("llvmlike", 3)
+    report = WatchReport("llvmlike", 0, 21)
+    report.regressions.append(
+        Regression(1, "llvmlike", "O3", "DCEMarker0", 0, 21,
+                   BisectionResult("llvmlike", 3, commit, 5))
+    )
+    report.regressions.append(
+        Regression(2, "llvmlike", "O3", "DCEMarker1", 0, 21,
+                   BisectionResult("llvmlike", 3, commit, 5))
+    )
+    report.regressions.append(Regression(3, "llvmlike", "O3", "DCEMarker2", 0, 21))
+    assert report.components() == {commit.component: 2}
+
+
+def test_cli_campaign_smoke(capsys):
+    from repro.cli import main as cli_main
+
+    assert cli_main(["campaign", "--programs", "2", "--seed-base", "900"]) == 0
+    out = capsys.readouterr().out
+    assert "Tables 1 & 2 shape" in out
+    assert "cross-compiler" in out

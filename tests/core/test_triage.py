@@ -1,0 +1,78 @@
+from repro.compilers import CompilerSpec
+from repro.core.triage import (
+    Finding,
+    deduplicate,
+    guarding_condition_shape,
+    sensitive_knobs,
+    signature_of,
+)
+from repro.lang import parse_program
+
+ADDR_CASE = """
+void DCEMarker0(void);
+char a;
+char b[2];
+int main() {
+  char *c = &a;
+  char *d = &b[1];
+  if (c == d) {
+    DCEMarker0();
+  }
+  return 0;
+}
+"""
+
+GLOBAL_CASE = """
+void DCEMarker0(void);
+static int a = 0;
+int main() {
+  if (a) {
+    DCEMarker0();
+  }
+  a = 0;
+  return 0;
+}
+"""
+
+
+def test_condition_shape_abstracts_names_and_values():
+    shape = guarding_condition_shape(parse_program(ADDR_CASE), "DCEMarker0")
+    assert shape == "(v == v)"
+    shape2 = guarding_condition_shape(parse_program(GLOBAL_CASE), "DCEMarker0")
+    assert shape2 == "v"
+
+
+def test_sensitive_knobs_identify_root_cause():
+    llvm_finding = Finding(0, "DCEMarker0", CompilerSpec("llvmlike", "O3"),
+                           parse_program(ADDR_CASE))
+    knobs = sensitive_knobs(llvm_finding)
+    assert "addr_cmp" in knobs
+
+    gcc_finding = Finding(1, "DCEMarker0", CompilerSpec("gcclike", "O3"),
+                          parse_program(GLOBAL_CASE))
+    knobs2 = sensitive_knobs(gcc_finding)
+    assert "global_fold_mode" in knobs2
+
+
+def test_deduplicate_groups_same_root_cause():
+    variant = ADDR_CASE.replace("char b[2]", "char b[4]").replace("&b[1]", "&b[3]")
+    findings = [
+        Finding(0, "DCEMarker0", CompilerSpec("llvmlike", "O3"), parse_program(ADDR_CASE)),
+        Finding(1, "DCEMarker0", CompilerSpec("llvmlike", "O3"), parse_program(variant)),
+        Finding(2, "DCEMarker0", CompilerSpec("gcclike", "O3"), parse_program(GLOBAL_CASE)),
+    ]
+    result = deduplicate(findings)
+    assert len(result.unique) == 2
+    assert result.duplicates_removed == 1
+    reps = result.representative_findings()
+    assert reps[0].seed == 0 and reps[1].seed == 2
+
+
+def test_signature_distinguishes_families():
+    a = signature_of(
+        Finding(0, "DCEMarker0", CompilerSpec("llvmlike", "O3"), parse_program(ADDR_CASE))
+    )
+    b = signature_of(
+        Finding(0, "DCEMarker0", CompilerSpec("gcclike", "O3"), parse_program(ADDR_CASE))
+    )
+    assert a != b

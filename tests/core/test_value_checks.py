@@ -1,0 +1,52 @@
+from repro.compilers import CompilerSpec, compile_minic
+from repro.core.value_checks import instrument_value_checks
+from repro.frontend.typecheck import check_program
+from repro.interp import run_program
+from repro.lang import parse_program
+
+SOURCE = """
+static int g = 3;
+static long h;
+int main() {
+  g = 7;
+  h = g * 2;
+  g = 6;
+  return (int)h;
+}
+"""
+
+
+def test_value_checks_are_dead_by_construction():
+    program = parse_program(SOURCE)
+    checked = instrument_value_checks(program)
+    assert checked.markers
+    info = check_program(checked.program)
+    result = run_program(checked.program, info=info)
+    # No check may ever fire: the recorded constants are exact.
+    assert not (set(result.marker_hits) & set(checked.markers))
+
+
+def test_value_checks_preserve_behaviour():
+    program = parse_program(SOURCE)
+    original = run_program(program)
+    checked = instrument_value_checks(program)
+    result = run_program(checked.program)
+    assert result.exit_code == original.exit_code
+
+
+def test_compilers_can_eliminate_value_checks():
+    program = parse_program(SOURCE)
+    checked = instrument_value_checks(program)
+    info = check_program(checked.program)
+    result = compile_minic(
+        checked.program, CompilerSpec("llvmlike", "O3"), info=info
+    )
+    alive = result.alive_markers("DCEValueCheck")
+    # The strong pipeline proves at least some recorded values.
+    assert len(alive) < len(checked.markers)
+
+
+def test_no_globals_means_no_checks():
+    program = parse_program("int main() { return 0; }")
+    checked = instrument_value_checks(program)
+    assert checked.markers == []

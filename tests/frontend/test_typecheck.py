@@ -1,0 +1,113 @@
+import pytest
+
+from repro.frontend.typecheck import CheckError, check_program
+from repro.lang import parse_program
+from repro.lang.types import INT, LONG, PointerType, UINT
+
+
+def check(source: str):
+    return check_program(parse_program(source))
+
+
+def test_valid_program_returns_symbol_info():
+    info = check("static int g = 1; void mk(void); int main() { mk(); return g; }")
+    assert "g" in info.globals
+    assert info.functions["mk"].is_defined is False
+    assert info.functions["main"].is_defined is True
+    assert info.opaque_functions() == {"mk"}
+
+
+def test_expression_types_are_annotated():
+    prog = parse_program("int main() { char c = 1; long l = c + 2; return (int)l; }")
+    check_program(prog)
+    decl = prog.function("main").body.stmts[1]
+    assert decl.init.ty == INT  # char + int literal promotes to int
+
+
+def test_undeclared_identifier():
+    with pytest.raises(CheckError, match="undeclared"):
+        check("int main() { return nope; }")
+
+
+def test_duplicate_global():
+    with pytest.raises(CheckError, match="duplicate"):
+        check("int a; int a;")
+
+
+def test_call_arity_mismatch():
+    with pytest.raises(CheckError, match="expects"):
+        check("static int f(int x) { return x; } int main() { return f(1, 2); }")
+
+
+def test_call_to_unknown_function():
+    with pytest.raises(CheckError, match="undeclared function"):
+        check("int main() { ghost(); return 0; }")
+
+
+def test_void_value_use_rejected():
+    with pytest.raises(CheckError, match="void value"):
+        check("void mk(void); int main() { return mk(); }")
+
+
+def test_assign_to_array_rejected():
+    with pytest.raises(CheckError, match="array"):
+        check("int a[2]; int b[2]; int main() { a = b; return 0; }")
+
+
+def test_break_outside_loop_rejected():
+    with pytest.raises(CheckError):
+        check("int main() { break; return 0; }")
+
+
+def test_pointer_arithmetic_rejected():
+    with pytest.raises(CheckError):
+        check("char c; int main() { char *p = &c; p = p + 1; return 0; }")
+
+
+def test_pointer_comparison_against_zero_allowed():
+    check("char c; int main() { char *p = &c; if (p == 0) { return 1; } return 0; }")
+
+
+def test_pointer_compare_lt_rejected():
+    with pytest.raises(CheckError):
+        check("char c; char d; int main() { return &c < &d; }")
+
+
+def test_deref_of_non_pointer_rejected():
+    with pytest.raises(CheckError):
+        check("int main() { int a = 1; return *a; }")
+
+
+def test_address_of_rvalue_rejected():
+    from repro.lang.parser import ParseError
+
+    with pytest.raises(ParseError):
+        parse_program("int main() { int *p = &(1 + 2); return 0; }")
+
+
+def test_return_type_mismatch_void():
+    with pytest.raises(CheckError):
+        check("void f(void) { return 1; } int main() { return 0; }")
+
+
+def test_condition_must_be_scalar():
+    # Arrays are not scalars; using one as a condition decays... MiniC
+    # rejects it outright.
+    with pytest.raises(CheckError):
+        check("int a[2]; int main() { if (a) { return 1; } return 0; }")
+
+
+def test_switch_duplicate_case_rejected():
+    with pytest.raises(CheckError, match="duplicate switch"):
+        check(
+            "int main() { switch (1) { case 1: break; case 1: break; } return 0; }"
+        )
+
+
+def test_shadowing_in_nested_blocks_is_allowed():
+    check("int main() { int a = 1; { int a = 2; a += 1; } return a; }")
+
+
+def test_redeclaration_in_same_scope_rejected():
+    with pytest.raises(CheckError, match="redeclaration"):
+        check("int main() { int a = 1; int a = 2; return a; }")

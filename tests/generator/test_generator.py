@@ -1,0 +1,92 @@
+import pytest
+
+from repro.frontend.typecheck import check_program
+from repro.generator import GeneratorConfig, generate_program
+from repro.interp import run_program
+from repro.lang import ast_nodes as ast
+from repro.lang import parse_program, print_program
+
+
+def test_generation_is_deterministic():
+    a = print_program(generate_program(1234))
+    b = print_program(generate_program(1234))
+    assert a == b
+
+
+def test_different_seeds_differ():
+    assert print_program(generate_program(1)) != print_program(generate_program(2))
+
+
+def test_generated_programs_check_and_terminate():
+    for seed in range(12):
+        program = generate_program(seed)
+        info = check_program(program)
+        result = run_program(program, info=info)
+        assert isinstance(result.exit_code, int)
+
+
+def test_generated_programs_round_trip_through_source():
+    for seed in range(6):
+        program = generate_program(seed)
+        text = print_program(program)
+        reparsed = parse_program(text)
+        check_program(reparsed)
+        assert run_program(program).checksum == run_program(reparsed).checksum
+
+
+def test_call_graph_is_acyclic_and_sparse():
+    program = generate_program(7)
+    defined = {f.name for f in program.functions()}
+    order = {f.name: i for i, f in enumerate(program.functions())}
+    counts: dict[str, int] = {}
+    for func in program.functions():
+        for stmt in ast.walk_stmts(func.body):
+            for expr in ast.walk_exprs_of_stmt(stmt):
+                if isinstance(expr, ast.Call) and expr.callee in defined:
+                    assert order[expr.callee] < order[func.name]
+                    counts[expr.callee] = counts.get(expr.callee, 0) + 1
+    assert all(count <= 3 for count in counts.values())
+
+
+def test_main_is_last_and_not_static():
+    program = generate_program(3)
+    funcs = program.functions()
+    assert funcs[-1].name == "main"
+    assert not funcs[-1].static
+    assert all(f.static for f in funcs[:-1])
+
+
+def test_config_controls_size():
+    small = GeneratorConfig(min_globals=2, max_globals=2, min_functions=1,
+                            max_functions=1, min_block_stmts=1, max_block_stmts=2,
+                            max_depth=1)
+    program = generate_program(5, small)
+    assert len(program.globals()) <= 3  # +1 possible pointer global
+    assert len(program.functions()) == 2
+
+
+def test_loop_counters_are_not_reassigned_in_bodies():
+    program = generate_program(11)
+    for func in program.functions():
+        for stmt in ast.walk_stmts(func.body):
+            if isinstance(stmt, ast.For):
+                counter = stmt.init.name if isinstance(stmt.init, ast.VarDecl) else None
+                if counter is None:
+                    continue
+                for inner in ast.walk_stmts(stmt.body):
+                    if isinstance(inner, ast.Assign) and isinstance(inner.target, ast.VarRef):
+                        assert inner.target.name != counter
+
+
+def test_dead_fraction_is_csmith_like():
+    from repro.core.ground_truth import compute_ground_truth
+    from repro.core.markers import instrument_program
+
+    total_dead = total = 0
+    for seed in range(8):
+        inst = instrument_program(generate_program(seed))
+        truth = compute_ground_truth(inst)
+        total += len(inst.markers)
+        total_dead += len(truth.dead)
+    fraction = total_dead / total
+    assert 0.75 < fraction < 0.99  # paper: 89.6%

@@ -1,0 +1,78 @@
+"""End-to-end translation validation and soundness.
+
+These are the strongest tests in the suite: for a corpus of generated
+programs, every (family, level, version) compilation must preserve the
+reference semantics exactly, and no compiler may ever eliminate a
+marker the ground truth says is alive (that would be a miscompilation,
+not a missed optimization).
+"""
+
+import pytest
+
+from repro.compilers import CompilerSpec, compile_minic
+from repro.compilers.versions import latest
+from repro.core.ground_truth import compute_ground_truth
+from repro.core.markers import instrument_program
+from repro.frontend.typecheck import check_program
+from repro.generator import generate_program
+from repro.interp import run_program
+from repro.ir import run_module, verify_module
+
+SEEDS = list(range(6))
+SPECS = [
+    CompilerSpec(family, level)
+    for family in ("gcclike", "llvmlike")
+    for level in ("O0", "O1", "Os", "O2", "O3")
+]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_all_specs_preserve_semantics(seed):
+    inst = instrument_program(generate_program(seed))
+    info = check_program(inst.program)
+    ref = run_program(inst.program, info=info)
+    for spec in SPECS:
+        result = compile_minic(inst.program, spec, info=info)
+        verify_module(result.module)
+        got = run_module(result.module)
+        assert got.exit_code == ref.exit_code, spec
+        assert got.marker_hits == ref.marker_hits, spec
+        assert got.checksum == ref.checksum, spec
+        assert got.call_trace == ref.call_trace, spec
+
+
+@pytest.mark.parametrize("seed", SEEDS[:3])
+def test_no_soundness_violations(seed):
+    inst = instrument_program(generate_program(seed))
+    info = check_program(inst.program)
+    truth = compute_ground_truth(inst, info=info)
+    for spec in SPECS:
+        alive = compile_minic(inst.program, spec, info=info).alive_markers("DCEMarker")
+        wrongly_eliminated = truth.alive - alive
+        assert not wrongly_eliminated, f"{spec} removed alive markers"
+
+
+@pytest.mark.parametrize("family", ["gcclike", "llvmlike"])
+def test_old_versions_also_preserve_semantics(family):
+    inst = instrument_program(generate_program(17))
+    info = check_program(inst.program)
+    ref = run_program(inst.program, info=info)
+    for version in (0, latest(family) // 2, latest(family)):
+        spec = CompilerSpec(family, "O3", version)
+        result = compile_minic(inst.program, spec, info=info)
+        verify_module(result.module)
+        got = run_module(result.module)
+        assert got.marker_hits == ref.marker_hits, spec
+        assert got.checksum == ref.checksum, spec
+
+
+def test_higher_levels_eliminate_more_overall():
+    total_alive = {level: 0 for level in ("O0", "O1", "O2")}
+    for seed in SEEDS[:4]:
+        inst = instrument_program(generate_program(seed))
+        info = check_program(inst.program)
+        for level in total_alive:
+            spec = CompilerSpec("gcclike", level)
+            alive = compile_minic(inst.program, spec, info=info).alive_markers("DCEMarker")
+            total_alive[level] += len(alive)
+    assert total_alive["O0"] > total_alive["O1"] >= total_alive["O2"]

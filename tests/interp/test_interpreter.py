@@ -1,0 +1,207 @@
+import pytest
+
+from repro.interp import StepLimitExceeded, run_program
+from repro.lang import parse_program
+
+
+def run(source: str, **kwargs):
+    return run_program(parse_program(source), **kwargs)
+
+
+def test_exit_code():
+    assert run("int main() { return 42; }").exit_code == 42
+
+
+def test_arithmetic_with_conversions():
+    result = run(
+        """
+        int main() {
+          char c = 200;          /* wraps to -56 */
+          unsigned char u = 200;
+          return (c + u) & 255;  /* -56 + 200 = 144 */
+        }
+        """
+    )
+    assert result.exit_code == 144
+
+
+def test_globals_and_arrays():
+    result = run(
+        """
+        static int xs[3] = {5, 6, 7};
+        int total;
+        int main() {
+          for (int i = 0; i < 3; i++) { total += xs[i]; }
+          return total;
+        }
+        """
+    )
+    assert result.exit_code == 18
+
+
+def test_pointers_read_and_write():
+    result = run(
+        """
+        char buf[2];
+        int main() {
+          char *p = &buf[1];
+          *p = 9;
+          return buf[1];
+        }
+        """
+    )
+    assert result.exit_code == 9
+
+
+def test_pointer_equality():
+    result = run(
+        """
+        char a;
+        char b[2];
+        int main() {
+          char *p = &a;
+          char *q = &b[1];
+          char *r = &b[1];
+          return (p == q) * 10 + (q == r);
+        }
+        """
+    )
+    assert result.exit_code == 1
+
+
+def test_opaque_calls_recorded_with_counts():
+    result = run(
+        """
+        void probe(void);
+        int main() {
+          for (int i = 0; i < 3; i++) { probe(); }
+          return 0;
+        }
+        """
+    )
+    assert result.marker_hits == {"probe": 3}
+    assert result.call_trace != 0
+
+
+def test_function_calls_and_recursion_free_call_tree():
+    result = run(
+        """
+        static int twice(int x) { return x * 2; }
+        static int add(int a, int b) { return twice(a) + b; }
+        int main() { return add(3, 4); }
+        """
+    )
+    assert result.exit_code == 10
+    assert result.function_calls == {"main": 1, "add": 1, "twice": 1}
+
+
+def test_early_return_and_loop_control():
+    result = run(
+        """
+        int main() {
+          int acc = 0;
+          for (int i = 0; i < 10; i++) {
+            if (i == 3) { continue; }
+            if (i == 6) { break; }
+            acc += i;
+          }
+          return acc;  /* 0+1+2+4+5 */
+        }
+        """
+    )
+    assert result.exit_code == 12
+
+
+def test_switch_selects_matching_case():
+    source = """
+        int main() {{
+          int r = 0;
+          switch ({scrutinee}) {{
+            case 1: r = 10; break;
+            case 2: r = 20; break;
+            default: r = 99;
+          }}
+          return r;
+        }}
+    """
+    assert run(source.format(scrutinee=1)).exit_code == 10
+    assert run(source.format(scrutinee=2)).exit_code == 20
+    assert run(source.format(scrutinee=7)).exit_code == 99
+
+
+def test_division_by_zero_follows_minic_semantics():
+    assert run("int main() { int a = 9; int b = 0; return a / b; }").exit_code == 9
+
+
+def test_out_of_range_index_wraps():
+    result = run(
+        """
+        static int xs[3] = {1, 2, 3};
+        int main() { int i = 4; return xs[i]; }
+        """
+    )
+    assert result.exit_code == 2  # 4 % 3 == 1
+
+
+def test_step_limit_enforced():
+    with pytest.raises(StepLimitExceeded):
+        run(
+            "int c; int main() { while (1) { c += 1; } return c; }",
+            step_limit=1000,
+        )
+
+
+def test_checksum_covers_only_external_globals():
+    with_static = run("static int g; int main() { g = 5; return 0; }")
+    without = run("static int g; int main() { g = 7; return 0; }")
+    assert with_static.checksum == without.checksum
+    ext1 = run("int g; int main() { g = 5; return 0; }")
+    ext2 = run("int g; int main() { g = 7; return 0; }")
+    assert ext1.checksum != ext2.checksum
+
+
+def test_local_shadowing_restores_outer_binding():
+    result = run(
+        """
+        int main() {
+          int a = 1;
+          { int a = 50; a += 1; }
+          return a;
+        }
+        """
+    )
+    assert result.exit_code == 1
+
+
+def test_loop_local_declarations_reinitialize():
+    result = run(
+        """
+        int main() {
+          int total = 0;
+          for (int i = 0; i < 3; i++) {
+            int fresh = 0;
+            fresh += 1;
+            total += fresh;
+          }
+          return total;
+        }
+        """
+    )
+    assert result.exit_code == 3
+
+
+def test_deterministic_across_runs():
+    source = """
+        static unsigned int g = 77;
+        int main() {
+          unsigned int h = g;
+          for (int i = 0; i < 9; i++) { h = h * 31 + i; }
+          g = h;
+          return (int)(h & 127);
+        }
+    """
+    first = run(source)
+    second = run(source)
+    assert first.exit_code == second.exit_code
+    assert first.checksum == second.checksum
+    assert first.steps == second.steps

@@ -1,0 +1,109 @@
+from repro.analysis.loops import find_loops
+from repro.frontend.lower import lower_program
+from repro.frontend.typecheck import check_program
+from repro.ir.dominators import DominatorTree
+from repro.lang import parse_program
+from repro.passes.loop_unroll import analyze_counted_loop
+from repro.passes.mem2reg import promote_memory_to_registers
+from repro.passes.simplify_cfg import simplify_cfg
+
+
+def analyzed_main(source, max_trip=64):
+    program = parse_program(source)
+    info = check_program(program)
+    module = lower_program(program, info)
+    main = module.functions["main"]
+    simplify_cfg(main)
+    promote_memory_to_registers(main)
+    loops = find_loops(main, DominatorTree(main))
+    assert len(loops) == 1
+    return analyze_counted_loop(main, loops[0], max_trip)
+
+
+def test_for_loop_is_header_exit_with_exact_trip():
+    info = analyzed_main(
+        "int acc; int main() { for (int i = 0; i < 7; i++) { acc += i; } return acc; }"
+    )
+    assert info is not None
+    assert info.exit_kind == "header"
+    assert info.trip == 7
+
+
+def test_do_while_is_latch_exit_with_exact_trip():
+    info = analyzed_main(
+        """
+        int acc;
+        int main() {
+          int i = 0;
+          do { acc += i; i += 1; } while (i < 5);
+          return acc;
+        }
+        """
+    )
+    assert info is not None
+    assert info.exit_kind == "latch"
+    assert info.trip == 5
+
+
+def test_do_while_always_runs_once():
+    info = analyzed_main(
+        """
+        int acc;
+        int main() {
+          int i = 100;
+          do { acc += 1; i += 1; } while (i < 5);
+          return acc;
+        }
+        """
+    )
+    assert info is not None
+    assert info.trip == 1
+
+
+def test_step_larger_than_one():
+    info = analyzed_main(
+        "int acc; int main() { for (int i = 0; i < 10; i += 3) { acc += 1; } return acc; }"
+    )
+    assert info is not None
+    assert info.trip == 4  # i = 0, 3, 6, 9
+
+
+def test_trip_over_budget_rejected():
+    info = analyzed_main(
+        "int acc; int main() { for (int i = 0; i < 50; i++) { acc += 1; } return acc; }",
+        max_trip=16,
+    )
+    assert info is None
+
+
+def test_runtime_bound_rejected():
+    info = analyzed_main(
+        """
+        int opaque_source(void);
+        int acc;
+        int main() {
+          int n = opaque_source();
+          for (int i = 0; i < n; i++) { acc += 1; }
+          return acc;
+        }
+        """
+    )
+    assert info is None
+
+
+def test_loop_with_break_is_rejected():
+    # A break adds a second exit edge; the canonical analysis refuses.
+    info = analyzed_main(
+        """
+        int opaque_source(void);
+        int acc;
+        int main() {
+          for (int i = 0; i < 9; i++) {
+            acc += 1;
+            if (opaque_source()) { break; }
+          }
+          return acc;
+        }
+        """
+    )
+    assert info is None

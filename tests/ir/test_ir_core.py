@@ -1,0 +1,163 @@
+import pytest
+
+from repro.frontend.lower import lower_program
+from repro.frontend.typecheck import check_program
+from repro.ir import instructions as ins
+from repro.ir import print_function, print_module, run_module, verify_module
+from repro.ir.dominators import DominatorTree
+from repro.ir.function import Block, IRFunction, Module
+from repro.ir.values import Constant, const_int
+from repro.ir.verify import VerificationError
+from repro.lang import parse_program
+from repro.lang.types import INT
+
+
+def lower(source: str) -> Module:
+    program = parse_program(source)
+    info = check_program(program)
+    return lower_program(program, info)
+
+
+def test_lowering_produces_verified_module():
+    module = lower(
+        """
+        static int g;
+        int main() {
+          int x = 1;
+          if (x) { g = 2; } else { g = 3; }
+          return g;
+        }
+        """
+    )
+    verify_module(module)
+    assert run_module(module).exit_code == 2
+
+
+def test_block_successors_and_predecessors():
+    module = lower("int main() { int a = 0; if (a) { a = 1; } return a; }")
+    main = module.functions["main"]
+    preds = main.predecessors()
+    entry = main.entry
+    assert preds[entry] == []
+    # The entry branch has two successors.
+    assert len(entry.successors()) == 2
+
+
+def test_reverse_postorder_starts_at_entry():
+    module = lower(
+        "int main() { int a = 0; while (a) { a -= 1; } return a; }"
+    )
+    main = module.functions["main"]
+    rpo = main.reverse_postorder()
+    assert rpo[0] is main.entry
+    assert len(rpo) == len(main.reachable_blocks())
+
+
+def test_drop_unreachable_blocks_fixes_phis():
+    func = IRFunction("f", INT, [])
+    a = func.new_block("a")
+    b = func.new_block("b")  # will be unreachable
+    c = func.new_block("c")
+    phi = ins.Phi(INT, [(a, const_int(1, INT)), (b, const_int(2, INT))])
+    c.insert_phi(phi)
+    c.append(ins.Ret(phi))
+    a.append(ins.Jmp(c))
+    b.append(ins.Jmp(c))
+    assert func.drop_unreachable_blocks()
+    assert len(phi.incomings) == 1
+
+
+def test_dominator_tree_basics():
+    module = lower(
+        """
+        int main() {
+          int a = 0;
+          if (a) { a = 1; } else { a = 2; }
+          return a;
+        }
+        """
+    )
+    main = module.functions["main"]
+    dom = DominatorTree(main)
+    entry = main.entry
+    for block in main.reachable_blocks():
+        assert dom.dominates(entry, block)
+    # then/else don't dominate the join.
+    then_block = entry.successors()[0]
+    join = then_block.successors()[0]
+    assert not dom.dominates(then_block, join)
+    assert dom.idom(join) is entry
+
+
+def test_dominance_frontier_of_branch_arms_is_join():
+    module = lower(
+        "int main() { int a = 0; if (a) { a = 1; } else { a = 2; } return a; }"
+    )
+    main = module.functions["main"]
+    dom = DominatorTree(main)
+    entry = main.entry
+    then_block, else_block = entry.successors()
+    frontiers = dom.frontiers()
+    assert frontiers[id(then_block)] == frontiers[id(else_block)]
+    assert len(frontiers[id(then_block)]) == 1
+
+
+def test_verifier_rejects_missing_terminator():
+    func = IRFunction("f", INT, [])
+    func.new_block("entry")
+    with pytest.raises(VerificationError, match="terminator"):
+        from repro.ir.verify import verify_function
+
+        verify_function(func)
+
+
+def test_verifier_rejects_use_before_def():
+    from repro.ir.verify import verify_function
+
+    func = IRFunction("f", INT, [])
+    entry = func.new_block("entry")
+    add = ins.BinOp("+", const_int(1, INT), const_int(2, INT), INT)
+    use = ins.BinOp("*", add, const_int(3, INT), INT)
+    use.block = entry
+    entry.instrs.append(use)  # use placed before def
+    add.block = entry
+    entry.instrs.append(add)
+    entry.instrs.append(ins.Ret(use))
+    entry.instrs[-1].block = entry
+    with pytest.raises(VerificationError, match="use before def"):
+        verify_function(func)
+
+
+def test_printers_produce_text():
+    module = lower("int main() { return 3; }")
+    text = print_module(module)
+    assert "define int @main" in text
+    assert "ret" in print_function(module.functions["main"])
+
+
+def test_constant_requires_in_range_value():
+    with pytest.raises(ValueError):
+        Constant(1 << 40, INT)
+    assert const_int(1 << 40, INT).value == 0
+
+
+def test_ir_interpreter_matches_reference_on_memory_program():
+    source = """
+        static short grid[4] = {1, 2, 3, 4};
+        int total;
+        int main() {
+          short *p = &grid[2];
+          *p = 9;
+          for (int i = 0; i < 4; i++) { total += grid[i]; }
+          return total;
+        }
+    """
+    from repro.interp import run_program
+
+    program = parse_program(source)
+    info = check_program(program)
+    ref = run_program(program, info=info)
+    module = lower_program(program, info)
+    got = run_module(module)
+    assert got.exit_code == ref.exit_code == 16
+    assert got.checksum == ref.checksum

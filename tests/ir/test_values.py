@@ -1,0 +1,45 @@
+import pytest
+
+from repro.ir.values import (
+    Constant,
+    GlobalRef,
+    NullPtr,
+    Param,
+    const_int,
+    is_const_equal,
+    is_zero,
+)
+from repro.lang.types import CHAR, INT, PointerType
+
+
+def test_const_int_wraps():
+    assert const_int(256, CHAR).value == 0
+    assert const_int(-1, INT).value == -1
+
+
+def test_is_zero_covers_null_and_zero():
+    assert is_zero(const_int(0, INT))
+    assert is_zero(NullPtr(PointerType(CHAR)))
+    assert not is_zero(const_int(1, INT))
+
+
+def test_is_const_equal():
+    assert is_const_equal(const_int(7, INT), 7)
+    assert not is_const_equal(const_int(7, INT), 8)
+    assert not is_const_equal(Param("x", INT), 7)
+
+
+def test_constants_are_value_equal_and_hashable():
+    assert const_int(5, INT) == const_int(5, INT)
+    assert const_int(5, INT) != const_int(5, CHAR)
+    assert len({const_int(5, INT), const_int(5, INT)}) == 1
+
+
+def test_global_ref_identity_is_by_name():
+    a = GlobalRef("g", PointerType(INT))
+    b = GlobalRef("g", PointerType(INT))
+    assert a == b
+
+
+def test_param_str():
+    assert str(Param("x", INT)) == "%x"

@@ -1,0 +1,30 @@
+from repro.lang.printer import declare, type_prefix
+from repro.lang.types import CHAR, INT, LONG, ArrayType, PointerType, VoidType
+
+
+def test_type_prefix_spellings():
+    assert type_prefix(INT) == "int"
+    assert type_prefix(VoidType()) == "void"
+    assert type_prefix(PointerType(CHAR)) == "char *"
+    assert type_prefix(ArrayType(LONG, 3)) == "long"
+
+
+def test_declarators():
+    assert declare(INT, "a") == "int a"
+    assert declare(PointerType(CHAR), "p") == "char *p"
+    assert declare(ArrayType(INT, 4), "xs") == "int xs[4]"
+
+
+def test_declared_source_parses_back():
+    from repro.frontend.typecheck import check_program
+    from repro.lang import parse_program
+
+    source = "\n".join(
+        [
+            declare(INT, "a") + ";",
+            declare(PointerType(CHAR), "p") + ";",
+            declare(ArrayType(INT, 4), "xs") + ";",
+            "int main() { return a; }",
+        ]
+    )
+    check_program(parse_program(source))

@@ -1,0 +1,78 @@
+import pytest
+
+from repro.lang.lexer import LexError, parse_int_literal, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source) if t.kind != "eof"]
+
+
+def test_tokenize_simple_declaration():
+    assert kinds("int a = 5;") == [
+        ("keyword", "int"), ("ident", "a"), ("op", "="), ("number", "5"), ("op", ";"),
+    ]
+
+
+def test_keywords_are_distinguished_from_identifiers():
+    toks = kinds("if ifx else elsey")
+    assert toks[0] == ("keyword", "if")
+    assert toks[1] == ("ident", "ifx")
+    assert toks[2] == ("keyword", "else")
+    assert toks[3] == ("ident", "elsey")
+
+
+def test_multichar_operators_longest_match():
+    assert [t for _, t in kinds("a <<= b >> c <= d < e")] == [
+        "a", "<<=", "b", ">>", "c", "<=", "d", "<", "e",
+    ]
+
+
+def test_line_numbers_advance():
+    toks = tokenize("int a;\nint b;\n")
+    assert toks[0].line == 1
+    assert toks[3].line == 2
+
+
+def test_line_comments_are_skipped():
+    assert kinds("int a; // comment\nint b;")[3] == ("keyword", "int")
+
+
+def test_block_comments_are_skipped_and_track_lines():
+    toks = tokenize("/* multi\nline */ int a;")
+    assert toks[0].text == "int"
+    assert toks[0].line == 2
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("/* never ends")
+
+
+def test_preprocessor_lines_are_skipped():
+    assert kinds("#include <stdio.h>\nint a;")[0] == ("keyword", "int")
+
+
+def test_hex_literals():
+    assert parse_int_literal("0x10") == 16
+    assert parse_int_literal("0XFF") == 255
+
+
+def test_integer_suffixes_are_swallowed():
+    assert parse_int_literal("42UL") == 42
+    assert parse_int_literal("7L") == 7
+
+
+def test_char_literals_become_numbers():
+    toks = kinds("'a' '\\n' '\\0'")
+    assert [t for _, t in toks] == [str(ord("a")), "10", "0"]
+
+
+def test_unknown_character_raises():
+    with pytest.raises(LexError):
+        tokenize("int a = $;")
+
+
+def test_empty_input_yields_only_eof():
+    toks = tokenize("")
+    assert len(toks) == 1
+    assert toks[0].kind == "eof"

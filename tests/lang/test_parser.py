@@ -1,0 +1,139 @@
+import pytest
+
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import ParseError, parse_expression, parse_program
+from repro.lang.types import CHAR, INT, LONG, ArrayType, PointerType, UINT
+
+
+def test_global_scalar_with_initializer():
+    prog = parse_program("static int a = 5;")
+    g = prog.global_var("a")
+    assert g.static and g.ty == INT and g.init == 5
+
+
+def test_global_array_with_brace_initializer():
+    prog = parse_program("int xs[3] = {1, 2, 3};")
+    g = prog.global_var("xs")
+    assert g.ty == ArrayType(INT, 3)
+    assert g.init == [1, 2, 3]
+
+
+def test_global_array_initializer_zero_fills():
+    prog = parse_program("int xs[4] = {7};")
+    assert prog.global_var("xs").init == [7, 0, 0, 0]
+
+
+def test_global_pointer_initializer():
+    prog = parse_program("char b[2]; static char *p = &b[1];")
+    g = prog.global_var("p")
+    assert g.ty == PointerType(CHAR)
+    assert isinstance(g.init, ast.AddrOf)
+
+
+def test_function_with_parameters_and_body():
+    prog = parse_program("long f(int a, char *b) { return a; }")
+    func = prog.function("f")
+    assert func.return_ty == LONG
+    assert [p.ty for p in func.params] == [INT, PointerType(CHAR)]
+
+
+def test_extern_function_declaration():
+    prog = parse_program("void marker(void);")
+    decl = prog.extern_decls()[0]
+    assert decl.name == "marker" and not decl.params
+
+
+def test_if_else_chain():
+    prog = parse_program(
+        "int main() { int a = 0; if (a) { a = 1; } else if (a == 2) { a = 3; } return a; }"
+    )
+    body = prog.function("main").body
+    if_stmt = body.stmts[1]
+    assert isinstance(if_stmt, ast.If)
+    assert isinstance(if_stmt.els.stmts[0], ast.If)
+
+
+def test_for_loop_with_declaration_init():
+    prog = parse_program("int main() { for (int i = 0; i < 4; i++) { } return 0; }")
+    loop = prog.function("main").body.stmts[0]
+    assert isinstance(loop, ast.For)
+    assert isinstance(loop.init, ast.VarDecl)
+    assert isinstance(loop.step, ast.Assign) and loop.step.op == "+"
+
+
+def test_while_and_do_while():
+    prog = parse_program(
+        "int main() { int i = 3; while (i) { i--; } do { i++; } while (i < 3); return i; }"
+    )
+    stmts = prog.function("main").body.stmts
+    assert isinstance(stmts[1], ast.While)
+    assert isinstance(stmts[2], ast.DoWhile)
+
+
+def test_switch_with_cases_and_default():
+    prog = parse_program(
+        """
+        int main() {
+          int a = 2;
+          switch (a) {
+            case 1: a = 10; break;
+            case 2: a = 20; break;
+            default: a = 30;
+          }
+          return a;
+        }
+        """
+    )
+    switch = prog.function("main").body.stmts[1]
+    assert isinstance(switch, ast.Switch)
+    assert [c.value for c in switch.cases] == [1, 2, None]
+
+
+def test_operator_precedence():
+    expr = parse_expression("1 + 2 * 3")
+    assert isinstance(expr, ast.Binary) and expr.op == "+"
+    assert isinstance(expr.rhs, ast.Binary) and expr.rhs.op == "*"
+
+
+def test_unary_operators_and_address_of():
+    expr = parse_expression("-~!x")
+    assert isinstance(expr, ast.Unary) and expr.op == "-"
+    addr = parse_expression("&xs[2]")
+    assert isinstance(addr, ast.AddrOf)
+
+
+def test_cast_expression():
+    expr = parse_expression("(unsigned char)(x + 1)")
+    assert isinstance(expr, ast.Cast)
+    assert expr.target.width == 8 and not expr.target.signed
+
+
+def test_compound_assignment_forms():
+    prog = parse_program("int main() { int a = 1; a += 2; a <<= 1; a++; return a; }")
+    stmts = prog.function("main").body.stmts
+    assert stmts[1].op == "+"
+    assert stmts[2].op == "<<"
+    assert stmts[3].op == "+"  # a++ sugar
+
+
+def test_ternary_desugars_to_arithmetic_select():
+    prog = parse_program("int main() { int a = 1; int b = a ? 10 : 20; return b; }")
+    decl = prog.function("main").body.stmts[1]
+    assert isinstance(decl.init, ast.Binary) and decl.init.op == "|"
+
+
+def test_assignment_to_non_lvalue_rejected():
+    with pytest.raises(ParseError):
+        parse_program("int main() { 1 = 2; return 0; }")
+
+
+def test_missing_semicolon_rejected():
+    with pytest.raises(ParseError):
+        parse_program("int main() { int a = 1 return a; }")
+
+
+def test_single_statement_bodies_become_blocks():
+    prog = parse_program("int main() { int c = 1; if (c) c = 2; while (c) c--; return c; }")
+    stmts = prog.function("main").body.stmts
+    assert isinstance(stmts[1].then, ast.Block)
+    assert isinstance(stmts[2].body, ast.Block)

@@ -1,0 +1,85 @@
+from repro.frontend.typecheck import check_program
+from repro.interp import run_program
+from repro.lang import parse_program, print_expr, print_program
+from repro.lang.parser import parse_expression
+
+ROUND_TRIP_SOURCES = [
+    "static int a = 5;\nint main() { return a; }",
+    """
+    char buf[4] = {1, 2, 3, 4};
+    int main() {
+      char *p = &buf[2];
+      long total = 0;
+      for (int i = 0; i < 4; i++) {
+        total += buf[i];
+      }
+      if (*p == 3) { total += 100; } else { total -= 1; }
+      while (total > 90) { total -= 7; }
+      do { total += 1; } while (total < 50);
+      switch (total & 3) {
+        case 0: total += 1; break;
+        default: total += 2; break;
+      }
+      return (int)total;
+    }
+    """,
+    """
+    void ext(int x);
+    static unsigned int g;
+    static long helper(unsigned char c) { return c * 2; }
+    int main() { g += 3; ext((int)helper(9)); return (int)g; }
+    """,
+]
+
+
+def test_round_trip_preserves_semantics():
+    for source in ROUND_TRIP_SOURCES:
+        prog1 = parse_program(source)
+        check_program(prog1)
+        res1 = run_program(prog1)
+        text = print_program(prog1)
+        prog2 = parse_program(text)
+        check_program(prog2)
+        res2 = run_program(prog2)
+        assert res1.exit_code == res2.exit_code
+        assert res1.checksum == res2.checksum
+        assert res1.marker_hits == res2.marker_hits
+
+
+def test_second_print_is_fixpoint():
+    for source in ROUND_TRIP_SOURCES:
+        prog = parse_program(source)
+        once = print_program(prog)
+        twice = print_program(parse_program(once))
+        assert once == twice
+
+
+def test_precedence_parentheses_minimal_but_correct():
+    expr = parse_expression("(1 + 2) * 3")
+    assert print_expr(expr) == "(1 + 2) * 3"
+    expr = parse_expression("1 + 2 * 3")
+    assert print_expr(expr) == "1 + 2 * 3"
+
+
+def test_safe_mode_wraps_division_and_shift():
+    source = "int main() { int a = 7; int b = 0; return a / b + (a << 40); }"
+    prog = parse_program(source)
+    check_program(prog)
+    text = print_program(prog, safe=True)
+    assert "SAFE_DIV" in text
+    assert "& 31" in text
+
+
+def test_safe_mode_signed_add_goes_unsigned():
+    source = "int main() { int a = 7; return a + a; }"
+    prog = parse_program(source)
+    check_program(prog)
+    text = print_program(prog, safe=True)
+    assert "unsigned int" in text
+
+
+def test_plain_mode_has_no_safe_macros():
+    source = "int main() { int a = 7; return a / 2; }"
+    prog = parse_program(source)
+    check_program(prog)
+    assert "SAFE_DIV" not in print_program(prog)

@@ -1,0 +1,84 @@
+import pytest
+
+from repro.lang.semantics import (
+    ALL_BINARY_OPS,
+    eval_binop,
+    eval_unop,
+    is_commutative,
+    wrap,
+)
+from repro.lang.types import CHAR, INT, LONG, UCHAR, UINT
+
+
+def test_wrap_signed_overflow_wraps_two_complement():
+    assert wrap(INT.max_value + 1, INT) == INT.min_value
+    assert wrap(-1, UINT) == UINT.max_value
+    assert wrap(300, CHAR) == 300 - 256
+    assert wrap(300, UCHAR) == 44
+
+
+def test_wrap_is_idempotent():
+    for value in (-129, -1, 0, 127, 255, 1 << 40):
+        assert wrap(wrap(value, CHAR), CHAR) == wrap(value, CHAR)
+
+
+def test_division_truncates_toward_zero():
+    assert eval_binop("/", -7, 2, INT) == -3
+    assert eval_binop("/", 7, -2, INT) == -3
+    assert eval_binop("%", -7, 2, INT) == -1
+    assert eval_binop("%", 7, -2, INT) == 1
+
+
+def test_division_by_zero_is_identity():
+    assert eval_binop("/", 42, 0, INT) == 42
+    assert eval_binop("%", 42, 0, INT) == 42
+    assert eval_binop("/", -5, 0, LONG) == -5
+
+
+def test_int_min_divided_by_minus_one_wraps():
+    assert eval_binop("/", INT.min_value, -1, INT) == INT.min_value
+
+
+def test_shift_counts_are_masked():
+    assert eval_binop("<<", 1, 33, INT) == 2  # 33 & 31 == 1
+    assert eval_binop(">>", 8, 35, INT) == 1
+    assert eval_binop("<<", 1, 64, LONG) == 1  # 64 & 63 == 0
+
+
+def test_right_shift_is_arithmetic_for_signed():
+    assert eval_binop(">>", -8, 1, INT) == -4
+    assert eval_binop(">>", UINT.max_value, 1, UINT) == UINT.max_value >> 1
+
+
+def test_comparisons_yield_zero_or_one():
+    assert eval_binop("<", -1, 0, INT) == 1
+    assert eval_binop(">=", -1, 0, INT) == 0
+    assert eval_binop("==", 5, 5, INT) == 1
+
+
+def test_unary_operators():
+    assert eval_unop("-", INT.min_value, INT) == INT.min_value  # wraps
+    assert eval_unop("~", 0, INT) == -1
+    assert eval_unop("!", 0, INT) == 1
+    assert eval_unop("!", 17, INT) == 0
+
+
+def test_commutativity_table_is_sound():
+    for op in ALL_BINARY_OPS:
+        if op in ("&&", "||"):
+            continue
+        if is_commutative(op):
+            for a, b in ((3, 5), (-7, 2), (0, 9)):
+                assert eval_binop(op, a, b, INT) == eval_binop(op, b, a, INT), op
+
+
+def test_unknown_operator_raises():
+    with pytest.raises(ValueError):
+        eval_binop("**", 2, 3, INT)
+    with pytest.raises(ValueError):
+        eval_unop("+", 2, INT)
+
+
+def test_multiplication_wraps_at_width():
+    assert eval_binop("*", 1 << 20, 1 << 20, INT) == wrap(1 << 40, INT)
+    assert eval_binop("*", 1 << 20, 1 << 20, LONG) == 1 << 40

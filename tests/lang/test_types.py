@@ -1,0 +1,66 @@
+import pytest
+
+from repro.lang.types import (
+    CHAR,
+    INT,
+    LONG,
+    SHORT,
+    UCHAR,
+    UINT,
+    ULONG,
+    USHORT,
+    ArrayType,
+    IntType,
+    PointerType,
+    int_type_by_name,
+    promote,
+    usual_arithmetic_conversion,
+)
+
+
+def test_ranges():
+    assert (CHAR.min_value, CHAR.max_value) == (-128, 127)
+    assert (UCHAR.min_value, UCHAR.max_value) == (0, 255)
+    assert INT.max_value == 2**31 - 1
+    assert ULONG.max_value == 2**64 - 1
+
+
+def test_c_names_round_trip():
+    for ty in (CHAR, UCHAR, SHORT, USHORT, INT, UINT, LONG, ULONG):
+        assert int_type_by_name(ty.c_name) == ty
+
+
+def test_unknown_type_name():
+    with pytest.raises(ValueError):
+        int_type_by_name("float")
+
+
+def test_promotion_widens_to_int():
+    assert promote(CHAR) == INT
+    assert promote(USHORT) == INT
+    assert promote(LONG) == LONG
+    assert promote(UINT) == UINT
+
+
+def test_usual_arithmetic_conversions():
+    assert usual_arithmetic_conversion(CHAR, SHORT) == INT
+    assert usual_arithmetic_conversion(INT, LONG) == LONG
+    assert usual_arithmetic_conversion(UINT, INT) == UINT  # same rank: unsigned wins
+    assert usual_arithmetic_conversion(UINT, LONG) == LONG  # wider signed wins
+    assert usual_arithmetic_conversion(ULONG, LONG) == ULONG
+
+
+def test_invalid_widths_rejected():
+    with pytest.raises(ValueError):
+        IntType(12, True)
+
+
+def test_array_type_properties():
+    arr = ArrayType(INT, 4)
+    assert arr.element == INT and arr.length == 4
+    with pytest.raises(ValueError):
+        ArrayType(INT, 0)
+
+
+def test_pointer_type_str():
+    assert str(PointerType(CHAR)) == "char *"

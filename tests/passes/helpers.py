@@ -1,0 +1,58 @@
+"""Helpers for pass unit tests."""
+
+from __future__ import annotations
+
+from repro.compilers.config import PipelineConfig
+from repro.frontend.lower import lower_program
+from repro.frontend.typecheck import check_program
+from repro.interp import run_program
+from repro.ir import instructions as ins
+from repro.ir import run_module, verify_module
+from repro.ir.function import Module
+from repro.lang import parse_program
+from repro.passes.registry import PASS_REGISTRY
+
+
+def build(source: str) -> Module:
+    program = parse_program(source)
+    info = check_program(program)
+    return lower_program(program, info)
+
+
+def run_passes(source: str, passes: list[str], config: PipelineConfig | None = None):
+    """Lower, run the given pass names, verify, and check semantics
+    against the reference interpreter.  Returns the module."""
+    program = parse_program(source)
+    info = check_program(program)
+    ref = run_program(program, info=info)
+    module = lower_program(program, info)
+    config = config or PipelineConfig()
+    for name in passes:
+        PASS_REGISTRY[name](module, config)
+        verify_module(module)
+    got = run_module(module)
+    assert got.exit_code == ref.exit_code
+    assert got.marker_hits == ref.marker_hits
+    assert got.checksum == ref.checksum
+    assert got.call_trace == ref.call_trace
+    return module
+
+
+def count_instrs(module: Module, kind) -> int:
+    return sum(
+        1
+        for func in module.functions.values()
+        for block in func.blocks
+        for instr in block.instrs
+        if isinstance(instr, kind)
+    )
+
+
+def calls_to(module: Module, name: str) -> int:
+    return sum(
+        1
+        for func in module.functions.values()
+        for block in func.blocks
+        for instr in block.instrs
+        if isinstance(instr, ins.Call) and instr.callee == name
+    )

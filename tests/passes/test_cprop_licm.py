@@ -1,0 +1,176 @@
+from repro.compilers.config import PipelineConfig
+from repro.ir import instructions as ins
+
+from .helpers import calls_to, count_instrs, run_passes
+
+PRE = ["simplify-cfg", "mem2reg"]
+CLEAN = ["sccp", "instcombine", "adce", "simplify-cfg"]
+
+
+def test_cprop_folds_redundant_recheck():
+    module = run_passes(
+        """
+        void marker(void);
+        int opaque_source(void);
+        int main() {
+          int x = opaque_source();
+          if (x == 5) {
+            if (x != 5) { marker(); }
+          }
+          return 0;
+        }
+        """,
+        PRE + ["cprop"] + CLEAN,
+    )
+    assert calls_to(module, "marker") == 0
+
+
+def test_cprop_refines_through_arithmetic():
+    module = run_passes(
+        """
+        void marker(void);
+        int opaque_source(void);
+        int main() {
+          int x = opaque_source();
+          if (x == 3) {
+            if (x * 10 != 30) { marker(); }
+          }
+          return 0;
+        }
+        """,
+        PRE + ["cprop"] + CLEAN,
+    )
+    assert calls_to(module, "marker") == 0
+
+
+def test_cprop_false_edge_of_inequality():
+    module = run_passes(
+        """
+        void marker(void);
+        int opaque_source(void);
+        int main() {
+          int x = opaque_source();
+          if (x != 9) {
+            return 0;
+          }
+          if (x == 9) { return 1; }
+          marker();   /* unreachable: x must be 9 here */
+          return 2;
+        }
+        """,
+        PRE + ["cprop"] + CLEAN,
+    )
+    assert calls_to(module, "marker") == 0
+
+
+def test_cprop_does_not_refine_unrelated_paths():
+    module = run_passes(
+        """
+        void marker(void);
+        int opaque_source(void);
+        int main() {
+          int x = opaque_source();
+          if (x == 5) {
+            x += 0;
+          }
+          if (x != 5) { marker(); }  /* reachable: first if not taken */
+          return 0;
+        }
+        """,
+        PRE + ["cprop"] + CLEAN,
+    )
+    assert calls_to(module, "marker") == 1
+
+
+def test_licm_hoists_invariant_arithmetic():
+    module = run_passes(
+        """
+        int opaque_source(void);
+        static int out[4];
+        int main() {
+          int a = opaque_source();
+          int n = opaque_source();
+          for (int i = 0; i < n; i++) {
+            out[i & 3] = a * 7 + 1;
+          }
+          return 0;
+        }
+        """,
+        PRE + ["licm"],
+    )
+    # The multiply/add moved out of the loop body: they now live in a
+    # block that is not part of any loop.
+    from repro.analysis.loops import find_loops
+    from repro.ir.dominators import DominatorTree
+
+    main = module.functions["main"]
+    loops = find_loops(main, DominatorTree(main))
+    assert loops
+    inside = loops[0].block_ids()
+    for block in main.blocks:
+        for instr in block.instrs:
+            if isinstance(instr, ins.BinOp) and instr.op == "*":
+                assert id(block) not in inside
+
+
+def test_licm_hoists_loop_invariant_load():
+    module = run_passes(
+        """
+        int opaque_source(void);
+        static int factor = 3;
+        static long acc;
+        int main() {
+          int n = opaque_source();
+          for (int i = 0; i < n; i++) {
+            acc += factor;   /* factor never written: load hoists */
+          }
+          return (int)acc;
+        }
+        """,
+        PRE + ["licm"],
+    )
+    from repro.analysis.loops import find_loops
+    from repro.ir.dominators import DominatorTree
+
+    main = module.functions["main"]
+    loops = find_loops(main, DominatorTree(main))
+    inside = loops[0].block_ids()
+    hoisted_loads = [
+        i for b in main.blocks for i in b.instrs
+        if isinstance(i, ins.Load) and id(i.block) not in inside
+    ]
+    assert hoisted_loads
+
+
+def test_licm_keeps_load_of_written_cell_inside():
+    module = run_passes(
+        """
+        int opaque_source(void);
+        static int cell;
+        static long acc;
+        int main() {
+          int n = opaque_source();
+          for (int i = 0; i < n; i++) {
+            acc += cell;
+            cell += 1;       /* cell written: its load must stay */
+          }
+          return (int)acc;
+        }
+        """,
+        PRE + ["licm"],
+    )
+    from repro.analysis.loops import find_loops
+    from repro.ir.dominators import DominatorTree
+
+    from repro.analysis.alias import trace_root
+
+    main = module.functions["main"]
+    loops = find_loops(main, DominatorTree(main))
+    inside = loops[0].block_ids()
+    cell_loads = [
+        i for b in main.blocks for i in b.instrs
+        if isinstance(i, ins.Load) and trace_root(i.address).key == "cell"
+    ]
+    assert cell_loads
+    for load in cell_loads:
+        assert id(load.block) in inside

@@ -1,0 +1,259 @@
+from repro.compilers.config import PipelineConfig
+from repro.ir import instructions as ins
+
+from .helpers import calls_to, count_instrs, run_passes
+
+PRE = ["simplify-cfg", "mem2reg"]
+POST = ["sccp", "instcombine", "adce", "simplify-cfg"]
+
+LISTING_4A = """
+    void marker(void);
+    static int a = 0;
+    int main() {
+      if (a) { marker(); }
+      a = 0;
+      return 0;
+    }
+"""
+
+LISTING_6A = """
+    void marker(void);
+    static int a = 0;
+    int main() {
+      if (a) { marker(); }
+      a = 1;
+      return 0;
+    }
+"""
+
+
+def test_readonly_mode_requires_no_stores():
+    cfg = PipelineConfig(global_fold_mode="readonly")
+    module = run_passes(LISTING_4A, PRE + ["globalopt"] + POST, cfg)
+    assert calls_to(module, "marker") == 1  # GCC's miss (paper Listing 4a)
+
+
+def test_stored_init_mode_folds_reset_stores():
+    cfg = PipelineConfig(global_fold_mode="stored-init")
+    module = run_passes(LISTING_4A, PRE + ["globalopt"] + POST, cfg)
+    assert calls_to(module, "marker") == 0  # LLVM catches it
+
+
+def test_stored_init_mode_blocked_by_other_constant():
+    cfg = PipelineConfig(global_fold_mode="stored-init")
+    module = run_passes(LISTING_6A, PRE + ["globalopt"] + POST, cfg)
+    assert calls_to(module, "marker") == 1  # paper Listing 6a: both miss
+
+
+def test_flow_mode_folds_even_listing_6a():
+    cfg = PipelineConfig(global_fold_mode="flow")
+    module = run_passes(LISTING_6A, PRE + ["globalopt", "memcp"] + POST, cfg)
+    assert calls_to(module, "marker") == 0  # old LLVM (pre-3.8) behaviour
+
+
+def test_never_written_global_folds_in_every_mode():
+    source = """
+        void marker(void);
+        static int k = 7;
+        int main() {
+          if (k != 7) { marker(); }
+          return 0;
+        }
+    """
+    for mode in ("readonly", "stored-init", "flow"):
+        module = run_passes(
+            source, PRE + ["globalopt"] + POST, PipelineConfig(global_fold_mode=mode)
+        )
+        assert calls_to(module, "marker") == 0, mode
+
+
+def test_external_global_never_folds():
+    source = """
+        void marker(void);
+        int k = 7;
+        int main() {
+          if (k != 7) { marker(); }
+          return 0;
+        }
+    """
+    module = run_passes(source, PRE + ["globalopt"] + POST)
+    assert calls_to(module, "marker") == 1
+
+
+def test_uniform_const_array_fold_is_gated():
+    source = """
+        void marker(void);
+        int idx;
+        static int b[2] = {0, 0};
+        int main() {
+          if (b[idx]) { marker(); }
+          return 0;
+        }
+    """
+    on = run_passes(
+        source, PRE + ["globalopt"] + POST,
+        PipelineConfig(fold_uniform_const_arrays=True),
+    )
+    assert calls_to(on, "marker") == 0  # LLVM folds it
+    off = run_passes(
+        source, PRE + ["globalopt"] + POST,
+        PipelineConfig(fold_uniform_const_arrays=False),
+    )
+    assert calls_to(off, "marker") == 1  # GCC bug #99419 / paper 9f
+
+
+def test_const_index_load_of_readonly_array_folds_everywhere():
+    source = """
+        void marker(void);
+        static int b[3] = {4, 5, 6};
+        int main() {
+          if (b[1] != 5) { marker(); }
+          return 0;
+        }
+    """
+    module = run_passes(
+        source, PRE + ["globalopt"] + POST,
+        PipelineConfig(fold_uniform_const_arrays=False),
+    )
+    assert calls_to(module, "marker") == 0
+
+
+def test_unread_static_global_stores_are_deleted():
+    module = run_passes(
+        """
+        static int sink;
+        int opaque_source(void);
+        int main() {
+          sink = opaque_source();
+          sink = 3;
+          return 0;
+        }
+        """,
+        PRE + ["globalopt", "adce"],
+    )
+    assert count_instrs(module, ins.Store) == 0
+
+
+def test_memcp_forwards_across_blocks():
+    module = run_passes(
+        """
+        void marker(void);
+        int opaque_source(void);
+        static int g;
+        int main() {
+          g = 5;
+          if (opaque_source()) { marker(); }  /* alive; keeps a join */
+          if (g != 5) { marker(); }
+          return 0;
+        }
+        """,
+        PRE + ["memcp"] + POST,
+    )
+    assert calls_to(module, "marker") == 1  # only the alive one remains
+
+
+def test_memcp_meet_requires_agreement():
+    module = run_passes(
+        """
+        void marker(void);
+        int opaque_source(void);
+        static int g;
+        int main() {
+          if (opaque_source()) { g = 1; } else { g = 2; }
+          if (g == 3) { marker(); }
+          return 0;
+        }
+        """,
+        PRE + ["memcp"] + POST,
+    )
+    # The meet of {g=1} and {g=2} is empty: no folding (conservative).
+    assert calls_to(module, "marker") == 1
+
+
+def test_memcp_meet_agreeing_branches_folds():
+    module = run_passes(
+        """
+        void marker(void);
+        int opaque_source(void);
+        static int g;
+        int main() {
+          if (opaque_source()) { g = 4; } else { g = 4; }
+          if (g != 4) { marker(); }
+          return 0;
+        }
+        """,
+        PRE + ["memcp"] + POST,
+    )
+    assert calls_to(module, "marker") == 0
+
+
+def test_memcp_kills_on_defined_call():
+    module = run_passes(
+        """
+        void marker(void);
+        static int g;
+        static void touch(void) { g = 9; }
+        int main() {
+          g = 5;
+          touch();
+          if (g != 5) { marker(); }
+          return 0;
+        }
+        """,
+        PRE + ["memcp"] + POST,
+    )
+    assert calls_to(module, "marker") == 1  # conservative: callee stores
+
+
+def test_memcp_survives_opaque_calls():
+    module = run_passes(
+        """
+        void marker(void);
+        void opaque_sink(void);
+        static int g;
+        int main() {
+          g = 5;
+          opaque_sink();
+          if (g != 5) { marker(); }
+          return 0;
+        }
+        """,
+        PRE + ["memcp"] + POST,
+    )
+    assert calls_to(module, "marker") == 0
+
+
+def test_memcp_array_cells_with_constant_indices():
+    module = run_passes(
+        """
+        void marker(void);
+        static int xs[3];
+        int main() {
+          xs[0] = 1;
+          xs[1] = 2;
+          if (xs[0] + xs[1] != 3) { marker(); }
+          return 0;
+        }
+        """,
+        PRE + ["memcp"] + POST,
+    )
+    assert calls_to(module, "marker") == 0
+
+
+def test_memcp_unknown_index_store_kills_object():
+    module = run_passes(
+        """
+        void marker(void);
+        int opaque_source(void);
+        static int xs[3];
+        int main() {
+          xs[0] = 1;
+          int i = opaque_source();
+          xs[i] = 9;
+          if (xs[0] != 1) { marker(); }
+          return 0;
+        }
+        """,
+        PRE + ["memcp"] + POST,
+    )
+    assert calls_to(module, "marker") == 1  # xs[i] may be xs[0]

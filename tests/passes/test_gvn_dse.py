@@ -1,0 +1,170 @@
+from repro.compilers.config import PipelineConfig
+from repro.ir import instructions as ins
+
+from .helpers import calls_to, count_instrs, run_passes
+
+PRE = ["simplify-cfg", "mem2reg"]
+
+
+def test_pure_expressions_are_numbered():
+    module = run_passes(
+        """
+        int opaque_source(void);
+        int main() {
+          int x = opaque_source();
+          int a = x * 3 + 1;
+          int b = x * 3 + 1;
+          return a - b;
+        }
+        """,
+        PRE + ["gvn", "instcombine", "sccp", "adce"],
+    )
+    # a - b folds to 0 once both sides share a value number.
+    assert count_instrs(module, ins.BinOp) == 0
+
+
+def test_commutative_operands_share_a_number():
+    module = run_passes(
+        """
+        int opaque_source(void);
+        int main() {
+          int x = opaque_source();
+          int y = opaque_source();
+          return (x + y) - (y + x);
+        }
+        """,
+        PRE + ["gvn", "instcombine", "adce"],
+    )
+    assert count_instrs(module, ins.BinOp) == 0
+
+
+def test_store_to_load_forwarding_within_block():
+    module = run_passes(
+        """
+        void marker(void);
+        static int g;
+        int opaque_source(void);
+        int main() {
+          int v = opaque_source();
+          g = v;
+          if (g != v) { marker(); }
+          return 0;
+        }
+        """,
+        PRE + ["gvn", "instcombine", "sccp", "adce", "simplify-cfg"],
+    )
+    assert calls_to(module, "marker") == 0
+
+
+def test_forwarding_across_opaque_calls_is_gated():
+    source = """
+        void marker(void);
+        void opaque_sink(void);
+        int opaque_source(void);
+        int main() {
+          long t[2];
+          t[0] = opaque_source();
+          long x = t[0];
+          opaque_sink();
+          if (t[0] != x) { marker(); }
+          return 0;
+        }
+    """
+    passes = PRE + ["gvn", "instcombine", "sccp", "adce", "simplify-cfg"]
+    kept = run_passes(source, passes, PipelineConfig(gvn_across_calls=False))
+    assert calls_to(kept, "marker") == 1
+    gone = run_passes(source, passes, PipelineConfig(gvn_across_calls=True))
+    assert calls_to(gone, "marker") == 0
+
+
+def test_forwarding_killed_by_may_alias_store():
+    module = run_passes(
+        """
+        void marker(void);
+        int opaque_source(void);
+        static int g;
+        int main() {
+          g = 1;
+          int i = opaque_source();
+          int xs[2];
+          xs[i] = 5;     /* cannot alias g */
+          if (g != 1) { marker(); }
+          return 0;
+        }
+        """,
+        PRE + ["memcp", "sccp", "adce", "simplify-cfg"],
+    )
+    assert calls_to(module, "marker") == 0
+
+
+def test_dse_removes_overwritten_store():
+    module = run_passes(
+        """
+        static int g;
+        int main() {
+          g = 1;
+          g = 2;
+          return g;
+        }
+        """,
+        PRE + ["dse"],
+    )
+    assert count_instrs(module, ins.Store) == 1
+
+
+def test_dse_keeps_store_with_intervening_read():
+    module = run_passes(
+        """
+        static int g;
+        int acc;
+        int main() {
+          g = 1;
+          acc = g;
+          g = 2;
+          return acc;
+        }
+        """,
+        PRE + ["dse"],
+        PipelineConfig(dse_dead_at_exit=False),
+    )
+    assert count_instrs(module, ins.Store) == 3
+
+
+def test_dse_dead_at_exit_for_static_global():
+    source = """
+        static int c;
+        int main() {
+          c = 0;
+          return 0;
+        }
+    """
+    on = run_passes(source, PRE + ["dse"], PipelineConfig(dse_dead_at_exit=True))
+    assert count_instrs(on, ins.Store) == 0
+    off = run_passes(source, PRE + ["dse"], PipelineConfig(dse_dead_at_exit=False))
+    assert count_instrs(off, ins.Store) == 1  # the paper's GCC bug #99357
+
+
+def test_dse_keeps_exit_store_to_external_global():
+    module = run_passes(
+        "int c; int main() { c = 5; return 0; }",
+        PRE + ["dse"],
+        PipelineConfig(dse_dead_at_exit=True),
+    )
+    assert count_instrs(module, ins.Store) == 1
+
+
+def test_dse_keeps_exit_store_when_opaque_call_sees_it():
+    module = run_passes(
+        """
+        void peek(int *p);
+        static int c;
+        int main() {
+          peek(&c);   /* c escapes */
+          c = 9;
+          return 0;
+        }
+        """,
+        PRE + ["dse"],
+        PipelineConfig(dse_dead_at_exit=True),
+    )
+    assert count_instrs(module, ins.Store) == 1

@@ -1,0 +1,140 @@
+from repro.compilers.config import PipelineConfig
+from repro.ir import instructions as ins
+
+from .helpers import calls_to, count_instrs, run_passes
+
+PRE = ["simplify-cfg", "mem2reg", "instcombine"]
+
+
+def _module_with(source, config=None):
+    return run_passes(source, PRE + ["sccp", "adce"], config)
+
+
+def test_algebraic_identities_eliminate_work():
+    module = _module_with(
+        """
+        int opaque_source(void);
+        int main() {
+          int x = opaque_source();
+          int a = x * 0;
+          int b = x - x;
+          int c = x ^ x;
+          return a + b + c;
+        }
+        """
+    )
+    assert count_instrs(module, ins.BinOp) == 0
+
+
+def test_mul_by_zero_can_kill_a_branch():
+    module = _module_with(
+        """
+        void marker(void);
+        int opaque_source(void);
+        int main() {
+          int x = opaque_source();
+          if (x * 0) { marker(); }
+          return 0;
+        }
+        """
+    )
+    assert calls_to(module, "marker") == 0
+
+
+def test_division_identities_follow_minic_semantics():
+    module = _module_with(
+        """
+        void marker(void);
+        int opaque_source(void);
+        int main() {
+          int x = opaque_source();
+          if (x / 1 != x) { marker(); }   /* x/1 == x */
+          if (0 / x) { marker(); }        /* 0/x == 0, even x==0 */
+          if (0 % x) { marker(); }        /* 0%x == 0 */
+          return 0;
+        }
+        """
+    )
+    assert calls_to(module, "marker") == 0
+
+
+def test_cmp_of_equal_operands():
+    module = _module_with(
+        """
+        void marker(void);
+        int opaque_source(void);
+        int main() {
+          int x = opaque_source();
+          if (x != x) { marker(); }
+          return 0;
+        }
+        """
+    )
+    assert calls_to(module, "marker") == 0
+
+
+def test_unsigned_below_zero_is_false():
+    module = _module_with(
+        """
+        void marker(void);
+        int opaque_source(void);
+        int main() {
+          unsigned int x = opaque_source();
+          if (x < 0) { marker(); }
+          return 0;
+        }
+        """
+    )
+    assert calls_to(module, "marker") == 0
+
+
+def test_not_of_comparison_is_negated():
+    module = _module_with(
+        """
+        void marker(void);
+        int opaque_source(void);
+        int main() {
+          int x = opaque_source();
+          if (!(x == x)) { marker(); }
+          return 0;
+        }
+        """
+    )
+    assert calls_to(module, "marker") == 0
+
+
+def test_cast_chain_collapse_is_gated():
+    source = """
+        void marker(void);
+        int opaque_source(void);
+        int main() {
+          char c = opaque_source();
+          long wide = c;
+          int back = (int)wide;
+          if (back != c) { marker(); }
+          return 0;
+        }
+    """
+    on = run_passes(
+        source, PRE + ["gvn", "instcombine", "sccp", "adce"],
+        PipelineConfig(collapse_cast_chains=True),
+    )
+    # i8 -> i64 -> i32 collapses to i8 -> i32, which GVN then matches
+    # with the compare's own conversion; the branch folds.
+    assert calls_to(on, "marker") == 0
+
+
+def test_peephole_algebraic_gate_disables_identities():
+    source = """
+        void marker(void);
+        int opaque_source(void);
+        int main() {
+          int x = opaque_source();
+          if (x * 0) { marker(); }
+          return 0;
+        }
+    """
+    off = run_passes(source, PRE, PipelineConfig(peephole_algebraic=False))
+    assert calls_to(off, "marker") == 1
+    on = run_passes(source, PRE + ["sccp"], PipelineConfig(peephole_algebraic=True))
+    assert calls_to(on, "marker") == 0

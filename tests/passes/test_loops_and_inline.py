@@ -1,0 +1,371 @@
+from repro.compilers.config import PipelineConfig
+from repro.ir import instructions as ins
+
+from .helpers import calls_to, count_instrs, run_passes
+
+PRE = ["simplify-cfg", "mem2reg"]
+FOLD = ["memcp", "gvn", "sccp", "instcombine", "memcp", "sccp", "adce", "simplify-cfg"]
+
+
+def test_counted_for_loop_fully_unrolls():
+    module = run_passes(
+        """
+        int main() {
+          int acc = 0;
+          for (int i = 0; i < 10; i++) { acc += i; }
+          return acc;
+        }
+        """,
+        PRE + ["unroll"] + FOLD,
+    )
+    main = module.functions["main"]
+    assert len(main.blocks) == 1
+    term = main.entry.terminator
+    assert isinstance(term, ins.Ret)
+    from repro.ir.values import Constant
+
+    assert isinstance(term.value, Constant) and term.value.value == 45
+
+
+def test_zero_trip_loop_unrolls_to_nothing():
+    module = run_passes(
+        """
+        void marker(void);
+        int main() {
+          for (int i = 0; i < 0; i++) { marker(); }
+          return 0;
+        }
+        """,
+        PRE + ["unroll"] + FOLD,
+    )
+    assert calls_to(module, "marker") == 0
+
+
+def test_loop_with_internal_branch_still_unrolls():
+    module = run_passes(
+        """
+        int opaque_source(void);
+        int main() {
+          int p = opaque_source();
+          int acc = 0;
+          for (int i = 0; i < 4; i++) {
+            if (p) { acc += 1; } else { acc += 2; }
+          }
+          return acc;
+        }
+        """,
+        PRE + ["unroll"] + FOLD,
+    )
+    # Unrolled: no loop left (no block dominates itself via back edge).
+    from repro.analysis.loops import find_loops
+    from repro.ir.dominators import DominatorTree
+
+    main = module.functions["main"]
+    assert find_loops(main, DominatorTree(main)) == []
+
+
+def test_unroll_respects_trip_limit():
+    source = """
+        int main() {
+          int acc = 0;
+          for (int i = 0; i < 100; i++) { acc += 1; }
+          return acc;
+        }
+    """
+    module = run_passes(source, PRE + ["unroll"], PipelineConfig(unroll_max_trip=16))
+    from repro.analysis.loops import find_loops
+    from repro.ir.dominators import DominatorTree
+
+    main = module.functions["main"]
+    assert find_loops(main, DominatorTree(main))  # still a loop
+
+
+def test_unknown_bound_loop_not_unrolled():
+    module = run_passes(
+        """
+        int opaque_source(void);
+        int main() {
+          int n = opaque_source();
+          int acc = 0;
+          for (int i = 0; i < n; i++) { acc += 1; }
+          return acc;
+        }
+        """,
+        PRE + ["unroll"],
+    )
+    from repro.analysis.loops import find_loops
+    from repro.ir.dominators import DominatorTree
+
+    main = module.functions["main"]
+    assert find_loops(main, DominatorTree(main))
+
+
+def test_vectorizer_claims_loop_and_blocks_unroll():
+    source = """
+        void marker(void);
+        static int c[4];
+        int main() {
+          for (int b = 0; b < 4; b++) { c[b] = 7; }
+          if (c[0] != 7) { marker(); }
+          return 0;
+        }
+    """
+    blocked = run_passes(
+        source, PRE + ["vectorize", "unroll"] + FOLD,
+        PipelineConfig(vectorize=True, vectorize_min_trip=4),
+    )
+    assert calls_to(blocked, "marker") == 1  # paper Listing 9e
+    free = run_passes(
+        source, PRE + ["vectorize", "unroll"] + FOLD,
+        PipelineConfig(vectorize=False),
+    )
+    assert calls_to(free, "marker") == 0
+
+
+def test_vectorizer_skips_short_loops():
+    source = """
+        void marker(void);
+        static int c[2];
+        int main() {
+          for (int b = 0; b < 2; b++) { c[b] = 7; }
+          if (c[0] != 7) { marker(); }
+          return 0;
+        }
+    """
+    module = run_passes(
+        source, PRE + ["vectorize", "unroll"] + FOLD,
+        PipelineConfig(vectorize=True, vectorize_min_trip=4),
+    )
+    assert calls_to(module, "marker") == 0
+
+
+def test_unswitch_versions_invariant_branch():
+    source = """
+        int opaque_source(void);
+        int acc;
+        int main() {
+          int p = opaque_source();
+          int n = opaque_source();
+          for (int i = 0; i < n; i++) {
+            if (p) { acc += 1; } else { acc += 2; }
+          }
+          return acc;
+        }
+    """
+    module = run_passes(
+        source, PRE + ["unswitch"], PipelineConfig(unswitch=True)
+    )
+    # Two loop versions exist now.
+    from repro.analysis.loops import find_loops
+    from repro.ir.dominators import DominatorTree
+
+    main = module.functions["main"]
+    assert len(find_loops(main, DominatorTree(main))) == 2
+
+
+def test_inline_called_once_static():
+    module = run_passes(
+        """
+        void marker(void);
+        static int helper(int x) {
+          if (x == 0) { marker(); }
+          return x * 2;
+        }
+        int main() { return helper(21); }
+        """,
+        PRE + ["inline", "mem2reg"] + FOLD,
+    )
+    assert "helper" not in module.functions  # inlined and dropped
+    assert calls_to(module, "marker") == 0  # x == 21 propagated
+
+
+def test_inline_respects_budget_for_multi_site_callees():
+    source = """
+        static int big(int x) {
+          int acc = x;
+          acc += 1; acc += 2; acc += 3; acc += 4; acc += 5;
+          acc += 6; acc += 7; acc += 8; acc += 9; acc += 10;
+          return acc;
+        }
+        int main() { return big(1) + big(2) + big(3); }
+    """
+    module = run_passes(
+        source, PRE + ["inline"],
+        PipelineConfig(inline_budget=5, inline_single_call_bonus=0),
+    )
+    assert "big" in module.functions
+    assert calls_to(module, "big") == 3
+
+
+def test_inline_handles_multiple_returns():
+    module = run_passes(
+        """
+        static int pick(int x) {
+          if (x > 10) { return 1; }
+          return 2;
+        }
+        int main() { return pick(50) * 10 + pick(3); }
+        """,
+        PRE + ["inline", "mem2reg"] + FOLD,
+    )
+    main = module.functions["main"]
+    term = main.entry.terminator
+    from repro.ir.values import Constant
+
+    assert isinstance(term, ins.Ret)
+    assert isinstance(term.value, Constant) and term.value.value == 12
+
+
+def test_recursive_functions_are_not_inlined():
+    module = run_passes(
+        """
+        static int down(int x) {
+          if (x <= 0) { return 0; }
+          return down(x - 1) + 1;
+        }
+        int main() { return down(5); }
+        """,
+        PRE + ["inline"],
+    )
+    assert "down" in module.functions
+    assert calls_to(module, "down") >= 1
+
+
+def test_vrp_folds_type_range_comparisons():
+    module = run_passes(
+        """
+        void marker(void);
+        int opaque_source(void);
+        int main() {
+          char narrow = opaque_source();
+          if (narrow > 1000) { marker(); }
+          return 0;
+        }
+        """,
+        PRE + ["vrp", "sccp", "adce", "simplify-cfg"],
+        PipelineConfig(vrp=True),
+    )
+    assert calls_to(module, "marker") == 0
+
+
+def test_vrp_folds_masked_ranges():
+    module = run_passes(
+        """
+        void marker(void);
+        int opaque_source(void);
+        int main() {
+          int x = opaque_source();
+          if ((x & 7) > 9) { marker(); }
+          if (x % 5 == 11) { marker(); }
+          return 0;
+        }
+        """,
+        PRE + ["vrp", "sccp", "adce", "simplify-cfg"],
+        PipelineConfig(vrp=True),
+    )
+    assert calls_to(module, "marker") == 0
+
+
+def test_vrp_gate_off_keeps_branches():
+    module = run_passes(
+        """
+        void marker(void);
+        int opaque_source(void);
+        int main() {
+          int x = opaque_source();
+          if ((x & 7) > 9) { marker(); }
+          return 0;
+        }
+        """,
+        PRE + ["vrp"],
+        PipelineConfig(vrp=False),
+    )
+    assert calls_to(module, "marker") == 1
+
+
+def test_jump_threading_threads_constant_phi_edges():
+    source = """
+        void markerA(void);
+        int opaque_source(void);
+        int main() {
+          int cond = 0;
+          if (opaque_source()) { cond = 1; }
+          if (cond == 0) { markerA(); }
+          return 0;
+        }
+    """
+    module = run_passes(
+        source,
+        PRE + ["jump-threading", "simplify-cfg"],
+        PipelineConfig(jump_threading=True),
+    )
+    # markerA is alive (cond==0 on the untaken path) — threading must
+    # preserve behaviour; this is covered by run_passes' semantic check.
+    assert calls_to(module, "markerA") >= 1
+
+
+def test_do_while_latch_exit_unrolls():
+    module = run_passes(
+        """
+        void marker(void);
+        static int g[3];
+        int main() {
+          int i = 0;
+          do {
+            g[i] = 4;
+            i += 1;
+          } while (i < 3);
+          if (g[1] != 4) { marker(); }
+          return 0;
+        }
+        """,
+        PRE + ["unroll"] + FOLD,
+    )
+    assert calls_to(module, "marker") == 0
+    from repro.analysis.loops import find_loops
+    from repro.ir.dominators import DominatorTree
+
+    main = module.functions["main"]
+    assert find_loops(main, DominatorTree(main)) == []
+
+
+def test_do_while_single_iteration():
+    module = run_passes(
+        """
+        void marker(void);
+        static int g;
+        int main() {
+          int i = 9;
+          do { g = i; i += 1; } while (i < 3);
+          if (g != 9) { marker(); }
+          return 0;
+        }
+        """,
+        PRE + ["unroll"] + FOLD,
+    )
+    assert calls_to(module, "marker") == 0
+
+
+def test_while_loop_with_trailing_decrement_unrolls():
+    # The generator's while form: counter decremented inside the body.
+    # The accumulator is local, so mem2reg + unrolling fold it fully.
+    # (A *static global* accumulator would stay unfolded: its initial
+    # value is exactly what the paper's Listing 4a says these
+    # compilers cannot use.)
+    module = run_passes(
+        """
+        void marker(void);
+        int main() {
+          int w = 4;
+          int total = 0;
+          while (w > 0) {
+            total += 2;
+            w -= 1;
+          }
+          if (total != 8) { marker(); }
+          return 0;
+        }
+        """,
+        PRE + ["unroll"] + FOLD,
+    )
+    assert calls_to(module, "marker") == 0

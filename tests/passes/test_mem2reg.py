@@ -1,0 +1,86 @@
+from repro.ir import instructions as ins
+
+from .helpers import count_instrs, run_passes
+
+BASE = ["simplify-cfg", "mem2reg"]
+
+
+def test_scalar_locals_are_promoted():
+    module = run_passes(
+        "int main() { int a = 1; int b = a + 2; return b; }", BASE
+    )
+    assert count_instrs(module, ins.Alloca) == 0
+    assert count_instrs(module, ins.Load) == 0
+
+
+def test_branchy_variable_gets_phi():
+    module = run_passes(
+        """
+        int opaque_source(void);
+        int main() {
+          int a = opaque_source();
+          int r = 0;
+          if (a) { r = 1; } else { r = 2; }
+          return r;
+        }
+        """,
+        BASE,
+    )
+    assert count_instrs(module, ins.Phi) >= 1
+    assert count_instrs(module, ins.Alloca) == 0
+
+
+def test_loop_variable_gets_phi():
+    module = run_passes(
+        """
+        int opaque_source(void);
+        int main() {
+          int n = opaque_source();
+          int i = 0;
+          int acc = 0;
+          while (i < n) { acc += i; i += 1; }
+          return acc;
+        }
+        """,
+        BASE,
+    )
+    assert count_instrs(module, ins.Phi) >= 2
+
+
+def test_arrays_are_not_promoted():
+    module = run_passes(
+        "int main() { int xs[2] = {1, 2}; return xs[0]; }", BASE
+    )
+    assert count_instrs(module, ins.Alloca) == 1
+
+
+def test_address_taken_locals_are_not_promoted():
+    module = run_passes(
+        """
+        int opaque_take(char *p);
+        int main() {
+          char c = 3;
+          opaque_take(&c);
+          return c;
+        }
+        """,
+        BASE,
+    )
+    assert count_instrs(module, ins.Alloca) == 1
+
+
+def test_pointer_slots_are_promoted():
+    module = run_passes(
+        """
+        char g[2];
+        int main() {
+          char *p = &g[1];
+          *p = 7;
+          return g[1];
+        }
+        """,
+        BASE,
+    )
+    # The pointer variable p is gone; only the global accesses remain.
+    assert count_instrs(module, ins.Alloca) == 0
+    assert count_instrs(module, ins.LoadPtr) == 0

@@ -1,0 +1,117 @@
+from repro.compilers.config import PipelineConfig
+
+from .helpers import calls_to, run_passes
+
+PRE = ["simplify-cfg", "mem2reg"]
+CLEAN = ["sccp", "instcombine", "adce", "simplify-cfg"]
+
+
+def test_memcp_constant_survives_a_loop_that_cannot_write_it():
+    module = run_passes(
+        """
+        void marker(void);
+        int opaque_source(void);
+        static int g;
+        static long acc;
+        int main() {
+          g = 5;
+          int n = opaque_source();
+          for (int i = 0; i < n; i++) {
+            acc += i;             /* writes acc, never g */
+          }
+          if (g != 5) { marker(); }
+          return (int)acc;
+        }
+        """,
+        PRE + ["memcp"] + CLEAN,
+    )
+    assert calls_to(module, "marker") == 0
+
+
+def test_memcp_kills_constant_written_inside_loop():
+    module = run_passes(
+        """
+        void marker(void);
+        int opaque_source(void);
+        static int g;
+        int main() {
+          g = 5;
+          int n = opaque_source();
+          for (int i = 0; i < n; i++) {
+            g = i;                /* may rewrite g */
+          }
+          if (g != 5) { marker(); }
+          return 0;
+        }
+        """,
+        PRE + ["memcp"] + CLEAN,
+    )
+    assert calls_to(module, "marker") == 1
+
+
+def test_memcp_loop_body_sees_preheader_constants():
+    module = run_passes(
+        """
+        void marker(void);
+        int opaque_source(void);
+        static int limit;
+        static long acc;
+        int main() {
+          limit = 100;
+          int n = opaque_source();
+          for (int i = 0; i < n; i++) {
+            if (limit != 100) { marker(); }   /* dead inside the loop */
+            acc += 1;
+          }
+          return (int)acc;
+        }
+        """,
+        PRE + ["memcp"] + CLEAN,
+    )
+    assert calls_to(module, "marker") == 0
+
+
+def test_memcp_same_constant_reestablished_in_loop():
+    module = run_passes(
+        """
+        void marker(void);
+        int opaque_source(void);
+        static int g;
+        int main() {
+          g = 7;
+          int n = opaque_source();
+          for (int i = 0; i < n; i++) {
+            g = 7;                /* rewrites the same constant */
+          }
+          if (g != 7) { marker(); }
+          return 0;
+        }
+        """,
+        PRE + ["memcp"] + CLEAN,
+    )
+    assert calls_to(module, "marker") == 0
+
+
+def test_memcp_flow_seed_only_for_main():
+    source = """
+        void marker(void);
+        static int g = 4;
+        static int probe(void) {
+          if (g != 4) { marker(); }
+          return 0;
+        }
+        int main() {
+          int r = probe();
+          g = 9;
+          return r;
+        }
+    """
+    # Even in flow mode the *callee* cannot assume the initializer —
+    # only main's entry is the program start.
+    module = run_passes(
+        source,
+        PRE + ["memcp"] + CLEAN,
+        PipelineConfig(global_fold_mode="flow", inline_budget=0,
+                       inline_single_call_bonus=0),
+    )
+    assert calls_to(module, "marker") == 1

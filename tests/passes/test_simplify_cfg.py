@@ -1,0 +1,91 @@
+from repro.ir import instructions as ins
+
+from .helpers import build, calls_to, count_instrs, run_passes
+
+
+def test_constant_branch_folds_to_jump():
+    module = run_passes(
+        """
+        void marker(void);
+        int main() {
+          if (0) { marker(); }
+          return 0;
+        }
+        """,
+        ["simplify-cfg"],
+    )
+    assert calls_to(module, "marker") == 0
+    main = module.functions["main"]
+    assert all(not isinstance(b.terminator, ins.Br) for b in main.blocks)
+
+
+def test_straight_line_blocks_merge():
+    module = run_passes(
+        """
+        int opaque_source(void);
+        static int g;
+        int main() {
+          g = opaque_source();
+          g += 1;
+          g += 2;
+          return g;
+        }
+        """,
+        ["simplify-cfg"],
+    )
+    assert len(module.functions["main"].blocks) == 1
+
+
+def test_single_incoming_phi_is_simplified():
+    # After folding `if (1)`, the join's phi has one incoming left.
+    module = run_passes(
+        """
+        int main() {
+          int r = 5;
+          if (1) { r = 7; }
+          return r;
+        }
+        """,
+        ["simplify-cfg", "mem2reg", "simplify-cfg"],
+    )
+    assert count_instrs(module, ins.Phi) == 0
+    term = module.functions["main"].entry.terminator
+    assert isinstance(term, ins.Ret)
+
+
+def test_diamond_is_preserved_when_condition_unknown():
+    module = run_passes(
+        """
+        int opaque_source(void);
+        int main() {
+          int r = 0;
+          if (opaque_source()) { r = 1; } else { r = 2; }
+          return r;
+        }
+        """,
+        ["simplify-cfg", "mem2reg"],
+    )
+    main = module.functions["main"]
+    assert any(isinstance(b.terminator, ins.Br) for b in main.blocks)
+    assert count_instrs(module, ins.Phi) == 1
+
+
+def test_forwarder_blocks_are_threaded_away():
+    # Lowering produces endif/forwarding blocks; after cleanup no block
+    # should consist of a lone jmp (unless phi constraints block it).
+    module = run_passes(
+        """
+        int opaque_source(void);
+        static int g;
+        int main() {
+          if (opaque_source()) { g = 1; }
+          g += 1;
+          return g;
+        }
+        """,
+        ["simplify-cfg"],
+    )
+    for block in module.functions["main"].blocks:
+        if len(block.instrs) == 1 and isinstance(block.terminator, ins.Jmp):
+            target = block.terminator.target
+            assert target.phis(), "lone-jmp block should have been threaded"

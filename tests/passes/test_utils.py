@@ -1,0 +1,82 @@
+from repro.ir import instructions as ins
+from repro.ir.function import IRFunction
+from repro.ir.values import const_int
+from repro.lang.types import INT
+from repro.passes.utils import (
+    clone_region,
+    function_size,
+    replace_all_uses,
+    resolve_mapping,
+    split_block,
+)
+
+
+def _simple_function():
+    func = IRFunction("f", INT, [])
+    entry = func.new_block("entry")
+    a = entry.append(ins.BinOp("+", const_int(1, INT), const_int(2, INT), INT))
+    b = entry.append(ins.BinOp("*", a, const_int(3, INT), INT))
+    entry.append(ins.Ret(b))
+    return func, a, b
+
+
+def test_resolve_mapping_collapses_chains():
+    x, y, z = object(), object(), object()
+    resolved = resolve_mapping({x: y, y: z})
+    assert resolved[x] is z
+    assert resolved[y] is z
+
+
+def test_replace_all_uses():
+    func, a, b = _simple_function()
+    replacement = const_int(9, INT)
+    assert replace_all_uses(func, {a: replacement})
+    assert b.lhs is replacement
+
+
+def test_split_block_moves_tail_and_terminator():
+    func, a, b = _simple_function()
+    entry = func.entry
+    tail = split_block(func, entry, 1, "tail")
+    assert entry.instrs == [a]
+    assert tail.instrs[-1] is not None and isinstance(tail.terminator, ins.Ret)
+    assert b.block is tail
+
+
+def test_split_block_fixes_successor_phis():
+    func = IRFunction("f", INT, [])
+    a = func.new_block("a")
+    join = func.new_block("join")
+    value = a.append(ins.BinOp("+", const_int(1, INT), const_int(1, INT), INT))
+    a.append(ins.Jmp(join))
+    phi = ins.Phi(INT, [(a, value)])
+    join.insert_phi(phi)
+    join.append(ins.Ret(phi))
+    tail = split_block(func, a, 1, "tail")
+    assert phi.incomings[0][0] is tail
+
+
+def test_clone_region_remaps_internal_edges():
+    func, a, b = _simple_function()
+    value_map = {}
+    block_map = clone_region(func, [func.entry], value_map, "c")
+    clone = block_map[id(func.entry)]
+    assert clone is not func.entry
+    cloned_b = value_map[b]
+    assert isinstance(cloned_b, ins.BinOp)
+    assert cloned_b.lhs is value_map[a]  # operand remapped to the clone
+
+
+def test_clone_region_respects_seeded_mappings():
+    func, a, b = _simple_function()
+    seeded = const_int(42, INT)
+    value_map = {a: seeded}
+    clone_region(func, [func.entry], value_map, "c")
+    assert value_map[a] is seeded  # seed not overwritten
+    cloned_b = value_map[b]
+    assert cloned_b.lhs is seeded
+
+
+def test_function_size_counts_instructions():
+    func, _, _ = _simple_function()
+    assert function_size(func) == 3

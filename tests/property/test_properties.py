@@ -1,0 +1,136 @@
+"""Property-based tests (hypothesis) over core invariants."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.lang.semantics import ALL_BINARY_OPS, eval_binop, eval_unop, wrap
+from repro.lang.types import ALL_INT_TYPES, INT, IntType, usual_arithmetic_conversion
+
+int_types = st.sampled_from(ALL_INT_TYPES)
+small_ints = st.integers(min_value=-(2**70), max_value=2**70)
+arith_ops = st.sampled_from([op for op in ALL_BINARY_OPS if op not in ("&&", "||")])
+
+
+@given(int_types, small_ints)
+def test_wrap_lands_in_range(ty, value):
+    wrapped = wrap(value, ty)
+    assert ty.min_value <= wrapped <= ty.max_value
+    assert (wrapped - value) % (1 << ty.width) == 0
+
+
+@given(int_types, small_ints)
+def test_wrap_idempotent(ty, value):
+    assert wrap(wrap(value, ty), ty) == wrap(value, ty)
+
+
+@given(arith_ops, int_types, small_ints, small_ints)
+def test_eval_binop_is_total_and_in_range(op, ty, a, b):
+    lhs, rhs = wrap(a, ty), wrap(b, ty)
+    result = eval_binop(op, lhs, rhs, ty)
+    if op in ("==", "!=", "<", "<=", ">", ">="):
+        assert result in (0, 1)
+    else:
+        assert ty.min_value <= result <= ty.max_value
+
+
+@given(int_types, small_ints, small_ints)
+def test_division_identity(ty, a, b):
+    lhs, rhs = wrap(a, ty), wrap(b, ty)
+    quotient = eval_binop("/", lhs, rhs, ty)
+    remainder = eval_binop("%", lhs, rhs, ty)
+    if rhs != 0 and not (lhs == ty.min_value and rhs == -1):
+        assert quotient * rhs + remainder == lhs
+    else:
+        # The MiniC total-function convention.
+        if rhs == 0:
+            assert quotient == lhs and remainder == lhs
+
+
+@given(int_types, int_types)
+def test_usual_conversion_is_commutative_and_wide(a, b):
+    common = usual_arithmetic_conversion(a, b)
+    assert common == usual_arithmetic_conversion(b, a)
+    assert common.width >= min(max(a.width, 32), max(b.width, 32))
+
+
+@given(int_types, small_ints)
+def test_unary_ops_total(ty, value):
+    v = wrap(value, ty)
+    for op in ("-", "~", "!"):
+        result = eval_unop(op, v, ty)
+        assert ty.min_value <= result <= ty.max_value
+
+
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_literal_expression_round_trip(value):
+    from repro.lang.parser import parse_expression
+    from repro.lang.printer import print_expr
+
+    expr = parse_expression(str(value))
+    assert print_expr(expr) == str(value)
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000))
+def test_generated_programs_always_check_and_print(seed):
+    from repro.frontend.typecheck import check_program
+    from repro.generator import GeneratorConfig, generate_program
+    from repro.lang import parse_program, print_program
+
+    config = GeneratorConfig(
+        min_globals=3, max_globals=5, min_functions=1, max_functions=2,
+        min_block_stmts=1, max_block_stmts=3, max_depth=2,
+    )
+    program = generate_program(seed, config)
+    text = print_program(program)
+    reparsed = parse_program(text)
+    check_program(reparsed)
+
+
+@settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000))
+def test_instrumentation_never_changes_behaviour(seed):
+    """Markers are observers: exit code and checksum are unchanged."""
+    from repro.core.markers import instrument_program
+    from repro.frontend.typecheck import check_program
+    from repro.generator import GeneratorConfig, generate_program
+    from repro.interp import run_program
+
+    config = GeneratorConfig(
+        min_globals=3, max_globals=5, min_functions=1, max_functions=2,
+        min_block_stmts=1, max_block_stmts=3, max_depth=2,
+    )
+    program = generate_program(seed, config)
+    plain = run_program(program)
+    inst = instrument_program(program)
+    info = check_program(inst.program)
+    traced = run_program(inst.program, info=info)
+    assert traced.exit_code == plain.exit_code
+    assert traced.checksum == plain.checksum
+
+
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000), st.sampled_from(["gcclike", "llvmlike"]))
+def test_compilation_preserves_semantics_property(seed, family):
+    """Translation validation as a property: any program, any family,
+    -O2 output behaves exactly like the reference interpreter."""
+    from repro.compilers import CompilerSpec, compile_minic
+    from repro.core.markers import instrument_program
+    from repro.frontend.typecheck import check_program
+    from repro.generator import GeneratorConfig, generate_program
+    from repro.interp import run_program
+    from repro.ir import run_module
+
+    config = GeneratorConfig(
+        min_globals=3, max_globals=5, min_functions=1, max_functions=2,
+        min_block_stmts=1, max_block_stmts=3, max_depth=2,
+    )
+    inst = instrument_program(generate_program(seed, config))
+    info = check_program(inst.program)
+    ref = run_program(inst.program, info=info)
+    result = compile_minic(inst.program, CompilerSpec(family, "O2"), info=info)
+    got = run_module(result.module)
+    assert got.exit_code == ref.exit_code
+    assert got.marker_hits == ref.marker_hits
+    assert got.checksum == ref.checksum
+    assert got.call_trace == ref.call_trace

@@ -1,0 +1,69 @@
+import pytest
+
+from repro.core.ground_truth import compute_ground_truth
+from repro.core.markers import instrument_program
+from repro.generator import generate_program
+from repro.lang import parse_program
+from repro.realworld import (
+    compile_with_gcc,
+    differential_real_gcc,
+    executable_check,
+    gcc_available,
+)
+
+pytestmark = pytest.mark.skipif(not gcc_available(), reason="no system gcc")
+
+
+def test_real_gcc_compiles_simple_instrumented_case():
+    source = """
+        void DCEMarker0(void);
+        void DCEMarker1(void);
+        int main() {
+          int x = 0;
+          if (x) { DCEMarker0(); }
+          if (!x) { DCEMarker1(); }
+          return 0;
+        }
+    """
+    result = compile_with_gcc(source, "O2")
+    assert "DCEMarker0" not in result.alive
+    assert "DCEMarker1" in result.alive
+
+
+def test_real_gcc_cross_level_on_generated_program():
+    inst = instrument_program(generate_program(42))
+    result = differential_real_gcc(inst, levels=("O0", "O2"))
+    # -O2 must eliminate at least as many markers as -O0 overall; exact
+    # subset relations don't hold in general, but the counts shape must.
+    assert len(result.outcomes["O2"].alive) <= len(result.outcomes["O0"].alive)
+
+
+def test_real_execution_matches_our_ground_truth():
+    inst = instrument_program(generate_program(7))
+    ours = compute_ground_truth(inst)
+    theirs = executable_check(inst)
+    assert theirs == ours.alive
+
+
+def test_real_gcc_agrees_on_minic_safe_math():
+    # x / 0 folds to x in MiniC; printed-safe C must preserve that.
+    source_prog = parse_program(
+        """
+        void DCEMarker0(void);
+        int opaque_source(void);
+        int main() {
+          int x = opaque_source();
+          int y = x / 1;
+          if (y != x) { DCEMarker0(); }
+          return 0;
+        }
+        """
+    )
+    from repro.core.markers import InstrumentedProgram, MarkerInfo
+
+    inst = InstrumentedProgram(
+        source_prog, [MarkerInfo("DCEMarker0", "if-then", "main")]
+    )
+    ours = compute_ground_truth(inst)
+    theirs = executable_check(inst)
+    assert theirs == ours.alive == frozenset()
