@@ -1,11 +1,15 @@
-"""Ablation — per-analysis contribution to DCE.
+"""Ablation — per-pass contribution to DCE.
 
 Quantifies what §4.4 argues qualitatively: DCE is an optimization
-*sink* whose effectiveness depends on the rest of the pipeline.  Each
-row disables one analysis from the gcclike -O2 configuration and
-counts how many extra dead markers survive."""
+*sink* whose effectiveness depends on the rest of the pipeline.  The
+per-pass marker attribution is read off the observability trace — one
+instrumented pipeline run records which pass killed which marker —
+instead of the old brute-force scheme that re-ran an ablated pipeline
+per configuration.  A brute-force prefix ablation (re-running the
+pipeline truncated after every pass) cross-checks the trace on a small
+corpus: the two methods must agree marker-for-marker."""
 
-from repro.compilers import CompilerSpec, compile_minic
+from repro.compilers.pipeline import module_markers, run_pipeline
 from repro.compilers.versions import config_at
 from repro.core.ground_truth import compute_ground_truth
 from repro.core.markers import instrument_program
@@ -13,40 +17,36 @@ from repro.core.stats import format_table
 from repro.frontend.lower import lower_program
 from repro.frontend.typecheck import check_program
 from repro.generator import generate_program
-from repro.backend.asm import alive_markers, emit_module
-from repro.compilers.pipeline import run_pipeline
+from repro.observability import Tracer, aggregate_contributions, pass_profiles
 
 from conftest import emit
 
 SEEDS = range(6)
-
-KNOBS = {
-    "full -O2": {},
-    "no VRP": {"vrp": False},
-    "no inlining": {"inline_budget": 0, "inline_single_call_bonus": 0},
-    "no memory constprop": {
-        "passes_filter": "memcp",
-    },
-    "no unrolling": {"unroll_max_trip": 0},
-    "no store forwarding": {"store_forwarding": False, "gvn_across_calls": False},
-    "weak alias analysis": {"alias_max_objects": 0},
-}
+BRUTE_FORCE_SEEDS = 2  # prefix ablation is O(passes²); keep it small
+CONFIG = config_at("gcclike", "O2")
 
 
-def _missed_with(programs, knob_changes) -> int:
-    base = config_at("gcclike", "O2")
-    if "passes_filter" in knob_changes:
-        banned = knob_changes["passes_filter"]
-        config = base.with_(passes=tuple(p for p in base.passes if p != banned))
-    else:
-        config = base.with_(**knob_changes)
-    missed = 0
-    for inst, info, truth in programs:
+def _trace_profiles(inst, info):
+    """One traced pipeline run → per-pass profiles."""
+    module = lower_program(inst.program, info)
+    tracer = Tracer()
+    run_pipeline(module, CONFIG, tracer=tracer)
+    return pass_profiles(tracer)
+
+
+def _brute_force_attribution(inst, info):
+    """Per-pass eliminated markers via prefix ablation: re-run the
+    pipeline truncated at every length and diff the marker sets."""
+    eliminated_per_pass = []
+    previous = None
+    for length in range(len(CONFIG.passes) + 1):
         module = lower_program(inst.program, info)
-        run_pipeline(module, config)
-        alive = alive_markers(emit_module(module), "DCEMarker")
-        missed += len(truth.dead & alive)
-    return missed
+        run_pipeline(module, CONFIG.with_(passes=CONFIG.passes[:length]))
+        markers = module_markers(module)
+        if previous is not None:
+            eliminated_per_pass.append(frozenset(previous - markers))
+        previous = markers
+    return eliminated_per_pass
 
 
 def test_pass_contribution_to_dce(benchmark):
@@ -57,25 +57,52 @@ def test_pass_contribution_to_dce(benchmark):
         truth = compute_ground_truth(inst, info=info)
         programs.append((inst, info, truth))
 
-    benchmark(lambda: _missed_with(programs[:1], {}))
+    benchmark(lambda: _trace_profiles(*programs[0][:2]))
 
-    baseline = _missed_with(programs, {})
+    # Trace-based attribution over the whole corpus.
+    profile_lists = [_trace_profiles(inst, info) for inst, info, _ in programs]
+    totals = aggregate_contributions(profile_lists)
+    dead = set().union(*(truth.dead for _, _, truth in programs))
+
+    contributors = sorted(
+        totals.values(), key=lambda c: len(c.markers_eliminated), reverse=True
+    )
     rows = []
-    for label, changes in KNOBS.items():
-        missed = _missed_with(programs, changes)
-        delta = missed - baseline
-        rows.append([label, str(missed), f"+{delta}" if delta >= 0 else str(delta)])
+    for c in contributors:
+        killed = c.markers_eliminated
+        killed_dead = sum(1 for m in killed if m in dead)
+        rows.append([
+            c.name,
+            str(len(killed)),
+            str(killed_dead),
+            f"{c.wall_time * 1e3:.1f}",
+            f"{c.changed_runs}/{c.runs}",
+        ])
     table = format_table(
-        ["configuration", "missed dead markers", "vs full -O2"],
+        ["pass", "markers killed", "of them dead", "total ms", "changed runs"],
         rows,
-        title="Ablation — what each analysis buys DCE (gcclike -O2, "
-              f"{len(programs)} files)",
+        title="Ablation — which pass eliminates the dead markers "
+              f"(gcclike -O2, {len(programs)} files, trace attribution)",
     )
     emit("ablation_pass_contribution", table)
 
-    # DCE must depend on the pipeline: several ablations hurt.
-    hurts = sum(
-        1 for label, changes in KNOBS.items()
-        if label != "full -O2" and _missed_with(programs, changes) > baseline
-    )
-    assert hurts >= 3
+    # The trace must account for every marker the pipeline eliminated.
+    for (inst, info, _), profiles in zip(programs, profile_lists):
+        module = lower_program(inst.program, info)
+        before = module_markers(module)
+        run_pipeline(module, CONFIG)
+        after = module_markers(module)
+        traced = {m for p in profiles for m in p.markers_eliminated}
+        assert traced == before - after
+
+    # Trace attribution and brute-force prefix ablation agree exactly.
+    for inst, info, _ in programs[:BRUTE_FORCE_SEEDS]:
+        profiles = _trace_profiles(inst, info)
+        brute = _brute_force_attribution(inst, info)
+        assert len(profiles) == len(brute)
+        for profile, expected in zip(profiles, brute):
+            assert frozenset(profile.markers_eliminated) == expected, profile.name
+
+    # DCE is a sink: several distinct passes upstream kill markers.
+    killers = [c for c in contributors if c.markers_eliminated]
+    assert len(killers) >= 3

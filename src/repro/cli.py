@@ -3,8 +3,13 @@
 Subcommands mirror the paper's workflow:
 
 * ``analyze FILE``      — instrument + differential-test one program
+  (``--trace`` prints the span tree of the whole analysis)
 * ``generate --seed N`` — print a random program (optionally instrumented)
 * ``campaign``          — run a corpus campaign and print Table 1/2 shapes
+  (``--metrics-out FILE.json`` snapshots latency histograms + tallies,
+  ``--progress`` reports per-program throughput on stderr)
+* ``profile FILE``      — per-pass wall time / IR size / marker
+  attribution table for one compilation
 * ``asm FILE``          — show the generated assembly for one spec
 * ``bisect FILE``       — bisect a marker regression to a commit
 """
@@ -15,14 +20,23 @@ import argparse
 import sys
 
 from . import api
-from .compilers import CompilerSpec
+from .compilers import CompilerSpec, compile_minic
 from .core.bisect import bisect_marker_regression
-from .core.corpus import run_campaign
-from .core.markers import instrument_program
+from .core.corpus import CampaignProgress, run_campaign
+from .core.markers import MARKER_PREFIX, instrument_program
 from .core.stats import format_table, pct
 from .frontend.typecheck import check_program
 from .generator import generate_program
+from .lang import ast_nodes as ast
 from .lang import parse_program, print_program
+from .observability import (
+    PIPELINE_SPAN,
+    MetricsRegistry,
+    Tracer,
+    format_trace,
+    pass_profiles,
+    use_tracer,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -31,6 +45,10 @@ def main(argv: list[str] | None = None) -> int:
 
     p_analyze = sub.add_parser("analyze", help="analyze one program")
     p_analyze.add_argument("file")
+    p_analyze.add_argument(
+        "--trace", action="store_true",
+        help="print the span tree (compiles, pipelines, interpreter runs)",
+    )
 
     p_gen = sub.add_parser("generate", help="generate a random program")
     p_gen.add_argument("--seed", type=int, default=0)
@@ -39,6 +57,27 @@ def main(argv: list[str] | None = None) -> int:
     p_campaign = sub.add_parser("campaign", help="run a corpus campaign")
     p_campaign.add_argument("--programs", type=int, default=20)
     p_campaign.add_argument("--seed-base", type=int, default=0)
+    p_campaign.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="write a JSON metrics snapshot (per-spec compile-latency "
+             "histograms, throughput, missed/primary tallies)",
+    )
+    p_campaign.add_argument(
+        "--progress", action="store_true",
+        help="report per-program progress on stderr",
+    )
+
+    p_profile = sub.add_parser(
+        "profile", help="per-pass time/size/marker-attribution table"
+    )
+    p_profile.add_argument("file")
+    p_profile.add_argument("--family", default="gcclike")
+    p_profile.add_argument("--level", default="O2")
+    p_profile.add_argument(
+        "--instrument", action="store_true",
+        help="insert optimization markers before profiling (for programs "
+             "not already instrumented)",
+    )
 
     p_asm = sub.add_parser("asm", help="compile one program to assembly")
     p_asm.add_argument("file")
@@ -65,8 +104,16 @@ def main(argv: list[str] | None = None) -> int:
 
     args = parser.parse_args(argv)
     if args.command == "analyze":
-        report = api.analyze_source(_read(args.file))
-        print(report.summary())
+        if args.trace:
+            tracer = Tracer()
+            with use_tracer(tracer):
+                report = api.analyze_source(_read(args.file))
+            print(report.summary())
+            print("\ntrace:")
+            print(format_trace(tracer))
+        else:
+            report = api.analyze_source(_read(args.file))
+            print(report.summary())
     elif args.command == "generate":
         program = generate_program(args.seed)
         if args.instrument:
@@ -74,7 +121,10 @@ def main(argv: list[str] | None = None) -> int:
             check_program(program)
         print(print_program(program))
     elif args.command == "campaign":
-        _campaign(args.programs, args.seed_base)
+        _campaign(args.programs, args.seed_base,
+                  metrics_out=args.metrics_out, show_progress=args.progress)
+    elif args.command == "profile":
+        _profile(_read(args.file), args.family, args.level, args.instrument)
     elif args.command == "asm":
         print(api.compile_to_asm(_read(args.file), args.family, args.level))
     elif args.command == "bisect":
@@ -108,6 +158,17 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _print_progress(snapshot: CampaignProgress) -> None:
+    done = snapshot.completed + snapshot.skipped
+    status = "skipped" if snapshot.skipped_seed else "ok"
+    print(
+        f"[{done}/{snapshot.total}] seed {snapshot.seed}: {status} "
+        f"({snapshot.programs_per_sec:.2f} programs/sec, "
+        f"{snapshot.elapsed:.1f}s elapsed)",
+        file=sys.stderr,
+    )
+
+
 def _read(path: str) -> str:
     if path == "-":
         return sys.stdin.read()
@@ -115,8 +176,78 @@ def _read(path: str) -> str:
         return handle.read()
 
 
-def _campaign(n_programs: int, seed_base: int) -> None:
-    result = run_campaign(n_programs=n_programs, seed_base=seed_base)
+def _profile(source: str, family: str, level: str, instrument: bool) -> None:
+    """Compile once under a tracer and print the per-pass table."""
+    program = parse_program(source)
+    if instrument:
+        program = instrument_program(program).program
+    check_program(program)
+    declared_markers = sum(
+        1
+        for decl in program.decls
+        if isinstance(decl, ast.FuncDecl) and decl.name.startswith(MARKER_PREFIX)
+    )
+    spec = CompilerSpec(family, level)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        compile_minic(program, spec)
+
+    profiles = pass_profiles(tracer)
+    pipeline_span = tracer.find(PIPELINE_SPAN)[0]
+    markers_before = pipeline_span.attrs.get("markers_before", 0)
+    rows = []
+    # Markers already gone from the IR never met a pass: the frontend
+    # dropped their (statically unreachable) blocks during lowering.
+    frontend_killed = declared_markers - markers_before
+    if frontend_killed:
+        rows.append(["", "(frontend)", "", "", "", "", str(frontend_killed), ""])
+    for p in profiles:
+        killed = len(p.markers_eliminated)
+        names = list(p.markers_eliminated[:6])
+        if killed > len(names):
+            names.append(f"(+{killed - len(names)} more)")
+        rows.append([
+            str(p.index),
+            p.name,
+            f"{p.wall_time * 1e3:.2f}",
+            f"{p.instr_delta:+d}" if p.instr_delta else "0",
+            f"{p.block_delta:+d}" if p.block_delta else "0",
+            "yes" if p.changed else "",
+            str(killed) if killed else "",
+            ", ".join(names),
+        ])
+    print(format_table(
+        ["#", "pass", "ms", "Δinstrs", "Δblocks", "changed",
+         "markers", "killed markers"],
+        rows,
+        title=f"per-pass profile — {spec}",
+    ))
+    total_ms = pipeline_span.duration * 1e3
+    first, last = profiles[0], profiles[-1]
+    print(
+        f"\ntotal pipeline: {total_ms:.2f} ms over {len(profiles)} passes; "
+        f"instrs {first.instrs_before} -> {last.instrs_after}, "
+        f"blocks {first.blocks_before} -> {last.blocks_after}, "
+        f"markers {declared_markers} -> "
+        f"{pipeline_span.attrs.get('markers_after', 0)}"
+    )
+
+
+def _campaign(
+    n_programs: int,
+    seed_base: int,
+    metrics_out: str | None = None,
+    show_progress: bool = False,
+) -> None:
+    metrics = MetricsRegistry() if metrics_out else None
+    progress = _print_progress if show_progress else None
+    result = run_campaign(
+        n_programs=n_programs, seed_base=seed_base,
+        metrics=metrics, progress=progress,
+    )
+    if metrics is not None:
+        metrics.write_json(metrics_out)
+        print(f"metrics written to {metrics_out}", file=sys.stderr)
     print(
         f"programs: {len(result.seeds)} (skipped {len(result.skipped)}), "
         f"markers: {result.total_markers}, dead: {pct(result.dead_pct)}"

@@ -17,6 +17,7 @@ from ..frontend.typecheck import SymbolInfo, check_program
 from ..ir.function import Module
 from ..lang import ast_nodes as ast
 from ..lang.parser import parse_program
+from ..observability.tracer import Tracer, current_tracer
 from .config import PipelineConfig
 from .pipeline import run_pipeline
 from .vendors import FAMILIES, LEVELS
@@ -65,15 +66,20 @@ def compile_minic(
     spec: CompilerSpec,
     info: SymbolInfo | None = None,
     verify_each: bool = False,
+    tracer: Tracer | None = None,
 ) -> CompilationResult:
     """Compile ``program`` (source text or AST) under ``spec``."""
+    if tracer is None:
+        tracer = current_tracer()
     if isinstance(program, str):
         program = parse_program(program)
         info = None
     if info is None:
         info = check_program(program)
-    module = lower_program(program, info)
-    config = spec.config()
-    changed = run_pipeline(module, config, verify_each=verify_each)
-    asm = emit_module(module)
+    with tracer.span("compile", spec=str(spec)) as span:
+        module = lower_program(program, info)
+        config = spec.config()
+        changed = run_pipeline(module, config, verify_each=verify_each, tracer=tracer)
+        asm = emit_module(module)
+        span.set("changed_passes", len(changed))
     return CompilationResult(spec, module, asm, changed)

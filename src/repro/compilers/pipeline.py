@@ -1,24 +1,91 @@
-"""Pipeline execution: run a configured pass sequence over a module."""
+"""Pipeline execution: run a configured pass sequence over a module.
+
+When the current tracer is enabled (or one is passed explicitly) the
+pipeline emits one ``pipeline.run`` span wrapping one ``pipeline.pass``
+span per configured pass, each carrying wall time, IR size before and
+after (instructions/blocks), whether the pass reported changes, and the
+optimization markers whose calls disappeared during the pass — the
+per-pass attribution that powers ``dce-hunt profile`` and the
+component tables (see :mod:`repro.observability.attribution`).  With
+tracing disabled none of the bookkeeping runs.
+"""
 
 from __future__ import annotations
 
+from ..ir import instructions as ins
 from ..ir.function import Module
 from ..ir.verify import verify_module
-from ..passes.registry import PASS_REGISTRY
+from ..observability.attribution import PASS_SPAN, PIPELINE_SPAN
+from ..observability.tracer import Tracer, current_tracer
+from ..passes.registry import PASS_REGISTRY, available_passes
 from .config import PipelineConfig
+
+#: marker symbol prefix tracked for per-pass attribution (mirrors
+#: :data:`repro.core.markers.MARKER_PREFIX`; kept literal to avoid a
+#: compilers → core import cycle)
+MARKER_PREFIX = "DCEMarker"
 
 
 class PassPipelineError(RuntimeError):
-    """A pass crashed or produced IR that fails verification."""
+    """A pass is unknown, crashed, or produced unverifiable IR."""
 
-    def __init__(self, pass_name: str, original: BaseException) -> None:
-        super().__init__(f"pass {pass_name!r} failed: {original}")
+    def __init__(
+        self,
+        pass_name: str,
+        original: BaseException | None = None,
+        message: str | None = None,
+    ) -> None:
+        super().__init__(message or f"pass {pass_name!r} failed: {original}")
         self.pass_name = pass_name
         self.original = original
 
 
+def validate_passes(pass_names: tuple[str, ...] | list[str]) -> None:
+    """Raise :class:`PassPipelineError` if any name is not registered."""
+    unknown = sorted({name for name in pass_names if name not in PASS_REGISTRY})
+    if unknown:
+        raise PassPipelineError(
+            unknown[0],
+            message=(
+                f"unknown pass(es) {', '.join(repr(n) for n in unknown)}; "
+                f"valid passes: {', '.join(available_passes())}"
+            ),
+        )
+
+
+def module_size(module: Module) -> tuple[int, int]:
+    """(instruction count, block count) over all functions."""
+    n_instrs = 0
+    n_blocks = 0
+    for func in module.functions.values():
+        n_blocks += len(func.blocks)
+        for block in func.blocks:
+            n_instrs += len(block.instrs)
+    return n_instrs, n_blocks
+
+
+def module_markers(module: Module, prefix: str = MARKER_PREFIX) -> frozenset[str]:
+    """Marker symbols still called anywhere in the IR.
+
+    Every ``Call`` lowers to a ``call`` line in the emitted assembly
+    (including ones in unreachable-but-present blocks), so scanning the
+    IR agrees with the backend's :func:`repro.backend.asm.alive_markers`
+    oracle while being much cheaper than emitting text.
+    """
+    found: set[str] = set()
+    for func in module.functions.values():
+        for instr in func.instructions():
+            if isinstance(instr, ins.Call) and instr.callee.startswith(prefix):
+                found.add(instr.callee)
+    return frozenset(found)
+
+
 def run_pipeline(
-    module: Module, config: PipelineConfig, verify_each: bool = False
+    module: Module,
+    config: PipelineConfig,
+    verify_each: bool = False,
+    tracer: Tracer | None = None,
+    marker_prefix: str = MARKER_PREFIX,
 ) -> list[str]:
     """Run ``config.passes`` over ``module`` in order.
 
@@ -26,6 +93,51 @@ def run_pipeline(
     ``verify_each`` the IR verifier runs after every pass (slow; used
     by the test suite to localize pass bugs).
     """
+    validate_passes(config.passes)
+    if tracer is None:
+        tracer = current_tracer()
+    if not tracer.enabled:
+        return _run_untraced(module, config, verify_each)
+
+    changed_by: list[str] = []
+    with tracer.span(
+        PIPELINE_SPAN, module=module.name, n_passes=len(config.passes)
+    ) as pipeline_span:
+        markers_before = module_markers(module, marker_prefix)
+        pipeline_span.set("markers_before", len(markers_before))
+        for index, name in enumerate(config.passes):
+            pass_fn = PASS_REGISTRY[name]
+            instrs_before, blocks_before = module_size(module)
+            with tracer.span(PASS_SPAN, index=index) as span:
+                span.set("pass", name)
+                try:
+                    changed = pass_fn(module, config)
+                    if verify_each:
+                        verify_module(module)
+                except Exception as err:
+                    raise PassPipelineError(name, err) from err
+                if changed:
+                    changed_by.append(name)
+                instrs_after, blocks_after = module_size(module)
+                markers_after = module_markers(module, marker_prefix)
+                span.update(
+                    changed=changed,
+                    instrs_before=instrs_before,
+                    instrs_after=instrs_after,
+                    blocks_before=blocks_before,
+                    blocks_after=blocks_after,
+                    markers_eliminated=sorted(markers_before - markers_after),
+                )
+            markers_before = markers_after
+        pipeline_span.set("markers_after", len(markers_before))
+        pipeline_span.set("changed_passes", len(changed_by))
+    return changed_by
+
+
+def _run_untraced(
+    module: Module, config: PipelineConfig, verify_each: bool
+) -> list[str]:
+    """The measurement-free hot path (pass names already validated)."""
     changed_by: list[str] = []
     for name in config.passes:
         pass_fn = PASS_REGISTRY[name]

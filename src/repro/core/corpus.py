@@ -8,12 +8,16 @@ and 2 and the §4.1/§4.2 headline numbers.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..compilers import FAMILIES, LEVELS, CompilerSpec
 from ..frontend.typecheck import check_program
 from ..generator import GeneratorConfig, generate_program
 from ..interp import StepLimitExceeded
+from ..observability.metrics import MetricsRegistry
+from ..observability.tracer import Tracer, current_tracer, use_tracer
 from .differential import ProgramAnalysis, analyze_markers, missed_between_levels
 from .ground_truth import compute_ground_truth
 from .markers import instrument_program
@@ -95,6 +99,23 @@ class CampaignResult:
         return self.by_level.setdefault((family, level), LevelStats())
 
 
+@dataclass
+class CampaignProgress:
+    """A per-program progress snapshot handed to ``progress`` callbacks."""
+
+    seed: int
+    completed: int  # programs analyzed so far (excluding skips)
+    skipped: int
+    total: int
+    elapsed: float  # seconds since campaign start
+    skipped_seed: bool  # whether *this* seed was skipped
+
+    @property
+    def programs_per_sec(self) -> float:
+        done = self.completed + self.skipped
+        return done / self.elapsed if self.elapsed > 0 else 0.0
+
+
 def run_campaign(
     n_programs: int = 50,
     seed_base: int = 0,
@@ -102,25 +123,111 @@ def run_campaign(
     generator_config: GeneratorConfig | None = None,
     keep_analyses: bool = False,
     compare_level: str = "O3",
+    metrics: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    progress: Callable[[CampaignProgress], None] | None = None,
 ) -> CampaignResult:
-    """Run the full marker campaign over ``n_programs`` seeds."""
+    """Run the full marker campaign over ``n_programs`` seeds.
+
+    Observability hooks, all optional and overhead-free when unset:
+
+    * ``metrics`` — accumulates per-spec compile-latency histograms,
+      per-program analysis latency, throughput, and running
+      missed/primary tallies per (family, level).
+    * ``tracer`` — installed as the current tracer for the duration,
+      so pipeline/interpreter spans nest under one ``campaign`` span.
+    * ``progress`` — called with a :class:`CampaignProgress` snapshot
+      after every seed.
+    """
+    if tracer is not None:
+        with use_tracer(tracer):
+            return _run_campaign_traced(
+                n_programs, seed_base, version, generator_config,
+                keep_analyses, compare_level, metrics, progress,
+            )
+    return _run_campaign_traced(
+        n_programs, seed_base, version, generator_config,
+        keep_analyses, compare_level, metrics, progress,
+    )
+
+
+def _run_campaign_traced(
+    n_programs: int,
+    seed_base: int,
+    version: int | None,
+    generator_config: GeneratorConfig | None,
+    keep_analyses: bool,
+    compare_level: str,
+    metrics: MetricsRegistry | None,
+    progress: Callable[[CampaignProgress], None] | None,
+) -> CampaignResult:
     specs = default_specs(version)
     result = CampaignResult()
     result.cross_level = {family: CrossLevelStats() for family in FAMILIES}
     analyses: list[ProgramOutcome] = []
+    tracer = current_tracer()
+    start = time.perf_counter()
 
-    for seed in range(seed_base, seed_base + n_programs):
-        outcome = analyze_one(seed, specs, version, generator_config)
-        if outcome is None:
-            result.skipped.append(seed)
-            continue
-        result.seeds.append(seed)
-        _accumulate(result, outcome, version, compare_level)
-        if keep_analyses:
-            analyses.append(outcome)
+    with tracer.span(
+        "campaign", programs=n_programs, seed_base=seed_base
+    ) as campaign_span:
+        for seed in range(seed_base, seed_base + n_programs):
+            program_start = time.perf_counter()
+            with tracer.span("campaign.program", seed=seed) as span:
+                outcome = analyze_one(
+                    seed, specs, version, generator_config, metrics=metrics
+                )
+                span.set("skipped", outcome is None)
+            if metrics is not None:
+                metrics.histogram("campaign.program_latency_ms").observe(
+                    (time.perf_counter() - program_start) * 1e3
+                )
+            if outcome is None:
+                result.skipped.append(seed)
+            else:
+                result.seeds.append(seed)
+                _accumulate(result, outcome, version, compare_level)
+                if keep_analyses:
+                    analyses.append(outcome)
+            elapsed = time.perf_counter() - start
+            if metrics is not None:
+                _record_tallies(result, metrics, elapsed)
+            if progress is not None:
+                progress(
+                    CampaignProgress(
+                        seed=seed,
+                        completed=len(result.seeds),
+                        skipped=len(result.skipped),
+                        total=n_programs,
+                        elapsed=elapsed,
+                        skipped_seed=outcome is None,
+                    )
+                )
+        campaign_span.update(
+            completed=len(result.seeds), skipped=len(result.skipped)
+        )
     if keep_analyses:
         result.findings.append({"analyses": analyses})
     return result
+
+
+def _record_tallies(
+    result: CampaignResult, metrics: MetricsRegistry, elapsed: float
+) -> None:
+    """Mirror the running campaign accumulators into the registry."""
+    done = len(result.seeds) + len(result.skipped)
+    metrics.gauge("campaign.programs_analyzed").set(len(result.seeds))
+    metrics.gauge("campaign.programs_skipped").set(len(result.skipped))
+    metrics.gauge("campaign.programs_per_sec").set(
+        done / elapsed if elapsed > 0 else 0.0
+    )
+    metrics.gauge("campaign.total_markers").set(result.total_markers)
+    metrics.gauge("campaign.total_dead").set(result.total_dead)
+    for (family, level), stats in result.by_level.items():
+        metrics.gauge(f"campaign.missed/{family}-{level}").set(stats.missed)
+        metrics.gauge(f"campaign.primary_missed/{family}-{level}").set(
+            stats.primary_missed
+        )
 
 
 def analyze_one(
@@ -128,6 +235,7 @@ def analyze_one(
     specs: list[CompilerSpec],
     version: int | None = None,
     generator_config: GeneratorConfig | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> ProgramOutcome | None:
     """Generate + instrument + ground-truth + compile one seed.
 
@@ -141,7 +249,9 @@ def analyze_one(
         truth = compute_ground_truth(instrumented, info=info)
     except StepLimitExceeded:
         return None
-    analysis = analyze_markers(instrumented, specs, info=info, ground_truth=truth)
+    analysis = analyze_markers(
+        instrumented, specs, info=info, ground_truth=truth, metrics=metrics
+    )
     return ProgramOutcome(
         seed, len(instrumented.markers), len(truth.dead), analysis
     )

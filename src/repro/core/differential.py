@@ -15,10 +15,12 @@ surfaces (none are expected — the test suite asserts it).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from ..compilers import CompilerSpec, compile_minic
 from ..frontend.typecheck import SymbolInfo, check_program
+from ..observability.metrics import MetricsRegistry
 from .ground_truth import GroundTruth, compute_ground_truth
 from .markers import InstrumentedProgram
 
@@ -65,15 +67,25 @@ def analyze_markers(
     info: SymbolInfo | None = None,
     ground_truth: GroundTruth | None = None,
     marker_prefix: str = "DCEMarker",
+    metrics: MetricsRegistry | None = None,
 ) -> ProgramAnalysis:
-    """Run the full marker pipeline for ``instrumented`` under ``specs``."""
+    """Run the full marker pipeline for ``instrumented`` under ``specs``.
+
+    With a ``metrics`` registry, each compilation's latency is observed
+    into a per-spec ``compile_latency_ms/<spec>`` histogram.
+    """
     if info is None:
         info = check_program(instrumented.program)
     if ground_truth is None:
         ground_truth = compute_ground_truth(instrumented, info=info)
     analysis = ProgramAnalysis(instrumented, ground_truth)
     for spec in specs:
+        start = time.perf_counter()
         result = compile_minic(instrumented.program, spec, info=info)
+        if metrics is not None:
+            elapsed_ms = (time.perf_counter() - start) * 1e3
+            metrics.histogram(f"compile_latency_ms/{spec}").observe(elapsed_ms)
+            metrics.counter("campaign.compilations").inc()
         alive = result.alive_markers(marker_prefix) & instrumented.marker_names
         analysis.outcomes[str(spec)] = MarkerOutcome(
             spec, alive, instrumented.marker_names

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from ..frontend.typecheck import SymbolInfo, check_program
 from ..interp import DEFAULT_STEP_LIMIT, ExecutionResult, run_program
+from ..observability.tracer import current_tracer
 from .markers import InstrumentedProgram
 
 
@@ -44,8 +45,20 @@ def compute_ground_truth(
     """Execute the instrumented program and classify its markers."""
     if info is None:
         info = check_program(instrumented.program)
-    execution = run_program(instrumented.program, step_limit=step_limit, info=info)
-    alive = frozenset(
-        name for name in execution.marker_hits if name in instrumented.marker_names
-    )
+    with current_tracer().span(
+        "ground_truth", markers=len(instrumented.marker_names)
+    ) as span:
+        execution = run_program(
+            instrumented.program, step_limit=step_limit, info=info
+        )
+        alive = frozenset(
+            name
+            for name in execution.marker_hits
+            if name in instrumented.marker_names
+        )
+        span.update(
+            steps=execution.steps,
+            alive=len(alive),
+            dead=len(instrumented.marker_names) - len(alive),
+        )
     return GroundTruth(instrumented.marker_names, alive, execution)

@@ -2,20 +2,49 @@
 
 from __future__ import annotations
 
+import re
+
+#: a cell that reads as a number: optional sign, digits with optional
+#: thousands separators / decimal part, optional trailing ``%`` or
+#: unit-ish suffix used by the benches (``ms``, ``s``, ``x``)
+_NUMERIC_CELL = re.compile(
+    r"^[+-]?\d[\d,_]*(\.\d+)?\s*(%|ms|s|x)?$"
+)
+
+
+def _is_numeric_column(cells: list[str]) -> bool:
+    """True when every non-empty cell is numeric (and one exists)."""
+    non_empty = [c.strip() for c in cells if c.strip()]
+    return bool(non_empty) and all(_NUMERIC_CELL.match(c) for c in non_empty)
+
 
 def format_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
-    """Render an aligned ASCII table (paper-style)."""
+    """Render an aligned ASCII table (paper-style).
+
+    Columns whose cells are all numeric (percentages, timings, counts,
+    signed deltas) are right-aligned, header included, so magnitude
+    comparisons read like the paper's tables; text columns stay
+    left-aligned.
+    """
     widths = [len(h) for h in headers]
     for row in rows:
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
+    numeric = [
+        _is_numeric_column([row[i] for row in rows if i < len(row)])
+        for i in range(len(headers))
+    ]
+
+    def align(cell: str, i: int) -> str:
+        return cell.rjust(widths[i]) if numeric[i] else cell.ljust(widths[i])
+
     lines = []
     if title:
         lines.append(title)
-    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join(align(h, i) for i, h in enumerate(headers)))
     lines.append("  ".join("-" * w for w in widths))
     for row in rows:
-        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append("  ".join(align(c, i) for i, c in enumerate(row)))
     return "\n".join(lines)
 
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from ..frontend.typecheck import SymbolInfo, check_program
 from ..lang import ast_nodes as ast
 from ..lang.semantics import eval_binop, eval_unop, wrap
+from ..observability.tracer import current_tracer
 from ..lang.types import (
     INT,
     LONG,
@@ -153,7 +154,20 @@ def run_program(
     """
     if info is None:
         info = check_program(program)
-    return _Interpreter(program, info, step_limit).run()
+    tracer = current_tracer()
+    with tracer.span("interp.run", step_limit=step_limit) as span:
+        try:
+            result = _Interpreter(program, info, step_limit).run()
+        except StepLimitExceeded:
+            span.set("step_limit_exceeded", True)
+            raise
+        span.update(
+            steps=result.steps,
+            exit_code=result.exit_code,
+            markers_hit=len(result.marker_hits),
+            function_calls=sum(result.function_calls.values()),
+        )
+    return result
 
 
 class _Interpreter:

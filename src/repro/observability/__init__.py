@@ -1,0 +1,59 @@
+"""Observability: pipeline tracing, metrics, and trace exporters.
+
+The substrate behind ``dce-hunt analyze --trace``, ``dce-hunt
+profile`` and ``dce-hunt campaign --metrics-out``: a span tracer wired
+through the pass pipeline, interpreter and campaign runner, a metrics
+registry for campaign-level tallies and latency histograms, and
+JSON/JSONL exporters plus per-pass attribution readers.
+"""
+
+from .attribution import (
+    PASS_SPAN,
+    PIPELINE_SPAN,
+    PassContribution,
+    PassProfile,
+    aggregate_contributions,
+    marker_attribution,
+    pass_profiles,
+)
+from .export import (
+    format_trace,
+    read_spans_jsonl,
+    spans_to_dicts,
+    write_spans_jsonl,
+    write_trace_json,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    current_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "PASS_SPAN",
+    "PIPELINE_SPAN",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PassContribution",
+    "PassProfile",
+    "Span",
+    "Tracer",
+    "aggregate_contributions",
+    "current_tracer",
+    "format_trace",
+    "marker_attribution",
+    "pass_profiles",
+    "read_spans_jsonl",
+    "set_tracer",
+    "spans_to_dicts",
+    "use_tracer",
+    "write_spans_jsonl",
+    "write_trace_json",
+]

@@ -1,0 +1,109 @@
+"""Per-pass profiles and marker attribution, read off a trace.
+
+The pipeline emits one ``pipeline.pass`` span per configured pass (see
+:mod:`repro.compilers.pipeline`) carrying wall time, IR size before and
+after, and the set of markers whose calls disappeared during that pass.
+This module aggregates those spans into the per-pass records behind
+``dce-hunt profile`` and the Table 3/4-style component attribution —
+the data ``benchmarks/bench_ablation_pass_contribution.py`` previously
+recomputed by re-running ablated pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .tracer import Span, Tracer
+
+PASS_SPAN = "pipeline.pass"
+PIPELINE_SPAN = "pipeline.run"
+
+
+@dataclass
+class PassProfile:
+    """One pass execution, as recorded by its span."""
+
+    index: int
+    name: str
+    wall_time: float  # seconds
+    instrs_before: int
+    instrs_after: int
+    blocks_before: int
+    blocks_after: int
+    changed: bool
+    markers_eliminated: tuple[str, ...]
+
+    @property
+    def instr_delta(self) -> int:
+        return self.instrs_after - self.instrs_before
+
+    @property
+    def block_delta(self) -> int:
+        return self.blocks_after - self.blocks_before
+
+
+def pass_profiles(spans_or_tracer: Tracer | list[Span]) -> list[PassProfile]:
+    """Extract :class:`PassProfile` records, in pipeline order."""
+    if isinstance(spans_or_tracer, Tracer):
+        spans = spans_or_tracer.find(PASS_SPAN)
+    else:
+        spans = sorted(
+            (s for s in spans_or_tracer if s.name == PASS_SPAN),
+            key=lambda s: s.start,
+        )
+    profiles = []
+    for span in spans:
+        a = span.attrs
+        profiles.append(
+            PassProfile(
+                index=a.get("index", len(profiles)),
+                name=a.get("pass", "?"),
+                wall_time=span.duration,
+                instrs_before=a.get("instrs_before", 0),
+                instrs_after=a.get("instrs_after", 0),
+                blocks_before=a.get("blocks_before", 0),
+                blocks_after=a.get("blocks_after", 0),
+                changed=bool(a.get("changed", False)),
+                markers_eliminated=tuple(a.get("markers_eliminated", ())),
+            )
+        )
+    return profiles
+
+
+def marker_attribution(spans_or_tracer: Tracer | list[Span]) -> dict[str, str]:
+    """Map each eliminated marker to the pass that killed it."""
+    killed_by: dict[str, str] = {}
+    for profile in pass_profiles(spans_or_tracer):
+        for marker in profile.markers_eliminated:
+            killed_by.setdefault(marker, profile.name)
+    return killed_by
+
+
+@dataclass
+class PassContribution:
+    """A pass's tally aggregated over many pipeline runs."""
+
+    name: str
+    runs: int = 0
+    changed_runs: int = 0
+    wall_time: float = 0.0
+    instr_delta: int = 0
+    markers_eliminated: list[str] = field(default_factory=list)
+
+
+def aggregate_contributions(
+    profile_lists: list[list[PassProfile]],
+) -> dict[str, PassContribution]:
+    """Fold per-run profiles into per-pass totals, keyed by pass name
+    (a pass appearing several times in the pipeline folds into one
+    entry, like the paper's per-component tables)."""
+    totals: dict[str, PassContribution] = {}
+    for profiles in profile_lists:
+        for p in profiles:
+            entry = totals.setdefault(p.name, PassContribution(p.name))
+            entry.runs += 1
+            entry.changed_runs += int(p.changed)
+            entry.wall_time += p.wall_time
+            entry.instr_delta += p.instr_delta
+            entry.markers_eliminated.extend(p.markers_eliminated)
+    return totals

@@ -1,0 +1,84 @@
+"""Trace/metrics serialization and plain-text rendering.
+
+Spans export to JSON Lines (one span object per line, completion
+order) and round-trip back through :func:`read_spans_jsonl`;
+:func:`format_trace` renders a tracer's span tree as an indented
+listing for terminal output (``dce-hunt analyze --trace``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, TextIO
+
+from .tracer import Span, Tracer
+
+
+def spans_to_dicts(tracer: Tracer) -> list[dict[str, Any]]:
+    return [span.to_dict() for span in tracer.spans]
+
+
+def write_spans_jsonl(spans: Iterable[Span], path_or_file: str | TextIO) -> int:
+    """Write one JSON object per span; returns the number written."""
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w") as handle:
+            return write_spans_jsonl(spans, handle)
+    count = 0
+    for span in spans:
+        path_or_file.write(json.dumps(span.to_dict(), sort_keys=True))
+        path_or_file.write("\n")
+        count += 1
+    return count
+
+
+def read_spans_jsonl(path_or_file: str | TextIO) -> list[Span]:
+    """Parse spans written by :func:`write_spans_jsonl` (blank lines
+    are skipped)."""
+    if isinstance(path_or_file, str):
+        with open(path_or_file) as handle:
+            return read_spans_jsonl(handle)
+    spans = []
+    for line in path_or_file:
+        line = line.strip()
+        if line:
+            spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+def write_trace_json(tracer: Tracer, path: str) -> None:
+    """Write the whole trace as one JSON document."""
+    payload = {"spans": spans_to_dicts(tracer), "dropped": tracer.dropped}
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+#: span attributes too bulky for the one-line tree rendering
+_VERBOSE_ATTRS = {"markers_eliminated"}
+
+
+def format_trace(tracer: Tracer, max_attrs: int = 6) -> str:
+    """Indented plain-text rendering of the span tree."""
+    lines: list[str] = []
+
+    def walk(span: Span, depth: int) -> None:
+        attrs = {
+            k: v for k, v in span.attrs.items() if k not in _VERBOSE_ATTRS
+        }
+        shown = list(attrs.items())[:max_attrs]
+        rendered = " ".join(f"{k}={v}" for k, v in shown)
+        if len(attrs) > max_attrs:
+            rendered += " …"
+        suffix = f"  [{rendered}]" if rendered else ""
+        lines.append(
+            f"{'  ' * depth}{span.name:<{max(1, 24 - 2 * depth)}} "
+            f"{span.duration * 1e3:8.3f} ms{suffix}"
+        )
+        for child in tracer.children(span):
+            walk(child, depth + 1)
+
+    for root in tracer.roots():
+        walk(root, 0)
+    if tracer.dropped:
+        lines.append(f"... {tracer.dropped} span(s) dropped (max_spans)")
+    return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""Metrics registry: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` is a thread-safe, name-keyed collection of
+instruments.  Instruments are created on first use::
+
+    registry.counter("campaign.programs").inc()
+    registry.histogram("compile_latency_ms/gcclike-O2@9").observe(4.2)
+
+Histograms keep every observation (the corpus scales here are small —
+thousands of compiles per campaign) so summaries can report exact
+percentiles; :meth:`MetricsRegistry.to_dict` snapshots everything as
+plain JSON-serializable data.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from typing import Any
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    def __init__(self) -> None:
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self.value += amount
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written value."""
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self.value += delta
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Distribution of observed values with exact percentile summaries."""
+
+    def __init__(self) -> None:
+        self.values: list[float] = []
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def sum(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile; ``p`` in [0, 100]."""
+        if not self.values:
+            return 0.0
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p} out of range")
+        ordered = sorted(self.values)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def summary(self) -> dict[str, float]:
+        if not self.values:
+            return {"count": 0}
+        ordered = sorted(self.values)
+        return {
+            "count": len(ordered),
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": ordered[0],
+            "max": ordered[-1],
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "histogram", **self.summary()}
+
+
+class MetricsRegistry:
+    """Get-or-create store of named instruments."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = self._instruments[name] = cls()
+            elif not isinstance(instrument, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, not {cls.__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable snapshot of every instrument."""
+        with self._lock:
+            items = list(self._instruments.items())
+        return {name: instrument.to_dict() for name, instrument in sorted(items)}
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")

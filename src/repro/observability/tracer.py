@@ -1,0 +1,228 @@
+"""Span-based tracing for the compilation pipeline.
+
+A :class:`Tracer` records a tree of timed :class:`Span` objects.  Code
+under instrumentation opens spans with a context manager::
+
+    with tracer.span("pipeline.pass", pass_name="sccp") as span:
+        ...
+        span.set("changed", True)
+
+Spans nest (the enclosing span on the same thread becomes the parent)
+and the tracer is thread-safe: each thread keeps its own span stack,
+finished spans are appended under a lock.
+
+Tracing is opt-in.  The module-level *current tracer* defaults to a
+disabled tracer whose :meth:`Tracer.span` returns a shared no-op
+context manager — the hot path pays one attribute check and no
+allocation, so instrumented code can call it unconditionally.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+
+class Span:
+    """One timed operation, with free-form attributes."""
+
+    __slots__ = ("span_id", "parent_id", "name", "attrs", "start", "end")
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: int | None,
+        name: str,
+        attrs: dict[str, Any],
+        start: float,
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.attrs = attrs
+        self.start = start
+        self.end: float | None = None
+
+    @property
+    def duration(self) -> float:
+        """Wall time in seconds (0.0 while the span is still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def set(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def update(self, **attrs: Any) -> None:
+        self.attrs.update(attrs)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Span":
+        span = cls(
+            data["span_id"],
+            data.get("parent_id"),
+            data["name"],
+            dict(data.get("attrs", {})),
+            data.get("start", 0.0),
+        )
+        span.end = span.start + data.get("duration", 0.0)
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Span {self.name} #{self.span_id} {self.duration * 1e3:.3f}ms>"
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out by disabled tracers."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def update(self, **attrs: Any) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _NullSpanContext:
+    """Stateless, reusable, reentrant context manager for the disabled
+    path: no allocation per ``tracer.span(...)`` call."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class Tracer:
+    """Collects spans.  Disabled tracers record nothing."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        clock: Callable[[], float] = time.perf_counter,
+        max_spans: int | None = None,
+    ) -> None:
+        self.enabled = enabled
+        self.clock = clock
+        self.max_spans = max_spans
+        self.dropped = 0
+        self.spans: list[Span] = []  # finished spans, completion order
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+
+    # -- recording --------------------------------------------------------
+
+    def span(self, name: str, /, **attrs: Any):
+        """Context manager opening a span named ``name`` (positional-only,
+        so ``name`` is also usable as an attribute key).
+
+        Returns a shared no-op context manager when disabled.
+        """
+        if not self.enabled:
+            return _NULL_SPAN_CONTEXT
+        return self._record(name, attrs)
+
+    @contextmanager
+    def _record(self, name: str, attrs: dict[str, Any]):
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else None
+        span = Span(next(self._ids), parent_id, name, attrs, self.clock())
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            span.end = self.clock()
+            stack.pop()
+            with self._lock:
+                if self.max_spans is not None and len(self.spans) >= self.max_spans:
+                    self.dropped += 1
+                else:
+                    self.spans.append(span)
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    # -- inspection -------------------------------------------------------
+
+    def find(self, name: str) -> list[Span]:
+        """All finished spans with ``name``, in start order."""
+        return sorted(
+            (s for s in self.spans if s.name == name), key=lambda s: s.start
+        )
+
+    def roots(self) -> list[Span]:
+        """Finished spans with no (finished) parent, in start order."""
+        ids = {s.span_id for s in self.spans}
+        return sorted(
+            (s for s in self.spans if s.parent_id not in ids),
+            key=lambda s: s.start,
+        )
+
+    def children(self, span: Span) -> list[Span]:
+        return sorted(
+            (s for s in self.spans if s.parent_id == span.span_id),
+            key=lambda s: s.start,
+        )
+
+    def reset(self) -> None:
+        with self._lock:
+            self.spans.clear()
+            self.dropped = 0
+
+
+#: Process-wide tracer consulted by instrumented code when no tracer is
+#: passed explicitly.  Disabled by default: tracing is strictly opt-in.
+_DISABLED = Tracer(enabled=False)
+_active = _DISABLED
+_active_lock = threading.Lock()
+
+
+def current_tracer() -> Tracer:
+    return _active
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer:
+    """Install ``tracer`` as the current tracer (None → disabled).
+
+    Returns the previously installed tracer.
+    """
+    global _active
+    with _active_lock:
+        previous = _active
+        _active = tracer if tracer is not None else _DISABLED
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Temporarily install ``tracer`` as the current tracer."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

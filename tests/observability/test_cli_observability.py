@@ -1,0 +1,80 @@
+import json
+
+from repro.cli import main as cli_main
+
+SOURCE = """
+int main() {
+  int x = 0;
+  if (x) { x = 1; }
+  return x;
+}
+"""
+
+
+def test_cli_profile_prints_per_pass_table(tmp_path, capsys):
+    path = tmp_path / "prog.c"
+    path.write_text(SOURCE)
+    assert cli_main(["profile", str(path), "--instrument",
+                     "--family", "gcclike", "--level", "O2"]) == 0
+    out = capsys.readouterr().out
+    assert "per-pass profile — gcclike-O2" in out
+    header = next(line for line in out.splitlines() if "Δinstrs" in line)
+    assert "pass" in header and "ms" in header and "killed markers" in header
+    assert "sccp" in out and "adce" in out
+    assert "DCEMarker0" in out  # the dead `if (g)` marker, attributed
+    assert "total pipeline:" in out
+
+
+def test_cli_profile_on_generated_program(tmp_path, capsys):
+    assert cli_main(["generate", "--seed", "5", "--instrument"]) == 0
+    source = capsys.readouterr().out
+    path = tmp_path / "gen.c"
+    path.write_text(source)
+    assert cli_main(["profile", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "per-pass profile" in out
+    assert "DCEMarker" in out  # some marker got attributed to a pass
+    assert "markers" in out
+
+
+def test_cli_analyze_trace_prints_span_tree(tmp_path, capsys):
+    path = tmp_path / "prog.c"
+    path.write_text(SOURCE)
+    assert cli_main(["analyze", "--trace", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "markers:" in out  # the normal report is still there
+    assert "trace:" in out
+    assert "ground_truth" in out
+    assert "interp.run" in out
+    assert "pipeline.pass" in out
+    # one compile span per default spec (2 families x 5 levels)
+    assert out.count("compile ") == 10
+
+
+def test_cli_campaign_metrics_out(tmp_path, capsys):
+    metrics_path = tmp_path / "metrics.json"
+    assert cli_main([
+        "campaign", "--programs", "1", "--seed-base", "901",
+        "--metrics-out", str(metrics_path), "--progress",
+    ]) == 0
+    captured = capsys.readouterr()
+    assert "Tables 1 & 2 shape" in captured.out
+    assert "programs/sec" in captured.err  # --progress reporting
+
+    snapshot = json.loads(metrics_path.read_text())
+    latency_hists = {
+        name: value
+        for name, value in snapshot.items()
+        if name.startswith("compile_latency_ms/")
+    }
+    # one histogram per (family, level) spec, each with one observation
+    assert len(latency_hists) == 10
+    for value in latency_hists.values():
+        assert value["type"] == "histogram"
+        assert value["count"] == 1
+        assert value["p50"] > 0
+    assert snapshot["campaign.programs_analyzed"]["value"] == 1
+    assert snapshot["campaign.program_latency_ms"]["count"] == 1
+    assert snapshot["campaign.compilations"]["value"] == 10
+    assert "campaign.missed/gcclike-O2" in snapshot
+    assert "campaign.primary_missed/llvmlike-O3" in snapshot

@@ -1,0 +1,81 @@
+import io
+
+from repro.observability import (
+    Span,
+    Tracer,
+    format_trace,
+    read_spans_jsonl,
+    spans_to_dicts,
+    write_spans_jsonl,
+    write_trace_json,
+)
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer(clock=iter([float(i) for i in range(10)]).__next__)
+    with tracer.span("root", kind="compile"):
+        with tracer.span("child", n=3, name="sccp"):
+            pass
+    return tracer
+
+
+def test_jsonl_round_trip_via_file(tmp_path):
+    tracer = _sample_tracer()
+    path = tmp_path / "trace.jsonl"
+    written = write_spans_jsonl(tracer.spans, str(path))
+    assert written == 2
+    loaded = read_spans_jsonl(str(path))
+    assert [s.to_dict() for s in loaded] == spans_to_dicts(tracer)
+    # parent/child structure survives the round trip
+    child, root = loaded  # completion order: child finishes first
+    assert child.name == "child" and root.name == "root"
+    assert child.parent_id == root.span_id
+    assert child.attrs == {"n": 3, "name": "sccp"}
+    assert child.duration == 1.0
+
+
+def test_jsonl_round_trip_via_stream_skips_blank_lines():
+    tracer = _sample_tracer()
+    buffer = io.StringIO()
+    write_spans_jsonl(tracer.spans, buffer)
+    text = buffer.getvalue() + "\n\n"
+    loaded = read_spans_jsonl(io.StringIO(text))
+    assert len(loaded) == 2
+
+
+def test_write_trace_json(tmp_path):
+    import json
+
+    tracer = _sample_tracer()
+    path = tmp_path / "trace.json"
+    write_trace_json(tracer, str(path))
+    payload = json.loads(path.read_text())
+    assert payload["dropped"] == 0
+    assert [s["name"] for s in payload["spans"]] == ["child", "root"]
+
+
+def test_format_trace_indents_children():
+    tracer = _sample_tracer()
+    lines = format_trace(tracer).splitlines()
+    assert lines[0].startswith("root")
+    assert lines[1].startswith("  child")
+    assert "ms" in lines[0]
+    assert "kind=compile" in lines[0]
+    assert "name=sccp" in lines[1]
+
+
+def test_format_trace_reports_dropped_spans():
+    tracer = Tracer(max_spans=1)
+    with tracer.span("a"):
+        pass
+    with tracer.span("b"):
+        pass
+    assert "1 span(s) dropped" in format_trace(tracer)
+
+
+def test_span_from_dict_defaults():
+    span = Span.from_dict({"span_id": 7, "name": "x"})
+    assert span.span_id == 7
+    assert span.parent_id is None
+    assert span.attrs == {}
+    assert span.duration == 0.0

@@ -1,0 +1,91 @@
+import json
+import threading
+
+import pytest
+
+from repro.observability import MetricsRegistry
+
+
+def test_counter_monotonic():
+    registry = MetricsRegistry()
+    counter = registry.counter("hits")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+    # get-or-create returns the same instrument
+    assert registry.counter("hits") is counter
+
+
+def test_gauge_set_and_add():
+    gauge = MetricsRegistry().gauge("temp")
+    gauge.set(3.5)
+    gauge.add(0.5)
+    assert gauge.value == 4.0
+
+
+def test_histogram_percentiles_nearest_rank():
+    hist = MetricsRegistry().histogram("latency")
+    for v in range(1, 101):  # 1..100, shuffled insert order must not matter
+        hist.observe(101 - v)
+    assert hist.count == 100
+    assert hist.percentile(50) == 50
+    assert hist.percentile(90) == 90
+    assert hist.percentile(99) == 99
+    assert hist.percentile(100) == 100
+    assert hist.percentile(0) == 1
+    summary = hist.summary()
+    assert summary["min"] == 1 and summary["max"] == 100
+    assert summary["mean"] == pytest.approx(50.5)
+    assert summary["p50"] == 50 and summary["p90"] == 90 and summary["p99"] == 99
+    with pytest.raises(ValueError):
+        hist.percentile(101)
+
+
+def test_empty_histogram_summary():
+    hist = MetricsRegistry().histogram("empty")
+    assert hist.summary() == {"count": 0}
+    assert hist.percentile(50) == 0.0
+    assert hist.mean == 0.0
+
+
+def test_registry_snapshot_is_json_serializable(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("a.count").inc(2)
+    registry.gauge("b.gauge").set(1.5)
+    registry.histogram("c.hist").observe(10)
+    snapshot = registry.to_dict()
+    assert snapshot["a.count"] == {"type": "counter", "value": 2}
+    assert snapshot["b.gauge"] == {"type": "gauge", "value": 1.5}
+    assert snapshot["c.hist"]["type"] == "histogram"
+    assert snapshot["c.hist"]["count"] == 1
+
+    path = tmp_path / "metrics.json"
+    registry.write_json(str(path))
+    assert json.loads(path.read_text()) == snapshot
+    assert registry.names() == ["a.count", "b.gauge", "c.hist"]
+
+
+def test_registry_rejects_type_confusion():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+
+
+def test_registry_thread_safety():
+    registry = MetricsRegistry()
+
+    def worker():
+        for _ in range(200):
+            registry.counter("n").inc()
+            registry.histogram("h").observe(1.0)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert registry.counter("n").value == 800
+    assert registry.histogram("h").count == 800

@@ -1,0 +1,151 @@
+import pytest
+
+from repro.backend.asm import alive_markers, emit_module
+from repro.compilers import CompilerSpec, compile_minic
+from repro.compilers.pipeline import (
+    PassPipelineError,
+    module_markers,
+    module_size,
+    run_pipeline,
+    validate_passes,
+)
+from repro.compilers.versions import config_at
+from repro.core.markers import instrument_program
+from repro.frontend.lower import lower_program
+from repro.frontend.typecheck import check_program
+from repro.lang import parse_program
+from repro.observability import (
+    PASS_SPAN,
+    PIPELINE_SPAN,
+    Tracer,
+    marker_attribution,
+    pass_profiles,
+    use_tracer,
+)
+
+SOURCE = """
+int live = 0;
+int main() {
+  int i = 0;
+  int x = 0;
+  if (x) { x = 1; }
+  for (i = 0; i < 4; i = i + 1) { live = live + i; }
+  if (x > 2) { live = 9; }
+  return live;
+}
+"""
+
+
+def _instrumented():
+    inst = instrument_program(parse_program(SOURCE))
+    info = check_program(inst.program)
+    return inst, info
+
+
+def test_one_span_per_configured_pass():
+    inst, info = _instrumented()
+    module = lower_program(inst.program, info)
+    config = config_at("gcclike", "O2")
+    tracer = Tracer()
+    changed = run_pipeline(module, config, tracer=tracer)
+
+    pass_spans = tracer.find(PASS_SPAN)
+    assert [s.attrs["pass"] for s in pass_spans] == list(config.passes)
+    assert [s.attrs["index"] for s in pass_spans] == list(range(len(config.passes)))
+    pipeline_spans = tracer.find(PIPELINE_SPAN)
+    assert len(pipeline_spans) == 1
+    assert all(s.parent_id == pipeline_spans[0].span_id for s in pass_spans)
+    assert pipeline_spans[0].attrs["changed_passes"] == len(changed)
+    # changed flags in the spans agree with the returned list
+    changed_in_spans = [s.attrs["pass"] for s in pass_spans if s.attrs["changed"]]
+    assert changed_in_spans == changed
+
+
+def test_span_size_deltas_chain_and_match_module():
+    inst, info = _instrumented()
+    module = lower_program(inst.program, info)
+    before = module_size(module)
+    tracer = Tracer()
+    run_pipeline(module, config_at("gcclike", "O2"), tracer=tracer)
+    profiles = pass_profiles(tracer)
+    assert (profiles[0].instrs_before, profiles[0].blocks_before) == before
+    for prev, cur in zip(profiles, profiles[1:]):
+        assert cur.instrs_before == prev.instrs_after
+        assert cur.blocks_before == prev.blocks_after
+    assert (profiles[-1].instrs_after, profiles[-1].blocks_after) == module_size(
+        module
+    )
+
+
+def test_marker_attribution_matches_asm_oracle():
+    inst, info = _instrumented()
+    module = lower_program(inst.program, info)
+    in_ir_before = module_markers(module)
+    tracer = Tracer()
+    run_pipeline(module, config_at("gcclike", "O2"), tracer=tracer)
+
+    killed_by = marker_attribution(tracer)
+    eliminated_per_asm = in_ir_before - (
+        alive_markers(emit_module(module), "DCEMarker") & in_ir_before
+    )
+    assert frozenset(killed_by) == eliminated_per_asm
+    assert eliminated_per_asm  # the dead `if (x)` / `if (x > 2)` bodies
+    # every killer is a real configured pass
+    assert set(killed_by.values()) <= set(config_at("gcclike", "O2").passes)
+
+
+def test_compile_minic_nests_pipeline_under_compile_span():
+    inst, _ = _instrumented()
+    tracer = Tracer()
+    with use_tracer(tracer):
+        compile_minic(inst.program, CompilerSpec("llvmlike", "O2"))
+    compile_spans = tracer.find("compile")
+    assert len(compile_spans) == 1
+    pipeline_spans = tracer.find(PIPELINE_SPAN)
+    assert pipeline_spans[0].parent_id == compile_spans[0].span_id
+    assert compile_spans[0].attrs["spec"] == str(CompilerSpec("llvmlike", "O2"))
+
+
+def test_disabled_tracer_records_nothing_and_result_is_identical():
+    inst, info = _instrumented()
+    module_a = lower_program(inst.program, info)
+    module_b = lower_program(inst.program, info)
+    config = config_at("gcclike", "O2")
+    disabled = Tracer(enabled=False)
+    changed_a = run_pipeline(module_a, config, tracer=disabled)
+    changed_b = run_pipeline(module_b, config, tracer=Tracer())
+    assert disabled.spans == []
+    assert changed_a == changed_b
+    assert emit_module(module_a) == emit_module(module_b)
+
+
+def test_unknown_pass_raises_pipeline_error_listing_valid_names():
+    inst, info = _instrumented()
+    module = lower_program(inst.program, info)
+    config = config_at("gcclike", "O2").with_(passes=("sccp", "scpc", "dec"))
+    with pytest.raises(PassPipelineError) as exc:
+        run_pipeline(module, config)
+    message = str(exc.value)
+    assert "'scpc'" in message and "'dec'" in message
+    assert "sccp" in message and "adce" in message  # valid names listed
+    # validation happens before any pass runs
+    assert module_size(module) == module_size(lower_program(inst.program, info))
+    with pytest.raises(PassPipelineError):
+        validate_passes(["nope"])
+    validate_passes(["sccp", "adce"])  # no error
+
+
+def test_ground_truth_and_interp_spans_nest():
+    inst, info = _instrumented()
+    from repro.core.ground_truth import compute_ground_truth
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        truth = compute_ground_truth(inst, info=info)
+    truth_spans = tracer.find("ground_truth")
+    interp_spans = tracer.find("interp.run")
+    assert len(truth_spans) == 1 and len(interp_spans) == 1
+    assert interp_spans[0].parent_id == truth_spans[0].span_id
+    assert interp_spans[0].attrs["steps"] == truth.execution.steps > 0
+    assert truth_spans[0].attrs["dead"] == len(truth.dead)
+    assert truth_spans[0].attrs["alive"] == len(truth.alive)

@@ -1,0 +1,110 @@
+import threading
+
+from repro.observability import (
+    NULL_SPAN,
+    Tracer,
+    current_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+
+def test_nested_spans_record_parent_links():
+    tracer = Tracer()
+    with tracer.span("outer", kind="test") as outer:
+        with tracer.span("inner") as inner:
+            inner.set("x", 1)
+        with tracer.span("inner") as second:
+            second.set("x", 2)
+    assert len(tracer.spans) == 3
+    outer_span = tracer.find("outer")[0]
+    inner_spans = tracer.find("inner")
+    assert outer_span.parent_id is None
+    assert [s.parent_id for s in inner_spans] == [outer_span.span_id] * 2
+    assert [s.attrs["x"] for s in inner_spans] == [1, 2]
+    assert tracer.children(outer_span) == inner_spans
+    assert tracer.roots() == [outer_span]
+    # children finish before the parent, durations nest
+    assert outer_span.duration >= sum(s.duration for s in inner_spans) * 0.0
+    assert all(s.end <= outer_span.end for s in inner_spans)
+
+
+def test_span_attrs_and_duration():
+    tracer = Tracer(clock=iter([1.0, 3.5]).__next__)
+    with tracer.span("timed", a=1) as span:
+        span.update(b=2)
+    assert span.duration == 2.5
+    assert span.attrs == {"a": 1, "b": 2}
+
+
+def test_disabled_tracer_is_a_no_op():
+    tracer = Tracer(enabled=False)
+    context = tracer.span("anything", big=list(range(3)))
+    with context as span:
+        span.set("ignored", True)
+        span.update(more=1)
+    assert span is NULL_SPAN
+    assert tracer.spans == []
+    # the disabled path hands out one shared context manager object
+    assert tracer.span("other") is context
+
+
+def test_current_tracer_defaults_to_disabled():
+    assert current_tracer().enabled is False
+
+
+def test_use_tracer_installs_and_restores():
+    before = current_tracer()
+    tracer = Tracer()
+    with use_tracer(tracer):
+        assert current_tracer() is tracer
+        with current_tracer().span("inside"):
+            pass
+    assert current_tracer() is before
+    assert [s.name for s in tracer.spans] == ["inside"]
+
+
+def test_set_tracer_none_means_disabled():
+    previous = set_tracer(None)
+    try:
+        assert current_tracer().enabled is False
+    finally:
+        set_tracer(previous)
+
+
+def test_tracer_is_thread_safe():
+    tracer = Tracer()
+    errors = []
+
+    def worker(tag):
+        try:
+            for i in range(50):
+                with tracer.span("w", tag=tag, i=i):
+                    with tracer.span("w.child"):
+                        pass
+        except Exception as err:  # pragma: no cover
+            errors.append(err)
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(tracer.spans) == 4 * 50 * 2
+    # every child's parent is a span from the same thread's stack
+    by_id = {s.span_id: s for s in tracer.spans}
+    for span in tracer.spans:
+        if span.name == "w.child":
+            assert by_id[span.parent_id].name == "w"
+
+
+def test_max_spans_drops_and_counts():
+    tracer = Tracer(max_spans=2)
+    for i in range(5):
+        with tracer.span("s", i=i):
+            pass
+    assert len(tracer.spans) == 2
+    assert tracer.dropped == 3
+    tracer.reset()
+    assert tracer.spans == [] and tracer.dropped == 0
