@@ -1,0 +1,79 @@
+"""Campaign scaling — programs/sec of the parallel engine at
+jobs ∈ {1, 2, 4} on one corpus.
+
+The paper's 10k-file campaigns are embarrassingly parallel per seed
+(diopter's ``generate_programs_parallel`` shape); this bench records
+how our process-pool engine scales on the host and asserts that the
+merged result stays byte-identical to the sequential run at every
+jobs count — the determinism guarantee that makes ``--jobs`` safe to
+use everywhere.
+
+``CAMPAIGN_SCALING_PROGRAMS`` overrides the corpus size (default 50).
+"""
+
+import os
+import time
+
+from repro.core.corpus import run_campaign
+from repro.core.parallel import shard_seeds
+from repro.core.stats import format_table
+
+from conftest import emit
+
+JOBS = (1, 2, 4)
+PROGRAMS = int(os.environ.get("CAMPAIGN_SCALING_PROGRAMS", "50"))
+SEED_BASE = 40_000
+
+
+def _fingerprint(result):
+    return (
+        result.seeds,
+        result.skipped,
+        result.total_markers,
+        result.total_dead,
+        result.by_level,
+        result.cross_compiler,
+        result.cross_level,
+        result.findings,
+        result.soundness_violations,
+    )
+
+
+def test_campaign_scaling(benchmark):
+    benchmark(lambda: shard_seeds(range(10_000), jobs=4))
+    runs = {}
+    for jobs in JOBS:
+        start = time.perf_counter()
+        result = run_campaign(
+            n_programs=PROGRAMS, seed_base=SEED_BASE, jobs=jobs
+        )
+        elapsed = time.perf_counter() - start
+        done = len(result.seeds) + len(result.skipped)
+        runs[jobs] = (result, elapsed, done / elapsed)
+
+    base_fingerprint = _fingerprint(runs[JOBS[0]][0])
+    base_rate = runs[JOBS[0]][2]
+    rows = []
+    for jobs in JOBS:
+        result, elapsed, rate = runs[jobs]
+        rows.append([
+            str(jobs),
+            f"{elapsed:.1f}",
+            f"{rate:.2f}",
+            f"{rate / base_rate:.2f}x",
+            "yes" if _fingerprint(result) == base_fingerprint else "NO",
+        ])
+    lines = [
+        f"Campaign scaling — {PROGRAMS} programs, seed base {SEED_BASE}, "
+        f"{os.cpu_count()} CPU(s)",
+        format_table(
+            ["jobs", "seconds", "programs/sec", "speedup", "identical result"],
+            rows,
+        ),
+    ]
+    emit("campaign_scaling", "\n".join(lines))
+
+    for jobs in JOBS:
+        assert runs[jobs][2] > 0
+        # determinism is the hard guarantee; speedup depends on cores
+        assert _fingerprint(runs[jobs][0]) == base_fingerprint

@@ -17,6 +17,7 @@ Subcommands mirror the paper's workflow:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from . import api
@@ -65,6 +66,11 @@ def main(argv: list[str] | None = None) -> int:
     p_campaign.add_argument(
         "--progress", action="store_true",
         help="report per-program progress on stderr",
+    )
+    p_campaign.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="shard seeds across N worker processes (0 = one per CPU); "
+             "results are identical to --jobs 1 regardless of N",
     )
 
     p_profile = sub.add_parser(
@@ -122,7 +128,8 @@ def main(argv: list[str] | None = None) -> int:
         print(print_program(program))
     elif args.command == "campaign":
         _campaign(args.programs, args.seed_base,
-                  metrics_out=args.metrics_out, show_progress=args.progress)
+                  metrics_out=args.metrics_out, show_progress=args.progress,
+                  jobs=args.jobs)
     elif args.command == "profile":
         _profile(_read(args.file), args.family, args.level, args.instrument)
     elif args.command == "asm":
@@ -238,12 +245,15 @@ def _campaign(
     seed_base: int,
     metrics_out: str | None = None,
     show_progress: bool = False,
+    jobs: int = 1,
 ) -> None:
     metrics = MetricsRegistry() if metrics_out else None
     progress = _print_progress if show_progress else None
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
     result = run_campaign(
         n_programs=n_programs, seed_base=seed_base,
-        metrics=metrics, progress=progress,
+        metrics=metrics, progress=progress, jobs=jobs,
     )
     if metrics is not None:
         metrics.write_json(metrics_out)

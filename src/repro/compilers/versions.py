@@ -17,7 +17,8 @@ sequence, mirroring the dynamics the paper reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from functools import lru_cache
 
 from .config import PipelineConfig
 from .vendors import GCCLIKE, LEVELS, LLVMLIKE, O1, O2, O3, OS, base_config, finalize_config
@@ -196,12 +197,23 @@ def latest(family: str) -> int:
 
 def config_at(family: str, level: str, version: int | None = None) -> PipelineConfig:
     """The finalized pipeline configuration of (family, level) at
-    ``version`` (defaults to the tip)."""
+    ``version`` (defaults to the tip).
+
+    Pure in (family, level, version), so replaying the commit history
+    is memoized; callers get a private shallow copy (every config
+    field is immutable) and cannot poison the cache by mutating it.
+    """
     commits = _HISTORIES[family]
     if version is None:
         version = len(commits)
     if not 0 <= version <= len(commits):
         raise ValueError(f"version {version} out of range for {family}")
+    return replace(_config_at_cached(family, level, version))
+
+
+@lru_cache(maxsize=None)
+def _config_at_cached(family: str, level: str, version: int) -> PipelineConfig:
+    commits = _HISTORIES[family]
     configs = {lvl: base_config(family, lvl) for lvl in LEVELS}
     for commit in commits[:version]:
         configs = commit.apply(configs)

@@ -89,6 +89,8 @@ class CampaignResult:
     #: per-seed interesting finds, for triage/reduction follow-ups
     findings: list[dict] = field(default_factory=list)
     soundness_violations: list[dict] = field(default_factory=list)
+    #: full per-seed analyses, populated only with ``keep_analyses``
+    analyses: list[ProgramOutcome] = field(default_factory=list)
 
     @property
     def dead_pct(self) -> float:
@@ -126,6 +128,7 @@ def run_campaign(
     metrics: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
     progress: Callable[[CampaignProgress], None] | None = None,
+    jobs: int = 1,
 ) -> CampaignResult:
     """Run the full marker campaign over ``n_programs`` seeds.
 
@@ -138,7 +141,24 @@ def run_campaign(
       so pipeline/interpreter spans nest under one ``campaign`` span.
     * ``progress`` — called with a :class:`CampaignProgress` snapshot
       after every seed.
+
+    ``jobs`` shards the per-seed work across a process pool
+    (:mod:`repro.core.parallel`).  The default 1 runs the exact
+    sequential path in-process; any higher count produces a
+    :class:`CampaignResult` with identical contents — outcomes merge
+    in seed order regardless of completion order — while metrics fold
+    worker snapshots into ``metrics`` and worker spans re-parent under
+    the campaign span.
     """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs > 1:
+        from .parallel import run_campaign_parallel
+
+        return run_campaign_parallel(
+            n_programs, seed_base, version, generator_config,
+            keep_analyses, compare_level, metrics, tracer, progress, jobs,
+        )
     if tracer is not None:
         with use_tracer(tracer):
             return _run_campaign_traced(
@@ -164,7 +184,6 @@ def _run_campaign_traced(
     specs = default_specs(version)
     result = CampaignResult()
     result.cross_level = {family: CrossLevelStats() for family in FAMILIES}
-    analyses: list[ProgramOutcome] = []
     tracer = current_tracer()
     start = time.perf_counter()
 
@@ -188,7 +207,7 @@ def _run_campaign_traced(
                 result.seeds.append(seed)
                 _accumulate(result, outcome, version, compare_level)
                 if keep_analyses:
-                    analyses.append(outcome)
+                    result.analyses.append(outcome)
             elapsed = time.perf_counter() - start
             if metrics is not None:
                 _record_tallies(result, metrics, elapsed)
@@ -206,8 +225,6 @@ def _run_campaign_traced(
         campaign_span.update(
             completed=len(result.seeds), skipped=len(result.skipped)
         )
-    if keep_analyses:
-        result.findings.append({"analyses": analyses})
     return result
 
 
@@ -272,14 +289,27 @@ def _accumulate(
 
     graph = build_marker_graph(instrumented, truth.executed_functions())
 
+    # The primary set is a pure function of the eliminated set (for a
+    # fixed program/graph), and the cross-compiler/cross-level sections
+    # below revisit the compare-level eliminated sets the by-level loop
+    # already handled — and specs frequently coincide on eliminated
+    # sets outright — so memoize per distinct set.
+    primary_memo: dict[frozenset[str], frozenset[str]] = {}
+
+    def primary_of(eliminated: frozenset[str]) -> frozenset[str]:
+        cached = primary_memo.get(eliminated)
+        if cached is None:
+            cached = primary_memo[eliminated] = primary_missed_markers(
+                instrumented, truth, eliminated, graph=graph
+            )
+        return cached
+
     for family in FAMILIES:
         for level in LEVELS:
             spec = CompilerSpec(family, level, version)
             missed = analysis.missed_vs_ideal(spec)
             eliminated = analysis.outcome(spec).eliminated
-            primary = primary_missed_markers(
-                instrumented, truth, eliminated, graph=graph
-            )
+            primary = primary_of(eliminated)
             stats = result.level_stats(family, level)
             stats.dead_total += len(truth.dead)
             stats.missed += len(missed)
@@ -297,10 +327,8 @@ def _accumulate(
     llvm_misses = analysis.missed_vs(llvm_spec, gcc_spec)
     result.cross_compiler.gcc_misses_llvm_catches += len(gcc_misses)
     result.cross_compiler.llvm_misses_gcc_catches += len(llvm_misses)
-    gcc_elim = analysis.outcome(gcc_spec).eliminated
-    llvm_elim = analysis.outcome(llvm_spec).eliminated
-    gcc_primary = primary_missed_markers(instrumented, truth, gcc_elim, graph=graph)
-    llvm_primary = primary_missed_markers(instrumented, truth, llvm_elim, graph=graph)
+    gcc_primary = primary_of(analysis.outcome(gcc_spec).eliminated)
+    llvm_primary = primary_of(analysis.outcome(llvm_spec).eliminated)
     result.cross_compiler.gcc_primary += len(gcc_misses & gcc_primary)
     result.cross_compiler.llvm_primary += len(llvm_misses & llvm_primary)
     if gcc_misses or llvm_misses:
@@ -321,8 +349,7 @@ def _accumulate(
         stats = result.cross_level[family]
         stats.missed_at_high += len(seized)
         spec = CompilerSpec(family, compare_level, version)
-        eliminated = analysis.outcome(spec).eliminated
-        primary = primary_missed_markers(instrumented, truth, eliminated, graph=graph)
+        primary = primary_of(analysis.outcome(spec).eliminated)
         stats.primary += len(seized & primary)
         result.findings.append(
             {

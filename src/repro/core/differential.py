@@ -16,11 +16,12 @@ surfaces (none are expected — the test suite asserts it).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import astuple, dataclass, field
 
 from ..compilers import CompilerSpec, compile_minic
 from ..frontend.typecheck import SymbolInfo, check_program
 from ..observability.metrics import MetricsRegistry
+from ..observability.tracer import current_tracer
 from .ground_truth import GroundTruth, compute_ground_truth
 from .markers import InstrumentedProgram
 
@@ -73,20 +74,42 @@ def analyze_markers(
 
     With a ``metrics`` registry, each compilation's latency is observed
     into a per-spec ``compile_latency_ms/<spec>`` histogram.
+
+    Alive-marker sets are a pure function of (program, pipeline
+    config), so specs whose resolved :class:`PipelineConfig` coincide
+    (e.g. ``gcclike-O0`` and ``llvmlike-O0`` at tip, or unchanged
+    levels across versions in a regression watch) compile once and
+    share the result.  A cache hit still observes the (near-zero)
+    lookup latency into the spec's histogram — the per-spec
+    observation count stays one per call — and bumps the
+    ``campaign.compile_cache_hits`` counter instead of
+    ``campaign.compilations``.
     """
     if info is None:
         info = check_program(instrumented.program)
     if ground_truth is None:
         ground_truth = compute_ground_truth(instrumented, info=info)
     analysis = ProgramAnalysis(instrumented, ground_truth)
+    tracer = current_tracer()
+    by_config: dict[tuple, frozenset[str]] = {}
     for spec in specs:
         start = time.perf_counter()
-        result = compile_minic(instrumented.program, spec, info=info)
+        config_key = astuple(spec.config())
+        alive = by_config.get(config_key)
+        if alive is None:
+            result = compile_minic(instrumented.program, spec, info=info)
+            alive = result.alive_markers(marker_prefix) & instrumented.marker_names
+            by_config[config_key] = alive
+            if metrics is not None:
+                metrics.counter("campaign.compilations").inc()
+        else:
+            with tracer.span("compile.cached", spec=str(spec)):
+                pass
+            if metrics is not None:
+                metrics.counter("campaign.compile_cache_hits").inc()
         if metrics is not None:
             elapsed_ms = (time.perf_counter() - start) * 1e3
             metrics.histogram(f"compile_latency_ms/{spec}").observe(elapsed_ms)
-            metrics.counter("campaign.compilations").inc()
-        alive = result.alive_markers(marker_prefix) & instrumented.marker_names
         analysis.outcomes[str(spec)] = MarkerOutcome(
             spec, alive, instrumented.marker_names
         )

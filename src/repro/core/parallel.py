@@ -1,0 +1,292 @@
+"""Parallel campaign engine: process-pool seed sharding.
+
+``run_campaign(jobs=N)`` delegates here for ``N > 1``.  Seeds split
+into contiguous shards, each pool worker runs
+:func:`repro.core.corpus.analyze_one` over its shard and sends back a
+picklable :class:`SeedEnvelope` per seed (outcome + raw metrics
+snapshot + serialized spans).  The parent drains futures as they
+complete but folds envelopes into the :class:`CampaignResult` strictly
+**in seed order** — out-of-order shards buffer until the gap closes —
+so the result is identical to the sequential run regardless of jobs
+count, shard size, or completion order.
+
+Observability threads through the pool boundary:
+
+* each worker accumulates into a private
+  :class:`~repro.observability.metrics.MetricsRegistry` whose raw
+  :meth:`~repro.observability.metrics.MetricsRegistry.dump` snapshot
+  merges into the parent registry (histogram observations included),
+  in seed order, so merged tallies match the sequential run;
+* workers trace into a private
+  :class:`~repro.observability.tracer.Tracer` (only when the parent's
+  tracer is enabled) and the parent re-parents each per-seed span
+  subtree under its own ``campaign`` span via
+  :meth:`~repro.observability.tracer.Tracer.adopt_spans`;
+* ``progress`` callbacks fire from the as-completed loop as seeds
+  merge, so ``campaign --progress`` ticks live.
+
+Workers fork (where the platform supports it) so the pool inherits the
+warm interpreter state; on spawn-only platforms everything shipped to
+the initializer is picklable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
+
+from ..compilers import FAMILIES
+from ..generator import GeneratorConfig
+from ..observability.export import spans_to_dicts
+from ..observability.metrics import MetricsRegistry
+from ..observability.tracer import Tracer, current_tracer, use_tracer
+from .corpus import (
+    CampaignProgress,
+    CampaignResult,
+    CrossLevelStats,
+    ProgramOutcome,
+    _accumulate,
+    _record_tallies,
+    analyze_one,
+    default_specs,
+)
+
+#: seeds per pool task: small enough that every worker sees several
+#: waves (load balance + live progress), large enough to amortize the
+#: per-task pickle round-trip
+MAX_SHARD_SIZE = 8
+
+
+@dataclass
+class SeedEnvelope:
+    """Everything one worker says about one seed, picklable."""
+
+    seed: int
+    outcome: ProgramOutcome | None
+    #: raw MetricsRegistry.dump() snapshot (None when metrics are off)
+    metrics: dict[str, Any] | None
+    #: worker span dicts, completion order (None when tracing is off)
+    spans: list[dict[str, Any]] | None
+
+
+def shard_seeds(
+    seeds: Sequence[int], jobs: int, shard_size: int | None = None
+) -> list[list[int]]:
+    """Split ``seeds`` into contiguous shards.
+
+    The default size aims for ~4 waves per worker so stragglers don't
+    serialize the tail, capped at :data:`MAX_SHARD_SIZE`.
+    """
+    if shard_size is None:
+        per_wave = max(1, len(seeds) // (jobs * 4))
+        shard_size = min(per_wave, MAX_SHARD_SIZE)
+    shard_size = max(1, shard_size)
+    return [
+        list(seeds[i:i + shard_size])
+        for i in range(0, len(seeds), shard_size)
+    ]
+
+
+# -- worker side -----------------------------------------------------------
+
+_WORKER: dict[str, Any] = {}
+
+
+def _init_worker(
+    version: int | None,
+    generator_config: GeneratorConfig | None,
+    collect_metrics: bool,
+    collect_spans: bool,
+) -> None:
+    _WORKER.update(
+        specs=default_specs(version),
+        version=version,
+        generator_config=generator_config,
+        collect_metrics=collect_metrics,
+        collect_spans=collect_spans,
+    )
+
+
+def _analyze_shard(seeds: list[int]) -> list[SeedEnvelope]:
+    return [_analyze_seed(seed) for seed in seeds]
+
+
+def _analyze_seed(seed: int) -> SeedEnvelope:
+    metrics = MetricsRegistry() if _WORKER["collect_metrics"] else None
+    start = time.perf_counter()
+    if _WORKER["collect_spans"]:
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with tracer.span("campaign.program", seed=seed) as span:
+                outcome = _run_analyze(seed, metrics)
+                span.set("skipped", outcome is None)
+        spans = spans_to_dicts(tracer)
+    else:
+        outcome = _run_analyze(seed, metrics)
+        spans = None
+    if metrics is not None:
+        # mirrors the sequential parent's per-program latency histogram
+        metrics.histogram("campaign.program_latency_ms").observe(
+            (time.perf_counter() - start) * 1e3
+        )
+    return SeedEnvelope(
+        seed, outcome, metrics.dump() if metrics is not None else None, spans
+    )
+
+
+def _run_analyze(seed: int, metrics: MetricsRegistry | None) -> ProgramOutcome | None:
+    return analyze_one(
+        seed,
+        _WORKER["specs"],
+        _WORKER["version"],
+        _WORKER["generator_config"],
+        metrics=metrics,
+    )
+
+
+# -- parent side -----------------------------------------------------------
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits warm module state); fall back to
+    the platform default where fork is unavailable."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_campaign_parallel(
+    n_programs: int,
+    seed_base: int,
+    version: int | None,
+    generator_config: GeneratorConfig | None,
+    keep_analyses: bool,
+    compare_level: str,
+    metrics: MetricsRegistry | None,
+    tracer: Tracer | None,
+    progress: Callable[[CampaignProgress], None] | None,
+    jobs: int,
+) -> CampaignResult:
+    """The ``jobs > 1`` engine behind
+    :func:`repro.core.corpus.run_campaign` (same contract)."""
+    if tracer is not None:
+        with use_tracer(tracer):
+            return _run_parallel(
+                n_programs, seed_base, version, generator_config,
+                keep_analyses, compare_level, metrics, progress, jobs,
+            )
+    return _run_parallel(
+        n_programs, seed_base, version, generator_config,
+        keep_analyses, compare_level, metrics, progress, jobs,
+    )
+
+
+def _run_parallel(
+    n_programs: int,
+    seed_base: int,
+    version: int | None,
+    generator_config: GeneratorConfig | None,
+    keep_analyses: bool,
+    compare_level: str,
+    metrics: MetricsRegistry | None,
+    progress: Callable[[CampaignProgress], None] | None,
+    jobs: int,
+) -> CampaignResult:
+    result = CampaignResult()
+    result.cross_level = {family: CrossLevelStats() for family in FAMILIES}
+    tracer = current_tracer()
+    start = time.perf_counter()
+    shards = shard_seeds(range(seed_base, seed_base + n_programs), jobs)
+
+    with tracer.span(
+        "campaign", programs=n_programs, seed_base=seed_base, jobs=jobs
+    ) as campaign_span:
+        parent_id = campaign_span.span_id if tracer.enabled else None
+        if shards:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(shards)),
+                mp_context=_pool_context(),
+                initializer=_init_worker,
+                initargs=(
+                    version, generator_config,
+                    metrics is not None, tracer.enabled,
+                ),
+            ) as pool:
+                futures = {
+                    pool.submit(_analyze_shard, shard): index
+                    for index, shard in enumerate(shards)
+                }
+                for envelope in _in_seed_order(futures):
+                    _merge_envelope(
+                        result, envelope, version, compare_level,
+                        keep_analyses, metrics, tracer, parent_id,
+                        progress, start, n_programs,
+                    )
+        campaign_span.update(
+            completed=len(result.seeds), skipped=len(result.skipped)
+        )
+    return result
+
+
+def _in_seed_order(futures: dict[Any, int]) -> Iterator[SeedEnvelope]:
+    """Drain shard futures as they complete, yielding envelopes in
+    seed order: shards that finish early buffer until every earlier
+    shard has been yielded."""
+    ready: dict[int, list[SeedEnvelope]] = {}
+    next_index = 0
+    pending = set(futures)
+    while pending:
+        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+        for future in done:
+            ready[futures[future]] = future.result()
+        while next_index in ready:
+            yield from ready.pop(next_index)
+            next_index += 1
+    # a gap here would mean a lost future; surface it loudly
+    if ready:  # pragma: no cover - defensive
+        raise RuntimeError(f"unmerged shards remain: {sorted(ready)}")
+
+
+def _merge_envelope(
+    result: CampaignResult,
+    envelope: SeedEnvelope,
+    version: int | None,
+    compare_level: str,
+    keep_analyses: bool,
+    metrics: MetricsRegistry | None,
+    tracer: Tracer,
+    campaign_parent_id: int | None,
+    progress: Callable[[CampaignProgress], None] | None,
+    start: float,
+    n_programs: int,
+) -> None:
+    """Fold one worker envelope into the parent state (mirrors one
+    iteration of the sequential campaign loop)."""
+    if metrics is not None and envelope.metrics is not None:
+        metrics.merge(envelope.metrics)
+    if tracer.enabled and envelope.spans:
+        tracer.adopt_spans(envelope.spans, parent_id=campaign_parent_id)
+    if envelope.outcome is None:
+        result.skipped.append(envelope.seed)
+    else:
+        result.seeds.append(envelope.seed)
+        _accumulate(result, envelope.outcome, version, compare_level)
+        if keep_analyses:
+            result.analyses.append(envelope.outcome)
+    elapsed = time.perf_counter() - start
+    if metrics is not None:
+        _record_tallies(result, metrics, elapsed)
+    if progress is not None:
+        progress(
+            CampaignProgress(
+                seed=envelope.seed,
+                completed=len(result.seeds),
+                skipped=len(result.skipped),
+                total=n_programs,
+                elapsed=elapsed,
+                skipped_seed=envelope.outcome is None,
+            )
+        )

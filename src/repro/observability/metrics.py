@@ -146,6 +146,50 @@ class MetricsRegistry:
             items = list(self._instruments.items())
         return {name: instrument.to_dict() for name, instrument in sorted(items)}
 
+    def dump(self) -> dict[str, Any]:
+        """Raw, picklable snapshot for cross-process merging.
+
+        Unlike :meth:`to_dict` (which summarizes histograms down to
+        percentiles), the dump carries every histogram observation, so
+        a parent registry can fold worker snapshots in via
+        :meth:`merge` without losing distribution information.
+        """
+        with self._lock:
+            items = list(self._instruments.items())
+        out: dict[str, Any] = {}
+        for name, instrument in sorted(items):
+            if isinstance(instrument, Counter):
+                out[name] = {"type": "counter", "value": instrument.value}
+            elif isinstance(instrument, Gauge):
+                out[name] = {"type": "gauge", "value": instrument.value}
+            else:
+                with instrument._lock:
+                    values = list(instrument.values)
+                out[name] = {"type": "histogram", "values": values}
+        return out
+
+    def merge(self, snapshot: dict[str, Any]) -> None:
+        """Fold a :meth:`dump` snapshot into this registry.
+
+        Counters and gauges accumulate additively (worker gauges are
+        treated as partial tallies); histograms extend with the
+        snapshot's observations in their original order, so merging
+        worker snapshots in a deterministic order reproduces the
+        sequential observation sequence exactly.
+        """
+        for name, data in snapshot.items():
+            kind = data["type"]
+            if kind == "counter":
+                self.counter(name).inc(data["value"])
+            elif kind == "gauge":
+                self.gauge(name).add(data["value"])
+            elif kind == "histogram":
+                histogram = self.histogram(name)
+                with histogram._lock:
+                    histogram.values.extend(data["values"])
+            else:
+                raise ValueError(f"unknown instrument type {kind!r} for {name!r}")
+
     def write_json(self, path: str) -> None:
         with open(path, "w") as handle:
             json.dump(self.to_dict(), handle, indent=2, sort_keys=True)

@@ -167,6 +167,39 @@ class Tracer:
             stack = self._local.stack = []
         return stack
 
+    def adopt_spans(
+        self,
+        span_dicts: list[dict[str, Any]],
+        parent_id: int | None = None,
+    ) -> list[Span]:
+        """Re-parent serialized spans (e.g. from a worker process)
+        under this tracer.
+
+        Every adopted span gets a fresh id from this tracer's counter;
+        parent links *within* the batch are remapped to the new ids,
+        and spans whose parent is not part of the batch (the worker's
+        roots) attach to ``parent_id``.  Spans append in the given
+        order (the worker's completion order) and respect
+        ``max_spans``.  Returns the adopted spans.
+        """
+        if not self.enabled or not span_dicts:
+            return []
+        spans = [Span.from_dict(d) for d in span_dicts]
+        mapping = {span.span_id: next(self._ids) for span in spans}
+        for span in spans:
+            old_parent = span.parent_id
+            span.span_id = mapping[span.span_id]
+            span.parent_id = (
+                mapping[old_parent] if old_parent in mapping else parent_id
+            )
+        with self._lock:
+            for span in spans:
+                if self.max_spans is not None and len(self.spans) >= self.max_spans:
+                    self.dropped += 1
+                else:
+                    self.spans.append(span)
+        return spans
+
     # -- inspection -------------------------------------------------------
 
     def find(self, name: str) -> list[Span]:

@@ -89,3 +89,65 @@ def test_registry_thread_safety():
         t.join()
     assert registry.counter("n").value == 800
     assert registry.histogram("h").count == 800
+
+
+def test_dump_carries_raw_histogram_observations():
+    registry = MetricsRegistry()
+    registry.counter("n").inc(3)
+    registry.gauge("g").set(2.5)
+    for v in (5.0, 1.0, 9.0):
+        registry.histogram("h").observe(v)
+    dump = registry.dump()
+    assert dump["n"] == {"type": "counter", "value": 3}
+    assert dump["g"] == {"type": "gauge", "value": 2.5}
+    # unlike to_dict, the dump keeps every observation, in order
+    assert dump["h"] == {"type": "histogram", "values": [5.0, 1.0, 9.0]}
+    # the dump is a snapshot, not a view
+    registry.histogram("h").observe(7.0)
+    assert dump["h"]["values"] == [5.0, 1.0, 9.0]
+
+
+def test_merge_folds_worker_snapshots_additively():
+    parent = MetricsRegistry()
+    parent.counter("n").inc(1)
+    parent.histogram("h").observe(1.0)
+    parent.gauge("g").set(10.0)
+
+    worker = MetricsRegistry()
+    worker.counter("n").inc(2)
+    worker.counter("only.worker").inc(5)
+    worker.histogram("h").observe(2.0)
+    worker.histogram("h").observe(3.0)
+    worker.gauge("g").set(4.0)
+
+    parent.merge(worker.dump())
+    assert parent.counter("n").value == 3
+    assert parent.counter("only.worker").value == 5
+    # histogram observations extend in snapshot order
+    assert parent.histogram("h").values == [1.0, 2.0, 3.0]
+    # gauges accumulate (worker gauges are partial tallies)
+    assert parent.gauge("g").value == 14.0
+
+
+def test_merge_in_fixed_order_is_deterministic():
+    def worker(values):
+        registry = MetricsRegistry()
+        for v in values:
+            registry.histogram("h").observe(v)
+        return registry.dump()
+
+    snapshots = [worker([1.0, 2.0]), worker([3.0]), worker([4.0, 5.0])]
+    a, b = MetricsRegistry(), MetricsRegistry()
+    for snap in snapshots:
+        a.merge(snap)
+    for snap in snapshots:
+        b.merge(snap)
+    assert a.histogram("h").values == b.histogram("h").values == [
+        1.0, 2.0, 3.0, 4.0, 5.0,
+    ]
+
+
+def test_merge_rejects_unknown_instrument_type():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        registry.merge({"x": {"type": "mystery", "value": 1}})

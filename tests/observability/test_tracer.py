@@ -108,3 +108,45 @@ def test_max_spans_drops_and_counts():
     assert tracer.dropped == 3
     tracer.reset()
     assert tracer.spans == [] and tracer.dropped == 0
+
+
+def test_adopt_spans_reparents_a_worker_subtree():
+    worker = Tracer()
+    with worker.span("campaign.program", seed=7) as program:
+        with worker.span("compile", spec="gcclike-O2@24"):
+            pass
+    exported = [s.to_dict() for s in worker.spans]
+
+    parent = Tracer()
+    with parent.span("campaign") as campaign:
+        adopted = parent.adopt_spans(exported, parent_id=campaign.span_id)
+    assert len(adopted) == 2
+    campaign_span = parent.find("campaign")[0]
+    program_span = parent.find("campaign.program")[0]
+    compile_span = parent.find("compile")[0]
+    # the worker root hangs off the campaign span; internal links
+    # remap to the fresh ids
+    assert program_span.parent_id == campaign_span.span_id
+    assert compile_span.parent_id == program_span.span_id
+    assert program_span.attrs["seed"] == 7
+    # adopted ids never collide with the parent's own
+    ids = [s.span_id for s in parent.spans]
+    assert len(ids) == len(set(ids))
+    assert parent.roots() == [campaign_span]
+
+
+def test_adopt_spans_respects_max_spans_and_disabled():
+    worker = Tracer()
+    for i in range(4):
+        with worker.span("s", i=i):
+            pass
+    exported = [s.to_dict() for s in worker.spans]
+
+    limited = Tracer(max_spans=2)
+    limited.adopt_spans(exported)
+    assert len(limited.spans) == 2
+    assert limited.dropped == 2
+
+    disabled = Tracer(enabled=False)
+    assert disabled.adopt_spans(exported) == []
+    assert disabled.spans == []
