@@ -1,0 +1,136 @@
+"""Incremental compilation — pass executions saved by sharing the
+default 9-spec matrix through one prefix-tree engine, per seed.
+
+A differential campaign compiles every program under ~10 specs whose
+pipelines overlap heavily (the two families each repeat their O1/O2
+prefixes at higher levels); the incremental engine executes shared
+prefixes once and converges identical intermediate states, so most of
+the per-seed pass executions disappear.  The container pins us to one
+CPU, so the meaningful measurement is work avoided — pass executions —
+not wall-clock; correctness (bit-identical results) is covered by
+``tests/property/test_incremental_equivalence.py``.
+
+Also exercises the reduction loop's memoized interestingness oracle on
+the listing-1-flavoured fixture and reports its hit rate.
+
+``INCREMENTAL_COMPILE_PROGRAMS`` overrides the corpus size (default 25).
+"""
+
+import os
+from dataclasses import astuple
+
+from repro.compilers import CompilerSpec, IncrementalEngine
+from repro.core.corpus import default_specs
+from repro.core.markers import instrument_program
+from repro.core.reduction import missed_marker_predicate, reduce_program
+from repro.core.stats import format_table
+from repro.frontend.lower import lower_program
+from repro.frontend.typecheck import check_program
+from repro.generator import generate_program
+from repro.lang import parse_program
+from repro.observability.metrics import MetricsRegistry
+
+from conftest import emit
+
+PROGRAMS = int(os.environ.get("INCREMENTAL_COMPILE_PROGRAMS", "25"))
+SEED_BASE = 0
+
+#: acceptance floor: the engine must avoid at least this fraction of
+#: the pass executions an independent per-spec run would perform
+MIN_SAVED_FRACTION = 0.30
+
+BLOATED = """
+void DCEMarker0(void);
+char a;
+char b[2];
+static int noise1 = 4;
+static long noise2[3] = {1, 2, 3};
+static int helper(int x) { return x * 3; }
+int main() {
+  int pad1 = helper(2);
+  noise1 += pad1;
+  long pad2 = noise2[1] + noise1;
+  char *d = &a;
+  char *e = &b[1];
+  if (d == e) {
+    DCEMarker0();
+  }
+  noise2[2] = pad2;
+  for (int i = 0; i < 3; i++) { noise1 += i; }
+  return 0;
+}
+"""
+
+
+def _distinct_configs():
+    seen, out = set(), []
+    for spec in default_specs():
+        config = spec.config()
+        key = astuple(config)
+        if key not in seen:
+            seen.add(key)
+            out.append(config)
+    return out
+
+
+def test_incremental_compile_savings():
+    configs = _distinct_configs()
+    independent = sum(len(c.passes) for c in configs)  # engine-off cost
+    rows = []
+    total_execs = total_saved = 0
+    for seed in range(SEED_BASE, SEED_BASE + PROGRAMS):
+        instrumented = instrument_program(generate_program(seed))
+        info = check_program(instrumented.program)
+        engine = IncrementalEngine(lower_program(instrumented.program, info))
+        for config in configs:
+            engine.compile(config)
+        assert engine.pass_execs + engine.pass_execs_saved == independent
+        total_execs += engine.pass_execs
+        total_saved += engine.pass_execs_saved
+        rows.append([
+            str(seed),
+            str(independent),
+            str(engine.pass_execs),
+            str(engine.pass_execs_saved),
+            f"{engine.pass_execs_saved / independent:.1%}",
+        ])
+    saved_fraction = total_saved / (total_execs + total_saved)
+    rows.append([
+        "total",
+        str(PROGRAMS * independent),
+        str(total_execs),
+        str(total_saved),
+        f"{saved_fraction:.1%}",
+    ])
+
+    metrics = MetricsRegistry()
+    reduction = reduce_program(
+        parse_program(BLOATED),
+        missed_marker_predicate(
+            "DCEMarker0",
+            keeper=CompilerSpec("llvmlike", "O3"),
+            witness=CompilerSpec("gcclike", "O3"),
+        ),
+        metrics=metrics,
+    )
+    oracle_calls = metrics.counter("reduction.oracle_calls").value
+
+    lines = [
+        f"Incremental compilation — {PROGRAMS} programs, "
+        f"{len(configs)} distinct configs (default spec matrix), "
+        f"seed base {SEED_BASE}",
+        format_table(
+            ["seed", "passes engine-off", "passes engine-on",
+             "saved", "saved %"],
+            rows,
+        ),
+        "",
+        f"reduction oracle memo: {reduction.oracle_cache_hits} of "
+        f"{oracle_calls + reduction.oracle_cache_hits} candidate checks "
+        f"answered from cache "
+        f"({reduction.oracle_cache_hits / (oracle_calls + reduction.oracle_cache_hits):.1%})",
+    ]
+    emit("incremental_compile", "\n".join(lines))
+
+    assert saved_fraction >= MIN_SAVED_FRACTION
+    assert reduction.oracle_cache_hits > 0

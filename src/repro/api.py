@@ -67,20 +67,29 @@ def default_specs() -> list[CompilerSpec]:
 
 
 def analyze_source(
-    source: str, specs: list[CompilerSpec] | None = None
+    source: str,
+    specs: list[CompilerSpec] | None = None,
+    incremental: bool = True,
 ) -> AnalysisReport:
     """Instrument, ground-truth, and differentially compile a program
     given as MiniC/C-subset source text."""
     program = parse_program(source)
-    return analyze_program(program, specs)
+    return analyze_program(program, specs, incremental=incremental)
 
 
-def analyze_program(program, specs: list[CompilerSpec] | None = None) -> AnalysisReport:
+def analyze_program(
+    program,
+    specs: list[CompilerSpec] | None = None,
+    incremental: bool = True,
+) -> AnalysisReport:
     specs = specs or default_specs()
     instrumented = instrument_program(program)
     info = check_program(instrumented.program)
     truth = compute_ground_truth(instrumented, info=info)
-    analysis = analyze_markers(instrumented, specs, info=info, ground_truth=truth)
+    analysis = analyze_markers(
+        instrumented, specs, info=info, ground_truth=truth,
+        incremental=incremental,
+    )
     graph = build_marker_graph(instrumented, truth.executed_functions(), info)
     report = AnalysisReport(analysis)
     for spec in specs:

@@ -50,6 +50,11 @@ def main(argv: list[str] | None = None) -> int:
         "--trace", action="store_true",
         help="print the span tree (compiles, pipelines, interpreter runs)",
     )
+    p_analyze.add_argument(
+        "--no-incremental", action="store_true",
+        help="compile every spec independently instead of sharing pass "
+             "work through the incremental engine (identical results)",
+    )
 
     p_gen = sub.add_parser("generate", help="generate a random program")
     p_gen.add_argument("--seed", type=int, default=0)
@@ -71,6 +76,11 @@ def main(argv: list[str] | None = None) -> int:
         "--jobs", type=int, default=1, metavar="N",
         help="shard seeds across N worker processes (0 = one per CPU); "
              "results are identical to --jobs 1 regardless of N",
+    )
+    p_campaign.add_argument(
+        "--no-incremental", action="store_true",
+        help="compile every spec independently instead of sharing pass "
+             "work through the incremental engine (identical results)",
     )
 
     p_profile = sub.add_parser(
@@ -110,15 +120,20 @@ def main(argv: list[str] | None = None) -> int:
 
     args = parser.parse_args(argv)
     if args.command == "analyze":
+        incremental = not args.no_incremental
         if args.trace:
             tracer = Tracer()
             with use_tracer(tracer):
-                report = api.analyze_source(_read(args.file))
+                report = api.analyze_source(
+                    _read(args.file), incremental=incremental
+                )
             print(report.summary())
             print("\ntrace:")
             print(format_trace(tracer))
         else:
-            report = api.analyze_source(_read(args.file))
+            report = api.analyze_source(
+                _read(args.file), incremental=incremental
+            )
             print(report.summary())
     elif args.command == "generate":
         program = generate_program(args.seed)
@@ -129,7 +144,7 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "campaign":
         _campaign(args.programs, args.seed_base,
                   metrics_out=args.metrics_out, show_progress=args.progress,
-                  jobs=args.jobs)
+                  jobs=args.jobs, incremental=not args.no_incremental)
     elif args.command == "profile":
         _profile(_read(args.file), args.family, args.level, args.instrument)
     elif args.command == "asm":
@@ -246,6 +261,7 @@ def _campaign(
     metrics_out: str | None = None,
     show_progress: bool = False,
     jobs: int = 1,
+    incremental: bool = True,
 ) -> None:
     metrics = MetricsRegistry() if metrics_out else None
     progress = _print_progress if show_progress else None
@@ -254,6 +270,7 @@ def _campaign(
     result = run_campaign(
         n_programs=n_programs, seed_base=seed_base,
         metrics=metrics, progress=progress, jobs=jobs,
+        incremental=incremental,
     )
     if metrics is not None:
         metrics.write_json(metrics_out)

@@ -1,0 +1,264 @@
+"""Incremental compilation engine: prefix-shared pipeline snapshots.
+
+:func:`repro.core.differential.analyze_markers` compiles one lowered
+module under ~9 distinct :class:`PipelineConfig`\\ s whose pass
+sequences overlap heavily (both families build every level above O0
+from the same vendor pipeline).  Running each config independently
+re-executes the shared work from scratch; this engine executes every
+distinct piece of pipeline work **once** and shares the results:
+
+* **Prefix tree.**  Pass sequences are arranged in a tree whose edges
+  are keyed on ``(pass name, knobs the pass reads)`` — the projection
+  comes from :meth:`PipelineConfig.knobs_for`, so configs that differ
+  only in knobs a *later* pass consults share the earlier nodes.  Each
+  node stores the module state after running its edge's pass; walking
+  a config's pass list down the tree reuses every warm node
+  (``compile.prefix_hits``) and only executes the cold suffix.
+* **Immutable snapshots.**  Node states are never mutated: executing a
+  pass first snapshots the parent state with the fast structural
+  :meth:`Module.clone` (``compile.snapshot`` span) and runs the pass on
+  the copy, so any number of configs can later branch off any node
+  (``compile.fork`` span when one does).
+* **Convergence memo.**  Diverged branches usually re-converge — e.g.
+  levels differ in ``inline_budget``, but on a small program the
+  inliner makes the same decisions at every budget.  Executions are
+  additionally memoized on ``(parent state fingerprint, pass, knobs)``
+  using the canonical printing of the IR
+  (:func:`repro.ir.printer.fingerprint_module`), so a pass never runs
+  twice on structurally identical input (``compile.memo_hits``); the
+  memoized node is linked into the tree at every position that reaches
+  it, turning the tree into a DAG whose shared suffixes then also
+  serve prefix hits.
+* **Gate skips.**  A pass whose config gate is off (``dse=False``,
+  ``vectorize=False``, …) returns unchanged without reading the
+  module, so the engine aliases the parent state instead of executing
+  it at all (``compile.gate_skips``).
+
+Results are **identical** to independent :func:`run_pipeline` runs:
+each compile returns the leaf's module state and the changed-pass list
+accumulated along the path, and passes are deterministic functions of
+module *structure* (they never consult block-label text or any other
+state the canonical fingerprint abstracts away — pinned by the
+equivalence property tests).
+
+Returned leaf modules are shared, read-only: callers may print or emit
+them but must not run further passes in place (clone first).  Saved
+work is reported via the ``compile.pass_execs`` /
+``compile.pass_execs_saved`` / ``compile.prefix_hits`` /
+``compile.memo_hits`` / ``compile.gate_skips`` counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.function import Module
+from ..ir.printer import fingerprint_module
+from ..observability.attribution import PASS_SPAN, PIPELINE_SPAN
+from ..observability.metrics import MetricsRegistry
+from ..observability.tracer import current_tracer
+from .config import PASS_GATES, PipelineConfig
+from .pipeline import (
+    MARKER_PREFIX,
+    execute_pass,
+    module_markers,
+    module_size,
+    validate_passes,
+)
+
+SNAPSHOT_SPAN = "compile.snapshot"
+FORK_SPAN = "compile.fork"
+
+PASS_EXECS = "compile.pass_execs"
+PASS_EXECS_SAVED = "compile.pass_execs_saved"
+PREFIX_HITS = "compile.prefix_hits"
+MEMO_HITS = "compile.memo_hits"
+GATE_SKIPS = "compile.gate_skips"
+
+
+@dataclass
+class IncrementalCompilation:
+    """One config's result off the shared tree.
+
+    ``module`` is the engine-owned leaf state — read-only for callers
+    (it may be shared with other leaves and with interior nodes).
+    """
+
+    config: PipelineConfig
+    module: Module
+    changed_passes: list[str] = field(default_factory=list)
+
+
+class _Node:
+    """One tree position: the module state after running the edge pass
+    that leads here, plus that pass's changed flag."""
+
+    __slots__ = ("state", "changed", "children", "fingerprint")
+
+    def __init__(self, state: Module, changed: bool) -> None:
+        self.state = state
+        self.changed = changed
+        self.children: dict[tuple, "_Node"] = {}
+        self.fingerprint: str | None = None
+
+
+class IncrementalEngine:
+    """Compiles many configs over one base module, sharing pass work.
+
+    ``base_module`` (the freshly lowered, pre-optimization IR) is
+    adopted as the tree root and must not be mutated by the caller
+    afterwards.  ``memoize=False`` disables the convergence memo and
+    leaves pure prefix sharing (the escape hatch benchmarks use to
+    split the two effects apart).
+    """
+
+    def __init__(
+        self,
+        base_module: Module,
+        *,
+        metrics: MetricsRegistry | None = None,
+        verify_each: bool = False,
+        memoize: bool = True,
+        marker_prefix: str = MARKER_PREFIX,
+    ) -> None:
+        self._root = _Node(base_module, changed=False)
+        self._metrics = metrics
+        self._verify_each = verify_each
+        self._memoize = memoize
+        self._memo: dict[tuple, _Node] = {}
+        self._marker_prefix = marker_prefix
+        #: lifetime pass executions / reuses (also mirrored to metrics)
+        self.pass_execs = 0
+        self.pass_execs_saved = 0
+
+    def compile(self, config: PipelineConfig) -> IncrementalCompilation:
+        """Run ``config.passes`` over the base module — equivalent to
+        ``run_pipeline`` on a fresh copy, minus the shared work."""
+        validate_passes(config.passes)
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return self._walk(config, None)
+        with tracer.span(
+            PIPELINE_SPAN,
+            module=self._root.state.name,
+            n_passes=len(config.passes),
+            incremental=True,
+        ) as span:
+            span.set(
+                "markers_before",
+                len(module_markers(self._root.state, self._marker_prefix)),
+            )
+            result = self._walk(config, tracer)
+            span.set(
+                "markers_after",
+                len(module_markers(result.module, self._marker_prefix)),
+            )
+            span.set("changed_passes", len(result.changed_passes))
+        return result
+
+    # -- internals ----------------------------------------------------
+
+    def _walk(self, config: PipelineConfig, tracer) -> IncrementalCompilation:
+        node = self._root
+        changed: list[str] = []
+        reused = 0
+        forked = False
+        for position, name in enumerate(config.passes):
+            knobs = config.knobs_for(name)
+            key = (name, knobs)
+            child = node.children.get(key)
+            if child is not None:
+                self._saved(PREFIX_HITS)
+                reused += 1
+            elif self._gated_off(name, config):
+                # A gated-off pass returns unchanged without touching
+                # the module: alias the parent state instead of
+                # executing (exactly what run_pipeline would compute).
+                child = _Node(node.state, changed=False)
+                child.fingerprint = node.fingerprint
+                node.children[key] = child
+                self._saved(GATE_SKIPS)
+            else:
+                if tracer is not None and reused and not forked:
+                    with tracer.span(FORK_SPAN, depth=position) as span:
+                        span.set("pass", name)
+                    forked = True
+                child = self._derive(node, name, knobs, config, position, tracer)
+                node.children[key] = child
+            if child.changed:
+                changed.append(name)
+            node = child
+        return IncrementalCompilation(config, node.state, changed)
+
+    @staticmethod
+    def _gated_off(name: str, config: PipelineConfig) -> bool:
+        gate = PASS_GATES.get(name)
+        return gate is not None and not getattr(config, gate)
+
+    def _derive(
+        self,
+        parent: _Node,
+        name: str,
+        knobs: tuple,
+        config: PipelineConfig,
+        position: int,
+        tracer,
+    ) -> _Node:
+        memo_key = None
+        if self._memoize:
+            memo_key = (self._fingerprint(parent), name, knobs)
+            hit = self._memo.get(memo_key)
+            if hit is not None:
+                self._saved(MEMO_HITS)
+                return hit
+        child = self._execute(parent, name, config, position, tracer)
+        if memo_key is not None:
+            self._memo[memo_key] = child
+        return child
+
+    def _execute(
+        self,
+        parent: _Node,
+        name: str,
+        config: PipelineConfig,
+        position: int,
+        tracer,
+    ) -> _Node:
+        if tracer is None:
+            module = parent.state.clone()
+            changed = execute_pass(module, name, config, self._verify_each)
+        else:
+            with tracer.span(SNAPSHOT_SPAN):
+                module = parent.state.clone()
+            instrs_before, blocks_before = module_size(module)
+            markers_before = module_markers(module, self._marker_prefix)
+            with tracer.span(PASS_SPAN, index=position) as span:
+                span.set("pass", name)
+                changed = execute_pass(module, name, config, self._verify_each)
+                instrs_after, blocks_after = module_size(module)
+                span.update(
+                    changed=changed,
+                    instrs_before=instrs_before,
+                    instrs_after=instrs_after,
+                    blocks_before=blocks_before,
+                    blocks_after=blocks_after,
+                    markers_eliminated=sorted(
+                        markers_before
+                        - module_markers(module, self._marker_prefix)
+                    ),
+                )
+        self.pass_execs += 1
+        if self._metrics is not None:
+            self._metrics.counter(PASS_EXECS).inc()
+        return _Node(module, changed)
+
+    def _fingerprint(self, node: _Node) -> str:
+        if node.fingerprint is None:
+            node.fingerprint = fingerprint_module(node.state)
+        return node.fingerprint
+
+    def _saved(self, kind: str) -> None:
+        self.pass_execs_saved += 1
+        if self._metrics is not None:
+            self._metrics.counter(kind).inc()
+            self._metrics.counter(PASS_EXECS_SAVED).inc()

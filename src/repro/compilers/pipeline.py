@@ -80,6 +80,28 @@ def module_markers(module: Module, prefix: str = MARKER_PREFIX) -> frozenset[str
     return frozenset(found)
 
 
+def execute_pass(
+    module: Module,
+    name: str,
+    config: PipelineConfig,
+    verify_each: bool = False,
+) -> bool:
+    """Run one (already validated) pass over ``module`` in place.
+
+    Returns the pass's changed flag; wraps failures in
+    :class:`PassPipelineError`.  Shared by :func:`run_pipeline` and the
+    incremental engine so both execute passes identically.
+    """
+    pass_fn = PASS_REGISTRY[name]
+    try:
+        changed = pass_fn(module, config)
+        if verify_each:
+            verify_module(module)
+    except Exception as err:
+        raise PassPipelineError(name, err) from err
+    return changed
+
+
 def run_pipeline(
     module: Module,
     config: PipelineConfig,
@@ -106,16 +128,10 @@ def run_pipeline(
         markers_before = module_markers(module, marker_prefix)
         pipeline_span.set("markers_before", len(markers_before))
         for index, name in enumerate(config.passes):
-            pass_fn = PASS_REGISTRY[name]
             instrs_before, blocks_before = module_size(module)
             with tracer.span(PASS_SPAN, index=index) as span:
                 span.set("pass", name)
-                try:
-                    changed = pass_fn(module, config)
-                    if verify_each:
-                        verify_module(module)
-                except Exception as err:
-                    raise PassPipelineError(name, err) from err
+                changed = execute_pass(module, name, config, verify_each)
                 if changed:
                     changed_by.append(name)
                 instrs_after, blocks_after = module_size(module)
@@ -140,12 +156,6 @@ def _run_untraced(
     """The measurement-free hot path (pass names already validated)."""
     changed_by: list[str] = []
     for name in config.passes:
-        pass_fn = PASS_REGISTRY[name]
-        try:
-            if pass_fn(module, config):
-                changed_by.append(name)
-            if verify_each:
-                verify_module(module)
-        except Exception as err:  # pragma: no cover - surfaced to callers
-            raise PassPipelineError(name, err) from err
+        if execute_pass(module, name, config, verify_each):
+            changed_by.append(name)
     return changed_by

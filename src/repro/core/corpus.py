@@ -129,6 +129,7 @@ def run_campaign(
     tracer: Tracer | None = None,
     progress: Callable[[CampaignProgress], None] | None = None,
     jobs: int = 1,
+    incremental: bool = True,
 ) -> CampaignResult:
     """Run the full marker campaign over ``n_programs`` seeds.
 
@@ -149,6 +150,10 @@ def run_campaign(
     in seed order regardless of completion order — while metrics fold
     worker snapshots into ``metrics`` and worker spans re-parent under
     the campaign span.
+
+    ``incremental`` selects the prefix-shared compilation engine per
+    seed (:mod:`repro.compilers.incremental`, identical results);
+    ``False`` compiles every spec independently.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -158,16 +163,17 @@ def run_campaign(
         return run_campaign_parallel(
             n_programs, seed_base, version, generator_config,
             keep_analyses, compare_level, metrics, tracer, progress, jobs,
+            incremental,
         )
     if tracer is not None:
         with use_tracer(tracer):
             return _run_campaign_traced(
                 n_programs, seed_base, version, generator_config,
-                keep_analyses, compare_level, metrics, progress,
+                keep_analyses, compare_level, metrics, progress, incremental,
             )
     return _run_campaign_traced(
         n_programs, seed_base, version, generator_config,
-        keep_analyses, compare_level, metrics, progress,
+        keep_analyses, compare_level, metrics, progress, incremental,
     )
 
 
@@ -180,6 +186,7 @@ def _run_campaign_traced(
     compare_level: str,
     metrics: MetricsRegistry | None,
     progress: Callable[[CampaignProgress], None] | None,
+    incremental: bool = True,
 ) -> CampaignResult:
     specs = default_specs(version)
     result = CampaignResult()
@@ -194,7 +201,8 @@ def _run_campaign_traced(
             program_start = time.perf_counter()
             with tracer.span("campaign.program", seed=seed) as span:
                 outcome = analyze_one(
-                    seed, specs, version, generator_config, metrics=metrics
+                    seed, specs, version, generator_config, metrics=metrics,
+                    incremental=incremental,
                 )
                 span.set("skipped", outcome is None)
             if metrics is not None:
@@ -253,6 +261,7 @@ def analyze_one(
     version: int | None = None,
     generator_config: GeneratorConfig | None = None,
     metrics: MetricsRegistry | None = None,
+    incremental: bool = True,
 ) -> ProgramOutcome | None:
     """Generate + instrument + ground-truth + compile one seed.
 
@@ -267,7 +276,8 @@ def analyze_one(
     except StepLimitExceeded:
         return None
     analysis = analyze_markers(
-        instrumented, specs, info=info, ground_truth=truth, metrics=metrics
+        instrumented, specs, info=info, ground_truth=truth, metrics=metrics,
+        incremental=incremental,
     )
     return ProgramOutcome(
         seed, len(instrumented.markers), len(truth.dead), analysis

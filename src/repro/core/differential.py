@@ -18,7 +18,10 @@ from __future__ import annotations
 import time
 from dataclasses import astuple, dataclass, field
 
-from ..compilers import CompilerSpec, compile_minic
+from ..backend.asm import alive_markers as asm_alive_markers
+from ..backend.asm import emit_module
+from ..compilers import CompilerSpec, IncrementalEngine, compile_minic
+from ..frontend.lower import lower_program
 from ..frontend.typecheck import SymbolInfo, check_program
 from ..observability.metrics import MetricsRegistry
 from ..observability.tracer import current_tracer
@@ -69,6 +72,7 @@ def analyze_markers(
     ground_truth: GroundTruth | None = None,
     marker_prefix: str = "DCEMarker",
     metrics: MetricsRegistry | None = None,
+    incremental: bool = True,
 ) -> ProgramAnalysis:
     """Run the full marker pipeline for ``instrumented`` under ``specs``.
 
@@ -84,6 +88,14 @@ def analyze_markers(
     observation count stays one per call — and bumps the
     ``campaign.compile_cache_hits`` counter instead of
     ``campaign.compilations``.
+
+    Distinct configs additionally share pass work through one
+    :class:`~repro.compilers.incremental.IncrementalEngine` per call:
+    the program lowers once and each config's pipeline runs over the
+    engine's prefix-shared snapshot tree, producing alive sets
+    identical to independent ``compile_minic`` runs while the
+    ``compile.pass_execs_saved`` counter records the eliminated work.
+    ``incremental=False`` restores the independent-compile path.
     """
     if info is None:
         info = check_program(instrumented.program)
@@ -91,14 +103,35 @@ def analyze_markers(
         ground_truth = compute_ground_truth(instrumented, info=info)
     analysis = ProgramAnalysis(instrumented, ground_truth)
     tracer = current_tracer()
+    engine: IncrementalEngine | None = None
     by_config: dict[tuple, frozenset[str]] = {}
     for spec in specs:
         start = time.perf_counter()
-        config_key = astuple(spec.config())
+        config = spec.config()
+        config_key = astuple(config)
         alive = by_config.get(config_key)
         if alive is None:
-            result = compile_minic(instrumented.program, spec, info=info)
-            alive = result.alive_markers(marker_prefix) & instrumented.marker_names
+            if incremental:
+                with tracer.span(
+                    "compile", spec=str(spec), incremental=True
+                ) as span:
+                    if engine is None:
+                        engine = IncrementalEngine(
+                            lower_program(instrumented.program, info),
+                            metrics=metrics,
+                            marker_prefix=marker_prefix,
+                        )
+                    compilation = engine.compile(config)
+                    asm = emit_module(compilation.module)
+                    span.set("changed_passes", len(compilation.changed_passes))
+                alive = asm_alive_markers(asm, marker_prefix)
+                alive &= instrumented.marker_names
+            else:
+                result = compile_minic(instrumented.program, spec, info=info)
+                alive = (
+                    result.alive_markers(marker_prefix)
+                    & instrumented.marker_names
+                )
             by_config[config_key] = alive
             if metrics is not None:
                 metrics.counter("campaign.compilations").inc()

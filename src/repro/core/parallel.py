@@ -100,6 +100,7 @@ def _init_worker(
     generator_config: GeneratorConfig | None,
     collect_metrics: bool,
     collect_spans: bool,
+    incremental: bool = True,
 ) -> None:
     _WORKER.update(
         specs=default_specs(version),
@@ -107,6 +108,7 @@ def _init_worker(
         generator_config=generator_config,
         collect_metrics=collect_metrics,
         collect_spans=collect_spans,
+        incremental=incremental,
     )
 
 
@@ -144,6 +146,7 @@ def _run_analyze(seed: int, metrics: MetricsRegistry | None) -> ProgramOutcome |
         _WORKER["version"],
         _WORKER["generator_config"],
         metrics=metrics,
+        incremental=_WORKER["incremental"],
     )
 
 
@@ -169,6 +172,7 @@ def run_campaign_parallel(
     tracer: Tracer | None,
     progress: Callable[[CampaignProgress], None] | None,
     jobs: int,
+    incremental: bool = True,
 ) -> CampaignResult:
     """The ``jobs > 1`` engine behind
     :func:`repro.core.corpus.run_campaign` (same contract)."""
@@ -177,10 +181,11 @@ def run_campaign_parallel(
             return _run_parallel(
                 n_programs, seed_base, version, generator_config,
                 keep_analyses, compare_level, metrics, progress, jobs,
+                incremental,
             )
     return _run_parallel(
         n_programs, seed_base, version, generator_config,
-        keep_analyses, compare_level, metrics, progress, jobs,
+        keep_analyses, compare_level, metrics, progress, jobs, incremental,
     )
 
 
@@ -194,6 +199,7 @@ def _run_parallel(
     metrics: MetricsRegistry | None,
     progress: Callable[[CampaignProgress], None] | None,
     jobs: int,
+    incremental: bool = True,
 ) -> CampaignResult:
     result = CampaignResult()
     result.cross_level = {family: CrossLevelStats() for family in FAMILIES}
@@ -212,7 +218,7 @@ def _run_parallel(
                 initializer=_init_worker,
                 initargs=(
                     version, generator_config,
-                    metrics is not None, tracer.enabled,
+                    metrics is not None, tracer.enabled, incremental,
                 ),
             ) as pool:
                 futures = {

@@ -17,7 +17,6 @@ Transformations, largest first:
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass
 from typing import Callable
 
@@ -25,6 +24,8 @@ from ..compilers import CompilerSpec, compile_minic
 from ..frontend.typecheck import CheckError, check_program
 from ..interp import StepLimitExceeded
 from ..lang import ast_nodes as ast
+from ..lang import print_program
+from ..observability.metrics import MetricsRegistry
 from .ground_truth import compute_ground_truth
 from .markers import InstrumentedProgram
 
@@ -38,6 +39,9 @@ class ReductionResult:
     successes: int
     stmts_before: int
     stmts_after: int
+    #: oracle invocations answered from the memo (0 when memoization
+    #: is off or no candidate ever repeated)
+    oracle_cache_hits: int = 0
 
 
 def missed_marker_predicate(
@@ -90,17 +94,62 @@ def count_statements(program: ast.Program) -> int:
     return sum(1 for _ in ast.walk_program_stmts(program))
 
 
+class _MemoizedOracle:
+    """Memoizes an interestingness predicate on the printed candidate.
+
+    The delta loop regularly rebuilds textually identical candidates
+    (restarting enumerations, retrying both literals, later rounds
+    revisiting survivors), and the predicate — recompile under every
+    involved spec plus an interpreter run — is by far the loop's
+    dominant cost.  The printed program is a faithful serialization of
+    the AST and the predicate is a deterministic function of it, so a
+    repeat is answered from the memo.  Exceptions propagate uncached
+    (``_try`` handles them exactly as without memoization).
+    """
+
+    def __init__(
+        self, inner: Predicate, metrics: MetricsRegistry | None
+    ) -> None:
+        self._inner = inner
+        self._metrics = metrics
+        self._cache: dict[str, bool] = {}
+        self.hits = 0
+
+    def __call__(self, candidate: ast.Program) -> bool:
+        key = print_program(candidate)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            if self._metrics is not None:
+                self._metrics.counter("reduction.oracle_cache_hits").inc()
+            return cached
+        if self._metrics is not None:
+            self._metrics.counter("reduction.oracle_calls").inc()
+        result = self._cache[key] = self._inner(candidate)
+        return result
+
+
 def reduce_program(
     program: ast.Program,
     interesting: Predicate,
     max_rounds: int = 12,
+    memoize_oracle: bool = True,
+    metrics: MetricsRegistry | None = None,
 ) -> ReductionResult:
     """Shrink ``program`` while ``interesting`` holds.
 
-    The input program itself must satisfy the predicate.
+    The input program itself must satisfy the predicate, which must be
+    a deterministic function of the candidate program (true of
+    :func:`missed_marker_predicate`); ``memoize_oracle`` then answers
+    repeated candidates from a memo keyed on the printed program —
+    byte-identical output, far fewer compilations.
     """
-    current = copy.deepcopy(program)
-    if not interesting(current):
+    oracle: Predicate = interesting
+    memo: _MemoizedOracle | None = None
+    if memoize_oracle:
+        oracle = memo = _MemoizedOracle(interesting, metrics)
+    current = ast.clone_program(program)
+    if not oracle(current):
         raise ValueError("the initial program is not interesting")
     attempts = successes = 0
     before = count_statements(current)
@@ -109,7 +158,7 @@ def reduce_program(
         changed = False
         for transform in (_drop_decls, _delete_statements, _unwrap_structures, _simplify_exprs):
             while True:
-                candidate, did = transform(current, interesting)
+                candidate, did = transform(current, oracle)
                 attempts += did[0]
                 successes += did[1]
                 if did[1] == 0:
@@ -118,7 +167,10 @@ def reduce_program(
                 changed = True
         if not changed:
             break
-    return ReductionResult(current, attempts, successes, before, count_statements(current))
+    return ReductionResult(
+        current, attempts, successes, before, count_statements(current),
+        oracle_cache_hits=memo.hits if memo is not None else 0,
+    )
 
 
 # -- transformations -------------------------------------------------------
@@ -140,7 +192,7 @@ def _drop_decls(program: ast.Program, interesting: Predicate):
         if isinstance(decl, ast.FuncDef) and decl.name == "main":
             i += 1
             continue
-        candidate = copy.deepcopy(current)
+        candidate = ast.clone_program(current)
         del candidate.decls[i]
         attempts += 1
         if _try(candidate, interesting):
@@ -170,7 +222,7 @@ def _delete_statements(program: ast.Program, interesting: Predicate):
     statement may remove nested blocks entirely).
     """
     attempts = successes = 0
-    current = copy.deepcopy(program)
+    current = ast.clone_program(program)
     restart = True
     while restart:
         restart = False
@@ -182,7 +234,7 @@ def _delete_statements(program: ast.Program, interesting: Predicate):
             for size in ([n, max(n // 2, 1), 1] if n > 1 else [1]):
                 start = 0
                 while start < len(block.stmts):
-                    candidate = copy.deepcopy(current)
+                    candidate = ast.clone_program(current)
                     cand_blocks = list(_blocks_of(candidate))
                     if b_idx >= len(cand_blocks):
                         break
@@ -204,7 +256,7 @@ def _delete_statements(program: ast.Program, interesting: Predicate):
 def _unwrap_structures(program: ast.Program, interesting: Predicate):
     """Replace ``if (c) { body }`` by ``body``, loops by their bodies."""
     attempts = successes = 0
-    current = copy.deepcopy(program)
+    current = ast.clone_program(program)
     restart = True
     while restart:
         restart = False
@@ -213,7 +265,7 @@ def _unwrap_structures(program: ast.Program, interesting: Predicate):
             for i, stmt in enumerate(block.stmts):
                 if not isinstance(stmt, (ast.If, ast.While, ast.DoWhile, ast.For)):
                     continue
-                candidate = copy.deepcopy(current)
+                candidate = ast.clone_program(current)
                 cand_blocks = list(_blocks_of(candidate))
                 if b_idx >= len(cand_blocks):
                     continue
@@ -237,7 +289,7 @@ def _unwrap_structures(program: ast.Program, interesting: Predicate):
 def _simplify_exprs(program: ast.Program, interesting: Predicate):
     """Replace condition subtrees by literals (0 keeps branches dead)."""
     attempts = successes = 0
-    current = copy.deepcopy(program)
+    current = ast.clone_program(program)
 
     def candidates(prog: ast.Program):
         for func in prog.functions():
@@ -248,7 +300,7 @@ def _simplify_exprs(program: ast.Program, interesting: Predicate):
     count = sum(1 for _ in candidates(current))
     for idx in range(count):
         for literal in (0, 1):
-            candidate = copy.deepcopy(current)
+            candidate = ast.clone_program(current)
             picked = list(candidates(candidate))
             if idx >= len(picked):
                 break

@@ -1,0 +1,128 @@
+"""Fast structural clone of IR modules.
+
+:func:`clone_module` rebuilds a :class:`~repro.ir.function.Module` —
+every function, block, and instruction is a fresh object, with operand
+and branch-target references remapped onto the clones — while sharing
+the values the IR treats as immutable (:class:`Constant`,
+:class:`NullPtr`, :class:`GlobalRef`, and the frozen
+:mod:`repro.lang.types` instances).  It exists so the incremental
+compilation engine can snapshot pipeline state at branch points in
+O(module size) with small constants; ``copy.deepcopy`` spends most of
+its time on memo/reduce bookkeeping these graphs never need.
+
+The clone preserves *structure exactly*: dict insertion order of
+globals/functions/externs, block order, block labels, instruction
+order, and phi incoming order all carry over, so a pass run on the
+clone makes the same decisions it would have made on the original.
+"""
+
+from __future__ import annotations
+
+from . import instructions as ins
+from .function import BLOCK_TAGS as _BLOCK_TAGS
+from .function import Block, ExternFunction, GlobalInfo, IRFunction, Module
+from .values import Param, Value
+
+
+def clone_module(module: Module) -> Module:
+    """A fully detached structural copy of ``module``."""
+    out = Module(module.name)
+    for info in module.globals.values():
+        init = list(info.init) if isinstance(info.init, list) else info.init
+        out.add_global(GlobalInfo(info.name, info.ty, init, info.static))
+    for ext in module.externs.values():
+        out.add_extern(
+            ExternFunction(ext.name, ext.return_ty, list(ext.param_tys))
+        )
+    for func in module.functions.values():
+        out.add_function(_clone_function(func))
+    return out
+
+
+def _clone_function(func: IRFunction) -> IRFunction:
+    value_map: dict[Value, Value] = {}
+    new_params = []
+    for param in func.params:
+        clone = Param(param.name, param.ty)
+        value_map[param] = clone
+        new_params.append(clone)
+    out = IRFunction(func.name, func.return_ty, new_params, func.static)
+
+    block_map: dict[int, Block] = {}
+    for block in func.blocks:
+        new_block = Block(block.label)
+        # Loop passes tag headers they have claimed (vectorize sets
+        # no_unroll, unswitch sets unswitched); the tags gate later
+        # transformations, so a clone must carry them.
+        for tag in _BLOCK_TAGS:
+            if getattr(block, tag, False):
+                setattr(new_block, tag, True)
+        block_map[id(block)] = new_block
+        out.blocks.append(new_block)
+
+    # First pass: shell every instruction (operands still point at the
+    # originals — phis and back edges may reference values/blocks that
+    # appear later in iteration order).
+    new_instrs: list[ins.Instr] = []
+    for block in func.blocks:
+        new_block = block_map[id(block)]
+        for instr in block.instrs:
+            clone = _shell_instr(instr, block_map)
+            clone.block = new_block
+            new_block.instrs.append(clone)
+            value_map[instr] = clone
+            new_instrs.append(clone)
+
+    # Second pass: remap operands (and phi incoming blocks) onto clones.
+    for clone in new_instrs:
+        clone.replace_uses(value_map)
+        if isinstance(clone, ins.Phi):
+            clone.incomings = [
+                (block_map[id(b)], v) for b, v in clone.incomings
+            ]
+    return out
+
+
+def _shell_instr(instr: ins.Instr, block_map: dict[int, Block]) -> ins.Instr:
+    """A fresh instruction of the same shape; value operands still
+    reference the original objects (fixed up by the caller), branch
+    targets are remapped immediately."""
+    if isinstance(instr, ins.Alloca):
+        return ins.Alloca(
+            instr.var_name, instr.element, instr.length, instr.is_pointer_slot
+        )
+    if isinstance(instr, ins.Gep):
+        return ins.Gep(instr.base, instr.index)
+    if isinstance(instr, ins.LoadPtr):
+        return ins.LoadPtr(instr.address, instr.pointee)
+    if isinstance(instr, ins.Load):
+        return ins.Load(instr.address)
+    if isinstance(instr, ins.Store):
+        return ins.Store(instr.address, instr.value)
+    if isinstance(instr, ins.BinOp):
+        return ins.BinOp(instr.op, instr.lhs, instr.rhs, instr.ty)
+    if isinstance(instr, ins.ICmp):
+        return ins.ICmp(instr.op, instr.lhs, instr.rhs, instr.operand_ty)
+    if isinstance(instr, ins.PCmp):
+        return ins.PCmp(instr.op, instr.lhs, instr.rhs)
+    if isinstance(instr, ins.Cast):
+        return ins.Cast(instr.value, instr.ty)
+    if isinstance(instr, ins.Select):
+        return ins.Select(instr.cond, instr.if_true, instr.if_false, instr.ty)
+    if isinstance(instr, ins.Call):
+        return ins.Call(instr.callee, list(instr.args), instr.ty)
+    if isinstance(instr, ins.Phi):
+        return ins.Phi(instr.ty, list(instr.incomings))
+    if isinstance(instr, ins.Br):
+        return ins.Br(
+            instr.cond,
+            block_map[id(instr.if_true)],
+            block_map[id(instr.if_false)],
+        )
+    if isinstance(instr, ins.Jmp):
+        return ins.Jmp(block_map[id(instr.target)])
+    if isinstance(instr, ins.Ret):
+        return ins.Ret(instr.value)
+    if isinstance(instr, ins.Unreachable):
+        return ins.Unreachable()
+    raise TypeError(f"cannot clone {type(instr).__name__}")

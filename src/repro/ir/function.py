@@ -9,6 +9,13 @@ from . import instructions as ins
 from .values import GlobalRef, Param, Value
 
 
+#: Optional boolean attributes loop passes set on header blocks to
+#: claim a loop (``vectorize`` → ``no_unroll``, ``unswitch`` →
+#: ``unswitched``).  They gate later transformations, so structural
+#: clones and fingerprints must account for them.
+BLOCK_TAGS = ("no_unroll", "unswitched")
+
+
 class Block:
     """A basic block: a label plus a list of instructions, the last of
     which is the terminator once construction finishes."""
@@ -249,3 +256,9 @@ class Module:
 
     def is_opaque(self, name: str) -> bool:
         return name in self.externs
+
+    def clone(self) -> "Module":
+        """A fully detached structural copy (see :mod:`repro.ir.clone`)."""
+        from .clone import clone_module
+
+        return clone_module(self)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from . import instructions as ins
-from .function import Block, IRFunction, Module
+from .function import BLOCK_TAGS, Block, IRFunction, Module
 from .values import Constant, GlobalRef, NullPtr, Param, Value, _short
 
 
@@ -32,6 +32,42 @@ def print_function(func: IRFunction) -> str:
     return "".join(parts)
 
 
+def fingerprint_module(module: Module) -> str:
+    """A canonical text form of ``module``, equal for two modules iff
+    they are structurally identical.
+
+    Unlike :func:`print_module`, block labels are renamed to ``b0, b1,
+    ...`` in block-list order: raw labels come from a process-global
+    counter, so structurally identical modules produced by different
+    pipeline runs print differently but fingerprint equal.  Extern
+    parameter types and :data:`~repro.ir.function.BLOCK_TAGS` are
+    included (``print_module`` elides both, but the tags change what
+    later loop passes do).
+    """
+    parts: list[str] = []
+    for info in module.globals.values():
+        prefix = "static " if info.static else ""
+        parts.append(f"{prefix}global @{info.name} : {info.ty} = {info.init}\n")
+    for ext in module.externs.values():
+        tys = ", ".join(str(t) for t in ext.param_tys)
+        parts.append(f"declare {ext.return_ty} @{ext.name}({tys})\n")
+    for func in module.functions.values():
+        namer = _Namer()
+        labels = {id(b): f"b{i}" for i, b in enumerate(func.blocks)}
+        parts.append(f"define {func.return_ty} @{func.name}(")
+        parts.append(", ".join(f"%{p.name}: {p.ty}" for p in func.params))
+        parts.append(") {\n")
+        for block in func.blocks:
+            tags = "".join(
+                f" !{tag}" for tag in BLOCK_TAGS if getattr(block, tag, False)
+            )
+            parts.append(f"{labels[id(block)]}:{tags}\n")
+            for instr in block.instrs:
+                parts.append(f"  {format_instr(instr, namer, labels)}\n")
+        parts.append("}\n")
+    return "".join(parts)
+
+
 class _Namer:
     def __init__(self) -> None:
         self._names: dict[int, str] = {}
@@ -57,8 +93,16 @@ def format_value(value: Value, namer: _Namer) -> str:
     return namer.name(value)
 
 
-def format_instr(instr: ins.Instr, namer: _Namer | None = None) -> str:
+def format_instr(
+    instr: ins.Instr,
+    namer: _Namer | None = None,
+    labels: dict[int, str] | None = None,
+) -> str:
     namer = namer or _Namer()
+    if labels is None:
+        lab = lambda b: b.label  # noqa: E731 - local shorthand
+    else:
+        lab = lambda b: labels[id(b)]  # noqa: E731
     v = lambda x: format_value(x, namer)  # noqa: E731 - local shorthand
     result = namer.name(instr) + " = " if instr.produces_value() else ""
     if isinstance(instr, ins.Alloca):
@@ -86,12 +130,12 @@ def format_instr(instr: ins.Instr, namer: _Namer | None = None) -> str:
         args = ", ".join(v(a) for a in instr.args)
         return f"{result}call @{instr.callee}({args})"
     if isinstance(instr, ins.Phi):
-        pairs = ", ".join(f"[{b.label}: {v(val)}]" for b, val in instr.incomings)
+        pairs = ", ".join(f"[{lab(b)}: {v(val)}]" for b, val in instr.incomings)
         return f"{result}phi {pairs}"
     if isinstance(instr, ins.Br):
-        return f"br {v(instr.cond)}, {instr.if_true.label}, {instr.if_false.label}"
+        return f"br {v(instr.cond)}, {lab(instr.if_true)}, {lab(instr.if_false)}"
     if isinstance(instr, ins.Jmp):
-        return f"jmp {instr.target.label}"
+        return f"jmp {lab(instr.target)}"
     if isinstance(instr, ins.Ret):
         return "ret" if instr.value is None else f"ret {v(instr.value)}"
     if isinstance(instr, ins.Unreachable):

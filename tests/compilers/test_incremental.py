@@ -1,0 +1,233 @@
+"""Incremental engine units + the knobs_for projection pin.
+
+The engine's sharing is only sound if ``PipelineConfig.knobs_for``
+lists *every* knob a pass reads; the pinning test greps each pass's
+source for ``config.<field>`` accesses so a knob added to a pass
+without updating :data:`PASS_KNOB_FIELDS` fails loudly here.
+"""
+
+import inspect
+import re
+
+from repro.compilers import (
+    CompilerSpec,
+    IncrementalEngine,
+    PipelineConfig,
+    run_pipeline,
+)
+from repro.compilers.config import PASS_GATES, PASS_KNOB_FIELDS
+from repro.compilers.incremental import (
+    GATE_SKIPS,
+    MEMO_HITS,
+    PASS_EXECS,
+    PASS_EXECS_SAVED,
+    PREFIX_HITS,
+)
+from repro.core.corpus import default_specs
+from repro.frontend.lower import lower_program
+from repro.frontend.typecheck import check_program
+from repro.ir.printer import fingerprint_module
+from repro.lang import parse_program
+from repro.observability.metrics import MetricsRegistry
+from repro.passes import (
+    cprop,
+    dce,
+    dse,
+    globalopt,
+    gvn,
+    inline,
+    instcombine,
+    jump_threading,
+    licm,
+    loop_unroll,
+    loop_unswitch,
+    mem2reg,
+    memcp,
+    sccp,
+    simplify_cfg,
+    utils,
+    vectorize,
+    vrp,
+)
+from repro.passes.registry import PASS_REGISTRY
+
+SOURCE = """
+void DCEMarker0(void);
+void DCEMarker1(void);
+static int g = 4;
+static long arr[3] = {1, 2, 3};
+static int helper(int x) { return x * 3; }
+int main() {
+  int a = helper(2);
+  for (int i = 0; i < 3; i++) { a += arr[i]; }
+  if (a == 1000) { DCEMarker0(); }
+  while (a > 100) { a /= 2; }
+  if (g != 4) { DCEMarker1(); }
+  return a;
+}
+"""
+
+#: pass name -> module implementing it (the registry wraps these)
+PASS_MODULES = {
+    "simplify-cfg": simplify_cfg,
+    "mem2reg": mem2reg,
+    "sccp": sccp,
+    "instcombine": instcombine,
+    "gvn": gvn,
+    "memcp": memcp,
+    "dse": dse,
+    "adce": dce,
+    "inline": inline,
+    "globalopt": globalopt,
+    "unroll": loop_unroll,
+    "unswitch": loop_unswitch,
+    "vectorize": vectorize,
+    "vrp": vrp,
+    "jump-threading": jump_threading,
+    "cprop": cprop,
+    "licm": licm,
+}
+
+_CONFIG_READ = re.compile(r"\bconfig\.([a-z_]+)\b")
+
+
+def _config_reads(module) -> set[str]:
+    return set(_CONFIG_READ.findall(inspect.getsource(module)))
+
+
+def test_knob_projection_covers_every_registered_pass():
+    assert set(PASS_KNOB_FIELDS) == set(PASS_REGISTRY)
+    assert set(PASS_MODULES) == set(PASS_REGISTRY)
+
+
+def test_knob_projection_pins_actual_config_reads():
+    for name, module in PASS_MODULES.items():
+        assert _config_reads(module) == set(PASS_KNOB_FIELDS[name]), (
+            f"pass {name!r}: PASS_KNOB_FIELDS disagrees with the "
+            f"config.<field> reads in {module.__name__}"
+        )
+
+
+def test_pass_helpers_read_no_config():
+    # shared helpers run inside passes; a config read there would be
+    # invisible to the per-pass projection
+    from repro.analysis import alias, loops
+
+    for module in (utils, alias, loops):
+        assert _config_reads(module) == set()
+
+
+def test_every_gate_field_is_in_its_pass_knobs():
+    for name, gate in PASS_GATES.items():
+        assert gate in PASS_KNOB_FIELDS[name]
+
+
+def test_knobs_for_projects_only_relevant_fields():
+    base = CompilerSpec("gcclike", "O2").config()
+    # a knob only instcombine reads must not split any other pass's key
+    other = base.with_(peephole_algebraic=not base.peephole_algebraic)
+    assert base.knobs_for("instcombine") != other.knobs_for("instcombine")
+    for name in PASS_REGISTRY:
+        if name != "instcombine":
+            assert base.knobs_for(name) == other.knobs_for(name)
+
+
+def test_gated_off_pass_projects_to_one_key():
+    a = PipelineConfig(vectorize=False, vectorize_min_trip=4)
+    b = PipelineConfig(vectorize=False, vectorize_min_trip=99)
+    assert a.knobs_for("vectorize") == b.knobs_for("vectorize") == (False,)
+    on = PipelineConfig(vectorize=True, vectorize_min_trip=99)
+    assert on.knobs_for("vectorize") != a.knobs_for("vectorize")
+
+
+def _lowered():
+    program = parse_program(SOURCE)
+    info = check_program(program)
+    return lower_program(program, info)
+
+
+def _independent(config):
+    module = _lowered()
+    changed = run_pipeline(module, config)
+    return module, changed
+
+
+def test_engine_matches_run_pipeline_for_every_default_spec():
+    engine = IncrementalEngine(_lowered())
+    for spec in default_specs():
+        config = spec.config()
+        expected_module, expected_changed = _independent(config)
+        got = engine.compile(config)
+        assert got.changed_passes == expected_changed, str(spec)
+        assert fingerprint_module(got.module) == fingerprint_module(
+            expected_module
+        ), str(spec)
+
+
+def test_recompiling_same_config_is_all_prefix_hits():
+    metrics = MetricsRegistry()
+    config = CompilerSpec("gcclike", "O2").config()
+    gated_off = sum(
+        1
+        for name in config.passes
+        if PASS_GATES.get(name) and not getattr(config, PASS_GATES[name])
+    )
+    engine = IncrementalEngine(_lowered(), metrics=metrics)
+    first = engine.compile(config)
+    execs = metrics.counter(PASS_EXECS).value
+    assert execs == len(config.passes) - gated_off
+    assert metrics.counter(GATE_SKIPS).value == gated_off
+    second = engine.compile(config)
+    assert metrics.counter(PASS_EXECS).value == execs  # nothing re-ran
+    assert metrics.counter(PREFIX_HITS).value == len(config.passes)
+    assert second.changed_passes == first.changed_passes
+    assert second.module is first.module  # same leaf state, shared
+
+
+def test_late_knob_difference_shares_whole_prefix():
+    metrics = MetricsRegistry()
+    config = CompilerSpec("gcclike", "O2").config()
+    # vrp_widen_after is read by vrp only (index 23 of the O2 pipeline)
+    variant = config.with_(vrp_widen_after=config.vrp_widen_after + 7)
+    engine = IncrementalEngine(_lowered(), metrics=metrics)
+    engine.compile(config)
+    engine.compile(variant)
+    vrp_index = config.passes.index("vrp")
+    assert metrics.counter(PREFIX_HITS).value >= vrp_index
+
+
+def test_engine_saves_work_on_default_matrix():
+    metrics = MetricsRegistry()
+    engine = IncrementalEngine(_lowered(), metrics=metrics)
+    seen = set()
+    for spec in default_specs():
+        config = spec.config()
+        from dataclasses import astuple
+
+        key = astuple(config)
+        if key in seen:
+            continue
+        seen.add(key)
+        engine.compile(config)
+    saved = metrics.counter(PASS_EXECS_SAVED).value
+    execs = metrics.counter(PASS_EXECS).value
+    assert saved > 0
+    assert saved == (
+        metrics.counter(PREFIX_HITS).value
+        + metrics.counter(MEMO_HITS).value
+        + metrics.counter(GATE_SKIPS).value
+    )
+    assert engine.pass_execs == execs
+    assert engine.pass_execs_saved == saved
+
+
+def test_memoize_off_still_produces_identical_results():
+    engine = IncrementalEngine(_lowered(), memoize=False)
+    for spec in ("O1", "O2", "O3"):
+        config = CompilerSpec("llvmlike", spec).config()
+        expected_module, expected_changed = _independent(config)
+        got = engine.compile(config)
+        assert got.changed_passes == expected_changed
+        assert fingerprint_module(got.module) == fingerprint_module(
+            expected_module
+        )

@@ -1,0 +1,109 @@
+"""Module.clone(): structural equality and full detachment."""
+
+from repro.compilers import CompilerSpec, run_pipeline
+from repro.frontend.lower import lower_program
+from repro.frontend.typecheck import check_program
+from repro.ir import instructions as ins
+from repro.ir.printer import fingerprint_module, print_module
+from repro.lang import parse_program
+
+SOURCE = """
+void DCEMarker0(void);
+static int g = 4;
+static long arr[3] = {1, 2, 3};
+static int helper(int x) { return x * 3; }
+int main() {
+  int a = helper(2);
+  for (int i = 0; i < 3; i++) { a += arr[i]; }
+  while (a > 100) { a /= 2; }
+  switch (a & 3) {
+    case 0: a += 1; break;
+    default: a -= 1; break;
+  }
+  if (a == 1000) { DCEMarker0(); }
+  return a;
+}
+"""
+
+
+def _lowered():
+    program = parse_program(SOURCE)
+    info = check_program(program)
+    return lower_program(program, info)
+
+
+def _object_ids(module):
+    seen = set()
+    for info in module.globals.values():
+        seen.add(id(info))
+    for ext in module.externs.values():
+        seen.add(id(ext))
+    for func in module.functions.values():
+        seen.add(id(func))
+        for param in func.params:
+            seen.add(id(param))
+        for block in func.blocks:
+            seen.add(id(block))
+            for instr in block.instrs:
+                seen.add(id(instr))
+    return seen
+
+
+def test_clone_is_structurally_identical():
+    module = _lowered()
+    clone = module.clone()
+    assert print_module(clone) == print_module(module)
+    assert fingerprint_module(clone) == fingerprint_module(module)
+
+
+def test_clone_shares_no_mutable_objects():
+    module = _lowered()
+    clone = module.clone()
+    assert _object_ids(module).isdisjoint(_object_ids(clone))
+
+
+def test_clone_operands_point_at_cloned_values():
+    module = _lowered()
+    clone = module.clone()
+    for func in clone.functions.values():
+        own_values = set(map(id, func.params))
+        own_blocks = set(map(id, func.blocks))
+        for block in func.blocks:
+            for instr in block.instrs:
+                own_values.add(id(instr))
+        for block in func.blocks:
+            for instr in block.instrs:
+                assert id(instr.block) in own_blocks
+                for op in instr.operands():
+                    if isinstance(op, ins.Instr) or op in func.params:
+                        assert id(op) in own_values
+                for succ in ins.successors(instr) or []:
+                    assert id(succ) in own_blocks
+                if isinstance(instr, ins.Phi):
+                    for pred, _ in instr.incomings:
+                        assert id(pred) in own_blocks
+
+
+def test_mutating_clone_never_reaches_original():
+    module = _lowered()
+    before = print_module(module)
+    clone = module.clone()
+    config = CompilerSpec("llvmlike", "O3").config()
+    run_pipeline(clone, config)  # O3 rewrites the clone heavily
+    assert print_module(module) == before
+
+
+def test_global_init_lists_are_detached():
+    module = _lowered()
+    clone = module.clone()
+    clone.globals["arr"].init[0] = 999
+    assert module.globals["arr"].init[0] == 1
+
+
+def test_clone_after_optimization_round_trips():
+    module = _lowered()
+    config = CompilerSpec("gcclike", "O2").config()
+    run_pipeline(module, config)
+    clone = module.clone()
+    assert fingerprint_module(clone) == fingerprint_module(module)
+    assert _object_ids(module).isdisjoint(_object_ids(clone))

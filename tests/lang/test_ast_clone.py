@@ -1,0 +1,87 @@
+"""The reducer's fast AST clone: full detachment from the original."""
+
+from repro.lang import ast_nodes as ast
+from repro.lang import parse_program, print_program
+
+SOURCE = """
+void DCEMarker0(void);
+static int g = 4;
+static long arr[3] = {1, 2, 3};
+int *p = &g;
+static int helper(int x) { return x * 3; }
+int main() {
+  int a = helper(2);
+  unsigned char b = (unsigned char)a;
+  char *d = &arr;
+  for (int i = 0; i < 3; i++) { a += arr[i]; }
+  while (a > 100) { a /= 2; }
+  do { a -= 1; } while (a > 50);
+  switch (a & 3) {
+    case 0: a += 1; break;
+    default: a -= 1; break;
+  }
+  if (a == b) { DCEMarker0(); } else { a = -a; }
+  return a;
+}
+"""
+
+
+def _all_nodes_and_lists(node, out):
+    if isinstance(node, ast.Node):
+        out.append(node)
+        for f in node.__dataclass_fields__:
+            _all_nodes_and_lists(getattr(node, f), out)
+    elif isinstance(node, list):
+        out.append(node)
+        for item in node:
+            _all_nodes_and_lists(item, out)
+
+
+def test_clone_prints_identically():
+    program = parse_program(SOURCE)
+    clone = ast.clone_program(program)
+    assert print_program(clone) == print_program(program)
+
+
+def test_clone_shares_no_nodes_or_lists():
+    program = parse_program(SOURCE)
+    clone = ast.clone_program(program)
+    originals, clones = [], []
+    _all_nodes_and_lists(program, originals)
+    _all_nodes_and_lists(clone, clones)
+    # same shape, fully disjoint object graphs
+    assert len(originals) == len(clones)
+    assert {id(x) for x in originals}.isdisjoint({id(x) for x in clones})
+
+
+def test_mutating_clone_never_reaches_original():
+    program = parse_program(SOURCE)
+    before = print_program(program)
+    clone = ast.clone_program(program)
+
+    # statement-level: delete main's body contents
+    clone.function("main").body.stmts.clear()
+    # decl-level: drop the helper entirely
+    clone.decls = [
+        d for d in clone.decls
+        if not (isinstance(d, ast.FuncDef) and d.name == "helper")
+    ]
+    # expression-level: rewrite every int literal
+    for func in clone.functions():
+        for stmt in ast.walk_stmts(func.body):
+            for expr in ast.walk_exprs_of_stmt(stmt):
+                if isinstance(expr, ast.IntLit):
+                    expr.value = 999
+    # global initializer list
+    clone.global_var("arr").init[0] = 777
+
+    assert print_program(program) == before
+
+
+def test_mutating_original_never_reaches_clone():
+    program = parse_program(SOURCE)
+    clone = ast.clone_program(program)
+    before = print_program(clone)
+    program.function("main").body.stmts.clear()
+    program.global_var("arr").init.append(4)
+    assert print_program(clone) == before

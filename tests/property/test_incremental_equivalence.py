@@ -1,0 +1,125 @@
+"""Incremental compilation must be observationally identical to
+independent per-spec compilation — over many generated programs, every
+default spec, and the reduction loop with the oracle memo on or off."""
+
+from dataclasses import astuple
+
+import pytest
+
+from repro.compilers import CompilerSpec, IncrementalEngine, run_pipeline
+from repro.compilers.pipeline import module_markers
+from repro.core.corpus import default_specs
+from repro.core.differential import analyze_markers
+from repro.core.ground_truth import compute_ground_truth
+from repro.core.markers import instrument_program
+from repro.core.reduction import missed_marker_predicate, reduce_program
+from repro.frontend.lower import lower_program
+from repro.frontend.typecheck import check_program
+from repro.generator import generate_program
+from repro.ir.printer import fingerprint_module
+from repro.lang import parse_program, print_program
+from repro.observability.metrics import MetricsRegistry
+
+SEEDS = range(25)
+
+
+def _prepared(seed):
+    instrumented = instrument_program(generate_program(seed))
+    info = check_program(instrumented.program)
+    return instrumented, info
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_engine_equivalent_to_independent_pipelines(seed):
+    """Final IR, surviving markers, and changed-pass lists all agree
+    with a fresh ``run_pipeline`` for every distinct default config."""
+    instrumented, info = _prepared(seed)
+    engine = IncrementalEngine(lower_program(instrumented.program, info))
+    seen = set()
+    for spec in default_specs():
+        config = spec.config()
+        key = astuple(config)
+        if key in seen:
+            continue
+        seen.add(key)
+        expected = lower_program(instrumented.program, info)
+        expected_changed = run_pipeline(expected, config)
+        got = engine.compile(config)
+        label = f"seed {seed}, {spec}"
+        assert got.changed_passes == expected_changed, label
+        assert fingerprint_module(got.module) == fingerprint_module(
+            expected
+        ), label
+        assert module_markers(got.module) == module_markers(expected), label
+
+
+@pytest.mark.parametrize("seed", [0, 11])
+def test_analyze_markers_identical_with_and_without_engine(seed):
+    """End to end (ground truth included): the report is the same."""
+    instrumented, info = _prepared(seed)
+    specs = default_specs()
+    truth = compute_ground_truth(instrumented, info=info)
+    fast = analyze_markers(
+        instrumented, specs, info=info, ground_truth=truth, incremental=True
+    )
+    slow = analyze_markers(
+        instrumented, specs, info=info, ground_truth=truth, incremental=False
+    )
+    assert fast.ground_truth.dead == slow.ground_truth.dead
+    assert fast.ground_truth.alive == slow.ground_truth.alive
+    assert set(fast.outcomes) == set(slow.outcomes)
+    for name, outcome in fast.outcomes.items():
+        assert outcome.alive == slow.outcomes[name].alive, (seed, name)
+        assert outcome.all_markers == slow.outcomes[name].all_markers
+
+
+# Mirrors the listing-1 shape used by the reduction tests: a dead
+# marker llvmlike -O3 keeps, gcclike -O3 eliminates, plus noise.
+BLOATED = """
+void DCEMarker0(void);
+char a;
+char b[2];
+static int noise1 = 4;
+static long noise2[3] = {1, 2, 3};
+static int helper(int x) { return x * 3; }
+int main() {
+  int pad1 = helper(2);
+  noise1 += pad1;
+  long pad2 = noise2[1] + noise1;
+  char *d = &a;
+  char *e = &b[1];
+  if (d == e) {
+    DCEMarker0();
+  }
+  noise2[2] = pad2;
+  for (int i = 0; i < 3; i++) { noise1 += i; }
+  return 0;
+}
+"""
+
+
+def test_reduction_byte_identical_with_memoized_oracle():
+    predicate = missed_marker_predicate(
+        "DCEMarker0",
+        keeper=CompilerSpec("llvmlike", "O3"),
+        witness=CompilerSpec("gcclike", "O3"),
+    )
+    metrics = MetricsRegistry()
+    memoized = reduce_program(
+        parse_program(BLOATED), predicate, metrics=metrics
+    )
+    plain = reduce_program(
+        parse_program(BLOATED), predicate, memoize_oracle=False
+    )
+    assert print_program(memoized.program) == print_program(plain.program)
+    assert memoized.attempts == plain.attempts
+    assert memoized.successes == plain.successes
+    assert memoized.stmts_before == plain.stmts_before
+    assert memoized.stmts_after == plain.stmts_after
+    # the memo actually fired, and the metrics agree with the result
+    assert memoized.oracle_cache_hits > 0
+    assert plain.oracle_cache_hits == 0
+    assert (
+        metrics.counter("reduction.oracle_cache_hits").value
+        == memoized.oracle_cache_hits
+    )
