@@ -70,17 +70,25 @@ def analyze_source(
     source: str,
     specs: list[CompilerSpec] | None = None,
     incremental: bool = True,
+    verify_ir: bool = False,
 ) -> AnalysisReport:
     """Instrument, ground-truth, and differentially compile a program
-    given as MiniC/C-subset source text."""
+    given as MiniC/C-subset source text.
+
+    ``verify_ir`` runs the IR verifier after every optimization pass
+    and fails loudly (naming the pass) if one produces malformed IR.
+    """
     program = parse_program(source)
-    return analyze_program(program, specs, incremental=incremental)
+    return analyze_program(
+        program, specs, incremental=incremental, verify_ir=verify_ir
+    )
 
 
 def analyze_program(
     program,
     specs: list[CompilerSpec] | None = None,
     incremental: bool = True,
+    verify_ir: bool = False,
 ) -> AnalysisReport:
     specs = specs or default_specs()
     instrumented = instrument_program(program)
@@ -88,7 +96,7 @@ def analyze_program(
     truth = compute_ground_truth(instrumented, info=info)
     analysis = analyze_markers(
         instrumented, specs, info=info, ground_truth=truth,
-        incremental=incremental,
+        incremental=incremental, verify_ir=verify_ir,
     )
     graph = build_marker_graph(instrumented, truth.executed_functions(), info)
     report = AnalysisReport(analysis)

@@ -1,0 +1,73 @@
+"""Cooperative per-seed wall-clock budgets.
+
+A campaign that analyzes hundreds of thousands of random programs must
+survive the occasional pathological seed — one whose generated loops
+explode under unrolling, or whose interpretation crawls.  Hard
+process-level timeouts are blunt (they lose the whole shard and any
+buffered metrics), so the budget here is *cooperative*: the campaign
+arms a deadline before each seed (:func:`deadline`), and long-running
+loops — pass boundaries in the pipeline, the interpreter's step check —
+poll :func:`check_deadline`, which raises :class:`SeedBudgetExceeded`
+once the wall clock passes the limit.  The campaign layer catches that
+exception and records the seed as ``budget_exceeded`` instead of
+hanging.
+
+This module sits below every other ``repro`` package (it imports only
+the standard library) precisely so the pipeline, the interpreter, and
+the fault-injection harness can all poll it without import cycles.
+The deadline is a per-process global: campaigns parallelize across
+processes, never across threads, and each worker analyzes one seed at
+a time.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class SeedBudgetExceeded(RuntimeError):
+    """The current seed exceeded its wall-clock budget.
+
+    Deliberately *not* a :class:`Exception` wrapped by the pass
+    pipeline's crash containment: runaway work is a skip, not a crash.
+    """
+
+
+_DEADLINE: float | None = None
+
+
+@contextmanager
+def deadline(seconds: float | None) -> Iterator[None]:
+    """Arm a wall-clock deadline ``seconds`` from now for the duration
+    of the ``with`` block (``None`` = unlimited, zero overhead)."""
+    global _DEADLINE
+    if seconds is None:
+        yield
+        return
+    previous = _DEADLINE
+    _DEADLINE = time.monotonic() + seconds
+    try:
+        yield
+    finally:
+        _DEADLINE = previous
+
+
+def check_deadline() -> None:
+    """Raise :class:`SeedBudgetExceeded` if the armed deadline passed.
+
+    No-op (one global read) when no deadline is armed, so hot loops can
+    poll it unconditionally.
+    """
+    if _DEADLINE is not None and time.monotonic() > _DEADLINE:
+        raise SeedBudgetExceeded(
+            f"seed exceeded its wall-clock budget "
+            f"({time.monotonic() - _DEADLINE:.3f}s past the deadline)"
+        )
+
+
+def deadline_armed() -> bool:
+    """Whether a deadline is currently active (used by spin faults to
+    decide how long they may busy-wait)."""
+    return _DEADLINE is not None

@@ -7,7 +7,10 @@ Subcommands mirror the paper's workflow:
 * ``generate --seed N`` — print a random program (optionally instrumented)
 * ``campaign``          — run a corpus campaign and print Table 1/2 shapes
   (``--metrics-out FILE.json`` snapshots latency histograms + tallies,
-  ``--progress`` reports per-program throughput on stderr)
+  ``--progress`` reports per-program throughput on stderr,
+  ``--seed-budget``/``--checkpoint``/``--chaos`` exercise the fault
+  isolation layer)
+* ``crashes JOURNAL``   — bucketed crash report from a checkpoint journal
 * ``profile FILE``      — per-pass wall time / IR size / marker
   attribution table for one compilation
 * ``asm FILE``          — show the generated assembly for one spec
@@ -55,6 +58,11 @@ def main(argv: list[str] | None = None) -> int:
         help="compile every spec independently instead of sharing pass "
              "work through the incremental engine (identical results)",
     )
+    p_analyze.add_argument(
+        "--verify-ir", action="store_true",
+        help="run the IR verifier after every optimization pass and "
+             "fail loudly (naming the pass) on malformed IR",
+    )
 
     p_gen = sub.add_parser("generate", help="generate a random program")
     p_gen.add_argument("--seed", type=int, default=0)
@@ -82,6 +90,27 @@ def main(argv: list[str] | None = None) -> int:
         help="compile every spec independently instead of sharing pass "
              "work through the incremental engine (identical results)",
     )
+    p_campaign.add_argument(
+        "--seed-budget", type=float, default=None, metavar="SECONDS",
+        help="per-seed wall-clock budget; seeds that exceed it are "
+             "recorded as budget_exceeded skips instead of hanging",
+    )
+    p_campaign.add_argument(
+        "--checkpoint", metavar="FILE",
+        help="append one JSONL record per finished seed; rerunning with "
+             "the same file replays finished seeds and analyzes the rest",
+    )
+    p_campaign.add_argument(
+        "--chaos", action="append", metavar="SPEC", default=None,
+        help="inject a fault for resilience drills, e.g. "
+             "'pass:gvn:raise:3,11' or 'ground_truth:spin:17' "
+             "(site:kind[:seeds]; repeatable)",
+    )
+
+    p_crashes = sub.add_parser(
+        "crashes", help="summarize crash buckets from a checkpoint journal"
+    )
+    p_crashes.add_argument("journal")
 
     p_profile = sub.add_parser(
         "profile", help="per-pass time/size/marker-attribution table"
@@ -125,14 +154,16 @@ def main(argv: list[str] | None = None) -> int:
             tracer = Tracer()
             with use_tracer(tracer):
                 report = api.analyze_source(
-                    _read(args.file), incremental=incremental
+                    _read(args.file), incremental=incremental,
+                    verify_ir=args.verify_ir,
                 )
             print(report.summary())
             print("\ntrace:")
             print(format_trace(tracer))
         else:
             report = api.analyze_source(
-                _read(args.file), incremental=incremental
+                _read(args.file), incremental=incremental,
+                verify_ir=args.verify_ir,
             )
             print(report.summary())
     elif args.command == "generate":
@@ -142,9 +173,17 @@ def main(argv: list[str] | None = None) -> int:
             check_program(program)
         print(print_program(program))
     elif args.command == "campaign":
+        if args.programs < 0:
+            p_campaign.error(
+                f"--programs must be >= 0, got {args.programs}"
+            )
         _campaign(args.programs, args.seed_base,
                   metrics_out=args.metrics_out, show_progress=args.progress,
-                  jobs=args.jobs, incremental=not args.no_incremental)
+                  jobs=args.jobs, incremental=not args.no_incremental,
+                  seed_budget=args.seed_budget, checkpoint=args.checkpoint,
+                  chaos_specs=args.chaos)
+    elif args.command == "crashes":
+        return _crashes(args.journal)
     elif args.command == "profile":
         _profile(_read(args.file), args.family, args.level, args.instrument)
     elif args.command == "asm":
@@ -262,16 +301,32 @@ def _campaign(
     show_progress: bool = False,
     jobs: int = 1,
     incremental: bool = True,
+    seed_budget: float | None = None,
+    checkpoint: str | None = None,
+    chaos_specs: list[str] | None = None,
 ) -> None:
+    from .testing import chaos
+
     metrics = MetricsRegistry() if metrics_out else None
     progress = _print_progress if show_progress else None
     if jobs == 0:
         jobs = os.cpu_count() or 1
-    result = run_campaign(
-        n_programs=n_programs, seed_base=seed_base,
-        metrics=metrics, progress=progress, jobs=jobs,
-        incremental=incremental,
-    )
+    plan = None
+    if chaos_specs:
+        plan = chaos.FaultPlan(
+            tuple(chaos.parse_fault(spec) for spec in chaos_specs)
+        )
+        chaos.install_plan(plan)
+    try:
+        result = run_campaign(
+            n_programs=n_programs, seed_base=seed_base,
+            metrics=metrics, progress=progress, jobs=jobs,
+            incremental=incremental, seed_budget=seed_budget,
+            checkpoint=checkpoint,
+        )
+    finally:
+        if plan is not None:
+            chaos.clear_plan()
     if metrics is not None:
         metrics.write_json(metrics_out)
         print(f"metrics written to {metrics_out}", file=sys.stderr)
@@ -279,6 +334,15 @@ def _campaign(
         f"programs: {len(result.seeds)} (skipped {len(result.skipped)}), "
         f"markers: {result.total_markers}, dead: {pct(result.dead_pct)}"
     )
+    if result.crashes or result.budget_exceeded or result.degraded:
+        print(
+            f"fault isolation: {len(result.crashes)} crashes in "
+            f"{len(result.crash_buckets)} buckets, "
+            f"{len(result.budget_exceeded)} over budget, "
+            f"{len(result.degraded)} degraded (non-incremental retry)"
+        )
+        if result.crashes:
+            print(_crash_bucket_table(result.crash_buckets))
     rows = []
     for level in ("O0", "O1", "Os", "O2", "O3"):
         g = result.level_stats("gcclike", level)
@@ -300,6 +364,42 @@ def _campaign(
             f"cross-level {family}: O3 misses {stats.missed_at_high} markers "
             f"seized at O1/O2 (primary {stats.primary})"
         )
+
+
+def _crash_bucket_table(buckets) -> str:
+    """Render deduplicated crash buckets as a table."""
+    rows = []
+    for bucket, envelopes in buckets.items():
+        seeds = [str(e.seed) for e in envelopes[:5]]
+        if len(envelopes) > len(seeds):
+            seeds.append(f"(+{len(envelopes) - len(seeds)} more)")
+        first = envelopes[0]
+        rows.append([
+            bucket,
+            str(len(envelopes)),
+            first.phase,
+            ", ".join(seeds),
+            first.repro,
+        ])
+    return format_table(
+        ["bucket", "count", "phase", "seeds", "repro"],
+        rows, title="crash buckets",
+    )
+
+
+def _crashes(journal: str) -> int:
+    """``dce-hunt crashes <journal>`` — bucketed crash report."""
+    from .core.resilience import bucket_crashes, read_journal_crashes
+
+    if not os.path.exists(journal):
+        print(f"no such journal: {journal}", file=sys.stderr)
+        return 1
+    crashes = read_journal_crashes(journal)
+    if not crashes:
+        print("no crashes recorded")
+        return 0
+    print(_crash_bucket_table(bucket_crashes(crashes)))
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -156,6 +156,7 @@ PASS_KNOB_FIELDS: dict[str, tuple[str, ...]] = {
     "mem2reg": (),
     "adce": (),
     "cprop": (),
+    "chaos": (),
     "sccp": ("addr_cmp",),
     "instcombine": (
         "addr_cmp",

@@ -57,6 +57,7 @@ from ..ir.printer import fingerprint_module
 from ..observability.attribution import PASS_SPAN, PIPELINE_SPAN
 from ..observability.metrics import MetricsRegistry
 from ..observability.tracer import current_tracer
+from ..testing.chaos import trigger as _chaos_trigger
 from .config import PASS_GATES, PipelineConfig
 from .pipeline import (
     MARKER_PREFIX,
@@ -134,6 +135,9 @@ class IncrementalEngine:
     def compile(self, config: PipelineConfig) -> IncrementalCompilation:
         """Run ``config.passes`` over the base module — equivalent to
         ``run_pipeline`` on a fresh copy, minus the shared work."""
+        # chaos site for the campaign's degraded-retry drill: a fault
+        # here disappears on the non-incremental fallback path
+        _chaos_trigger("incremental")
         validate_passes(config.passes)
         tracer = current_tracer()
         if not tracer.enabled:

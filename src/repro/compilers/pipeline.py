@@ -12,12 +12,14 @@ tracing disabled none of the bookkeeping runs.
 
 from __future__ import annotations
 
+from ..budget import SeedBudgetExceeded, check_deadline
 from ..ir import instructions as ins
 from ..ir.function import Module
-from ..ir.verify import verify_module
+from ..ir.verify import VerificationError, verify_module
 from ..observability.attribution import PASS_SPAN, PIPELINE_SPAN
 from ..observability.tracer import Tracer, current_tracer
 from ..passes.registry import PASS_REGISTRY, available_passes
+from ..testing.chaos import trigger as _chaos_trigger
 from .config import PipelineConfig
 
 #: marker symbol prefix tracked for per-pass attribution (mirrors
@@ -91,12 +93,26 @@ def execute_pass(
     Returns the pass's changed flag; wraps failures in
     :class:`PassPipelineError`.  Shared by :func:`run_pipeline` and the
     incremental engine so both execute passes identically.
+
+    Every pass boundary polls the cooperative seed budget
+    (:mod:`repro.budget`): a :class:`SeedBudgetExceeded` is a skip
+    signal for the campaign layer, never wrapped as a pass crash.
     """
+    check_deadline()
     pass_fn = PASS_REGISTRY[name]
     try:
+        _chaos_trigger(f"pass:{name}")
         changed = pass_fn(module, config)
         if verify_each:
             verify_module(module)
+    except SeedBudgetExceeded:
+        raise
+    except VerificationError as err:
+        summary = str(err).splitlines()[0] if str(err) else "invalid IR"
+        raise PassPipelineError(
+            name, err,
+            message=f"pass {name!r} produced unverifiable IR: {summary}",
+        ) from err
     except Exception as err:
         raise PassPipelineError(name, err) from err
     return changed

@@ -8,7 +8,10 @@ and 2 and the §4.1/§4.2 headline numbers.
 
 from __future__ import annotations
 
+import signal
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -22,6 +25,13 @@ from .differential import ProgramAnalysis, analyze_markers, missed_between_level
 from .ground_truth import compute_ground_truth
 from .markers import instrument_program
 from .primary import build_marker_graph, primary_missed_markers
+from .resilience import (
+    CheckpointJournal,
+    CrashEnvelope,
+    SeedReport,
+    analyze_one_resilient,
+    bucket_crashes,
+)
 
 
 def default_specs(version: int | None = None) -> list[CompilerSpec]:
@@ -91,11 +101,26 @@ class CampaignResult:
     soundness_violations: list[dict] = field(default_factory=list)
     #: full per-seed analyses, populated only with ``keep_analyses``
     analyses: list[ProgramOutcome] = field(default_factory=list)
+    #: contained per-seed crashes, in seed order (fault isolation:
+    #: a crash never aborts the campaign)
+    crashes: list[CrashEnvelope] = field(default_factory=list)
+    #: seeds skipped because they exceeded the per-seed wall-clock
+    #: budget (``seed_budget``)
+    budget_exceeded: list[int] = field(default_factory=list)
+    #: seeds whose incremental compile crashed but whose plain retry
+    #: succeeded (their outcomes are in ``seeds`` as usual)
+    degraded: list[int] = field(default_factory=list)
 
     @property
     def dead_pct(self) -> float:
         total = self.total_markers
         return 100.0 * self.total_dead / total if total else 0.0
+
+    @property
+    def crash_buckets(self) -> dict[str, list[CrashEnvelope]]:
+        """Crashes deduplicated by bucket key (exception type + deepest
+        in-repo frame), deterministically ordered."""
+        return bucket_crashes(self.crashes)
 
     def level_stats(self, family: str, level: str) -> LevelStats:
         return self.by_level.setdefault((family, level), LevelStats())
@@ -107,10 +132,15 @@ class CampaignProgress:
 
     seed: int
     completed: int  # programs analyzed so far (excluding skips)
+    #: programs that produced no outcome so far (step-limit skips,
+    #: budget-exceeded seeds, and contained crashes)
     skipped: int
     total: int
     elapsed: float  # seconds since campaign start
-    skipped_seed: bool  # whether *this* seed was skipped
+    skipped_seed: bool  # whether *this* seed produced no outcome
+    #: breakdown of the ``skipped`` tally
+    crashed: int = 0
+    budget_exceeded: int = 0
 
     @property
     def programs_per_sec(self) -> float:
@@ -130,6 +160,8 @@ def run_campaign(
     progress: Callable[[CampaignProgress], None] | None = None,
     jobs: int = 1,
     incremental: bool = True,
+    seed_budget: float | None = None,
+    checkpoint: str | None = None,
 ) -> CampaignResult:
     """Run the full marker campaign over ``n_programs`` seeds.
 
@@ -154,7 +186,17 @@ def run_campaign(
     ``incremental`` selects the prefix-shared compilation engine per
     seed (:mod:`repro.compilers.incremental`, identical results);
     ``False`` compiles every spec independently.
+
+    Fault isolation (:mod:`repro.core.resilience`): per-seed crashes
+    are contained into ``result.crashes`` envelopes, ``seed_budget``
+    arms a cooperative wall-clock deadline per seed
+    (``result.budget_exceeded``), and ``checkpoint`` appends one JSONL
+    record per finished seed so an interrupted campaign rerun with the
+    same path replays journaled seeds and analyzes only the rest,
+    reproducing the uninterrupted result.
     """
+    if n_programs < 0:
+        raise ValueError(f"n_programs must be >= 0, got {n_programs}")
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     if jobs > 1:
@@ -163,17 +205,19 @@ def run_campaign(
         return run_campaign_parallel(
             n_programs, seed_base, version, generator_config,
             keep_analyses, compare_level, metrics, tracer, progress, jobs,
-            incremental,
+            incremental, seed_budget, checkpoint,
         )
     if tracer is not None:
         with use_tracer(tracer):
             return _run_campaign_traced(
                 n_programs, seed_base, version, generator_config,
                 keep_analyses, compare_level, metrics, progress, incremental,
+                seed_budget, checkpoint,
             )
     return _run_campaign_traced(
         n_programs, seed_base, version, generator_config,
         keep_analyses, compare_level, metrics, progress, incremental,
+        seed_budget, checkpoint,
     )
 
 
@@ -187,62 +231,153 @@ def _run_campaign_traced(
     metrics: MetricsRegistry | None,
     progress: Callable[[CampaignProgress], None] | None,
     incremental: bool = True,
+    seed_budget: float | None = None,
+    checkpoint: str | None = None,
 ) -> CampaignResult:
     specs = default_specs(version)
     result = CampaignResult()
     result.cross_level = {family: CrossLevelStats() for family in FAMILIES}
     tracer = current_tracer()
     start = time.perf_counter()
+    journal = CheckpointJournal(checkpoint) if checkpoint else None
 
     with tracer.span(
         "campaign", programs=n_programs, seed_base=seed_base
-    ) as campaign_span:
-        for seed in range(seed_base, seed_base + n_programs):
-            program_start = time.perf_counter()
-            with tracer.span("campaign.program", seed=seed) as span:
-                outcome = analyze_one(
-                    seed, specs, version, generator_config, metrics=metrics,
-                    incremental=incremental,
+    ) as campaign_span, _sigint_flushes(journal):
+        try:
+            for seed in range(seed_base, seed_base + n_programs):
+                replayed = journal.get(seed) if journal is not None else None
+                if replayed is not None:
+                    if metrics is not None:
+                        metrics.counter("campaign.checkpoint_replayed").inc()
+                    report = replayed
+                else:
+                    program_start = time.perf_counter()
+                    with tracer.span("campaign.program", seed=seed) as span:
+                        report = analyze_one_resilient(
+                            seed, specs, version, generator_config,
+                            metrics=metrics, incremental=incremental,
+                            seed_budget=seed_budget,
+                        )
+                        span.set("skipped", report.outcome is None)
+                        if report.crash is not None:
+                            span.set("crashed", report.crash.bucket)
+                        if report.budget_exceeded:
+                            span.set("budget_exceeded", True)
+                        if report.degraded:
+                            span.set("degraded", True)
+                    if metrics is not None:
+                        metrics.histogram(
+                            "campaign.program_latency_ms"
+                        ).observe((time.perf_counter() - program_start) * 1e3)
+                    if journal is not None:
+                        journal.record(report)
+                _merge_report(
+                    result, report, version, compare_level, keep_analyses,
+                    metrics,
                 )
-                span.set("skipped", outcome is None)
-            if metrics is not None:
-                metrics.histogram("campaign.program_latency_ms").observe(
-                    (time.perf_counter() - program_start) * 1e3
-                )
-            if outcome is None:
-                result.skipped.append(seed)
-            else:
-                result.seeds.append(seed)
-                _accumulate(result, outcome, version, compare_level)
-                if keep_analyses:
-                    result.analyses.append(outcome)
-            elapsed = time.perf_counter() - start
-            if metrics is not None:
-                _record_tallies(result, metrics, elapsed)
-            if progress is not None:
-                progress(
-                    CampaignProgress(
-                        seed=seed,
-                        completed=len(result.seeds),
-                        skipped=len(result.skipped),
-                        total=n_programs,
-                        elapsed=elapsed,
-                        skipped_seed=outcome is None,
-                    )
-                )
-        campaign_span.update(
-            completed=len(result.seeds), skipped=len(result.skipped)
-        )
+                elapsed = time.perf_counter() - start
+                if metrics is not None:
+                    _record_tallies(result, metrics, elapsed)
+                if progress is not None:
+                    progress(_progress_snapshot(
+                        result, report, n_programs, elapsed
+                    ))
+            campaign_span.update(
+                completed=len(result.seeds), skipped=len(result.skipped),
+                crashed=len(result.crashes),
+                budget_exceeded=len(result.budget_exceeded),
+            )
+        finally:
+            if journal is not None:
+                journal.close()
     return result
+
+
+def _merge_report(
+    result: CampaignResult,
+    report: SeedReport,
+    version: int | None,
+    compare_level: str,
+    keep_analyses: bool,
+    metrics: MetricsRegistry | None,
+) -> None:
+    """Fold one per-seed :class:`SeedReport` into the campaign result
+    (shared by the sequential loop, the parallel merge, and checkpoint
+    replay, so all three count crashes/budget/degraded identically)."""
+    if report.budget_exceeded:
+        result.budget_exceeded.append(report.seed)
+        if metrics is not None:
+            metrics.counter("campaign.budget_exceeded").inc()
+    elif report.crash is not None:
+        result.crashes.append(report.crash)
+        if metrics is not None:
+            metrics.counter("campaign.crashes").inc()
+    elif report.outcome is None:
+        result.skipped.append(report.seed)
+    else:
+        result.seeds.append(report.seed)
+        _accumulate(result, report.outcome, version, compare_level)
+        if keep_analyses:
+            result.analyses.append(report.outcome)
+        if report.degraded:
+            result.degraded.append(report.seed)
+            if metrics is not None:
+                metrics.counter("campaign.degraded").inc()
+
+
+def _progress_snapshot(
+    result: CampaignResult,
+    report: SeedReport,
+    n_programs: int,
+    elapsed: float,
+) -> CampaignProgress:
+    return CampaignProgress(
+        seed=report.seed,
+        completed=len(result.seeds),
+        skipped=(
+            len(result.skipped) + len(result.crashes)
+            + len(result.budget_exceeded)
+        ),
+        total=n_programs,
+        elapsed=elapsed,
+        skipped_seed=report.outcome is None,
+        crashed=len(result.crashes),
+        budget_exceeded=len(result.budget_exceeded),
+    )
+
+
+@contextmanager
+def _sigint_flushes(journal: CheckpointJournal | None):
+    """While a checkpointed campaign runs on the main thread, make
+    SIGINT flush the journal to disk before the usual
+    :class:`KeyboardInterrupt` propagates (interruption safety)."""
+    if journal is None or threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _flush_and_interrupt(signum, frame):
+        journal.flush()
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGINT, _flush_and_interrupt)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGINT, previous)
 
 
 def _record_tallies(
     result: CampaignResult, metrics: MetricsRegistry, elapsed: float
 ) -> None:
     """Mirror the running campaign accumulators into the registry."""
-    done = len(result.seeds) + len(result.skipped)
+    done = (
+        len(result.seeds) + len(result.skipped) + len(result.crashes)
+        + len(result.budget_exceeded)
+    )
     metrics.gauge("campaign.programs_analyzed").set(len(result.seeds))
     metrics.gauge("campaign.programs_skipped").set(len(result.skipped))
+    metrics.gauge("campaign.crash_buckets").set(len(result.crash_buckets))
     metrics.gauge("campaign.programs_per_sec").set(
         done / elapsed if elapsed > 0 else 0.0
     )

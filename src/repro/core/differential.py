@@ -73,6 +73,7 @@ def analyze_markers(
     marker_prefix: str = "DCEMarker",
     metrics: MetricsRegistry | None = None,
     incremental: bool = True,
+    verify_ir: bool = False,
 ) -> ProgramAnalysis:
     """Run the full marker pipeline for ``instrumented`` under ``specs``.
 
@@ -96,6 +97,13 @@ def analyze_markers(
     identical to independent ``compile_minic`` runs while the
     ``compile.pass_execs_saved`` counter records the eliminated work.
     ``incremental=False`` restores the independent-compile path.
+
+    ``verify_ir`` runs the IR verifier after every pass of every
+    compilation (both engines): a pass that produces malformed IR then
+    fails the compile with a
+    :class:`~repro.compilers.pipeline.PassPipelineError` naming the
+    offending pass, instead of silently miscounting markers downstream.
+    Off by default — it roughly doubles compile time.
     """
     if info is None:
         info = check_program(instrumented.program)
@@ -119,6 +127,7 @@ def analyze_markers(
                         engine = IncrementalEngine(
                             lower_program(instrumented.program, info),
                             metrics=metrics,
+                            verify_each=verify_ir,
                             marker_prefix=marker_prefix,
                         )
                     compilation = engine.compile(config)
@@ -127,7 +136,10 @@ def analyze_markers(
                 alive = asm_alive_markers(asm, marker_prefix)
                 alive &= instrumented.marker_names
             else:
-                result = compile_minic(instrumented.program, spec, info=info)
+                result = compile_minic(
+                    instrumented.program, spec, info=info,
+                    verify_each=verify_ir,
+                )
                 alive = (
                     result.alive_markers(marker_prefix)
                     & instrumented.marker_names

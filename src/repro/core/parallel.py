@@ -2,39 +2,49 @@
 
 ``run_campaign(jobs=N)`` delegates here for ``N > 1``.  Seeds split
 into contiguous shards, each pool worker runs
-:func:`repro.core.corpus.analyze_one` over its shard and sends back a
-picklable :class:`SeedEnvelope` per seed (outcome + raw metrics
-snapshot + serialized spans).  The parent drains futures as they
-complete but folds envelopes into the :class:`CampaignResult` strictly
-**in seed order** — out-of-order shards buffer until the gap closes —
-so the result is identical to the sequential run regardless of jobs
-count, shard size, or completion order.
+:func:`repro.core.resilience.analyze_one_resilient` over its shard and
+sends back a picklable :class:`SeedEnvelope` per seed (per-seed report
++ raw metrics snapshot + serialized spans).  The parent drains futures
+as they complete but folds envelopes into the :class:`CampaignResult`
+strictly **in seed order** — out-of-order shards buffer until the gap
+closes — so the result (including crash envelopes and their buckets)
+is identical to the sequential run regardless of jobs count, shard
+size, or completion order.
 
-Observability threads through the pool boundary:
+Fault isolation at the pool boundary:
 
-* each worker accumulates into a private
-  :class:`~repro.observability.metrics.MetricsRegistry` whose raw
-  :meth:`~repro.observability.metrics.MetricsRegistry.dump` snapshot
-  merges into the parent registry (histogram observations included),
-  in seed order, so merged tallies match the sequential run;
-* workers trace into a private
-  :class:`~repro.observability.tracer.Tracer` (only when the parent's
-  tracer is enabled) and the parent re-parents each per-seed span
-  subtree under its own ``campaign`` span via
-  :meth:`~repro.observability.tracer.Tracer.adopt_spans`;
-* ``progress`` callbacks fire from the as-completed loop as seeds
-  merge, so ``campaign --progress`` ticks live.
+* per-seed crashes are contained *inside* the worker (they travel as
+  :class:`~repro.core.resilience.CrashEnvelope`\\ s, never poisoning a
+  shard);
+* a **worker death** (``BrokenProcessPool``) dooms every in-flight
+  shard: the engine restarts the pool (``campaign.worker_restarts``)
+  and resubmits the doomed shards **bisected**, so repeated deaths
+  isolate the killer seed into a singleton shard, which is then
+  recorded as a ``WorkerDeath`` crash while every innocent seed is
+  re-analyzed;
+* with a ``checkpoint`` journal, already-journaled seeds replay from
+  disk and only the rest are sharded to the pool; freshly finished
+  seeds append to the journal in seed order.
 
-Workers fork (where the platform supports it) so the pool inherits the
-warm interpreter state; on spawn-only platforms everything shipped to
-the initializer is picklable.
+Observability threads through the pool boundary exactly as before:
+worker metrics snapshots merge in seed order, worker span subtrees
+re-parent under the parent's ``campaign`` span, and ``progress`` ticks
+live from the merge loop.  The installed chaos
+:class:`~repro.testing.chaos.FaultPlan` (if any) ships through the
+pool initializer so fault injection behaves identically under ``fork``
+and ``spawn``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Sequence
 
@@ -43,15 +53,21 @@ from ..generator import GeneratorConfig
 from ..observability.export import spans_to_dicts
 from ..observability.metrics import MetricsRegistry
 from ..observability.tracer import Tracer, current_tracer, use_tracer
+from ..testing import chaos
 from .corpus import (
-    CampaignProgress,
     CampaignResult,
     CrossLevelStats,
-    ProgramOutcome,
-    _accumulate,
+    _merge_report,
+    _progress_snapshot,
     _record_tallies,
-    analyze_one,
+    _sigint_flushes,
     default_specs,
+)
+from .resilience import (
+    CheckpointJournal,
+    SeedReport,
+    analyze_one_resilient,
+    worker_death_envelope,
 )
 
 #: seeds per pool task: small enough that every worker sees several
@@ -65,7 +81,8 @@ class SeedEnvelope:
     """Everything one worker says about one seed, picklable."""
 
     seed: int
-    outcome: ProgramOutcome | None
+    #: the resilient per-seed verdict (outcome / skip / crash / budget)
+    report: SeedReport
     #: raw MetricsRegistry.dump() snapshot (None when metrics are off)
     metrics: dict[str, Any] | None
     #: worker span dicts, completion order (None when tracing is off)
@@ -101,6 +118,8 @@ def _init_worker(
     collect_metrics: bool,
     collect_spans: bool,
     incremental: bool = True,
+    seed_budget: float | None = None,
+    fault_plan: chaos.FaultPlan | None = None,
 ) -> None:
     _WORKER.update(
         specs=default_specs(version),
@@ -109,7 +128,11 @@ def _init_worker(
         collect_metrics=collect_metrics,
         collect_spans=collect_spans,
         incremental=incremental,
+        seed_budget=seed_budget,
     )
+    # ship the parent's fault plan so injection also works on
+    # spawn-only platforms (fork inherits it anyway)
+    chaos.install_plan(fault_plan)
 
 
 def _analyze_shard(seeds: list[int]) -> list[SeedEnvelope]:
@@ -123,11 +146,17 @@ def _analyze_seed(seed: int) -> SeedEnvelope:
         tracer = Tracer()
         with use_tracer(tracer):
             with tracer.span("campaign.program", seed=seed) as span:
-                outcome = _run_analyze(seed, metrics)
-                span.set("skipped", outcome is None)
+                report = _run_analyze(seed, metrics)
+                span.set("skipped", report.outcome is None)
+                if report.crash is not None:
+                    span.set("crashed", report.crash.bucket)
+                if report.budget_exceeded:
+                    span.set("budget_exceeded", True)
+                if report.degraded:
+                    span.set("degraded", True)
         spans = spans_to_dicts(tracer)
     else:
-        outcome = _run_analyze(seed, metrics)
+        report = _run_analyze(seed, metrics)
         spans = None
     if metrics is not None:
         # mirrors the sequential parent's per-program latency histogram
@@ -135,18 +164,19 @@ def _analyze_seed(seed: int) -> SeedEnvelope:
             (time.perf_counter() - start) * 1e3
         )
     return SeedEnvelope(
-        seed, outcome, metrics.dump() if metrics is not None else None, spans
+        seed, report, metrics.dump() if metrics is not None else None, spans
     )
 
 
-def _run_analyze(seed: int, metrics: MetricsRegistry | None) -> ProgramOutcome | None:
-    return analyze_one(
+def _run_analyze(seed: int, metrics: MetricsRegistry | None) -> SeedReport:
+    return analyze_one_resilient(
         seed,
         _WORKER["specs"],
         _WORKER["version"],
         _WORKER["generator_config"],
         metrics=metrics,
         incremental=_WORKER["incremental"],
+        seed_budget=_WORKER["seed_budget"],
     )
 
 
@@ -170,9 +200,11 @@ def run_campaign_parallel(
     compare_level: str,
     metrics: MetricsRegistry | None,
     tracer: Tracer | None,
-    progress: Callable[[CampaignProgress], None] | None,
+    progress: Callable[..., None] | None,
     jobs: int,
     incremental: bool = True,
+    seed_budget: float | None = None,
+    checkpoint: str | None = None,
 ) -> CampaignResult:
     """The ``jobs > 1`` engine behind
     :func:`repro.core.corpus.run_campaign` (same contract)."""
@@ -181,11 +213,12 @@ def run_campaign_parallel(
             return _run_parallel(
                 n_programs, seed_base, version, generator_config,
                 keep_analyses, compare_level, metrics, progress, jobs,
-                incremental,
+                incremental, seed_budget, checkpoint,
             )
     return _run_parallel(
         n_programs, seed_base, version, generator_config,
         keep_analyses, compare_level, metrics, progress, jobs, incremental,
+        seed_budget, checkpoint,
     )
 
 
@@ -197,102 +230,205 @@ def _run_parallel(
     keep_analyses: bool,
     compare_level: str,
     metrics: MetricsRegistry | None,
-    progress: Callable[[CampaignProgress], None] | None,
+    progress: Callable[..., None] | None,
     jobs: int,
     incremental: bool = True,
+    seed_budget: float | None = None,
+    checkpoint: str | None = None,
 ) -> CampaignResult:
     result = CampaignResult()
     result.cross_level = {family: CrossLevelStats() for family in FAMILIES}
     tracer = current_tracer()
     start = time.perf_counter()
-    shards = shard_seeds(range(seed_base, seed_base + n_programs), jobs)
+    journal = CheckpointJournal(checkpoint) if checkpoint else None
+    all_seeds = list(range(seed_base, seed_base + n_programs))
+    fresh = (
+        all_seeds if journal is None
+        else [s for s in all_seeds if journal.get(s) is None]
+    )
 
     with tracer.span(
         "campaign", programs=n_programs, seed_base=seed_base, jobs=jobs
-    ) as campaign_span:
+    ) as campaign_span, _sigint_flushes(journal):
         parent_id = campaign_span.span_id if tracer.enabled else None
-        if shards:
-            with ProcessPoolExecutor(
-                max_workers=min(jobs, len(shards)),
-                mp_context=_pool_context(),
-                initializer=_init_worker,
-                initargs=(
-                    version, generator_config,
-                    metrics is not None, tracer.enabled, incremental,
-                ),
-            ) as pool:
-                futures = {
-                    pool.submit(_analyze_shard, shard): index
-                    for index, shard in enumerate(shards)
-                }
-                for envelope in _in_seed_order(futures):
-                    _merge_envelope(
-                        result, envelope, version, compare_level,
-                        keep_analyses, metrics, tracer, parent_id,
-                        progress, start, n_programs,
-                    )
-        campaign_span.update(
-            completed=len(result.seeds), skipped=len(result.skipped)
+        initargs = (
+            version, generator_config, metrics is not None, tracer.enabled,
+            incremental, seed_budget, chaos.current_plan(),
         )
+        try:
+            envelopes = _drain_envelopes(
+                fresh, jobs, initargs,
+                on_restart=lambda: _count_restart(metrics),
+            )
+            for seed in all_seeds:
+                replayed = journal.get(seed) if journal is not None else None
+                if replayed is not None:
+                    if metrics is not None:
+                        metrics.counter("campaign.checkpoint_replayed").inc()
+                    _merge_one(
+                        result, replayed, None, None, version, compare_level,
+                        keep_analyses, metrics, tracer, parent_id, progress,
+                        start, n_programs,
+                    )
+                    continue
+                envelope = next(envelopes)
+                if envelope.seed != seed:  # pragma: no cover - defensive
+                    raise RuntimeError(
+                        f"seed-order merge broke: expected {seed}, "
+                        f"got {envelope.seed}"
+                    )
+                if journal is not None:
+                    journal.record(envelope.report)
+                _merge_one(
+                    result, envelope.report, envelope.metrics, envelope.spans,
+                    version, compare_level, keep_analyses, metrics, tracer,
+                    parent_id, progress, start, n_programs,
+                )
+            campaign_span.update(
+                completed=len(result.seeds), skipped=len(result.skipped),
+                crashed=len(result.crashes),
+                budget_exceeded=len(result.budget_exceeded),
+            )
+        finally:
+            if journal is not None:
+                journal.close()
     return result
 
 
-def _in_seed_order(futures: dict[Any, int]) -> Iterator[SeedEnvelope]:
-    """Drain shard futures as they complete, yielding envelopes in
-    seed order: shards that finish early buffer until every earlier
-    shard has been yielded."""
-    ready: dict[int, list[SeedEnvelope]] = {}
-    next_index = 0
-    pending = set(futures)
-    while pending:
-        done, pending = wait(pending, return_when=FIRST_COMPLETED)
-        for future in done:
-            ready[futures[future]] = future.result()
-        while next_index in ready:
-            yield from ready.pop(next_index)
-            next_index += 1
-    # a gap here would mean a lost future; surface it loudly
-    if ready:  # pragma: no cover - defensive
-        raise RuntimeError(f"unmerged shards remain: {sorted(ready)}")
+def _count_restart(metrics: MetricsRegistry | None) -> None:
+    if metrics is not None:
+        metrics.counter("campaign.worker_restarts").inc()
 
 
-def _merge_envelope(
+def _drain_envelopes(
+    seeds: list[int],
+    jobs: int,
+    initargs: tuple,
+    on_restart: Callable[[], None],
+) -> Iterator[SeedEnvelope]:
+    """Yield one envelope per seed, in seed order, surviving worker
+    deaths.
+
+    Fast path: every shard runs in one shared pool.  A worker death
+    marks that pool broken and dooms *every* in-flight shard (the
+    executor cannot say which one killed it), so the doomed shards
+    enter a recovery queue processed **one shard per fresh pool** —
+    there, a break definitively blames the shard: a multi-seed shard
+    splits in half and re-queues, and a broken *singleton* shard names
+    its seed the killer, yielding a synthesized ``WorkerDeath``
+    envelope.  Innocent doomed seeds are simply re-analyzed.
+    """
+    ready: dict[int, SeedEnvelope] = {}
+    next_pos = 0
+    shards = shard_seeds(seeds, jobs)
+    doomed: list[list[int]] = []
+    if shards:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(shards)),
+            mp_context=_pool_context(),
+            initializer=_init_worker,
+            initargs=initargs,
+        ) as pool:
+            futures = {
+                pool.submit(_analyze_shard, shard): shard
+                for shard in shards
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    try:
+                        for envelope in future.result():
+                            ready[envelope.seed] = envelope
+                    except BrokenExecutor:
+                        doomed.append(futures[future])
+                while next_pos < len(seeds) and seeds[next_pos] in ready:
+                    yield ready.pop(seeds[next_pos])
+                    next_pos += 1
+                if doomed:
+                    # the pool is dead: collect every other in-flight
+                    # shard (a future that finished before the break
+                    # still returns its result here)
+                    for future in pending:
+                        try:
+                            for envelope in future.result():
+                                ready[envelope.seed] = envelope
+                        except BrokenExecutor:
+                            doomed.append(futures[future])
+                    break
+    # recovery: one shard per fresh pool, so breakage is attributable
+    queue = sorted(doomed)
+    while queue:
+        shard = queue.pop(0)
+        on_restart()
+        envelopes = _run_shard_isolated(shard, initargs)
+        if envelopes is None:  # this shard really does kill workers
+            if len(shard) == 1:
+                seed = shard[0]
+                ready[seed] = SeedEnvelope(
+                    seed,
+                    SeedReport(seed=seed, crash=worker_death_envelope(seed)),
+                    metrics=None,
+                    spans=None,
+                )
+            else:
+                mid = (len(shard) + 1) // 2
+                queue[:0] = [shard[:mid], shard[mid:]]
+        else:
+            for envelope in envelopes:
+                ready[envelope.seed] = envelope
+        while next_pos < len(seeds) and seeds[next_pos] in ready:
+            yield ready.pop(seeds[next_pos])
+            next_pos += 1
+    if next_pos != len(seeds):  # pragma: no cover - defensive
+        raise RuntimeError(
+            f"lost envelopes for seeds {seeds[next_pos:]}"
+        )
+
+
+def _run_shard_isolated(
+    shard: list[int], initargs: tuple
+) -> list[SeedEnvelope] | None:
+    """Run one doomed shard in its own single-worker pool; ``None``
+    means the shard (specifically) killed its worker again."""
+    with ProcessPoolExecutor(
+        max_workers=1,
+        mp_context=_pool_context(),
+        initializer=_init_worker,
+        initargs=initargs,
+    ) as pool:
+        try:
+            return pool.submit(_analyze_shard, shard).result()
+        except BrokenExecutor:
+            return None
+
+
+def _merge_one(
     result: CampaignResult,
-    envelope: SeedEnvelope,
+    report: SeedReport,
+    metrics_snapshot: dict[str, Any] | None,
+    spans: list[dict[str, Any]] | None,
     version: int | None,
     compare_level: str,
     keep_analyses: bool,
     metrics: MetricsRegistry | None,
     tracer: Tracer,
     campaign_parent_id: int | None,
-    progress: Callable[[CampaignProgress], None] | None,
+    progress: Callable[..., None] | None,
     start: float,
     n_programs: int,
 ) -> None:
-    """Fold one worker envelope into the parent state (mirrors one
+    """Fold one per-seed report into the parent state (mirrors one
     iteration of the sequential campaign loop)."""
-    if metrics is not None and envelope.metrics is not None:
-        metrics.merge(envelope.metrics)
-    if tracer.enabled and envelope.spans:
-        tracer.adopt_spans(envelope.spans, parent_id=campaign_parent_id)
-    if envelope.outcome is None:
-        result.skipped.append(envelope.seed)
-    else:
-        result.seeds.append(envelope.seed)
-        _accumulate(result, envelope.outcome, version, compare_level)
-        if keep_analyses:
-            result.analyses.append(envelope.outcome)
+    if metrics is not None and metrics_snapshot is not None:
+        metrics.merge(metrics_snapshot)
+    if tracer.enabled and spans:
+        tracer.adopt_spans(spans, parent_id=campaign_parent_id)
+    _merge_report(
+        result, report, version, compare_level, keep_analyses, metrics
+    )
     elapsed = time.perf_counter() - start
     if metrics is not None:
         _record_tallies(result, metrics, elapsed)
     if progress is not None:
-        progress(
-            CampaignProgress(
-                seed=envelope.seed,
-                completed=len(result.seeds),
-                skipped=len(result.skipped),
-                total=n_programs,
-                elapsed=elapsed,
-                skipped_seed=envelope.outcome is None,
-            )
-        )
+        progress(_progress_snapshot(result, report, n_programs, elapsed))

@@ -42,6 +42,9 @@ class ReductionResult:
     #: oracle invocations answered from the memo (0 when memoization
     #: is off or no candidate ever repeated)
     oracle_cache_hits: int = 0
+    #: oracle invocations that raised (treated as "not interesting";
+    #: the loop keeps its best-so-far program and moves on)
+    oracle_errors: int = 0
 
 
 def missed_marker_predicate(
@@ -129,6 +132,36 @@ class _MemoizedOracle:
         return result
 
 
+class _GuardedOracle:
+    """Treats oracle exceptions as "not interesting".
+
+    A reduction candidate can crash the predicate in ways the
+    transformations cannot anticipate (a compiler bug the mutation
+    tickles, an interpreter corner case).  Aborting the whole reduction
+    would throw away every successful shrink so far, so the guard
+    answers False instead — the loop keeps its best-so-far program and
+    simply declines the candidate — and counts the event
+    (``reduction.oracle_errors``).  Errors are never cached: a repeat
+    of the same candidate re-runs the predicate.
+    """
+
+    def __init__(
+        self, inner: Predicate, metrics: MetricsRegistry | None
+    ) -> None:
+        self._inner = inner
+        self._metrics = metrics
+        self.errors = 0
+
+    def __call__(self, candidate: ast.Program) -> bool:
+        try:
+            return self._inner(candidate)
+        except Exception:
+            self.errors += 1
+            if self._metrics is not None:
+                self._metrics.counter("reduction.oracle_errors").inc()
+            return False
+
+
 def reduce_program(
     program: ast.Program,
     interesting: Predicate,
@@ -148,6 +181,8 @@ def reduce_program(
     memo: _MemoizedOracle | None = None
     if memoize_oracle:
         oracle = memo = _MemoizedOracle(interesting, metrics)
+    guard = _GuardedOracle(oracle, metrics)
+    oracle = guard
     current = ast.clone_program(program)
     if not oracle(current):
         raise ValueError("the initial program is not interesting")
@@ -170,6 +205,7 @@ def reduce_program(
     return ReductionResult(
         current, attempts, successes, before, count_statements(current),
         oracle_cache_hits=memo.hits if memo is not None else 0,
+        oracle_errors=guard.errors,
     )
 
 

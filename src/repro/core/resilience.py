@@ -1,0 +1,416 @@
+"""Fault isolation for campaigns: crash containment, budgets, checkpoints.
+
+The paper's campaigns survive hundreds of thousands of Csmith programs
+only because no single pathological input can take the harness down.
+This module gives our campaign engine the same property:
+
+* :func:`analyze_one_resilient` wraps each phase of the per-seed
+  pipeline (generate → instrument → ground-truth → compile → analyze)
+  in containment.  A crash anywhere becomes a structured
+  :class:`CrashEnvelope` — seed, phase, exception type, trimmed
+  traceback, a deduplication *bucket* (exception type + deepest
+  in-repo frame), and a one-line repro command — instead of aborting
+  the campaign (or poisoning a whole parallel shard).
+* **Graceful degradation**: a seed whose incremental compile crashes
+  is retried once with ``incremental=False``; only a second failure
+  counts as a crash (the retry is tallied as *degraded*).
+* **Wall-clock budgets**: ``seed_budget`` arms a cooperative deadline
+  (:mod:`repro.budget`) polled at pass boundaries and at the
+  interpreter's step check, so runaway seeds become ``budget_exceeded``
+  skips rather than hangs.
+* :class:`CheckpointJournal` appends one JSONL record per finished
+  seed; rerunning a campaign with the same journal replays finished
+  seeds from disk and analyzes only the rest, reproducing the
+  uninterrupted result.
+
+The chaos harness (:mod:`repro.testing.chaos`) injects faults at the
+phase hooks below so tests and CI can prove all of this end to end.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+from dataclasses import dataclass, field
+
+from .. import budget
+from ..budget import SeedBudgetExceeded
+from ..compilers import CompilerSpec
+from ..compilers.pipeline import PassPipelineError
+from ..frontend.typecheck import check_program
+from ..generator import GeneratorConfig, generate_program
+from ..interp import StepLimitExceeded
+from ..observability.metrics import MetricsRegistry
+from ..testing import chaos
+from .differential import analyze_markers
+from .ground_truth import compute_ground_truth
+from .markers import instrument_program
+
+#: phases of the per-seed pipeline, in execution order
+PHASES = ("generate", "instrument", "ground_truth", "compile", "analyze")
+
+#: synthetic phase for seeds that took a pool worker down with them
+WORKER_PHASE = "worker"
+
+_REPRO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_TESTING_DIR = os.path.join(_REPRO_ROOT, "testing")
+
+
+@dataclass(frozen=True)
+class CrashEnvelope:
+    """Everything worth keeping about one contained per-seed crash."""
+
+    seed: int
+    phase: str
+    exc_type: str
+    message: str
+    #: dedup key: exception type + deepest in-repo frame (+ pass name
+    #: for pass-pipeline crashes) — stable across runs and jobs counts
+    bucket: str
+    #: trimmed traceback lines (most recent call last)
+    traceback: tuple[str, ...] = ()
+    #: one-liner that re-runs the failing seed outside the campaign
+    repro: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "phase": self.phase,
+            "exc_type": self.exc_type,
+            "message": self.message,
+            "bucket": self.bucket,
+            "traceback": list(self.traceback),
+            "repro": self.repro,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CrashEnvelope":
+        return cls(
+            seed=data["seed"],
+            phase=data["phase"],
+            exc_type=data["exc_type"],
+            message=data["message"],
+            bucket=data["bucket"],
+            traceback=tuple(data.get("traceback", ())),
+            repro=data.get("repro", ""),
+        )
+
+
+def repro_command(seed: int) -> str:
+    """A shell one-liner reproducing the failing seed's analysis."""
+    return (
+        f"dce-hunt generate --seed {seed} --instrument | dce-hunt analyze -"
+    )
+
+
+def crash_envelope(
+    seed: int, phase: str, exc: BaseException, max_tb_lines: int = 12
+) -> CrashEnvelope:
+    """Fold a caught exception into a :class:`CrashEnvelope`."""
+    import traceback as tb_module
+
+    root = exc
+    while root.__cause__ is not None:
+        root = root.__cause__
+    frame = _deepest_repro_frame(root)
+    bucket = type(root).__name__
+    if frame is not None:
+        bucket += f"@{frame}"
+    pass_name = getattr(exc, "pass_name", None)
+    if pass_name:
+        bucket += f"#{pass_name}"
+    lines = tb_module.format_exception(type(exc), exc, exc.__traceback__)
+    trimmed = "".join(lines).rstrip("\n").split("\n")[-max_tb_lines:]
+    return CrashEnvelope(
+        seed=seed,
+        phase=phase,
+        exc_type=type(root).__name__,
+        message=str(exc),
+        bucket=bucket,
+        traceback=tuple(trimmed),
+        repro=repro_command(seed),
+    )
+
+
+def _deepest_repro_frame(exc: BaseException) -> str | None:
+    """``file.py:function`` of the deepest traceback frame inside this
+    package (line numbers excluded so refactors don't split buckets;
+    the chaos harness is excluded so injected faults bucket by the
+    production site they fired at, not by the injector)."""
+    deepest: str | None = None
+    tb = exc.__traceback__
+    while tb is not None:
+        code = tb.tb_frame.f_code
+        path = os.path.abspath(code.co_filename)
+        if path.startswith(_REPRO_ROOT) and not path.startswith(_TESTING_DIR):
+            deepest = f"{os.path.basename(path)}:{code.co_name}"
+        tb = tb.tb_next
+    return deepest
+
+
+def bucket_crashes(
+    crashes: list[CrashEnvelope],
+) -> dict[str, list[CrashEnvelope]]:
+    """Group envelopes by bucket, deterministically: buckets sorted by
+    key, envelopes within a bucket in seed order."""
+    grouped: dict[str, list[CrashEnvelope]] = {}
+    for envelope in sorted(crashes, key=lambda e: e.seed):
+        grouped.setdefault(envelope.bucket, []).append(envelope)
+    return dict(sorted(grouped.items()))
+
+
+# -- per-seed resilient analysis -------------------------------------------
+
+
+@dataclass
+class SeedReport:
+    """The campaign-facing verdict on one seed — always returned,
+    never raised (except for :class:`KeyboardInterrupt` and friends)."""
+
+    seed: int
+    outcome: object | None = None  # ProgramOutcome, kept untyped to
+    # avoid a circular import with corpus
+    #: ground truth exceeded the interpreter step budget (the
+    #: pre-existing skip path)
+    skipped: bool = False
+    crash: CrashEnvelope | None = None
+    budget_exceeded: bool = False
+    #: the incremental engine crashed but the plain retry succeeded
+    degraded: bool = False
+
+    @property
+    def completed(self) -> bool:
+        return self.outcome is not None
+
+
+def analyze_one_resilient(
+    seed: int,
+    specs: list[CompilerSpec],
+    version: int | None = None,
+    generator_config: GeneratorConfig | None = None,
+    metrics: MetricsRegistry | None = None,
+    incremental: bool = True,
+    seed_budget: float | None = None,
+) -> SeedReport:
+    """Run :func:`repro.core.corpus.analyze_one`'s pipeline with full
+    fault isolation; see the module docstring for the contract."""
+    report = SeedReport(seed=seed)
+    chaos.set_current_seed(seed)
+    try:
+        with budget.deadline(seed_budget):
+            _run_phases(report, seed, specs, version, generator_config,
+                        metrics, incremental)
+    except SeedBudgetExceeded:
+        report.outcome = None
+        report.crash = None
+        report.budget_exceeded = True
+    finally:
+        chaos.set_current_seed(None)
+    return report
+
+
+def _run_phases(
+    report: SeedReport,
+    seed: int,
+    specs: list[CompilerSpec],
+    version: int | None,
+    generator_config: GeneratorConfig | None,
+    metrics: MetricsRegistry | None,
+    incremental: bool,
+) -> None:
+    from .corpus import ProgramOutcome
+
+    phase = "generate"
+    try:
+        chaos.trigger("generate")
+        program = generate_program(seed, generator_config)
+        phase = "instrument"
+        chaos.trigger("instrument")
+        instrumented = instrument_program(program)
+        info = check_program(instrumented.program)
+        phase = "ground_truth"
+        try:
+            chaos.trigger("ground_truth")
+            truth = compute_ground_truth(instrumented, info=info)
+        except StepLimitExceeded:
+            report.skipped = True
+            return
+    except SeedBudgetExceeded:
+        raise
+    except Exception as err:
+        report.crash = crash_envelope(seed, phase, err)
+        return
+
+    try:
+        chaos.trigger("analyze")
+        analysis = analyze_markers(
+            instrumented, specs, info=info, ground_truth=truth,
+            metrics=metrics, incremental=incremental,
+        )
+    except SeedBudgetExceeded:
+        raise
+    except Exception as err:
+        if not incremental:
+            report.crash = crash_envelope(seed, _analyze_phase(err), err)
+            return
+        # graceful degradation: one retry on the independent-compile
+        # path before the seed counts as crashed
+        try:
+            analysis = analyze_markers(
+                instrumented, specs, info=info, ground_truth=truth,
+                metrics=metrics, incremental=False,
+            )
+        except SeedBudgetExceeded:
+            raise
+        except Exception as retry_err:
+            report.crash = crash_envelope(
+                seed, _analyze_phase(retry_err), retry_err
+            )
+            return
+        report.degraded = True
+    report.outcome = ProgramOutcome(
+        seed, len(instrumented.markers), len(truth.dead), analysis
+    )
+
+
+def _analyze_phase(err: Exception) -> str:
+    """Attribute an analysis-stage failure: pass-pipeline errors are
+    *compile* crashes, anything else failed in the comparison layer."""
+    return "compile" if isinstance(err, PassPipelineError) else "analyze"
+
+
+def worker_death_envelope(seed: int) -> CrashEnvelope:
+    """The synthesized envelope for a seed that killed its pool worker
+    (isolated by the parallel engine's shard bisection)."""
+    return CrashEnvelope(
+        seed=seed,
+        phase=WORKER_PHASE,
+        exc_type="WorkerDeath",
+        message=(
+            "worker process died while analyzing this seed "
+            "(BrokenProcessPool; isolated by shard bisection)"
+        ),
+        bucket="WorkerDeath@worker",
+        traceback=(),
+        repro=repro_command(seed),
+    )
+
+
+# -- checkpoint journal ----------------------------------------------------
+
+
+class CheckpointJournal:
+    """Append-only JSONL journal of finished seeds.
+
+    One record per seed, written and flushed as soon as the seed
+    finishes, so a SIGINT (or a crash of the campaign process itself)
+    loses at most the seed in flight.  Completed outcomes are carried
+    as base64-pickled payloads inside the JSON record — heavyweight,
+    but it makes resumed campaigns *reproduce* the uninterrupted
+    :class:`~repro.core.corpus.CampaignResult` without re-analyzing
+    journaled seeds.  A truncated trailing line (interrupt mid-write)
+    is skipped on load and the seed re-analyzed.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._records: dict[int, SeedReport] = {}
+        if os.path.exists(path):
+            self._load()
+        self._file = open(path, "a")
+
+    def _load(self) -> None:
+        with open(self.path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    report = _report_from_record(record)
+                except (ValueError, KeyError, pickle.UnpicklingError):
+                    continue  # torn tail write; re-analyze that seed
+                self._records[report.seed] = report
+
+    def get(self, seed: int) -> SeedReport | None:
+        return self._records.get(seed)
+
+    def seeds(self) -> frozenset[int]:
+        return frozenset(self._records)
+
+    def record(self, report: SeedReport) -> None:
+        self._records[report.seed] = report
+        json.dump(_record_from_report(report), self._file)
+        self._file.write("\n")
+        self.flush()
+
+    def flush(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+def _record_from_report(report: SeedReport) -> dict:
+    if report.budget_exceeded:
+        status = "budget"
+    elif report.crash is not None:
+        status = "crash"
+    elif report.outcome is None:
+        status = "skipped"
+    else:
+        status = "ok"
+    record: dict = {"seed": report.seed, "status": status}
+    if report.degraded:
+        record["degraded"] = True
+    if report.crash is not None:
+        record["crash"] = report.crash.to_dict()
+    if report.outcome is not None:
+        record["outcome"] = base64.b64encode(
+            pickle.dumps(report.outcome)
+        ).decode("ascii")
+    return record
+
+
+def _report_from_record(record: dict) -> SeedReport:
+    status = record["status"]
+    report = SeedReport(seed=record["seed"])
+    report.degraded = bool(record.get("degraded", False))
+    if status == "budget":
+        report.budget_exceeded = True
+    elif status == "crash":
+        report.crash = CrashEnvelope.from_dict(record["crash"])
+    elif status == "skipped":
+        report.skipped = True
+    elif status == "ok":
+        report.outcome = pickle.loads(base64.b64decode(record["outcome"]))
+    else:
+        raise KeyError(f"unknown journal status {status!r}")
+    return report
+
+
+def read_journal_crashes(path: str) -> list[CrashEnvelope]:
+    """All crash envelopes recorded in a checkpoint journal, in seed
+    order (powers ``dce-hunt crashes <journal>``)."""
+    crashes: list[CrashEnvelope] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if record.get("status") == "crash":
+                crashes.append(CrashEnvelope.from_dict(record["crash"]))
+    return sorted(crashes, key=lambda e: e.seed)

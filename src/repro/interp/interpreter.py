@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..budget import check_deadline
 from ..frontend.typecheck import SymbolInfo, check_program
 from ..lang import ast_nodes as ast
 from ..lang.semantics import eval_binop, eval_unop, wrap
@@ -261,6 +262,10 @@ class _Interpreter:
         self.steps += 1
         if self.steps > self.step_limit:
             raise StepLimitExceeded(f"exceeded {self.step_limit} steps")
+        # Poll the campaign's cooperative per-seed wall-clock budget at
+        # the existing step-check site (cheap: every 2048 steps).
+        if not self.steps & 2047:
+            check_deadline()
 
     # -- function calls -----------------------------------------------------
 

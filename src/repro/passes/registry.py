@@ -28,6 +28,7 @@ from .sccp import sparse_conditional_constant_propagation
 from .simplify_cfg import simplify_cfg
 from .vectorize import vectorize_loops
 from .vrp import propagate_value_ranges
+from ..testing.chaos import chaos_pass
 
 ModulePassFn = Callable[[Module, PipelineConfig], bool]
 
@@ -70,6 +71,9 @@ PASS_REGISTRY: dict[str, ModulePassFn] = {
     "jump-threading": _per_function(thread_jumps),
     "cprop": _per_function(propagate_conditions),
     "licm": _per_function(hoist_loop_invariants),
+    # a no-op unless a chaos FaultPlan targets it; never part of any
+    # family pipeline (resilience testing only)
+    "chaos": chaos_pass,
 }
 
 

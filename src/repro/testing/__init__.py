@@ -1,0 +1,31 @@
+"""Test-only harnesses: deterministic fault injection (chaos)."""
+
+from .chaos import (
+    Fault,
+    FaultPlan,
+    InjectedFault,
+    chaos_pass,
+    clear_plan,
+    current_plan,
+    current_seed,
+    install_plan,
+    installed_plan,
+    parse_fault,
+    set_current_seed,
+    trigger,
+)
+
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "InjectedFault",
+    "chaos_pass",
+    "clear_plan",
+    "current_plan",
+    "current_seed",
+    "install_plan",
+    "installed_plan",
+    "parse_fault",
+    "set_current_seed",
+    "trigger",
+]

@@ -50,6 +50,7 @@ from repro.passes import (
     vrp,
 )
 from repro.passes.registry import PASS_REGISTRY
+from repro.testing import chaos
 
 SOURCE = """
 void DCEMarker0(void);
@@ -86,6 +87,7 @@ PASS_MODULES = {
     "jump-threading": jump_threading,
     "cprop": cprop,
     "licm": licm,
+    "chaos": chaos,
 }
 
 _CONFIG_READ = re.compile(r"\bconfig\.([a-z_]+)\b")

@@ -59,11 +59,15 @@ def test_analyze_markers_identical_with_and_without_engine(seed):
     instrumented, info = _prepared(seed)
     specs = default_specs()
     truth = compute_ground_truth(instrumented, info=info)
+    # verify_ir doubles as the post-pass sanity check's happy-path test:
+    # every pass of every config must produce verifier-clean IR here
     fast = analyze_markers(
-        instrumented, specs, info=info, ground_truth=truth, incremental=True
+        instrumented, specs, info=info, ground_truth=truth, incremental=True,
+        verify_ir=True,
     )
     slow = analyze_markers(
-        instrumented, specs, info=info, ground_truth=truth, incremental=False
+        instrumented, specs, info=info, ground_truth=truth, incremental=False,
+        verify_ir=True,
     )
     assert fast.ground_truth.dead == slow.ground_truth.dead
     assert fast.ground_truth.alive == slow.ground_truth.alive
