@@ -1,0 +1,94 @@
+"""Telemetry overhead — the observability pipeline must be ~free.
+
+Runs the same small campaign with the full telemetry stack attached
+(metrics registry, event bus fanning out to a JSONL writer and the
+non-TTY dashboard, ledger recording with finding fingerprints) and
+with everything disabled, and asserts the overhead stays under 5%.
+Wall-clock on a single pinned CPU is noisy at this scale, so each
+variant runs ``REPS`` times interleaved and the minima are compared —
+the minimum is the run least disturbed by the machine, and telemetry
+cost is systematic, so it survives in the minimum if it exists.
+
+``TELEMETRY_OVERHEAD_PROGRAMS`` overrides the corpus size (default 8).
+"""
+
+import io
+import os
+import time
+
+from repro.core.corpus import run_campaign
+from repro.core.stats import format_table
+from repro.generator import GeneratorConfig
+from repro.observability import (
+    EventBus,
+    JsonlEventWriter,
+    LiveDashboard,
+    MetricsRegistry,
+    RunLedger,
+)
+
+from conftest import emit
+
+PROGRAMS = int(os.environ.get("TELEMETRY_OVERHEAD_PROGRAMS", "8"))
+SEED_BASE = 50
+REPS = 3
+
+#: acceptance ceiling: full telemetry may cost at most this fraction
+MAX_OVERHEAD = 0.05
+
+#: small programs keep one rep in seconds while still emitting real
+#: events/findings through the whole pipeline
+CONFIG = GeneratorConfig(
+    min_globals=1, max_globals=3, min_functions=2, max_functions=3,
+    max_depth=3, min_block_stmts=1, max_block_stmts=4, max_expr_depth=2,
+)
+
+
+def _run(telemetry: bool) -> float:
+    start = time.perf_counter()
+    if telemetry:
+        metrics = MetricsRegistry()
+        bus = EventBus()
+        writer = JsonlEventWriter(io.StringIO())
+        bus.subscribe(writer)
+        LiveDashboard(io.StringIO(), force_tty=False).attach(bus)
+        result = run_campaign(
+            n_programs=PROGRAMS, seed_base=SEED_BASE,
+            generator_config=CONFIG, metrics=metrics, events=bus,
+        )
+        with RunLedger(":memory:") as ledger:
+            ledger.record_run(
+                result, n_programs=PROGRAMS, seed_base=SEED_BASE,
+                generator_config=CONFIG, metrics=metrics,
+                wall_time=time.perf_counter() - start,
+            )
+    else:
+        run_campaign(
+            n_programs=PROGRAMS, seed_base=SEED_BASE,
+            generator_config=CONFIG,
+        )
+    return time.perf_counter() - start
+
+
+def test_telemetry_overhead_under_five_percent():
+    _run(telemetry=False)  # warm caches/imports outside the timings
+    bare, full = [], []
+    for _ in range(REPS):
+        bare.append(_run(telemetry=False))
+        full.append(_run(telemetry=True))
+    best_bare, best_full = min(bare), min(full)
+    overhead = (best_full - best_bare) / best_bare
+    rows = [
+        ["disabled", f"{best_bare:.3f}", ", ".join(f"{t:.3f}" for t in bare)],
+        ["enabled", f"{best_full:.3f}", ", ".join(f"{t:.3f}" for t in full)],
+    ]
+    table = format_table(
+        ["telemetry", "best (s)", f"all {REPS} reps (s)"], rows,
+        title=f"telemetry overhead — {PROGRAMS} programs, "
+              f"overhead {overhead:+.2%} (ceiling {MAX_OVERHEAD:.0%})",
+    )
+    emit("telemetry_overhead", table)
+    assert overhead < MAX_OVERHEAD, (
+        f"telemetry costs {overhead:.2%} (> {MAX_OVERHEAD:.0%}): "
+        f"enabled {best_full:.3f}s vs disabled {best_bare:.3f}s"
+    )

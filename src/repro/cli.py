@@ -8,8 +8,15 @@ Subcommands mirror the paper's workflow:
 * ``campaign``          — run a corpus campaign and print Table 1/2 shapes
   (``--metrics-out FILE.json`` snapshots latency histograms + tallies,
   ``--progress`` reports per-program throughput on stderr,
+  ``--events-out FILE.jsonl`` streams typed campaign events,
+  ``--ledger FILE.sqlite`` persists the run + deduplicated findings,
+  ``--dashboard`` renders a live single-line status on stderr,
   ``--seed-budget``/``--checkpoint``/``--chaos`` exercise the fault
   isolation layer)
+* ``runs LEDGER``       — list recorded campaign runs
+* ``show-run LEDGER N`` — dump one run row as JSON
+* ``report LEDGER N``   — terminal or ``--html`` report for one run
+* ``compare LEDGER A B``— flag regressions between two runs
 * ``crashes JOURNAL``   — bucketed crash report from a checkpoint journal
 * ``profile FILE``      — per-pass wall time / IR size / marker
   attribution table for one compilation
@@ -35,10 +42,19 @@ from .lang import ast_nodes as ast
 from .lang import parse_program, print_program
 from .observability import (
     PIPELINE_SPAN,
+    CompareThresholds,
+    EventBus,
+    JsonlEventWriter,
+    LiveDashboard,
     MetricsRegistry,
+    RunLedger,
     Tracer,
+    compare_runs,
+    comparison_text,
     format_trace,
     pass_profiles,
+    run_report_html,
+    run_report_text,
     use_tracer,
 )
 
@@ -81,6 +97,30 @@ def main(argv: list[str] | None = None) -> int:
         help="report per-program progress on stderr",
     )
     p_campaign.add_argument(
+        "--events-out", metavar="FILE",
+        help="append one JSON line per campaign event (campaign_start, "
+             "seed_done, finding, crash, campaign_end, ...); the stream "
+             "is identical at any --jobs count modulo timestamps",
+    )
+    p_campaign.add_argument(
+        "--ledger", metavar="FILE",
+        help="record this run (config fingerprint, yield, pass "
+             "attribution, crash buckets) and its deduplicated findings "
+             "in a SQLite ledger; inspect with runs/show-run/report/compare",
+    )
+    p_campaign.add_argument(
+        "--reduce-findings", action="store_true",
+        help="fingerprint ledger findings by reducing each case first "
+             "(paper-faithful dedup; much slower than the default "
+             "structural fingerprint)",
+    )
+    p_campaign.add_argument(
+        "--dashboard", action="store_true",
+        help="live single-line status on stderr (seeds/sec, findings, "
+             "crashes, ETA); falls back to plain progress lines when "
+             "stderr is not a TTY",
+    )
+    p_campaign.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="shard seeds across N worker processes (0 = one per CPU); "
              "results are identical to --jobs 1 regardless of N",
@@ -111,6 +151,44 @@ def main(argv: list[str] | None = None) -> int:
         "crashes", help="summarize crash buckets from a checkpoint journal"
     )
     p_crashes.add_argument("journal")
+
+    p_runs = sub.add_parser("runs", help="list campaign runs in a ledger")
+    p_runs.add_argument("ledger")
+    p_runs.add_argument(
+        "--config", metavar="PREFIX", default=None,
+        help="only runs whose config fingerprint starts with PREFIX",
+    )
+    p_runs.add_argument("--limit", type=int, default=None, metavar="N")
+
+    p_show = sub.add_parser("show-run", help="dump one ledger run as JSON")
+    p_show.add_argument("ledger")
+    p_show.add_argument("run_id", type=int)
+
+    p_report = sub.add_parser(
+        "report", help="render a report for one ledger run"
+    )
+    p_report.add_argument("ledger")
+    p_report.add_argument("run_id", type=int)
+    p_report.add_argument(
+        "--html", metavar="FILE", default=None,
+        help="write a self-contained HTML report instead of terminal text",
+    )
+
+    p_compare = sub.add_parser(
+        "compare", help="compare two ledger runs and flag regressions"
+    )
+    p_compare.add_argument("ledger")
+    p_compare.add_argument("baseline", type=int)
+    p_compare.add_argument("candidate", type=int)
+    p_compare.add_argument(
+        "--threshold", type=float, default=10.0, metavar="PCT",
+        help="relative-change limit in percent for every regression "
+             "check (default 10)",
+    )
+    p_compare.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit 1 when any regression is flagged (CI gate)",
+    )
 
     p_profile = sub.add_parser(
         "profile", help="per-pass time/size/marker-attribution table"
@@ -181,9 +259,20 @@ def main(argv: list[str] | None = None) -> int:
                   metrics_out=args.metrics_out, show_progress=args.progress,
                   jobs=args.jobs, incremental=not args.no_incremental,
                   seed_budget=args.seed_budget, checkpoint=args.checkpoint,
-                  chaos_specs=args.chaos)
+                  chaos_specs=args.chaos, events_out=args.events_out,
+                  ledger_path=args.ledger, dashboard=args.dashboard,
+                  reduce_findings=args.reduce_findings)
     elif args.command == "crashes":
         return _crashes(args.journal)
+    elif args.command == "runs":
+        return _runs(args.ledger, args.config, args.limit)
+    elif args.command == "show-run":
+        return _show_run(args.ledger, args.run_id)
+    elif args.command == "report":
+        return _report(args.ledger, args.run_id, args.html)
+    elif args.command == "compare":
+        return _compare(args.ledger, args.baseline, args.candidate,
+                        args.threshold, args.fail_on_regression)
     elif args.command == "profile":
         _profile(_read(args.file), args.family, args.level, args.instrument)
     elif args.command == "asm":
@@ -304,32 +393,64 @@ def _campaign(
     seed_budget: float | None = None,
     checkpoint: str | None = None,
     chaos_specs: list[str] | None = None,
+    events_out: str | None = None,
+    ledger_path: str | None = None,
+    dashboard: bool = False,
+    reduce_findings: bool = False,
 ) -> None:
+    import time
+
     from .testing import chaos
 
-    metrics = MetricsRegistry() if metrics_out else None
+    # the ledger wants the metrics snapshot (pass attribution, latency
+    # histograms) even when no --metrics-out file was asked for
+    metrics = MetricsRegistry() if (metrics_out or ledger_path) else None
     progress = _print_progress if show_progress else None
     if jobs == 0:
         jobs = os.cpu_count() or 1
+    events = writer = None
+    if events_out or dashboard:
+        events = EventBus()
+    if events_out:
+        writer = JsonlEventWriter(events_out)
+        events.subscribe(writer)
+    if dashboard:
+        # stderr so `campaign ... > result` stays machine-clean
+        LiveDashboard(sys.stderr).attach(events)
     plan = None
     if chaos_specs:
         plan = chaos.FaultPlan(
             tuple(chaos.parse_fault(spec) for spec in chaos_specs)
         )
         chaos.install_plan(plan)
+    started_at = time.time()
+    wall_start = time.monotonic()
     try:
         result = run_campaign(
             n_programs=n_programs, seed_base=seed_base,
             metrics=metrics, progress=progress, jobs=jobs,
             incremental=incremental, seed_budget=seed_budget,
-            checkpoint=checkpoint,
+            checkpoint=checkpoint, events=events,
         )
     finally:
         if plan is not None:
             chaos.clear_plan()
-    if metrics is not None:
+        if writer is not None:
+            writer.close()
+    wall_time = time.monotonic() - wall_start
+    if metrics is not None and metrics_out:
         metrics.write_json(metrics_out)
         print(f"metrics written to {metrics_out}", file=sys.stderr)
+    if ledger_path:
+        with RunLedger(ledger_path) as ledger:
+            run_id = ledger.record_run(
+                result, n_programs=n_programs, seed_base=seed_base,
+                jobs=jobs, incremental=incremental, metrics=metrics,
+                wall_time=wall_time, started_at=started_at,
+                reduce_findings=reduce_findings,
+            )
+        print(f"ledger: recorded run {run_id} in {ledger_path}",
+              file=sys.stderr)
     print(
         f"programs: {len(result.seeds)} (skipped {len(result.skipped)}), "
         f"markers: {result.total_markers}, dead: {pct(result.dead_pct)}"
@@ -385,6 +506,115 @@ def _crash_bucket_table(buckets) -> str:
         ["bucket", "count", "phase", "seeds", "repro"],
         rows, title="crash buckets",
     )
+
+
+def _open_ledger(path: str) -> RunLedger | None:
+    if not os.path.exists(path):
+        print(f"no such ledger: {path}", file=sys.stderr)
+        return None
+    return RunLedger(path)
+
+
+def _runs(path: str, config: str | None, limit: int | None) -> int:
+    """``dce-hunt runs <ledger>`` — one line per recorded campaign."""
+    import time as _time
+
+    ledger = _open_ledger(path)
+    if ledger is None:
+        return 1
+    with ledger:
+        rows = ledger.runs(config=config, limit=limit)
+    if not rows:
+        print("no runs recorded")
+        return 0
+    table = [[
+        str(r.run_id),
+        _time.strftime("%Y-%m-%d %H:%M", _time.localtime(r.started_at)),
+        r.config_fingerprint,
+        str(r.programs),
+        str(r.completed),
+        str(r.findings),
+        str(r.crashed),
+        f"{r.dead_pct:.1f}%",
+        f"{r.wall_time:.1f}s",
+        f"j{r.jobs}" + ("" if r.incremental else " noinc"),
+    ] for r in rows]
+    print(format_table(
+        ["run", "started", "config", "progs", "done", "findings",
+         "crashes", "dead", "wall", "flags"],
+        table,
+    ))
+    return 0
+
+
+def _show_run(path: str, run_id: int) -> int:
+    """``dce-hunt show-run <ledger> <id>`` — the full row as JSON."""
+    import dataclasses
+    import json
+
+    ledger = _open_ledger(path)
+    if ledger is None:
+        return 1
+    with ledger:
+        run = ledger.run(run_id)
+        findings = ledger.findings(run_id) if run is not None else []
+    if run is None:
+        print(f"no run {run_id} in {path}", file=sys.stderr)
+        return 1
+    payload = dataclasses.asdict(run)
+    payload["findings_detail"] = [dataclasses.asdict(f) for f in findings]
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _report(path: str, run_id: int, html_out: str | None) -> int:
+    """``dce-hunt report <ledger> <id> [--html FILE]``."""
+    ledger = _open_ledger(path)
+    if ledger is None:
+        return 1
+    with ledger:
+        run = ledger.run(run_id)
+        findings = ledger.findings(run_id) if run is not None else []
+    if run is None:
+        print(f"no run {run_id} in {path}", file=sys.stderr)
+        return 1
+    if html_out:
+        with open(html_out, "w") as handle:
+            handle.write(run_report_html(run, findings))
+        print(f"report written to {html_out}", file=sys.stderr)
+    else:
+        print(run_report_text(run, findings))
+    return 0
+
+
+def _compare(
+    path: str,
+    baseline_id: int,
+    candidate_id: int,
+    threshold_pct: float,
+    fail_on_regression: bool,
+) -> int:
+    """``dce-hunt compare <ledger> <baseline> <candidate>``."""
+    ledger = _open_ledger(path)
+    if ledger is None:
+        return 1
+    with ledger:
+        baseline = ledger.run(baseline_id)
+        candidate = ledger.run(candidate_id)
+    for run_id, row in ((baseline_id, baseline), (candidate_id, candidate)):
+        if row is None:
+            print(f"no run {run_id} in {path}", file=sys.stderr)
+            return 1
+    fraction = threshold_pct / 100.0
+    comparison = compare_runs(baseline, candidate, CompareThresholds(
+        pass_execs_saved_drop=fraction,
+        compilations_increase=fraction,
+        yield_drop=fraction,
+    ))
+    print(comparison_text(comparison))
+    if fail_on_regression and not comparison.ok:
+        return 1
+    return 0
 
 
 def _crashes(journal: str) -> int:

@@ -76,6 +76,13 @@ PREFIX_HITS = "compile.prefix_hits"
 MEMO_HITS = "compile.memo_hits"
 GATE_SKIPS = "compile.gate_skips"
 
+#: per-pass marker-attribution counter prefix: each unique pass
+#: execution that eliminates markers bumps
+#: ``attribution.marker_kills/<pass>`` by the number it killed (the
+#: run ledger's pass-attribution rollup; shared/memoized executions
+#: count once, mirroring the work actually performed)
+MARKER_KILLS = "attribution.marker_kills"
+
 
 @dataclass
 class IncrementalCompilation:
@@ -94,13 +101,15 @@ class _Node:
     """One tree position: the module state after running the edge pass
     that leads here, plus that pass's changed flag."""
 
-    __slots__ = ("state", "changed", "children", "fingerprint")
+    __slots__ = ("state", "changed", "children", "fingerprint", "marker_count")
 
     def __init__(self, state: Module, changed: bool) -> None:
         self.state = state
         self.changed = changed
         self.children: dict[tuple, "_Node"] = {}
         self.fingerprint: str | None = None
+        #: lazily computed alive-marker count (attribution rollup)
+        self.marker_count: int | None = None
 
 
 class IncrementalEngine:
@@ -228,6 +237,9 @@ class IncrementalEngine:
         position: int,
         tracer,
     ) -> _Node:
+        parent_markers = (
+            self._marker_count(parent) if self._metrics is not None else None
+        )
         if tracer is None:
             module = parent.state.clone()
             changed = execute_pass(module, name, config, self._verify_each)
@@ -235,7 +247,7 @@ class IncrementalEngine:
             with tracer.span(SNAPSHOT_SPAN):
                 module = parent.state.clone()
             instrs_before, blocks_before = module_size(module)
-            markers_before = module_markers(module, self._marker_prefix)
+            marker_set_before = module_markers(module, self._marker_prefix)
             with tracer.span(PASS_SPAN, index=position) as span:
                 span.set("pass", name)
                 changed = execute_pass(module, name, config, self._verify_each)
@@ -247,14 +259,25 @@ class IncrementalEngine:
                     blocks_before=blocks_before,
                     blocks_after=blocks_after,
                     markers_eliminated=sorted(
-                        markers_before
+                        marker_set_before
                         - module_markers(module, self._marker_prefix)
                     ),
                 )
         self.pass_execs += 1
+        node = _Node(module, changed)
         if self._metrics is not None:
             self._metrics.counter(PASS_EXECS).inc()
-        return _Node(module, changed)
+            killed = parent_markers - self._marker_count(node)
+            if killed > 0:
+                self._metrics.counter(f"{MARKER_KILLS}/{name}").inc(killed)
+        return node
+
+    def _marker_count(self, node: _Node) -> int:
+        if node.marker_count is None:
+            node.marker_count = len(
+                module_markers(node.state, self._marker_prefix)
+            )
+        return node.marker_count
 
     def _fingerprint(self, node: _Node) -> str:
         if node.fingerprint is None:

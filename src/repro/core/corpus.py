@@ -19,9 +19,12 @@ from ..compilers import FAMILIES, LEVELS, CompilerSpec
 from ..frontend.typecheck import check_program
 from ..generator import GeneratorConfig, generate_program
 from ..interp import StepLimitExceeded
+from ..observability import events as ev
+from ..observability.events import EventBus
 from ..observability.metrics import MetricsRegistry
 from ..observability.tracer import Tracer, current_tracer, use_tracer
 from .differential import ProgramAnalysis, analyze_markers, missed_between_levels
+from .shapes import ShapeStats, program_shape
 from .ground_truth import compute_ground_truth
 from .markers import instrument_program
 from .primary import build_marker_graph, primary_missed_markers
@@ -110,6 +113,9 @@ class CampaignResult:
     #: seeds whose incremental compile crashed but whose plain retry
     #: succeeded (their outcomes are in ``seeds`` as usual)
     degraded: list[int] = field(default_factory=list)
+    #: marker-yield accumulators per program shape
+    #: (:func:`repro.core.shapes.program_shape`)
+    by_shape: dict[str, ShapeStats] = field(default_factory=dict)
 
     @property
     def dead_pct(self) -> float:
@@ -162,6 +168,7 @@ def run_campaign(
     incremental: bool = True,
     seed_budget: float | None = None,
     checkpoint: str | None = None,
+    events: EventBus | None = None,
 ) -> CampaignResult:
     """Run the full marker campaign over ``n_programs`` seeds.
 
@@ -173,7 +180,15 @@ def run_campaign(
     * ``tracer`` — installed as the current tracer for the duration,
       so pipeline/interpreter spans nest under one ``campaign`` span.
     * ``progress`` — called with a :class:`CampaignProgress` snapshot
-      after every seed.
+      after every seed (superseded by ``events``; kept for callers
+      that want the preaggregated snapshot).
+    * ``events`` — an :class:`~repro.observability.events.EventBus`
+      receiving the typed campaign event stream (campaign_start,
+      seed_start, seed_done, finding, crash, budget_exceeded,
+      checkpoint_replayed, campaign_end).  The stream is identical —
+      modulo timestamps — at every ``jobs`` count: worker events ship
+      through :class:`~repro.core.parallel.SeedEnvelope` and re-emit
+      in seed order.
 
     ``jobs`` shards the per-seed work across a process pool
     (:mod:`repro.core.parallel`).  The default 1 runs the exact
@@ -205,19 +220,19 @@ def run_campaign(
         return run_campaign_parallel(
             n_programs, seed_base, version, generator_config,
             keep_analyses, compare_level, metrics, tracer, progress, jobs,
-            incremental, seed_budget, checkpoint,
+            incremental, seed_budget, checkpoint, events,
         )
     if tracer is not None:
         with use_tracer(tracer):
             return _run_campaign_traced(
                 n_programs, seed_base, version, generator_config,
                 keep_analyses, compare_level, metrics, progress, incremental,
-                seed_budget, checkpoint,
+                seed_budget, checkpoint, events,
             )
     return _run_campaign_traced(
         n_programs, seed_base, version, generator_config,
         keep_analyses, compare_level, metrics, progress, incremental,
-        seed_budget, checkpoint,
+        seed_budget, checkpoint, events,
     )
 
 
@@ -233,6 +248,7 @@ def _run_campaign_traced(
     incremental: bool = True,
     seed_budget: float | None = None,
     checkpoint: str | None = None,
+    events: EventBus | None = None,
 ) -> CampaignResult:
     specs = default_specs(version)
     result = CampaignResult()
@@ -240,6 +256,11 @@ def _run_campaign_traced(
     tracer = current_tracer()
     start = time.perf_counter()
     journal = CheckpointJournal(checkpoint) if checkpoint else None
+    if events is not None:
+        events.emit(
+            ev.CAMPAIGN_START, programs=n_programs, seed_base=seed_base,
+            compare_level=compare_level, incremental=incremental,
+        )
 
     with tracer.span(
         "campaign", programs=n_programs, seed_base=seed_base
@@ -250,8 +271,15 @@ def _run_campaign_traced(
                 if replayed is not None:
                     if metrics is not None:
                         metrics.counter("campaign.checkpoint_replayed").inc()
+                    if events is not None:
+                        events.emit(
+                            ev.CHECKPOINT_REPLAYED, seed=seed,
+                            status=ev.report_status(replayed),
+                        )
                     report = replayed
                 else:
+                    if events is not None:
+                        events.emit(ev.SEED_START, seed=seed)
                     program_start = time.perf_counter()
                     with tracer.span("campaign.program", seed=seed) as span:
                         report = analyze_one_resilient(
@@ -272,9 +300,11 @@ def _run_campaign_traced(
                         ).observe((time.perf_counter() - program_start) * 1e3)
                     if journal is not None:
                         journal.record(report)
+                    if events is not None:
+                        events.emit_all(ev.seed_outcome_records(report))
                 _merge_report(
                     result, report, version, compare_level, keep_analyses,
-                    metrics,
+                    metrics, events,
                 )
                 elapsed = time.perf_counter() - start
                 if metrics is not None:
@@ -288,10 +318,27 @@ def _run_campaign_traced(
                 crashed=len(result.crashes),
                 budget_exceeded=len(result.budget_exceeded),
             )
+            if events is not None:
+                events.emit(ev.CAMPAIGN_END, **campaign_end_attrs(result))
         finally:
             if journal is not None:
                 journal.close()
     return result
+
+
+def campaign_end_attrs(result: CampaignResult) -> dict:
+    """The ``campaign_end`` event attributes (shared with the parallel
+    engine so both emit identical summaries)."""
+    return {
+        "completed": len(result.seeds),
+        "skipped": len(result.skipped),
+        "crashed": len(result.crashes),
+        "budget_exceeded": len(result.budget_exceeded),
+        "degraded": len(result.degraded),
+        "total_markers": result.total_markers,
+        "total_dead": result.total_dead,
+        "findings": len(result.findings),
+    }
 
 
 def _merge_report(
@@ -301,6 +348,7 @@ def _merge_report(
     compare_level: str,
     keep_analyses: bool,
     metrics: MetricsRegistry | None,
+    events: EventBus | None = None,
 ) -> None:
     """Fold one per-seed :class:`SeedReport` into the campaign result
     (shared by the sequential loop, the parallel merge, and checkpoint
@@ -317,7 +365,7 @@ def _merge_report(
         result.skipped.append(report.seed)
     else:
         result.seeds.append(report.seed)
-        _accumulate(result, report.outcome, version, compare_level)
+        _accumulate(result, report.outcome, version, compare_level, events)
         if keep_analyses:
             result.analyses.append(report.outcome)
         if report.degraded:
@@ -424,6 +472,7 @@ def _accumulate(
     outcome: ProgramOutcome,
     version: int | None,
     compare_level: str,
+    events: EventBus | None = None,
 ) -> None:
     analysis = outcome.analysis
     truth = analysis.ground_truth
@@ -431,6 +480,17 @@ def _accumulate(
     result.total_markers += len(instrumented.markers)
     result.total_dead += len(truth.dead)
     result.total_alive += len(truth.alive)
+    shape = program_shape(instrumented.program)
+    shape_stats = result.by_shape.setdefault(shape, ShapeStats())
+    shape_stats.programs += 1
+    shape_stats.markers += len(instrumented.markers)
+    shape_stats.dead += len(truth.dead)
+
+    def record_finding(finding: dict) -> None:
+        result.findings.append(finding)
+        shape_stats.findings += 1
+        if events is not None:
+            events.emit(ev.FINDING, shape=shape, **finding)
 
     graph = build_marker_graph(instrumented, truth.executed_functions())
 
@@ -459,6 +519,9 @@ def _accumulate(
             stats.dead_total += len(truth.dead)
             stats.missed += len(missed)
             stats.primary_missed += len(primary)
+            if level == compare_level:
+                shape_stats.missed += len(missed)
+                shape_stats.primary += len(missed & primary)
             violations = analysis.soundness_violations(spec)
             if violations:
                 result.soundness_violations.append(
@@ -477,7 +540,7 @@ def _accumulate(
     result.cross_compiler.gcc_primary += len(gcc_misses & gcc_primary)
     result.cross_compiler.llvm_primary += len(llvm_misses & llvm_primary)
     if gcc_misses or llvm_misses:
-        result.findings.append(
+        record_finding(
             {
                 "seed": outcome.seed,
                 "kind": "cross-compiler",
@@ -496,7 +559,7 @@ def _accumulate(
         spec = CompilerSpec(family, compare_level, version)
         primary = primary_of(analysis.outcome(spec).eliminated)
         stats.primary += len(seized & primary)
-        result.findings.append(
+        record_finding(
             {
                 "seed": outcome.seed,
                 "kind": "cross-level",

@@ -50,6 +50,8 @@ from typing import Any, Callable, Iterator, Sequence
 
 from ..compilers import FAMILIES
 from ..generator import GeneratorConfig
+from ..observability import events as ev
+from ..observability.events import EventBus
 from ..observability.export import spans_to_dicts
 from ..observability.metrics import MetricsRegistry
 from ..observability.tracer import Tracer, current_tracer, use_tracer
@@ -61,6 +63,7 @@ from .corpus import (
     _progress_snapshot,
     _record_tallies,
     _sigint_flushes,
+    campaign_end_attrs,
     default_specs,
 )
 from .resilience import (
@@ -87,6 +90,9 @@ class SeedEnvelope:
     metrics: dict[str, Any] | None
     #: worker span dicts, completion order (None when tracing is off)
     spans: list[dict[str, Any]] | None
+    #: recorded ``(event type, attrs)`` pairs for this seed, re-emitted
+    #: by the parent in seed order (None when the event bus is off)
+    events: list[tuple[str, dict[str, Any]]] | None = None
 
 
 def shard_seeds(
@@ -120,6 +126,7 @@ def _init_worker(
     incremental: bool = True,
     seed_budget: float | None = None,
     fault_plan: chaos.FaultPlan | None = None,
+    collect_events: bool = False,
 ) -> None:
     _WORKER.update(
         specs=default_specs(version),
@@ -129,6 +136,7 @@ def _init_worker(
         collect_spans=collect_spans,
         incremental=incremental,
         seed_budget=seed_budget,
+        collect_events=collect_events,
     )
     # ship the parent's fault plan so injection also works on
     # spawn-only platforms (fork inherits it anyway)
@@ -164,7 +172,8 @@ def _analyze_seed(seed: int) -> SeedEnvelope:
             (time.perf_counter() - start) * 1e3
         )
     return SeedEnvelope(
-        seed, report, metrics.dump() if metrics is not None else None, spans
+        seed, report, metrics.dump() if metrics is not None else None, spans,
+        ev.seed_event_records(report) if _WORKER["collect_events"] else None,
     )
 
 
@@ -205,6 +214,7 @@ def run_campaign_parallel(
     incremental: bool = True,
     seed_budget: float | None = None,
     checkpoint: str | None = None,
+    events: EventBus | None = None,
 ) -> CampaignResult:
     """The ``jobs > 1`` engine behind
     :func:`repro.core.corpus.run_campaign` (same contract)."""
@@ -213,12 +223,12 @@ def run_campaign_parallel(
             return _run_parallel(
                 n_programs, seed_base, version, generator_config,
                 keep_analyses, compare_level, metrics, progress, jobs,
-                incremental, seed_budget, checkpoint,
+                incremental, seed_budget, checkpoint, events,
             )
     return _run_parallel(
         n_programs, seed_base, version, generator_config,
         keep_analyses, compare_level, metrics, progress, jobs, incremental,
-        seed_budget, checkpoint,
+        seed_budget, checkpoint, events,
     )
 
 
@@ -235,6 +245,7 @@ def _run_parallel(
     incremental: bool = True,
     seed_budget: float | None = None,
     checkpoint: str | None = None,
+    events: EventBus | None = None,
 ) -> CampaignResult:
     result = CampaignResult()
     result.cross_level = {family: CrossLevelStats() for family in FAMILIES}
@@ -246,6 +257,13 @@ def _run_parallel(
         all_seeds if journal is None
         else [s for s in all_seeds if journal.get(s) is None]
     )
+    if events is not None:
+        # identical attrs to the sequential path (no jobs count): the
+        # stream must not betray how the campaign was scheduled
+        events.emit(
+            ev.CAMPAIGN_START, programs=n_programs, seed_base=seed_base,
+            compare_level=compare_level, incremental=incremental,
+        )
 
     with tracer.span(
         "campaign", programs=n_programs, seed_base=seed_base, jobs=jobs
@@ -254,6 +272,7 @@ def _run_parallel(
         initargs = (
             version, generator_config, metrics is not None, tracer.enabled,
             incremental, seed_budget, chaos.current_plan(),
+            events is not None,
         )
         try:
             envelopes = _drain_envelopes(
@@ -265,10 +284,15 @@ def _run_parallel(
                 if replayed is not None:
                     if metrics is not None:
                         metrics.counter("campaign.checkpoint_replayed").inc()
+                    if events is not None:
+                        events.emit(
+                            ev.CHECKPOINT_REPLAYED, seed=seed,
+                            status=ev.report_status(replayed),
+                        )
                     _merge_one(
                         result, replayed, None, None, version, compare_level,
                         keep_analyses, metrics, tracer, parent_id, progress,
-                        start, n_programs,
+                        start, n_programs, events,
                     )
                     continue
                 envelope = next(envelopes)
@@ -279,16 +303,20 @@ def _run_parallel(
                     )
                 if journal is not None:
                     journal.record(envelope.report)
+                if events is not None and envelope.events is not None:
+                    events.emit_all(envelope.events)
                 _merge_one(
                     result, envelope.report, envelope.metrics, envelope.spans,
                     version, compare_level, keep_analyses, metrics, tracer,
-                    parent_id, progress, start, n_programs,
+                    parent_id, progress, start, n_programs, events,
                 )
             campaign_span.update(
                 completed=len(result.seeds), skipped=len(result.skipped),
                 crashed=len(result.crashes),
                 budget_exceeded=len(result.budget_exceeded),
             )
+            if events is not None:
+                events.emit(ev.CAMPAIGN_END, **campaign_end_attrs(result))
         finally:
             if journal is not None:
                 journal.close()
@@ -365,11 +393,18 @@ def _drain_envelopes(
         if envelopes is None:  # this shard really does kill workers
             if len(shard) == 1:
                 seed = shard[0]
+                report = SeedReport(
+                    seed=seed, crash=worker_death_envelope(seed)
+                )
                 ready[seed] = SeedEnvelope(
                     seed,
-                    SeedReport(seed=seed, crash=worker_death_envelope(seed)),
+                    report,
                     metrics=None,
                     spans=None,
+                    events=(
+                        ev.seed_event_records(report)
+                        if initargs[7] else None
+                    ),
                 )
             else:
                 mid = (len(shard) + 1) // 2
@@ -417,6 +452,7 @@ def _merge_one(
     progress: Callable[..., None] | None,
     start: float,
     n_programs: int,
+    events: EventBus | None = None,
 ) -> None:
     """Fold one per-seed report into the parent state (mirrors one
     iteration of the sequential campaign loop)."""
@@ -425,7 +461,8 @@ def _merge_one(
     if tracer.enabled and spans:
         tracer.adopt_spans(spans, parent_id=campaign_parent_id)
     _merge_report(
-        result, report, version, compare_level, keep_analyses, metrics
+        result, report, version, compare_level, keep_analyses, metrics,
+        events,
     )
     elapsed = time.perf_counter() - start
     if metrics is not None:

@@ -1,0 +1,94 @@
+"""Structural shape classification for generated programs.
+
+Barany's liveness-driven generation steers a generator toward program
+*shapes* that historically yield findings; the prerequisite is
+per-shape yield telemetry.  :func:`program_shape` buckets a program by
+the coarse structural features the generator controls — loops,
+switches, calls, arrays, pointers — so the campaign can accumulate
+markers/dead/findings per shape (``CampaignResult.by_shape``) and the
+run ledger can report findings-per-shape across runs.
+
+The label is a deterministic pure function of the AST (marker
+instrumentation is ignored), so sequential and parallel campaigns —
+and repeated runs over the same seeds — bucket identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang import ast_nodes as ast
+from .markers import MARKER_PREFIX
+
+#: shape of a program with none of the feature tags
+STRAIGHTLINE = "straightline"
+
+
+def program_shape(program: ast.Program, marker_prefix: str = MARKER_PREFIX) -> str:
+    """A compact feature label like ``"arrays+calls+loops"``.
+
+    Tags (alphabetical, joined by ``+``): ``arrays``, ``calls``
+    (calls to non-marker functions), ``loops`` (``for``/``while``/
+    ``do``), ``pointers`` (address-of or dereference), ``switch``.
+    A program with no tags is :data:`STRAIGHTLINE`.
+    """
+    tags: set[str] = set()
+    for decl in program.decls:
+        if isinstance(decl, ast.GlobalVar) and _is_array(decl.ty):
+            tags.add("arrays")
+    for stmt in ast.walk_program_stmts(program):
+        if isinstance(stmt, (ast.While, ast.DoWhile, ast.For)):
+            tags.add("loops")
+        elif isinstance(stmt, ast.Switch):
+            tags.add("switch")
+        for expr in ast.walk_exprs_of_stmt(stmt):
+            if isinstance(expr, ast.Call):
+                if not expr.callee.startswith(marker_prefix):
+                    tags.add("calls")
+            elif isinstance(expr, (ast.AddrOf, ast.Deref)):
+                tags.add("pointers")
+            elif isinstance(expr, ast.Index):
+                tags.add("arrays")
+        if isinstance(stmt, ast.VarDecl) and _is_array(stmt.ty):
+            tags.add("arrays")
+    return "+".join(sorted(tags)) if tags else STRAIGHTLINE
+
+
+def _is_array(ty) -> bool:
+    return getattr(ty, "length", None) is not None
+
+
+@dataclass
+class ShapeStats:
+    """Per-shape campaign accumulators (marker yield, §ROADMAP 4)."""
+
+    programs: int = 0
+    markers: int = 0
+    dead: int = 0
+    #: dead markers missed at the campaign's compare level, summed
+    #: over both families
+    missed: int = 0
+    #: primary subset of ``missed``
+    primary: int = 0
+    #: findings (cross-compiler + cross-level) from seeds of this shape
+    findings: int = 0
+
+    @property
+    def findings_per_program(self) -> float:
+        return self.findings / self.programs if self.programs else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "programs": self.programs,
+            "markers": self.markers,
+            "dead": self.dead,
+            "missed": self.missed,
+            "primary": self.primary,
+            "findings": self.findings,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShapeStats":
+        return cls(**{k: data.get(k, 0) for k in (
+            "programs", "markers", "dead", "missed", "primary", "findings"
+        )})

@@ -1,0 +1,184 @@
+"""Live campaign dashboard: a single-line TTY status renderer.
+
+:class:`LiveDashboard` subscribes to the campaign
+:class:`~repro.observability.events.EventBus` and keeps one status
+line updated in place (carriage return + erase-to-end) while the
+campaign runs::
+
+    [ 12/50] 1.32 seeds/s · 3 findings · 1 crash · ETA 29s
+
+On a non-TTY stream it degrades to plain per-seed progress lines (CI
+logs stay readable, nothing is overprinted).  Either way the output
+goes to *stderr* by default so redirected stdout
+(``campaign ... > result.json``) stays machine-clean.
+
+The renderer is a pure event consumer: it never touches campaign
+state, so attaching it cannot perturb results, and tests drive it with
+synthetic events and an injected clock.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from .events import Event, EventBus
+
+
+class LiveDashboard:
+    """Event-bus subscriber rendering live campaign status.
+
+    ``stream`` defaults to ``sys.stderr``; ``force_tty`` overrides TTY
+    detection (tests); ``now`` injects a clock.
+    """
+
+    def __init__(
+        self,
+        stream=None,
+        *,
+        force_tty: bool | None = None,
+        now=time.monotonic,
+    ) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        if force_tty is None:
+            force_tty = bool(getattr(self._stream, "isatty", lambda: False)())
+        self._tty = force_tty
+        self._now = now
+        self._start: float | None = None
+        self._total = 0
+        self._done = 0
+        self._findings = 0
+        self._crashes = 0
+        self._budget = 0
+        self._line_open = False
+
+    # -- wiring --------------------------------------------------------
+
+    def attach(self, bus: EventBus) -> "LiveDashboard":
+        bus.subscribe(self)
+        return self
+
+    def detach(self, bus: EventBus) -> None:
+        bus.unsubscribe(self)
+
+    # -- event consumption ---------------------------------------------
+
+    def __call__(self, event: Event) -> None:
+        handler = getattr(self, f"_on_{event.type}", None)
+        if handler is not None:
+            handler(event)
+
+    def _on_campaign_start(self, event: Event) -> None:
+        self._start = self._now()
+        self._total = event.attrs.get("programs", 0)
+        self._done = self._findings = self._crashes = self._budget = 0
+        if not self._tty:
+            self._print(
+                f"campaign: {self._total} programs "
+                f"from seed {event.attrs.get('seed_base', '?')}"
+            )
+
+    def _on_checkpoint_replayed(self, event: Event) -> None:
+        self._seed_finished(event, event.attrs.get("status", "replayed"))
+
+    def _on_seed_done(self, event: Event) -> None:
+        detail = ""
+        if "markers" in event.attrs:
+            detail = (
+                f" ({event.attrs['markers']} markers, "
+                f"{event.attrs['dead']} dead)"
+            )
+        self._seed_finished(event, event.attrs.get("status", "ok") + detail)
+
+    def _on_crash(self, event: Event) -> None:
+        self._crashes += 1
+        self._seed_finished(
+            event, f"crash [{event.attrs.get('bucket', '?')}]"
+        )
+
+    def _on_budget_exceeded(self, event: Event) -> None:
+        self._budget += 1
+        self._seed_finished(event, "over budget")
+
+    def _on_finding(self, event: Event) -> None:
+        self._findings += 1
+        if self._tty:
+            self._render()
+
+    def _on_campaign_end(self, event: Event) -> None:
+        if self._line_open:
+            self._stream.write("\n")
+            self._line_open = False
+        elapsed = self._elapsed()
+        self._print(
+            f"campaign done: {event.attrs.get('completed', self._done)} seeds, "
+            f"{event.attrs.get('findings', self._findings)} findings, "
+            f"{event.attrs.get('crashed', self._crashes)} crashes "
+            f"in {elapsed:.1f}s"
+        )
+
+    # -- rendering -----------------------------------------------------
+
+    def _seed_finished(self, event: Event, status: str) -> None:
+        self._done += 1
+        if self._tty:
+            self._render()
+        else:
+            seed = event.attrs.get("seed", "?")
+            self._print(
+                f"[{self._done}/{self._total}] seed {seed}: {status}"
+            )
+
+    def _elapsed(self) -> float:
+        return self._now() - self._start if self._start is not None else 0.0
+
+    def status_line(self) -> str:
+        """The current one-line status (what the TTY shows)."""
+        elapsed = self._elapsed()
+        rate = self._done / elapsed if elapsed > 0 else 0.0
+        remaining = max(0, self._total - self._done)
+        eta = f"{remaining / rate:.0f}s" if rate > 0 else "--"
+        width = len(str(self._total))
+        parts = [
+            f"[{self._done:>{width}}/{self._total}]",
+            f"{rate:.2f} seeds/s",
+            f"{self._findings} findings",
+            f"{self._crashes} crashes",
+        ]
+        if self._budget:
+            parts.append(f"{self._budget} over budget")
+        parts.append(f"ETA {eta}")
+        return " · ".join(parts)
+
+    def _render(self) -> None:
+        # \r + erase-to-end keeps a single line updated in place
+        self._stream.write("\r\x1b[K" + self.status_line())
+        self._stream.flush()
+        self._line_open = True
+
+    def _print(self, line: str) -> None:
+        self._stream.write(line + "\n")
+        self._stream.flush()
+
+
+class ProgressPrinter:
+    """Event-bus twin of the classic ``--progress`` per-seed lines.
+
+    Emits ``[n/total] seed S: STATUS`` to ``stream`` (stderr by
+    default) for every finished seed — the non-TTY fallback wired to
+    the same event stream workers ship, so parallel campaigns report
+    progress in deterministic seed order.
+    """
+
+    def __init__(self, stream=None) -> None:
+        self._dashboard = LiveDashboard(stream, force_tty=False)
+
+    def attach(self, bus: EventBus) -> "ProgressPrinter":
+        bus.subscribe(self._dashboard)
+        return self
+
+    def detach(self, bus: EventBus) -> None:
+        bus.unsubscribe(self._dashboard)
+
+    def __call__(self, event: Event) -> None:
+        self._dashboard(event)

@@ -1,0 +1,589 @@
+"""Persistent run ledger: campaigns and findings across runs, in SQLite.
+
+Campaigns stop being fire-and-forget here: every ``campaign --ledger``
+appends one **run row** (config fingerprint, outcome counters,
+marker-yield per generator shape, pass-attribution rollup, crash
+buckets, latency summaries) and upserts one **finding row** per
+deduplicated finding — first seen / last seen / occurrence count
+across runs — so yield trends and regressions are queryable long after
+the process exits (``dce-hunt runs`` / ``show-run`` / ``report`` /
+``compare``).
+
+Finding deduplication
+---------------------
+
+Findings dedupe on a deterministic fingerprint.  Two modes:
+
+* ``reduce=False`` (default): the *structural signature* — the
+  finding kind plus the guarding-condition shapes
+  (:func:`repro.core.triage.guarding_condition_shape`) of its missed
+  markers on the regenerated program.  Cheap (no compilation), stable
+  across runs and job counts, and merges findings whose markers sit
+  behind structurally identical conditions.
+* ``reduce=True``: the paper-faithful fingerprint — delta-reduce the
+  case with :func:`repro.core.reduction.reduce_program` under the
+  missed-marker predicate, lower the reduced program, and hash
+  :func:`repro.ir.printer.fingerprint_module` of the result ("we
+  deduplicate cases after reducing them", §4.3).  This recompiles per
+  reduction candidate, so it is opt-in (``campaign --ledger
+  --reduce-findings``); when the predicate cannot be established the
+  fingerprint falls back to the structural signature.
+
+Both fingerprints are pure functions of (seed, generator config,
+compare level), so re-running the same campaign config yields the same
+fingerprints and the occurrence counters accumulate across runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from typing import TYPE_CHECKING
+
+from .metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # heavyweight sibling packages import this module's
+    # package transitively, so runtime imports stay inside functions
+    from ..generator import GeneratorConfig
+    from ..lang import ast_nodes as ast
+
+#: metrics counter prefix holding the per-pass marker-kill rollup
+#: (written by the incremental engine)
+ATTRIBUTION_PREFIX = "attribution.marker_kills/"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    run_id INTEGER PRIMARY KEY AUTOINCREMENT,
+    started_at REAL NOT NULL,
+    wall_time REAL NOT NULL,
+    config_fingerprint TEXT NOT NULL,
+    programs INTEGER NOT NULL,
+    seed_base INTEGER NOT NULL,
+    jobs INTEGER NOT NULL,
+    incremental INTEGER NOT NULL,
+    compare_level TEXT NOT NULL,
+    version INTEGER,
+    completed INTEGER NOT NULL,
+    skipped INTEGER NOT NULL,
+    crashed INTEGER NOT NULL,
+    budget_exceeded INTEGER NOT NULL,
+    degraded INTEGER NOT NULL,
+    total_markers INTEGER NOT NULL,
+    total_dead INTEGER NOT NULL,
+    total_alive INTEGER NOT NULL,
+    findings INTEGER NOT NULL,
+    soundness_violations INTEGER NOT NULL,
+    by_level_json TEXT NOT NULL,
+    cross_compiler_json TEXT NOT NULL,
+    cross_level_json TEXT NOT NULL,
+    shape_yield_json TEXT NOT NULL,
+    pass_attribution_json TEXT NOT NULL,
+    crash_buckets_json TEXT NOT NULL,
+    metrics_json TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_runs_config ON runs(config_fingerprint);
+CREATE TABLE IF NOT EXISTS findings (
+    fingerprint TEXT PRIMARY KEY,
+    kind TEXT NOT NULL,
+    detail_json TEXT NOT NULL,
+    seeds_json TEXT NOT NULL,
+    first_seen_run INTEGER NOT NULL,
+    last_seen_run INTEGER NOT NULL,
+    occurrences INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS run_findings (
+    run_id INTEGER NOT NULL,
+    fingerprint TEXT NOT NULL,
+    seed INTEGER NOT NULL,
+    kind TEXT NOT NULL,
+    PRIMARY KEY (run_id, fingerprint, seed)
+);
+"""
+
+
+def config_fingerprint(
+    n_programs: int,
+    seed_base: int,
+    version: int | None = None,
+    generator_config: GeneratorConfig | None = None,
+    compare_level: str = "O3",
+    incremental: bool = True,
+) -> str:
+    """A short stable hash of everything that determines a campaign's
+    results (``jobs`` deliberately excluded: results are identical at
+    any job count, so reruns at different parallelism share it)."""
+    payload = {
+        "n_programs": n_programs,
+        "seed_base": seed_base,
+        "version": version,
+        "generator_config": (
+            asdict(generator_config) if generator_config is not None else None
+        ),
+        "compare_level": compare_level,
+        "incremental": incremental,
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+    return digest[:16]
+
+
+# -- finding fingerprints --------------------------------------------------
+
+
+def _finding_markers(finding: dict) -> list[tuple[str, str]]:
+    """``(side, marker)`` pairs for a finding dict, sorted."""
+    if finding["kind"] == "cross-compiler":
+        return sorted(
+            [("gcclike", m) for m in finding.get("gcc_misses", ())]
+            + [("llvmlike", m) for m in finding.get("llvm_misses", ())]
+        )
+    return sorted((finding.get("family", "?"), m) for m in finding["markers"])
+
+
+def finding_fingerprint(
+    finding: dict,
+    generator_config: GeneratorConfig | None = None,
+    compare_level: str = "O3",
+    version: int | None = None,
+    reduce: bool = False,
+    program: ast.Program | None = None,
+) -> str:
+    """Deterministic dedup key for one campaign finding dict.
+
+    ``program`` overrides the regenerated-from-seed instrumented
+    program (tests exercise the reduce path on small fixtures this
+    way).  See the module docstring for the two modes.
+    """
+    if program is None:
+        from ..core.markers import instrument_program
+        from ..generator import generate_program
+
+        program = instrument_program(
+            generate_program(finding["seed"], generator_config)
+        ).program
+    if reduce:
+        fingerprint = _reduced_fingerprint(
+            finding, program, compare_level, version
+        )
+        if fingerprint is not None:
+            return fingerprint
+    return _structural_fingerprint(finding, program)
+
+
+def _structural_fingerprint(finding: dict, program: "ast.Program") -> str:
+    from ..core.triage import guarding_condition_shape
+
+    shapes = [
+        (side, guarding_condition_shape(program, marker))
+        for side, marker in _finding_markers(finding)
+    ]
+    payload = {
+        "kind": finding["kind"],
+        "family": finding.get("family"),
+        "shapes": shapes,
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()[:16]
+
+
+def _reduced_fingerprint(
+    finding: dict,
+    program: ast.Program,
+    compare_level: str,
+    version: int | None,
+) -> str | None:
+    """Reduce the case and hash the canonical IR of the result, or
+    ``None`` when no (keeper, witness) pairing makes the initial
+    program interesting (the structural signature then applies)."""
+    from ..core.reduction import missed_marker_predicate, reduce_program
+    from ..frontend.lower import lower_program
+    from ..frontend.typecheck import check_program
+    from ..ir.printer import fingerprint_module
+
+    for marker, keeper, witness in _reduction_targets(
+        finding, compare_level, version
+    ):
+        predicate = missed_marker_predicate(marker, keeper, witness)
+        try:
+            reduced = reduce_program(program, predicate).program
+        except ValueError:
+            continue  # not interesting as posed; try the next pairing
+        info = check_program(reduced)
+        module_fp = fingerprint_module(lower_program(reduced, info))
+        payload = {"kind": finding["kind"], "module": module_fp}
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()
+        ).hexdigest()[:16]
+    return None
+
+
+def _reduction_targets(
+    finding: dict, compare_level: str, version: int | None
+):
+    """Candidate (marker, keeper, witness) triples, strongest first."""
+    from ..compilers import CompilerSpec
+
+    if finding["kind"] == "cross-compiler":
+        sides = (
+            [("gcclike", "llvmlike", m) for m in finding.get("gcc_misses", ())]
+            + [("llvmlike", "gcclike", m) for m in finding.get("llvm_misses", ())]
+        )
+        for keeper_family, witness_family, marker in sides:
+            keeper = CompilerSpec(keeper_family, compare_level, version)
+            yield marker, keeper, CompilerSpec(
+                witness_family, compare_level, version
+            )
+            yield marker, keeper, None
+    else:
+        family = finding.get("family", "gcclike")
+        keeper = CompilerSpec(family, compare_level, version)
+        for marker in finding["markers"]:
+            for witness_level in ("O2", "O1"):
+                yield marker, keeper, CompilerSpec(
+                    family, witness_level, version
+                )
+            yield marker, keeper, None
+
+
+# -- row types -------------------------------------------------------------
+
+
+@dataclass
+class RunRow:
+    """One campaign, as persisted (JSON columns parsed)."""
+
+    run_id: int
+    started_at: float
+    wall_time: float
+    config_fingerprint: str
+    programs: int
+    seed_base: int
+    jobs: int
+    incremental: bool
+    compare_level: str
+    version: int | None
+    completed: int
+    skipped: int
+    crashed: int
+    budget_exceeded: int
+    degraded: int
+    total_markers: int
+    total_dead: int
+    total_alive: int
+    findings: int
+    soundness_violations: int
+    by_level: dict[str, dict[str, int]] = field(default_factory=dict)
+    cross_compiler: dict[str, int] = field(default_factory=dict)
+    cross_level: dict[str, dict[str, int]] = field(default_factory=dict)
+    shape_yield: dict[str, dict[str, int]] = field(default_factory=dict)
+    pass_attribution: dict[str, int] = field(default_factory=dict)
+    crash_buckets: dict[str, int] = field(default_factory=dict)
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def dead_pct(self) -> float:
+        total = self.total_markers
+        return 100.0 * self.total_dead / total if total else 0.0
+
+    def metric_value(self, name: str, default: float = 0.0) -> float:
+        """A counter/gauge value out of the stored metrics snapshot."""
+        entry = self.metrics.get(name)
+        if not entry:
+            return default
+        return entry.get("value", default)
+
+    def per_program(self, name: str) -> float:
+        """A counter normalized by completed programs (comparison
+        across runs of different sizes)."""
+        return self.metric_value(name) / self.completed if self.completed else 0.0
+
+
+@dataclass
+class FindingRow:
+    """One deduplicated finding with its cross-run lifecycle."""
+
+    fingerprint: str
+    kind: str
+    detail: dict
+    seeds: list[int]
+    first_seen_run: int
+    last_seen_run: int
+    occurrences: int
+
+
+class RunLedger:
+    """SQLite-backed store of campaign runs and deduplicated findings.
+
+    Usable as a context manager; ``path`` may be ``":memory:"``.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._conn = sqlite3.connect(path)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    # -- ingest --------------------------------------------------------
+
+    def record_run(
+        self,
+        result,
+        *,
+        n_programs: int,
+        seed_base: int,
+        jobs: int = 1,
+        incremental: bool = True,
+        compare_level: str = "O3",
+        version: int | None = None,
+        generator_config: GeneratorConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+        wall_time: float = 0.0,
+        started_at: float | None = None,
+        reduce_findings: bool = False,
+    ) -> int:
+        """Persist one :class:`~repro.core.corpus.CampaignResult`;
+        returns the new run id.  Findings upsert against prior runs
+        (dedup within the run first, so ``occurrences`` counts *runs*
+        in which a fingerprint was seen)."""
+        snapshot = metrics.to_dict() if metrics is not None else {}
+        attribution = {
+            name[len(ATTRIBUTION_PREFIX):]: entry["value"]
+            for name, entry in snapshot.items()
+            if name.startswith(ATTRIBUTION_PREFIX)
+        }
+        row = (
+            started_at if started_at is not None else time.time(),
+            wall_time,
+            config_fingerprint(
+                n_programs, seed_base, version, generator_config,
+                compare_level, incremental,
+            ),
+            n_programs,
+            seed_base,
+            jobs,
+            int(incremental),
+            compare_level,
+            version,
+            len(result.seeds),
+            len(result.skipped),
+            len(result.crashes),
+            len(result.budget_exceeded),
+            len(result.degraded),
+            result.total_markers,
+            result.total_dead,
+            result.total_alive,
+            len(result.findings),
+            len(result.soundness_violations),
+            json.dumps({
+                f"{family}-{level}": {
+                    "dead_total": stats.dead_total,
+                    "missed": stats.missed,
+                    "primary_missed": stats.primary_missed,
+                }
+                for (family, level), stats in sorted(result.by_level.items())
+            }),
+            json.dumps(asdict(result.cross_compiler)),
+            json.dumps({
+                family: asdict(stats)
+                for family, stats in sorted(result.cross_level.items())
+            }),
+            json.dumps({
+                shape: stats.to_dict()
+                for shape, stats in sorted(result.by_shape.items())
+            }),
+            json.dumps(attribution, sort_keys=True),
+            json.dumps({
+                bucket: len(envelopes)
+                for bucket, envelopes in result.crash_buckets.items()
+            }),
+            json.dumps(snapshot, sort_keys=True),
+        )
+        cursor = self._conn.execute(
+            """INSERT INTO runs (
+                started_at, wall_time, config_fingerprint, programs,
+                seed_base, jobs, incremental, compare_level, version,
+                completed, skipped, crashed, budget_exceeded, degraded,
+                total_markers, total_dead, total_alive, findings,
+                soundness_violations, by_level_json, cross_compiler_json,
+                cross_level_json, shape_yield_json, pass_attribution_json,
+                crash_buckets_json, metrics_json
+            ) VALUES (%s)""" % ", ".join("?" * 26),
+            row,
+        )
+        run_id = cursor.lastrowid
+        self._record_findings(
+            run_id, result.findings, generator_config, compare_level,
+            version, reduce_findings,
+        )
+        self._conn.commit()
+        return run_id
+
+    def _record_findings(
+        self,
+        run_id: int,
+        findings: list[dict],
+        generator_config: GeneratorConfig | None,
+        compare_level: str,
+        version: int | None,
+        reduce_findings: bool,
+    ) -> None:
+        deduped: dict[str, dict] = {}
+        for finding in findings:
+            fingerprint = finding_fingerprint(
+                finding, generator_config, compare_level, version,
+                reduce=reduce_findings,
+            )
+            entry = deduped.setdefault(
+                fingerprint,
+                {"kind": finding["kind"], "detail": finding, "seeds": set()},
+            )
+            entry["seeds"].add(finding["seed"])
+        for fingerprint, entry in sorted(deduped.items()):
+            existing = self._conn.execute(
+                "SELECT seeds_json FROM findings WHERE fingerprint = ?",
+                (fingerprint,),
+            ).fetchone()
+            if existing is None:
+                self._conn.execute(
+                    """INSERT INTO findings (
+                        fingerprint, kind, detail_json, seeds_json,
+                        first_seen_run, last_seen_run, occurrences
+                    ) VALUES (?, ?, ?, ?, ?, ?, 1)""",
+                    (
+                        fingerprint,
+                        entry["kind"],
+                        json.dumps(entry["detail"], sort_keys=True),
+                        json.dumps(sorted(entry["seeds"])),
+                        run_id,
+                        run_id,
+                    ),
+                )
+            else:
+                seeds = set(json.loads(existing["seeds_json"]))
+                seeds.update(entry["seeds"])
+                self._conn.execute(
+                    """UPDATE findings SET last_seen_run = ?,
+                        occurrences = occurrences + 1, seeds_json = ?
+                        WHERE fingerprint = ?""",
+                    (run_id, json.dumps(sorted(seeds)), fingerprint),
+                )
+            for seed in sorted(entry["seeds"]):
+                self._conn.execute(
+                    """INSERT OR IGNORE INTO run_findings
+                        (run_id, fingerprint, seed, kind)
+                        VALUES (?, ?, ?, ?)""",
+                    (run_id, fingerprint, seed, entry["kind"]),
+                )
+
+    # -- queries -------------------------------------------------------
+
+    def runs(
+        self,
+        config: str | None = None,
+        limit: int | None = None,
+        since: float | None = None,
+    ) -> list[RunRow]:
+        """Run rows, newest first.  ``config`` filters on a
+        config-fingerprint prefix; ``since`` on ``started_at``."""
+        query = "SELECT * FROM runs"
+        clauses, params = [], []
+        if config:
+            clauses.append("config_fingerprint LIKE ?")
+            params.append(config + "%")
+        if since is not None:
+            clauses.append("started_at >= ?")
+            params.append(since)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY run_id DESC"
+        if limit is not None:
+            query += " LIMIT ?"
+            params.append(limit)
+        return [self._run_row(r) for r in self._conn.execute(query, params)]
+
+    def run(self, run_id: int) -> RunRow | None:
+        row = self._conn.execute(
+            "SELECT * FROM runs WHERE run_id = ?", (run_id,)
+        ).fetchone()
+        return self._run_row(row) if row is not None else None
+
+    def findings(self, run_id: int | None = None) -> list[FindingRow]:
+        """All finding rows (fingerprint order), or those seen in one
+        run."""
+        if run_id is None:
+            rows = self._conn.execute(
+                "SELECT * FROM findings ORDER BY fingerprint"
+            )
+        else:
+            rows = self._conn.execute(
+                """SELECT f.* FROM findings f
+                    JOIN (SELECT DISTINCT fingerprint FROM run_findings
+                          WHERE run_id = ?) rf
+                    ON f.fingerprint = rf.fingerprint
+                    ORDER BY f.fingerprint""",
+                (run_id,),
+            )
+        return [
+            FindingRow(
+                fingerprint=r["fingerprint"],
+                kind=r["kind"],
+                detail=json.loads(r["detail_json"]),
+                seeds=json.loads(r["seeds_json"]),
+                first_seen_run=r["first_seen_run"],
+                last_seen_run=r["last_seen_run"],
+                occurrences=r["occurrences"],
+            )
+            for r in rows
+        ]
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "RunLedger":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+
+    @staticmethod
+    def _run_row(row: sqlite3.Row) -> RunRow:
+        return RunRow(
+            run_id=row["run_id"],
+            started_at=row["started_at"],
+            wall_time=row["wall_time"],
+            config_fingerprint=row["config_fingerprint"],
+            programs=row["programs"],
+            seed_base=row["seed_base"],
+            jobs=row["jobs"],
+            incremental=bool(row["incremental"]),
+            compare_level=row["compare_level"],
+            version=row["version"],
+            completed=row["completed"],
+            skipped=row["skipped"],
+            crashed=row["crashed"],
+            budget_exceeded=row["budget_exceeded"],
+            degraded=row["degraded"],
+            total_markers=row["total_markers"],
+            total_dead=row["total_dead"],
+            total_alive=row["total_alive"],
+            findings=row["findings"],
+            soundness_violations=row["soundness_violations"],
+            by_level=json.loads(row["by_level_json"]),
+            cross_compiler=json.loads(row["cross_compiler_json"]),
+            cross_level=json.loads(row["cross_level_json"]),
+            shape_yield=json.loads(row["shape_yield_json"]),
+            pass_attribution=json.loads(row["pass_attribution_json"]),
+            crash_buckets=json.loads(row["crash_buckets_json"]),
+            metrics=json.loads(row["metrics_json"]),
+        )

@@ -1,11 +1,20 @@
 """Parallel campaign engine: jobs=N must be indistinguishable from
 the sequential run (except wall time)."""
 
+import json
+
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.core.corpus import run_campaign
 from repro.core.parallel import MAX_SHARD_SIZE, shard_seeds
-from repro.observability import MetricsRegistry, Tracer
+from repro.observability import (
+    EventBus,
+    MetricsRegistry,
+    Tracer,
+    strip_timestamps,
+)
 
 PROGRAMS = 4
 SEED_BASE = 100
@@ -14,11 +23,14 @@ SEED_BASE = 100
 @pytest.fixture(scope="module")
 def sequential():
     metrics = MetricsRegistry()
+    events = []
+    bus = EventBus()
+    bus.subscribe(events.append)
     result = run_campaign(
         n_programs=PROGRAMS, seed_base=SEED_BASE,
-        keep_analyses=True, metrics=metrics,
+        keep_analyses=True, metrics=metrics, events=bus,
     )
-    return result, metrics
+    return result, metrics, events
 
 
 @pytest.fixture(scope="module")
@@ -26,16 +38,19 @@ def parallel():
     metrics = MetricsRegistry()
     tracer = Tracer()
     ticks = []
+    events = []
+    bus = EventBus()
+    bus.subscribe(events.append)
     result = run_campaign(
         n_programs=PROGRAMS, seed_base=SEED_BASE,
         keep_analyses=True, metrics=metrics, tracer=tracer,
-        progress=ticks.append, jobs=4,
+        progress=ticks.append, jobs=4, events=bus,
     )
-    return result, metrics, tracer, ticks
+    return result, metrics, tracer, ticks, events
 
 
 def test_parallel_equals_sequential_result(sequential, parallel):
-    seq, _ = sequential
+    seq = sequential[0]
     par = parallel[0]
     assert par.seeds == seq.seeds
     assert par.skipped == seq.skipped
@@ -50,7 +65,7 @@ def test_parallel_equals_sequential_result(sequential, parallel):
 
 
 def test_parallel_keep_analyses_in_seed_order(sequential, parallel):
-    seq, _ = sequential
+    seq = sequential[0]
     par = parallel[0]
     assert [o.seed for o in par.analyses] == [o.seed for o in seq.analyses] == seq.seeds
     # findings stay homogeneous triage dicts; analyses live on their own field
@@ -67,7 +82,7 @@ def par_alive(outcome, spec):
 
 
 def test_parallel_merges_metric_tallies(sequential, parallel):
-    _, seq_metrics = sequential
+    seq_metrics = sequential[1]
     par_metrics = parallel[1]
     seq_snap, par_snap = seq_metrics.to_dict(), par_metrics.to_dict()
     assert seq_snap.keys() == par_snap.keys()
@@ -111,6 +126,73 @@ def test_parallel_spans_reparent_under_campaign(parallel):
         assert "compile" in child_names
         assert "ground_truth" in child_names
     assert tracer.roots() == campaigns
+
+
+def test_parallel_event_stream_identical_modulo_timestamps(sequential, parallel):
+    """The telemetry determinism contract: jobs=4 narrates the exact
+    same story as jobs=1, timestamps aside."""
+    seq_events, par_events = sequential[2], parallel[4]
+    assert strip_timestamps(par_events) == strip_timestamps(seq_events)
+    types = [e.type for e in seq_events]
+    assert types[0] == "campaign_start"
+    assert types[-1] == "campaign_end"
+    assert types.count("seed_start") == PROGRAMS
+    # scheduling must not leak into the stream
+    assert "jobs" not in par_events[0].attrs
+    assert [e.seq for e in par_events] == list(range(len(par_events)))
+
+
+def test_parallel_event_jsonl_bytes_identical_modulo_ts(sequential, parallel):
+    """Golden-file form of the contract: serialized JSONL streams are
+    byte-identical once the ``ts`` field is dropped per line."""
+
+    def golden(events):
+        return "\n".join(
+            json.dumps(record, sort_keys=True)
+            for record in strip_timestamps(events)
+        ).encode()
+
+    assert golden(parallel[4]) == golden(sequential[2])
+
+
+def test_parallel_by_shape_matches_sequential(sequential, parallel):
+    seq, par = sequential[0], parallel[0]
+    assert par.by_shape == seq.by_shape
+    assert sum(s.programs for s in seq.by_shape.values()) == len(seq.seeds)
+    assert sum(s.markers for s in seq.by_shape.values()) == seq.total_markers
+
+
+@given(
+    shards=st.lists(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e9,
+                      allow_nan=False, allow_infinity=False),
+            max_size=30,
+        ),
+        max_size=6,
+    ),
+    p=st.sampled_from([0, 10, 25, 50, 75, 90, 99, 100]),
+)
+def test_merged_worker_histograms_match_sequential_percentiles(shards, p):
+    """Histogram merging keeps every observation, so any percentile of
+    the merged distribution equals the sequential one exactly."""
+    sequential = MetricsRegistry()
+    worker_dumps = []
+    for shard in shards:
+        worker = MetricsRegistry()
+        for value in shard:
+            sequential.histogram("h").observe(value)
+            worker.histogram("h").observe(value)
+        worker_dumps.append(worker.dump())
+    merged = MetricsRegistry()
+    for dump in worker_dumps:
+        merged.merge(dump)
+    assert merged.histogram("h").percentile(p) == sequential.histogram(
+        "h"
+    ).percentile(p)
+    assert merged.histogram("h").summary() == sequential.histogram(
+        "h"
+    ).summary()
 
 
 def test_jobs_must_be_positive():

@@ -1,0 +1,31 @@
+"""Shared fixtures for the telemetry/ledger/report tests: one small
+real campaign (tiny generator config keeps the compiles cheap) reused
+across modules."""
+
+import pytest
+
+from repro.core.corpus import run_campaign
+from repro.generator import GeneratorConfig
+from repro.observability import MetricsRegistry
+
+#: small enough to keep per-seed analysis fast, large enough that the
+#: seed range below yields at least one finding
+SMALL_CONFIG = GeneratorConfig(
+    min_globals=1, max_globals=3, min_functions=2, max_functions=3,
+    max_depth=3, min_block_stmts=1, max_block_stmts=4, max_expr_depth=2,
+)
+SMALL_PROGRAMS = 10
+SMALL_SEED_BASE = 50
+
+
+@pytest.fixture(scope="session")
+def small_campaign():
+    """(result, metrics) for a 10-seed tiny-program campaign with at
+    least one finding."""
+    metrics = MetricsRegistry()
+    result = run_campaign(
+        n_programs=SMALL_PROGRAMS, seed_base=SMALL_SEED_BASE,
+        generator_config=SMALL_CONFIG, metrics=metrics,
+    )
+    assert result.findings, "fixture seeds are expected to yield findings"
+    return result, metrics

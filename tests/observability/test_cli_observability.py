@@ -1,6 +1,7 @@
 import json
 
 from repro.cli import main as cli_main
+from repro.observability import RunLedger, read_events_jsonl
 
 SOURCE = """
 int main() {
@@ -83,3 +84,94 @@ def test_cli_campaign_metrics_out(tmp_path, capsys):
     assert snapshot["campaign.compile_cache_hits"]["value"] == 1
     assert "campaign.missed/gcclike-O2" in snapshot
     assert "campaign.primary_missed/llvmlike-O3" in snapshot
+
+
+def test_cli_campaign_telemetry_pipeline(tmp_path, capsys):
+    """campaign --events-out/--ledger/--dashboard, then the ledger
+    subcommands, end to end on one tiny seed."""
+    events_path = tmp_path / "events.jsonl"
+    ledger_path = tmp_path / "ledger.sqlite"
+    args = [
+        "campaign", "--programs", "1", "--seed-base", "901",
+        "--events-out", str(events_path), "--ledger", str(ledger_path),
+        "--dashboard",
+    ]
+    assert cli_main(args) == 0
+    captured = capsys.readouterr()
+    # stdout stays machine-clean: every telemetry line is on stderr
+    assert "Tables 1 & 2 shape" in captured.out
+    for line in ("campaign done:", "ledger: recorded run", "seed 901"):
+        assert line not in captured.out
+        assert line in captured.err
+
+    events = read_events_jsonl(str(events_path))
+    types = [e.type for e in events]
+    assert types[0] == "campaign_start"
+    assert types.count("campaign_end") == 1
+    assert [e.seq for e in events] == list(range(len(events)))
+    done = next(e for e in events if e.type == "seed_done")
+    assert done.attrs["seed"] == 901 and done.attrs["status"] == "ok"
+
+    # second run, same config: the findings rows dedupe across runs
+    assert cli_main(args) == 0
+    capsys.readouterr()
+    with RunLedger(str(ledger_path)) as ledger:
+        rows = ledger.runs()
+        assert len(rows) == 2
+        assert rows[0].config_fingerprint == rows[1].config_fingerprint
+        assert rows[0].wall_time > 0
+        assert all(f.occurrences == 2 for f in ledger.findings())
+
+    assert cli_main(["runs", str(ledger_path)]) == 0
+    out = capsys.readouterr().out
+    assert "config" in out and str(rows[0].run_id) in out
+
+    assert cli_main(["show-run", str(ledger_path), "1"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["programs"] == 1 and payload["seed_base"] == 901
+
+    assert cli_main(["report", str(ledger_path), "1"]) == 0
+    out = capsys.readouterr().out
+    assert "== Outcome ==" in out and "== Marker yield by O-level ==" in out
+
+    html_path = tmp_path / "report.html"
+    assert cli_main([
+        "report", str(ledger_path), "1", "--html", str(html_path),
+    ]) == 0
+    capsys.readouterr()
+    document = html_path.read_text()
+    assert document.startswith("<!DOCTYPE html>")
+    assert "https://" not in document
+
+    assert cli_main([
+        "compare", str(ledger_path), "1", "2", "--fail-on-regression",
+    ]) == 0  # identical configs: no regressions
+    assert "no regressions" in capsys.readouterr().out
+
+
+def test_cli_compare_flags_no_incremental_regression(tmp_path, capsys):
+    """The acceptance drill: an incremental run vs a --no-incremental
+    run of the same seeds flags the pass_execs_saved regression."""
+    ledger_path = str(tmp_path / "ledger.sqlite")
+    base = ["campaign", "--programs", "1", "--seed-base", "902",
+            "--ledger", ledger_path]
+    assert cli_main(base) == 0
+    assert cli_main(base + ["--no-incremental"]) == 0
+    capsys.readouterr()
+    assert cli_main([
+        "compare", ledger_path, "1", "2", "--fail-on-regression",
+    ]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out
+    assert "pass_execs_saved/program" in out
+    assert "-100.0%" in out
+
+
+def test_cli_ledger_subcommands_reject_missing_files(tmp_path, capsys):
+    missing = str(tmp_path / "nope.sqlite")
+    assert cli_main(["runs", missing]) == 1
+    assert cli_main(["show-run", missing, "1"]) == 1
+    assert cli_main(["report", missing, "1"]) == 1
+    assert cli_main(["compare", missing, "1", "2"]) == 1
+    err = capsys.readouterr().err
+    assert "no such ledger" in err
