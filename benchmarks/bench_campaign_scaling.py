@@ -15,7 +15,7 @@ import os
 import time
 
 from repro.core.corpus import run_campaign
-from repro.core.parallel import shard_seeds
+from repro.core.parallel import run_campaign_parallel, shard_seeds
 from repro.core.stats import format_table
 
 from conftest import emit
@@ -39,6 +39,21 @@ def _fingerprint(result):
     )
 
 
+def _engine_run(window):
+    """Drive the parallel engine itself at jobs=1 (the sequential path
+    in ``run_campaign`` would bypass it) with an explicit scheduler
+    window — ``None`` streams at the default bounded window, a huge
+    value submits every shard upfront (the old barriered scheduler)."""
+    start = time.perf_counter()
+    result = run_campaign_parallel(
+        PROGRAMS, SEED_BASE, None, None, False, "O3",
+        None, None, None, 1, window=window,
+    )
+    elapsed = time.perf_counter() - start
+    done = len(result.seeds) + len(result.skipped)
+    return result, elapsed, done / elapsed
+
+
 def test_campaign_scaling(benchmark):
     benchmark(lambda: shard_seeds(range(10_000), jobs=4))
     runs = {}
@@ -50,6 +65,12 @@ def test_campaign_scaling(benchmark):
         elapsed = time.perf_counter() - start
         done = len(result.seeds) + len(result.skipped)
         runs[jobs] = (result, elapsed, done / elapsed)
+    # scheduler-overhead rows: the engine at jobs=1, streaming window
+    # vs all-shards-upfront (barriered), against the sequential base
+    scheduler_rows = {
+        "1 engine/streaming": _engine_run(None),
+        "1 engine/barriered": _engine_run(1_000_000),
+    }
 
     base_fingerprint = _fingerprint(runs[JOBS[0]][0])
     base_rate = runs[JOBS[0]][2]
@@ -58,6 +79,14 @@ def test_campaign_scaling(benchmark):
         result, elapsed, rate = runs[jobs]
         rows.append([
             str(jobs),
+            f"{elapsed:.1f}",
+            f"{rate:.2f}",
+            f"{rate / base_rate:.2f}x",
+            "yes" if _fingerprint(result) == base_fingerprint else "NO",
+        ])
+    for label, (result, elapsed, rate) in scheduler_rows.items():
+        rows.append([
+            label,
             f"{elapsed:.1f}",
             f"{rate:.2f}",
             f"{rate / base_rate:.2f}x",
@@ -77,3 +106,6 @@ def test_campaign_scaling(benchmark):
         assert runs[jobs][2] > 0
         # determinism is the hard guarantee; speedup depends on cores
         assert _fingerprint(runs[jobs][0]) == base_fingerprint
+    for label, (result, _, rate) in scheduler_rows.items():
+        assert rate > 0, label
+        assert _fingerprint(result) == base_fingerprint, label

@@ -1,0 +1,75 @@
+"""Interpreter throughput — the bytecode VM vs the AST reference.
+
+Ground truth costs one full interpretation per seed (paper §4.1), and
+on step-heavy programs that execution dominates campaign wall time, so
+the bytecode engine's whole reason to exist is steps/sec.  This bench
+runs both backends over the step-heaviest seeds of the bench corpus
+range (where interpretation, not compilation, is the bottleneck),
+reports steps/sec and seeds/sec side by side, checks the two backends
+returned bit-identical results, and **asserts the VM is >= 3x the AST
+interpreter on steps/sec** — the regression fence for the fast path.
+
+``INTERP_THROUGHPUT_REPEATS`` overrides the timing repeats (default 2).
+"""
+
+import os
+import time
+
+from repro.core.stats import format_table
+from repro.frontend.typecheck import check_program
+from repro.generator import generate_program
+from repro.interp import run_program
+
+from conftest import emit
+
+#: the step-heaviest seeds in range(300) (>= 20k steps each): the
+#: workload where ground-truth interpretation dominates a campaign
+HEAVY_SEEDS = (21, 28, 45, 133, 162, 213, 238, 268)
+REPEATS = int(os.environ.get("INTERP_THROUGHPUT_REPEATS", "2"))
+MIN_SPEEDUP = 3.0
+
+
+def _timed(programs, backend):
+    steps = 0
+    start = time.perf_counter()
+    results = []
+    for _ in range(REPEATS):
+        results = []
+        for program, info in programs:
+            result = run_program(program, info=info, backend=backend)
+            steps += result.steps
+            results.append(result)
+    elapsed = time.perf_counter() - start
+    return steps / elapsed, len(programs) * REPEATS / elapsed, results
+
+
+def test_interp_throughput(benchmark):
+    programs = []
+    for seed in HEAVY_SEEDS:
+        program = generate_program(seed)
+        programs.append((program, check_program(program)))
+    benchmark(
+        lambda: run_program(programs[0][0], info=programs[0][1])
+    )
+
+    ast_sps, ast_seeds, ast_results = _timed(programs, "ast")
+    vm_sps, vm_seeds, vm_results = _timed(programs, "bytecode")
+    speedup = vm_sps / ast_sps
+    identical = all(a == b for a, b in zip(ast_results, vm_results))
+
+    rows = [
+        ["ast", f"{ast_sps:,.0f}", f"{ast_seeds:.2f}", "1.00x"],
+        ["bytecode", f"{vm_sps:,.0f}", f"{vm_seeds:.2f}", f"{speedup:.2f}x"],
+    ]
+    lines = [
+        f"Interpreter throughput — {len(HEAVY_SEEDS)} step-heavy seeds "
+        f"x{REPEATS}, results identical: {'yes' if identical else 'NO'}",
+        format_table(["backend", "steps/sec", "seeds/sec", "speedup"], rows),
+    ]
+    emit("interp_throughput", "\n".join(lines))
+
+    assert identical, "backends diverged — equivalence before speed"
+    assert speedup >= MIN_SPEEDUP, (
+        f"bytecode VM only {speedup:.2f}x the AST interpreter on "
+        f"steps/sec (fence is {MIN_SPEEDUP}x)"
+    )

@@ -131,6 +131,17 @@ def main(argv: list[str] | None = None) -> int:
              "work through the incremental engine (identical results)",
     )
     p_campaign.add_argument(
+        "--no-bytecode", action="store_true",
+        help="compute ground truth on the AST-walking interpreter "
+             "instead of the bytecode VM (bit-identical results, "
+             "several times slower; mainly a cross-check)",
+    )
+    p_campaign.add_argument(
+        "--window", type=int, default=None, metavar="N",
+        help="cap the parallel scheduler's in-flight shard window "
+             "(default jobs*3); results are identical at any window",
+    )
+    p_campaign.add_argument(
         "--seed-budget", type=float, default=None, metavar="SECONDS",
         help="per-seed wall-clock budget; seeds that exceed it are "
              "recorded as budget_exceeded skips instead of hanging",
@@ -255,13 +266,17 @@ def main(argv: list[str] | None = None) -> int:
             p_campaign.error(
                 f"--programs must be >= 0, got {args.programs}"
             )
+        if args.window is not None and args.window < 1:
+            p_campaign.error(f"--window must be >= 1, got {args.window}")
         _campaign(args.programs, args.seed_base,
                   metrics_out=args.metrics_out, show_progress=args.progress,
                   jobs=args.jobs, incremental=not args.no_incremental,
                   seed_budget=args.seed_budget, checkpoint=args.checkpoint,
                   chaos_specs=args.chaos, events_out=args.events_out,
                   ledger_path=args.ledger, dashboard=args.dashboard,
-                  reduce_findings=args.reduce_findings)
+                  reduce_findings=args.reduce_findings,
+                  interp="ast" if args.no_bytecode else None,
+                  window=args.window)
     elif args.command == "crashes":
         return _crashes(args.journal)
     elif args.command == "runs":
@@ -397,6 +412,8 @@ def _campaign(
     ledger_path: str | None = None,
     dashboard: bool = False,
     reduce_findings: bool = False,
+    interp: str | None = None,
+    window: int | None = None,
 ) -> None:
     import time
 
@@ -430,7 +447,8 @@ def _campaign(
             n_programs=n_programs, seed_base=seed_base,
             metrics=metrics, progress=progress, jobs=jobs,
             incremental=incremental, seed_budget=seed_budget,
-            checkpoint=checkpoint, events=events,
+            checkpoint=checkpoint, events=events, interp=interp,
+            window=window,
         )
     finally:
         if plan is not None:
@@ -447,7 +465,8 @@ def _campaign(
                 result, n_programs=n_programs, seed_base=seed_base,
                 jobs=jobs, incremental=incremental, metrics=metrics,
                 wall_time=wall_time, started_at=started_at,
-                reduce_findings=reduce_findings,
+                reduce_findings=reduce_findings, interp=interp,
+                window=window,
             )
         print(f"ledger: recorded run {run_id} in {ledger_path}",
               file=sys.stderr)
@@ -537,7 +556,8 @@ def _runs(path: str, config: str | None, limit: int | None) -> int:
         str(r.crashed),
         f"{r.dead_pct:.1f}%",
         f"{r.wall_time:.1f}s",
-        f"j{r.jobs}" + ("" if r.incremental else " noinc"),
+        f"j{r.jobs}" + ("" if r.incremental else " noinc")
+        + ("" if (r.interp or "bytecode") == "bytecode" else f" {r.interp}"),
     ] for r in rows]
     print(format_table(
         ["run", "started", "config", "progs", "done", "findings",

@@ -169,6 +169,8 @@ def run_campaign(
     seed_budget: float | None = None,
     checkpoint: str | None = None,
     events: EventBus | None = None,
+    interp: str | None = None,
+    window: int | None = None,
 ) -> CampaignResult:
     """Run the full marker campaign over ``n_programs`` seeds.
 
@@ -202,6 +204,14 @@ def run_campaign(
     seed (:mod:`repro.compilers.incremental`, identical results);
     ``False`` compiles every spec independently.
 
+    ``interp`` selects the ground-truth interpreter backend
+    (``"bytecode"``/``"ast"``; ``None`` uses the process default,
+    normally the bytecode VM — results are bit-identical either way).
+    ``window`` bounds the parallel scheduler's in-flight shard window
+    (default ``jobs * 3``); ignored at ``jobs=1``.  Like ``jobs``,
+    neither knob changes campaign results, so neither is part of the
+    run's config fingerprint.
+
     Fault isolation (:mod:`repro.core.resilience`): per-seed crashes
     are contained into ``result.crashes`` envelopes, ``seed_budget``
     arms a cooperative wall-clock deadline per seed
@@ -220,19 +230,19 @@ def run_campaign(
         return run_campaign_parallel(
             n_programs, seed_base, version, generator_config,
             keep_analyses, compare_level, metrics, tracer, progress, jobs,
-            incremental, seed_budget, checkpoint, events,
+            incremental, seed_budget, checkpoint, events, interp, window,
         )
     if tracer is not None:
         with use_tracer(tracer):
             return _run_campaign_traced(
                 n_programs, seed_base, version, generator_config,
                 keep_analyses, compare_level, metrics, progress, incremental,
-                seed_budget, checkpoint, events,
+                seed_budget, checkpoint, events, interp,
             )
     return _run_campaign_traced(
         n_programs, seed_base, version, generator_config,
         keep_analyses, compare_level, metrics, progress, incremental,
-        seed_budget, checkpoint, events,
+        seed_budget, checkpoint, events, interp,
     )
 
 
@@ -249,6 +259,7 @@ def _run_campaign_traced(
     seed_budget: float | None = None,
     checkpoint: str | None = None,
     events: EventBus | None = None,
+    interp: str | None = None,
 ) -> CampaignResult:
     specs = default_specs(version)
     result = CampaignResult()
@@ -285,7 +296,7 @@ def _run_campaign_traced(
                         report = analyze_one_resilient(
                             seed, specs, version, generator_config,
                             metrics=metrics, incremental=incremental,
-                            seed_budget=seed_budget,
+                            seed_budget=seed_budget, interp=interp,
                         )
                         span.set("skipped", report.outcome is None)
                         if report.crash is not None:

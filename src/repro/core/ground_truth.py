@@ -12,7 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..frontend.typecheck import SymbolInfo, check_program
-from ..interp import DEFAULT_STEP_LIMIT, ExecutionResult, run_program
+from ..interp import (
+    DEFAULT_STEP_LIMIT,
+    ExecutionResult,
+    get_default_backend,
+    run_program,
+)
 from ..observability.tracer import current_tracer
 from .markers import InstrumentedProgram
 
@@ -41,15 +46,28 @@ def compute_ground_truth(
     instrumented: InstrumentedProgram,
     info: SymbolInfo | None = None,
     step_limit: int = DEFAULT_STEP_LIMIT,
+    backend: str | None = None,
+    metrics=None,
 ) -> GroundTruth:
-    """Execute the instrumented program and classify its markers."""
+    """Execute the instrumented program and classify its markers.
+
+    ``backend`` selects the interpreter (``"bytecode"``/``"ast"``;
+    ``None`` uses the process default).  When a ``MetricsRegistry`` is
+    passed, the per-backend seed counters and ``interp.steps`` (the
+    numerator of the report's steps/sec gauge) are incremented.
+    """
     if info is None:
         info = check_program(instrumented.program)
+    if backend is None:
+        backend = get_default_backend()
     with current_tracer().span(
-        "ground_truth", markers=len(instrumented.marker_names)
+        "ground_truth", markers=len(instrumented.marker_names), backend=backend
     ) as span:
         execution = run_program(
-            instrumented.program, step_limit=step_limit, info=info
+            instrumented.program,
+            step_limit=step_limit,
+            info=info,
+            backend=backend,
         )
         alive = frozenset(
             name
@@ -61,4 +79,7 @@ def compute_ground_truth(
             alive=len(alive),
             dead=len(instrumented.marker_names) - len(alive),
         )
+    if metrics is not None:
+        metrics.counter(f"interp.{backend}_seeds").inc()
+        metrics.counter("interp.steps").inc(execution.steps)
     return GroundTruth(instrumented.marker_names, alive, execution)

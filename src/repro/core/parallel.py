@@ -1,15 +1,26 @@
-"""Parallel campaign engine: process-pool seed sharding.
+"""Parallel campaign engine: streaming process-pool seed sharding.
 
 ``run_campaign(jobs=N)`` delegates here for ``N > 1``.  Seeds split
 into contiguous shards, each pool worker runs
 :func:`repro.core.resilience.analyze_one_resilient` over its shard and
 sends back a picklable :class:`SeedEnvelope` per seed (per-seed report
-+ raw metrics snapshot + serialized spans).  The parent drains futures
-as they complete but folds envelopes into the :class:`CampaignResult`
-strictly **in seed order** — out-of-order shards buffer until the gap
-closes — so the result (including crash envelopes and their buckets)
-is identical to the sequential run regardless of jobs count, shard
-size, or completion order.
++ raw metrics snapshot + serialized spans).
+
+Scheduling is a streaming producer/consumer pipeline with a **bounded
+in-flight window** (diopter's ``max_parallel_jobs`` pattern): at most
+``window`` shards (default ``jobs * 3``) are submitted at a time, and
+each completion both tops the window back up and lets the merge loop
+drain whatever became contiguous.  Compared to submitting every shard
+upfront this bounds parent-side memory (completed-but-unmerged work
+can't pile up faster than the merge loop consumes it — backpressure),
+keeps submission overhead off the critical path for huge campaigns,
+and lets a slow seed stall only its own shard while later shards keep
+flowing through the window.  The parent still folds envelopes into the
+:class:`CampaignResult` strictly **in seed order** — out-of-order
+completions buffer until the gap closes — so the result (including
+crash envelopes and their buckets) is identical to the sequential run
+regardless of jobs count, window size, shard size, or completion
+order.
 
 Fault isolation at the pool boundary:
 
@@ -78,6 +89,29 @@ from .resilience import (
 #: per-task pickle round-trip
 MAX_SHARD_SIZE = 8
 
+#: in-flight shards per job when no explicit window is given: enough
+#: slack that workers never idle while the parent merges, small enough
+#: that completed-but-unmerged envelopes stay bounded
+WINDOW_FACTOR = 3
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a pool worker needs, shipped once per pool through
+    the initializer (one picklable object instead of a fragile
+    positional tuple)."""
+
+    version: int | None = None
+    generator_config: GeneratorConfig | None = None
+    collect_metrics: bool = False
+    collect_spans: bool = False
+    incremental: bool = True
+    seed_budget: float | None = None
+    fault_plan: chaos.FaultPlan | None = None
+    collect_events: bool = False
+    #: ground-truth interpreter backend (None = process default)
+    interp: str | None = None
+
 
 @dataclass
 class SeedEnvelope:
@@ -118,29 +152,11 @@ def shard_seeds(
 _WORKER: dict[str, Any] = {}
 
 
-def _init_worker(
-    version: int | None,
-    generator_config: GeneratorConfig | None,
-    collect_metrics: bool,
-    collect_spans: bool,
-    incremental: bool = True,
-    seed_budget: float | None = None,
-    fault_plan: chaos.FaultPlan | None = None,
-    collect_events: bool = False,
-) -> None:
-    _WORKER.update(
-        specs=default_specs(version),
-        version=version,
-        generator_config=generator_config,
-        collect_metrics=collect_metrics,
-        collect_spans=collect_spans,
-        incremental=incremental,
-        seed_budget=seed_budget,
-        collect_events=collect_events,
-    )
+def _init_worker(config: WorkerConfig) -> None:
+    _WORKER.update(specs=default_specs(config.version), config=config)
     # ship the parent's fault plan so injection also works on
     # spawn-only platforms (fork inherits it anyway)
-    chaos.install_plan(fault_plan)
+    chaos.install_plan(config.fault_plan)
 
 
 def _analyze_shard(seeds: list[int]) -> list[SeedEnvelope]:
@@ -148,9 +164,10 @@ def _analyze_shard(seeds: list[int]) -> list[SeedEnvelope]:
 
 
 def _analyze_seed(seed: int) -> SeedEnvelope:
-    metrics = MetricsRegistry() if _WORKER["collect_metrics"] else None
+    config: WorkerConfig = _WORKER["config"]
+    metrics = MetricsRegistry() if config.collect_metrics else None
     start = time.perf_counter()
-    if _WORKER["collect_spans"]:
+    if config.collect_spans:
         tracer = Tracer()
         with use_tracer(tracer):
             with tracer.span("campaign.program", seed=seed) as span:
@@ -173,19 +190,21 @@ def _analyze_seed(seed: int) -> SeedEnvelope:
         )
     return SeedEnvelope(
         seed, report, metrics.dump() if metrics is not None else None, spans,
-        ev.seed_event_records(report) if _WORKER["collect_events"] else None,
+        ev.seed_event_records(report) if config.collect_events else None,
     )
 
 
 def _run_analyze(seed: int, metrics: MetricsRegistry | None) -> SeedReport:
+    config: WorkerConfig = _WORKER["config"]
     return analyze_one_resilient(
         seed,
         _WORKER["specs"],
-        _WORKER["version"],
-        _WORKER["generator_config"],
+        config.version,
+        config.generator_config,
         metrics=metrics,
-        incremental=_WORKER["incremental"],
-        seed_budget=_WORKER["seed_budget"],
+        incremental=config.incremental,
+        seed_budget=config.seed_budget,
+        interp=config.interp,
     )
 
 
@@ -215,6 +234,8 @@ def run_campaign_parallel(
     seed_budget: float | None = None,
     checkpoint: str | None = None,
     events: EventBus | None = None,
+    interp: str | None = None,
+    window: int | None = None,
 ) -> CampaignResult:
     """The ``jobs > 1`` engine behind
     :func:`repro.core.corpus.run_campaign` (same contract)."""
@@ -223,12 +244,12 @@ def run_campaign_parallel(
             return _run_parallel(
                 n_programs, seed_base, version, generator_config,
                 keep_analyses, compare_level, metrics, progress, jobs,
-                incremental, seed_budget, checkpoint, events,
+                incremental, seed_budget, checkpoint, events, interp, window,
             )
     return _run_parallel(
         n_programs, seed_base, version, generator_config,
         keep_analyses, compare_level, metrics, progress, jobs, incremental,
-        seed_budget, checkpoint, events,
+        seed_budget, checkpoint, events, interp, window,
     )
 
 
@@ -246,6 +267,8 @@ def _run_parallel(
     seed_budget: float | None = None,
     checkpoint: str | None = None,
     events: EventBus | None = None,
+    interp: str | None = None,
+    window: int | None = None,
 ) -> CampaignResult:
     result = CampaignResult()
     result.cross_level = {family: CrossLevelStats() for family in FAMILIES}
@@ -265,19 +288,28 @@ def _run_parallel(
             compare_level=compare_level, incremental=incremental,
         )
 
+    effective_window = window if window is not None else jobs * WINDOW_FACTOR
     with tracer.span(
-        "campaign", programs=n_programs, seed_base=seed_base, jobs=jobs
+        "campaign", programs=n_programs, seed_base=seed_base, jobs=jobs,
+        window=effective_window, interp=interp,
     ) as campaign_span, _sigint_flushes(journal):
         parent_id = campaign_span.span_id if tracer.enabled else None
-        initargs = (
-            version, generator_config, metrics is not None, tracer.enabled,
-            incremental, seed_budget, chaos.current_plan(),
-            events is not None,
+        worker_config = WorkerConfig(
+            version=version,
+            generator_config=generator_config,
+            collect_metrics=metrics is not None,
+            collect_spans=tracer.enabled,
+            incremental=incremental,
+            seed_budget=seed_budget,
+            fault_plan=chaos.current_plan(),
+            collect_events=events is not None,
+            interp=interp,
         )
         try:
             envelopes = _drain_envelopes(
-                fresh, jobs, initargs,
+                fresh, jobs, worker_config,
                 on_restart=lambda: _count_restart(metrics),
+                window=effective_window,
             )
             for seed in all_seeds:
                 replayed = journal.get(seed) if journal is not None else None
@@ -331,15 +363,21 @@ def _count_restart(metrics: MetricsRegistry | None) -> None:
 def _drain_envelopes(
     seeds: list[int],
     jobs: int,
-    initargs: tuple,
+    config: WorkerConfig,
     on_restart: Callable[[], None],
+    window: int | None = None,
 ) -> Iterator[SeedEnvelope]:
     """Yield one envelope per seed, in seed order, surviving worker
     deaths.
 
-    Fast path: every shard runs in one shared pool.  A worker death
-    marks that pool broken and dooms *every* in-flight shard (the
-    executor cannot say which one killed it), so the doomed shards
+    Fast path: shards stream through one shared pool with at most
+    ``window`` of them in flight — each completion tops the window
+    back up from the unsubmitted backlog, so the producer never runs
+    unboundedly ahead of the seed-order merge loop consuming this
+    generator (backpressure).  A worker death marks that pool broken
+    and dooms every *in-flight* shard (the executor cannot say which
+    one killed it) — but only those: the unsubmitted backlog resumes
+    streaming through a fresh shared pool afterwards.  Doomed shards
     enter a recovery queue processed **one shard per fresh pool** —
     there, a break definitively blames the shard: a multi-seed shard
     splits in half and re-queues, and a broken *singleton* shard names
@@ -349,72 +387,87 @@ def _drain_envelopes(
     ready: dict[int, SeedEnvelope] = {}
     next_pos = 0
     shards = shard_seeds(seeds, jobs)
-    doomed: list[list[int]] = []
-    if shards:
+    if window is None:
+        window = jobs * WINDOW_FACTOR
+    window = max(window, 1)
+    backlog = list(reversed(shards))  # pop() takes the next seed-order shard
+    while backlog:
+        doomed: list[list[int]] = []
         with ProcessPoolExecutor(
-            max_workers=min(jobs, len(shards)),
+            max_workers=min(jobs, len(backlog)),
             mp_context=_pool_context(),
             initializer=_init_worker,
-            initargs=initargs,
+            initargs=(config,),
         ) as pool:
-            futures = {
-                pool.submit(_analyze_shard, shard): shard
-                for shard in shards
-            }
+            futures: dict[Any, list[int]] = {}
+            while backlog and len(futures) < window:
+                shard = backlog.pop()
+                futures[pool.submit(_analyze_shard, shard)] = shard
             pending = set(futures)
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
+                    shard = futures.pop(future)
                     try:
                         for envelope in future.result():
                             ready[envelope.seed] = envelope
                     except BrokenExecutor:
-                        doomed.append(futures[future])
+                        doomed.append(shard)
                 while next_pos < len(seeds) and seeds[next_pos] in ready:
                     yield ready.pop(seeds[next_pos])
                     next_pos += 1
                 if doomed:
                     # the pool is dead: collect every other in-flight
                     # shard (a future that finished before the break
-                    # still returns its result here)
+                    # still returns its result here); the unsubmitted
+                    # backlog is untouched and restarts the outer loop
                     for future in pending:
+                        shard = futures.pop(future)
                         try:
                             for envelope in future.result():
                                 ready[envelope.seed] = envelope
                         except BrokenExecutor:
-                            doomed.append(futures[future])
-                    break
-    # recovery: one shard per fresh pool, so breakage is attributable
-    queue = sorted(doomed)
-    while queue:
-        shard = queue.pop(0)
-        on_restart()
-        envelopes = _run_shard_isolated(shard, initargs)
-        if envelopes is None:  # this shard really does kill workers
-            if len(shard) == 1:
-                seed = shard[0]
-                report = SeedReport(
-                    seed=seed, crash=worker_death_envelope(seed)
-                )
-                ready[seed] = SeedEnvelope(
-                    seed,
-                    report,
-                    metrics=None,
-                    spans=None,
-                    events=(
-                        ev.seed_event_records(report)
-                        if initargs[7] else None
-                    ),
-                )
+                            doomed.append(shard)
+                    pending = set()
+                else:
+                    # top the in-flight window back up
+                    while backlog and len(futures) < window:
+                        shard = backlog.pop()
+                        future = pool.submit(_analyze_shard, shard)
+                        futures[future] = shard
+                        pending.add(future)
+        # recovery: one doomed shard per fresh pool, so breakage is
+        # attributable
+        queue = sorted(doomed)
+        while queue:
+            shard = queue.pop(0)
+            on_restart()
+            envelopes = _run_shard_isolated(shard, config)
+            if envelopes is None:  # this shard really does kill workers
+                if len(shard) == 1:
+                    seed = shard[0]
+                    report = SeedReport(
+                        seed=seed, crash=worker_death_envelope(seed)
+                    )
+                    ready[seed] = SeedEnvelope(
+                        seed,
+                        report,
+                        metrics=None,
+                        spans=None,
+                        events=(
+                            ev.seed_event_records(report)
+                            if config.collect_events else None
+                        ),
+                    )
+                else:
+                    mid = (len(shard) + 1) // 2
+                    queue[:0] = [shard[:mid], shard[mid:]]
             else:
-                mid = (len(shard) + 1) // 2
-                queue[:0] = [shard[:mid], shard[mid:]]
-        else:
-            for envelope in envelopes:
-                ready[envelope.seed] = envelope
-        while next_pos < len(seeds) and seeds[next_pos] in ready:
-            yield ready.pop(seeds[next_pos])
-            next_pos += 1
+                for envelope in envelopes:
+                    ready[envelope.seed] = envelope
+            while next_pos < len(seeds) and seeds[next_pos] in ready:
+                yield ready.pop(seeds[next_pos])
+                next_pos += 1
     if next_pos != len(seeds):  # pragma: no cover - defensive
         raise RuntimeError(
             f"lost envelopes for seeds {seeds[next_pos:]}"
@@ -422,7 +475,7 @@ def _drain_envelopes(
 
 
 def _run_shard_isolated(
-    shard: list[int], initargs: tuple
+    shard: list[int], config: WorkerConfig
 ) -> list[SeedEnvelope] | None:
     """Run one doomed shard in its own single-worker pool; ``None``
     means the shard (specifically) killed its worker again."""
@@ -430,7 +483,7 @@ def _run_shard_isolated(
         max_workers=1,
         mp_context=_pool_context(),
         initializer=_init_worker,
-        initargs=initargs,
+        initargs=(config,),
     ) as pool:
         try:
             return pool.submit(_analyze_shard, shard).result()

@@ -193,6 +193,7 @@ def analyze_one_resilient(
     metrics: MetricsRegistry | None = None,
     incremental: bool = True,
     seed_budget: float | None = None,
+    interp: str | None = None,
 ) -> SeedReport:
     """Run :func:`repro.core.corpus.analyze_one`'s pipeline with full
     fault isolation; see the module docstring for the contract."""
@@ -201,7 +202,7 @@ def analyze_one_resilient(
     try:
         with budget.deadline(seed_budget):
             _run_phases(report, seed, specs, version, generator_config,
-                        metrics, incremental)
+                        metrics, incremental, interp)
     except SeedBudgetExceeded:
         report.outcome = None
         report.crash = None
@@ -219,6 +220,7 @@ def _run_phases(
     generator_config: GeneratorConfig | None,
     metrics: MetricsRegistry | None,
     incremental: bool,
+    interp: str | None,
 ) -> None:
     from .corpus import ProgramOutcome
 
@@ -233,7 +235,9 @@ def _run_phases(
         phase = "ground_truth"
         try:
             chaos.trigger("ground_truth")
-            truth = compute_ground_truth(instrumented, info=info)
+            truth = compute_ground_truth(
+                instrumented, info=info, backend=interp, metrics=metrics
+            )
         except StepLimitExceeded:
             report.skipped = True
             return

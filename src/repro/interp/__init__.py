@@ -1,4 +1,18 @@
-"""Reference execution of MiniC programs (the ground-truth oracle)."""
+"""Reference execution of MiniC programs (the ground-truth oracle).
+
+This package is the single public surface for program execution.  Two
+backends produce bit-identical :class:`ExecutionResult` values:
+
+* ``"bytecode"`` (default) — :mod:`.bytecode` compiles the checked AST
+  to flat bytecode and runs it on a dispatch-loop VM; several times
+  faster than the tree walker.
+* ``"ast"`` — :mod:`.interpreter`, the ~600-line tree-walking reference
+  interpreter the bytecode engine is validated against.
+
+:func:`run_program` dispatches on its ``backend`` argument, falling
+back to the process-wide default (:func:`set_default_backend`, which
+``--no-bytecode`` flips to ``"ast"``).
+"""
 
 from .interpreter import (
     DEFAULT_STEP_LIMIT,
@@ -6,14 +20,61 @@ from .interpreter import (
     ExecutionResult,
     InterpreterError,
     StepLimitExceeded,
-    run_program,
+    call_observation,
+    pointer_cell_hash,
 )
+from .interpreter import run_program as _run_ast
+from .bytecode import run_program as _run_bytecode
+
+BACKENDS = ("bytecode", "ast")
+
+_default_backend = "bytecode"
+
+
+def get_default_backend() -> str:
+    """The backend ``run_program`` uses when none is requested."""
+    return _default_backend
+
+
+def set_default_backend(name: str) -> None:
+    """Set the process-wide default interpreter backend."""
+    if name not in BACKENDS:
+        raise ValueError(f"unknown interpreter backend {name!r}")
+    global _default_backend
+    _default_backend = name
+
+
+def run_program(
+    program,
+    step_limit: int = DEFAULT_STEP_LIMIT,
+    info=None,
+    backend: str | None = None,
+) -> ExecutionResult:
+    """Execute ``program`` from ``main`` on the selected backend.
+
+    Both backends return bit-identical results (checksum, call trace,
+    marker hits, step count, exit code); the property suite
+    ``tests/property/test_bytecode_equivalence.py`` enforces this.
+    """
+    if backend is None:
+        backend = _default_backend
+    if backend == "bytecode":
+        return _run_bytecode(program, step_limit=step_limit, info=info)
+    if backend == "ast":
+        return _run_ast(program, step_limit=step_limit, info=info)
+    raise ValueError(f"unknown interpreter backend {backend!r}")
+
 
 __all__ = [
+    "BACKENDS",
     "DEFAULT_STEP_LIMIT",
     "Address",
     "ExecutionResult",
     "InterpreterError",
     "StepLimitExceeded",
+    "call_observation",
+    "get_default_backend",
+    "pointer_cell_hash",
     "run_program",
+    "set_default_backend",
 ]

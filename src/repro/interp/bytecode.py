@@ -1,0 +1,1256 @@
+"""MiniC bytecode compiler + VM: the ground-truth fast path.
+
+Compiles a checked MiniC AST into flat bytecode — one linear
+instruction array per function with precomputed jump targets — and
+executes it on a dispatch-loop VM.  The result is **bit-identical** to
+the tree-walking reference interpreter (:mod:`.interpreter`): same
+``checksum``, ``call_trace``, ``marker_hits``, ``function_calls``,
+``exit_code``, and the same ``steps`` total with the same
+:class:`StepLimitExceeded` / :func:`repro.budget.check_deadline`
+semantics.  The property suite
+(``tests/property/test_bytecode_equivalence.py``) proves the
+equivalence over generated corpora; campaigns run this backend by
+default (``--no-bytecode`` falls back to the AST walker).
+
+Where the speed comes from:
+
+* no per-node recursive ``_eval`` dispatch — one flat ``while`` loop
+  over instruction tuples;
+* no ``_BreakSignal``/``_ContinueSignal``/``_ReturnSignal``
+  exceptions — ``break``/``continue``/``return`` compile to jumps and
+  a plain function return;
+* slot-indexed locals instead of dict-keyed frames — locals whose
+  address is never taken live directly in a slot list;
+* interned constants and compile-time type analysis — ``wrap``
+  boundaries the AST interpreter re-derives per evaluation (integer
+  promotions, usual arithmetic conversions, no-op truncations) are
+  resolved once at compile time and skipped when statically redundant;
+* merged step ticks — consecutive interpreter ticks inside a
+  straight-line region collapse into one ``TICK n`` instruction
+  (flushed at every branch, label, and call boundary, so the step
+  total along every execution path — and therefore step-limit and
+  budget behaviour — is exactly the AST interpreter's).
+
+Step accounting contract: the AST interpreter ticks once per statement,
+once per expression-node evaluation, once per lvalue computation, and
+once per loop iteration, raising once ``steps`` exceeds the limit and
+polling the cooperative deadline every 2048 steps.  The compiler
+mirrors each of those tick sites; merging only moves ticks *within*
+regions whose intermediate states are unobservable, so totals at every
+observable event (opaque calls, function boundaries, exit) match.
+
+One deliberate divergence: the AST interpreter frees a frame's storage
+objects on function exit, so dereferencing a dangling pointer to a
+dead local raises; the VM keeps storage alive while referenced.
+MiniC's checker does not reject such programs, but the generator never
+produces them and translation-validation tests would flag one.
+"""
+
+from __future__ import annotations
+
+from ..budget import check_deadline
+from ..frontend.typecheck import SymbolInfo, check_program
+from ..lang import ast_nodes as ast
+from ..lang.semantics import wrap
+from ..observability.tracer import current_tracer
+from ..lang.types import (
+    INT,
+    ArrayType,
+    IntType,
+    PointerType,
+    promote,
+    usual_arithmetic_conversion,
+)
+from .interpreter import (
+    DEFAULT_STEP_LIMIT,
+    ExecutionResult,
+    InterpreterError,
+    StepLimitExceeded,
+    pointer_cell_hash,
+)
+
+_U64 = 0xFFFFFFFFFFFFFFFF
+
+# -- opcodes ---------------------------------------------------------------
+# Numbered roughly by dispatch frequency; the VM's if/elif ladder tests
+# them in this order.
+
+(
+    OP_TICK,        # (n,)                steps += n, limit + deadline
+    OP_LOAD_FAST,   # (slot,)             push slot value
+    OP_PUSH,        # (const,)            push constant
+    OP_WRAP,        # (mask, maxv, mod)   two's-complement truncate top
+    OP_JF,          # (target,)           pop; jump when falsy
+    OP_STORE_FAST,  # (slot,)             slot = pop
+    OP_LOAD_G,      # (store,)            push global cells[0]
+    OP_STORE_G,     # (store,)            global cells[0] = pop
+    OP_ADD,         # (mask, maxv, mod)
+    OP_SUB,
+    OP_MUL,
+    OP_LOADIDX_G,   # (store,)            idx = pop; push cells[idx % len]
+    OP_STOREIDX_G,  # (store,)            v = pop; idx = pop; store
+    OP_JUMP,        # (target,)
+    OP_EQ,
+    OP_NE,
+    OP_LT,
+    OP_LE,
+    OP_GT,
+    OP_GE,
+    OP_BAND,
+    OP_BOR,
+    OP_BXOR,
+    OP_SHL,         # (mask, maxv, mod, smask)
+    OP_SHR,
+    OP_DIV,         # (mask, maxv, mod)
+    OP_REM,
+    OP_NEG,
+    OP_BNOT,
+    OP_LNOT,
+    OP_JT,
+    OP_LOAD_L,      # (slot,)             push celled-local cells[0]
+    OP_STORE_L,
+    OP_LOADIDX_L,   # (slot,)
+    OP_STOREIDX_L,
+    OP_ADDR_G,      # (store, index)      push address tuple
+    OP_ADDR_L,      # (slot, index)
+    OP_IDX_G,       # (store,)            idx = pop; push (store, idx % len)
+    OP_IDX_L,       # (slot,)
+    OP_IDX_PTR,     # ()                  ptr = pop; idx = pop
+    OP_LOAD_AT,     # ()                  addr = pop; push cell
+    OP_STORE_AT,    # ()                  v = pop; addr = pop
+    OP_DUP,
+    OP_POP,
+    OP_PEQ,
+    OP_PNE,
+    OP_SWITCH,      # (table, default)
+    OP_CALL,        # (fn, nargs)
+    OP_CALL_OP,     # (name, acc0, nargs, returns_int)
+    OP_DECL_FAST,   # (slot,)             slot = pop; created += 1
+    OP_DECL_FAST_K, # (slot, const)
+    OP_DECL_CELL,   # (slot, name, element)
+    OP_DECL_CELL_K, # (slot, name, element, const)
+    OP_DECL_ARR,    # (slot, name, element, length, ninit)
+    OP_RET,         # ()                  return pop
+    OP_RET_NONE,    # ()
+) = range(56)
+
+
+class _Cells:
+    """One storage object: a boxed list of integer cells.
+
+    Pointer values are ``(storage, index)`` tuples; tuple equality then
+    matches the AST interpreter's object-id string equality because
+    every storage creation gets a unique id.  ``hash_base`` is the
+    precomputed 32-bit FNV of a *global*'s object id (``None`` marks a
+    local, whose pointer observations hash to the fixed local tag).
+    """
+
+    __slots__ = ("element", "cells", "object_id", "hash_base")
+
+    def __init__(self, element, cells, object_id, hash_base=None):
+        self.element = element
+        self.cells = cells
+        self.object_id = object_id
+        self.hash_base = hash_base
+
+
+def _fnv32(object_id: str) -> int:
+    acc = 0x811C9DC5
+    for byte in object_id.encode():
+        acc = ((acc ^ byte) * 0x01000193) & 0xFFFFFFFF
+    return acc
+
+
+class _Fn:
+    """One compiled function: flat code + frame layout.
+
+    Bodies compile lazily on first call (``code`` is ``None`` until
+    then): DCE-hunt corpora are full of dead code, and typically fewer
+    than half the defined functions ever execute, so eager compilation
+    would spend most of its time on bodies the VM never enters.
+    """
+
+    __slots__ = (
+        "name", "code", "nslots", "params", "returns_int", "needs_ids",
+        "image", "func",
+    )
+
+    def __init__(self, name, image, func):
+        self.name = name
+        self.code = None
+        self.nslots = 0
+        #: (slot, celled, element, name) per parameter
+        self.params = ()
+        self.returns_int = False
+        #: whether any storage object is created per activation (only
+        #: then does the frame need its object-id prefix string)
+        self.needs_ids = False
+        self.image = image
+        self.func = func
+
+
+class _Image:
+    """A compiled program: globals storage + compiled functions."""
+
+    __slots__ = ("fns", "globals_order", "globals_map", "info")
+
+    def __init__(self, info):
+        self.fns = {}
+        #: non-static globals' storage, declaration order (checksum)
+        self.globals_order = []
+        self.globals_map = {}
+        self.info = info
+
+
+# -- compiler --------------------------------------------------------------
+
+
+_FITS = object()  # sentinel: value statically fits any integer type
+
+
+def _wrap_is_noop(src: IntType, dst: IntType) -> bool:
+    """Whether ``wrap(v, dst)`` is the identity for every ``v`` already
+    wrapped to ``src`` (same type, same-signedness widening, or
+    unsigned-to-strictly-wider)."""
+    if src.width < dst.width:
+        return src.signed == dst.signed or not src.signed
+    return src.width == dst.width and src.signed == dst.signed
+
+
+_UAC_MEMO: dict = {}
+
+
+def _uac(a: IntType, b: IntType) -> IntType:
+    """Memoized ``usual_arithmetic_conversion`` — the compiler asks for
+    the same handful of type pairs tens of thousands of times."""
+    key = (a.width, a.signed, b.width, b.signed)
+    ty = _UAC_MEMO.get(key)
+    if ty is None:
+        ty = _UAC_MEMO[key] = usual_arithmetic_conversion(a, b)
+    return ty
+
+
+def _collect_addrof(body, names: set) -> None:
+    """Names whose address is taken anywhere in ``body`` (conservative:
+    name-based, so any same-named declaration becomes storage-backed).
+    Iterative — this prepass visits every node of every function, so it
+    must stay cheap relative to one execution."""
+    stack = [body]
+    push = stack.append
+    pop = stack.pop
+    while stack:
+        node = pop()
+        cls = node.__class__
+        if cls is ast.IntLit or cls is ast.VarRef:
+            continue
+        if cls is ast.Binary:
+            push(node.lhs)
+            push(node.rhs)
+        elif cls is ast.Block:
+            stack.extend(node.stmts)
+        elif cls is ast.Assign:
+            push(node.target)
+            push(node.value)
+        elif cls is ast.ExprStmt:
+            push(node.expr)
+        elif cls is ast.Index:
+            push(node.base)
+            push(node.index)
+        elif cls is ast.Call:
+            stack.extend(node.args)
+        elif cls is ast.AddrOf:
+            lv = node.lvalue
+            if lv.__class__ is ast.VarRef:
+                names.add(lv.name)
+            push(lv)
+        elif cls is ast.If:
+            push(node.cond)
+            push(node.then)
+            if node.els is not None:
+                push(node.els)
+        elif cls is ast.While or cls is ast.DoWhile:
+            push(node.cond)
+            push(node.body)
+        elif cls is ast.For:
+            for child in (node.init, node.cond, node.body, node.step):
+                if child is not None:
+                    push(child)
+        elif cls is ast.Switch:
+            push(node.scrutinee)
+            for case in node.cases:
+                push(case.body)
+        elif cls is ast.Return:
+            if node.value is not None:
+                push(node.value)
+        elif cls is ast.VarDecl:
+            init = node.init
+            if isinstance(init, ast.Expr):
+                push(init)
+            elif isinstance(init, list):
+                stack.extend(init)
+        elif cls is ast.Deref:
+            push(node.pointer)
+        elif cls is ast.Unary or cls is ast.Cast:
+            push(node.operand)
+
+
+class _Label:
+    __slots__ = ("pos",)
+
+    def __init__(self):
+        self.pos = None
+
+
+_BINOP_CODES = {
+    "+": OP_ADD, "-": OP_SUB, "*": OP_MUL, "/": OP_DIV, "%": OP_REM,
+    "&": OP_BAND, "|": OP_BOR, "^": OP_BXOR, "<<": OP_SHL, ">>": OP_SHR,
+    "==": OP_EQ, "!=": OP_NE, "<": OP_LT, "<=": OP_LE,
+    ">": OP_GT, ">=": OP_GE,
+}
+
+_JUMP_OPS = frozenset((OP_JUMP, OP_JF, OP_JT))
+
+
+class _FnCompiler:
+    def __init__(self, fn):
+        image = fn.image
+        self.image = image
+        self.globals_map = image.globals_map
+        self.info = image.info
+        self.fn = fn
+        func = self.func = fn.func
+        self.code = []          # mutable instruction lists
+        self.pending = 0        # merged ticks awaiting flush
+        # Flat name → binding map with per-scope undo logs (cheaper
+        # than walking a scope-dict chain on every variable reference).
+        self.bindings = {}
+        self.undo = []
+        self.nslots = 0
+        self.breaks = []
+        self.conts = []
+        self.addrof = set()
+        _collect_addrof(func.body, self.addrof)
+
+    # -- emission helpers --------------------------------------------------
+
+    def _tick(self, n: int = 1) -> None:
+        self.pending += n
+
+    def _flush(self) -> None:
+        if self.pending:
+            self.code.append([OP_TICK, self.pending])
+            self.pending = 0
+
+    def _op(self, *parts) -> list:
+        ins = list(parts)
+        self.code.append(ins)
+        return ins
+
+    def _mark(self, label: _Label) -> None:
+        self._flush()
+        label.pos = len(self.code)
+
+    def _jump(self, op: int, label: _Label) -> None:
+        self._flush()
+        self.code.append([op, label])
+
+    def _alloc(self) -> int:
+        slot = self.nslots
+        self.nslots += 1
+        return slot
+
+    def _lookup(self, name: str):
+        binding = self.bindings.get(name)
+        if binding is not None:
+            return binding
+        store = self.globals_map.get(name)
+        if store is not None:
+            return ("global", store)
+        raise InterpreterError(f"no storage for {name}")
+
+    def _bind(self, name: str, binding) -> None:
+        self.undo[-1].append((name, self.bindings.get(name)))
+        self.bindings[name] = binding
+
+    def _push_scope(self) -> None:
+        self.undo.append([])
+
+    def _pop_scope(self) -> None:
+        bindings = self.bindings
+        for name, old in reversed(self.undo.pop()):
+            if old is None:
+                del bindings[name]
+            else:
+                bindings[name] = old
+
+    # -- driver ------------------------------------------------------------
+
+    def compile(self) -> None:
+        fn, func = self.fn, self.func
+        params = []
+        self._push_scope()
+        for p in func.params:
+            slot = self._alloc()
+            celled = p.name in self.addrof
+            element = p.ty if isinstance(p.ty, IntType) else p.ty.pointee
+            params.append((slot, celled, element, p.name))
+            self._bind(p.name, ("cell" if celled else "fast", slot))
+            if celled:
+                fn.needs_ids = True
+        self._block(func.body)
+        self._flush()
+        self._op(OP_RET_NONE)
+        fn.params = tuple(params)
+        fn.nslots = self.nslots
+        fn.returns_int = isinstance(func.return_ty, IntType)
+        fn.code = self._finalize()
+
+    def _finalize(self) -> tuple:
+        # Instructions stay as lists (indexing cost is identical and it
+        # skips a full re-allocation pass); only jump targets and
+        # switch tables need label resolution.
+        for ins in self.code:
+            op = ins[0]
+            if op in _JUMP_OPS:
+                ins[1] = ins[1].pos
+            elif op == OP_SWITCH:
+                ins[1] = {v: lbl.pos for v, lbl in ins[1].items()}
+                ins[2] = ins[2].pos
+        return tuple(self.code)
+
+    # -- statements --------------------------------------------------------
+
+    def _block(self, block: ast.Block) -> None:
+        """A block body (no tick: mirrors ``_exec_block``)."""
+        self._push_scope()
+        for stmt in block.stmts:
+            self._stmt(stmt)
+        self._pop_scope()
+
+    def _stmt(self, stmt) -> None:
+        self._tick()  # _exec_stmt ticks at every statement entry
+        cls = stmt.__class__
+        if cls is ast.Assign:
+            self._assign(stmt)
+        elif cls is ast.ExprStmt:
+            self._expr(stmt.expr)
+            self._op(OP_POP)
+        elif cls is ast.VarDecl:
+            self._decl(stmt)
+        elif cls is ast.If:
+            self._expr(stmt.cond)
+            after = _Label()
+            if stmt.els is None:
+                self._jump(OP_JF, after)
+                self._block(stmt.then)
+            else:
+                els = _Label()
+                self._jump(OP_JF, els)
+                self._block(stmt.then)
+                self._jump(OP_JUMP, after)
+                self._mark(els)
+                self._block(stmt.els)
+            self._mark(after)
+        elif cls is ast.While:
+            cond, end = _Label(), _Label()
+            self._mark(cond)
+            self._expr(stmt.cond)
+            self._jump(OP_JF, end)
+            self._tick()  # per-iteration tick before the body
+            self.breaks.append(end)
+            self.conts.append(cond)
+            self._block(stmt.body)
+            self.breaks.pop()
+            self.conts.pop()
+            self._jump(OP_JUMP, cond)
+            self._mark(end)
+        elif cls is ast.DoWhile:
+            top, cont, end = _Label(), _Label(), _Label()
+            self._mark(top)
+            self._tick()  # per-iteration tick before the body
+            self.breaks.append(end)
+            self.conts.append(cont)
+            self._block(stmt.body)
+            self.breaks.pop()
+            self.conts.pop()
+            self._mark(cont)
+            self._expr(stmt.cond)
+            self._jump(OP_JT, top)
+            self._mark(end)
+        elif cls is ast.For:
+            self._for(stmt)
+        elif cls is ast.Switch:
+            self._switch(stmt)
+        elif cls is ast.Return:
+            if stmt.value is None:
+                self._flush()
+                self._op(OP_RET_NONE)
+            else:
+                self._expr(stmt.value)
+                self._flush()
+                self._op(OP_RET)
+        elif cls is ast.Break:
+            self._jump(OP_JUMP, self.breaks[-1])
+        elif cls is ast.Continue:
+            self._jump(OP_JUMP, self.conts[-1])
+        elif cls is ast.Block:
+            self._block(stmt)
+        else:
+            raise InterpreterError(f"unknown statement {stmt!r}")
+
+    def _for(self, stmt: ast.For) -> None:
+        self._push_scope()  # init declarations scope the whole loop
+        if stmt.init is not None:
+            self._stmt(stmt.init)
+        cond, cont, end = _Label(), _Label(), _Label()
+        self._mark(cond)
+        if stmt.cond is not None:
+            self._expr(stmt.cond)
+            self._jump(OP_JF, end)
+        self._tick()  # per-iteration tick before the body
+        self.breaks.append(end)
+        self.conts.append(cont)
+        self._block(stmt.body)
+        self.breaks.pop()
+        self.conts.pop()
+        self._mark(cont)
+        if stmt.step is not None:
+            self._stmt(stmt.step)
+        self._jump(OP_JUMP, cond)
+        self._mark(end)
+        self._pop_scope()
+
+    def _switch(self, stmt: ast.Switch) -> None:
+        self._expr(stmt.scrutinee)
+        self._flush()
+        table: dict = {}
+        labels = []
+        default = _Label()
+        end = _Label()
+        default_body = None
+        for case in stmt.cases:
+            if case.value is None:
+                default_body = case  # last default wins, like the AST walk
+            elif case.value not in table:  # first matching case wins
+                label = _Label()
+                table[case.value] = label
+                labels.append((label, case))
+        self._op(OP_SWITCH, table, default)
+        for label, case in labels:
+            self._mark(label)
+            self.breaks.append(end)
+            self._block(case.body)
+            self.breaks.pop()
+            self._jump(OP_JUMP, end)
+        self._mark(default)
+        if default_body is not None:
+            self.breaks.append(end)
+            self._block(default_body.body)
+            self.breaks.pop()
+        self._mark(end)
+
+    def _decl(self, stmt: ast.VarDecl) -> None:
+        ty = stmt.ty
+        slot = self._alloc()
+        if isinstance(ty, ArrayType):
+            ninit = 0
+            if isinstance(stmt.init, list):
+                for e in stmt.init:
+                    st = self._expr(e)
+                    self._emit_wrap(ty.element, e, st)
+                ninit = len(stmt.init)
+            self._op(OP_DECL_ARR, slot, stmt.name, ty.element, ty.length, ninit)
+            self.fn.needs_ids = True
+            kind = "cell"
+        else:
+            celled = stmt.name in self.addrof
+            if isinstance(ty, IntType):
+                element, default = ty, 0
+                init = stmt.init if isinstance(stmt.init, ast.Expr) else None
+                wrap_to = ty
+            elif isinstance(ty, PointerType):
+                element, default = ty.pointee, None
+                init = stmt.init if isinstance(stmt.init, ast.Expr) else None
+                wrap_to = None
+            else:
+                raise InterpreterError(f"bad local type {ty}")
+            if init is not None:
+                st = self._expr(init)
+                if wrap_to is not None:
+                    self._emit_wrap(wrap_to, init, st)
+                if celled:
+                    self._op(OP_DECL_CELL, slot, stmt.name, element)
+                else:
+                    self._op(OP_DECL_FAST, slot)
+            else:
+                if celled:
+                    self._op(OP_DECL_CELL_K, slot, stmt.name, element, default)
+                else:
+                    self._op(OP_DECL_FAST_K, slot, default)
+            if celled:
+                self.fn.needs_ids = True
+            kind = "cell" if celled else "fast"
+        self._bind(stmt.name, (kind, slot))
+
+    def _assign(self, stmt: ast.Assign) -> None:
+        target = stmt.target
+        target_ty = target.ty
+        # Fused paths for variable and array-element targets skip the
+        # address-tuple round trip; each still accounts the
+        # _lvalue_address tick.
+        if isinstance(target, ast.VarRef):
+            kind, where = self._lookup(target.name)
+            self._tick()  # _lvalue_address
+            load, store = {
+                "fast": (OP_LOAD_FAST, OP_STORE_FAST),
+                "cell": (OP_LOAD_L, OP_STORE_L),
+                "global": (OP_LOAD_G, OP_STORE_G),
+            }[kind]
+            if stmt.op:
+                self._compound(stmt, lambda: self._op(load, where))
+            else:
+                st = self._expr(stmt.value)
+                if target_ty.__class__ is IntType:
+                    self._emit_wrap(target_ty, stmt.value, st)
+            self._op(store, where)
+            return
+        if (
+            not stmt.op
+            and isinstance(target, ast.Index)
+            and isinstance(target.base, ast.VarRef)
+            and isinstance(target.base.ty, ArrayType)
+        ):
+            # idx stays raw on the stack while the value evaluates
+            # (address formation is pure, so the reorder is safe)
+            self._tick()  # _lvalue_address
+            self._expr(target.index)
+            kind, where = self._lookup(target.base.name)
+            st = self._expr(stmt.value)
+            if target_ty.__class__ is IntType:
+                self._emit_wrap(target_ty, stmt.value, st)
+            self._op(
+                OP_STOREIDX_G if kind == "global" else OP_STOREIDX_L, where
+            )
+            return
+        self._lvalue(target)
+        if stmt.op:
+            self._op(OP_DUP)
+            self._op(OP_LOAD_AT)
+            self._compound(stmt, None)
+        else:
+            st = self._expr(stmt.value)
+            if target_ty.__class__ is IntType:
+                self._emit_wrap(target_ty, stmt.value, st)
+        self._op(OP_STORE_AT)
+
+    def _compound(self, stmt: ast.Assign, load_old) -> None:
+        """Old value → common, rhs → common, binop, result → target.
+        ``load_old`` emits the old-value load (already on the stack for
+        the address path)."""
+        target_ty = stmt.target.ty
+        common = _uac(target_ty, stmt.value.ty)
+        if load_old is not None:
+            load_old()
+        if not _wrap_is_noop(target_ty, common):
+            self._emit_wrap_op(common)
+        st = self._expr(stmt.value)
+        self._emit_wrap(common, stmt.value, st)
+        result_st = self._binop_op(stmt.op, common)
+        if result_st is not _FITS and not _wrap_is_noop(common, target_ty):
+            self._emit_wrap_op(target_ty)
+
+    # -- expressions -------------------------------------------------------
+
+    def _expr(self, e):
+        """Compile ``e``; returns the type its runtime value is
+        statically wrapped to (``_FITS`` for 0/1-valued results,
+        ``None`` when unknown or non-integer) so callers can elide
+        redundant truncations."""
+        self._tick()  # _eval ticks at every expression node
+        cls = e.__class__
+        if cls is ast.IntLit:
+            self._op(OP_PUSH, e.value)
+            return None  # _emit_wrap special-cases literal operands
+        if cls is ast.VarRef:
+            ty = e.ty
+            if ty.__class__ is ArrayType:  # decay to &base[0]
+                kind, where = self._lookup(e.name)
+                self._op(
+                    OP_ADDR_G if kind == "global" else OP_ADDR_L, where, 0
+                )
+                return None
+            kind, where = self._lookup(e.name)
+            if kind == "fast":
+                self._op(OP_LOAD_FAST, where)
+            elif kind == "cell":
+                self._op(OP_LOAD_L, where)
+            else:
+                self._op(OP_LOAD_G, where)
+            return ty if ty.__class__ is IntType else None
+        if cls is ast.Binary:
+            return self._binary(e)
+        if cls is ast.Index or cls is ast.Deref:
+            self._lvalue(e)
+            self._load_at()
+            ty = e.ty
+            return ty if ty.__class__ is IntType else None
+        if cls is ast.Call:
+            return self._call(e)
+        if cls is ast.Unary:
+            st = self._expr(e.operand)
+            if e.op == "!":
+                self._op(OP_LNOT)
+                return _FITS
+            promoted = promote(e.operand.ty)
+            self._emit_wrap(promoted, e.operand, st)
+            self._op(OP_NEG if e.op == "-" else OP_BNOT, *_wrap_args(promoted))
+            return promoted
+        if cls is ast.Cast:
+            st = self._expr(e.operand)
+            self._emit_wrap(e.target, e.operand, st)
+            return e.target
+        if cls is ast.AddrOf:
+            self._lvalue(e.lvalue)
+            return None
+        raise InterpreterError(f"unknown expression {e!r}")
+
+    def _binary(self, e: ast.Binary):
+        op = e.op
+        if op == "&&":
+            false, end = _Label(), _Label()
+            self._expr(e.lhs)
+            self._jump(OP_JF, false)
+            self._expr(e.rhs)
+            self._jump(OP_JF, false)
+            self._op(OP_PUSH, 1)
+            self._jump(OP_JUMP, end)
+            self._mark(false)
+            self._op(OP_PUSH, 0)
+            self._mark(end)
+            return _FITS
+        if op == "||":
+            true, end = _Label(), _Label()
+            self._expr(e.lhs)
+            self._jump(OP_JT, true)
+            self._expr(e.rhs)
+            self._jump(OP_JT, true)
+            self._op(OP_PUSH, 0)
+            self._jump(OP_JUMP, end)
+            self._mark(true)
+            self._op(OP_PUSH, 1)
+            self._mark(end)
+            return _FITS
+        lhs_ty, rhs_ty = e.lhs.ty, e.rhs.ty
+        if lhs_ty.__class__ is not IntType or rhs_ty.__class__ is not IntType:
+            self._expr(e.lhs)
+            self._expr(e.rhs)
+            if op == "==":
+                self._op(OP_PEQ)
+            elif op == "!=":
+                self._op(OP_PNE)
+            else:
+                raise InterpreterError(f"pointer operands for {op!r}")
+            return _FITS
+        common = _uac(lhs_ty, rhs_ty)
+        st = self._expr(e.lhs)
+        self._emit_wrap(common, e.lhs, st)
+        st = self._expr(e.rhs)
+        self._emit_wrap(common, e.rhs, st)
+        return self._binop_op(op, common)
+
+    def _binop_op(self, op: str, ty: IntType):
+        """Emit the operator; returns the result's static type."""
+        code = _BINOP_CODES[op]
+        if OP_EQ <= code <= OP_GE:
+            self._op(code)
+            return _FITS
+        if code is OP_SHL or code is OP_SHR:
+            self._op(code, *_wrap_args(ty), ty.width - 1)
+        elif code is OP_BAND or code is OP_BOR or code is OP_BXOR:
+            self._op(code)  # bitwise ops are closed over wrapped values
+        else:
+            self._op(code, *_wrap_args(ty))
+        return ty
+
+    def _call(self, e: ast.Call):
+        sig = self.info.functions[e.callee]
+        nargs = 0
+        for arg, want in zip(e.args, sig.param_tys):
+            st = self._expr(arg)
+            if want.__class__ is IntType:
+                self._emit_wrap(want, arg, st)
+            nargs += 1
+        self._flush()
+        if sig.is_defined:
+            self._op(OP_CALL, self.image.fns[e.callee], nargs)
+            return None  # defined calls return raw (unwrapped) values
+        acc0 = 0x9E3779B97F4A7C15
+        for ch in e.callee.encode():
+            acc0 = ((acc0 ^ ch) * 0x100000001B3) & _U64
+        returns_int = isinstance(sig.return_ty, IntType)
+        self._op(OP_CALL_OP, e.callee, acc0, nargs, returns_int)
+        return _FITS if returns_int else None  # opaque calls push 0
+
+    def _lvalue(self, e) -> None:
+        self._tick()  # _lvalue_address ticks at entry
+        cls = e.__class__
+        if cls is ast.Index:
+            self._expr(e.index)  # index evaluates before the base
+            base = e.base
+            if base.__class__ is ast.VarRef and isinstance(
+                base.ty, ArrayType
+            ):
+                kind, where = self._lookup(base.name)
+                self._op(OP_IDX_G if kind == "global" else OP_IDX_L, where)
+            else:
+                self._expr(base)
+                self._op(OP_IDX_PTR)
+        elif cls is ast.VarRef:
+            kind, where = self._lookup(e.name)
+            if kind == "fast":
+                raise InterpreterError(
+                    f"address of slot-allocated local {e.name}"
+                )  # pragma: no cover - addrof analysis prevents this
+            self._op(OP_ADDR_G if kind == "global" else OP_ADDR_L, where, 0)
+        elif cls is ast.Deref:
+            self._expr(e.pointer)  # the pointer value is the address
+        else:
+            raise InterpreterError(f"not an lvalue: {e!r}")
+
+    def _load_at(self) -> None:
+        last = self.code[-1] if self.code else None
+        if last is not None and last[0] == OP_IDX_G:
+            last[0] = OP_LOADIDX_G
+        elif last is not None and last[0] == OP_IDX_L:
+            last[0] = OP_LOADIDX_L
+        else:
+            self._op(OP_LOAD_AT)
+
+    def _emit_wrap(self, want: IntType, src_expr, st) -> None:
+        """Emit a truncation to ``want`` unless statically redundant
+        (``st`` is what ``_expr(src_expr)`` reported)."""
+        if src_expr.__class__ is ast.IntLit:
+            if wrap(src_expr.value, want) == src_expr.value:
+                return
+        elif st is _FITS:
+            return
+        elif st is not None and _wrap_is_noop(st, want):
+            return
+        self._emit_wrap_op(want)
+
+    def _emit_wrap_op(self, ty: IntType) -> None:
+        self._op(OP_WRAP, *_wrap_args(ty))
+
+
+_WRAP_ARGS_MEMO: dict = {}
+
+
+def _wrap_args(ty: IntType) -> tuple:
+    key = (ty.width, ty.signed)
+    args = _WRAP_ARGS_MEMO.get(key)
+    if args is None:
+        mask = (1 << ty.width) - 1
+        maxv = ty.max_value if ty.signed else mask
+        args = _WRAP_ARGS_MEMO[key] = (mask, maxv, 1 << ty.width)
+    return args
+
+
+def compile_program(program: ast.Program, info: SymbolInfo) -> _Image:
+    """Compile a checked program: globals storage eagerly, function
+    bodies lazily (on first call)."""
+    image = _Image(info)
+    globals_map = image.globals_map
+    for g in program.globals():
+        ty = g.ty
+        if isinstance(ty, ArrayType):
+            values = g.init if isinstance(g.init, list) else [0] * ty.length
+            cells = [wrap(v, ty.element) for v in values]
+            store = _Cells(ty.element, cells, g.name, _fnv32(g.name))
+        elif isinstance(ty, IntType):
+            init = g.init if isinstance(g.init, int) else 0
+            store = _Cells(ty, [wrap(init, ty)], g.name, _fnv32(g.name))
+        elif isinstance(ty, PointerType):
+            store = _Cells(ty.pointee, [None], g.name, _fnv32(g.name))
+        else:
+            raise InterpreterError(f"bad global type {ty}")
+        globals_map[g.name] = store
+        if not g.static:
+            image.globals_order.append(store)
+    # Pointer globals may reference other globals; resolve after all
+    # storage exists (mirrors _Interpreter._init_globals).
+    for g in program.globals():
+        if isinstance(g.ty, PointerType) and g.init is not None:
+            globals_map[g.name].cells[0] = _const_address(
+                g.init, globals_map
+            )
+    # Only shells here: call sites embed the callee _Fn object, whose
+    # body compiles on first entry (dead functions never compile).
+    for decl in program.decls:
+        if isinstance(decl, ast.FuncDef):
+            image.fns[decl.name] = _Fn(decl.name, image, decl)
+    return image
+
+
+def _const_address(init, globals_map: dict[str, _Cells]):
+    if isinstance(init, ast.AddrOf):
+        lv = init.lvalue
+        if isinstance(lv, ast.VarRef):
+            return (globals_map[lv.name], 0)
+        if isinstance(lv, ast.Index) and isinstance(lv.base, ast.VarRef):
+            if not isinstance(lv.index, ast.IntLit):
+                raise InterpreterError("non-constant global pointer init")
+            return (globals_map[lv.base.name], lv.index.value)
+    raise InterpreterError(f"unsupported pointer initializer {init!r}")
+
+
+# -- the VM ----------------------------------------------------------------
+
+
+class _VM:
+    __slots__ = (
+        "step_limit", "steps", "call_trace", "marker_hits",
+        "function_calls", "activation",
+    )
+
+    def __init__(self, step_limit: int) -> None:
+        self.step_limit = step_limit
+        self.steps = 0
+        self.call_trace = 0
+        self.marker_hits: dict[str, int] = {}
+        self.function_calls: dict[str, int] = {}
+        self.activation = 0
+
+
+def _run(vm: _VM, fn: _Fn, args: list):
+    if fn.code is None:
+        _FnCompiler(fn).compile()
+    fc = vm.function_calls
+    fc[fn.name] = fc.get(fn.name, 0) + 1
+    vm.activation += 1
+    prefix = f"{fn.name}#{vm.activation}:" if fn.needs_ids else None
+    slots = [None] * fn.nslots
+    for (slot, celled, element, pname), value in zip(fn.params, args):
+        if celled:
+            slots[slot] = _Cells(element, [value], prefix + pname)
+        else:
+            slots[slot] = value
+    created = len(fn.params)
+    limit = vm.step_limit
+    code = fn.code
+    stack: list = []
+    push = stack.append
+    pop = stack.pop
+    result = None
+    ip = 0
+    while True:
+        ins = code[ip]
+        op = ins[0]
+        if op == OP_TICK:
+            n = ins[1]
+            s = vm.steps + n
+            vm.steps = s
+            if s > limit:
+                raise StepLimitExceeded(f"exceeded {limit} steps")
+            if (s >> 11) != ((s - n) >> 11):
+                check_deadline()
+        elif op == OP_LOAD_FAST:
+            push(slots[ins[1]])
+        elif op == OP_PUSH:
+            push(ins[1])
+        elif op == OP_WRAP:
+            v = pop() & ins[1]
+            push(v - ins[3] if v > ins[2] else v)
+        elif op == OP_JF:
+            v = pop()
+            if v is None or (v.__class__ is not tuple and v == 0):
+                ip = ins[1]
+                continue
+        elif op == OP_STORE_FAST:
+            slots[ins[1]] = pop()
+        elif op == OP_LOAD_G:
+            push(ins[1].cells[0])
+        elif op == OP_STORE_G:
+            ins[1].cells[0] = pop()
+        elif op == OP_ADD:
+            r = pop()
+            v = (stack[-1] + r) & ins[1]
+            stack[-1] = v - ins[3] if v > ins[2] else v
+        elif op == OP_SUB:
+            r = pop()
+            v = (stack[-1] - r) & ins[1]
+            stack[-1] = v - ins[3] if v > ins[2] else v
+        elif op == OP_MUL:
+            r = pop()
+            v = (stack[-1] * r) & ins[1]
+            stack[-1] = v - ins[3] if v > ins[2] else v
+        elif op == OP_LOADIDX_G:
+            s = ins[1]
+            stack[-1] = s.cells[stack[-1] % len(s.cells)]
+        elif op == OP_STOREIDX_G:
+            v = pop()
+            s = ins[1]
+            s.cells[pop() % len(s.cells)] = v
+        elif op == OP_JUMP:
+            ip = ins[1]
+            continue
+        elif op == OP_EQ:
+            r = pop()
+            stack[-1] = 1 if stack[-1] == r else 0
+        elif op == OP_NE:
+            r = pop()
+            stack[-1] = 1 if stack[-1] != r else 0
+        elif op == OP_LT:
+            r = pop()
+            stack[-1] = 1 if stack[-1] < r else 0
+        elif op == OP_LE:
+            r = pop()
+            stack[-1] = 1 if stack[-1] <= r else 0
+        elif op == OP_GT:
+            r = pop()
+            stack[-1] = 1 if stack[-1] > r else 0
+        elif op == OP_GE:
+            r = pop()
+            stack[-1] = 1 if stack[-1] >= r else 0
+        elif op == OP_BAND:
+            r = pop()
+            stack[-1] = stack[-1] & r
+        elif op == OP_BOR:
+            r = pop()
+            stack[-1] = stack[-1] | r
+        elif op == OP_BXOR:
+            r = pop()
+            stack[-1] = stack[-1] ^ r
+        elif op == OP_SHL:
+            r = pop()
+            v = (stack[-1] << (r & ins[4])) & ins[1]
+            stack[-1] = v - ins[3] if v > ins[2] else v
+        elif op == OP_SHR:
+            r = pop()
+            v = (stack[-1] >> (r & ins[4])) & ins[1]
+            stack[-1] = v - ins[3] if v > ins[2] else v
+        elif op == OP_DIV:
+            r = pop()
+            l = stack[-1]
+            if r == 0:
+                v = l
+            else:
+                v = abs(l) // abs(r)
+                if (l < 0) != (r < 0):
+                    v = -v
+            v &= ins[1]
+            stack[-1] = v - ins[3] if v > ins[2] else v
+        elif op == OP_REM:
+            r = pop()
+            l = stack[-1]
+            if r == 0:
+                v = l
+            else:
+                q = abs(l) // abs(r)
+                if (l < 0) != (r < 0):
+                    q = -q
+                v = l - q * r
+            v &= ins[1]
+            stack[-1] = v - ins[3] if v > ins[2] else v
+        elif op == OP_NEG:
+            v = (-stack[-1]) & ins[1]
+            stack[-1] = v - ins[3] if v > ins[2] else v
+        elif op == OP_BNOT:
+            v = (~stack[-1]) & ins[1]
+            stack[-1] = v - ins[3] if v > ins[2] else v
+        elif op == OP_LNOT:
+            v = stack[-1]
+            if v.__class__ is tuple:
+                stack[-1] = 0
+            elif v is None:
+                stack[-1] = 1
+            else:
+                stack[-1] = 1 if v == 0 else 0
+        elif op == OP_JT:
+            v = pop()
+            if v is not None and (v.__class__ is tuple or v != 0):
+                ip = ins[1]
+                continue
+        elif op == OP_LOAD_L:
+            push(slots[ins[1]].cells[0])
+        elif op == OP_STORE_L:
+            slots[ins[1]].cells[0] = pop()
+        elif op == OP_LOADIDX_L:
+            s = slots[ins[1]]
+            stack[-1] = s.cells[stack[-1] % len(s.cells)]
+        elif op == OP_STOREIDX_L:
+            v = pop()
+            s = slots[ins[1]]
+            s.cells[pop() % len(s.cells)] = v
+        elif op == OP_ADDR_G:
+            push((ins[1], ins[2]))
+        elif op == OP_ADDR_L:
+            push((slots[ins[1]], ins[2]))
+        elif op == OP_IDX_G:
+            s = ins[1]
+            stack[-1] = (s, stack[-1] % len(s.cells))
+        elif op == OP_IDX_L:
+            s = slots[ins[1]]
+            stack[-1] = (s, stack[-1] % len(s.cells))
+        elif op == OP_IDX_PTR:
+            p = pop()
+            s = p[0]
+            stack[-1] = (s, (p[1] + stack[-1]) % len(s.cells))
+        elif op == OP_LOAD_AT:
+            a = stack[-1]
+            stack[-1] = a[0].cells[a[1]]
+        elif op == OP_STORE_AT:
+            v = pop()
+            a = pop()
+            a[0].cells[a[1]] = v
+        elif op == OP_DUP:
+            push(stack[-1])
+        elif op == OP_POP:
+            pop()
+        elif op == OP_PEQ or op == OP_PNE:
+            r = pop()
+            l = stack[-1]
+            if l is None or r is None:
+                eq = l is None and r is None
+            elif l.__class__ is tuple:
+                eq = (
+                    r.__class__ is tuple and l[0] is r[0] and l[1] == r[1]
+                )
+            elif r.__class__ is tuple:
+                eq = False
+            else:
+                eq = l == r
+            stack[-1] = (1 if eq else 0) if op == OP_PEQ else (0 if eq else 1)
+        elif op == OP_SWITCH:
+            ip = ins[1].get(pop(), ins[2])
+            continue
+        elif op == OP_CALL:
+            fn2 = ins[1]
+            n = ins[2]
+            if n:
+                args2 = stack[-n:]
+                del stack[-n:]
+            else:
+                args2 = []
+            push(_run(vm, fn2, args2))
+        elif op == OP_CALL_OP:
+            name = ins[1]
+            acc = ins[2]
+            n = ins[3]
+            if n:
+                vals = stack[-n:]
+                del stack[-n:]
+            else:
+                vals = ()
+            mh = vm.marker_hits
+            mh[name] = mh.get(name, 0) + 1
+            for v in vals:
+                if v.__class__ is tuple:
+                    hb = v[0].hash_base
+                    piece = (
+                        2 if hb is None else (hb ^ (v[1] & 0xFFFF)) & 0xFFFF
+                    )
+                elif v is None:
+                    piece = 1
+                else:
+                    piece = (v * 2 + 3) & _U64
+                acc = ((acc ^ piece) * 0x100000001B3) & _U64
+            vm.call_trace = (vm.call_trace + (acc or 1)) & _U64
+            push(0 if ins[4] else None)
+        elif op == OP_DECL_FAST:
+            created += 1
+            slots[ins[1]] = pop()
+        elif op == OP_DECL_FAST_K:
+            created += 1
+            slots[ins[1]] = ins[2]
+        elif op == OP_DECL_CELL:
+            slots[ins[1]] = _Cells(
+                ins[3], [pop()], f"{prefix}{ins[2]}@{created}"
+            )
+            created += 1
+        elif op == OP_DECL_CELL_K:
+            slots[ins[1]] = _Cells(
+                ins[3], [ins[4]], f"{prefix}{ins[2]}@{created}"
+            )
+            created += 1
+        elif op == OP_DECL_ARR:
+            ninit = ins[5]
+            cells = [0] * ins[4]
+            if ninit:
+                cells[:ninit] = stack[-ninit:]
+                del stack[-ninit:]
+            slots[ins[1]] = _Cells(
+                ins[3], cells, f"{prefix}{ins[2]}@{created}"
+            )
+            created += 1
+        elif op == OP_RET:
+            result = pop()
+            break
+        elif op == OP_RET_NONE:
+            break
+        else:  # pragma: no cover - defensive
+            raise InterpreterError(f"unknown opcode {op}")
+        ip += 1
+    if result is None and fn.returns_int:
+        return 0
+    return result
+
+
+def _checksum(globals_order: list) -> int:
+    acc = 0xCBF29CE484222325  # FNV offset basis
+    for store in globals_order:
+        for cell in store.cells:
+            if cell.__class__ is tuple:
+                hb = cell[0].hash_base
+                if hb is None:  # escaped pointer to a local
+                    piece = pointer_cell_hash(cell[0].object_id, cell[1])
+                else:
+                    piece = (hb ^ (cell[1] & 0xFFFF)) & 0xFFFF
+            elif cell is None:
+                piece = 0
+            else:
+                piece = cell & _U64
+            acc ^= piece
+            acc = (acc * 0x100000001B3) & _U64
+    return acc
+
+
+def run_program(
+    program: ast.Program,
+    step_limit: int = DEFAULT_STEP_LIMIT,
+    info: SymbolInfo | None = None,
+) -> ExecutionResult:
+    """Compile ``program`` to bytecode and execute it from ``main``.
+
+    Drop-in replacement for the AST interpreter's ``run_program`` with
+    a bit-identical :class:`ExecutionResult`.
+    """
+    if info is None:
+        info = check_program(program)
+    main = program.function("main")
+    tracer = current_tracer()
+    with tracer.span(
+        "interp.run", step_limit=step_limit, backend="bytecode"
+    ) as span:
+        image = compile_program(program, info)
+        vm = _VM(step_limit)
+        try:
+            value = _run(vm, image.fns[main.name], [])
+        except StepLimitExceeded:
+            span.set("step_limit_exceeded", True)
+            raise
+        exit_code = value if isinstance(value, int) else 0
+        result = ExecutionResult(
+            exit_code=wrap(exit_code if exit_code is not None else 0, INT),
+            marker_hits=dict(vm.marker_hits),
+            steps=vm.steps,
+            checksum=_checksum(image.globals_order),
+            call_trace=vm.call_trace,
+            function_calls=dict(vm.function_calls),
+        )
+        span.update(
+            steps=result.steps,
+            exit_code=result.exit_code,
+            markers_hit=len(result.marker_hits),
+            function_calls=sum(result.function_calls.values()),
+        )
+    return result

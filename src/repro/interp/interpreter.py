@@ -156,7 +156,7 @@ def run_program(
     if info is None:
         info = check_program(program)
     tracer = current_tracer()
-    with tracer.span("interp.run", step_limit=step_limit) as span:
+    with tracer.span("interp.run", step_limit=step_limit, backend="ast") as span:
         try:
             result = _Interpreter(program, info, step_limit).run()
         except StepLimitExceeded:

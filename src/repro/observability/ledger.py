@@ -84,7 +84,9 @@ CREATE TABLE IF NOT EXISTS runs (
     shape_yield_json TEXT NOT NULL,
     pass_attribution_json TEXT NOT NULL,
     crash_buckets_json TEXT NOT NULL,
-    metrics_json TEXT NOT NULL
+    metrics_json TEXT NOT NULL,
+    interp TEXT,
+    sched_window INTEGER
 );
 CREATE INDEX IF NOT EXISTS idx_runs_config ON runs(config_fingerprint);
 CREATE TABLE IF NOT EXISTS findings (
@@ -115,8 +117,11 @@ def config_fingerprint(
     incremental: bool = True,
 ) -> str:
     """A short stable hash of everything that determines a campaign's
-    results (``jobs`` deliberately excluded: results are identical at
-    any job count, so reruns at different parallelism share it)."""
+    results.  ``jobs``, the scheduler ``window``, and the ``interp``
+    backend are deliberately excluded: results are bit-identical under
+    any of them, so reruns at different parallelism or on the AST
+    cross-check interpreter share the fingerprint (and ``compare``
+    treats them as the same campaign)."""
     payload = {
         "n_programs": n_programs,
         "seed_base": seed_base,
@@ -279,6 +284,11 @@ class RunRow:
     total_alive: int
     findings: int
     soundness_violations: int
+    #: ground-truth interpreter backend ("bytecode"/"ast"); like
+    #: ``jobs``/``window`` it is metadata, not part of the fingerprint
+    interp: str | None = None
+    #: parallel scheduler in-flight shard window (None = default)
+    window: int | None = None
     by_level: dict[str, dict[str, int]] = field(default_factory=dict)
     cross_compiler: dict[str, int] = field(default_factory=dict)
     cross_level: dict[str, dict[str, int]] = field(default_factory=dict)
@@ -329,7 +339,20 @@ class RunLedger:
         self._conn = sqlite3.connect(path)
         self._conn.row_factory = sqlite3.Row
         self._conn.executescript(_SCHEMA)
+        self._migrate()
         self._conn.commit()
+
+    def _migrate(self) -> None:
+        """Add columns introduced after a ledger file was created."""
+        have = {
+            row["name"]
+            for row in self._conn.execute("PRAGMA table_info(runs)")
+        }
+        for name, decl in (("interp", "TEXT"), ("sched_window", "INTEGER")):
+            if name not in have:
+                self._conn.execute(
+                    f"ALTER TABLE runs ADD COLUMN {name} {decl}"
+                )
 
     # -- ingest --------------------------------------------------------
 
@@ -348,11 +371,22 @@ class RunLedger:
         wall_time: float = 0.0,
         started_at: float | None = None,
         reduce_findings: bool = False,
+        interp: str | None = None,
+        window: int | None = None,
     ) -> int:
         """Persist one :class:`~repro.core.corpus.CampaignResult`;
         returns the new run id.  Findings upsert against prior runs
         (dedup within the run first, so ``occurrences`` counts *runs*
-        in which a fingerprint was seen)."""
+        in which a fingerprint was seen).
+
+        ``interp`` (ground-truth backend; ``None`` resolves to the
+        process default) and ``window`` (parallel scheduler in-flight
+        cap) are recorded as run metadata but stay out of the config
+        fingerprint — neither changes results."""
+        if interp is None:
+            from ..interp import get_default_backend
+
+            interp = get_default_backend()
         snapshot = metrics.to_dict() if metrics is not None else {}
         attribution = {
             name[len(ATTRIBUTION_PREFIX):]: entry["value"]
@@ -405,6 +439,8 @@ class RunLedger:
                 for bucket, envelopes in result.crash_buckets.items()
             }),
             json.dumps(snapshot, sort_keys=True),
+            interp,
+            window,
         )
         cursor = self._conn.execute(
             """INSERT INTO runs (
@@ -414,8 +450,8 @@ class RunLedger:
                 total_markers, total_dead, total_alive, findings,
                 soundness_violations, by_level_json, cross_compiler_json,
                 cross_level_json, shape_yield_json, pass_attribution_json,
-                crash_buckets_json, metrics_json
-            ) VALUES (%s)""" % ", ".join("?" * 26),
+                crash_buckets_json, metrics_json, interp, sched_window
+            ) VALUES (%s)""" % ", ".join("?" * 28),
             row,
         )
         run_id = cursor.lastrowid
@@ -579,6 +615,8 @@ class RunLedger:
             total_alive=row["total_alive"],
             findings=row["findings"],
             soundness_violations=row["soundness_violations"],
+            interp=row["interp"],
+            window=row["sched_window"],
             by_level=json.loads(row["by_level_json"]),
             cross_compiler=json.loads(row["cross_compiler_json"]),
             cross_level=json.loads(row["cross_level_json"]),

@@ -12,7 +12,10 @@ configurable thresholds:
 * **compilation-cost increase** — ``campaign.compilations`` per
   program rose (cache or sharing regression);
 * **yield drop** — findings per completed program fell (generator or
-  oracle regression).
+  oracle regression);
+* **interpreter throughput drop** — ``interp.steps`` per wall-clock
+  second fell (ground-truth engine slowdown, e.g. a bytecode-VM
+  regression or an accidental ``--no-bytecode`` run).
 
 All comparisons normalize per completed program so runs of different
 sizes compare meaningfully.  The HTML report embeds its styling inline
@@ -30,6 +33,15 @@ from .ledger import FindingRow, RunRow
 
 PASS_EXECS_SAVED = "compile.pass_execs_saved"
 COMPILATIONS = "campaign.compilations"
+INTERP_STEPS = "interp.steps"
+
+
+def steps_per_sec(run: RunRow) -> float:
+    """Ground-truth interpreter throughput: total ``interp.steps``
+    over campaign wall time (0 when either is unrecorded)."""
+    if run.wall_time <= 0:
+        return 0.0
+    return run.metric_value(INTERP_STEPS) / run.wall_time
 
 LATENCY_PREFIX = "compile_latency_ms/"
 PERCENTILE_KEYS = ("p50", "p90", "p99")
@@ -45,6 +57,7 @@ class CompareThresholds:
     pass_execs_saved_drop: float = 0.10
     compilations_increase: float = 0.10
     yield_drop: float = 0.10
+    steps_per_sec_drop: float = 0.10
 
 
 @dataclass
@@ -143,6 +156,13 @@ def compare_runs(
         candidate.findings / candidate.completed if candidate.completed else 0.0,
         bad_drop=limits.yield_drop,
         note="campaign yield",
+    )
+    add(
+        "interp_steps_per_sec",
+        steps_per_sec(baseline),
+        steps_per_sec(candidate),
+        bad_drop=limits.steps_per_sec_drop,
+        note="ground-truth interpreter throughput",
     )
     # informational rows (never flagged)
     add("dead_markers_pct", baseline.dead_pct, candidate.dead_pct)
@@ -282,6 +302,14 @@ def _report_sections(
     return sections
 
 
+def _interp_blurb(run: RunRow) -> str:
+    blurb = f"interp={run.interp or 'bytecode'}"
+    rate = steps_per_sec(run)
+    if rate > 0:
+        blurb += f" ({rate:,.0f} steps/sec)"
+    return blurb
+
+
 def _run_header(run: RunRow) -> list[str]:
     return [
         f"run {run.run_id}  [{_fmt_when(run.started_at)}]"
@@ -289,6 +317,7 @@ def _run_header(run: RunRow) -> list[str]:
         f"  {run.programs} programs from seed {run.seed_base}, "
         f"compare {run.compare_level}, jobs={run.jobs}, "
         f"incremental={'on' if run.incremental else 'off'}, "
+        f"{_interp_blurb(run)}, "
         f"wall {run.wall_time:.1f}s",
     ]
 
@@ -345,6 +374,7 @@ def run_report_html(run: RunRow, findings: list[FindingRow]) -> str:
             f" · {run.programs} programs from seed {run.seed_base}"
             f" · compare {run.compare_level} · jobs={run.jobs}"
             f" · incremental={'on' if run.incremental else 'off'}"
+            f" · {_interp_blurb(run)}"
             f" · wall {run.wall_time:.1f}s"
         )
         + "</p>",

@@ -8,7 +8,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.corpus import run_campaign
-from repro.core.parallel import MAX_SHARD_SIZE, shard_seeds
+from repro.core.parallel import MAX_SHARD_SIZE, WINDOW_FACTOR, shard_seeds
 from repro.observability import (
     EventBus,
     MetricsRegistry,
@@ -47,6 +47,21 @@ def parallel():
         progress=ticks.append, jobs=4, events=bus,
     )
     return result, metrics, tracer, ticks, events
+
+
+@pytest.fixture(scope="module")
+def streamed():
+    """jobs=2 at the smallest legal window (1): every shard waits for
+    the previous completion before submission, the maximal-churn case
+    for the streaming scheduler's top-up path."""
+    events = []
+    bus = EventBus()
+    bus.subscribe(events.append)
+    result = run_campaign(
+        n_programs=PROGRAMS, seed_base=SEED_BASE, keep_analyses=True,
+        jobs=2, window=1, events=bus,
+    )
+    return result, events
 
 
 def test_parallel_equals_sequential_result(sequential, parallel):
@@ -155,6 +170,31 @@ def test_parallel_event_jsonl_bytes_identical_modulo_ts(sequential, parallel):
     assert golden(parallel[4]) == golden(sequential[2])
 
 
+def test_streaming_small_window_equals_sequential(sequential, streamed):
+    """The bounded-window scheduler preserves the determinism contract
+    even when the window throttles submission to one shard at a time."""
+    seq, par = sequential[0], streamed[0]
+    assert par.seeds == seq.seeds
+    assert par.by_level == seq.by_level
+    assert par.findings == seq.findings
+    assert [o.seed for o in par.analyses] == [o.seed for o in seq.analyses]
+
+
+def test_streaming_small_window_event_stream_identical(sequential, streamed):
+    """Golden contract at window=1: the serialized event stream is
+    byte-identical to sequential modulo timestamps — window size, like
+    jobs, must not leak into the story."""
+
+    def golden(events):
+        return "\n".join(
+            json.dumps(record, sort_keys=True)
+            for record in strip_timestamps(events)
+        ).encode()
+
+    assert golden(streamed[1]) == golden(sequential[2])
+    assert "window" not in streamed[1][0].attrs
+
+
 def test_parallel_by_shape_matches_sequential(sequential, parallel):
     seq, par = sequential[0], parallel[0]
     assert par.by_shape == seq.by_shape
@@ -198,6 +238,11 @@ def test_merged_worker_histograms_match_sequential_percentiles(shards, p):
 def test_jobs_must_be_positive():
     with pytest.raises(ValueError):
         run_campaign(n_programs=1, jobs=0)
+
+
+def test_default_window_scales_with_jobs():
+    # the scheduler's backpressure bound: in-flight shards per pool
+    assert WINDOW_FACTOR >= 2  # workers must never starve on merge lag
 
 
 def test_shard_seeds_contiguous_and_complete():

@@ -1,0 +1,164 @@
+"""The bytecode VM must be bit-identical to the AST interpreter.
+
+Ground truth decides marker liveness from ONE deterministic execution
+(paper §4.1), so the fast backend may not diverge from the reference
+in any observable way: not in the checksum fold, not in the call-trace
+accumulator, not in the step count, and not in how the step limit or
+the cooperative seed budget cut an execution short.  These tests pin
+that contract over >100 generated programs, instrumented and not.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.budget import SeedBudgetExceeded
+from repro.core.markers import instrument_program
+from repro.frontend.typecheck import check_program
+from repro.generator import generate_program
+from repro.interp import (
+    DEFAULT_STEP_LIMIT,
+    StepLimitExceeded,
+    get_default_backend,
+    run_program,
+    set_default_backend,
+)
+from repro.interp import bytecode as bytecode_mod
+from repro.interp import interpreter as interpreter_mod
+
+SEEDS = range(120)
+
+#: fields of ExecutionResult compared one by one (better failure
+#: messages than whole-object equality)
+RESULT_FIELDS = (
+    "exit_code", "steps", "checksum", "call_trace", "marker_hits",
+    "function_calls",
+)
+
+
+def _programs(seed):
+    """(label, program, info) for the seed, uninstrumented and
+    instrumented (markers add calls, so both layouts must agree)."""
+    program = generate_program(seed)
+    out = [("plain", program, check_program(program))]
+    instrumented = instrument_program(program)
+    out.append((
+        "instrumented", instrumented.program,
+        check_program(instrumented.program),
+    ))
+    return out
+
+
+def _both(program, info, step_limit=DEFAULT_STEP_LIMIT):
+    ast_result = run_program(
+        program, step_limit=step_limit, info=info, backend="ast"
+    )
+    vm_result = run_program(
+        program, step_limit=step_limit, info=info, backend="bytecode"
+    )
+    return ast_result, vm_result
+
+
+def _assert_identical(ast_result, vm_result, label):
+    for name in RESULT_FIELDS:
+        assert getattr(vm_result, name) == getattr(ast_result, name), (
+            f"{label}: {name} diverged "
+            f"(ast={getattr(ast_result, name)!r}, "
+            f"vm={getattr(vm_result, name)!r})"
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_execution_results_bit_identical(seed):
+    for label, program, info in _programs(seed):
+        ast_result, vm_result = _both(program, info)
+        _assert_identical(ast_result, vm_result, f"seed {seed} {label}")
+
+
+@pytest.mark.parametrize("seed", [0, 3, 7, 11, 21, 28, 45, 62, 87, 101])
+def test_step_limit_boundary_identical(seed):
+    """At limit = steps, steps - 1, and steps // 2 both backends agree
+    on whether the limit trips, and on the exception message when it
+    does — the bytecode engine's batched step accounting must land on
+    exactly the same totals along every cut point."""
+    for label, program, info in _programs(seed):
+        full = run_program(program, info=info, backend="bytecode")
+        limits = {full.steps, max(1, full.steps - 1), max(1, full.steps // 2)}
+        for limit in sorted(limits):
+            outcomes = []
+            for backend in ("ast", "bytecode"):
+                try:
+                    result = run_program(
+                        program, step_limit=limit, info=info, backend=backend
+                    )
+                    outcomes.append(("ok", result))
+                except StepLimitExceeded as exc:
+                    outcomes.append(("limit", str(exc)))
+            tag = f"seed {seed} {label} limit {limit}"
+            assert outcomes[0][0] == outcomes[1][0], (tag, outcomes)
+            if outcomes[0][0] == "ok":
+                _assert_identical(outcomes[0][1], outcomes[1][1], tag)
+            else:
+                assert outcomes[0][1] == outcomes[1][1], tag
+
+
+class _PollProbe:
+    """Stand-in for ``budget.check_deadline``: counts polls, optionally
+    raising at the Nth — a deterministic chaos-budget boundary."""
+
+    def __init__(self, raise_at=None):
+        self.calls = 0
+        self.raise_at = raise_at
+
+    def __call__(self):
+        self.calls += 1
+        if self.raise_at is not None and self.calls == self.raise_at:
+            raise SeedBudgetExceeded("injected budget trip")
+
+
+def _poll_run(monkeypatch, program, info, backend, raise_at):
+    module = interpreter_mod if backend == "ast" else bytecode_mod
+    probe = _PollProbe(raise_at)
+    monkeypatch.setattr(module, "check_deadline", probe)
+    try:
+        result = run_program(program, info=info, backend=backend)
+        return ("ok", result.steps, probe.calls)
+    except SeedBudgetExceeded:
+        return ("budget", None, probe.calls)
+
+
+@pytest.mark.parametrize("seed", [21, 28, 45, 133])
+def test_budget_poll_boundary_identical(monkeypatch, seed):
+    """Both backends poll the seed budget at the same every-2048-steps
+    cadence: identical poll counts on a full run, and an injected trip
+    at the first/second/last poll cuts both at the same boundary."""
+    program = generate_program(seed)
+    info = check_program(program)
+    base_ast = _poll_run(monkeypatch, program, info, "ast", None)
+    base_vm = _poll_run(monkeypatch, program, info, "bytecode", None)
+    assert base_ast == base_vm, f"seed {seed}: poll cadence diverged"
+    polls = base_ast[2]
+    assert polls >= 1, f"seed {seed} too small to exercise the poll"
+    for raise_at in {1, min(2, polls), polls}:
+        got_ast = _poll_run(monkeypatch, program, info, "ast", raise_at)
+        got_vm = _poll_run(monkeypatch, program, info, "bytecode", raise_at)
+        assert got_ast == got_vm == ("budget", None, raise_at), (
+            f"seed {seed} raise_at {raise_at}: {got_ast} vs {got_vm}"
+        )
+
+
+def test_backend_dispatch_knobs():
+    """The dispatcher defaults to bytecode, rejects unknown names, and
+    honors a temporary AST default."""
+    assert get_default_backend() == "bytecode"
+    with pytest.raises(ValueError):
+        set_default_backend("tree-walking")
+    program = generate_program(5)
+    info = check_program(program)
+    try:
+        set_default_backend("ast")
+        via_default = run_program(program, info=info)
+    finally:
+        set_default_backend("bytecode")
+    explicit = run_program(program, info=info, backend="bytecode")
+    _assert_identical(via_default, explicit, "dispatch knobs")
