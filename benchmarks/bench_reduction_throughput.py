@@ -1,0 +1,175 @@
+"""Speculative reduction throughput — candidates evaluated per second,
+oracle calls eliminated by the cross-round memo, and the jobs=4 wall
+clock relative to sequential.
+
+Two workloads, two questions:
+
+* **Memo savings** (fenced): a repetitive program — unrolled-loop
+  flavoured runs of identical statements around a small irreducible
+  core — reduced under a cheap text oracle.  Identical statements
+  print identical candidates, so the memo keyed on the printed text
+  answers them once; the fence requires >= 25% of candidate checks to
+  come from cache.  Both counters are deterministic at ``jobs=1``, so
+  the fence is CPU-count independent.  A ``memoize_oracle=False``
+  control run pins the exactness claim: the memo changes only the
+  fresh/cached *split*, never the verdicts or the reduced program.
+
+* **Parallel speedup** (recorded, not fenced): the listing-1-flavoured
+  fixture under the real compiler-backed oracle at ``jobs=1`` vs
+  ``jobs=4``.  The container may pin us to one CPU, so wall-clock
+  speedup is reported as data; byte-identical output *is* asserted —
+  that is the engine's contract, hardware-independent.
+"""
+
+import os
+import time
+
+from repro.compilers import CompilerSpec
+from repro.core.reduction import missed_marker_predicate, reduce_program
+from repro.core.stats import format_table
+from repro.lang import parse_program, print_program
+
+from conftest import emit
+
+#: acceptance floor: fraction of candidate checks the cross-round memo
+#: must answer from cache on the repetitive workload
+MIN_MEMO_SAVED = 0.25
+
+#: irreducible sentinels and identical filler statements between them
+KEEPS = 4
+NOISE = 40
+STRIDE = 10
+
+
+class SentinelOracle:
+    """Cheap deterministic oracle: every sentinel and the marker call
+    must survive in the printed candidate (picklable, no compilation —
+    the memo measurement should not be dominated by compiler cost)."""
+
+    cache_key = f"sentinel:{KEEPS}"
+
+    def __call__(self, program) -> bool:
+        text = print_program(program)
+        return "DCEMarker0()" in text and all(
+            f"keep{i} =" in text for i in range(KEEPS)
+        )
+
+
+def _repetitive_source() -> str:
+    lines = ["void DCEMarker0(void);", "int main() {", "  int x = 1;"]
+    k = 0
+    for i in range(NOISE):
+        lines.append("  x = x + 1;")
+        if i % STRIDE == STRIDE - 1 and k < KEEPS:
+            lines.append(f"  int keep{k} = {k + 1};")
+            k += 1
+    while k < KEEPS:
+        lines.append(f"  int keep{k} = {k + 1};")
+        k += 1
+    lines += ["  if (x > 0) { DCEMarker0(); }", "  return x;", "}"]
+    return "\n".join(lines) + "\n"
+
+
+BLOATED = """
+void DCEMarker0(void);
+char a;
+char b[2];
+static int noise1 = 4;
+static long noise2[3] = {1, 2, 3};
+static int helper(int x) { return x * 3; }
+int main() {
+  int pad1 = helper(2);
+  noise1 += pad1;
+  long pad2 = noise2[1] + noise1;
+  char *d = &a;
+  char *e = &b[1];
+  if (d == e) {
+    DCEMarker0();
+  }
+  noise2[2] = pad2;
+  for (int i = 0; i < 3; i++) { noise1 += i; }
+  return 0;
+}
+"""
+
+
+def _timed(program, predicate, **kwargs):
+    start = time.perf_counter()
+    result = reduce_program(program, predicate, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def _row(label, result, wall):
+    checks = result.oracle_calls + result.oracle_cache_hits
+    return [
+        label,
+        f"{result.stmts_before}->{result.stmts_after}",
+        str(checks),
+        str(result.oracle_calls),
+        str(result.oracle_cache_hits),
+        f"{result.oracle_cache_hits / checks:.1%}" if checks else "-",
+        f"{wall:.2f}",
+        f"{checks / wall:.0f}" if wall > 0 else "-",
+    ]
+
+
+def test_reduction_throughput_and_memo_savings():
+    rows = []
+
+    # -- memo fence: repetitive workload, cheap oracle ---------------
+    repetitive = parse_program(_repetitive_source())
+    memo_on, wall_on = _timed(repetitive, SentinelOracle())
+    memo_off, wall_off = _timed(
+        repetitive, SentinelOracle(), memoize_oracle=False
+    )
+    rows.append(_row("repetitive memo=on", memo_on, wall_on))
+    rows.append(_row("repetitive memo=off", memo_off, wall_off))
+
+    checks = memo_on.oracle_calls + memo_on.oracle_cache_hits
+    saved = memo_on.oracle_cache_hits / checks
+    # the memo changes the fresh/cached split, nothing else
+    assert print_program(memo_off.program) == print_program(memo_on.program)
+    assert memo_off.attempts == memo_on.attempts
+    assert memo_off.oracle_calls == checks
+
+    # -- parallel speedup: compiler-backed oracle --------------------
+    program = parse_program(BLOATED)
+
+    def predicate():
+        return missed_marker_predicate(
+            "DCEMarker0",
+            keeper=CompilerSpec("llvmlike", "O3"),
+            witness=CompilerSpec("gcclike", "O3"),
+        )
+
+    seq, wall_seq = _timed(program, predicate())
+    par, wall_par = _timed(program, predicate(), jobs=4)
+    rows.append(_row("compiler jobs=1", seq, wall_seq))
+    rows.append(_row("compiler jobs=4", par, wall_par))
+    speedup = wall_seq / wall_par if wall_par > 0 else float("inf")
+
+    # the engine contract: parallel output is byte-identical
+    assert print_program(par.program) == print_program(seq.program)
+    assert (par.attempts, par.oracle_calls, par.oracle_cache_hits) == (
+        seq.attempts, seq.oracle_calls, seq.oracle_cache_hits
+    )
+
+    lines = [
+        "Speculative reduction throughput "
+        f"(host reports {os.cpu_count()} CPUs)",
+        format_table(
+            ["workload", "stmts", "checks", "oracle calls", "memo hits",
+             "saved", "wall (s)", "checks/s"],
+            rows,
+        ),
+        "",
+        f"cross-round memo: {saved:.1%} of candidate checks answered "
+        f"from cache (floor {MIN_MEMO_SAVED:.0%}); memo-off control "
+        f"re-ran all {memo_off.oracle_calls} checks fresh with "
+        "byte-identical output",
+        f"jobs=4 speedup on the compiler-backed oracle: {speedup:.2f}x "
+        f"({wall_seq:.2f}s -> {wall_par:.2f}s), output byte-identical",
+    ]
+    emit("reduction_throughput", "\n".join(lines))
+
+    assert saved >= MIN_MEMO_SAVED

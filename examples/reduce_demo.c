@@ -1,0 +1,19 @@
+void DCEMarker0(void);
+char a;
+char b[2];
+static int noise1 = 4;
+static long noise2[3] = {1, 2, 3};
+static int helper(int x) { return x * 3; }
+int main() {
+  int pad1 = helper(2);
+  noise1 += pad1;
+  long pad2 = noise2[1] + noise1;
+  char *d = &a;
+  char *e = &b[1];
+  if (d == e) {
+    DCEMarker0();
+  }
+  noise2[2] = pad2;
+  for (int i = 0; i < 3; i++) { noise1 += i; }
+  return 0;
+}

@@ -22,6 +22,9 @@ Subcommands mirror the paper's workflow:
   attribution table for one compilation
 * ``asm FILE``          — show the generated assembly for one spec
 * ``bisect FILE``       — bisect a marker regression to a commit
+* ``reduce FILE MARKER``— delta-reduce a case under the missed-marker
+  oracle (``--jobs N`` fans candidate evaluations across a process
+  pool; output is byte-identical at any jobs count)
 """
 
 from __future__ import annotations
@@ -110,9 +113,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_campaign.add_argument(
         "--reduce-findings", action="store_true",
-        help="fingerprint ledger findings by reducing each case first "
-             "(paper-faithful dedup; much slower than the default "
-             "structural fingerprint)",
+        help="reduce each finding as it is recorded (async, overlapping "
+             "the remaining seed analysis) and fingerprint ledger "
+             "findings by the reduced case (paper-faithful dedup)",
+    )
+    p_campaign.add_argument(
+        "--reduce-jobs", type=int, default=1, metavar="N",
+        help="worker processes for the async finding-reduction queue "
+             "(0 = one per CPU); requires --reduce-findings; "
+             "fingerprints and events are identical at any N",
+    )
+    p_campaign.add_argument(
+        "--reduce-budget", type=int, default=None, metavar="N",
+        help="cap oracle calls per finding reduction (deterministic: "
+             "the same budget always yields the same partially-reduced "
+             "case); full reductions of large findings can cost "
+             "thousands of calls, so budget when wall time matters",
     )
     p_campaign.add_argument(
         "--dashboard", action="store_true",
@@ -224,6 +240,40 @@ def main(argv: list[str] | None = None) -> int:
     p_bisect.add_argument("--family", default="llvmlike")
     p_bisect.add_argument("--level", default="O3")
 
+    p_reduce = sub.add_parser(
+        "reduce",
+        help="delta-reduce a program while a marker stays missed",
+    )
+    p_reduce.add_argument("file")
+    p_reduce.add_argument("marker")
+    p_reduce.add_argument(
+        "--keeper", default="llvmlike:O3", metavar="FAMILY:LEVEL",
+        help="spec that must keep the marker alive (default llvmlike:O3)",
+    )
+    p_reduce.add_argument(
+        "--witness", default="gcclike:O3", metavar="FAMILY:LEVEL",
+        help="spec that must eliminate the marker (default gcclike:O3; "
+             "'none' drops the witness requirement)",
+    )
+    p_reduce.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="evaluate speculative candidates across N worker processes "
+             "(0 = one per CPU); the reduced program is byte-identical "
+             "to --jobs 1",
+    )
+    p_reduce.add_argument(
+        "--speculation", type=int, default=None, metavar="N",
+        help="candidates per speculative batch (default 4; part of the "
+             "determinism contract — changing it changes which "
+             "candidates get evaluated)",
+    )
+    p_reduce.add_argument("--max-rounds", type=int, default=12, metavar="N")
+    p_reduce.add_argument(
+        "--budget", type=int, default=None, metavar="N",
+        help="stop after N oracle calls and print the best program so "
+             "far (checked at batch boundaries, so still jobs-invariant)",
+    )
+
     p_cbuild = sub.add_parser(
         "corpus-build", help="generate and persist an artifact corpus"
     )
@@ -268,6 +318,18 @@ def main(argv: list[str] | None = None) -> int:
             )
         if args.window is not None and args.window < 1:
             p_campaign.error(f"--window must be >= 1, got {args.window}")
+        if args.reduce_jobs != 1 and not args.reduce_findings:
+            p_campaign.error("--reduce-jobs requires --reduce-findings")
+        if args.reduce_jobs < 0:
+            p_campaign.error(
+                f"--reduce-jobs must be >= 0, got {args.reduce_jobs}"
+            )
+        if args.reduce_budget is not None and not args.reduce_findings:
+            p_campaign.error("--reduce-budget requires --reduce-findings")
+        if args.reduce_budget is not None and args.reduce_budget < 1:
+            p_campaign.error(
+                f"--reduce-budget must be >= 1, got {args.reduce_budget}"
+            )
         _campaign(args.programs, args.seed_base,
                   metrics_out=args.metrics_out, show_progress=args.progress,
                   jobs=args.jobs, incremental=not args.no_incremental,
@@ -275,6 +337,8 @@ def main(argv: list[str] | None = None) -> int:
                   chaos_specs=args.chaos, events_out=args.events_out,
                   ledger_path=args.ledger, dashboard=args.dashboard,
                   reduce_findings=args.reduce_findings,
+                  reduce_jobs=args.reduce_jobs,
+                  reduce_budget=args.reduce_budget,
                   interp="ast" if args.no_bytecode else None,
                   window=args.window)
     elif args.command == "crashes":
@@ -302,6 +366,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"commit {result.commit.sha}: {result.commit.subject}")
         print(f"component: {result.commit.component}")
         print(f"files: {', '.join(result.commit.files)}")
+    elif args.command == "reduce":
+        return _reduce(
+            _read(args.file), args.marker, args.keeper, args.witness,
+            args.jobs, args.speculation, args.max_rounds, args.budget,
+        )
     elif args.command == "corpus-build":
         from .core.artifact import build_corpus
 
@@ -398,6 +467,60 @@ def _profile(source: str, family: str, level: str, instrument: bool) -> None:
     )
 
 
+def _spec_arg(value: str) -> CompilerSpec:
+    """``family:level`` → :class:`CompilerSpec` (tip version)."""
+    family, _, level = value.partition(":")
+    return CompilerSpec(family, level or "O3")
+
+
+def _reduce(
+    source: str,
+    marker: str,
+    keeper: str,
+    witness: str,
+    jobs: int,
+    speculation: int | None,
+    max_rounds: int,
+    budget: int | None = None,
+) -> int:
+    """``dce-hunt reduce <file> <marker>`` — reduced program to stdout
+    (byte-identical at any ``--jobs``), stats line to stderr."""
+    from .core.reduction import missed_marker_predicate, reduce_program
+
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    program = parse_program(source)
+    predicate = missed_marker_predicate(
+        marker,
+        _spec_arg(keeper),
+        None if witness == "none" else _spec_arg(witness),
+    )
+    try:
+        result = reduce_program(
+            program, predicate, max_rounds=max_rounds, jobs=jobs,
+            speculation=speculation, max_oracle_calls=budget,
+        )
+    except ValueError:
+        print(
+            f"input is not interesting: {marker} must be dead, kept by "
+            f"{keeper}, and eliminated by {witness}",
+            file=sys.stderr,
+        )
+        return 1
+    text = print_program(result.program)
+    sys.stdout.write(text if text.endswith("\n") else text + "\n")
+    print(
+        f"reduced {result.stmts_before} -> {result.stmts_after} statements "
+        f"in {result.rounds} rounds: {result.attempts} attempts, "
+        f"{result.oracle_calls} oracle calls, "
+        f"{result.oracle_cache_hits} memo hits, "
+        f"{result.speculative_wasted} speculative wasted, "
+        f"{result.wall_time:.1f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _campaign(
     n_programs: int,
     seed_base: int,
@@ -412,6 +535,8 @@ def _campaign(
     ledger_path: str | None = None,
     dashboard: bool = False,
     reduce_findings: bool = False,
+    reduce_jobs: int = 1,
+    reduce_budget: int | None = None,
     interp: str | None = None,
     window: int | None = None,
 ) -> None:
@@ -440,6 +565,15 @@ def _campaign(
             tuple(chaos.parse_fault(spec) for spec in chaos_specs)
         )
         chaos.install_plan(plan)
+    reduction = None
+    if reduce_findings:
+        from .core.reduction import ReductionQueue
+
+        if reduce_jobs == 0:
+            reduce_jobs = os.cpu_count() or 1
+        reduction = ReductionQueue(
+            reduce_jobs, max_oracle_calls=reduce_budget
+        )
     started_at = time.time()
     wall_start = time.monotonic()
     try:
@@ -448,9 +582,11 @@ def _campaign(
             metrics=metrics, progress=progress, jobs=jobs,
             incremental=incremental, seed_budget=seed_budget,
             checkpoint=checkpoint, events=events, interp=interp,
-            window=window,
+            window=window, reduction=reduction,
         )
     finally:
+        if reduction is not None:
+            reduction.close()
         if plan is not None:
             chaos.clear_plan()
         if writer is not None:
@@ -467,6 +603,7 @@ def _campaign(
                 wall_time=wall_time, started_at=started_at,
                 reduce_findings=reduce_findings, interp=interp,
                 window=window,
+                reduce_jobs=reduce_jobs if reduce_findings else None,
             )
         print(f"ledger: recorded run {run_id} in {ledger_path}",
               file=sys.stderr)
@@ -474,6 +611,15 @@ def _campaign(
         f"programs: {len(result.seeds)} (skipped {len(result.skipped)}), "
         f"markers: {result.total_markers}, dead: {pct(result.dead_pct)}"
     )
+    if result.reduction_stats is not None:
+        stats = result.reduction_stats
+        print(
+            f"reduction: {stats.reduced}/{stats.submitted} findings reduced "
+            f"({stats.fallbacks} structural fallbacks, "
+            f"{stats.crashed} crashed) with {stats.oracle_calls} oracle "
+            f"calls, {stats.cache_hits} memo hits across "
+            f"{stats.jobs} worker(s)"
+        )
     if result.crashes or result.budget_exceeded or result.degraded:
         print(
             f"fault isolation: {len(result.crashes)} crashes in "

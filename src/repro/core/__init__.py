@@ -28,8 +28,12 @@ from .markers import (
 )
 from .primary import MarkerGraph, build_marker_graph, primary_missed_markers
 from .reduction import (
+    MissedMarkerPredicate,
+    ReductionCampaignStats,
+    ReductionQueue,
     ReductionResult,
     missed_marker_predicate,
+    reduce_finding,
     reduce_program,
 )
 from .regression_watch import WatchReport, watch
@@ -61,7 +65,10 @@ __all__ = [
     "MarkerGraph",
     "MarkerInfo",
     "MarkerOutcome",
+    "MissedMarkerPredicate",
     "ProgramAnalysis",
+    "ReductionCampaignStats",
+    "ReductionQueue",
     "ReductionResult",
     "ValueCheckProgram",
     "WatchReport",
@@ -78,6 +85,7 @@ __all__ = [
     "missed_between_levels",
     "missed_marker_predicate",
     "primary_missed_markers",
+    "reduce_finding",
     "reduce_program",
     "reports_for",
     "run_campaign",

@@ -116,6 +116,12 @@ class CampaignResult:
     #: marker-yield accumulators per program shape
     #: (:func:`repro.core.shapes.program_shape`)
     by_shape: dict[str, ShapeStats] = field(default_factory=dict)
+    #: reduced-case fingerprint per finding index (None where the
+    #: reduction fell back), present only when a reduction queue ran
+    reduced_fingerprints: dict[int, str | None] | None = None
+    #: :class:`~repro.core.reduction.ReductionCampaignStats` rollup,
+    #: present only when a reduction queue ran
+    reduction_stats: object | None = None
 
     @property
     def dead_pct(self) -> float:
@@ -171,6 +177,7 @@ def run_campaign(
     events: EventBus | None = None,
     interp: str | None = None,
     window: int | None = None,
+    reduction=None,
 ) -> CampaignResult:
     """Run the full marker campaign over ``n_programs`` seeds.
 
@@ -219,6 +226,13 @@ def run_campaign(
     record per finished seed so an interrupted campaign rerun with the
     same path replays journaled seeds and analyzes only the rest,
     reproducing the uninterrupted result.
+
+    ``reduction`` — a :class:`~repro.core.reduction.ReductionQueue`:
+    each recorded finding is submitted the moment the differential
+    layer surfaces it (reductions overlap the remaining seed
+    analysis), and the queue drains — in finding order, so the event
+    stream stays deterministic — before ``campaign_end``, leaving
+    ``result.reduced_fingerprints`` and ``result.reduction_stats``.
     """
     if n_programs < 0:
         raise ValueError(f"n_programs must be >= 0, got {n_programs}")
@@ -231,18 +245,19 @@ def run_campaign(
             n_programs, seed_base, version, generator_config,
             keep_analyses, compare_level, metrics, tracer, progress, jobs,
             incremental, seed_budget, checkpoint, events, interp, window,
+            reduction,
         )
     if tracer is not None:
         with use_tracer(tracer):
             return _run_campaign_traced(
                 n_programs, seed_base, version, generator_config,
                 keep_analyses, compare_level, metrics, progress, incremental,
-                seed_budget, checkpoint, events, interp,
+                seed_budget, checkpoint, events, interp, reduction,
             )
     return _run_campaign_traced(
         n_programs, seed_base, version, generator_config,
         keep_analyses, compare_level, metrics, progress, incremental,
-        seed_budget, checkpoint, events, interp,
+        seed_budget, checkpoint, events, interp, reduction,
     )
 
 
@@ -260,6 +275,7 @@ def _run_campaign_traced(
     checkpoint: str | None = None,
     events: EventBus | None = None,
     interp: str | None = None,
+    reduction=None,
 ) -> CampaignResult:
     specs = default_specs(version)
     result = CampaignResult()
@@ -315,7 +331,7 @@ def _run_campaign_traced(
                         events.emit_all(ev.seed_outcome_records(report))
                 _merge_report(
                     result, report, version, compare_level, keep_analyses,
-                    metrics, events,
+                    metrics, events, reduction,
                 )
                 elapsed = time.perf_counter() - start
                 if metrics is not None:
@@ -324,6 +340,9 @@ def _run_campaign_traced(
                     progress(_progress_snapshot(
                         result, report, n_programs, elapsed
                     ))
+            # reductions overlapped the seed loop; collect them (in
+            # finding order) before the campaign narrates its end
+            drain_reduction(result, reduction, events, metrics)
             campaign_span.update(
                 completed=len(result.seeds), skipped=len(result.skipped),
                 crashed=len(result.crashes),
@@ -337,10 +356,29 @@ def _run_campaign_traced(
     return result
 
 
+def drain_reduction(
+    result: CampaignResult,
+    reduction,
+    events: EventBus | None,
+    metrics: MetricsRegistry | None,
+) -> None:
+    """Collect a campaign's reduction queue into the result (shared by
+    the sequential loop and the parallel engine; no-op without a
+    queue).  Runs before ``campaign_end`` so the end-of-stream summary
+    can report the reduced-finding tally."""
+    if reduction is None:
+        return
+    fingerprints, stats = reduction.drain(
+        events=events, metrics=metrics, crashes=result.crashes
+    )
+    result.reduced_fingerprints = fingerprints
+    result.reduction_stats = stats
+
+
 def campaign_end_attrs(result: CampaignResult) -> dict:
     """The ``campaign_end`` event attributes (shared with the parallel
     engine so both emit identical summaries)."""
-    return {
+    attrs = {
         "completed": len(result.seeds),
         "skipped": len(result.skipped),
         "crashed": len(result.crashes),
@@ -350,6 +388,9 @@ def campaign_end_attrs(result: CampaignResult) -> dict:
         "total_dead": result.total_dead,
         "findings": len(result.findings),
     }
+    if result.reduction_stats is not None:
+        attrs["findings_reduced"] = result.reduction_stats.reduced
+    return attrs
 
 
 def _merge_report(
@@ -360,6 +401,7 @@ def _merge_report(
     keep_analyses: bool,
     metrics: MetricsRegistry | None,
     events: EventBus | None = None,
+    reduction=None,
 ) -> None:
     """Fold one per-seed :class:`SeedReport` into the campaign result
     (shared by the sequential loop, the parallel merge, and checkpoint
@@ -376,7 +418,9 @@ def _merge_report(
         result.skipped.append(report.seed)
     else:
         result.seeds.append(report.seed)
-        _accumulate(result, report.outcome, version, compare_level, events)
+        _accumulate(
+            result, report.outcome, version, compare_level, events, reduction
+        )
         if keep_analyses:
             result.analyses.append(report.outcome)
         if report.degraded:
@@ -484,6 +528,7 @@ def _accumulate(
     version: int | None,
     compare_level: str,
     events: EventBus | None = None,
+    reduction=None,
 ) -> None:
     analysis = outcome.analysis
     truth = analysis.ground_truth
@@ -498,10 +543,15 @@ def _accumulate(
     shape_stats.dead += len(truth.dead)
 
     def record_finding(finding: dict) -> None:
+        index = len(result.findings)
         result.findings.append(finding)
         shape_stats.findings += 1
         if events is not None:
             events.emit(ev.FINDING, shape=shape, **finding)
+        if reduction is not None:
+            # off the critical path: the queue reduces this finding in
+            # a pool worker while the campaign analyzes further seeds
+            reduction.submit(index, finding)
 
     graph = build_marker_graph(instrumented, truth.executed_functions())
 

@@ -76,6 +76,7 @@ from .corpus import (
     _sigint_flushes,
     campaign_end_attrs,
     default_specs,
+    drain_reduction,
 )
 from .resilience import (
     CheckpointJournal,
@@ -208,12 +209,54 @@ def _run_analyze(seed: int, metrics: MetricsRegistry | None) -> SeedReport:
     )
 
 
+# -- oracle workers (reduction engine) -------------------------------------
+
+
+@dataclass(frozen=True)
+class OracleWorkerConfig:
+    """Bootstrap for the reduction engine's oracle pools: the
+    (picklable) interestingness predicate plus the parent's chaos
+    plan, shipped once per pool through the initializer — the same
+    pattern as :class:`WorkerConfig`."""
+
+    predicate: Any
+    fault_plan: chaos.FaultPlan | None = None
+
+
+_ORACLE: dict[str, Any] = {}
+
+
+def _init_oracle_worker(config: OracleWorkerConfig) -> None:
+    _ORACLE["predicate"] = config.predicate
+    chaos.install_plan(config.fault_plan)
+
+
+def evaluate_candidates(
+    items: list[tuple[str, str]],
+) -> list[tuple[str, bool, bool]]:
+    """Judge printed reduction candidates in an oracle worker.
+
+    ``items`` is ``(memo key, printed text)`` pairs; the result is
+    ``(memo key, verdict, errored)`` in the same order, produced by
+    the exact evaluation path the in-process engine uses
+    (:func:`repro.core.reduction.evaluate_printed`), so ``jobs`` can
+    never change a verdict.
+    """
+    from .reduction import evaluate_printed
+
+    predicate = _ORACLE["predicate"]
+    return [
+        (key, *evaluate_printed(predicate, text)) for key, text in items
+    ]
+
+
 # -- parent side -----------------------------------------------------------
 
 
-def _pool_context():
+def pool_context():
     """Prefer fork (cheap, inherits warm module state); fall back to
-    the platform default where fork is unavailable."""
+    the platform default where fork is unavailable.  Shared by the
+    campaign scheduler and the reduction engine's oracle pools."""
     if "fork" in multiprocessing.get_all_start_methods():
         return multiprocessing.get_context("fork")
     return multiprocessing.get_context()
@@ -236,6 +279,7 @@ def run_campaign_parallel(
     events: EventBus | None = None,
     interp: str | None = None,
     window: int | None = None,
+    reduction=None,
 ) -> CampaignResult:
     """The ``jobs > 1`` engine behind
     :func:`repro.core.corpus.run_campaign` (same contract)."""
@@ -245,11 +289,12 @@ def run_campaign_parallel(
                 n_programs, seed_base, version, generator_config,
                 keep_analyses, compare_level, metrics, progress, jobs,
                 incremental, seed_budget, checkpoint, events, interp, window,
+                reduction,
             )
     return _run_parallel(
         n_programs, seed_base, version, generator_config,
         keep_analyses, compare_level, metrics, progress, jobs, incremental,
-        seed_budget, checkpoint, events, interp, window,
+        seed_budget, checkpoint, events, interp, window, reduction,
     )
 
 
@@ -269,6 +314,7 @@ def _run_parallel(
     events: EventBus | None = None,
     interp: str | None = None,
     window: int | None = None,
+    reduction=None,
 ) -> CampaignResult:
     result = CampaignResult()
     result.cross_level = {family: CrossLevelStats() for family in FAMILIES}
@@ -324,7 +370,7 @@ def _run_parallel(
                     _merge_one(
                         result, replayed, None, None, version, compare_level,
                         keep_analyses, metrics, tracer, parent_id, progress,
-                        start, n_programs, events,
+                        start, n_programs, events, reduction,
                     )
                     continue
                 envelope = next(envelopes)
@@ -340,8 +386,11 @@ def _run_parallel(
                 _merge_one(
                     result, envelope.report, envelope.metrics, envelope.spans,
                     version, compare_level, keep_analyses, metrics, tracer,
-                    parent_id, progress, start, n_programs, events,
+                    parent_id, progress, start, n_programs, events, reduction,
                 )
+            # reductions overlapped the seed loop; collect them (in
+            # finding order) before the campaign narrates its end
+            drain_reduction(result, reduction, events, metrics)
             campaign_span.update(
                 completed=len(result.seeds), skipped=len(result.skipped),
                 crashed=len(result.crashes),
@@ -395,7 +444,7 @@ def _drain_envelopes(
         doomed: list[list[int]] = []
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(backlog)),
-            mp_context=_pool_context(),
+            mp_context=pool_context(),
             initializer=_init_worker,
             initargs=(config,),
         ) as pool:
@@ -481,7 +530,7 @@ def _run_shard_isolated(
     means the shard (specifically) killed its worker again."""
     with ProcessPoolExecutor(
         max_workers=1,
-        mp_context=_pool_context(),
+        mp_context=pool_context(),
         initializer=_init_worker,
         initargs=(config,),
     ) as pool:
@@ -506,6 +555,7 @@ def _merge_one(
     start: float,
     n_programs: int,
     events: EventBus | None = None,
+    reduction=None,
 ) -> None:
     """Fold one per-seed report into the parent state (mirrors one
     iteration of the sequential campaign loop)."""
@@ -515,7 +565,7 @@ def _merge_one(
         tracer.adopt_spans(spans, parent_id=campaign_parent_id)
     _merge_report(
         result, report, version, compare_level, keep_analyses, metrics,
-        events,
+        events, reduction,
     )
     elapsed = time.perf_counter() - start
     if metrics is not None:

@@ -54,6 +54,9 @@ PHASES = ("generate", "instrument", "ground_truth", "compile", "analyze")
 #: synthetic phase for seeds that took a pool worker down with them
 WORKER_PHASE = "worker"
 
+#: post-campaign phase for crashes inside finding reduction
+REDUCE_PHASE = "reduce"
+
 _REPRO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 _TESTING_DIR = os.path.join(_REPRO_ROOT, "testing")
 
@@ -297,6 +300,23 @@ def worker_death_envelope(seed: int) -> CrashEnvelope:
             "(BrokenProcessPool; isolated by shard bisection)"
         ),
         bucket="WorkerDeath@worker",
+        traceback=(),
+        repro=repro_command(seed),
+    )
+
+
+def reduction_death_envelope(seed: int) -> CrashEnvelope:
+    """The synthesized envelope for a finding whose reduction killed
+    its pool worker; the campaign keeps the structural fingerprint."""
+    return CrashEnvelope(
+        seed=seed,
+        phase=REDUCE_PHASE,
+        exc_type="WorkerDeath",
+        message=(
+            "worker process died while reducing this finding "
+            "(BrokenProcessPool; structural fingerprint kept)"
+        ),
+        bucket="WorkerDeath@reduce",
         traceback=(),
         repro=repro_command(seed),
     )

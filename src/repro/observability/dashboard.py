@@ -50,6 +50,7 @@ class LiveDashboard:
         self._findings = 0
         self._crashes = 0
         self._budget = 0
+        self._reduction_commits = 0
         self._line_open = False
 
     # -- wiring --------------------------------------------------------
@@ -64,7 +65,9 @@ class LiveDashboard:
     # -- event consumption ---------------------------------------------
 
     def __call__(self, event: Event) -> None:
-        handler = getattr(self, f"_on_{event.type}", None)
+        # dot-named types (reduction.commit) map to _on_reduction_commit
+        name = event.type.replace(".", "_")
+        handler = getattr(self, f"_on_{name}", None)
         if handler is not None:
             handler(event)
 
@@ -72,6 +75,7 @@ class LiveDashboard:
         self._start = self._now()
         self._total = event.attrs.get("programs", 0)
         self._done = self._findings = self._crashes = self._budget = 0
+        self._reduction_commits = 0
         if not self._tty:
             self._print(
                 f"campaign: {self._total} programs "
@@ -105,16 +109,35 @@ class LiveDashboard:
         if self._tty:
             self._render()
 
+    def _on_reduction_round(self, event: Event) -> None:
+        # round-level progress is noise on the one-line TTY; narrate it
+        # only in plain mode (the drain happens after the seed loop, so
+        # it never interleaves with per-seed lines)
+        if not self._tty:
+            self._print(
+                f"reduce seed {event.attrs.get('seed', '?')}: "
+                f"round {event.attrs.get('round', '?')}, "
+                f"{event.attrs.get('stmts', '?')} stmts, "
+                f"{event.attrs.get('commits', 0)} commits"
+            )
+
+    def _on_reduction_commit(self, event: Event) -> None:
+        self._reduction_commits += 1
+        if self._tty:
+            self._render()
+
     def _on_campaign_end(self, event: Event) -> None:
         if self._line_open:
             self._stream.write("\n")
             self._line_open = False
         elapsed = self._elapsed()
+        reduced = event.attrs.get("findings_reduced")
         self._print(
             f"campaign done: {event.attrs.get('completed', self._done)} seeds, "
             f"{event.attrs.get('findings', self._findings)} findings, "
             f"{event.attrs.get('crashed', self._crashes)} crashes "
-            f"in {elapsed:.1f}s"
+            + (f"({reduced} reduced) " if reduced is not None else "")
+            + f"in {elapsed:.1f}s"
         )
 
     # -- rendering -----------------------------------------------------
@@ -147,6 +170,8 @@ class LiveDashboard:
         ]
         if self._budget:
             parts.append(f"{self._budget} over budget")
+        if self._reduction_commits:
+            parts.append(f"{self._reduction_commits} shrinks")
         parts.append(f"ETA {eta}")
         return " · ".join(parts)
 

@@ -4,8 +4,9 @@ A campaign narrates itself as a sequence of typed events — one
 ``campaign_start``, a ``seed_start``/outcome pair per seed (the
 outcome is ``seed_done``, ``crash`` or ``budget_exceeded``;
 checkpoint-replayed seeds emit ``checkpoint_replayed`` instead),
-``finding`` events as the differential layer surfaces them, and one
-``campaign_end``.  The :class:`EventBus` fans each event out to
+``finding`` events as the differential layer surfaces them,
+``reduction.round``/``reduction.commit`` progress when findings are
+reduced, and one ``campaign_end``.  The :class:`EventBus` fans each event out to
 subscribers (the JSONL writer behind ``campaign --events-out``, the
 live dashboard behind ``--dashboard``, the plain progress printer
 behind ``--progress``).
@@ -41,6 +42,11 @@ FINDING = "finding"
 CRASH = "crash"
 BUDGET_EXCEEDED = "budget_exceeded"
 CHECKPOINT_REPLAYED = "checkpoint_replayed"
+#: finding reduction progress (one per delta round / committed shrink;
+#: emitted in finding order when the campaign drains its reduction
+#: queue, so the stream stays deterministic at any --reduce-jobs)
+REDUCTION_ROUND = "reduction.round"
+REDUCTION_COMMIT = "reduction.commit"
 CAMPAIGN_END = "campaign_end"
 
 #: every event type the campaign engine emits, in no particular order
@@ -52,6 +58,8 @@ EVENT_TYPES = frozenset({
     CRASH,
     BUDGET_EXCEEDED,
     CHECKPOINT_REPLAYED,
+    REDUCTION_ROUND,
+    REDUCTION_COMMIT,
     CAMPAIGN_END,
 })
 

@@ -86,7 +86,11 @@ CREATE TABLE IF NOT EXISTS runs (
     crash_buckets_json TEXT NOT NULL,
     metrics_json TEXT NOT NULL,
     interp TEXT,
-    sched_window INTEGER
+    sched_window INTEGER,
+    reduce_jobs INTEGER,
+    reduction_oracle_calls INTEGER,
+    reduction_speculative_wasted INTEGER,
+    reduction_wall_time REAL
 );
 CREATE INDEX IF NOT EXISTS idx_runs_config ON runs(config_fingerprint);
 CREATE TABLE IF NOT EXISTS findings (
@@ -206,55 +210,15 @@ def _reduced_fingerprint(
 ) -> str | None:
     """Reduce the case and hash the canonical IR of the result, or
     ``None`` when no (keeper, witness) pairing makes the initial
-    program interesting (the structural signature then applies)."""
-    from ..core.reduction import missed_marker_predicate, reduce_program
-    from ..frontend.lower import lower_program
-    from ..frontend.typecheck import check_program
-    from ..ir.printer import fingerprint_module
+    program interesting (the structural signature then applies).
+    Delegates to :func:`repro.core.reduction.reduce_finding` — the
+    same engine a campaign's reduction queue runs off-path."""
+    from ..core.reduction import reduce_finding
 
-    for marker, keeper, witness in _reduction_targets(
-        finding, compare_level, version
-    ):
-        predicate = missed_marker_predicate(marker, keeper, witness)
-        try:
-            reduced = reduce_program(program, predicate).program
-        except ValueError:
-            continue  # not interesting as posed; try the next pairing
-        info = check_program(reduced)
-        module_fp = fingerprint_module(lower_program(reduced, info))
-        payload = {"kind": finding["kind"], "module": module_fp}
-        return hashlib.sha256(
-            json.dumps(payload, sort_keys=True).encode()
-        ).hexdigest()[:16]
-    return None
-
-
-def _reduction_targets(
-    finding: dict, compare_level: str, version: int | None
-):
-    """Candidate (marker, keeper, witness) triples, strongest first."""
-    from ..compilers import CompilerSpec
-
-    if finding["kind"] == "cross-compiler":
-        sides = (
-            [("gcclike", "llvmlike", m) for m in finding.get("gcc_misses", ())]
-            + [("llvmlike", "gcclike", m) for m in finding.get("llvm_misses", ())]
-        )
-        for keeper_family, witness_family, marker in sides:
-            keeper = CompilerSpec(keeper_family, compare_level, version)
-            yield marker, keeper, CompilerSpec(
-                witness_family, compare_level, version
-            )
-            yield marker, keeper, None
-    else:
-        family = finding.get("family", "gcclike")
-        keeper = CompilerSpec(family, compare_level, version)
-        for marker in finding["markers"]:
-            for witness_level in ("O2", "O1"):
-                yield marker, keeper, CompilerSpec(
-                    family, witness_level, version
-                )
-            yield marker, keeper, None
+    outcome = reduce_finding(
+        finding, program, compare_level=compare_level, version=version
+    )
+    return outcome[0] if outcome is not None else None
 
 
 # -- row types -------------------------------------------------------------
@@ -289,6 +253,12 @@ class RunRow:
     interp: str | None = None
     #: parallel scheduler in-flight shard window (None = default)
     window: int | None = None
+    #: reduction-queue pool size (None = no reduction queue ran)
+    reduce_jobs: int | None = None
+    #: reduction-queue rollups (None when no queue ran)
+    reduction_oracle_calls: int | None = None
+    reduction_speculative_wasted: int | None = None
+    reduction_wall_time: float | None = None
     by_level: dict[str, dict[str, int]] = field(default_factory=dict)
     cross_compiler: dict[str, int] = field(default_factory=dict)
     cross_level: dict[str, dict[str, int]] = field(default_factory=dict)
@@ -348,7 +318,16 @@ class RunLedger:
             row["name"]
             for row in self._conn.execute("PRAGMA table_info(runs)")
         }
-        for name, decl in (("interp", "TEXT"), ("sched_window", "INTEGER")):
+        for name, decl in (
+            ("interp", "TEXT"),
+            ("sched_window", "INTEGER"),
+            # PR 8: reduction-queue metadata; like jobs/window/interp
+            # these stay out of the config fingerprint
+            ("reduce_jobs", "INTEGER"),
+            ("reduction_oracle_calls", "INTEGER"),
+            ("reduction_speculative_wasted", "INTEGER"),
+            ("reduction_wall_time", "REAL"),
+        ):
             if name not in have:
                 self._conn.execute(
                     f"ALTER TABLE runs ADD COLUMN {name} {decl}"
@@ -373,6 +352,7 @@ class RunLedger:
         reduce_findings: bool = False,
         interp: str | None = None,
         window: int | None = None,
+        reduce_jobs: int | None = None,
     ) -> int:
         """Persist one :class:`~repro.core.corpus.CampaignResult`;
         returns the new run id.  Findings upsert against prior runs
@@ -380,14 +360,22 @@ class RunLedger:
         in which a fingerprint was seen).
 
         ``interp`` (ground-truth backend; ``None`` resolves to the
-        process default) and ``window`` (parallel scheduler in-flight
-        cap) are recorded as run metadata but stay out of the config
-        fingerprint — neither changes results."""
+        process default), ``window`` (parallel scheduler in-flight
+        cap), and ``reduce_jobs`` (reduction-queue pool size) are
+        recorded as run metadata but stay out of the config
+        fingerprint — none of them changes results.
+
+        When the campaign ran a reduction queue
+        (``result.reduced_fingerprints``), those precomputed reduced
+        fingerprints are used directly instead of re-reducing every
+        finding here, and the queue's oracle-call/speculation/wall-time
+        rollup lands in the run row."""
         if interp is None:
             from ..interp import get_default_backend
 
             interp = get_default_backend()
         snapshot = metrics.to_dict() if metrics is not None else {}
+        reduction_stats = getattr(result, "reduction_stats", None)
         attribution = {
             name[len(ATTRIBUTION_PREFIX):]: entry["value"]
             for name, entry in snapshot.items()
@@ -441,6 +429,10 @@ class RunLedger:
             json.dumps(snapshot, sort_keys=True),
             interp,
             window,
+            reduce_jobs,
+            reduction_stats.oracle_calls if reduction_stats else None,
+            reduction_stats.speculative_wasted if reduction_stats else None,
+            reduction_stats.wall_time if reduction_stats else None,
         )
         cursor = self._conn.execute(
             """INSERT INTO runs (
@@ -450,14 +442,17 @@ class RunLedger:
                 total_markers, total_dead, total_alive, findings,
                 soundness_violations, by_level_json, cross_compiler_json,
                 cross_level_json, shape_yield_json, pass_attribution_json,
-                crash_buckets_json, metrics_json, interp, sched_window
-            ) VALUES (%s)""" % ", ".join("?" * 28),
+                crash_buckets_json, metrics_json, interp, sched_window,
+                reduce_jobs, reduction_oracle_calls,
+                reduction_speculative_wasted, reduction_wall_time
+            ) VALUES (%s)""" % ", ".join("?" * 32),
             row,
         )
         run_id = cursor.lastrowid
         self._record_findings(
             run_id, result.findings, generator_config, compare_level,
             version, reduce_findings,
+            precomputed=getattr(result, "reduced_fingerprints", None),
         )
         self._conn.commit()
         return run_id
@@ -470,13 +465,20 @@ class RunLedger:
         compare_level: str,
         version: int | None,
         reduce_findings: bool,
+        precomputed: dict[int, str | None] | None = None,
     ) -> None:
         deduped: dict[str, dict] = {}
-        for finding in findings:
-            fingerprint = finding_fingerprint(
-                finding, generator_config, compare_level, version,
-                reduce=reduce_findings,
+        for index, finding in enumerate(findings):
+            fingerprint = (
+                precomputed.get(index) if precomputed is not None else None
             )
+            if fingerprint is None:
+                # no queue ran (reduce here if asked), or the queue
+                # fell back on this finding (structural signature)
+                fingerprint = finding_fingerprint(
+                    finding, generator_config, compare_level, version,
+                    reduce=reduce_findings and precomputed is None,
+                )
             entry = deduped.setdefault(
                 fingerprint,
                 {"kind": finding["kind"], "detail": finding, "seeds": set()},
@@ -617,6 +619,10 @@ class RunLedger:
             soundness_violations=row["soundness_violations"],
             interp=row["interp"],
             window=row["sched_window"],
+            reduce_jobs=row["reduce_jobs"],
+            reduction_oracle_calls=row["reduction_oracle_calls"],
+            reduction_speculative_wasted=row["reduction_speculative_wasted"],
+            reduction_wall_time=row["reduction_wall_time"],
             by_level=json.loads(row["by_level_json"]),
             cross_compiler=json.loads(row["cross_compiler_json"]),
             cross_level=json.loads(row["cross_level_json"]),

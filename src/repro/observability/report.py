@@ -286,6 +286,23 @@ def _report_sections(
             sorted(run.crash_buckets.items()),
         ))
 
+    if run.reduction_oracle_calls:
+        cache_hits = run.metric_value("reduction.oracle_cache_hits")
+        total = run.reduction_oracle_calls + cache_hits
+        sections.append((
+            "Finding reduction",
+            [("reduce jobs", "oracle calls", "cache hits", "memo hit %",
+              "speculative wasted", "reduce wall (s)")],
+            [(
+                run.reduce_jobs or 1,
+                run.reduction_oracle_calls,
+                int(cache_hits),
+                f"{100.0 * cache_hits / total:.1f}%" if total else "0%",
+                run.reduction_speculative_wasted or 0,
+                f"{run.reduction_wall_time or 0.0:.1f}",
+            )],
+        ))
+
     if findings:
         sections.append((
             "Findings (deduplicated)",

@@ -1,0 +1,263 @@
+"""Parallel speculative reduction must be byte-identical to sequential.
+
+The engine's contract (``src/repro/core/reduction.py``): every
+speculative batch is evaluated in full, verdicts are a pure function of
+the printed candidate, and the first interesting candidate in
+enumeration order commits.  ``jobs`` therefore only moves fresh
+evaluations onto a process pool — the reduced program, the commit
+sequence, and every counter must match ``jobs=1`` exactly.  These tests
+pin that over 20 synthesized programs with a cheap oracle (so the
+matrix stays fast), one real compiler-backed oracle, and two hostile
+oracles (one that raises, one that kills its worker).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.compilers import CompilerSpec
+from repro.core.reduction import (
+    DEFAULT_SPECULATION,
+    count_statements,
+    missed_marker_predicate,
+    reduce_program,
+)
+from repro.lang import parse_program, print_program
+from repro.observability.metrics import MetricsRegistry
+
+SEEDS = range(20)
+JOBS = (1, 2, 4)
+
+#: the counters that must be jobs-invariant (wall_time is excluded)
+COUNTERS = (
+    "attempts", "successes", "oracle_calls", "oracle_cache_hits",
+    "oracle_errors", "speculative_wasted", "rounds",
+    "stmts_before", "stmts_after",
+)
+
+
+class MarkerTextOracle:
+    """Cheap picklable oracle: interesting iff the marker call survives.
+
+    A pure function of the printed program (parse/print only, no
+    compilation), so the 20-seed × 3-jobs matrix runs in seconds while
+    still exercising the full speculative machinery.
+    """
+
+    cache_key = "marker-text:DCEMarker0"
+
+    def __call__(self, program) -> bool:
+        return "DCEMarker0()" in print_program(program)
+
+
+class FragileOracle:
+    """Raises on candidates that dropped the tripwire statement.
+
+    A crashing oracle must be *contained*: the candidate is declined
+    (never committed), the round continues, and the error is counted —
+    identically whether the exception fires in a pool worker or
+    in-process.
+    """
+
+    cache_key = "fragile:DCEMarker0"
+
+    def __call__(self, program) -> bool:
+        text = print_program(program)
+        if "int trip" not in text:
+            raise RuntimeError("oracle lost its tripwire")
+        return "DCEMarker0()" in text
+
+
+class KamikazeOracle:
+    """Kills its worker process once, then behaves like the text oracle.
+
+    ``os._exit`` in a pool worker breaks the whole executor
+    (``BrokenProcessPool``) — the engine must drop the pool, re-answer
+    the batch in-process, and keep reducing.  The flag file makes the
+    death one-shot so the in-process retry (and any restarted worker)
+    survives.
+    """
+
+    cache_key = "kamikaze:DCEMarker0"
+
+    def __init__(self, flag_path: str) -> None:
+        self.flag_path = flag_path
+        # only a *worker* may die — the initial check runs in-process
+        self.parent_pid = os.getpid()
+
+    def __call__(self, program) -> bool:
+        if os.getpid() != self.parent_pid and not os.path.exists(
+            self.flag_path
+        ):
+            with open(self.flag_path, "w") as fh:
+                fh.write("died once\n")
+            os._exit(3)
+        return "DCEMarker0()" in print_program(program)
+
+
+def _synthesize(seed: int) -> str:
+    """A small deterministic program with one marker call buried in
+    removable noise — varied statement counts and nesting per seed."""
+    rng = random.Random(seed)
+    lines = [
+        "void DCEMarker0(void);",
+        f"static int pad{seed} = {rng.randrange(9)};",
+        "int main() {",
+        f"  int x = {rng.randrange(10)};",
+    ]
+    marker_at = rng.randrange(3, 9)
+    for i in range(rng.randrange(10, 18)):
+        if i == marker_at:
+            lines.append("  if (x < 99) { DCEMarker0(); }")
+        pick = rng.randrange(4)
+        if pick == 0:
+            lines.append(f"  x = x + {rng.randrange(1, 6)};")
+        elif pick == 1:
+            lines.append(f"  int y{i} = x * {rng.randrange(2, 5)};")
+            lines.append(f"  x = x - y{i};")
+        elif pick == 2:
+            lines.append(
+                f"  if (x > {rng.randrange(50)}) {{ x = x + 1; }}"
+            )
+        else:
+            lines.append(
+                f"  for (int k{i} = 0; k{i} < {rng.randrange(2, 5)}; "
+                f"k{i}++) {{ x = x + k{i}; }}"
+            )
+    lines += ["  return x;", "}"]
+    return "\n".join(lines) + "\n"
+
+
+def _observe(program, predicate, jobs, **kwargs):
+    """One reduction run → (printed program, counters, events, metric
+    counter values) with timing stripped — everything that must be
+    jobs-invariant."""
+    registry = MetricsRegistry()
+    events = []
+    result = reduce_program(
+        program, predicate, jobs=jobs, metrics=registry,
+        event_sink=lambda type_, attrs: events.append((type_, attrs)),
+        **kwargs,
+    )
+    counters = {name: getattr(result, name) for name in COUNTERS}
+    metric_counters = {
+        name: entry["value"]
+        for name, entry in registry.dump().items()
+        if entry.get("type") == "counter"
+        and name != "reduction.worker_restarts"  # pool-only by design
+    }
+    return print_program(result.program), counters, events, metric_counters
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_reduction_identical_across_jobs(seed):
+    source = _synthesize(seed)
+    program = parse_program(source)
+    assert "DCEMarker0()" in source
+    baseline = _observe(program, MarkerTextOracle(), jobs=1)
+    assert "DCEMarker0()" in baseline[0]
+    assert baseline[1]["stmts_after"] < baseline[1]["stmts_before"]
+    assert any(type_ == "reduction.commit" for type_, _ in baseline[2])
+    for jobs in JOBS[1:]:
+        run = _observe(program, MarkerTextOracle(), jobs=jobs)
+        assert run[0] == baseline[0], f"program differs at jobs={jobs}"
+        assert run[1] == baseline[1], f"counters differ at jobs={jobs}"
+        assert run[2] == baseline[2], f"events differ at jobs={jobs}"
+        assert run[3] == baseline[3], f"metrics differ at jobs={jobs}"
+
+
+def test_budgeted_reduction_identical_across_jobs():
+    """The oracle-call budget is checked on a jobs-invariant counter at
+    batch boundaries, so a budgeted (partial) reduction is byte-
+    identical at any jobs count too."""
+    program = parse_program(_synthesize(7))
+    budget = 3 * DEFAULT_SPECULATION
+    runs = [
+        _observe(program, MarkerTextOracle(), jobs=jobs,
+                 max_oracle_calls=budget)
+        for jobs in JOBS
+    ]
+    # the budget is checked before each batch, so the overshoot is at
+    # most one batch
+    assert runs[0][1]["oracle_calls"] < budget + DEFAULT_SPECULATION
+    assert runs[1] == runs[0]
+    assert runs[2] == runs[0]
+
+
+# the one compiler-backed case: slow, so a single fixture and jobs=2
+BLOATED = """
+void DCEMarker0(void);
+char a;
+char b[2];
+static int noise1 = 4;
+static long noise2[3] = {1, 2, 3};
+static int helper(int x) { return x * 3; }
+int main() {
+  int pad1 = helper(2);
+  noise1 += pad1;
+  long pad2 = noise2[1] + noise1;
+  char *d = &a;
+  char *e = &b[1];
+  if (d == e) {
+    DCEMarker0();
+  }
+  noise2[2] = pad2;
+  for (int i = 0; i < 3; i++) { noise1 += i; }
+  return 0;
+}
+"""
+
+
+def test_real_oracle_identical_across_jobs():
+    program = parse_program(BLOATED)
+    predicate = missed_marker_predicate(
+        "DCEMarker0",
+        keeper=CompilerSpec("llvmlike", "O3"),
+        witness=CompilerSpec("gcclike", "O3"),
+    )
+    sequential = _observe(program, predicate, jobs=1)
+    parallel = _observe(program, predicate, jobs=2)
+    assert parallel == sequential
+    assert sequential[1]["stmts_after"] < sequential[1]["stmts_before"]
+
+
+def test_crashing_oracle_is_contained_and_counted():
+    """A raising oracle declines the candidate instead of aborting the
+    reduction, and ``reduction.oracle_errors`` merges identically from
+    pool workers and in-process evaluation."""
+    source = _synthesize(3).replace(
+        "int main() {", "int main() {\n  int trip = 1;", 1
+    )
+    program = parse_program(source)
+    sequential = _observe(program, FragileOracle(), jobs=1)
+    parallel = _observe(program, FragileOracle(), jobs=2)
+    assert parallel == sequential
+    assert sequential[1]["oracle_errors"] > 0
+    assert (
+        sequential[3]["reduction.oracle_errors"]
+        == sequential[1]["oracle_errors"]
+    )
+    # the tripwire survived: deleting it always errors, never commits
+    assert "int trip" in sequential[0]
+    assert "DCEMarker0()" in sequential[0]
+
+
+def test_worker_death_recovers_with_identical_result(tmp_path):
+    """One worker dying mid-batch (BrokenProcessPool) must not doom the
+    reduction: the engine re-answers the batch in-process and the final
+    program still matches the sequential run."""
+    flag = tmp_path / "died-once"
+    program = parse_program(_synthesize(11))
+    baseline = _observe(program, MarkerTextOracle(), jobs=1)
+
+    registry = MetricsRegistry()
+    result = reduce_program(
+        program, KamikazeOracle(str(flag)), jobs=2, metrics=registry,
+    )
+    assert flag.exists(), "the kamikaze oracle never fired"
+    assert print_program(result.program) == baseline[0]
+    restarts = registry.dump().get("reduction.worker_restarts")
+    assert restarts is not None and restarts["value"] >= 1
