@@ -25,6 +25,10 @@ Subcommands mirror the paper's workflow:
 * ``reduce FILE MARKER``— delta-reduce a case under the missed-marker
   oracle (``--jobs N`` fans candidate evaluations across a process
   pool; output is byte-identical at any jobs count)
+* ``store stats|gc|export`` — inspect or compact a persistent
+  artifact store (``campaign --store FILE`` / ``reduce --store FILE``
+  memoize compiles, ground truth, oracle verdicts and whole seed
+  analyses there, making warm reruns near-free)
 """
 
 from __future__ import annotations
@@ -168,6 +172,14 @@ def main(argv: list[str] | None = None) -> int:
              "the same file replays finished seeds and analyzes the rest",
     )
     p_campaign.add_argument(
+        "--store", metavar="FILE",
+        help="persistent content-addressed artifact store (SQLite): "
+             "memoizes compile results, ground-truth executions, "
+             "reduction-oracle verdicts and whole per-seed analyses, "
+             "so rerunning the same campaign is near-free and "
+             "byte-identical; a corrupt store degrades to a cold run",
+    )
+    p_campaign.add_argument(
         "--chaos", action="append", metavar="SPEC", default=None,
         help="inject a fault for resilience drills, e.g. "
              "'pass:gvn:raise:3,11' or 'ground_truth:spin:17' "
@@ -273,6 +285,34 @@ def main(argv: list[str] | None = None) -> int:
         help="stop after N oracle calls and print the best program so "
              "far (checked at batch boundaries, so still jobs-invariant)",
     )
+    p_reduce.add_argument(
+        "--store", metavar="FILE",
+        help="warm-start the oracle memo from a persistent artifact "
+             "store and persist new verdicts back, so rerunning the "
+             "same reduction costs (almost) no oracle calls",
+    )
+
+    p_store = sub.add_parser(
+        "store", help="inspect or compact a persistent artifact store"
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_sstats = store_sub.add_parser(
+        "stats", help="table/byte counts and compression ratio"
+    )
+    p_sstats.add_argument("store")
+    p_sgc = store_sub.add_parser(
+        "gc", help="drop unreferenced program bodies and VACUUM"
+    )
+    p_sgc.add_argument("store")
+    p_sexport = store_sub.add_parser(
+        "export", help="print a stored program (or list stored hashes)"
+    )
+    p_sexport.add_argument("store")
+    p_sexport.add_argument(
+        "hash", nargs="?", default=None,
+        help="sha256 of the program text (a unique prefix works); "
+             "omitted = list every stored hash",
+    )
 
     p_cbuild = sub.add_parser(
         "corpus-build", help="generate and persist an artifact corpus"
@@ -340,7 +380,7 @@ def main(argv: list[str] | None = None) -> int:
                   reduce_jobs=args.reduce_jobs,
                   reduce_budget=args.reduce_budget,
                   interp="ast" if args.no_bytecode else None,
-                  window=args.window)
+                  window=args.window, store_path=args.store)
     elif args.command == "crashes":
         return _crashes(args.journal)
     elif args.command == "runs":
@@ -370,7 +410,11 @@ def main(argv: list[str] | None = None) -> int:
         return _reduce(
             _read(args.file), args.marker, args.keeper, args.witness,
             args.jobs, args.speculation, args.max_rounds, args.budget,
+            store_path=args.store,
         )
+    elif args.command == "store":
+        return _store(args.store_command, args.store,
+                      getattr(args, "hash", None))
     elif args.command == "corpus-build":
         from .core.artifact import build_corpus
 
@@ -482,13 +526,38 @@ def _reduce(
     speculation: int | None,
     max_rounds: int,
     budget: int | None = None,
+    store_path: str | None = None,
 ) -> int:
     """``dce-hunt reduce <file> <marker>`` — reduced program to stdout
-    (byte-identical at any ``--jobs``), stats line to stderr."""
-    from .core.reduction import missed_marker_predicate, reduce_program
+    (byte-identical at any ``--jobs``), stats line to stderr.
+
+    With ``--store``, the oracle memo warm-starts from the store's
+    persisted verdicts (same keys the campaign reducer uses), and the
+    verdicts this run adds are persisted back — so rerunning the same
+    reduction resolves almost entirely from memo.
+    """
+    from .core.reduction import (
+        _RecordingMemo,
+        missed_marker_predicate,
+        reduce_program,
+    )
 
     if jobs == 0:
         jobs = os.cpu_count() or 1
+    store = None
+    memo: dict[str, bool] | None = None
+    if store_path:
+        from .store import open_store
+
+        store = open_store(store_path)
+        if store is None:
+            print(
+                f"store: cannot open {store_path}; running cold",
+                file=sys.stderr,
+            )
+        else:
+            seeded = store.oracle_entries()
+            memo = _RecordingMemo(seeded, frozenset(seeded))
     program = parse_program(source)
     predicate = missed_marker_predicate(
         marker,
@@ -499,8 +568,11 @@ def _reduce(
         result = reduce_program(
             program, predicate, max_rounds=max_rounds, jobs=jobs,
             speculation=speculation, max_oracle_calls=budget,
+            memo=memo,
         )
     except ValueError:
+        if store is not None:
+            store.close()
         print(
             f"input is not interesting: {marker} must be dead, kept by "
             f"{keeper}, and eliminated by {witness}",
@@ -509,15 +581,90 @@ def _reduce(
         return 1
     text = print_program(result.program)
     sys.stdout.write(text if text.endswith("\n") else text + "\n")
-    print(
+    stats = (
         f"reduced {result.stmts_before} -> {result.stmts_after} statements "
         f"in {result.rounds} rounds: {result.attempts} attempts, "
         f"{result.oracle_calls} oracle calls, "
         f"{result.oracle_cache_hits} memo hits, "
         f"{result.speculative_wasted} speculative wasted, "
-        f"{result.wall_time:.1f}s",
-        file=sys.stderr,
+        f"{result.wall_time:.1f}s"
     )
+    if store is not None and isinstance(memo, _RecordingMemo):
+        store.record_oracle_entries(memo.added)
+        store.close()
+        stats += (
+            f"; store: {memo.store_hits} warm hits, "
+            f"{len(memo.added)} new verdicts persisted"
+        )
+    print(stats, file=sys.stderr)
+    return 0
+
+
+def _store(command: str, path: str, program_hash: str | None) -> int:
+    """``dce-hunt store stats|gc|export <store>``."""
+    from .store import ArtifactStore
+
+    if not os.path.exists(path):
+        print(f"no such store: {path}", file=sys.stderr)
+        return 1
+    try:
+        store = ArtifactStore(path, read_only=(command != "gc"))
+    except Exception:
+        store = None
+    if store is None or store.disabled:
+        print(f"cannot open store: {path}", file=sys.stderr)
+        return 1
+    with store:
+        if command == "stats":
+            stats = store.stats()
+            ratio = (
+                stats["program_bytes"] / stats["compressed_bytes"]
+                if stats["compressed_bytes"] else 0.0
+            )
+            rows = [
+                ["programs", str(stats["programs"])],
+                ["compile memo entries", str(stats["compile_memo"])],
+                ["ground-truth records", str(stats["truth_memo"])],
+                ["oracle verdicts", str(stats["oracle_memo"])],
+                ["seed analyses", str(stats["seed_analyses"])],
+                ["seed scopes", str(stats["seed_scopes"])],
+                ["program text bytes", str(stats["program_bytes"])],
+                ["compressed bytes",
+                 f"{stats['compressed_bytes']} ({ratio:.1f}x)"],
+                ["file bytes", str(stats["file_bytes"])],
+            ]
+            print(format_table(["", ""], rows, title=f"store {path}"))
+        elif command == "gc":
+            outcome = store.gc()
+            print(
+                f"gc: removed {outcome['removed']} unreferenced "
+                f"program(s), reclaimed {outcome['reclaimed_bytes']} bytes"
+            )
+        elif command == "export":
+            if program_hash is None:
+                for h, size in store.program_hashes():
+                    print(f"{h}  {size}")
+                return 0
+            matches = [
+                h for h, _ in store.program_hashes()
+                if h.startswith(program_hash)
+            ]
+            if not matches:
+                print(f"no program {program_hash} in {path}",
+                      file=sys.stderr)
+                return 1
+            if len(matches) > 1:
+                print(
+                    f"ambiguous prefix {program_hash} "
+                    f"({len(matches)} matches)",
+                    file=sys.stderr,
+                )
+                return 1
+            text = store.get_program(matches[0])
+            if text is None:
+                print(f"cannot read program {matches[0]}", file=sys.stderr)
+                return 1
+            sys.stdout.write(text if text.endswith("\n") else text + "\n")
     return 0
 
 
@@ -539,14 +686,19 @@ def _campaign(
     reduce_budget: int | None = None,
     interp: str | None = None,
     window: int | None = None,
+    store_path: str | None = None,
 ) -> None:
     import time
 
     from .testing import chaos
 
     # the ledger wants the metrics snapshot (pass attribution, latency
-    # histograms) even when no --metrics-out file was asked for
-    metrics = MetricsRegistry() if (metrics_out or ledger_path) else None
+    # histograms) even when no --metrics-out file was asked for; the
+    # store wants one too (hit counters feed the summary + ledger)
+    metrics = (
+        MetricsRegistry()
+        if (metrics_out or ledger_path or store_path) else None
+    )
     progress = _print_progress if show_progress else None
     if jobs == 0:
         jobs = os.cpu_count() or 1
@@ -558,7 +710,17 @@ def _campaign(
         events.subscribe(writer)
     if dashboard:
         # stderr so `campaign ... > result` stays machine-clean
-        LiveDashboard(sys.stderr).attach(events)
+        LiveDashboard(sys.stderr, metrics=metrics).attach(events)
+    store = None
+    if store_path:
+        from .store import open_store
+
+        store = open_store(store_path, metrics=metrics)
+        if store is None:
+            print(
+                f"store: cannot open {store_path}; running cold",
+                file=sys.stderr,
+            )
     plan = None
     if chaos_specs:
         plan = chaos.FaultPlan(
@@ -572,7 +734,7 @@ def _campaign(
         if reduce_jobs == 0:
             reduce_jobs = os.cpu_count() or 1
         reduction = ReductionQueue(
-            reduce_jobs, max_oracle_calls=reduce_budget
+            reduce_jobs, max_oracle_calls=reduce_budget, store=store
         )
     started_at = time.time()
     wall_start = time.monotonic()
@@ -582,16 +744,38 @@ def _campaign(
             metrics=metrics, progress=progress, jobs=jobs,
             incremental=incremental, seed_budget=seed_budget,
             checkpoint=checkpoint, events=events, interp=interp,
-            window=window, reduction=reduction,
+            window=window, reduction=reduction, store=store,
         )
     finally:
         if reduction is not None:
             reduction.close()
+        if store is not None:
+            store.close()
         if plan is not None:
             chaos.clear_plan()
         if writer is not None:
             writer.close()
     wall_time = time.monotonic() - wall_start
+    if store is not None and metrics is not None:
+        snapshot = metrics.to_dict()
+        counters = {
+            name: snapshot.get(name, {}).get("value", 0)
+            for name in ("store.seeds_skipped", "store.compile_hits",
+                         "store.truth_hits", "store.oracle_hits",
+                         "store.errors")
+        }
+        line = (
+            f"store: {counters['store.seeds_skipped']} seeds replayed, "
+            f"{counters['store.compile_hits']} compile hits, "
+            f"{counters['store.truth_hits']} truth hits, "
+            f"{counters['store.oracle_hits']} oracle hits"
+        )
+        if counters["store.errors"] or store.disabled:
+            line += (
+                f" ({counters['store.errors']} store errors; "
+                "degraded to cold)"
+            )
+        print(line, file=sys.stderr)
     if metrics is not None and metrics_out:
         metrics.write_json(metrics_out)
         print(f"metrics written to {metrics_out}", file=sys.stderr)
@@ -604,6 +788,7 @@ def _campaign(
                 reduce_findings=reduce_findings, interp=interp,
                 window=window,
                 reduce_jobs=reduce_jobs if reduce_findings else None,
+                store_used=store is not None,
             )
         print(f"ledger: recorded run {run_id} in {ledger_path}",
               file=sys.stderr)

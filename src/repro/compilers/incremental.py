@@ -50,7 +50,9 @@ work is reported via the ``compile.pass_execs`` /
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
 
 from ..ir.function import Module
 from ..ir.printer import fingerprint_module
@@ -69,6 +71,20 @@ from .pipeline import (
 
 SNAPSHOT_SPAN = "compile.snapshot"
 FORK_SPAN = "compile.fork"
+
+
+def config_fingerprint_of(config: PipelineConfig) -> str:
+    """Stable identity of one pipeline config across processes.
+
+    Every :class:`PipelineConfig` field is a JSON-serializable
+    primitive (the pass tuple serializes as a list), so the sorted
+    JSON dump is canonical.  This keys the persistent compile memo in
+    :mod:`repro.store` — the L2 behind this engine's in-memory tree —
+    together with :func:`~repro.ir.printer.fingerprint_module` of the
+    lowered input.
+    """
+    payload = json.dumps(asdict(config), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 PASS_EXECS = "compile.pass_execs"
 PASS_EXECS_SAVED = "compile.pass_execs_saved"

@@ -178,6 +178,7 @@ def run_campaign(
     interp: str | None = None,
     window: int | None = None,
     reduction=None,
+    store=None,
 ) -> CampaignResult:
     """Run the full marker campaign over ``n_programs`` seeds.
 
@@ -233,6 +234,17 @@ def run_campaign(
     analysis), and the queue drains — in finding order, so the event
     stream stays deterministic — before ``campaign_end``, leaving
     ``result.reduced_fingerprints`` and ``result.reduction_stats``.
+
+    ``store`` — a :class:`~repro.store.ArtifactStore`: seeds already
+    fully analyzed under this (version, generator_config) scope replay
+    their recorded :class:`SeedReport` instead of re-running
+    (``store.seeds_skipped``), emitting the exact events a fresh
+    analysis would — a warm rerun is byte-identical to a cold one,
+    modulo timestamps.  Fresh seeds read through the store's compile
+    and ground-truth memos and their new entries are committed back in
+    seed order.  A checkpoint journal, when both are given, takes
+    precedence for seeds it holds (it alone replays crashes and
+    budget blowups).
     """
     if n_programs < 0:
         raise ValueError(f"n_programs must be >= 0, got {n_programs}")
@@ -245,19 +257,19 @@ def run_campaign(
             n_programs, seed_base, version, generator_config,
             keep_analyses, compare_level, metrics, tracer, progress, jobs,
             incremental, seed_budget, checkpoint, events, interp, window,
-            reduction,
+            reduction, store,
         )
     if tracer is not None:
         with use_tracer(tracer):
             return _run_campaign_traced(
                 n_programs, seed_base, version, generator_config,
                 keep_analyses, compare_level, metrics, progress, incremental,
-                seed_budget, checkpoint, events, interp, reduction,
+                seed_budget, checkpoint, events, interp, reduction, store,
             )
     return _run_campaign_traced(
         n_programs, seed_base, version, generator_config,
         keep_analyses, compare_level, metrics, progress, incremental,
-        seed_budget, checkpoint, events, interp, reduction,
+        seed_budget, checkpoint, events, interp, reduction, store,
     )
 
 
@@ -276,6 +288,7 @@ def _run_campaign_traced(
     events: EventBus | None = None,
     interp: str | None = None,
     reduction=None,
+    store=None,
 ) -> CampaignResult:
     specs = default_specs(version)
     result = CampaignResult()
@@ -283,6 +296,17 @@ def _run_campaign_traced(
     tracer = current_tracer()
     start = time.perf_counter()
     journal = CheckpointJournal(checkpoint) if checkpoint else None
+    store_scope: str | None = None
+    stored_reports: dict[int, SeedReport] = {}
+    if store is not None:
+        from ..store import seed_scope_fingerprint
+
+        if store.metrics is None:
+            store.metrics = metrics
+        store_scope = seed_scope_fingerprint(version, generator_config)
+        stored_reports = store.load_seed_reports(
+            store_scope, seed_base, seed_base + n_programs
+        )
     if events is not None:
         events.emit(
             ev.CAMPAIGN_START, programs=n_programs, seed_base=seed_base,
@@ -295,6 +319,9 @@ def _run_campaign_traced(
         try:
             for seed in range(seed_base, seed_base + n_programs):
                 replayed = journal.get(seed) if journal is not None else None
+                stored = (
+                    stored_reports.get(seed) if replayed is None else None
+                )
                 if replayed is not None:
                     if metrics is not None:
                         metrics.counter("campaign.checkpoint_replayed").inc()
@@ -304,15 +331,29 @@ def _run_campaign_traced(
                             status=ev.report_status(replayed),
                         )
                     report = replayed
+                elif stored is not None:
+                    # warm replay: same events a fresh analysis emits,
+                    # so the stream is byte-identical modulo timestamps
+                    if metrics is not None:
+                        metrics.counter("store.seeds_skipped").inc()
+                    if events is not None:
+                        events.emit(ev.SEED_START, seed=seed)
+                    if journal is not None:
+                        journal.record(stored)
+                    if events is not None:
+                        events.emit_all(ev.seed_outcome_records(stored))
+                    report = stored
                 else:
                     if events is not None:
                         events.emit(ev.SEED_START, seed=seed)
+                    session = store.session(metrics) if store is not None else None
                     program_start = time.perf_counter()
                     with tracer.span("campaign.program", seed=seed) as span:
                         report = analyze_one_resilient(
                             seed, specs, version, generator_config,
                             metrics=metrics, incremental=incremental,
                             seed_budget=seed_budget, interp=interp,
+                            store=session,
                         )
                         span.set("skipped", report.outcome is None)
                         if report.crash is not None:
@@ -329,6 +370,8 @@ def _run_campaign_traced(
                         journal.record(report)
                     if events is not None:
                         events.emit_all(ev.seed_outcome_records(report))
+                    if store is not None:
+                        store.commit_seed(store_scope, report, session.delta)
                 _merge_report(
                     result, report, version, compare_level, keep_analyses,
                     metrics, events, reduction,

@@ -21,7 +21,9 @@ from dataclasses import astuple, dataclass, field
 from ..backend.asm import alive_markers as asm_alive_markers
 from ..backend.asm import emit_module
 from ..compilers import CompilerSpec, IncrementalEngine, compile_minic
+from ..compilers.incremental import config_fingerprint_of
 from ..frontend.lower import lower_program
+from ..ir.printer import fingerprint_module
 from ..frontend.typecheck import SymbolInfo, check_program
 from ..observability.metrics import MetricsRegistry
 from ..observability.tracer import current_tracer
@@ -74,6 +76,7 @@ def analyze_markers(
     metrics: MetricsRegistry | None = None,
     incremental: bool = True,
     verify_ir: bool = False,
+    store=None,
 ) -> ProgramAnalysis:
     """Run the full marker pipeline for ``instrumented`` under ``specs``.
 
@@ -104,6 +107,14 @@ def analyze_markers(
     :class:`~repro.compilers.pipeline.PassPipelineError` naming the
     offending pass, instead of silently miscounting markers downstream.
     Off by default — it roughly doubles compile time.
+
+    ``store`` is an optional :class:`~repro.store.StoreSession`
+    providing a persistent L2 behind the in-memory caches: eliminated-
+    marker sets are memoized on ``(fingerprint of the lowered module,
+    config fingerprint)``, so a config whose result is on record skips
+    the compiler entirely (``store.compile_hits`` instead of
+    ``campaign.compilations``).  Alive sets are a pure function of that
+    key, so results are byte-identical either way.
     """
     if info is None:
         info = check_program(instrumented.program)
@@ -112,12 +123,39 @@ def analyze_markers(
     analysis = ProgramAnalysis(instrumented, ground_truth)
     tracer = current_tracer()
     engine: IncrementalEngine | None = None
+    lowered = None
+    base_fp: str | None = None
+    if store is not None:
+        lowered = lower_program(instrumented.program, info)
+        base_fp = fingerprint_module(lowered)
     by_config: dict[tuple, frozenset[str]] = {}
+    config_fps: dict[tuple, str] = {}
     for spec in specs:
         start = time.perf_counter()
         config = spec.config()
         config_key = astuple(config)
         alive = by_config.get(config_key)
+        config_fp: str | None = None
+        if alive is None and store is not None:
+            config_fp = config_fps.get(config_key)
+            if config_fp is None:
+                config_fp = config_fingerprint_of(config)
+                config_fps[config_key] = config_fp
+            eliminated = store.lookup_compile(base_fp, config_fp)
+            if eliminated is not None:
+                alive = instrumented.marker_names - eliminated
+                by_config[config_key] = alive
+                with tracer.span("compile.stored", spec=str(spec)):
+                    pass
+                if metrics is not None:
+                    elapsed_ms = (time.perf_counter() - start) * 1e3
+                    metrics.histogram(
+                        f"compile_latency_ms/{spec}"
+                    ).observe(elapsed_ms)
+                analysis.outcomes[str(spec)] = MarkerOutcome(
+                    spec, alive, instrumented.marker_names
+                )
+                continue
         if alive is None:
             if incremental:
                 with tracer.span(
@@ -147,6 +185,10 @@ def analyze_markers(
             by_config[config_key] = alive
             if metrics is not None:
                 metrics.counter("campaign.compilations").inc()
+            if store is not None and config_fp is not None:
+                store.record_compile(
+                    base_fp, config_fp, instrumented.marker_names - alive
+                )
         else:
             with tracer.span("compile.cached", spec=str(spec)):
                 pass

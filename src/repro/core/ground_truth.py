@@ -15,11 +15,41 @@ from ..frontend.typecheck import SymbolInfo, check_program
 from ..interp import (
     DEFAULT_STEP_LIMIT,
     ExecutionResult,
+    StepLimitExceeded,
     get_default_backend,
     run_program,
 )
+from ..lang import print_program
 from ..observability.tracer import current_tracer
 from .markers import InstrumentedProgram
+
+
+def _encode_execution(execution: ExecutionResult) -> dict:
+    """JSON-safe summary of one execution for the artifact store."""
+    return {
+        "status": "ok",
+        "exit_code": execution.exit_code,
+        "marker_hits": dict(execution.marker_hits),
+        "steps": execution.steps,
+        "checksum": execution.checksum,
+        "call_trace": execution.call_trace,
+        "function_calls": dict(execution.function_calls),
+    }
+
+
+def _decode_execution(record: dict) -> ExecutionResult:
+    return ExecutionResult(
+        exit_code=int(record["exit_code"]),
+        marker_hits={
+            str(k): int(v) for k, v in record["marker_hits"].items()
+        },
+        steps=int(record["steps"]),
+        checksum=int(record["checksum"]),
+        call_trace=int(record["call_trace"]),
+        function_calls={
+            str(k): int(v) for k, v in record["function_calls"].items()
+        },
+    )
 
 
 @dataclass
@@ -48,6 +78,7 @@ def compute_ground_truth(
     step_limit: int = DEFAULT_STEP_LIMIT,
     backend: str | None = None,
     metrics=None,
+    store=None,
 ) -> GroundTruth:
     """Execute the instrumented program and classify its markers.
 
@@ -55,20 +86,54 @@ def compute_ground_truth(
     ``None`` uses the process default).  When a ``MetricsRegistry`` is
     passed, the per-backend seed counters and ``interp.steps`` (the
     numerator of the report's steps/sec gauge) are incremented.
+
+    ``store`` is an optional
+    :class:`~repro.store.StoreSession`: executions are memoized on
+    ``(sha256(printed program), step_limit)`` — both backends are
+    bit-identical by contract, so a recorded summary (including a
+    step-limit blowup, re-raised as :class:`StepLimitExceeded`)
+    replaces interpretation entirely on a hit.  Hits bump
+    ``store.truth_hits`` instead of the interp counters.
     """
     if info is None:
         info = check_program(instrumented.program)
     if backend is None:
         backend = get_default_backend()
+    program_hash = None
+    if store is not None:
+        program_hash = _store_program_key(instrumented)
+        record = store.lookup_truth(program_hash, step_limit)
+        if record is not None:
+            if record.get("status") == "step_limit":
+                raise StepLimitExceeded(
+                    f"execution exceeded {step_limit} steps"
+                )
+            execution = _decode_execution(record)
+            alive = frozenset(
+                name
+                for name in execution.marker_hits
+                if name in instrumented.marker_names
+            )
+            return GroundTruth(instrumented.marker_names, alive, execution)
     with current_tracer().span(
         "ground_truth", markers=len(instrumented.marker_names), backend=backend
     ) as span:
-        execution = run_program(
-            instrumented.program,
-            step_limit=step_limit,
-            info=info,
-            backend=backend,
-        )
+        try:
+            execution = run_program(
+                instrumented.program,
+                step_limit=step_limit,
+                info=info,
+                backend=backend,
+            )
+        except StepLimitExceeded:
+            if store is not None:
+                store.record_truth(
+                    program_hash,
+                    step_limit,
+                    {"status": "step_limit"},
+                    print_program(instrumented.program),
+                )
+            raise
         alive = frozenset(
             name
             for name in execution.marker_hits
@@ -82,4 +147,17 @@ def compute_ground_truth(
     if metrics is not None:
         metrics.counter(f"interp.{backend}_seeds").inc()
         metrics.counter("interp.steps").inc(execution.steps)
+    if store is not None:
+        store.record_truth(
+            program_hash,
+            step_limit,
+            _encode_execution(execution),
+            print_program(instrumented.program),
+        )
     return GroundTruth(instrumented.marker_names, alive, execution)
+
+
+def _store_program_key(instrumented: InstrumentedProgram) -> str:
+    from ..store import program_text_key
+
+    return program_text_key(print_program(instrumented.program))

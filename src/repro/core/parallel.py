@@ -112,6 +112,8 @@ class WorkerConfig:
     collect_events: bool = False
     #: ground-truth interpreter backend (None = process default)
     interp: str | None = None
+    #: artifact-store file workers open read-only (None = no store)
+    store_path: str | None = None
 
 
 @dataclass
@@ -128,6 +130,10 @@ class SeedEnvelope:
     #: recorded ``(event type, attrs)`` pairs for this seed, re-emitted
     #: by the parent in seed order (None when the event bus is off)
     events: list[tuple[str, dict[str, Any]]] | None = None
+    #: new artifact-store entries this seed discovered
+    #: (:class:`~repro.store.StoreDelta`; the parent commits them in
+    #: seed order — workers never write the database)
+    delta: Any = None
 
 
 def shard_seeds(
@@ -158,6 +164,13 @@ def _init_worker(config: WorkerConfig) -> None:
     # ship the parent's fault plan so injection also works on
     # spawn-only platforms (fork inherits it anyway)
     chaos.install_plan(config.fault_plan)
+    _WORKER["store"] = None
+    if config.store_path is not None:
+        from ..store import open_store
+
+        # read-only snapshot; a failed open degrades this worker to
+        # cold (new entries still ship back through the delta)
+        _WORKER["store"] = open_store(config.store_path, read_only=True)
 
 
 def _analyze_shard(seeds: list[int]) -> list[SeedEnvelope]:
@@ -167,12 +180,17 @@ def _analyze_shard(seeds: list[int]) -> list[SeedEnvelope]:
 def _analyze_seed(seed: int) -> SeedEnvelope:
     config: WorkerConfig = _WORKER["config"]
     metrics = MetricsRegistry() if config.collect_metrics else None
+    session = None
+    if config.store_path is not None:
+        from ..store import StoreSession
+
+        session = StoreSession(_WORKER.get("store"), metrics)
     start = time.perf_counter()
     if config.collect_spans:
         tracer = Tracer()
         with use_tracer(tracer):
             with tracer.span("campaign.program", seed=seed) as span:
-                report = _run_analyze(seed, metrics)
+                report = _run_analyze(seed, metrics, session)
                 span.set("skipped", report.outcome is None)
                 if report.crash is not None:
                     span.set("crashed", report.crash.bucket)
@@ -182,7 +200,7 @@ def _analyze_seed(seed: int) -> SeedEnvelope:
                     span.set("degraded", True)
         spans = spans_to_dicts(tracer)
     else:
-        report = _run_analyze(seed, metrics)
+        report = _run_analyze(seed, metrics, session)
         spans = None
     if metrics is not None:
         # mirrors the sequential parent's per-program latency histogram
@@ -192,10 +210,15 @@ def _analyze_seed(seed: int) -> SeedEnvelope:
     return SeedEnvelope(
         seed, report, metrics.dump() if metrics is not None else None, spans,
         ev.seed_event_records(report) if config.collect_events else None,
+        delta=(
+            session.delta if session is not None and session.delta else None
+        ),
     )
 
 
-def _run_analyze(seed: int, metrics: MetricsRegistry | None) -> SeedReport:
+def _run_analyze(
+    seed: int, metrics: MetricsRegistry | None, store=None
+) -> SeedReport:
     config: WorkerConfig = _WORKER["config"]
     return analyze_one_resilient(
         seed,
@@ -206,6 +229,7 @@ def _run_analyze(seed: int, metrics: MetricsRegistry | None) -> SeedReport:
         incremental=config.incremental,
         seed_budget=config.seed_budget,
         interp=config.interp,
+        store=store,
     )
 
 
@@ -280,6 +304,7 @@ def run_campaign_parallel(
     interp: str | None = None,
     window: int | None = None,
     reduction=None,
+    store=None,
 ) -> CampaignResult:
     """The ``jobs > 1`` engine behind
     :func:`repro.core.corpus.run_campaign` (same contract)."""
@@ -289,12 +314,12 @@ def run_campaign_parallel(
                 n_programs, seed_base, version, generator_config,
                 keep_analyses, compare_level, metrics, progress, jobs,
                 incremental, seed_budget, checkpoint, events, interp, window,
-                reduction,
+                reduction, store,
             )
     return _run_parallel(
         n_programs, seed_base, version, generator_config,
         keep_analyses, compare_level, metrics, progress, jobs, incremental,
-        seed_budget, checkpoint, events, interp, window, reduction,
+        seed_budget, checkpoint, events, interp, window, reduction, store,
     )
 
 
@@ -315,17 +340,30 @@ def _run_parallel(
     interp: str | None = None,
     window: int | None = None,
     reduction=None,
+    store=None,
 ) -> CampaignResult:
     result = CampaignResult()
     result.cross_level = {family: CrossLevelStats() for family in FAMILIES}
     tracer = current_tracer()
     start = time.perf_counter()
     journal = CheckpointJournal(checkpoint) if checkpoint else None
+    store_scope: str | None = None
+    stored_reports: dict[int, SeedReport] = {}
+    if store is not None:
+        from ..store import seed_scope_fingerprint
+
+        if store.metrics is None:
+            store.metrics = metrics
+        store_scope = seed_scope_fingerprint(version, generator_config)
+        stored_reports = store.load_seed_reports(
+            store_scope, seed_base, seed_base + n_programs
+        )
     all_seeds = list(range(seed_base, seed_base + n_programs))
-    fresh = (
-        all_seeds if journal is None
-        else [s for s in all_seeds if journal.get(s) is None]
-    )
+    fresh = [
+        s for s in all_seeds
+        if (journal is None or journal.get(s) is None)
+        and s not in stored_reports
+    ]
     if events is not None:
         # identical attrs to the sequential path (no jobs count): the
         # stream must not betray how the campaign was scheduled
@@ -350,6 +388,7 @@ def _run_parallel(
             fault_plan=chaos.current_plan(),
             collect_events=events is not None,
             interp=interp,
+            store_path=store.path if store is not None else None,
         )
         try:
             envelopes = _drain_envelopes(
@@ -373,6 +412,22 @@ def _run_parallel(
                         start, n_programs, events, reduction,
                     )
                     continue
+                stored = stored_reports.get(seed)
+                if stored is not None:
+                    # warm replay: the exact events a fresh worker
+                    # would record, re-emitted in seed order
+                    if metrics is not None:
+                        metrics.counter("store.seeds_skipped").inc()
+                    if journal is not None:
+                        journal.record(stored)
+                    if events is not None:
+                        events.emit_all(ev.seed_event_records(stored))
+                    _merge_one(
+                        result, stored, None, None, version, compare_level,
+                        keep_analyses, metrics, tracer, parent_id, progress,
+                        start, n_programs, events, reduction,
+                    )
+                    continue
                 envelope = next(envelopes)
                 if envelope.seed != seed:  # pragma: no cover - defensive
                     raise RuntimeError(
@@ -383,6 +438,11 @@ def _run_parallel(
                     journal.record(envelope.report)
                 if events is not None and envelope.events is not None:
                     events.emit_all(envelope.events)
+                if store is not None:
+                    if envelope.delta is not None:
+                        store.apply_delta(envelope.delta)
+                    store.record_seed_report(store_scope, envelope.report)
+                    store.commit()
                 _merge_one(
                     result, envelope.report, envelope.metrics, envelope.spans,
                     version, compare_level, keep_analyses, metrics, tracer,

@@ -197,15 +197,22 @@ def analyze_one_resilient(
     incremental: bool = True,
     seed_budget: float | None = None,
     interp: str | None = None,
+    store=None,
 ) -> SeedReport:
     """Run :func:`repro.core.corpus.analyze_one`'s pipeline with full
-    fault isolation; see the module docstring for the contract."""
+    fault isolation; see the module docstring for the contract.
+
+    ``store`` is an optional :class:`~repro.store.StoreSession` threaded
+    into the ground-truth and compile phases so known executions and
+    eliminated-marker sets are replayed instead of recomputed (and new
+    ones recorded into the session's delta for the parent to commit).
+    """
     report = SeedReport(seed=seed)
     chaos.set_current_seed(seed)
     try:
         with budget.deadline(seed_budget):
             _run_phases(report, seed, specs, version, generator_config,
-                        metrics, incremental, interp)
+                        metrics, incremental, interp, store)
     except SeedBudgetExceeded:
         report.outcome = None
         report.crash = None
@@ -224,6 +231,7 @@ def _run_phases(
     metrics: MetricsRegistry | None,
     incremental: bool,
     interp: str | None,
+    store=None,
 ) -> None:
     from .corpus import ProgramOutcome
 
@@ -239,7 +247,8 @@ def _run_phases(
         try:
             chaos.trigger("ground_truth")
             truth = compute_ground_truth(
-                instrumented, info=info, backend=interp, metrics=metrics
+                instrumented, info=info, backend=interp, metrics=metrics,
+                store=store,
             )
         except StepLimitExceeded:
             report.skipped = True
@@ -254,7 +263,7 @@ def _run_phases(
         chaos.trigger("analyze")
         analysis = analyze_markers(
             instrumented, specs, info=info, ground_truth=truth,
-            metrics=metrics, incremental=incremental,
+            metrics=metrics, incremental=incremental, store=store,
         )
     except SeedBudgetExceeded:
         raise
@@ -267,7 +276,7 @@ def _run_phases(
         try:
             analysis = analyze_markers(
                 instrumented, specs, info=info, ground_truth=truth,
-                metrics=metrics, incremental=False,
+                metrics=metrics, incremental=False, store=store,
             )
         except SeedBudgetExceeded:
             raise

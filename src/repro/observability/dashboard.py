@@ -29,7 +29,11 @@ class LiveDashboard:
     """Event-bus subscriber rendering live campaign status.
 
     ``stream`` defaults to ``sys.stderr``; ``force_tty`` overrides TTY
-    detection (tests); ``now`` injects a clock.
+    detection (tests); ``now`` injects a clock.  ``metrics`` (the
+    campaign's registry, optional) lets the status line surface
+    artifact-store activity — replayed seeds and compile/oracle hits
+    are visible only as counters, never as events, because warm
+    replays keep the event stream byte-identical to a cold run.
     """
 
     def __init__(
@@ -38,12 +42,14 @@ class LiveDashboard:
         *,
         force_tty: bool | None = None,
         now=time.monotonic,
+        metrics=None,
     ) -> None:
         self._stream = stream if stream is not None else sys.stderr
         if force_tty is None:
             force_tty = bool(getattr(self._stream, "isatty", lambda: False)())
         self._tty = force_tty
         self._now = now
+        self._metrics = metrics
         self._start: float | None = None
         self._total = 0
         self._done = 0
@@ -172,8 +178,31 @@ class LiveDashboard:
             parts.append(f"{self._budget} over budget")
         if self._reduction_commits:
             parts.append(f"{self._reduction_commits} shrinks")
+        store = self._store_blurb()
+        if store:
+            parts.append(store)
         parts.append(f"ETA {eta}")
         return " · ".join(parts)
+
+    def _store_blurb(self) -> str:
+        """Store activity out of the metrics registry ('' when idle)."""
+        if self._metrics is None:
+            return ""
+        snapshot = self._metrics.to_dict()
+
+        def value(name: str) -> int:
+            return int(snapshot.get(name, {}).get("value", 0))
+
+        skipped = value("store.seeds_skipped")
+        hits = value("store.compile_hits") + value("store.oracle_hits")
+        if not skipped and not hits:
+            return ""
+        bits = []
+        if skipped:
+            bits.append(f"{skipped} replayed")
+        if hits:
+            bits.append(f"{hits} hits")
+        return "store " + "+".join(bits)
 
     def _render(self) -> None:
         # \r + erase-to-end keeps a single line updated in place

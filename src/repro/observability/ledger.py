@@ -90,7 +90,11 @@ CREATE TABLE IF NOT EXISTS runs (
     reduce_jobs INTEGER,
     reduction_oracle_calls INTEGER,
     reduction_speculative_wasted INTEGER,
-    reduction_wall_time REAL
+    reduction_wall_time REAL,
+    store_seeds_skipped INTEGER,
+    store_compile_hits INTEGER,
+    store_truth_hits INTEGER,
+    store_oracle_hits INTEGER
 );
 CREATE INDEX IF NOT EXISTS idx_runs_config ON runs(config_fingerprint);
 CREATE TABLE IF NOT EXISTS findings (
@@ -259,6 +263,11 @@ class RunRow:
     reduction_oracle_calls: int | None = None
     reduction_speculative_wasted: int | None = None
     reduction_wall_time: float | None = None
+    #: persistent artifact-store hit counters (None = no --store)
+    store_seeds_skipped: int | None = None
+    store_compile_hits: int | None = None
+    store_truth_hits: int | None = None
+    store_oracle_hits: int | None = None
     by_level: dict[str, dict[str, int]] = field(default_factory=dict)
     cross_compiler: dict[str, int] = field(default_factory=dict)
     cross_level: dict[str, dict[str, int]] = field(default_factory=dict)
@@ -327,6 +336,12 @@ class RunLedger:
             ("reduction_oracle_calls", "INTEGER"),
             ("reduction_speculative_wasted", "INTEGER"),
             ("reduction_wall_time", "REAL"),
+            # PR 9: persistent artifact-store hit counters (NULL = the
+            # run had no --store; 0 = store on but cold)
+            ("store_seeds_skipped", "INTEGER"),
+            ("store_compile_hits", "INTEGER"),
+            ("store_truth_hits", "INTEGER"),
+            ("store_oracle_hits", "INTEGER"),
         ):
             if name not in have:
                 self._conn.execute(
@@ -353,6 +368,7 @@ class RunLedger:
         interp: str | None = None,
         window: int | None = None,
         reduce_jobs: int | None = None,
+        store_used: bool = False,
     ) -> int:
         """Persist one :class:`~repro.core.corpus.CampaignResult`;
         returns the new run id.  Findings upsert against prior runs
@@ -369,7 +385,12 @@ class RunLedger:
         (``result.reduced_fingerprints``), those precomputed reduced
         fingerprints are used directly instead of re-reducing every
         finding here, and the queue's oracle-call/speculation/wall-time
-        rollup lands in the run row."""
+        rollup lands in the run row.
+
+        ``store_used`` marks that a persistent artifact store backed
+        the run: the four ``store_*`` hit-counter columns then fill
+        from the metrics snapshot (0 when the store was stone cold)
+        instead of staying NULL."""
         if interp is None:
             from ..interp import get_default_backend
 
@@ -381,6 +402,12 @@ class RunLedger:
             for name, entry in snapshot.items()
             if name.startswith(ATTRIBUTION_PREFIX)
         }
+
+        def _store_counter(name: str) -> int | None:
+            if not store_used:
+                return None
+            return int(snapshot.get(name, {}).get("value", 0))
+
         row = (
             started_at if started_at is not None else time.time(),
             wall_time,
@@ -433,6 +460,10 @@ class RunLedger:
             reduction_stats.oracle_calls if reduction_stats else None,
             reduction_stats.speculative_wasted if reduction_stats else None,
             reduction_stats.wall_time if reduction_stats else None,
+            _store_counter("store.seeds_skipped"),
+            _store_counter("store.compile_hits"),
+            _store_counter("store.truth_hits"),
+            _store_counter("store.oracle_hits"),
         )
         cursor = self._conn.execute(
             """INSERT INTO runs (
@@ -444,8 +475,10 @@ class RunLedger:
                 cross_level_json, shape_yield_json, pass_attribution_json,
                 crash_buckets_json, metrics_json, interp, sched_window,
                 reduce_jobs, reduction_oracle_calls,
-                reduction_speculative_wasted, reduction_wall_time
-            ) VALUES (%s)""" % ", ".join("?" * 32),
+                reduction_speculative_wasted, reduction_wall_time,
+                store_seeds_skipped, store_compile_hits,
+                store_truth_hits, store_oracle_hits
+            ) VALUES (%s)""" % ", ".join("?" * 36),
             row,
         )
         run_id = cursor.lastrowid
@@ -623,6 +656,10 @@ class RunLedger:
             reduction_oracle_calls=row["reduction_oracle_calls"],
             reduction_speculative_wasted=row["reduction_speculative_wasted"],
             reduction_wall_time=row["reduction_wall_time"],
+            store_seeds_skipped=row["store_seeds_skipped"],
+            store_compile_hits=row["store_compile_hits"],
+            store_truth_hits=row["store_truth_hits"],
+            store_oracle_hits=row["store_oracle_hits"],
             by_level=json.loads(row["by_level_json"]),
             cross_compiler=json.loads(row["cross_compiler_json"]),
             cross_level=json.loads(row["cross_level_json"]),

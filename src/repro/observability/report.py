@@ -303,6 +303,29 @@ def _report_sections(
             )],
         ))
 
+    if run.store_seeds_skipped is not None:
+        # a --store run: show how much of it resolved from the store.
+        # compilations counts only *cold* compiles, so hit rate is
+        # hits / (hits + compiles); replayed seeds never reach the
+        # compile layer at all and get their own column.
+        compile_hits = run.store_compile_hits or 0
+        cold = int(run.metric_value(COMPILATIONS))
+        compile_total = compile_hits + cold
+        sections.append((
+            "Persistent store",
+            [("seeds replayed", "compile hits", "compile hit %",
+              "truth hits", "oracle hits", "store errors")],
+            [(
+                run.store_seeds_skipped,
+                compile_hits,
+                f"{100.0 * compile_hits / compile_total:.1f}%"
+                if compile_total else "n/a",
+                run.store_truth_hits or 0,
+                run.store_oracle_hits or 0,
+                int(run.metric_value("store.errors")),
+            )],
+        ))
+
     if findings:
         sections.append((
             "Findings (deduplicated)",

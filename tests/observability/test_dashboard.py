@@ -91,3 +91,31 @@ def test_progress_printer_mirrors_classic_lines():
     output = stream.getvalue()
     assert "[1/2] seed 0: ok (5 markers, 4 dead)" in output
     assert "seed 1" not in output  # detached
+
+
+def test_status_line_surfaces_store_metrics():
+    from repro.observability import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    bus = EventBus()
+    dashboard = LiveDashboard(
+        io.StringIO(), force_tty=True, now=clock(), metrics=metrics
+    )
+    dashboard.attach(bus)
+    bus.emit("campaign_start", programs=4, seed_base=0)
+    # store activity is visible only through counters — warm replays
+    # keep the event stream identical to a cold run by design
+    assert "store" not in dashboard.status_line()
+    metrics.counter("store.seeds_skipped").inc(3)
+    metrics.counter("store.compile_hits").inc(5)
+    metrics.counter("store.oracle_hits").inc(2)
+    line = dashboard.status_line()
+    assert "store 3 replayed+7 hits" in line
+
+
+def test_status_line_without_metrics_has_no_store_blurb():
+    dashboard = LiveDashboard(io.StringIO(), force_tty=True, now=clock())
+    bus = EventBus()
+    dashboard.attach(bus)
+    bus.emit("campaign_start", programs=2, seed_base=0)
+    assert "store" not in dashboard.status_line()

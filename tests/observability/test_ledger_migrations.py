@@ -1,0 +1,228 @@
+"""RunLedger schema migration chain.
+
+Ledger files created by older releases must open cleanly under the
+current code: each era's column set gets ALTERed forward, existing
+rows read back with ``None`` in the new columns, and new runs record
+with the full current schema.  One synthetic ledger per era:
+
+* **PR 6** — the original schema (through ``metrics_json``);
+* **PR 7** — + ``interp``, ``sched_window``;
+* **PR 8** — + ``reduce_jobs`` and the three reduction rollups;
+* current (PR 9) adds the four ``store_*`` hit counters.
+"""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.observability import RunLedger
+
+#: the original (PR 6 era) runs-table columns, in order
+_PR6_COLUMNS = [
+    ("run_id", "INTEGER PRIMARY KEY AUTOINCREMENT"),
+    ("started_at", "REAL NOT NULL"),
+    ("wall_time", "REAL NOT NULL"),
+    ("config_fingerprint", "TEXT NOT NULL"),
+    ("programs", "INTEGER NOT NULL"),
+    ("seed_base", "INTEGER NOT NULL"),
+    ("jobs", "INTEGER NOT NULL"),
+    ("incremental", "INTEGER NOT NULL"),
+    ("compare_level", "TEXT NOT NULL"),
+    ("version", "INTEGER"),
+    ("completed", "INTEGER NOT NULL"),
+    ("skipped", "INTEGER NOT NULL"),
+    ("crashed", "INTEGER NOT NULL"),
+    ("budget_exceeded", "INTEGER NOT NULL"),
+    ("degraded", "INTEGER NOT NULL"),
+    ("total_markers", "INTEGER NOT NULL"),
+    ("total_dead", "INTEGER NOT NULL"),
+    ("total_alive", "INTEGER NOT NULL"),
+    ("findings", "INTEGER NOT NULL"),
+    ("soundness_violations", "INTEGER NOT NULL"),
+    ("by_level_json", "TEXT NOT NULL"),
+    ("cross_compiler_json", "TEXT NOT NULL"),
+    ("cross_level_json", "TEXT NOT NULL"),
+    ("shape_yield_json", "TEXT NOT NULL"),
+    ("pass_attribution_json", "TEXT NOT NULL"),
+    ("crash_buckets_json", "TEXT NOT NULL"),
+    ("metrics_json", "TEXT NOT NULL"),
+]
+
+_PR7_EXTRA = [("interp", "TEXT"), ("sched_window", "INTEGER")]
+_PR8_EXTRA = [
+    ("reduce_jobs", "INTEGER"),
+    ("reduction_oracle_calls", "INTEGER"),
+    ("reduction_speculative_wasted", "INTEGER"),
+    ("reduction_wall_time", "REAL"),
+]
+_PR9_EXTRA = [
+    ("store_seeds_skipped", "INTEGER"),
+    ("store_compile_hits", "INTEGER"),
+    ("store_truth_hits", "INTEGER"),
+    ("store_oracle_hits", "INTEGER"),
+]
+
+ERAS = {
+    "pr6": _PR6_COLUMNS,
+    "pr7": _PR6_COLUMNS + _PR7_EXTRA,
+    "pr8": _PR6_COLUMNS + _PR7_EXTRA + _PR8_EXTRA,
+}
+
+#: every column the current code must guarantee after opening
+CURRENT_COLUMNS = [
+    name for name, _ in _PR6_COLUMNS + _PR7_EXTRA + _PR8_EXTRA + _PR9_EXTRA
+]
+
+
+def _make_era_ledger(path: str, columns) -> None:
+    """A ledger file exactly as that era's code would have written it,
+    holding one run row."""
+    con = sqlite3.connect(path)
+    decls = ",\n    ".join(f"{name} {decl}" for name, decl in columns)
+    con.executescript(f"""
+        CREATE TABLE runs (
+            {decls}
+        );
+        CREATE INDEX idx_runs_config ON runs(config_fingerprint);
+        CREATE TABLE findings (
+            fingerprint TEXT PRIMARY KEY,
+            kind TEXT NOT NULL,
+            detail_json TEXT NOT NULL,
+            seeds_json TEXT NOT NULL,
+            first_seen_run INTEGER NOT NULL,
+            last_seen_run INTEGER NOT NULL,
+            occurrences INTEGER NOT NULL
+        );
+        CREATE TABLE run_findings (
+            run_id INTEGER NOT NULL,
+            fingerprint TEXT NOT NULL,
+            seed INTEGER NOT NULL,
+            kind TEXT NOT NULL,
+            PRIMARY KEY (run_id, fingerprint, seed)
+        );
+    """)
+    values = {
+        "started_at": 1_700_000_000.0,
+        "wall_time": 12.5,
+        "config_fingerprint": "cafe0123cafe0123",
+        "programs": 10,
+        "seed_base": 0,
+        "jobs": 1,
+        "incremental": 1,
+        "compare_level": "O3",
+        "version": None,
+        "completed": 10,
+        "skipped": 0,
+        "crashed": 0,
+        "budget_exceeded": 0,
+        "degraded": 0,
+        "total_markers": 100,
+        "total_dead": 60,
+        "total_alive": 40,
+        "findings": 3,
+        "soundness_violations": 0,
+        "by_level_json": json.dumps({}),
+        "cross_compiler_json": json.dumps({}),
+        "cross_level_json": json.dumps({}),
+        "shape_yield_json": json.dumps({}),
+        "pass_attribution_json": json.dumps({}),
+        "crash_buckets_json": json.dumps({}),
+        "metrics_json": json.dumps({}),
+        "interp": "bytecode",
+        "sched_window": None,
+        "reduce_jobs": 2,
+        "reduction_oracle_calls": 123,
+        "reduction_speculative_wasted": 4,
+        "reduction_wall_time": 1.5,
+    }
+    names = [name for name, _ in columns if name != "run_id"]
+    con.execute(
+        f"INSERT INTO runs ({', '.join(names)})"
+        f" VALUES ({', '.join('?' * len(names))})",
+        [values[name] for name in names],
+    )
+    con.commit()
+    con.close()
+
+
+@pytest.mark.parametrize("era", sorted(ERAS))
+def test_era_ledger_migrates_to_current_schema(tmp_path, era):
+    path = str(tmp_path / f"{era}.sqlite")
+    _make_era_ledger(path, ERAS[era])
+    with RunLedger(path) as ledger:
+        pass
+    con = sqlite3.connect(path)
+    have = [r[1] for r in con.execute("PRAGMA table_info(runs)")]
+    con.close()
+    assert set(CURRENT_COLUMNS) <= set(have)
+
+
+@pytest.mark.parametrize("era", sorted(ERAS))
+def test_era_rows_read_back_with_none_in_new_columns(tmp_path, era):
+    path = str(tmp_path / f"{era}.sqlite")
+    _make_era_ledger(path, ERAS[era])
+    with RunLedger(path) as ledger:
+        row = ledger.run(1)
+    assert row is not None
+    assert row.config_fingerprint == "cafe0123cafe0123"
+    assert row.completed == 10
+    # columns the era lacked migrate in as None
+    if era == "pr6":
+        assert row.interp is None
+        assert row.window is None
+    else:
+        assert row.interp == "bytecode"
+    if era in ("pr6", "pr7"):
+        assert row.reduce_jobs is None
+        assert row.reduction_oracle_calls is None
+    else:
+        assert row.reduce_jobs == 2
+        assert row.reduction_oracle_calls == 123
+    # the store columns are new in every era
+    assert row.store_seeds_skipped is None
+    assert row.store_compile_hits is None
+    assert row.store_truth_hits is None
+    assert row.store_oracle_hits is None
+
+
+@pytest.mark.parametrize("era", sorted(ERAS))
+def test_migration_is_idempotent(tmp_path, era):
+    path = str(tmp_path / f"{era}.sqlite")
+    _make_era_ledger(path, ERAS[era])
+    for _ in range(3):  # every open runs _migrate; reruns must no-op
+        with RunLedger(path) as ledger:
+            assert len(ledger) == 1
+    with RunLedger(path) as ledger:
+        assert ledger.run(1) is not None
+
+
+def test_new_runs_record_into_migrated_ledger(tmp_path):
+    """After migrating a PR 6 file, the current record_run writes the
+    full 36-column row alongside the old one."""
+    from repro.core.corpus import run_campaign
+    from repro.generator import GeneratorConfig
+    from repro.observability import MetricsRegistry
+
+    path = str(tmp_path / "old.sqlite")
+    _make_era_ledger(path, ERAS["pr6"])
+    config = GeneratorConfig(
+        min_globals=1, max_globals=2, min_functions=1, max_functions=2,
+        max_depth=2, min_block_stmts=1, max_block_stmts=2, max_expr_depth=2,
+    )
+    metrics = MetricsRegistry()
+    metrics.counter("store.seeds_skipped").inc(5)
+    result = run_campaign(
+        n_programs=1, seed_base=0, generator_config=config, metrics=metrics
+    )
+    with RunLedger(path) as ledger:
+        run_id = ledger.record_run(
+            result, n_programs=1, seed_base=0,
+            generator_config=config, metrics=metrics, store_used=True,
+        )
+        new = ledger.run(run_id)
+        old = ledger.run(1)
+    assert run_id == 2
+    assert new.store_seeds_skipped == 5
+    assert new.store_compile_hits == 0
+    assert old.store_seeds_skipped is None

@@ -135,3 +135,28 @@ def test_run_report_html_is_self_contained(recorded):
     assert "<script" not in document and "src=" not in document
     assert "Marker kills by pass" in document
     assert findings[0].fingerprint in document
+
+
+def test_report_store_section_present_only_for_store_runs():
+    plain = run_report_text(mk_run(1), [])
+    assert "Persistent store" not in plain
+
+    warm = mk_run(2, store_seeds_skipped=10, store_compile_hits=30,
+                  store_truth_hits=4, store_oracle_hits=7,
+                  metrics={
+                      "campaign.compilations": {"type": "counter",
+                                                "value": 60},
+                      "store.errors": {"type": "counter", "value": 0},
+                  })
+    text = run_report_text(warm, [])
+    assert "Persistent store" in text
+    # 30 store hits out of 30 + 60 cold compiles
+    assert "33.3%" in text
+    html = run_report_html(warm, [])
+    assert "Persistent store" in html
+
+    # store on but stone cold: section shows zeros, hit rate defined
+    cold = mk_run(3, store_seeds_skipped=0, store_compile_hits=0,
+                  store_truth_hits=0, store_oracle_hits=0)
+    text = run_report_text(cold, [])
+    assert "Persistent store" in text
