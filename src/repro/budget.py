@@ -15,13 +15,15 @@ hanging.
 This module sits below every other ``repro`` package (it imports only
 the standard library) precisely so the pipeline, the interpreter, and
 the fault-injection harness can all poll it without import cycles.
-The deadline is a per-process global: campaigns parallelize across
-processes, never across threads, and each worker analyzes one seed at
-a time.
+The deadline is *thread-local*: campaigns parallelize across processes
+(each worker analyzes one seed at a time), but the campaign *service*
+(:mod:`repro.service`) runs several jobs concurrently in threads of
+one process, each arming its own independent deadline.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Iterator
@@ -35,39 +37,43 @@ class SeedBudgetExceeded(RuntimeError):
     """
 
 
-_DEADLINE: float | None = None
+class _DeadlineState(threading.local):
+    deadline: float | None = None
+
+
+_STATE = _DeadlineState()
 
 
 @contextmanager
 def deadline(seconds: float | None) -> Iterator[None]:
     """Arm a wall-clock deadline ``seconds`` from now for the duration
     of the ``with`` block (``None`` = unlimited, zero overhead)."""
-    global _DEADLINE
     if seconds is None:
         yield
         return
-    previous = _DEADLINE
-    _DEADLINE = time.monotonic() + seconds
+    previous = _STATE.deadline
+    _STATE.deadline = time.monotonic() + seconds
     try:
         yield
     finally:
-        _DEADLINE = previous
+        _STATE.deadline = previous
 
 
 def check_deadline() -> None:
     """Raise :class:`SeedBudgetExceeded` if the armed deadline passed.
 
-    No-op (one global read) when no deadline is armed, so hot loops can
-    poll it unconditionally.
+    No-op (one thread-local read) when no deadline is armed, so hot
+    loops can poll it unconditionally.
     """
-    if _DEADLINE is not None and time.monotonic() > _DEADLINE:
+    armed = _STATE.deadline
+    if armed is not None and time.monotonic() > armed:
         raise SeedBudgetExceeded(
             f"seed exceeded its wall-clock budget "
-            f"({time.monotonic() - _DEADLINE:.3f}s past the deadline)"
+            f"({time.monotonic() - armed:.3f}s past the deadline)"
         )
 
 
 def deadline_armed() -> bool:
     """Whether a deadline is currently active (used by spin faults to
     decide how long they may busy-wait)."""
-    return _DEADLINE is not None
+    return _STATE.deadline is not None

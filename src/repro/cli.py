@@ -29,6 +29,11 @@ Subcommands mirror the paper's workflow:
   artifact store (``campaign --store FILE`` / ``reduce --store FILE``
   memoize compiles, ground truth, oracle verdicts and whole seed
   analyses there, making warm reruns near-free)
+* ``serve DIR``         — run the supervised campaign daemon: accept
+  seed/campaign jobs over a JSON HTTP API, survive crashes and
+  SIGTERM, fold findings into a durable case-lifecycle table
+* ``cases DIR``         — inspect that lifecycle table (``--state``
+  filters; ``cases DIR FP --report`` marks a case reported)
 """
 
 from __future__ import annotations
@@ -326,6 +331,62 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_cval.add_argument("directory")
 
+    p_serve = sub.add_parser(
+        "serve", help="run the supervised campaign daemon"
+    )
+    p_serve.add_argument(
+        "data_dir", help="service state directory (SQLite DBs + journals)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8321,
+        help="listen port (0 picks a free one and prints it)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1,
+        help="concurrent campaign worker threads",
+    )
+    p_serve.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock timeout (cancelled jobs retry "
+             "with backoff and resume from their journal)",
+    )
+    p_serve.add_argument(
+        "--retry-cap", type=int, default=3,
+        help="attempts before a crashing/timing-out job fails for good",
+    )
+    p_serve.add_argument(
+        "--backoff-base", type=float, default=0.5, metavar="SECONDS",
+        help="retry delay is backoff-base * 2^attempt",
+    )
+    p_serve.add_argument(
+        "--chaos-api", action="store_true",
+        help="expose POST /api/v1/chaos for fault-injection drills",
+    )
+    p_serve.add_argument(
+        "--events-out", default=None, metavar="FILE.jsonl",
+        help="stream job/case lifecycle events to a JSONL file",
+    )
+
+    p_cases = sub.add_parser(
+        "cases", help="inspect a service's case-lifecycle table"
+    )
+    p_cases.add_argument(
+        "data_dir", help="service state directory (or a service.sqlite)"
+    )
+    p_cases.add_argument(
+        "fingerprint", nargs="?", default=None,
+        help="show one case (a unique prefix works); omitted = list",
+    )
+    p_cases.add_argument(
+        "--state", default=None,
+        help="filter the listing by lifecycle state",
+    )
+    p_cases.add_argument(
+        "--report", action="store_true",
+        help="advance the named case to 'reported'",
+    )
+
     args = parser.parse_args(argv)
     if args.command == "analyze":
         incremental = not args.no_incremental
@@ -433,6 +494,17 @@ def main(argv: list[str] | None = None) -> int:
         if not report.ok:
             return 1
         print("all recorded results reproduce")
+    elif args.command == "serve":
+        if args.workers < 1:
+            p_serve.error(f"--workers must be >= 1, got {args.workers}")
+        if args.retry_cap < 1:
+            p_serve.error(f"--retry-cap must be >= 1, got {args.retry_cap}")
+        return _serve(args)
+    elif args.command == "cases":
+        if args.report and args.fingerprint is None:
+            p_cases.error("--report needs a case fingerprint")
+        return _cases(args.data_dir, args.fingerprint,
+                      state=args.state, report=args.report)
     return 0
 
 
@@ -926,15 +998,19 @@ def _report(path: str, run_id: int, html_out: str | None) -> int:
     with ledger:
         run = ledger.run(run_id)
         findings = ledger.findings(run_id) if run is not None else []
+        counts = ledger.lifecycle_counts() if run is not None else {}
     if run is None:
         print(f"no run {run_id} in {path}", file=sys.stderr)
         return 1
+    # lifecycle section only when the ledger actually carries cases
+    # (one-shot campaign ledgers have none; service ledgers do)
+    lifecycle = counts if any(counts.values()) else None
     if html_out:
         with open(html_out, "w") as handle:
-            handle.write(run_report_html(run, findings))
+            handle.write(run_report_html(run, findings, lifecycle))
         print(f"report written to {html_out}", file=sys.stderr)
     else:
-        print(run_report_text(run, findings))
+        print(run_report_text(run, findings, lifecycle))
     return 0
 
 
@@ -980,6 +1056,122 @@ def _crashes(journal: str) -> int:
         print("no crashes recorded")
         return 0
     print(_crash_bucket_table(bucket_crashes(crashes)))
+    return 0
+
+
+def _serve(args) -> int:
+    """``dce-hunt serve <dir>`` — run the campaign daemon."""
+    from .service import serve
+
+    events = None
+    writer = None
+    if args.events_out is not None:
+        events = EventBus()
+        writer = events.subscribe(JsonlEventWriter(args.events_out))
+    try:
+        return serve(
+            args.data_dir,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            job_timeout=args.job_timeout,
+            retry_cap=args.retry_cap,
+            backoff_base=args.backoff_base,
+            chaos_api=args.chaos_api,
+            events=events,
+            on_ready=lambda host, port: print(
+                f"listening on http://{host}:{port}", flush=True
+            ),
+        )
+    finally:
+        if writer is not None:
+            writer.close()
+
+
+def _service_db(data_dir: str) -> str | None:
+    """Resolve a ``cases`` argument to the service SQLite file."""
+    from .service.core import SERVICE_DB
+
+    path = (
+        os.path.join(data_dir, SERVICE_DB)
+        if os.path.isdir(data_dir)
+        else data_dir
+    )
+    if not os.path.exists(path):
+        print(f"no service database at {path}", file=sys.stderr)
+        return None
+    return path
+
+
+def _cases(
+    data_dir: str,
+    fingerprint: str | None,
+    *,
+    state: str | None,
+    report: bool,
+) -> int:
+    """``dce-hunt cases <dir> [fp]`` — lifecycle table inspection."""
+    import json
+
+    from .observability.ledger import CASE_STATES
+
+    path = _service_db(data_dir)
+    if path is None:
+        return 1
+    if state is not None and state not in CASE_STATES:
+        print(
+            f"unknown state {state!r}; one of {CASE_STATES}",
+            file=sys.stderr,
+        )
+        return 1
+    with RunLedger(path) as ledger:
+        if fingerprint is None:
+            rows = ledger.cases(state)
+            counts = ledger.lifecycle_counts()
+            header = "  ".join(
+                f"{name}={counts[name]}" for name in CASE_STATES
+            )
+            print(header)
+            table = []
+            for case in rows:
+                table.append([
+                    case.fingerprint[:16],
+                    case.state,
+                    case.kind,
+                    ",".join(str(s) for s in case.seeds[:4])
+                    + ("…" if len(case.seeds) > 4 else ""),
+                    str(case.occurrences),
+                ])
+            print(format_table(
+                ["fingerprint", "state", "kind", "seeds", "occ"], table
+            ))
+            return 0
+        matches = [
+            case for case in ledger.cases()
+            if case.fingerprint.startswith(fingerprint)
+        ]
+        if not matches:
+            resolved = ledger.case(fingerprint)
+            matches = [resolved] if resolved is not None else []
+        if not matches:
+            print(f"no case matches {fingerprint!r}", file=sys.stderr)
+            return 1
+        if len(matches) > 1:
+            print(
+                f"ambiguous prefix {fingerprint!r}"
+                f" ({len(matches)} matches)",
+                file=sys.stderr,
+            )
+            return 1
+        case = matches[0]
+        if report:
+            canonical, advanced = ledger.advance_case(
+                case.fingerprint, "reported"
+            )
+            case = ledger.case(canonical)
+            if not advanced:
+                print("already reported", file=sys.stderr)
+        print(json.dumps(case.to_dict(), indent=2, sort_keys=True))
     return 0
 
 

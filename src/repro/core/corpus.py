@@ -160,6 +160,20 @@ class CampaignProgress:
         return done / self.elapsed if self.elapsed > 0 else 0.0
 
 
+class CampaignCancelled(RuntimeError):
+    """A campaign stopped at a seed boundary because its ``cancel``
+    hook fired (service job timeout or drain).
+
+    Finished seeds are already journaled/committed when this raises,
+    so rerunning with the same checkpoint resumes exactly where the
+    cancelled run stopped — the same contract as SIGINT/SIGTERM.
+    """
+
+    def __init__(self, message: str, seeds_done: int = 0) -> None:
+        super().__init__(message)
+        self.seeds_done = seeds_done
+
+
 def run_campaign(
     n_programs: int = 50,
     seed_base: int = 0,
@@ -179,6 +193,7 @@ def run_campaign(
     window: int | None = None,
     reduction=None,
     store=None,
+    cancel: Callable[[], bool] | None = None,
 ) -> CampaignResult:
     """Run the full marker campaign over ``n_programs`` seeds.
 
@@ -245,6 +260,13 @@ def run_campaign(
     seed order.  A checkpoint journal, when both are given, takes
     precedence for seeds it holds (it alone replays crashes and
     budget blowups).
+
+    ``cancel`` — a zero-argument callable polled at every seed
+    boundary (sequential loop and parallel merge alike); returning
+    ``True`` raises :class:`CampaignCancelled` after the finished
+    seeds have been journaled and committed, so a rerun with the same
+    checkpoint resumes rather than restarts.  The campaign service
+    uses this for per-job wall-clock timeouts and graceful drain.
     """
     if n_programs < 0:
         raise ValueError(f"n_programs must be >= 0, got {n_programs}")
@@ -257,7 +279,7 @@ def run_campaign(
             n_programs, seed_base, version, generator_config,
             keep_analyses, compare_level, metrics, tracer, progress, jobs,
             incremental, seed_budget, checkpoint, events, interp, window,
-            reduction, store,
+            reduction, store, cancel,
         )
     if tracer is not None:
         with use_tracer(tracer):
@@ -265,11 +287,12 @@ def run_campaign(
                 n_programs, seed_base, version, generator_config,
                 keep_analyses, compare_level, metrics, progress, incremental,
                 seed_budget, checkpoint, events, interp, reduction, store,
+                cancel,
             )
     return _run_campaign_traced(
         n_programs, seed_base, version, generator_config,
         keep_analyses, compare_level, metrics, progress, incremental,
-        seed_budget, checkpoint, events, interp, reduction, store,
+        seed_budget, checkpoint, events, interp, reduction, store, cancel,
     )
 
 
@@ -289,6 +312,7 @@ def _run_campaign_traced(
     interp: str | None = None,
     reduction=None,
     store=None,
+    cancel: Callable[[], bool] | None = None,
 ) -> CampaignResult:
     specs = default_specs(version)
     result = CampaignResult()
@@ -315,9 +339,14 @@ def _run_campaign_traced(
 
     with tracer.span(
         "campaign", programs=n_programs, seed_base=seed_base
-    ) as campaign_span, _sigint_flushes(journal):
+    ) as campaign_span, _signal_flushes(journal):
         try:
             for seed in range(seed_base, seed_base + n_programs):
+                if cancel is not None and cancel():
+                    raise CampaignCancelled(
+                        f"campaign cancelled before seed {seed}",
+                        seeds_done=seed - seed_base,
+                    )
                 replayed = journal.get(seed) if journal is not None else None
                 stored = (
                     stored_reports.get(seed) if replayed is None else None
@@ -493,11 +522,19 @@ def _progress_snapshot(
     )
 
 
+#: signals that interrupt a checkpointed campaign: Ctrl-C and the
+#: `systemd`/container stop signal must leave the same flushed journal
+_FLUSH_SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+
 @contextmanager
-def _sigint_flushes(journal: CheckpointJournal | None):
+def _signal_flushes(journal: CheckpointJournal | None):
     """While a checkpointed campaign runs on the main thread, make
-    SIGINT flush the journal to disk before the usual
-    :class:`KeyboardInterrupt` propagates (interruption safety)."""
+    SIGINT *and* SIGTERM flush the journal to disk before the usual
+    :class:`KeyboardInterrupt` propagates (interruption safety: a
+    container stop is as survivable as a Ctrl-C).  Inside the campaign
+    service the loop runs on worker threads, so this is a no-op there —
+    the daemon owns both signals and drains instead."""
     if journal is None or threading.current_thread() is not threading.main_thread():
         yield
         return
@@ -506,11 +543,19 @@ def _sigint_flushes(journal: CheckpointJournal | None):
         journal.flush()
         raise KeyboardInterrupt
 
-    previous = signal.signal(signal.SIGINT, _flush_and_interrupt)
+    previous = {
+        sig: signal.signal(sig, _flush_and_interrupt)
+        for sig in _FLUSH_SIGNALS
+    }
     try:
         yield
     finally:
-        signal.signal(signal.SIGINT, previous)
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+
+
+#: backwards-compatible alias (pre-PR 10 name)
+_sigint_flushes = _signal_flushes
 
 
 def _record_tallies(

@@ -68,12 +68,13 @@ from ..observability.metrics import MetricsRegistry
 from ..observability.tracer import Tracer, current_tracer, use_tracer
 from ..testing import chaos
 from .corpus import (
+    CampaignCancelled,
     CampaignResult,
     CrossLevelStats,
     _merge_report,
     _progress_snapshot,
     _record_tallies,
-    _sigint_flushes,
+    _signal_flushes,
     campaign_end_attrs,
     default_specs,
     drain_reduction,
@@ -305,6 +306,7 @@ def run_campaign_parallel(
     window: int | None = None,
     reduction=None,
     store=None,
+    cancel=None,
 ) -> CampaignResult:
     """The ``jobs > 1`` engine behind
     :func:`repro.core.corpus.run_campaign` (same contract)."""
@@ -314,12 +316,13 @@ def run_campaign_parallel(
                 n_programs, seed_base, version, generator_config,
                 keep_analyses, compare_level, metrics, progress, jobs,
                 incremental, seed_budget, checkpoint, events, interp, window,
-                reduction, store,
+                reduction, store, cancel,
             )
     return _run_parallel(
         n_programs, seed_base, version, generator_config,
         keep_analyses, compare_level, metrics, progress, jobs, incremental,
         seed_budget, checkpoint, events, interp, window, reduction, store,
+        cancel,
     )
 
 
@@ -341,6 +344,7 @@ def _run_parallel(
     window: int | None = None,
     reduction=None,
     store=None,
+    cancel: Callable[[], bool] | None = None,
 ) -> CampaignResult:
     result = CampaignResult()
     result.cross_level = {family: CrossLevelStats() for family in FAMILIES}
@@ -376,7 +380,7 @@ def _run_parallel(
     with tracer.span(
         "campaign", programs=n_programs, seed_base=seed_base, jobs=jobs,
         window=effective_window, interp=interp,
-    ) as campaign_span, _sigint_flushes(journal):
+    ) as campaign_span, _signal_flushes(journal):
         parent_id = campaign_span.span_id if tracer.enabled else None
         worker_config = WorkerConfig(
             version=version,
@@ -397,6 +401,13 @@ def _run_parallel(
                 window=effective_window,
             )
             for seed in all_seeds:
+                if cancel is not None and cancel():
+                    # finished seeds are journaled/committed; in-flight
+                    # shards die with the pool teardown below
+                    raise CampaignCancelled(
+                        f"campaign cancelled before seed {seed}",
+                        seeds_done=seed - seed_base,
+                    )
                 replayed = journal.get(seed) if journal is not None else None
                 if replayed is not None:
                     if metrics is not None:

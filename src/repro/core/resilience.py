@@ -33,7 +33,7 @@ import base64
 import json
 import os
 import pickle
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from .. import budget
 from ..budget import SeedBudgetExceeded
@@ -56,6 +56,10 @@ WORKER_PHASE = "worker"
 
 #: post-campaign phase for crashes inside finding reduction
 REDUCE_PHASE = "reduce"
+
+#: phase for crashes contained by the campaign service's supervisor
+#: (a job crashed outside any single seed's analysis)
+SERVE_PHASE = "serve"
 
 _REPRO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 _TESTING_DIR = os.path.join(_REPRO_ROOT, "testing")
@@ -329,6 +333,18 @@ def reduction_death_envelope(seed: int) -> CrashEnvelope:
         traceback=(),
         repro=repro_command(seed),
     )
+
+
+def service_crash_envelope(job_id: str, exc: BaseException) -> CrashEnvelope:
+    """Fold a service job's crash into the standard envelope machinery.
+
+    There is no single seed to blame (the job may span many), so the
+    seed slot is ``-1`` and the repro one-liner is the job itself.
+    The bucket keeps the usual ``ExcType@file:func`` dedup key, so a
+    flaky handler shows up as one bucket across many retries.
+    """
+    envelope = crash_envelope(-1, SERVE_PHASE, exc)
+    return replace(envelope, repro=f"resubmit job {job_id} via POST /api/v1")
 
 
 # -- checkpoint journal ----------------------------------------------------

@@ -36,6 +36,8 @@ from .events import (
     strip_timestamps,
 )
 from .ledger import (
+    CASE_STATES,
+    CaseRow,
     FindingRow,
     RunLedger,
     RunRow,
@@ -61,9 +63,11 @@ from .tracer import (
 )
 
 __all__ = [
+    "CASE_STATES",
     "NULL_SPAN",
     "PASS_SPAN",
     "PIPELINE_SPAN",
+    "CaseRow",
     "CompareThresholds",
     "Counter",
     "Event",

@@ -57,6 +57,10 @@ class LiveDashboard:
         self._crashes = 0
         self._budget = 0
         self._reduction_commits = 0
+        self._jobs_done = 0
+        self._job_retries = 0
+        self._cases = 0
+        self._cases_advanced = 0
         self._line_open = False
 
     # -- wiring --------------------------------------------------------
@@ -132,6 +136,66 @@ class LiveDashboard:
         if self._tty:
             self._render()
 
+    # -- service (daemon) events ---------------------------------------
+
+    def _on_job_started(self, event: Event) -> None:
+        if not self._tty:
+            attempt = event.attrs.get("attempt", 0)
+            retry = f" (retry {attempt})" if attempt else ""
+            self._print(
+                f"job {event.attrs.get('job', '?')}: started{retry}"
+            )
+
+    def _on_job_retried(self, event: Event) -> None:
+        self._job_retries += 1
+        if self._tty:
+            self._render()
+        else:
+            self._print(
+                f"job {event.attrs.get('job', '?')}: "
+                f"{event.attrs.get('kind', '?')}, retry "
+                f"{event.attrs.get('attempt', '?')} in "
+                f"{event.attrs.get('delay', 0):.1f}s"
+            )
+
+    def _on_job_done(self, event: Event) -> None:
+        self._jobs_done += 1
+        if self._tty:
+            self._render()
+        else:
+            self._print(
+                f"job {event.attrs.get('job', '?')}: done "
+                f"({event.attrs.get('findings', 0)} findings)"
+            )
+
+    def _on_job_failed(self, event: Event) -> None:
+        if not self._tty:
+            self._print(
+                f"job {event.attrs.get('job', '?')}: FAILED after "
+                f"{event.attrs.get('attempts', '?')} attempts"
+            )
+
+    def _on_case_found(self, event: Event) -> None:
+        self._cases += 1
+        if self._tty:
+            self._render()
+        else:
+            self._print(
+                f"case {event.attrs.get('fingerprint', '?')[:16]}: found "
+                f"({event.attrs.get('kind', '?')}, seed "
+                f"{event.attrs.get('seed', '?')})"
+            )
+
+    def _on_case_advanced(self, event: Event) -> None:
+        self._cases_advanced += 1
+        if self._tty:
+            self._render()
+        else:
+            self._print(
+                f"case {event.attrs.get('fingerprint', '?')[:16]}: "
+                f"-> {event.attrs.get('state', '?')}"
+            )
+
     def _on_campaign_end(self, event: Event) -> None:
         if self._line_open:
             self._stream.write("\n")
@@ -178,6 +242,16 @@ class LiveDashboard:
             parts.append(f"{self._budget} over budget")
         if self._reduction_commits:
             parts.append(f"{self._reduction_commits} shrinks")
+        if self._jobs_done or self._job_retries:
+            blurb = f"{self._jobs_done} jobs"
+            if self._job_retries:
+                blurb += f" ({self._job_retries} retries)"
+            parts.append(blurb)
+        if self._cases:
+            blurb = f"{self._cases} cases"
+            if self._cases_advanced:
+                blurb += f" ({self._cases_advanced} advanced)"
+            parts.append(blurb)
         store = self._store_blurb()
         if store:
             parts.append(store)

@@ -63,6 +63,30 @@ EVENT_TYPES = frozenset({
     CAMPAIGN_END,
 })
 
+# -- service event types (PR 10) -------------------------------------------
+# The campaign *service* narrates job and case-lifecycle progress on its
+# own bus, separate from the per-campaign stream above (which stays
+# byte-identical to non-service runs by contract).
+
+JOB_SUBMITTED = "job.submitted"
+JOB_STARTED = "job.started"
+JOB_RETRIED = "job.retried"
+JOB_DONE = "job.done"
+JOB_FAILED = "job.failed"
+CASE_FOUND = "case.found"
+CASE_ADVANCED = "case.advanced"
+
+#: every event type the campaign service emits
+SERVICE_EVENT_TYPES = frozenset({
+    JOB_SUBMITTED,
+    JOB_STARTED,
+    JOB_RETRIED,
+    JOB_DONE,
+    JOB_FAILED,
+    CASE_FOUND,
+    CASE_ADVANCED,
+})
+
 
 @dataclass(frozen=True)
 class Event:

@@ -32,6 +32,25 @@ Findings dedupe on a deterministic fingerprint.  Two modes:
 Both fingerprints are pure functions of (seed, generator config,
 compare level), so re-running the same campaign config yields the same
 fingerprints and the occurrence counters accumulate across runs.
+
+Case lifecycle
+--------------
+
+The ``cases`` table (PR 10) tracks each deduplicated finding through
+the paper's triage pipeline: ``found → reduced → bisected → reported``.
+Rows are keyed by the structural fingerprint at ``found`` time;
+advancing to ``reduced`` attaches the paper-faithful reduced
+fingerprint and *merges* cases that reduce to the same program (the
+paper's "we deduplicate cases after reducing them").  Transitions are
+forward-only and idempotent — re-folding the same job after a crash or
+drain leaves the table unchanged, which is what makes the service's
+drain-then-resume determinism contract testable
+(:meth:`RunLedger.lifecycle_digest`).
+
+Writes are wrapped in :func:`repro.store.retry.retry_locked`: several
+service worker threads plus concurrent ``report`` invocations share
+one ledger file, so bounded ``database is locked`` contention is
+absorbed rather than raised.
 """
 
 from __future__ import annotations
@@ -45,6 +64,7 @@ from typing import Any
 
 from typing import TYPE_CHECKING
 
+from ..store.retry import retry_locked
 from .metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # heavyweight sibling packages import this module's
@@ -113,7 +133,27 @@ CREATE TABLE IF NOT EXISTS run_findings (
     kind TEXT NOT NULL,
     PRIMARY KEY (run_id, fingerprint, seed)
 );
+CREATE TABLE IF NOT EXISTS cases (
+    fingerprint TEXT PRIMARY KEY,
+    kind TEXT NOT NULL,
+    state TEXT NOT NULL,
+    seeds_json TEXT NOT NULL,
+    detail_json TEXT NOT NULL,
+    reduced_fingerprint TEXT,
+    bisect_json TEXT,
+    jobs_json TEXT NOT NULL,
+    occurrences INTEGER NOT NULL,
+    updated_at REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_cases_state ON cases(state);
+CREATE TABLE IF NOT EXISTS case_aliases (
+    fingerprint TEXT PRIMARY KEY,
+    canonical TEXT NOT NULL
+);
 """
+
+#: the case lifecycle, in order; transitions only ever move right
+CASE_STATES = ("found", "reduced", "bisected", "reported")
 
 
 def config_fingerprint(
@@ -307,6 +347,42 @@ class FindingRow:
     occurrences: int
 
 
+@dataclass
+class CaseRow:
+    """One deduplicated case tracked through the triage lifecycle."""
+
+    fingerprint: str
+    kind: str
+    state: str
+    seeds: list[int]
+    detail: dict
+    reduced_fingerprint: str | None
+    bisect: dict | None
+    #: service job ids that folded this case (dedup + idempotency key)
+    jobs: list[str]
+    #: distinct folds that saw this case (re-folds don't count)
+    occurrences: int
+    updated_at: float
+
+    def to_dict(self, *, timestamps: bool = True) -> dict[str, Any]:
+        """Canonical JSON form; ``timestamps=False`` drops the one
+        wall-clock field so two tables can be compared byte-for-byte."""
+        payload: dict[str, Any] = {
+            "fingerprint": self.fingerprint,
+            "kind": self.kind,
+            "state": self.state,
+            "seeds": sorted(self.seeds),
+            "detail": self.detail,
+            "reduced_fingerprint": self.reduced_fingerprint,
+            "bisect": self.bisect,
+            "jobs": sorted(self.jobs),
+            "occurrences": self.occurrences,
+        }
+        if timestamps:
+            payload["updated_at"] = self.updated_at
+        return payload
+
+
 class RunLedger:
     """SQLite-backed store of campaign runs and deduplicated findings.
 
@@ -315,11 +391,31 @@ class RunLedger:
 
     def __init__(self, path: str) -> None:
         self.path = path
+        #: bounded busy-retry rounds absorbed by this connection
+        self.lock_retries = 0
         self._conn = sqlite3.connect(path)
         self._conn.row_factory = sqlite3.Row
-        self._conn.executescript(_SCHEMA)
-        self._migrate()
-        self._conn.commit()
+        # first line of defense against concurrent writers (service
+        # worker threads, a `report` running against a live ledger);
+        # retry_locked is the bounded second line
+        self._conn.execute("PRAGMA busy_timeout = 5000")
+
+        def _init() -> None:
+            self._conn.executescript(_SCHEMA)
+            self._migrate()
+            self._conn.commit()
+
+        self._retrying(_init)
+
+    def _note_lock_retry(self, attempt: int) -> None:
+        self.lock_retries += 1
+
+    def _retrying(self, operation):
+        """One write transaction with bounded ``database is locked``
+        retries.  ``operation`` must be self-contained (it is rerun
+        from scratch), so wrap multi-statement writes in
+        ``with self._conn:`` for rollback-on-failure."""
+        return retry_locked(operation, on_retry=self._note_lock_retry)
 
     def _migrate(self) -> None:
         """Add columns introduced after a ledger file was created."""
@@ -465,30 +561,36 @@ class RunLedger:
             _store_counter("store.truth_hits"),
             _store_counter("store.oracle_hits"),
         )
-        cursor = self._conn.execute(
-            """INSERT INTO runs (
-                started_at, wall_time, config_fingerprint, programs,
-                seed_base, jobs, incremental, compare_level, version,
-                completed, skipped, crashed, budget_exceeded, degraded,
-                total_markers, total_dead, total_alive, findings,
-                soundness_violations, by_level_json, cross_compiler_json,
-                cross_level_json, shape_yield_json, pass_attribution_json,
-                crash_buckets_json, metrics_json, interp, sched_window,
-                reduce_jobs, reduction_oracle_calls,
-                reduction_speculative_wasted, reduction_wall_time,
-                store_seeds_skipped, store_compile_hits,
-                store_truth_hits, store_oracle_hits
-            ) VALUES (%s)""" % ", ".join("?" * 36),
-            row,
-        )
-        run_id = cursor.lastrowid
-        self._record_findings(
-            run_id, result.findings, generator_config, compare_level,
-            version, reduce_findings,
-            precomputed=getattr(result, "reduced_fingerprints", None),
-        )
-        self._conn.commit()
-        return run_id
+        def _write() -> int:
+            # `with` commits on success, rolls back on failure — so a
+            # locked-out attempt leaves nothing behind for the retry
+            with self._conn:
+                cursor = self._conn.execute(
+                    """INSERT INTO runs (
+                        started_at, wall_time, config_fingerprint, programs,
+                        seed_base, jobs, incremental, compare_level, version,
+                        completed, skipped, crashed, budget_exceeded, degraded,
+                        total_markers, total_dead, total_alive, findings,
+                        soundness_violations, by_level_json,
+                        cross_compiler_json, cross_level_json,
+                        shape_yield_json, pass_attribution_json,
+                        crash_buckets_json, metrics_json, interp, sched_window,
+                        reduce_jobs, reduction_oracle_calls,
+                        reduction_speculative_wasted, reduction_wall_time,
+                        store_seeds_skipped, store_compile_hits,
+                        store_truth_hits, store_oracle_hits
+                    ) VALUES (%s)""" % ", ".join("?" * 36),
+                    row,
+                )
+                run_id = cursor.lastrowid
+                self._record_findings(
+                    run_id, result.findings, generator_config, compare_level,
+                    version, reduce_findings,
+                    precomputed=getattr(result, "reduced_fingerprints", None),
+                )
+                return run_id
+
+        return self._retrying(_write)
 
     def _record_findings(
         self,
@@ -553,6 +655,259 @@ class RunLedger:
                         VALUES (?, ?, ?, ?)""",
                     (run_id, fingerprint, seed, entry["kind"]),
                 )
+
+    # -- case lifecycle ------------------------------------------------
+
+    def _resolve_case(self, fingerprint: str) -> str:
+        """Follow a reduced-merge alias to the surviving case."""
+        row = self._conn.execute(
+            "SELECT canonical FROM case_aliases WHERE fingerprint = ?",
+            (fingerprint,),
+        ).fetchone()
+        return str(row["canonical"]) if row is not None else fingerprint
+
+    def record_case(
+        self,
+        finding: dict,
+        fingerprint: str,
+        *,
+        job: str | None = None,
+        now: float | None = None,
+    ) -> tuple[str, bool]:
+        """Upsert one finding into the lifecycle table (state ``found``
+        for new cases; existing cases keep their state and merge seeds).
+
+        ``job`` is the folding service job's id and doubles as the
+        idempotency key: re-folding the same job after a crash or drain
+        neither bumps ``occurrences`` nor changes the row, so a resumed
+        job ledger equals an uninterrupted one.  Returns the canonical
+        fingerprint (an earlier reduced-merge may have re-pointed this
+        case) and whether the case is new.
+        """
+        stamp = time.time() if now is None else now
+
+        def _write() -> tuple[str, bool]:
+            with self._conn:
+                canonical = self._resolve_case(fingerprint)
+                row = self._conn.execute(
+                    "SELECT * FROM cases WHERE fingerprint = ?", (canonical,)
+                ).fetchone()
+                if row is None:
+                    self._conn.execute(
+                        """INSERT INTO cases (
+                            fingerprint, kind, state, seeds_json,
+                            detail_json, reduced_fingerprint, bisect_json,
+                            jobs_json, occurrences, updated_at
+                        ) VALUES (?, ?, 'found', ?, ?, NULL, NULL, ?, 1, ?)""",
+                        (
+                            canonical,
+                            finding["kind"],
+                            json.dumps([finding["seed"]]),
+                            json.dumps(finding, sort_keys=True),
+                            json.dumps([job] if job is not None else []),
+                            stamp,
+                        ),
+                    )
+                    return canonical, True
+                seeds = set(json.loads(row["seeds_json"]))
+                seeds.add(finding["seed"])
+                jobs = list(json.loads(row["jobs_json"]))
+                occurrences = int(row["occurrences"])
+                if job is None:
+                    occurrences += 1
+                elif job not in jobs:
+                    jobs.append(job)
+                    occurrences += 1
+                self._conn.execute(
+                    """UPDATE cases SET seeds_json = ?, jobs_json = ?,
+                        occurrences = ?, updated_at = ?
+                        WHERE fingerprint = ?""",
+                    (
+                        json.dumps(sorted(seeds)),
+                        json.dumps(sorted(jobs)),
+                        occurrences,
+                        stamp,
+                        canonical,
+                    ),
+                )
+                return canonical, False
+
+        return self._retrying(_write)
+
+    def advance_case(
+        self,
+        fingerprint: str,
+        state: str,
+        *,
+        reduced_fingerprint: str | None = None,
+        bisect: dict | None = None,
+        now: float | None = None,
+    ) -> tuple[str, bool]:
+        """Move a case forward along :data:`CASE_STATES`.
+
+        Transitions are forward-only: advancing to the current state or
+        an earlier one is an idempotent no-op (this is what lets a
+        resumed job re-fold blindly).  Advancing to ``reduced``
+        requires the paper-faithful ``reduced_fingerprint``; if another
+        case already reduced to the same program the two *merge* (the
+        survivor keeps its fingerprint, this one becomes an alias).
+        Returns ``(canonical fingerprint, advanced?)``.
+        """
+        if state not in CASE_STATES[1:]:
+            raise ValueError(
+                f"cannot advance to {state!r}; one of {CASE_STATES[1:]}"
+            )
+        if state == "reduced" and reduced_fingerprint is None:
+            raise ValueError("advancing to 'reduced' needs the reduced "
+                             "fingerprint")
+        stamp = time.time() if now is None else now
+
+        def _write() -> tuple[str, bool]:
+            with self._conn:
+                canonical = self._resolve_case(fingerprint)
+                row = self._conn.execute(
+                    "SELECT * FROM cases WHERE fingerprint = ?", (canonical,)
+                ).fetchone()
+                if row is None:
+                    raise KeyError(f"no case {fingerprint!r} in the ledger")
+                if CASE_STATES.index(state) <= CASE_STATES.index(row["state"]):
+                    return canonical, False
+                if state == "reduced":
+                    survivor = self._conn.execute(
+                        """SELECT * FROM cases WHERE reduced_fingerprint = ?
+                            AND fingerprint != ?""",
+                        (reduced_fingerprint, canonical),
+                    ).fetchone()
+                    if survivor is not None:
+                        return self._merge_case(row, survivor, stamp), True
+                sets = ["state = ?", "updated_at = ?"]
+                params: list[Any] = [state, stamp]
+                if reduced_fingerprint is not None:
+                    sets.append("reduced_fingerprint = ?")
+                    params.append(reduced_fingerprint)
+                if bisect is not None:
+                    sets.append("bisect_json = ?")
+                    params.append(json.dumps(bisect, sort_keys=True))
+                params.append(canonical)
+                self._conn.execute(
+                    f"UPDATE cases SET {', '.join(sets)}"
+                    " WHERE fingerprint = ?",
+                    params,
+                )
+                return canonical, True
+
+        return self._retrying(_write)
+
+    def _merge_case(
+        self, merged: sqlite3.Row, survivor: sqlite3.Row, stamp: float
+    ) -> str:
+        """Two structural cases reduced to the same program: fold
+        ``merged`` into ``survivor`` and leave an alias behind (runs
+        inside the caller's transaction)."""
+        seeds = set(json.loads(survivor["seeds_json"]))
+        seeds.update(json.loads(merged["seeds_json"]))
+        jobs = set(json.loads(survivor["jobs_json"]))
+        jobs.update(json.loads(merged["jobs_json"]))
+        occurrences = int(survivor["occurrences"]) + int(
+            merged["occurrences"]
+        )
+        self._conn.execute(
+            """UPDATE cases SET seeds_json = ?, jobs_json = ?,
+                occurrences = ?, updated_at = ? WHERE fingerprint = ?""",
+            (
+                json.dumps(sorted(seeds)),
+                json.dumps(sorted(jobs)),
+                occurrences,
+                stamp,
+                survivor["fingerprint"],
+            ),
+        )
+        self._conn.execute(
+            "DELETE FROM cases WHERE fingerprint = ?",
+            (merged["fingerprint"],),
+        )
+        self._conn.execute(
+            "INSERT OR REPLACE INTO case_aliases (fingerprint, canonical)"
+            " VALUES (?, ?)",
+            (merged["fingerprint"], survivor["fingerprint"]),
+        )
+        # anything already aliased to the merged case follows it
+        self._conn.execute(
+            "UPDATE case_aliases SET canonical = ? WHERE canonical = ?",
+            (survivor["fingerprint"], merged["fingerprint"]),
+        )
+        return str(survivor["fingerprint"])
+
+    def case(self, fingerprint: str) -> CaseRow | None:
+        """One case by fingerprint, following merge aliases."""
+        row = self._conn.execute(
+            "SELECT * FROM cases WHERE fingerprint = ?",
+            (self._resolve_case(fingerprint),),
+        ).fetchone()
+        return self._case_row(row) if row is not None else None
+
+    def cases(self, state: str | None = None) -> list[CaseRow]:
+        """Case rows in fingerprint order, optionally one state only."""
+        if state is not None and state not in CASE_STATES:
+            raise ValueError(f"unknown state {state!r}; one of {CASE_STATES}")
+        if state is None:
+            rows = self._conn.execute(
+                "SELECT * FROM cases ORDER BY fingerprint"
+            )
+        else:
+            rows = self._conn.execute(
+                "SELECT * FROM cases WHERE state = ? ORDER BY fingerprint",
+                (state,),
+            )
+        return [self._case_row(r) for r in rows]
+
+    def lifecycle_counts(self) -> dict[str, int]:
+        """Case count per lifecycle state (every state present)."""
+        counts = dict.fromkeys(CASE_STATES, 0)
+        for state, count in self._conn.execute(
+            "SELECT state, COUNT(*) FROM cases GROUP BY state"
+        ):
+            counts[str(state)] = int(count)
+        return counts
+
+    def lifecycle_rows(self, *, timestamps: bool = False) -> list[dict]:
+        """Canonical dump of the lifecycle table (plus merge aliases),
+        by default without wall-clock fields — the comparable form the
+        drain-then-resume determinism contract is checked against."""
+        dump = [c.to_dict(timestamps=timestamps) for c in self.cases()]
+        aliases = self._conn.execute(
+            "SELECT fingerprint, canonical FROM case_aliases"
+            " ORDER BY fingerprint"
+        ).fetchall()
+        if aliases:
+            dump.append({
+                "aliases": {str(f): str(c) for f, c in aliases},
+            })
+        return dump
+
+    def lifecycle_digest(self) -> str:
+        """sha256 over the canonical timestamp-free lifecycle dump."""
+        payload = json.dumps(self.lifecycle_rows(), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    @staticmethod
+    def _case_row(row: sqlite3.Row) -> CaseRow:
+        return CaseRow(
+            fingerprint=row["fingerprint"],
+            kind=row["kind"],
+            state=row["state"],
+            seeds=json.loads(row["seeds_json"]),
+            detail=json.loads(row["detail_json"]),
+            reduced_fingerprint=row["reduced_fingerprint"],
+            bisect=(
+                json.loads(row["bisect_json"])
+                if row["bisect_json"] is not None
+                else None
+            ),
+            jobs=json.loads(row["jobs_json"]),
+            occurrences=row["occurrences"],
+            updated_at=row["updated_at"],
+        )
 
     # -- queries -------------------------------------------------------
 

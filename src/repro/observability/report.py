@@ -362,10 +362,30 @@ def _run_header(run: RunRow) -> list[str]:
     ]
 
 
-def run_report_text(run: RunRow, findings: list[FindingRow]) -> str:
-    """Terminal report for one ledger run."""
+def _lifecycle_section(lifecycle: dict) -> tuple:
+    """A report section for the service's case-lifecycle tallies
+    (``found -> reduced -> bisected -> reported``)."""
+    states = list(lifecycle)
+    return (
+        "case lifecycle",
+        [tuple(states)],
+        [tuple(lifecycle[state] for state in states)],
+    )
+
+
+def run_report_text(
+    run: RunRow,
+    findings: list[FindingRow],
+    lifecycle: dict | None = None,
+) -> str:
+    """Terminal report for one ledger run.  ``lifecycle`` (the
+    service's :meth:`~.ledger.RunLedger.lifecycle_counts`) adds a
+    case-state tally section when the ledger carries cases."""
     lines = _run_header(run)
-    for title, header, rows in _report_sections(run, findings):
+    sections = list(_report_sections(run, findings))
+    if lifecycle is not None:
+        sections.append(_lifecycle_section(lifecycle))
+    for title, header, rows in sections:
         lines.append("")
         lines.append(f"== {title} ==")
         lines.extend(_text_table(header[0], rows))
@@ -398,7 +418,11 @@ code { background: #f4f4f4; padding: 0 .2rem; }
 """.strip()
 
 
-def run_report_html(run: RunRow, findings: list[FindingRow]) -> str:
+def run_report_html(
+    run: RunRow,
+    findings: list[FindingRow],
+    lifecycle: dict | None = None,
+) -> str:
     """Self-contained single-file HTML report (inline CSS, no external
     references — safe to archive as a CI artifact)."""
     esc = html.escape
@@ -419,7 +443,10 @@ def run_report_html(run: RunRow, findings: list[FindingRow]) -> str:
         )
         + "</p>",
     ]
-    for title, header, rows in _report_sections(run, findings):
+    sections = list(_report_sections(run, findings))
+    if lifecycle is not None:
+        sections.append(_lifecycle_section(lifecycle))
+    for title, header, rows in sections:
         parts.append(f"<h2>{esc(title)}</h2>")
         parts.append("<table><tr>")
         parts.extend(f"<th>{esc(str(c))}</th>" for c in header[0])

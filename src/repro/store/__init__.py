@@ -24,12 +24,15 @@ from .artifact import (
     program_text_key,
     seed_scope_fingerprint,
 )
+from .retry import is_locked_error, retry_locked
 
 __all__ = [
     "ArtifactStore",
     "StoreDelta",
     "StoreSession",
+    "is_locked_error",
     "open_store",
     "program_text_key",
+    "retry_locked",
     "seed_scope_fingerprint",
 ]

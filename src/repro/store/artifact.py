@@ -47,9 +47,14 @@ import zlib
 from dataclasses import asdict, dataclass, field
 from typing import Any, Iterable
 
+from ..testing.chaos import InjectedFault, trigger
+from .retry import retry_locked
+
 SCHEMA_VERSION = 1
 
-#: exceptions that flip the store into degraded (cold) mode
+#: exceptions that flip the store into degraded (cold) mode.
+#: ``InjectedFault`` is here so the ``store_write`` chaos site degrades
+#: exactly like a real mid-write failure would.
 _STORE_ERRORS = (
     sqlite3.Error,
     zlib.error,
@@ -61,6 +66,7 @@ _STORE_ERRORS = (
     AttributeError,
     ImportError,
     OSError,
+    InjectedFault,
 )
 
 _SCHEMA = """
@@ -232,6 +238,7 @@ class ArtifactStore:
         self.read_only = read_only
         self.metrics = metrics
         self.errors = 0
+        self.lock_retries = 0
         self.disabled = False
         self._con: sqlite3.Connection | None = None
         try:
@@ -252,6 +259,18 @@ class ArtifactStore:
             self._con.execute("SELECT COUNT(*) FROM sqlite_master").fetchone()
         except _STORE_ERRORS:
             self._fail()
+
+    # -- write contention ---------------------------------------------
+    def _note_lock_retry(self, attempt: int) -> None:
+        self.lock_retries += 1
+        if self.metrics is not None:
+            self.metrics.counter("store.lock_retries").inc()
+
+    def _retrying(self, operation):
+        """Run one write transaction, absorbing bounded ``database is
+        locked`` contention (concurrent service jobs / CLI invocations
+        share the file)."""
+        return retry_locked(operation, on_retry=self._note_lock_retry)
 
     # -- failure policy -----------------------------------------------
     def _fail(self) -> None:
@@ -406,25 +425,37 @@ class ArtifactStore:
         if self._con is None or self.read_only or not delta:
             return
         try:
-            for program_hash, text in delta.programs.items():
-                body = text.encode()
-                self._con.execute(
-                    "INSERT OR IGNORE INTO programs (hash, size, body)"
-                    " VALUES (?, ?, ?)",
-                    (program_hash, len(body), zlib.compress(body, 9)),
-                )
-            for (module_fp, config_fp), names in delta.compile_memo.items():
-                self._con.execute(
-                    "INSERT OR IGNORE INTO compile_memo"
-                    " (module_fp, config_fp, eliminated) VALUES (?, ?, ?)",
-                    (module_fp, config_fp, json.dumps(sorted(names))),
-                )
-            for (program_hash, limit), record in delta.truth_memo.items():
-                self._con.execute(
-                    "INSERT OR IGNORE INTO truth_memo"
-                    " (program_hash, step_limit, record) VALUES (?, ?, ?)",
-                    (program_hash, limit, json.dumps(record, sort_keys=True)),
-                )
+            trigger("store_write")
+
+            def _write() -> None:
+                for program_hash, text in delta.programs.items():
+                    body = text.encode()
+                    self._con.execute(
+                        "INSERT OR IGNORE INTO programs (hash, size, body)"
+                        " VALUES (?, ?, ?)",
+                        (program_hash, len(body), zlib.compress(body, 9)),
+                    )
+                for (module_fp, config_fp), names in (
+                    delta.compile_memo.items()
+                ):
+                    self._con.execute(
+                        "INSERT OR IGNORE INTO compile_memo"
+                        " (module_fp, config_fp, eliminated) VALUES (?, ?, ?)",
+                        (module_fp, config_fp, json.dumps(sorted(names))),
+                    )
+                for (program_hash, limit), record in delta.truth_memo.items():
+                    self._con.execute(
+                        "INSERT OR IGNORE INTO truth_memo"
+                        " (program_hash, step_limit, record)"
+                        " VALUES (?, ?, ?)",
+                        (
+                            program_hash,
+                            limit,
+                            json.dumps(record, sort_keys=True),
+                        ),
+                    )
+
+            self._retrying(_write)
         except _STORE_ERRORS:
             self._fail()
 
@@ -434,12 +465,15 @@ class ArtifactStore:
         if not report_is_cacheable(report):
             return
         try:
+            trigger("store_write")
             status = "skipped" if report.outcome is None else "ok"
             blob = zlib.compress(pickle.dumps(report), 9)
-            self._con.execute(
-                "INSERT OR REPLACE INTO seed_analyses"
-                " (scope_fp, seed, status, report) VALUES (?, ?, ?, ?)",
-                (scope_fp, report.seed, status, blob),
+            self._retrying(
+                lambda: self._con.execute(
+                    "INSERT OR REPLACE INTO seed_analyses"
+                    " (scope_fp, seed, status, report) VALUES (?, ?, ?, ?)",
+                    (scope_fp, report.seed, status, blob),
+                )
             )
         except _STORE_ERRORS:
             self._fail()
@@ -448,12 +482,18 @@ class ArtifactStore:
         if self._con is None or self.read_only or not entries:
             return
         try:
-            self._con.executemany(
-                "INSERT OR IGNORE INTO oracle_memo (key, verdict)"
-                " VALUES (?, ?)",
-                [(key, int(bool(v))) for key, v in sorted(entries.items())],
-            )
-            self._con.commit()
+            trigger("store_write")
+            rows = [(key, int(bool(v))) for key, v in sorted(entries.items())]
+
+            def _write() -> None:
+                self._con.executemany(
+                    "INSERT OR IGNORE INTO oracle_memo (key, verdict)"
+                    " VALUES (?, ?)",
+                    rows,
+                )
+                self._con.commit()
+
+            self._retrying(_write)
         except _STORE_ERRORS:
             self._fail()
 
@@ -461,7 +501,7 @@ class ArtifactStore:
         if self._con is None or self.read_only:
             return
         try:
-            self._con.commit()
+            self._retrying(self._con.commit)
         except _STORE_ERRORS:
             self._fail()
 

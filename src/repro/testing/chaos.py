@@ -21,7 +21,25 @@ Sites currently wired:
                           is exactly what the degraded-seed path needs
 ``pass:<name>``           :func:`execute_pass` boundary for one pass
 ``chaos``                 the registered no-op ``chaos`` pass (below)
+``store_write``           :class:`~repro.store.ArtifactStore` write paths —
+                          a ``raise`` here degrades the store to cold per
+                          its never-crash contract (``store.errors`` bumps)
+``worker_hang``           the service supervisor's per-job hang drill; a
+                          ``spin`` here is converted into a job timeout by
+                          the armed job deadline and retried with backoff
+``serve:handler``         the service HTTP API's request dispatch (health
+                          endpoints excluded — they must stay truthful);
+                          a ``raise`` returns 500 and bumps
+                          ``service.handler_errors``
+``serve:drain``           between finishing in-flight jobs and the final
+                          flush during graceful drain (``kill`` here is
+                          the mid-drain-kill drill: the restarted daemon
+                          must resume queued jobs exactly once)
 ========================  ====================================================
+
+Service sites fault at *every* hit when the fault's ``seeds`` set is
+empty; seed targeting applies only where a campaign seed is active
+(``store_write`` during a campaign commit, for example).
 
 Fault kinds:
 

@@ -197,6 +197,36 @@ def test_migration_is_idempotent(tmp_path, era):
         assert ledger.run(1) is not None
 
 
+@pytest.mark.parametrize("era", sorted(ERAS))
+def test_era_ledger_gains_case_lifecycle_tables(tmp_path, era):
+    """PR 10 adds the case lifecycle; opening any older file must
+    create the ``cases``/``case_aliases`` tables and the case API must
+    work against the migrated ledger."""
+    path = str(tmp_path / f"{era}.sqlite")
+    _make_era_ledger(path, ERAS[era])
+    with RunLedger(path) as ledger:
+        assert ledger.lifecycle_counts() == {
+            "found": 0, "reduced": 0, "bisected": 0, "reported": 0,
+        }
+        finding = {"seed": 3, "kind": "cross-compiler"}
+        canonical, created = ledger.record_case(
+            finding, "fp-migrated", job="j1"
+        )
+        assert created
+        ledger.advance_case(canonical, "reported")
+        assert ledger.lifecycle_counts()["reported"] == 1
+        # the era's original run row is untouched
+        assert ledger.run(1).config_fingerprint == "cafe0123cafe0123"
+    con = sqlite3.connect(path)
+    tables = {
+        r[0] for r in con.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table'"
+        )
+    }
+    con.close()
+    assert {"cases", "case_aliases"} <= tables
+
+
 def test_new_runs_record_into_migrated_ledger(tmp_path):
     """After migrating a PR 6 file, the current record_run writes the
     full 36-column row alongside the old one."""

@@ -1,0 +1,129 @@
+"""Drain-then-resume determinism (the service's core contract).
+
+Property: interrupt a job after *any* prefix of its journal, restart
+the service, let the retried job resume from the journal — the final
+case-lifecycle table is byte-identical (modulo timestamps, which the
+digest excludes) to an uninterrupted run.  Pinned at engine
+parallelism ``jobs ∈ {1, 4}``.
+
+The interruption is real: the first service is drained mid-job via
+the supervisor's cancel event, and the journal is additionally
+truncated to the chosen prefix — simulating a kill that landed before
+later seeds were written.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.observability.ledger import RunLedger
+from repro.service import CampaignService
+
+SMALL_CONFIG = {
+    "min_globals": 2, "max_globals": 4,
+    "min_functions": 1, "max_functions": 2,
+    "max_depth": 2, "min_block_stmts": 1, "max_block_stmts": 3,
+    "max_loop_trip": 5,
+}
+SEEDS = list(range(10))
+
+
+def wait_done(service, job_id, timeout=120.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        job = service.jobs.job(job_id)
+        if job.status in ("done", "failed"):
+            assert job.status == "done", job.to_dict()
+            return job
+        time.sleep(0.1)
+    raise AssertionError("job never finished")
+
+
+def run_uninterrupted(data_dir, engine_jobs):
+    service = CampaignService(str(data_dir))
+    service.start()
+    try:
+        job, _ = service.submit("seeds", {
+            "seeds": SEEDS, "config": SMALL_CONFIG, "jobs": engine_jobs,
+        })
+        wait_done(service, job.job_id)
+    finally:
+        service.drain(timeout=15.0)
+        service.close()
+    with RunLedger(service.jobs.path) as ledger:
+        return ledger.lifecycle_digest(), job.job_id
+
+
+def run_with_prefix_interrupt(data_dir, engine_jobs, keep_lines):
+    """Run the job to completion once, truncate its journal to
+    ``keep_lines`` lines and reset it as if the daemon died there,
+    then let a fresh service resume it."""
+    first = CampaignService(str(data_dir))
+    first.start()
+    try:
+        job, _ = first.submit("seeds", {
+            "seeds": SEEDS, "config": SMALL_CONFIG, "jobs": engine_jobs,
+        })
+        wait_done(first, job.job_id)
+    finally:
+        first.drain(timeout=15.0)
+        first.close()
+
+    # rewind the world to "killed after keep_lines journal records":
+    # truncate the journal and put the job back as running (a crashed
+    # daemon's claim), exactly what reset_running recovers from
+    journal = first.journal_path(job.job_id)
+    with open(journal) as handle:
+        lines = handle.readlines()
+    with open(journal, "w") as handle:
+        handle.writelines(lines[:keep_lines])
+    import sqlite3
+
+    conn = sqlite3.connect(first.jobs.path)
+    with conn:
+        conn.execute(
+            "UPDATE jobs SET status = 'running', result_json = NULL"
+            " WHERE job_id = ?",
+            (job.job_id,),
+        )
+    conn.close()
+
+    second = CampaignService(str(data_dir))
+    second.start()
+    try:
+        done = wait_done(second, job.job_id)
+    finally:
+        second.drain(timeout=15.0)
+        second.close()
+    assert done.result["seeds"] == len(SEEDS)
+    with RunLedger(second.jobs.path) as ledger:
+        return ledger.lifecycle_digest()
+
+
+@pytest.mark.parametrize("engine_jobs", [1, 4])
+def test_any_prefix_resume_matches_uninterrupted(tmp_path, engine_jobs):
+    control, _ = run_uninterrupted(tmp_path / "control", engine_jobs)
+    # every prefix would be 10+ full campaign runs; three probes —
+    # empty journal, mid-campaign, nearly-complete — cover the
+    # boundary cases (full sweep lives in the e2e drill's kill test)
+    for keep in (0, 5, 9):
+        resumed = run_with_prefix_interrupt(
+            tmp_path / f"prefix-{keep}", engine_jobs, keep
+        )
+        assert resumed == control, (
+            f"lifecycle diverged after resume from journal "
+            f"prefix {keep} (jobs={engine_jobs})"
+        )
+
+
+def test_refold_of_finished_job_changes_nothing(tmp_path):
+    """The degenerate prefix: the whole journal survives, only the
+    job status was lost.  The re-run replays every seed from the
+    journal and re-folds; the lifecycle digest must not move."""
+    digest, job_id = run_uninterrupted(tmp_path / "data", 1)
+    resumed = run_with_prefix_interrupt(
+        tmp_path / "refold", 1, keep_lines=10_000
+    )
+    assert resumed == digest

@@ -1,0 +1,157 @@
+"""Durable job queue: idempotent submission, FIFO claims, recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.jobs import JobStore, job_id_for
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = JobStore(str(tmp_path / "service.sqlite"))
+    yield store
+    store.close()
+
+
+PAYLOAD = {"seeds": [1, 2, 3]}
+
+
+class TestSubmission:
+    def test_submit_creates_queued_job(self, store):
+        job, created = store.submit("seeds", PAYLOAD)
+        assert created
+        assert job.status == "queued"
+        assert job.attempts == 0
+        assert job.payload == PAYLOAD
+        assert job.job_id == job_id_for("seeds", PAYLOAD)
+
+    def test_resubmit_is_idempotent(self, store):
+        first, _ = store.submit("seeds", PAYLOAD)
+        second, created = store.submit("seeds", PAYLOAD)
+        assert not created
+        assert second.job_id == first.job_id
+        assert store.counts()["queued"] == 1
+
+    def test_different_payloads_get_different_ids(self, store):
+        a, _ = store.submit("seeds", {"seeds": [1]})
+        b, _ = store.submit("seeds", {"seeds": [2]})
+        assert a.job_id != b.job_id
+
+    def test_same_payload_different_type_distinct(self, store):
+        a, _ = store.submit("seeds", {"seeds": [1]})
+        assert job_id_for("campaign", {"seeds": [1]}) != a.job_id
+
+    def test_resubmitting_failed_job_requeues(self, store):
+        job, _ = store.submit("seeds", PAYLOAD)
+        store.claim_next()
+        store.fail(job.job_id, {"kind": "crash"})
+        again, created = store.submit("seeds", PAYLOAD)
+        assert not created
+        assert again.status == "queued"
+        assert again.attempts == 0
+        assert again.error is None
+
+    def test_unknown_type_rejected(self, store):
+        with pytest.raises(ValueError, match="job type"):
+            store.submit("nope", PAYLOAD)
+
+
+class TestWorkerProtocol:
+    def test_claims_are_fifo_by_submission(self, store):
+        first, _ = store.submit("seeds", {"seeds": [1]})
+        second, _ = store.submit("seeds", {"seeds": [2]})
+        assert store.claim_next().job_id == first.job_id
+        assert store.claim_next().job_id == second.job_id
+        assert store.claim_next() is None
+
+    def test_claim_marks_running(self, store):
+        job, _ = store.submit("seeds", PAYLOAD)
+        claimed = store.claim_next()
+        assert claimed.status == "running"
+        assert store.job(job.job_id).status == "running"
+
+    def test_finish_records_result(self, store):
+        job, _ = store.submit("seeds", PAYLOAD)
+        store.claim_next()
+        store.finish(job.job_id, {"findings": 2})
+        done = store.job(job.job_id)
+        assert done.status == "done"
+        assert done.result == {"findings": 2}
+
+    def test_requeue_backs_off(self, store):
+        job, _ = store.submit("seeds", PAYLOAD)
+        store.claim_next(now=100.0)
+        attempts = store.requeue(
+            job.job_id, delay=30.0, error={"kind": "crash"}, now=100.0
+        )
+        assert attempts == 1
+        # not eligible until the backoff expires
+        assert store.claim_next(now=110.0) is None
+        assert store.claim_next(now=130.1).job_id == job.job_id
+
+    def test_requeued_error_is_visible(self, store):
+        job, _ = store.submit("seeds", PAYLOAD)
+        store.claim_next()
+        store.requeue(job.job_id, delay=0.0, error={"kind": "timeout"})
+        assert store.job(job.job_id).error == {"kind": "timeout"}
+
+    def test_fail_retires_job(self, store):
+        job, _ = store.submit("seeds", PAYLOAD)
+        store.claim_next()
+        store.fail(job.job_id, {"kind": "crash", "bucket": "X"})
+        failed = store.job(job.job_id)
+        assert failed.status == "failed"
+        assert failed.error["bucket"] == "X"
+        assert store.claim_next() is None
+
+
+class TestCrashRecovery:
+    def test_reset_running_requeues(self, tmp_path):
+        path = str(tmp_path / "service.sqlite")
+        store = JobStore(path)
+        job, _ = store.submit("seeds", PAYLOAD)
+        store.claim_next()
+        store.requeue(job.job_id, delay=0.0)
+        store.claim_next()  # running again, attempt count 1
+        store.close()
+
+        # a new daemon opening the same file finds the orphan
+        reborn = JobStore(path)
+        assert reborn.reset_running() == 1
+        recovered = reborn.claim_next()
+        assert recovered.job_id == job.job_id
+        assert recovered.attempts == 1  # preserved across recovery
+        reborn.close()
+
+    def test_reset_running_noop_when_clean(self, store):
+        store.submit("seeds", PAYLOAD)
+        assert store.reset_running() == 0
+
+
+class TestQueries:
+    def test_counts_and_depth(self, store):
+        a, _ = store.submit("seeds", {"seeds": [1]})
+        b, _ = store.submit("seeds", {"seeds": [2]})
+        store.submit("seeds", {"seeds": [3]})
+        store.claim_next()
+        store.finish(a.job_id, {})
+        store.claim_next()
+        counts = store.counts()
+        assert counts == {
+            "queued": 1, "running": 1, "done": 1, "failed": 0,
+        }
+        assert store.queue_depth() == 2  # queued + running
+
+    def test_jobs_filter_validates_status(self, store):
+        with pytest.raises(ValueError, match="unknown status"):
+            store.jobs("sleeping")
+
+    def test_jobs_listing_ordered(self, store):
+        for n in range(3):
+            store.submit("seeds", {"seeds": [n]})
+        listed = store.jobs()
+        assert [j.ordinal for j in listed] == [1, 2, 3]
+
+    def test_missing_job_is_none(self, store):
+        assert store.job("deadbeef") is None

@@ -1,0 +1,199 @@
+"""The ledger's case-lifecycle table: found → reduced → bisected →
+reported, with merge-on-reduction and idempotent per-job folding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability.ledger import CASE_STATES, RunLedger
+
+
+@pytest.fixture
+def ledger(tmp_path):
+    with RunLedger(str(tmp_path / "service.sqlite")) as ledger:
+        yield ledger
+
+
+def finding(seed=3, kind="cross-compiler"):
+    return {
+        "seed": seed,
+        "kind": kind,
+        "gcc_misses": ["DCEMarker0"],
+        "llvm_misses": [],
+    }
+
+
+class TestRecordCase:
+    def test_new_case_starts_found(self, ledger):
+        canonical, created = ledger.record_case(finding(), "fp-a", job="j1")
+        assert created
+        case = ledger.case(canonical)
+        assert case.state == "found"
+        assert case.seeds == [3]
+        assert case.jobs == ["j1"]
+        assert case.occurrences == 1
+
+    def test_same_fingerprint_other_job_accumulates(self, ledger):
+        ledger.record_case(finding(seed=3), "fp-a", job="j1")
+        canonical, created = ledger.record_case(
+            finding(seed=9), "fp-a", job="j2"
+        )
+        assert not created
+        case = ledger.case(canonical)
+        assert case.seeds == [3, 9]
+        assert sorted(case.jobs) == ["j1", "j2"]
+        assert case.occurrences == 2
+
+    def test_refold_same_job_is_idempotent(self, ledger):
+        """A resumed job re-folding its findings changes nothing —
+        the job id is the dedup key."""
+        ledger.record_case(finding(), "fp-a", job="j1")
+        before = ledger.lifecycle_digest()
+        canonical, created = ledger.record_case(finding(), "fp-a", job="j1")
+        assert not created
+        assert ledger.lifecycle_digest() == before
+        assert ledger.case(canonical).occurrences == 1
+
+    def test_counts_track_states(self, ledger):
+        ledger.record_case(finding(), "fp-a", job="j1")
+        ledger.record_case(finding(seed=5), "fp-b", job="j1")
+        assert ledger.lifecycle_counts() == {
+            "found": 2, "reduced": 0, "bisected": 0, "reported": 0,
+        }
+
+
+class TestAdvance:
+    def test_full_lifecycle_walk(self, ledger):
+        ledger.record_case(finding(), "fp-a", job="j1")
+        for state in CASE_STATES[1:]:
+            kwargs = (
+                {"reduced_fingerprint": "red-a"}
+                if state == "reduced" else {}
+            )
+            canonical, advanced = ledger.advance_case(
+                "fp-a", state, **kwargs
+            )
+            assert advanced
+            assert ledger.case(canonical).state == state
+
+    def test_transitions_are_forward_only(self, ledger):
+        ledger.record_case(finding(), "fp-a", job="j1")
+        ledger.advance_case("fp-a", "reported")
+        canonical, advanced = ledger.advance_case(
+            "fp-a", "reduced", reduced_fingerprint="red-a"
+        )
+        assert not advanced
+        assert ledger.case(canonical).state == "reported"
+
+    def test_readvancing_same_state_is_noop(self, ledger):
+        ledger.record_case(finding(), "fp-a", job="j1")
+        ledger.advance_case("fp-a", "reduced", reduced_fingerprint="red-a")
+        digest = ledger.lifecycle_digest()
+        _, advanced = ledger.advance_case(
+            "fp-a", "reduced", reduced_fingerprint="red-a"
+        )
+        assert not advanced
+        assert ledger.lifecycle_digest() == digest
+
+    def test_reduced_requires_fingerprint(self, ledger):
+        ledger.record_case(finding(), "fp-a", job="j1")
+        with pytest.raises(ValueError, match="reduced"):
+            ledger.advance_case("fp-a", "reduced")
+
+    def test_found_is_not_a_transition_target(self, ledger):
+        ledger.record_case(finding(), "fp-a", job="j1")
+        with pytest.raises(ValueError, match="cannot advance"):
+            ledger.advance_case("fp-a", "found")
+
+    def test_unknown_case_raises(self, ledger):
+        with pytest.raises(KeyError):
+            ledger.advance_case("missing", "reported")
+
+    def test_bisect_payload_round_trips(self, ledger):
+        ledger.record_case(finding(), "fp-a", job="j1")
+        ledger.advance_case("fp-a", "reduced", reduced_fingerprint="red-a")
+        payload = {"family": "gcclike", "first_bad": "12.0", "steps": 3}
+        ledger.advance_case("fp-a", "bisected", bisect=payload)
+        assert ledger.case("fp-a").bisect == payload
+
+
+class TestReducedMerge:
+    def _two_reduced_equal(self, ledger):
+        """Two distinct found cases whose reductions coincide."""
+        ledger.record_case(finding(seed=3), "fp-a", job="j1")
+        ledger.record_case(finding(seed=9), "fp-b", job="j2")
+        ledger.advance_case("fp-a", "reduced", reduced_fingerprint="red-x")
+        return ledger.advance_case(
+            "fp-b", "reduced", reduced_fingerprint="red-x"
+        )
+
+    def test_same_reduction_merges_cases(self, ledger):
+        canonical, advanced = self._two_reduced_equal(ledger)
+        assert advanced
+        assert canonical == "fp-a"  # survivor is the earlier case
+        assert ledger.lifecycle_counts()["reduced"] == 1
+        merged = ledger.case(canonical)
+        assert merged.seeds == [3, 9]
+        assert merged.occurrences == 2
+
+    def test_merged_fingerprint_aliases_to_survivor(self, ledger):
+        self._two_reduced_equal(ledger)
+        # looking up the merged case lands on the survivor
+        assert ledger.case("fp-b").fingerprint == "fp-a"
+
+    def test_refold_after_merge_is_idempotent(self, ledger):
+        self._two_reduced_equal(ledger)
+        digest = ledger.lifecycle_digest()
+        # the resumed job re-records fp-b; the alias absorbs it
+        canonical, created = ledger.record_case(
+            finding(seed=9), "fp-b", job="j2"
+        )
+        assert not created
+        assert canonical == "fp-a"
+        assert ledger.lifecycle_digest() == digest
+
+    def test_advance_through_alias(self, ledger):
+        self._two_reduced_equal(ledger)
+        canonical, advanced = ledger.advance_case("fp-b", "reported")
+        assert advanced
+        assert canonical == "fp-a"
+        assert ledger.case("fp-a").state == "reported"
+
+
+class TestQueriesAndDigest:
+    def test_cases_filtered_by_state(self, ledger):
+        ledger.record_case(finding(), "fp-a", job="j1")
+        ledger.record_case(finding(seed=5), "fp-b", job="j1")
+        ledger.advance_case("fp-b", "reported")
+        assert [c.fingerprint for c in ledger.cases("found")] == ["fp-a"]
+        assert [c.fingerprint for c in ledger.cases()] == ["fp-a", "fp-b"]
+
+    def test_bad_state_filter_rejected(self, ledger):
+        with pytest.raises(ValueError, match="state"):
+            ledger.cases("sleeping")
+
+    def test_digest_ignores_timestamps(self, ledger):
+        ledger.record_case(finding(), "fp-a", job="j1", now=100.0)
+        digest_a = ledger.lifecycle_digest()
+        ledger.record_case(finding(), "fp-a", job="j1", now=999.0)
+        assert ledger.lifecycle_digest() == digest_a
+
+    def test_digest_differs_across_content(self, ledger):
+        ledger.record_case(finding(), "fp-a", job="j1")
+        before = ledger.lifecycle_digest()
+        ledger.advance_case("fp-a", "reported")
+        assert ledger.lifecycle_digest() != before
+
+    def test_lifecycle_rows_include_aliases(self, ledger):
+        ledger.record_case(finding(seed=3), "fp-a", job="j1")
+        ledger.record_case(finding(seed=9), "fp-b", job="j2")
+        ledger.advance_case("fp-a", "reduced", reduced_fingerprint="red-x")
+        ledger.advance_case("fp-b", "reduced", reduced_fingerprint="red-x")
+        rows = ledger.lifecycle_rows()
+        assert rows[-1] == {"aliases": {"fp-b": "fp-a"}}
+
+    def test_case_to_dict_omits_timestamp_when_asked(self, ledger):
+        ledger.record_case(finding(), "fp-a", job="j1")
+        case = ledger.case("fp-a")
+        assert "updated_at" in case.to_dict()
+        assert "updated_at" not in case.to_dict(timestamps=False)

@@ -1,0 +1,202 @@
+"""End-to-end daemon drill (the CI service smoke, runnable locally).
+
+A real ``dce-hunt serve`` subprocess: 20 seeds POSTed from two
+concurrent clients, a worker killed mid-campaign via the chaos API,
+SIGTERM mid-stream, restart — then assert the lifecycle table shows
+every submission exactly once and no found case was lost.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.observability.ledger import RunLedger
+
+SMALL_CONFIG = {
+    "min_globals": 2, "max_globals": 4,
+    "min_functions": 1, "max_functions": 2,
+    "max_depth": 2, "min_block_stmts": 1, "max_block_stmts": 3,
+    "max_loop_trip": 5,
+}
+
+SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(__file__))), "src"
+)
+
+
+class DaemonProcess:
+    def __init__(self, data_dir, *extra_args):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", str(data_dir),
+             "--port", "0", *extra_args],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True,
+        )
+        banner = self.proc.stdout.readline().strip()
+        assert banner.startswith("listening on http://"), banner
+        self.port = int(banner.rsplit(":", 1)[-1])
+        # keep the pipe drained so the daemon never blocks on stdout
+        self._drain = threading.Thread(
+            target=self.proc.stdout.read, daemon=True
+        )
+        self._drain.start()
+
+    def request(self, method, path, body=None, timeout=30):
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{self.port}{path}",
+            data=data, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    def sigterm_and_wait(self, timeout=60):
+        self.proc.send_signal(signal.SIGTERM)
+        return self.proc.wait(timeout=timeout)
+
+    def kill(self):
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+
+
+@pytest.fixture
+def data_dir(tmp_path):
+    return tmp_path / "data"
+
+
+def submit_batch(daemon, seeds_lists, results, index):
+    """One 'client': submit its share of the seed batches."""
+    for seeds in seeds_lists:
+        status, payload = daemon.request(
+            "POST", "/api/v1/seeds",
+            {"seeds": seeds, "config": SMALL_CONFIG},
+        )
+        results[index].append((status, payload["job"]["job_id"]))
+
+
+@pytest.mark.slow
+def test_service_survives_kill_sigterm_and_restart(data_dir):
+    daemon = DaemonProcess(data_dir, "--chaos-api", "--job-timeout", "60")
+    submitted = {}
+    try:
+        # 20 seeds in 4 batches of 5, from two concurrent clients
+        batches = [
+            [list(range(0, 5)), list(range(5, 10))],
+            [list(range(10, 15)), list(range(15, 20))],
+        ]
+        results = ([], [])
+        clients = [
+            threading.Thread(
+                target=submit_batch, args=(daemon, batches[i], results, i)
+            )
+            for i in range(2)
+        ]
+        for client in clients:
+            client.start()
+        for client in clients:
+            client.join(30)
+        for client_results in results:
+            assert len(client_results) == 2
+            for status, job_id in client_results:
+                assert status == 201
+                submitted[job_id] = True
+        assert len(submitted) == 4
+
+        # kill the worker mid-campaign: a process-exit fault at the
+        # worker_hang site takes the whole daemon down un-gracefully
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            _, health = daemon.request("GET", "/healthz")
+            if health["in_flight"] > 0 or health["jobs"]["running"] > 0:
+                break
+            time.sleep(0.05)
+        daemon.request(
+            "POST", "/api/v1/chaos", {"faults": ["worker_hang:kill"]}
+        )
+        # the next claimed job hits the site and the process dies hard
+        assert daemon.proc.wait(timeout=90) == 86
+    finally:
+        daemon.kill()
+
+    # restart: orphaned running jobs are reset and work continues
+    daemon = DaemonProcess(data_dir, "--job-timeout", "60")
+    try:
+        deadline = time.monotonic() + 300
+        while time.monotonic() < deadline:
+            _, health = daemon.request("GET", "/healthz")
+            done = health["jobs"]["done"]
+            if done >= 2:
+                break
+            time.sleep(0.2)
+        assert health["jobs"]["done"] >= 2, health
+
+        # SIGTERM mid-stream: graceful drain, zero exit
+        assert daemon.sigterm_and_wait() == 0
+    finally:
+        daemon.kill()
+
+    # final restart finishes whatever queued work remains
+    daemon = DaemonProcess(data_dir, "--job-timeout", "60")
+    try:
+        deadline = time.monotonic() + 300
+        while time.monotonic() < deadline:
+            _, health = daemon.request("GET", "/healthz")
+            if health["jobs"]["done"] == 4:
+                break
+            time.sleep(0.2)
+        assert health["jobs"]["done"] == 4, health
+        assert daemon.sigterm_and_wait() == 0
+    finally:
+        daemon.kill()
+
+    # exactly-once accounting, straight from the database
+    with RunLedger(str(data_dir / "service.sqlite")) as ledger:
+        counts = ledger.lifecycle_counts()
+        cases = ledger.cases()
+    total_found = sum(counts.values())
+    assert total_found > 0, "the 20-seed corpus must surface findings"
+    seen_jobs = sorted({job for case in cases for job in case.jobs})
+    assert set(seen_jobs) <= set(submitted)
+    for case in cases:
+        # a job folds each case at most once, kills notwithstanding
+        assert len(case.jobs) == len(set(case.jobs))
+        assert case.occurrences == len(case.jobs)
+
+    # and the job table itself: every submission exactly once, done
+    import sqlite3
+
+    conn = sqlite3.connect(str(data_dir / "service.sqlite"))
+    rows = conn.execute(
+        "SELECT job_id, status, COUNT(*) FROM jobs GROUP BY job_id"
+    ).fetchall()
+    conn.close()
+    assert sorted(r[0] for r in rows) == sorted(submitted)
+    assert all(r[1] == "done" for r in rows)
+    assert all(r[2] == 1 for r in rows)
+
+
+@pytest.mark.slow
+def test_sigterm_before_work_is_clean(data_dir):
+    daemon = DaemonProcess(data_dir)
+    try:
+        assert daemon.request("GET", "/readyz")[0] == 200
+        assert daemon.sigterm_and_wait() == 0
+    finally:
+        daemon.kill()

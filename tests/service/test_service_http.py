@@ -1,0 +1,247 @@
+"""The JSON HTTP API against an in-process daemon on an ephemeral
+port: submission, queries, health, chaos containment."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.observability.ledger import RunLedger
+from repro.service import CampaignService, ServiceHTTPServer
+from repro.testing.chaos import Fault, FaultPlan, clear_plan, install_plan
+
+SMALL_CONFIG = {
+    "min_globals": 2, "max_globals": 4,
+    "min_functions": 1, "max_functions": 2,
+    "max_depth": 2, "min_block_stmts": 1, "max_block_stmts": 3,
+    "max_loop_trip": 5,
+}
+
+
+@pytest.fixture(autouse=True)
+def _no_chaos_leak():
+    yield
+    clear_plan()
+
+
+class Daemon:
+    """An in-process service + HTTP server on port 0."""
+
+    def __init__(self, data_dir, *, chaos_api=False, start_workers=True,
+                 **service_kwargs):
+        self.service = CampaignService(str(data_dir), **service_kwargs)
+        if start_workers:
+            self.service.start()
+        self.httpd = ServiceHTTPServer(
+            ("127.0.0.1", 0), self.service, chaos_api=chaos_api
+        )
+        self.port = self.httpd.server_address[1]
+        self.thread = threading.Thread(
+            target=self.httpd.serve_forever, daemon=True
+        )
+        self.thread.start()
+
+    def request(self, method, path, body=None):
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{self.port}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    def wait_job(self, job_id, timeout=90.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            _, payload = self.request("GET", f"/api/v1/jobs/{job_id}")
+            if payload["job"]["status"] in ("done", "failed"):
+                return payload["job"]
+            time.sleep(0.1)
+        raise AssertionError("job never finished")
+
+    def stop(self):
+        self.httpd.shutdown()
+        self.thread.join(5.0)
+        self.httpd.server_close()
+        self.service.drain(timeout=10.0)
+        self.service.close()
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    daemon = Daemon(tmp_path / "data")
+    yield daemon
+    daemon.stop()
+
+
+class TestSubmission:
+    def test_post_seeds_creates_job(self, daemon):
+        status, payload = daemon.request(
+            "POST", "/api/v1/seeds",
+            {"seeds": [1, 2], "config": SMALL_CONFIG},
+        )
+        assert status == 201
+        assert payload["created"]
+        assert payload["job"]["status"] in ("queued", "running")
+
+    def test_repost_returns_same_job(self, daemon):
+        body = {"seeds": [1, 2], "config": SMALL_CONFIG}
+        _, first = daemon.request("POST", "/api/v1/seeds", body)
+        status, second = daemon.request("POST", "/api/v1/seeds", body)
+        assert status == 200
+        assert not second["created"]
+        assert second["job"]["job_id"] == first["job"]["job_id"]
+
+    def test_bad_payload_is_400(self, daemon):
+        status, payload = daemon.request(
+            "POST", "/api/v1/seeds", {"seeds": []}
+        )
+        assert status == 400
+        assert "seeds" in payload["error"]
+
+    def test_malformed_json_is_400(self, daemon):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{daemon.port}/api/v1/seeds",
+            data=b"{not json",
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=10)
+        assert info.value.code == 400
+
+    def test_unknown_endpoint_is_404(self, daemon):
+        assert daemon.request("GET", "/api/v1/nothing")[0] == 404
+        assert daemon.request("GET", "/whatever")[0] == 404
+
+    def test_full_round_trip_with_cases(self, daemon):
+        _, out = daemon.request(
+            "POST", "/api/v1/seeds",
+            {"seeds": list(range(10)), "config": SMALL_CONFIG},
+        )
+        job = daemon.wait_job(out["job"]["job_id"])
+        assert job["status"] == "done"
+        assert job["result"]["findings"] > 0
+        _, listing = daemon.request("GET", "/api/v1/cases")
+        assert len(listing["cases"]) == job["result"]["cases_new"]
+        fingerprint = listing["cases"][0]["fingerprint"]
+        _, one = daemon.request("GET", f"/api/v1/cases/{fingerprint}")
+        assert one["case"]["state"] == "found"
+        status, advanced = daemon.request(
+            "POST", f"/api/v1/cases/{fingerprint}/advance",
+            {"state": "reported"},
+        )
+        assert status == 200
+        assert advanced["case"]["state"] == "reported"
+        _, filtered = daemon.request(
+            "GET", "/api/v1/cases?state=reported"
+        )
+        assert [c["fingerprint"] for c in filtered["cases"]] == [
+            fingerprint
+        ]
+
+    def test_advance_validates_state(self, daemon):
+        status, payload = daemon.request(
+            "POST", "/api/v1/cases/whatever/advance", {"state": "found"}
+        )
+        assert status == 400
+        status, _ = daemon.request(
+            "POST", "/api/v1/cases/missing/advance", {"state": "reported"}
+        )
+        assert status == 404
+
+
+class TestHealth:
+    def test_healthz_reports_liveness(self, daemon):
+        status, health = daemon.request("GET", "/healthz")
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["workers_alive"] == 1
+        assert health["queue_depth"] == 0
+        assert "last_commit_age" in health
+        assert "worker_heartbeat_age" in health
+
+    def test_readyz_is_200_when_accepting(self, daemon):
+        status, ready = daemon.request("GET", "/readyz")
+        assert status == 200
+        assert ready["ready"]
+
+    def test_readyz_503_when_workers_never_started(self, tmp_path):
+        daemon = Daemon(tmp_path / "data", start_workers=False)
+        try:
+            status, ready = daemon.request("GET", "/readyz")
+            assert status == 503
+            assert not ready["ready"]
+        finally:
+            daemon.stop()
+
+    def test_draining_refuses_posts_but_health_stays(self, daemon):
+        daemon.service.supervisor.drain(timeout=10.0)
+        status, payload = daemon.request(
+            "POST", "/api/v1/seeds", {"seeds": [1]}
+        )
+        assert status == 503
+        assert "draining" in payload["error"]
+        assert daemon.request("GET", "/healthz")[0] == 200
+        assert daemon.request("GET", "/readyz")[0] == 503
+
+
+class TestHandlerChaos:
+    def test_handler_fault_is_one_500_then_recovery(self, daemon):
+        """An injected serve:handler fault maps to a 500 on the faulted
+        request; the daemon keeps serving afterwards."""
+        install_plan(FaultPlan((Fault("serve:handler", "raise"),)))
+        status, payload = daemon.request("GET", "/api/v1/jobs")
+        assert status == 500
+        assert "InjectedFault" in payload["error"]
+        # health bypasses the chaos hook entirely
+        assert daemon.request("GET", "/healthz")[0] == 200
+        clear_plan()
+        assert daemon.request("GET", "/api/v1/jobs")[0] == 200
+        snapshot = daemon.service.metrics.to_dict()
+        assert snapshot["service.handler_errors"]["value"] == 1
+
+
+class TestChaosApi:
+    def test_gated_off_by_default(self, daemon):
+        assert daemon.request(
+            "POST", "/api/v1/chaos", {"faults": []}
+        )[0] == 404
+
+    def test_install_and_clear_over_http(self, tmp_path):
+        daemon = Daemon(tmp_path / "data", chaos_api=True)
+        try:
+            status, out = daemon.request(
+                "POST", "/api/v1/chaos",
+                {"faults": ["serve:handler:raise"]},
+            )
+            assert status == 200
+            assert out["installed"] == ["serve:handler"]
+            assert daemon.request("GET", "/api/v1/jobs")[0] == 500
+            # clearing goes through even while the handler site faults
+            status, _ = daemon.request(
+                "POST", "/api/v1/chaos", {"faults": []}
+            )
+            assert daemon.request("GET", "/api/v1/jobs")[0] == 200
+        finally:
+            daemon.stop()
+
+    def test_bad_fault_spec_is_400(self, tmp_path):
+        daemon = Daemon(tmp_path / "data", chaos_api=True)
+        try:
+            status, payload = daemon.request(
+                "POST", "/api/v1/chaos", {"faults": ["nonsense"]}
+            )
+            assert status == 400
+        finally:
+            daemon.stop()

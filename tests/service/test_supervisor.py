@@ -1,0 +1,275 @@
+"""Supervisor robustness: crashes contained, timeouts retried, caps.
+
+The runner here is a stub — campaign-engine integration lives in
+``test_service_core.py``.  These tests pin the supervision contract
+itself: a crashing job retries with exponential backoff and fails
+permanently at the cap, a hung job (injected ``worker_hang`` spin)
+converts into a timeout, and drain leaves queued work for the next
+daemon.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.corpus import CampaignCancelled
+from repro.observability.events import EventBus
+from repro.observability.metrics import MetricsRegistry
+from repro.service.jobs import JobStore
+from repro.service.supervisor import Supervisor
+from repro.testing.chaos import Fault, FaultPlan, clear_plan, install_plan
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = JobStore(str(tmp_path / "service.sqlite"))
+    yield store
+    store.close()
+
+
+@pytest.fixture(autouse=True)
+def _no_chaos_leak():
+    yield
+    clear_plan()
+
+
+def wait_for(predicate, timeout=10.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def run_until_terminal(supervisor, store, job_id, timeout=10.0):
+    supervisor.start()
+    try:
+        assert wait_for(
+            lambda: store.job(job_id).status in ("done", "failed"),
+            timeout=timeout,
+        ), f"job never finished: {store.job(job_id).to_dict()}"
+    finally:
+        supervisor.drain(timeout=5.0)
+    return store.job(job_id)
+
+
+class TestHappyPath:
+    def test_job_runs_and_finishes(self, store):
+        seen = []
+
+        def runner(job, cancel):
+            seen.append(job.job_id)
+            return {"ok": True}
+
+        job, _ = store.submit("seeds", {"seeds": [1]})
+        sup = Supervisor(runner, store, backoff_base=0.0)
+        done = run_until_terminal(sup, store, job.job_id)
+        assert done.status == "done"
+        assert done.result == {"ok": True}
+        assert seen == [job.job_id]
+
+    def test_jobs_drain_in_submission_order(self, store):
+        order = []
+
+        def runner(job, cancel):
+            order.append(job.payload["seeds"][0])
+            return {}
+
+        for n in range(4):
+            store.submit("seeds", {"seeds": [n]})
+        sup = Supervisor(runner, store, backoff_base=0.0)
+        sup.start()
+        try:
+            assert wait_for(lambda: store.counts()["done"] == 4)
+        finally:
+            sup.drain(timeout=5.0)
+        assert order == [0, 1, 2, 3]
+
+    def test_events_emitted(self, store):
+        bus = EventBus()
+        events = []
+        bus.subscribe(lambda e: events.append(e.type))
+        job, _ = store.submit("seeds", {"seeds": [1]})
+        sup = Supervisor(
+            lambda j, c: {}, store, backoff_base=0.0, events=bus
+        )
+        run_until_terminal(sup, store, job.job_id)
+        assert events == ["job.started", "job.done"]
+
+
+class TestCrashContainment:
+    def test_crash_retries_then_fails_at_cap(self, store):
+        attempts = []
+
+        def runner(job, cancel):
+            attempts.append(job.attempts)
+            raise RuntimeError("boom")
+
+        job, _ = store.submit("seeds", {"seeds": [1]})
+        metrics = MetricsRegistry()
+        sup = Supervisor(
+            runner, store, retry_cap=3, backoff_base=0.0, metrics=metrics,
+        )
+        failed = run_until_terminal(sup, store, job.job_id)
+        assert failed.status == "failed"
+        assert attempts == [0, 1, 2]
+        snapshot = metrics.to_dict()
+        assert snapshot["service.job_crashes"]["value"] == 3
+        assert snapshot["service.jobs_failed"]["value"] == 1
+
+    def test_crash_error_is_an_envelope(self, store):
+        def runner(job, cancel):
+            raise ValueError("exploded in the engine")
+
+        job, _ = store.submit("seeds", {"seeds": [1]})
+        sup = Supervisor(runner, store, retry_cap=1, backoff_base=0.0)
+        failed = run_until_terminal(sup, store, job.job_id)
+        assert failed.error["exc_type"] == "ValueError"
+        assert failed.error["phase"] == "serve"
+        assert job.job_id in failed.error["repro"]
+
+    def test_transient_crash_recovers(self, store):
+        calls = []
+
+        def runner(job, cancel):
+            calls.append(1)
+            if len(calls) == 1:
+                raise RuntimeError("only once")
+            return {"recovered": True}
+
+        job, _ = store.submit("seeds", {"seeds": [1]})
+        sup = Supervisor(runner, store, retry_cap=3, backoff_base=0.0)
+        done = run_until_terminal(sup, store, job.job_id)
+        assert done.status == "done"
+        assert done.result == {"recovered": True}
+        assert len(calls) == 2
+
+    def test_backoff_is_exponential(self, store):
+        def runner(job, cancel):
+            raise RuntimeError("boom")
+
+        job, _ = store.submit("seeds", {"seeds": [1]})
+        delays = []
+        bus = EventBus()
+        bus.subscribe(
+            lambda e: delays.append(e.attrs["delay"])
+            if e.type == "job.retried" else None
+        )
+        sup = Supervisor(
+            runner, store, retry_cap=3, backoff_base=0.01, events=bus,
+        )
+        run_until_terminal(sup, store, job.job_id)
+        assert delays == [0.01, 0.02]
+
+
+class TestTimeouts:
+    def test_cancelled_job_is_retried_as_timeout(self, store):
+        def runner(job, cancel):
+            raise CampaignCancelled("cancelled before seed 3", seeds_done=3)
+
+        job, _ = store.submit("seeds", {"seeds": [1]})
+        sup = Supervisor(runner, store, retry_cap=2, backoff_base=0.0)
+        failed = run_until_terminal(sup, store, job.job_id)
+        assert failed.status == "failed"
+        assert failed.error["kind"] == "timeout"
+
+    def test_watchdog_sets_cancel_event(self, store):
+        observed = []
+
+        def runner(job, cancel):
+            # a cooperative engine: wait for the watchdog to fire
+            observed.append(cancel.wait(5.0))
+            raise CampaignCancelled("stopped at a seed boundary")
+
+        job, _ = store.submit("seeds", {"seeds": [1]})
+        sup = Supervisor(
+            runner, store, job_timeout=0.1, retry_cap=1, backoff_base=0.0,
+        )
+        failed = run_until_terminal(sup, store, job.job_id)
+        assert observed == [True]
+        assert failed.status == "failed"
+
+    def test_worker_hang_fault_becomes_timeout(self, store):
+        """The hang drill: an injected busy-spin at the worker_hang
+        site must convert into a bounded timeout, not a wedged
+        thread."""
+        install_plan(FaultPlan((Fault("worker_hang", "spin", ()),)))
+        ran = []
+
+        def runner(job, cancel):
+            ran.append(1)  # pragma: no cover - must not be reached
+            return {}
+
+        job, _ = store.submit("seeds", {"seeds": [1]})
+        sup = Supervisor(
+            runner, store, job_timeout=0.2, retry_cap=1, backoff_base=0.0,
+        )
+        failed = run_until_terminal(sup, store, job.job_id, timeout=15.0)
+        assert failed.status == "failed"
+        assert failed.error["kind"] == "timeout"
+        assert not ran
+        # the worker survived the spin and still drains cleanly
+        assert sup.workers_alive() == 0
+
+
+class TestDrainAndLiveness:
+    def test_drain_leaves_queued_jobs(self, store):
+        release = threading.Event()
+
+        def runner(job, cancel):
+            release.wait(5.0)
+            return {}
+
+        first, _ = store.submit("seeds", {"seeds": [1]})
+        second, _ = store.submit("seeds", {"seeds": [2]})
+        sup = Supervisor(runner, store, backoff_base=0.0)
+        sup.start()
+        assert wait_for(lambda: sup.in_flight == 1)
+        drainer = threading.Thread(target=sup.drain)
+        drainer.start()
+        release.set()
+        drainer.join(5.0)
+        # in-flight finished; the queued one waits for the next daemon
+        assert store.job(first.job_id).status == "done"
+        assert store.job(second.job_id).status == "queued"
+
+    def test_start_recovers_orphaned_running_jobs(self, store):
+        job, _ = store.submit("seeds", {"seeds": [1]})
+        store.claim_next()  # simulate a dead daemon's claim
+        metrics = MetricsRegistry()
+        sup = Supervisor(
+            lambda j, c: {}, store, backoff_base=0.0, metrics=metrics,
+        )
+        done = run_until_terminal(sup, store, job.job_id)
+        assert done.status == "done"
+        assert metrics.to_dict()["service.jobs_recovered"]["value"] == 1
+
+    def test_heartbeats_cover_every_worker(self, store):
+        sup = Supervisor(lambda j, c: {}, store, workers=3)
+        sup.start()
+        try:
+            assert wait_for(lambda: len(sup.heartbeats()) == 3)
+            assert sup.workers_alive() == 3
+            assert all(age < 5.0 for age in sup.heartbeats().values())
+        finally:
+            sup.drain(timeout=5.0)
+        assert sup.workers_alive() == 0
+
+    def test_double_start_rejected(self, store):
+        sup = Supervisor(lambda j, c: {}, store)
+        sup.start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                sup.start()
+        finally:
+            sup.drain(timeout=5.0)
+
+    def test_bad_knobs_rejected(self, store):
+        with pytest.raises(ValueError, match="workers"):
+            Supervisor(lambda j, c: {}, store, workers=0)
+        with pytest.raises(ValueError, match="retry_cap"):
+            Supervisor(lambda j, c: {}, store, retry_cap=0)
